@@ -1,0 +1,196 @@
+//! Credible sets over lattice states.
+//!
+//! Beyond per-subject marginals, a surveillance analyst often wants the
+//! *joint* story: the smallest collection of infection patterns that
+//! covers, say, 95% of the posterior (a highest-posterior-density set over
+//! the lattice). When that set is small the situation is resolved — e.g.
+//! "either nobody is positive or it is exactly subject 7" — even if no
+//! single marginal has crossed a threshold yet.
+
+use sbgt_lattice::{DensePosterior, State};
+
+/// A highest-posterior-density credible set of states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CredibleSet {
+    /// States in descending posterior probability.
+    pub states: Vec<(State, f64)>,
+    /// Total posterior probability covered (≥ the requested level unless
+    /// the posterior is degenerate).
+    pub coverage: f64,
+    /// The requested coverage level.
+    pub level: f64,
+}
+
+impl CredibleSet {
+    /// Number of states needed to reach the coverage level — the "effective
+    /// support" of the posterior (1 ⇔ fully resolved).
+    pub fn size(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether a state is in the credible set.
+    pub fn contains(&self, s: State) -> bool {
+        self.states.iter().any(|(t, _)| *t == s)
+    }
+
+    /// Subjects positive in *every* credible state — positives you can act
+    /// on at this credibility level even before marginal thresholds fire.
+    pub fn certain_positives(&self) -> State {
+        self.states
+            .iter()
+            .fold(State::full(64.min(sbgt_lattice::MAX_SUBJECTS)), |acc, (s, _)| {
+                acc.meet(*s)
+            })
+    }
+
+    /// Subjects negative in every credible state.
+    pub fn certain_negatives(&self, n_subjects: usize) -> State {
+        let union = self
+            .states
+            .iter()
+            .fold(State::EMPTY, |acc, (s, _)| acc.join(*s));
+        union.complement(n_subjects)
+    }
+}
+
+/// Compute the HPD credible set at `level` (e.g. `0.95`).
+///
+/// Greedy by mass: states are taken in descending probability until the
+/// cumulative normalized mass reaches `level`. For a degenerate (zero
+/// total) posterior, returns an empty set with zero coverage.
+///
+/// # Panics
+/// Panics unless `0 < level <= 1`.
+pub fn credible_set(posterior: &DensePosterior, level: f64) -> CredibleSet {
+    assert!(level > 0.0 && level <= 1.0, "level {level} outside (0,1]");
+    let total = posterior.total();
+    if !(total.is_finite() && total > 0.0) {
+        return CredibleSet {
+            states: Vec::with_capacity(0),
+            coverage: 0.0,
+            level,
+        };
+    }
+    // Take top states until coverage reached. `top_k` with growing k would
+    // re-scan; a single sort of the nonzero support is simpler and this
+    // analysis runs off the hot path.
+    let mut entries: Vec<(State, f64)> = posterior
+        .probs()
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 0.0)
+        .map(|(idx, &p)| (State(idx as u64), p / total))
+        .collect();
+    entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.bits().cmp(&b.0.bits())));
+    let mut coverage = 0.0;
+    let mut states = Vec::new();
+    for (s, p) in entries {
+        states.push((s, p));
+        coverage += p;
+        if coverage >= level - 1e-12 {
+            break;
+        }
+    }
+    CredibleSet {
+        states,
+        coverage,
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mass_needs_one_state() {
+        let mut probs = vec![0.0; 16];
+        probs[5] = 1.0;
+        let d = DensePosterior::from_probs(4, probs);
+        let cs = credible_set(&d, 0.95);
+        assert_eq!(cs.size(), 1);
+        assert_eq!(cs.states[0].0, State(5));
+        assert!((cs.coverage - 1.0).abs() < 1e-12);
+        assert!(cs.contains(State(5)));
+        assert!(!cs.contains(State(2)));
+    }
+
+    #[test]
+    fn uniform_needs_level_fraction() {
+        let d = DensePosterior::new_uniform(6); // 64 states
+        let cs = credible_set(&d, 0.5);
+        assert_eq!(cs.size(), 32);
+        assert!((cs.coverage - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_meets_level() {
+        let d = DensePosterior::from_risks(&[0.1, 0.3, 0.05, 0.2]);
+        for level in [0.5, 0.9, 0.99, 1.0] {
+            let cs = credible_set(&d, level);
+            assert!(
+                cs.coverage >= level - 1e-9,
+                "level {level}: coverage {}",
+                cs.coverage
+            );
+            // Minimality: dropping the last state must fall below level.
+            if cs.size() > 1 {
+                let without_last: f64 = cs.states[..cs.size() - 1].iter().map(|(_, p)| p).sum();
+                assert!(without_last < level);
+            }
+        }
+    }
+
+    #[test]
+    fn certain_positives_and_negatives() {
+        // Posterior mass concentrated on {0} and {0,2}: subject 0 is
+        // certainly positive, subjects 1 and 3 certainly negative.
+        let mut probs = vec![0.0; 16];
+        probs[0b0001] = 0.6;
+        probs[0b0101] = 0.4;
+        let d = DensePosterior::from_probs(4, probs);
+        let cs = credible_set(&d, 0.99);
+        assert_eq!(cs.size(), 2);
+        assert!(cs.certain_positives().contains(0));
+        assert!(!cs.certain_positives().contains(2));
+        let neg = cs.certain_negatives(4);
+        assert!(neg.contains(1));
+        assert!(neg.contains(3));
+        assert!(!neg.contains(0));
+        assert!(!neg.contains(2));
+    }
+
+    #[test]
+    fn degenerate_posterior_gives_empty_set() {
+        let d = DensePosterior::from_probs(3, vec![0.0; 8]);
+        let cs = credible_set(&d, 0.9);
+        assert_eq!(cs.size(), 0);
+        assert_eq!(cs.coverage, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn rejects_bad_level() {
+        let d = DensePosterior::new_uniform(2);
+        let _ = credible_set(&d, 0.0);
+    }
+
+    #[test]
+    fn sequential_tests_shrink_credible_set() {
+        use sbgt_lattice::State;
+        use sbgt_response::{BinaryDilutionModel, ResponseModel};
+        let model = BinaryDilutionModel::perfect();
+        let mut d = DensePosterior::from_risks(&[0.3; 5]);
+        let before = credible_set(&d, 0.95).size();
+        // Observe two informative pools.
+        for (pool, outcome) in [
+            (State::from_subjects([0, 1, 2]), false),
+            (State::from_subjects([3]), true),
+        ] {
+            let table = model.likelihood_table(outcome, pool.rank());
+            d.mul_likelihood(pool, &table);
+        }
+        let after = credible_set(&d, 0.95).size();
+        assert!(after < before, "{after} !< {before}");
+    }
+}

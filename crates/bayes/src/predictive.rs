@@ -1,0 +1,249 @@
+//! Posterior-predictive planning: how many more tests will this cohort
+//! need?
+//!
+//! Labs schedule reagents and staffing around expected workload. Given the
+//! *current* posterior, the remaining cost of the sequential procedure is a
+//! random variable whose distribution we can estimate by Monte-Carlo
+//! rollouts: draw a ground-truth state from the posterior, simulate the
+//! procedure forward against it (sampling outcomes from the response
+//! model), and record the tests/stages used. This is the quantitative
+//! engine behind the method paper's "when and how to pool" calculator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use sbgt_lattice::{DensePosterior, State};
+use sbgt_response::BinaryOutcomeModel;
+
+use crate::classify::{classify_marginals, ClassificationRule};
+use crate::update::{update_dense, Observation};
+
+/// Summary of predictive rollouts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictiveCost {
+    /// Mean remaining tests.
+    pub mean_tests: f64,
+    /// Standard deviation of remaining tests.
+    pub sd_tests: f64,
+    /// Mean remaining stages.
+    pub mean_stages: f64,
+    /// Fraction of rollouts that hit the stage cap unclassified.
+    pub truncated_fraction: f64,
+    /// Number of rollouts.
+    pub draws: usize,
+}
+
+/// Configuration for predictive rollouts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RolloutConfig {
+    /// Classification thresholds used inside the rollouts.
+    pub rule: ClassificationRule,
+    /// Pool-size cap.
+    pub max_pool_size: usize,
+    /// Stage cap per rollout.
+    pub max_stages: usize,
+    /// Monte-Carlo draws.
+    pub draws: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Estimate the remaining testing cost from `posterior` under the halving
+/// procedure, by posterior-predictive Monte-Carlo.
+///
+/// # Panics
+/// Panics when `draws == 0` or the posterior is degenerate.
+pub fn predictive_cost<M: BinaryOutcomeModel>(
+    posterior: &DensePosterior,
+    model: &M,
+    cfg: &RolloutConfig,
+) -> PredictiveCost {
+    assert!(cfg.draws >= 1, "need at least one draw");
+    let mut base = posterior.clone();
+    base.try_normalize().expect("degenerate posterior");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut tests = Vec::with_capacity(cfg.draws);
+    let mut stages = Vec::with_capacity(cfg.draws);
+    let mut truncated = 0usize;
+    for _ in 0..cfg.draws {
+        let truth = sample_state(&base, &mut rng);
+        let (t, s, done) = rollout(&base, model, truth, cfg, &mut rng);
+        tests.push(t as f64);
+        stages.push(s as f64);
+        if !done {
+            truncated += 1;
+        }
+    }
+    let mean_tests = tests.iter().sum::<f64>() / cfg.draws as f64;
+    let var = tests
+        .iter()
+        .map(|t| (t - mean_tests) * (t - mean_tests))
+        .sum::<f64>()
+        / cfg.draws as f64;
+    PredictiveCost {
+        mean_tests,
+        sd_tests: var.sqrt(),
+        mean_stages: stages.iter().sum::<f64>() / cfg.draws as f64,
+        truncated_fraction: truncated as f64 / cfg.draws as f64,
+        draws: cfg.draws,
+    }
+}
+
+/// Draw one state from a normalized posterior by inverse CDF.
+fn sample_state<R: Rng + ?Sized>(posterior: &DensePosterior, rng: &mut R) -> State {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for (idx, &p) in posterior.probs().iter().enumerate() {
+        acc += p;
+        if u <= acc {
+            return State(idx as u64);
+        }
+    }
+    // Float round-off: fall back to the last state.
+    State(posterior.len() as u64 - 1)
+}
+
+/// Simulate the halving procedure from `start` against a fixed truth.
+/// Returns (tests, stages, classified?).
+fn rollout<M: BinaryOutcomeModel, R: Rng + ?Sized>(
+    start: &DensePosterior,
+    model: &M,
+    truth: State,
+    cfg: &RolloutConfig,
+    rng: &mut R,
+) -> (usize, usize, bool) {
+    let mut post = start.clone();
+    let mut tests = 0usize;
+    let mut stages = 0usize;
+    loop {
+        let marginals = post.marginals();
+        let classification = classify_marginals(&marginals, cfg.rule);
+        if classification.is_terminal() {
+            return (tests, stages, true);
+        }
+        if stages >= cfg.max_stages {
+            return (tests, stages, false);
+        }
+        let mut eligible = classification.undetermined();
+        eligible.sort_by(|&a, &b| marginals[a].total_cmp(&marginals[b]).then(a.cmp(&b)));
+        // Prefix halving inline (avoids a dependency cycle with
+        // sbgt-select): pick the prefix whose negative mass is nearest 1/2.
+        let masses = post.prefix_negative_masses(&eligible);
+        let total = masses[0];
+        if !(total.is_finite() && total > 0.0) {
+            return (tests, stages, false);
+        }
+        let cap = cfg.max_pool_size.min(eligible.len());
+        let mut best = (1usize, f64::INFINITY);
+        for k in 1..=cap {
+            let d = (masses[k] / total - 0.5).abs();
+            if d < best.1 {
+                best = (k, d);
+            }
+        }
+        let pool = State::from_subjects(eligible[..best.0].iter().copied());
+        let p_pos = model.positive_prob(truth.positives_in(pool), pool.rank());
+        let outcome = rng.random::<f64>() < p_pos;
+        tests += 1;
+        stages += 1;
+        if update_dense(&mut post, model, &Observation::new(pool, outcome)).is_err() {
+            return (tests, stages, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::Prior;
+    use sbgt_response::BinaryDilutionModel;
+
+    fn cfg(draws: usize) -> RolloutConfig {
+        RolloutConfig {
+            rule: ClassificationRule::new(0.99, 0.005),
+            max_pool_size: 16,
+            max_stages: 100,
+            draws,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn fresh_prior_cost_is_positive_and_below_individual() {
+        let post = Prior::flat(10, 0.02).to_dense();
+        let model = BinaryDilutionModel::perfect();
+        let c = predictive_cost(&post, &model, &cfg(60));
+        assert!(c.mean_tests > 0.0);
+        assert!(
+            c.mean_tests < 10.0,
+            "group testing must beat individual: {}",
+            c.mean_tests
+        );
+        assert_eq!(c.truncated_fraction, 0.0);
+        assert_eq!(c.draws, 60);
+        assert!(c.mean_stages <= c.mean_tests + 1e-9);
+    }
+
+    #[test]
+    fn nearly_resolved_posterior_costs_less() {
+        let model = BinaryDilutionModel::perfect();
+        let fresh = Prior::flat(8, 0.05).to_dense();
+        // Resolve half the cohort with a negative pool first.
+        let mut resolved = fresh.clone();
+        update_dense(
+            &mut resolved,
+            &model,
+            &Observation::new(State::from_subjects([0, 1, 2, 3]), false),
+        )
+        .unwrap();
+        let c_fresh = predictive_cost(&fresh, &model, &cfg(50));
+        let c_resolved = predictive_cost(&resolved, &model, &cfg(50));
+        assert!(
+            c_resolved.mean_tests < c_fresh.mean_tests,
+            "{} !< {}",
+            c_resolved.mean_tests,
+            c_fresh.mean_tests
+        );
+    }
+
+    #[test]
+    fn higher_prevalence_costs_more() {
+        let model = BinaryDilutionModel::perfect();
+        let low = predictive_cost(&Prior::flat(8, 0.02).to_dense(), &model, &cfg(50));
+        let high = predictive_cost(&Prior::flat(8, 0.2).to_dense(), &model, &cfg(50));
+        assert!(high.mean_tests > low.mean_tests);
+    }
+
+    #[test]
+    fn rollouts_are_reproducible() {
+        let post = Prior::flat(6, 0.1).to_dense();
+        let model = BinaryDilutionModel::pcr_like();
+        let a = predictive_cost(&post, &model, &cfg(20));
+        let b = predictive_cost(&post, &model, &cfg(20));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_state_matches_posterior_statistically() {
+        let mut probs = vec![0.0; 8];
+        probs[2] = 0.75;
+        probs[5] = 0.25;
+        let post = DensePosterior::from_probs(3, probs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws = 8000;
+        let hits2 = (0..draws)
+            .filter(|_| sample_state(&post, &mut rng) == State(2))
+            .count() as f64
+            / draws as f64;
+        assert!((hits2 - 0.75).abs() < 0.03, "{hits2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one draw")]
+    fn zero_draws_panics() {
+        let post = Prior::flat(3, 0.1).to_dense();
+        let model = BinaryDilutionModel::perfect();
+        let _ = predictive_cost(&post, &model, &cfg(0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * likelihood **table** vs per-state response-model calls;
+//! * **fused** multiply+sum vs separate multiply/sum/scale passes;
+//! * one-pass **all-prefix** selection vs per-candidate scans;
+//! * **zeta-transform** all-pools pricing vs naive exhaustive;
+//! * **sparse** vs dense updates at realistic support levels.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbgt_bench::warmed_posterior;
+use sbgt_lattice::transform::all_pool_negative_masses;
+use sbgt_lattice::{SparsePosterior, State};
+use sbgt_response::{BinaryDilutionModel, ResponseModel};
+
+const N: usize = 16;
+
+fn bench_table_vs_model_calls(c: &mut Criterion) {
+    let model = BinaryDilutionModel::pcr_like();
+    let post = warmed_posterior(N);
+    let pool = State::from_subjects([0, 2, 4, 6]);
+    let table = model.likelihood_table(true, pool.rank());
+    let mask = pool.bits();
+
+    let mut group = c.benchmark_group("ablation_table_vs_calls");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("table_lookup", |b| {
+        b.iter(|| {
+            let mut p = post.clone();
+            let mut total = 0.0;
+            for (idx, v) in p.probs_mut().iter_mut().enumerate() {
+                let k = (idx as u64 & mask).count_ones() as usize;
+                *v *= table[k];
+                total += *v;
+            }
+            total
+        })
+    });
+    group.bench_function("per_state_model_call", |b| {
+        b.iter(|| {
+            let mut p = post.clone();
+            let mut total = 0.0;
+            for (idx, v) in p.probs_mut().iter_mut().enumerate() {
+                let k = (idx as u64 & mask).count_ones();
+                *v *= model.likelihood(true, k, pool.rank());
+                total += *v;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_fused_vs_separate(c: &mut Criterion) {
+    let model = BinaryDilutionModel::pcr_like();
+    let post = warmed_posterior(N);
+    let pool = State::from_subjects([0, 2, 4, 6]);
+    let table = model.likelihood_table(true, pool.rank());
+
+    let mut group = c.benchmark_group("ablation_fused_vs_separate");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("fused_multiply_sum", |b| {
+        b.iter(|| {
+            let mut p = post.clone();
+            let z = p.mul_likelihood_fused(pool, &table);
+            let inv = 1.0 / z;
+            for v in p.probs_mut() {
+                *v *= inv;
+            }
+            z
+        })
+    });
+    group.bench_function("separate_passes", |b| {
+        b.iter(|| {
+            let mut p = post.clone();
+            p.mul_likelihood(pool, &table); // pass 1
+            let z = p.total(); // pass 2
+            let inv = 1.0 / z;
+            for v in p.probs_mut() {
+                *v *= inv; // pass 3
+            }
+            z
+        })
+    });
+    group.finish();
+}
+
+fn bench_zeta_vs_naive_all_pools(c: &mut Criterion) {
+    // All-pools pricing at a size where naive is still feasible.
+    let post = warmed_posterior(12);
+    let mut group = c.benchmark_group("ablation_all_pools");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("zeta_transform", |b| {
+        b.iter(|| all_pool_negative_masses(&post)[1])
+    });
+    group.bench_function("naive_per_pool_scans", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for pool_bits in 0u64..(1 << 12) {
+                acc += post.pool_negative_mass(State(pool_bits));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_sparse_vs_dense_update(c: &mut Criterion) {
+    let model = BinaryDilutionModel::pcr_like();
+    let dense = warmed_posterior(N);
+    let pool = State::from_subjects([1, 3, 5]);
+    let table = model.likelihood_table(false, pool.rank());
+
+    let mut group = c.benchmark_group("ablation_sparse_vs_dense");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            let mut p = dense.clone();
+            p.mul_likelihood_fused(pool, &table)
+        })
+    });
+    for eps in [1e-12f64, 1e-9, 1e-6] {
+        let sparse = SparsePosterior::from_dense(&dense, eps);
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("{eps:.0e}_support_{}", sparse.support())),
+            &eps,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = sparse.clone();
+                    s.mul_likelihood_fused(pool, &table)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table_vs_model_calls,
+    bench_fused_vs_separate,
+    bench_zeta_vs_naive_all_pools,
+    bench_sparse_vs_dense_update
+);
+criterion_main!(benches);

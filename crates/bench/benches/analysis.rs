@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E4: statistical analyses — per-statistic
+//! full passes plus materialize-and-sort (baseline) vs SBGT's fused
+//! passes, serial and parallel.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbgt_bayes::{analyze, analyze_par};
+use sbgt_bench::{baseline_analysis, warmed_posterior};
+use sbgt_lattice::kernels::{par_marginals, ParConfig};
+
+fn bench_analysis(c: &mut Criterion) {
+    let cfg = ParConfig::always_parallel();
+    let mut group = c.benchmark_group("e4_analysis");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &n in &[12usize, 16, 18] {
+        let post = warmed_posterior(n);
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| baseline_analysis(&post))
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_fused", n), &n, |b, _| {
+            b.iter(|| analyze(&post, 5).expected_positives)
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_par", n), &n, |b, _| {
+            b.iter(|| analyze_par(&post, 5, cfg).expected_positives)
+        });
+        group.bench_with_input(BenchmarkId::new("marginals_kernel_only", n), &n, |b, _| {
+            b.iter(|| par_marginals(&post, cfg).iter().sum::<f64>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for experiment E9: full sequential episodes end-to-end —
+//! SBGT session vs the baseline framework against the same lab oracle, and
+//! the engine-distributed surveillance outer loop.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbgt::prelude::*;
+use sbgt_bench::bench_prior;
+use sbgt_engine::{Engine, EngineConfig};
+use sbgt_response::BinaryDilutionModel as Assay;
+use sbgt_sim::runner::EpisodeConfig;
+use sbgt_sim::{run_surveillance, RiskProfile, SurveillanceConfig};
+
+fn bench_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_episode");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for &n in &[12usize, 14] {
+        let prior = bench_prior(n, 7);
+        let truth = State::from_subjects([1, n - 2]);
+        group.bench_with_input(BenchmarkId::new("sbgt", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s =
+                    SbgtSession::new(prior.clone(), Assay::pcr_like(), SbgtConfig::default());
+                s.run_to_classification(1, |pool| truth.intersects(pool))
+                    .tests
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = BaselineSession::new(
+                    prior.clone(),
+                    Assay::pcr_like(),
+                    SbgtConfig::default().serial(),
+                );
+                s.run_to_classification(|pool| truth.intersects(pool)).tests
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_surveillance(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig::default());
+    let mut group = c.benchmark_group("e9_surveillance");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    let cfg = SurveillanceConfig {
+        cohorts: 8,
+        profile: RiskProfile::Flat { n: 10, p: 0.02 },
+        model: Assay::pcr_like(),
+        episode: EpisodeConfig::standard(0),
+        base_seed: 9,
+    };
+    group.bench_function("8_cohorts_of_10", |b| {
+        b.iter(|| run_surveillance(&engine, &cfg).total_tests)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_episode, bench_surveillance);
+criterion_main!(benches);

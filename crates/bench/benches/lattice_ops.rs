@@ -1,0 +1,66 @@
+//! Criterion bench for experiment E2: lattice-model manipulation
+//! (posterior update) — baseline framework vs SBGT fused/parallel kernels
+//! vs the engine-sharded dataflow form.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbgt::ShardedPosterior;
+use sbgt_bench::{baseline_update, warmed_posterior};
+use sbgt_bayes::{update_dense_par, Observation};
+use sbgt_engine::{Engine, EngineConfig};
+use sbgt_lattice::kernels::ParConfig;
+use sbgt_lattice::State;
+use sbgt_response::{BinaryDilutionModel, ResponseModel};
+
+fn bench_update(c: &mut Criterion) {
+    let model = BinaryDilutionModel::pcr_like();
+    let cfg = ParConfig::always_parallel();
+    let engine = Engine::new(EngineConfig::default());
+    let mut group = c.benchmark_group("e2_update");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &n in &[12usize, 16, 18] {
+        let post = warmed_posterior(n);
+        let pool = State::from_subjects((0..8.min(n)).step_by(2));
+        let table = model.likelihood_table(true, pool.rank());
+
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut p = post.clone();
+                baseline_update(&mut p, &model, pool, true);
+                p.get(State::EMPTY)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_fused", n), &n, |b, _| {
+            b.iter(|| {
+                let mut p = post.clone();
+                let z = p.mul_likelihood_fused(pool, &table);
+                let inv = 1.0 / z;
+                for x in p.probs_mut() {
+                    *x *= inv;
+                }
+                p.get(State::EMPTY)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_par", n), &n, |b, _| {
+            b.iter(|| {
+                let mut p = post.clone();
+                update_dense_par(&mut p, &model, &Observation::new(pool, true), cfg).unwrap();
+                p.get(State::EMPTY)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_engine", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sp = ShardedPosterior::from_dense(&post, engine.default_partitions());
+                sp.update(&engine, &model, pool, true).unwrap();
+                sp.total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

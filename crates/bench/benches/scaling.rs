@@ -1,0 +1,100 @@
+//! Criterion bench for experiment E5: strong scaling and granularity of the
+//! parallel kernels — thread-count sweep (bounded by host parallelism) and
+//! chunk-size / partition-count ablations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbgt::ShardedPosterior;
+use sbgt_bench::warmed_posterior;
+use sbgt_engine::{Engine, EngineConfig};
+use sbgt_lattice::kernels::{par_mul_likelihood_fused, ParConfig};
+use sbgt_lattice::State;
+use sbgt_response::{BinaryDilutionModel, ResponseModel};
+
+const N: usize = 18;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let model = BinaryDilutionModel::pcr_like();
+    let post = warmed_posterior(N);
+    let pool = State::from_subjects([0, 2, 4, 6]);
+    let table = model.likelihood_table(true, pool.rank());
+    let host = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("e5_thread_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for t in [1usize, 2, 4, 8] {
+        if t > 2 * host {
+            break;
+        }
+        let rt = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("rayon pool");
+        group.bench_with_input(BenchmarkId::new("update", t), &t, |b, _| {
+            b.iter(|| {
+                rt.install(|| {
+                    let mut p = post.clone();
+                    par_mul_likelihood_fused(&mut p, pool, &table, ParConfig::always_parallel())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunk_granularity(c: &mut Criterion) {
+    let model = BinaryDilutionModel::pcr_like();
+    let post = warmed_posterior(N);
+    let pool = State::from_subjects([0, 2, 4, 6]);
+    let table = model.likelihood_table(true, pool.rank());
+
+    let mut group = c.benchmark_group("e5_chunk_granularity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for shift in [10usize, 12, 14, 16] {
+        let cfg = ParConfig {
+            chunk_len: 1 << shift,
+            threshold: 0,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("update_chunk", 1usize << shift),
+            &shift,
+            |b, _| {
+                b.iter(|| {
+                    let mut p = post.clone();
+                    par_mul_likelihood_fused(&mut p, pool, &table, cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_partitions(c: &mut Criterion) {
+    let model = BinaryDilutionModel::pcr_like();
+    let post = warmed_posterior(N);
+    let pool = State::from_subjects([0, 2, 4, 6]);
+    let engine = Engine::new(EngineConfig::default());
+
+    let mut group = c.benchmark_group("e5_engine_partitions");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for parts in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("sharded_update", parts), &parts, |b, &p| {
+            b.iter(|| {
+                let mut sp = ShardedPosterior::from_dense(&post, p);
+                sp.update(&engine, &model, pool, true).unwrap();
+                sp.total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thread_scaling,
+    bench_chunk_granularity,
+    bench_engine_partitions
+);
+criterion_main!(benches);

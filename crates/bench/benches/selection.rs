@@ -1,0 +1,48 @@
+//! Criterion bench for experiment E3: test selection — per-candidate
+//! full-lattice scans (baseline) vs the one-pass all-prefix halving search
+//! (SBGT), serial and parallel.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sbgt_bench::{baseline_selection, warmed_posterior};
+use sbgt_lattice::kernels::{par_prefix_negative_masses, ParConfig};
+use sbgt_select::{select_halving_global, select_halving_prefix, select_halving_prefix_par};
+
+fn bench_selection(c: &mut Criterion) {
+    let cfg = ParConfig::always_parallel();
+    let mut group = c.benchmark_group("e3_selection");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &n in &[12usize, 16, 18] {
+        let post = warmed_posterior(n);
+        let marginals = post.marginals();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| marginals[a].total_cmp(&marginals[b]));
+
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| baseline_selection(&post, 16))
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_one_pass", n), &n, |b, _| {
+            b.iter(|| select_halving_prefix(&post, &order, 16).unwrap().distance)
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_par", n), &n, |b, _| {
+            b.iter(|| {
+                select_halving_prefix_par(&post, &order, 16, cfg)
+                    .unwrap()
+                    .distance
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_kernel_only", n), &n, |b, _| {
+            b.iter(|| par_prefix_negative_masses(&post, &order, cfg)[1])
+        });
+        group.bench_with_input(BenchmarkId::new("sbgt_global_zeta", n), &n, |b, _| {
+            b.iter(|| select_halving_global(&post, &order, 16).unwrap().distance)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Framework configuration.
+
+use sbgt_bayes::ClassificationRule;
+use sbgt_lattice::kernels::ParConfig;
+
+/// How the `Θ(2^N)` kernels execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Serial reference kernels (used by tests and tiny cohorts).
+    Serial,
+    /// Rayon chunk kernels with the given tuning.
+    Parallel(ParConfig),
+}
+
+impl ExecMode {
+    /// The `ParConfig` to pass to kernels: serial mode maps to an
+    /// infinite threshold so every kernel takes its serial path.
+    pub fn par_config(&self) -> ParConfig {
+        match *self {
+            ExecMode::Serial => ParConfig {
+                chunk_len: usize::MAX,
+                threshold: usize::MAX,
+            },
+            ExecMode::Parallel(cfg) => cfg,
+        }
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SbgtConfig {
+    /// Kernel execution mode.
+    pub exec: ExecMode,
+    /// Classification thresholds (stopping rule).
+    pub rule: ClassificationRule,
+    /// Largest pool the assay supports.
+    pub max_pool_size: usize,
+    /// Stage cap for [`crate::SbgtSession::run_to_classification`].
+    pub max_stages: usize,
+}
+
+impl Default for SbgtConfig {
+    fn default() -> Self {
+        SbgtConfig {
+            exec: ExecMode::Parallel(ParConfig::default()),
+            rule: ClassificationRule::symmetric(0.99),
+            max_pool_size: 16,
+            max_stages: 200,
+        }
+    }
+}
+
+impl SbgtConfig {
+    /// Force serial kernels.
+    pub fn serial(mut self) -> Self {
+        self.exec = ExecMode::Serial;
+        self
+    }
+
+    /// Set the assay's pool-size cap.
+    pub fn with_max_pool_size(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "pool size cap must be at least 1");
+        self.max_pool_size = cap;
+        self
+    }
+
+    /// Set the classification rule.
+    pub fn with_rule(mut self, rule: ClassificationRule) -> Self {
+        self.rule = rule;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_mode_disables_parallel_paths() {
+        let cfg = SbgtConfig::default().serial();
+        let pc = cfg.exec.par_config();
+        assert_eq!(pc.threshold, usize::MAX);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = SbgtConfig::default()
+            .with_max_pool_size(8)
+            .with_rule(ClassificationRule::symmetric(0.95));
+        assert_eq!(cfg.max_pool_size, 8);
+        assert!((cfg.rule.pos_threshold - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size cap")]
+    fn zero_pool_cap_rejected() {
+        let _ = SbgtConfig::default().with_max_pool_size(0);
+    }
+}

@@ -1,0 +1,368 @@
+//! The engine-sharded posterior — SBGT's Spark mapping.
+//!
+//! The paper distributes the `2^N` lattice as an RDD of contiguous index
+//! shards; every operator is a stage of per-partition tasks with the
+//! likelihood table shipped as a broadcast variable and scalar results
+//! tree-reduced to the driver. [`ShardedPosterior`] reproduces that
+//! architecture on [`sbgt_engine`]:
+//!
+//! * the posterior lives as a [`Dataset<f64>`] whose partition `p` covers
+//!   states `offsets[p] .. offsets[p] + len(p)` (state id = global index,
+//!   so tasks recover each state's bitmask from its position — no keys, no
+//!   gathers, no shuffle);
+//! * updates are `map_partitions` stages that also emit their partial sum,
+//!   so normalization needs no second traversal (the posterior tracks its
+//!   running total instead of rescaling shards — Spark SBGT's trick of
+//!   folding the normalizing constant into the driver state);
+//! * marginals / down-set masses / prefix masses are aggregate stages.
+//!
+//! The rayon kernels in `sbgt-lattice` remain the fastest in-process path
+//! (no per-stage allocation); this module exists to exercise and measure
+//! the dataflow form of the algorithms — per-stage timings land in the
+//! engine's metrics registry, giving the E9 breakdown.
+
+use std::sync::Arc;
+
+use sbgt_bayes::BayesError;
+use sbgt_engine::{Dataset, Engine};
+use sbgt_lattice::{DensePosterior, State};
+use sbgt_response::ResponseModel;
+
+/// A posterior sharded across engine partitions.
+///
+/// The shard values are **unnormalized**; `total` carries the current
+/// normalization constant. All probability-returning methods divide by it.
+pub struct ShardedPosterior {
+    n_subjects: usize,
+    shards: Dataset<f64>,
+    /// Global state index where each partition begins.
+    offsets: Arc<Vec<u64>>,
+    total: f64,
+}
+
+impl ShardedPosterior {
+    /// Shard a dense posterior into `parts` contiguous partitions.
+    pub fn from_dense(dense: &DensePosterior, parts: usize) -> Self {
+        let shards = Dataset::from_vec(dense.probs().to_vec(), parts);
+        let offsets = Self::offsets_of(&shards);
+        let total = dense.total();
+        ShardedPosterior {
+            n_subjects: dense.n_subjects(),
+            shards,
+            offsets: Arc::new(offsets),
+            total,
+        }
+    }
+
+    fn offsets_of(shards: &Dataset<f64>) -> Vec<u64> {
+        let mut offsets = Vec::with_capacity(shards.num_partitions());
+        let mut acc = 0u64;
+        for p in 0..shards.num_partitions() {
+            offsets.push(acc);
+            acc += shards.partition(p).len() as u64;
+        }
+        offsets
+    }
+
+    /// Cohort size.
+    pub fn n_subjects(&self) -> usize {
+        self.n_subjects
+    }
+
+    /// Number of shards.
+    pub fn num_partitions(&self) -> usize {
+        self.shards.num_partitions()
+    }
+
+    /// Current normalization constant (unnormalized total mass).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Collect back into a dense, **normalized** posterior.
+    pub fn to_dense(&self, _engine: &Engine) -> DensePosterior {
+        let mut probs = self.shards.collect();
+        if self.total > 0.0 {
+            let inv = 1.0 / self.total;
+            for p in &mut probs {
+                *p *= inv;
+            }
+        }
+        DensePosterior::from_probs(self.n_subjects, probs)
+    }
+
+    /// Bayesian update as a dataflow stage: broadcast the likelihood table,
+    /// map every shard, emit partial sums. Returns the model evidence.
+    pub fn update<M: ResponseModel>(
+        &mut self,
+        engine: &Engine,
+        model: &M,
+        pool: State,
+        outcome: M::Outcome,
+    ) -> Result<f64, BayesError> {
+        if pool.is_empty() {
+            return Err(BayesError::EmptyPool);
+        }
+        let table = engine.broadcast(model.likelihood_table(outcome, pool.rank()));
+        let mask = pool.bits();
+        let offsets = Arc::clone(&self.offsets);
+
+        // One stage: multiply + partial sum per partition. The new shard
+        // values and the partial sum travel together so no second pass is
+        // needed.
+        let fused: Dataset<(Vec<f64>, f64)> =
+            self.shards.map_partitions(engine, move |pidx, probs| {
+                let base = offsets[pidx];
+                let table = table.value();
+                let mut out = Vec::with_capacity(probs.len());
+                let mut sum = 0.0;
+                for (off, &p) in probs.iter().enumerate() {
+                    let k = ((base + off as u64) & mask).count_ones() as usize;
+                    let v = p * table[k];
+                    sum += v;
+                    out.push(v);
+                }
+                vec![(out, sum)]
+            });
+
+        let mut new_parts: Vec<Vec<f64>> = Vec::with_capacity(fused.num_partitions());
+        let mut new_total = 0.0;
+        for p in 0..fused.num_partitions() {
+            let (values, sum) = &fused.partition(p)[0];
+            new_total += sum;
+            new_parts.push(values.clone());
+        }
+        if !(new_total.is_finite() && new_total > 0.0) {
+            return Err(BayesError::ImpossibleObservation);
+        }
+        let evidence = new_total / self.total;
+        self.shards = Dataset::from_partitions(new_parts);
+        self.total = new_total;
+        Ok(evidence)
+    }
+
+    /// Marginals as an aggregate stage (per-partition local accumulators,
+    /// tree-reduced on the driver).
+    pub fn marginals(&self, engine: &Engine) -> Vec<f64> {
+        let n = self.n_subjects;
+        let offsets = Arc::clone(&self.offsets);
+        let partials: Dataset<(Vec<f64>, f64)> =
+            self.shards.map_partitions(engine, move |pidx, probs| {
+                let base = offsets[pidx];
+                let mut acc = vec![0.0f64; n];
+                let mut total = 0.0;
+                for (off, &p) in probs.iter().enumerate() {
+                    total += p;
+                    let mut bits = base + off as u64;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        acc[b] += p;
+                        bits &= bits - 1;
+                    }
+                }
+                vec![(acc, total)]
+            });
+        let mut acc = vec![0.0f64; n];
+        let mut total = 0.0;
+        for p in 0..partials.num_partitions() {
+            let (local, t) = &partials.partition(p)[0];
+            total += t;
+            for (a, l) in acc.iter_mut().zip(local) {
+                *a += l;
+            }
+        }
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Pool-negative probability as an aggregate stage.
+    pub fn pool_negative_mass(&self, engine: &Engine, pool: State) -> f64 {
+        let mask = pool.bits();
+        let offsets = Arc::clone(&self.offsets);
+        let partials: Dataset<f64> = self.shards.map_partitions(engine, move |pidx, probs| {
+            let base = offsets[pidx];
+            let mut local = 0.0;
+            for (off, &p) in probs.iter().enumerate() {
+                if (base + off as u64) & mask == 0 {
+                    local += p;
+                }
+            }
+            vec![local]
+        });
+        let mass: f64 = partials.collect().iter().sum();
+        if self.total > 0.0 {
+            mass / self.total
+        } else {
+            0.0
+        }
+    }
+
+    /// All-prefix pool-negative probabilities (the selection kernel) as an
+    /// aggregate stage: per-partition first-positive histograms, reduced
+    /// and suffix-summed on the driver.
+    pub fn prefix_negative_masses(&self, engine: &Engine, order: &[usize]) -> Vec<f64> {
+        let n = self.n_subjects;
+        let m = order.len();
+        let mut pos_of = vec![u32::MAX; n];
+        for (k, &subj) in order.iter().enumerate() {
+            assert!(subj < n, "subject {subj} out of range");
+            assert!(pos_of[subj] == u32::MAX, "duplicate subject in order");
+            pos_of[subj] = k as u32;
+        }
+        let pos_of = Arc::new(pos_of);
+        let offsets = Arc::clone(&self.offsets);
+        let partials: Dataset<Vec<f64>> =
+            self.shards.map_partitions(engine, move |pidx, probs| {
+                let base = offsets[pidx];
+                let mut hist = vec![0.0f64; m + 1];
+                for (off, &p) in probs.iter().enumerate() {
+                    let mut first = m as u32;
+                    let mut bits = base + off as u64;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        let pos = pos_of[b];
+                        if pos < first {
+                            first = pos;
+                            if first == 0 {
+                                break;
+                            }
+                        }
+                        bits &= bits - 1;
+                    }
+                    hist[first as usize] += p;
+                }
+                vec![hist]
+            });
+        let mut hist = vec![0.0f64; m + 1];
+        for p in 0..partials.num_partitions() {
+            for (h, l) in hist.iter_mut().zip(&partials.partition(p)[0]) {
+                *h += l;
+            }
+        }
+        let mut masses = vec![0.0f64; m + 1];
+        let mut running = 0.0;
+        for k in (0..=m).rev() {
+            running += hist[k];
+            masses[k] = running;
+        }
+        masses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_bayes::{update_dense, Observation, Prior};
+    use sbgt_engine::EngineConfig;
+    use sbgt_response::BinaryDilutionModel;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs())
+    }
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default().with_threads(2))
+    }
+
+    fn risks() -> Vec<f64> {
+        vec![0.02, 0.07, 0.01, 0.12, 0.05, 0.03, 0.09, 0.2]
+    }
+
+    #[test]
+    fn sharded_update_matches_dense() {
+        let e = engine();
+        let model = BinaryDilutionModel::pcr_like();
+        let mut dense = Prior::from_risks(&risks()).to_dense();
+        let mut sharded = ShardedPosterior::from_dense(&dense, 5);
+        assert_eq!(sharded.num_partitions(), 5);
+
+        let tests = [
+            (State::from_subjects([0, 1, 2, 3]), true),
+            (State::from_subjects([4, 5]), false),
+            (State::from_subjects([0]), true),
+        ];
+        for (pool, outcome) in tests {
+            let zd = update_dense(&mut dense, &model, &Observation::new(pool, outcome)).unwrap();
+            let zs = sharded.update(&e, &model, pool, outcome).unwrap();
+            assert!(close(zd, zs), "evidence {zd} vs {zs}");
+        }
+        let back = sharded.to_dense(&e);
+        for (a, b) in dense.probs().iter().zip(back.probs()) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn sharded_aggregates_match_dense() {
+        let e = engine();
+        let dense = Prior::from_risks(&risks()).to_dense();
+        let sharded = ShardedPosterior::from_dense(&dense, 7);
+        for (a, b) in dense.marginals().iter().zip(sharded.marginals(&e)) {
+            assert!(close(*a, b));
+        }
+        let pool = State::from_subjects([1, 4, 6]);
+        assert!(close(
+            dense.pool_negative_mass(pool),
+            sharded.pool_negative_mass(&e, pool)
+        ));
+        let order = [3usize, 0, 7, 2, 5];
+        let dm = dense.prefix_negative_masses(&order);
+        let sm = sharded.prefix_negative_masses(&e, &order);
+        for (a, b) in dm.iter().zip(&sm) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn evidence_is_relative_to_running_total() {
+        // Two consecutive updates: each reported evidence must match the
+        // dense (renormalizing) implementation even though shards never
+        // rescale.
+        let e = engine();
+        let model = BinaryDilutionModel::pcr_like();
+        let mut sharded = ShardedPosterior::from_dense(&Prior::flat(6, 0.1).to_dense(), 3);
+        let z1 = sharded
+            .update(&e, &model, State::from_subjects([0, 1, 2]), false)
+            .unwrap();
+        let z2 = sharded
+            .update(&e, &model, State::from_subjects([3, 4]), true)
+            .unwrap();
+        assert!(z1 > z2, "negative pool at 10% prevalence is likelier");
+        assert!(z1 < 1.0 && z2 < 1.0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let e = engine();
+        let model = BinaryDilutionModel::perfect();
+        let mut sharded = ShardedPosterior::from_dense(&Prior::flat(4, 0.1).to_dense(), 2);
+        assert_eq!(
+            sharded.update(&e, &model, State::EMPTY, true).unwrap_err(),
+            BayesError::EmptyPool
+        );
+        let pool = State::from_subjects([0, 1, 2, 3]);
+        sharded.update(&e, &model, pool, false).unwrap();
+        assert_eq!(
+            sharded.update(&e, &model, pool, true).unwrap_err(),
+            BayesError::ImpossibleObservation
+        );
+    }
+
+    #[test]
+    fn stage_metrics_are_recorded() {
+        let e = engine();
+        let model = BinaryDilutionModel::pcr_like();
+        let mut sharded = ShardedPosterior::from_dense(&Prior::flat(6, 0.1).to_dense(), 4);
+        e.metrics().clear();
+        sharded
+            .update(&e, &model, State::from_subjects([0, 1]), false)
+            .unwrap();
+        sharded.marginals(&e);
+        assert!(e.metrics().job_count() >= 2, "expected dataflow stages");
+        assert_eq!(e.metrics().broadcast_count(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Session outcome reporting.
+
+use sbgt_bayes::{CohortClassification, SubjectStatus};
+
+/// Final result of driving a session to classification.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Total assays consumed.
+    pub tests: usize,
+    /// Sequential stages used.
+    pub stages: usize,
+    /// Cohort size.
+    pub subjects: usize,
+    /// Terminal (or truncated) classification.
+    pub classification: CohortClassification,
+    /// Final posterior marginals.
+    pub marginals: Vec<f64>,
+}
+
+impl SessionOutcome {
+    /// Tests per subject (individual testing = 1.0).
+    pub fn tests_per_subject(&self) -> f64 {
+        if self.subjects == 0 {
+            0.0
+        } else {
+            self.tests as f64 / self.subjects as f64
+        }
+    }
+
+    /// Render a compact human-readable table of the outcome.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "subjects: {}  tests: {}  stages: {}  tests/subject: {:.3}",
+            self.subjects,
+            self.tests,
+            self.stages,
+            self.tests_per_subject()
+        );
+        let _ = writeln!(out, "subject  marginal  status");
+        for (i, (m, s)) in self
+            .marginals
+            .iter()
+            .zip(&self.classification.statuses)
+            .enumerate()
+        {
+            let label = match s {
+                SubjectStatus::Positive => "POSITIVE",
+                SubjectStatus::Negative => "negative",
+                SubjectStatus::Undetermined => "???",
+            };
+            let _ = writeln!(out, "{i:>7}  {m:>8.4}  {label}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_every_subject() {
+        let outcome = SessionOutcome {
+            tests: 5,
+            stages: 3,
+            subjects: 3,
+            classification: CohortClassification {
+                statuses: vec![
+                    SubjectStatus::Positive,
+                    SubjectStatus::Negative,
+                    SubjectStatus::Undetermined,
+                ],
+            },
+            marginals: vec![0.999, 0.001, 0.4],
+        };
+        let table = outcome.to_table();
+        assert!(table.contains("POSITIVE"));
+        assert!(table.contains("negative"));
+        assert!(table.contains("???"));
+        assert!(table.contains("tests/subject: 1.667"));
+        assert!((outcome.tests_per_subject() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cohort_ratio_is_zero() {
+        let outcome = SessionOutcome {
+            tests: 0,
+            stages: 0,
+            subjects: 0,
+            classification: CohortClassification { statuses: vec![] },
+            marginals: vec![],
+        };
+        assert_eq!(outcome.tests_per_subject(), 0.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The SBGT session: the framework's public driving surface.
+
+use sbgt_bayes::{
+    analyze, analyze_par, classify_marginals, update_dense, update_dense_par, BayesError,
+    CohortClassification, Observation, PosteriorReport, Prior,
+};
+use sbgt_lattice::kernels::par_marginals;
+use sbgt_lattice::{DensePosterior, State};
+use sbgt_response::BinaryOutcomeModel;
+use sbgt_select::{
+    select_halving_global, select_halving_global_par, select_halving_prefix,
+    select_halving_prefix_par, select_information_gain, select_stage_lookahead, InfoSelection,
+    LookaheadConfig, Selection,
+};
+
+use crate::config::{ExecMode, SbgtConfig};
+use crate::report::SessionOutcome;
+
+/// A live Bayesian group-testing session over one cohort.
+///
+/// The session owns the dense lattice posterior and exposes the paper's
+/// three operation classes (`observe` = lattice manipulation,
+/// `select_next`/`select_stage` = test selection, `report` = statistical
+/// analysis), each dispatching to serial or parallel kernels per the
+/// configured [`ExecMode`].
+pub struct SbgtSession<M> {
+    posterior: DensePosterior,
+    model: M,
+    config: SbgtConfig,
+    history: Vec<(State, bool)>,
+    stages: usize,
+}
+
+impl<M: BinaryOutcomeModel> SbgtSession<M> {
+    /// Open a session from a prior and an assay model.
+    pub fn new(prior: Prior, model: M, config: SbgtConfig) -> Self {
+        SbgtSession {
+            posterior: prior.to_dense(),
+            model,
+            config,
+            history: Vec::new(),
+            stages: 0,
+        }
+    }
+
+    /// Cohort size.
+    pub fn n_subjects(&self) -> usize {
+        self.posterior.n_subjects()
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SbgtConfig {
+        &self.config
+    }
+
+    /// Borrow the current posterior (normalized after every observation).
+    pub fn posterior(&self) -> &DensePosterior {
+        &self.posterior
+    }
+
+    /// Every `(pool, outcome)` observed so far, in order.
+    pub fn history(&self) -> &[(State, bool)] {
+        &self.history
+    }
+
+    /// Number of completed stages (calls to `observe_stage` /
+    /// single-observation stages).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Current posterior marginals.
+    pub fn marginals(&self) -> Vec<f64> {
+        match self.config.exec {
+            ExecMode::Serial => self.posterior.marginals(),
+            ExecMode::Parallel(cfg) => par_marginals(&self.posterior, cfg),
+        }
+    }
+
+    /// Classification under the configured rule.
+    pub fn classify(&self) -> CohortClassification {
+        classify_marginals(&self.marginals(), self.config.rule)
+    }
+
+    /// Ingest one observed pooled test (one stage).
+    /// Returns the model evidence of the observation.
+    pub fn observe(&mut self, pool: State, outcome: bool) -> Result<f64, BayesError> {
+        let obs = Observation::new(pool, outcome);
+        let z = match self.config.exec {
+            ExecMode::Serial => update_dense(&mut self.posterior, &self.model, &obs)?,
+            ExecMode::Parallel(cfg) => {
+                update_dense_par(&mut self.posterior, &self.model, &obs, cfg)?
+            }
+        };
+        self.history.push((pool, outcome));
+        self.stages += 1;
+        Ok(z)
+    }
+
+    /// Ingest a whole stage of observations (look-ahead workflows run
+    /// several pools per lab round). Counts as one stage.
+    pub fn observe_stage(&mut self, observations: &[(State, bool)]) -> Result<(), BayesError> {
+        for &(pool, outcome) in observations {
+            let obs = Observation::new(pool, outcome);
+            match self.config.exec {
+                ExecMode::Serial => update_dense(&mut self.posterior, &self.model, &obs)?,
+                ExecMode::Parallel(cfg) => {
+                    update_dense_par(&mut self.posterior, &self.model, &obs, cfg)?
+                }
+            };
+            self.history.push((pool, outcome));
+        }
+        if !observations.is_empty() {
+            self.stages += 1;
+        }
+        Ok(())
+    }
+
+    /// Unclassified subjects ordered by ascending marginal — the candidate
+    /// ordering for the halving search.
+    pub fn eligible_order(&self) -> Vec<usize> {
+        let marginals = self.marginals();
+        let mut eligible = classify_marginals(&marginals, self.config.rule).undetermined();
+        eligible.sort_by(|&a, &b| marginals[a].total_cmp(&marginals[b]).then(a.cmp(&b)));
+        eligible
+    }
+
+    /// Bayesian Halving Algorithm: the next pool to test, or `None` when
+    /// every subject is already classified.
+    pub fn select_next(&self) -> Option<Selection> {
+        let order = self.eligible_order();
+        match self.config.exec {
+            ExecMode::Serial => {
+                select_halving_prefix(&self.posterior, &order, self.config.max_pool_size)
+            }
+            ExecMode::Parallel(cfg) => {
+                select_halving_prefix_par(&self.posterior, &order, self.config.max_pool_size, cfg)
+            }
+        }
+    }
+
+    /// Globally optimal Bayesian halving over **all** admissible pools of
+    /// the unclassified subjects, priced by one zeta transform
+    /// (`O(N · 2^N)` instead of the prefix rule's `O(2^N)`, exact instead
+    /// of near-optimal). `None` when every subject is classified.
+    pub fn select_next_global(&self) -> Option<Selection> {
+        let order = self.eligible_order();
+        match self.config.exec {
+            ExecMode::Serial => {
+                select_halving_global(&self.posterior, &order, self.config.max_pool_size)
+            }
+            ExecMode::Parallel(_) => {
+                select_halving_global_par(&self.posterior, &order, self.config.max_pool_size)
+            }
+        }
+    }
+
+    /// Information-gain refinement: score the `shortlist` best halving
+    /// prefixes by exact expected entropy reduction and return the most
+    /// informative (see `sbgt_select::information`). `None` when the
+    /// cohort is classified.
+    pub fn select_next_informative(&self, shortlist: usize) -> Option<InfoSelection> {
+        let order = self.eligible_order();
+        select_information_gain(
+            &self.posterior,
+            &self.model,
+            &order,
+            self.config.max_pool_size,
+            shortlist,
+        )
+    }
+
+    /// Look-ahead stage selection: up to `width` pools for one lab round.
+    pub fn select_stage(&self, width: usize) -> Vec<Selection> {
+        let order = self.eligible_order();
+        let cfg = LookaheadConfig {
+            width,
+            max_pool_size: self.config.max_pool_size,
+        };
+        select_stage_lookahead(&self.posterior, &self.model, &order, &cfg)
+    }
+
+    /// Full statistical readout (marginals, entropy, MAP, top-k, rank
+    /// distribution) using the configured kernels.
+    pub fn report(&self, top_k: usize) -> PosteriorReport {
+        match self.config.exec {
+            ExecMode::Serial => analyze(&self.posterior, top_k),
+            ExecMode::Parallel(cfg) => analyze_par(&self.posterior, top_k, cfg),
+        }
+    }
+
+    /// Drive the session to classification against a lab oracle: `lab` is
+    /// called with each selected pool and must return the assay outcome.
+    /// Stops when the cohort is classified, the stage cap is reached, or an
+    /// observation is impossible under the model.
+    pub fn run_to_classification(
+        &mut self,
+        stage_width: usize,
+        mut lab: impl FnMut(State) -> bool,
+    ) -> SessionOutcome {
+        assert!(stage_width >= 1, "stage width must be at least 1");
+        loop {
+            let classification = self.classify();
+            if classification.is_terminal() || self.stages >= self.config.max_stages {
+                return self.outcome(classification);
+            }
+            let selections = if stage_width == 1 {
+                self.select_next().map(|s| vec![s]).unwrap_or_default()
+            } else {
+                self.select_stage(stage_width)
+            };
+            if selections.is_empty() {
+                return self.outcome(classification);
+            }
+            let observations: Vec<(State, bool)> = selections
+                .iter()
+                .map(|s| (s.pool, lab(s.pool)))
+                .collect();
+            if self.observe_stage(&observations).is_err() {
+                return self.outcome(self.classify());
+            }
+        }
+    }
+
+    fn outcome(&self, classification: CohortClassification) -> SessionOutcome {
+        SessionOutcome {
+            tests: self.history.len(),
+            stages: self.stages,
+            subjects: self.n_subjects(),
+            classification,
+            marginals: self.marginals(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_lattice::kernels::ParConfig;
+    use sbgt_response::BinaryDilutionModel;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    fn session(exec: ExecMode) -> SbgtSession<BinaryDilutionModel> {
+        let prior = Prior::from_risks(&[0.02, 0.05, 0.01, 0.1, 0.03, 0.08, 0.02, 0.04]);
+        SbgtSession::new(
+            prior,
+            BinaryDilutionModel::pcr_like(),
+            SbgtConfig {
+                exec,
+                ..SbgtConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serial_and_parallel_sessions_agree() {
+        let mut a = session(ExecMode::Serial);
+        let mut b = session(ExecMode::Parallel(ParConfig {
+            chunk_len: 17,
+            threshold: 0,
+        }));
+        let pool = State::from_subjects([0, 1, 2, 3]);
+        let za = a.observe(pool, true).unwrap();
+        let zb = b.observe(pool, true).unwrap();
+        assert!(close(za, zb));
+        for (x, y) in a.marginals().iter().zip(b.marginals()) {
+            assert!(close(*x, y));
+        }
+        let sa = a.select_next().unwrap();
+        let sb = b.select_next().unwrap();
+        assert_eq!(sa.pool, sb.pool);
+        let ra = a.report(3);
+        let rb = b.report(3);
+        assert!(close(ra.entropy, rb.entropy));
+        assert_eq!(ra.map_state.0, rb.map_state.0);
+    }
+
+    #[test]
+    fn history_and_stage_counting() {
+        let mut s = session(ExecMode::Serial);
+        s.observe(State::from_subjects([0]), false).unwrap();
+        s.observe_stage(&[
+            (State::from_subjects([1]), false),
+            (State::from_subjects([2]), false),
+        ])
+        .unwrap();
+        s.observe_stage(&[]).unwrap(); // empty stage is a no-op
+        assert_eq!(s.history().len(), 3);
+        assert_eq!(s.stages(), 2);
+    }
+
+    #[test]
+    fn run_to_classification_with_perfect_oracle() {
+        let prior = Prior::flat(10, 0.05);
+        let truth = State::from_subjects([4, 9]);
+        let mut s = SbgtSession::new(
+            prior,
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default().serial(),
+        );
+        let outcome = s.run_to_classification(1, |pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        assert_eq!(outcome.classification.positives(), 2);
+        assert!(outcome.classification.statuses[4] == sbgt_bayes::SubjectStatus::Positive);
+        assert!(outcome.classification.statuses[9] == sbgt_bayes::SubjectStatus::Positive);
+        assert_eq!(outcome.tests, s.history().len());
+        assert!(outcome.tests < 10, "group testing must beat individual");
+    }
+
+    #[test]
+    fn run_with_stage_width_uses_fewer_stages() {
+        let truth = State::from_subjects([1, 6]);
+        let mk = || {
+            SbgtSession::new(
+                Prior::flat(10, 0.08),
+                BinaryDilutionModel::pcr_like(),
+                SbgtConfig::default().serial(),
+            )
+        };
+        let mut narrow = mk();
+        let o1 = narrow.run_to_classification(1, |pool| truth.intersects(pool));
+        let mut wide = mk();
+        let o2 = wide.run_to_classification(3, |pool| truth.intersects(pool));
+        assert!(o1.classification.is_terminal());
+        assert!(o2.classification.is_terminal());
+        assert!(
+            o2.stages <= o1.stages,
+            "wide {} vs narrow {}",
+            o2.stages,
+            o1.stages
+        );
+    }
+
+    #[test]
+    fn select_next_none_when_classified() {
+        let prior = Prior::flat(4, 0.02);
+        let mut s = SbgtSession::new(
+            prior,
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default().serial(),
+        );
+        // One all-negative pool classifies everyone at these thresholds.
+        s.observe(State::from_subjects([0, 1, 2, 3]), false).unwrap();
+        assert!(s.classify().is_terminal());
+        assert!(s.select_next().is_none());
+    }
+
+    #[test]
+    fn global_selection_is_no_worse_than_prefix() {
+        let mut s = session(ExecMode::Serial);
+        s.observe(State::from_subjects([0, 1, 2]), true).unwrap();
+        let prefix = s.select_next().unwrap();
+        let global = s.select_next_global().unwrap();
+        assert!(global.distance <= prefix.distance + 1e-12);
+        // And the parallel path agrees with the serial one.
+        let mut p = session(ExecMode::Parallel(ParConfig {
+            chunk_len: 17,
+            threshold: 0,
+        }));
+        p.observe(State::from_subjects([0, 1, 2]), true).unwrap();
+        let global_par = p.select_next_global().unwrap();
+        assert_eq!(global.pool, global_par.pool);
+    }
+
+    #[test]
+    fn informative_selection_bounds() {
+        let mut s = session(ExecMode::Serial);
+        s.observe(State::from_subjects([0, 1]), true).unwrap();
+        let sel = s.select_next_informative(3).unwrap();
+        assert!(sel.information_gain >= 0.0);
+        assert!(sel.information_gain <= 2f64.ln() + 1e-12);
+        assert!(!sel.pool.is_empty());
+    }
+
+    #[test]
+    fn impossible_observation_propagates() {
+        let mut s = SbgtSession::new(
+            Prior::flat(3, 0.1),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default().serial(),
+        );
+        let pool = State::from_subjects([0, 1, 2]);
+        s.observe(pool, false).unwrap();
+        assert!(s.observe(pool, true).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Sparse (pruned-lattice) session — the HiBGT execution mode.
+//!
+//! After a few informative tests the posterior's effective support
+//! collapses (experiment E10); the sparse session exploits that by running
+//! the whole select → observe → classify loop on a pruned
+//! [`SparsePosterior`], re-pruning after every update. For cohorts past
+//! the dense memory wall this is the only way to run; for smaller cohorts
+//! it trades a bounded marginal error (`≲ ε · support` per step) for
+//! order-of-magnitude cheaper updates.
+//!
+//! The surface mirrors [`crate::SbgtSession`]; tests pin the `ε = 0` case
+//! to the dense session bit-for-bit (modulo float reduction order).
+
+use sbgt_bayes::{
+    classify_marginals, update_sparse, BayesError, CohortClassification, Observation, Prior,
+};
+use sbgt_lattice::{SparsePosterior, State};
+use sbgt_response::BinaryOutcomeModel;
+use sbgt_select::{select_halving_prefix_sparse, Selection};
+
+use crate::config::SbgtConfig;
+use crate::report::SessionOutcome;
+
+/// A session whose posterior lives in the pruned sparse representation.
+pub struct SparseSession<M> {
+    posterior: SparsePosterior,
+    model: M,
+    config: SbgtConfig,
+    /// Pruning threshold applied after every observation (`0.0` disables).
+    prune_epsilon: f64,
+    history: Vec<(State, bool)>,
+    stages: usize,
+}
+
+impl<M: BinaryOutcomeModel> SparseSession<M> {
+    /// Open a sparse session. `prune_epsilon` is the per-update relative
+    /// mass threshold below which states are dropped (`1e-9` is a good
+    /// default per E10; `0.0` keeps everything).
+    pub fn new(prior: Prior, model: M, config: SbgtConfig, prune_epsilon: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&prune_epsilon),
+            "prune epsilon {prune_epsilon} outside [0, 1)"
+        );
+        SparseSession {
+            posterior: prior.to_sparse(prune_epsilon),
+            model,
+            config,
+            prune_epsilon,
+            history: Vec::new(),
+            stages: 0,
+        }
+    }
+
+    /// Cohort size.
+    pub fn n_subjects(&self) -> usize {
+        self.posterior.n_subjects()
+    }
+
+    /// Current working-set size (retained states).
+    pub fn support(&self) -> usize {
+        self.posterior.support()
+    }
+
+    /// Total mass discarded by pruning so far.
+    pub fn pruned_mass(&self) -> f64 {
+        self.posterior.pruned_mass()
+    }
+
+    /// Borrow the sparse posterior.
+    pub fn posterior(&self) -> &SparsePosterior {
+        &self.posterior
+    }
+
+    /// Observed history.
+    pub fn history(&self) -> &[(State, bool)] {
+        &self.history
+    }
+
+    /// Stage count.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Posterior marginals over the retained mass.
+    pub fn marginals(&self) -> Vec<f64> {
+        self.posterior.marginals()
+    }
+
+    /// Classification under the configured rule.
+    pub fn classify(&self) -> CohortClassification {
+        classify_marginals(&self.marginals(), self.config.rule)
+    }
+
+    /// Ingest one observation: sparse fused update + re-prune.
+    pub fn observe(&mut self, pool: State, outcome: bool) -> Result<f64, BayesError> {
+        let z = update_sparse(
+            &mut self.posterior,
+            &self.model,
+            &Observation::new(pool, outcome),
+            self.prune_epsilon,
+        )?;
+        self.history.push((pool, outcome));
+        self.stages += 1;
+        Ok(z)
+    }
+
+    /// Halving selection over the retained states (sparse prefix masses).
+    pub fn select_next(&self) -> Option<Selection> {
+        let marginals = self.marginals();
+        let mut eligible = classify_marginals(&marginals, self.config.rule).undetermined();
+        eligible.sort_by(|&a, &b| marginals[a].total_cmp(&marginals[b]).then(a.cmp(&b)));
+        select_halving_prefix_sparse(&self.posterior, &eligible, self.config.max_pool_size)
+    }
+
+    /// Drive to classification against a lab oracle (single pool per
+    /// stage).
+    pub fn run_to_classification(&mut self, mut lab: impl FnMut(State) -> bool) -> SessionOutcome {
+        loop {
+            let classification = self.classify();
+            if classification.is_terminal() || self.stages >= self.config.max_stages {
+                return self.outcome(classification);
+            }
+            let Some(selection) = self.select_next() else {
+                return self.outcome(classification);
+            };
+            let outcome = lab(selection.pool);
+            if self.observe(selection.pool, outcome).is_err() {
+                return self.outcome(self.classify());
+            }
+        }
+    }
+
+    fn outcome(&self, classification: CohortClassification) -> SessionOutcome {
+        SessionOutcome {
+            tests: self.history.len(),
+            stages: self.stages,
+            subjects: self.n_subjects(),
+            classification,
+            marginals: self.marginals(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SbgtSession;
+    use sbgt_response::BinaryDilutionModel;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    fn risks() -> Vec<f64> {
+        vec![0.02, 0.08, 0.03, 0.15, 0.05, 0.1, 0.04]
+    }
+
+    #[test]
+    fn unpruned_sparse_matches_dense_session() {
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = SbgtConfig::default().serial();
+        let mut dense = SbgtSession::new(Prior::from_risks(&risks()), model, cfg);
+        let mut sparse = SparseSession::new(Prior::from_risks(&risks()), model, cfg, 0.0);
+        for (pool, outcome) in [
+            (State::from_subjects([0, 1, 2]), false),
+            (State::from_subjects([3, 4]), true),
+            (State::from_subjects([3]), true),
+        ] {
+            let zd = dense.observe(pool, outcome).unwrap();
+            let zs = sparse.observe(pool, outcome).unwrap();
+            assert!(close(zd, zs));
+        }
+        for (a, b) in dense.marginals().iter().zip(sparse.marginals()) {
+            assert!(close(*a, b));
+        }
+        let sd = dense.select_next().unwrap();
+        let ss = sparse.select_next().unwrap();
+        assert_eq!(sd.pool, ss.pool);
+    }
+
+    #[test]
+    fn pruning_shrinks_support_during_episode() {
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = SbgtConfig::default().serial();
+        let mut s = SparseSession::new(Prior::from_risks(&risks()), model, cfg, 1e-9);
+        let initial = s.support();
+        s.observe(State::from_subjects([0, 1, 2, 3]), false).unwrap();
+        s.observe(State::from_subjects([4, 5, 6]), false).unwrap();
+        assert!(s.support() < initial, "{} !< {initial}", s.support());
+        assert!(s.pruned_mass() > 0.0);
+    }
+
+    #[test]
+    fn sparse_episode_classifies_correctly() {
+        let truth = State::from_subjects([2, 5]);
+        let model = BinaryDilutionModel::perfect();
+        let cfg = SbgtConfig::default().serial();
+        let mut s = SparseSession::new(Prior::flat(8, 0.1), model, cfg, 1e-9);
+        let out = s.run_to_classification(|pool| truth.intersects(pool));
+        assert!(out.classification.is_terminal());
+        assert_eq!(out.classification.positives(), 2);
+        assert!(out.classification.statuses[2] == sbgt_bayes::SubjectStatus::Positive);
+        assert!(out.classification.statuses[5] == sbgt_bayes::SubjectStatus::Positive);
+        assert!(out.tests < 8 * 2, "tests {}", out.tests);
+    }
+
+    #[test]
+    fn aggressive_pruning_still_tracks_truth_with_perfect_assay() {
+        // With a perfect assay, the true state's mass only ever grows
+        // relatively, so even harsh pruning keeps it.
+        let truth = State::from_subjects([1]);
+        let model = BinaryDilutionModel::perfect();
+        let cfg = SbgtConfig::default().serial();
+        let mut s = SparseSession::new(Prior::flat(8, 0.05), model, cfg, 1e-3);
+        let out = s.run_to_classification(|pool| truth.intersects(pool));
+        assert!(out.classification.is_terminal());
+        assert_eq!(out.classification.positives(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune epsilon")]
+    fn epsilon_validated() {
+        let model = BinaryDilutionModel::pcr_like();
+        let _ = SparseSession::new(
+            Prior::flat(3, 0.1),
+            model,
+            SbgtConfig::default(),
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Accumulators: commutative write-only aggregates updated from tasks.
+//!
+//! SBGT uses accumulators for normalization constants and mass sums computed
+//! alongside a map pass (fusing the "multiply by likelihood" and "sum for
+//! normalization" stages into one traversal — a material win over a naive
+//! two-pass framework). Floating-point accumulation uses a compare-exchange
+//! loop over the bit pattern; the result is order-dependent at the ULP level
+//! exactly like any parallel reduction, which the numerical tests account
+//! for with tolerances.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `f64` sum accumulator usable concurrently from many tasks.
+#[derive(Debug, Default)]
+pub struct SumAccumulator {
+    bits: AtomicU64,
+}
+
+impl SumAccumulator {
+    /// New accumulator starting at 0.0.
+    pub fn new() -> Self {
+        SumAccumulator {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Add `delta` to the accumulator.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value. Only meaningful after all writers have finished (i.e.
+    /// past a job barrier).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Reset to 0.0.
+    pub fn reset(&self) {
+        self.bits.store(0.0f64.to_bits(), Ordering::Release);
+    }
+}
+
+/// A `u64` counting accumulator.
+#[derive(Debug, Default)]
+pub struct CountAccumulator {
+    count: AtomicU64,
+}
+
+impl CountAccumulator {
+    /// New counter starting at 0.
+    pub fn new() -> Self {
+        CountAccumulator {
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count (meaningful past a job barrier).
+    pub fn value(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Reset to 0.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sum_accumulates_exact_halves() {
+        // Powers of two sum exactly in f64 regardless of order.
+        let acc = Arc::new(SumAccumulator::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let acc = Arc::clone(&acc);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        acc.add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(acc.value(), 4000.0);
+    }
+
+    #[test]
+    fn sum_reset() {
+        let acc = SumAccumulator::new();
+        acc.add(1.5);
+        acc.reset();
+        assert_eq!(acc.value(), 0.0);
+    }
+
+    #[test]
+    fn count_accumulates() {
+        let acc = Arc::new(CountAccumulator::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let acc = Arc::clone(&acc);
+                std::thread::spawn(move || {
+                    for _ in 0..2500 {
+                        acc.add(2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(acc.value(), 20_000);
+        acc.reset();
+        assert_eq!(acc.value(), 0);
+    }
+
+    #[test]
+    fn negative_deltas() {
+        let acc = SumAccumulator::new();
+        acc.add(10.0);
+        acc.add(-4.0);
+        assert!((acc.value() - 6.0).abs() < 1e-12);
+    }
+}

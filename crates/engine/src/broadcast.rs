@@ -1,0 +1,92 @@
+//! Broadcast variables.
+//!
+//! In Spark, a broadcast variable ships one read-only copy of a value to
+//! every executor instead of one copy per task. In-process the analogue is
+//! an [`std::sync::Arc`]: tasks clone the handle (a refcount bump), never
+//! the payload. SBGT broadcasts pool masks and per-pool likelihood tables
+//! this way — the table has only `pool_size + 1` entries regardless of the
+//! `2^N` lattice size, which is one of the framework's key constant-factor
+//! wins.
+
+use std::sync::Arc;
+
+/// A read-only value shared with every task of a job.
+pub struct Broadcast<T: ?Sized> {
+    inner: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    /// Wrap a value for broadcast.
+    pub fn new(value: T) -> Self {
+        Broadcast {
+            inner: Arc::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Broadcast<T> {
+    /// Access the broadcast value.
+    pub fn value(&self) -> &T {
+        &self.inner
+    }
+
+    /// Number of live handles (diagnostics).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl<T: ?Sized> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for Broadcast<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Broadcast").field(&&*self.inner).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_payload() {
+        let b = Broadcast::new(vec![1.0f64; 1000]);
+        let c = b.clone();
+        assert!(std::ptr::eq(b.value().as_ptr(), c.value().as_ptr()));
+        assert_eq!(b.handle_count(), 2);
+    }
+
+    #[test]
+    fn deref_reads_value() {
+        let b = Broadcast::new(42u32);
+        assert_eq!(*b, 42);
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let b = Broadcast::new(vec![1u64, 2, 3]);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || b.value().iter().sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 6);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for engine operations.
+
+/// Convenience alias used across the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors surfaced by engine jobs and dataset operations.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A task closure panicked on an executor thread. The panic payload is
+    /// rendered to a string when it is a `&str`/`String`, otherwise a
+    /// placeholder is used.
+    TaskPanicked {
+        /// Index of the task within its job.
+        task: usize,
+        /// Rendered panic message.
+        message: String,
+    },
+    /// The executor pool shut down while a job was in flight.
+    PoolShutDown,
+    /// Two datasets were combined with incompatible partitioning.
+    PartitionMismatch {
+        /// Partition count of the left operand.
+        left: usize,
+        /// Partition count of the right operand.
+        right: usize,
+    },
+    /// An operation required a non-empty dataset but the dataset was empty.
+    EmptyDataset,
+    /// A caller-supplied parameter was invalid (e.g. zero partitions).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::TaskPanicked { task, message } => {
+                write!(f, "task {task} panicked: {message}")
+            }
+            EngineError::PoolShutDown => write!(f, "executor pool shut down"),
+            EngineError::PartitionMismatch { left, right } => write!(
+                f,
+                "partition mismatch: left has {left} partitions, right has {right}"
+            ),
+            EngineError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            EngineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Render a panic payload into a readable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = EngineError::TaskPanicked {
+            task: 3,
+            message: "x".into(),
+        };
+        assert_eq!(e.to_string(), "task 3 panicked: x");
+        assert_eq!(
+            EngineError::PartitionMismatch { left: 2, right: 4 }.to_string(),
+            "partition mismatch: left has 2 partitions, right has 4"
+        );
+        assert_eq!(EngineError::PoolShutDown.to_string(), "executor pool shut down");
+        assert_eq!(
+            EngineError::EmptyDataset.to_string(),
+            "operation requires a non-empty dataset"
+        );
+        assert_eq!(
+            EngineError::InvalidArgument("bad".into()).to_string(),
+            "invalid argument: bad"
+        );
+    }
+
+    #[test]
+    fn panic_message_variants() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(panic_message(boxed.as_ref()), "static");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(boxed.as_ref()), "owned");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(17u8);
+        assert_eq!(panic_message(boxed.as_ref()), "<non-string panic payload>");
+    }
+}

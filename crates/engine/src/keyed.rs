@@ -1,0 +1,203 @@
+//! Additional keyed-dataset operators: distributed sort and inner join.
+//!
+//! These round out the Spark-substitute surface used by the surveillance
+//! pipelines: sorting cohort results for reporting, and joining per-cohort
+//! metrics against cohort metadata. Both follow the classic two-stage
+//! shapes — sample-based range partitioning for the sort, hash
+//! co-partitioning for the join.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::partitioner::HashPartitioner;
+use crate::Engine;
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Ord + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Globally sort by key into `parts` partitions: partition `i` holds
+    /// keys ≤ partition `i+1`'s, and each partition is internally sorted.
+    ///
+    /// Range bounds come from sampling up to `sample_per_part` keys per
+    /// input partition (Spark's `RangePartitioner` approach); skewed inputs
+    /// degrade balance but never correctness.
+    pub fn sort_by_key(&self, engine: &Engine, parts: usize, sample_per_part: usize) -> Dataset<(K, V)> {
+        let parts = parts.max(1);
+        if self.is_empty() {
+            return Dataset::from_partitions((0..parts).map(|_| Vec::new()).collect());
+        }
+        // Driver-side sampling: take evenly spaced keys from each partition.
+        let mut sample: Vec<K> = Vec::new();
+        for p in 0..self.num_partitions() {
+            let part = self.partition(p);
+            if part.is_empty() {
+                continue;
+            }
+            let step = (part.len() / sample_per_part.max(1)).max(1);
+            sample.extend(part.iter().step_by(step).map(|(k, _)| k.clone()));
+        }
+        sample.sort();
+        let bounds: Vec<K> = (1..parts)
+            .filter_map(|i| {
+                let idx = i * sample.len() / parts;
+                sample.get(idx).cloned()
+            })
+            .collect();
+        let bounds = Arc::new(bounds);
+
+        // Map side: bucket records by range.
+        let b2 = Arc::clone(&bounds);
+        let bucketed: Dataset<Vec<(K, V)>> = self.map_partitions(engine, move |_, records| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+            for (k, v) in records {
+                let target = b2.partition_point(|b| b <= k);
+                buckets[target].push((k.clone(), v.clone()));
+            }
+            buckets
+        });
+        // Reduce side: concatenate and sort each range.
+        let handles = bucketed.partition_handles().to_vec();
+        let tasks: Vec<_> = (0..parts)
+            .map(|target| {
+                let handles = handles.clone();
+                move || {
+                    let mut out: Vec<(K, V)> = Vec::new();
+                    for h in &handles {
+                        out.extend(h[target].iter().cloned());
+                    }
+                    out.sort_by(|a, b| a.0.cmp(&b.0));
+                    out
+                }
+            })
+            .collect();
+        let parts_vec = engine.run_job("sort_reduce", tasks).expect("sort failed");
+        Dataset::from_partitions(parts_vec)
+    }
+
+    /// Inner hash join: for every key present in both datasets, emit one
+    /// record per value pair. Output partition count is `parts`.
+    pub fn join<W>(
+        &self,
+        engine: &Engine,
+        other: &Dataset<(K, W)>,
+        parts: usize,
+    ) -> Dataset<(K, (V, W))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let partitioner = Arc::new(HashPartitioner::new(parts));
+        let left = self.shuffle_with(engine, Arc::clone(&partitioner));
+        let right = other.shuffle_with(engine, partitioner);
+        // Co-partitioned: join each partition pair locally.
+        let left_handles = left.partition_handles().to_vec();
+        let right_handles = right.partition_handles().to_vec();
+        let tasks: Vec<_> = (0..left_handles.len())
+            .map(|p| {
+                let lh = Arc::clone(&left_handles[p]);
+                let rh = Arc::clone(&right_handles[p]);
+                move || {
+                    let mut table: HashMap<K, Vec<V>> = HashMap::new();
+                    for (k, v) in lh.iter() {
+                        table.entry(k.clone()).or_default().push(v.clone());
+                    }
+                    let mut out = Vec::new();
+                    for (k, w) in rh.iter() {
+                        if let Some(vs) = table.get(k) {
+                            for v in vs {
+                                out.push((k.clone(), (v.clone(), w.clone())));
+                            }
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        let parts_vec = engine.run_job("join", tasks).expect("join failed");
+        Dataset::from_partitions(parts_vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default().with_threads(2))
+    }
+
+    #[test]
+    fn sort_orders_globally() {
+        let e = engine();
+        let data: Vec<(i64, i64)> = (0..200).map(|i| ((i * 37) % 101, i)).collect();
+        let ds = Dataset::from_vec(data.clone(), 7);
+        let sorted = ds.sort_by_key(&e, 4, 8);
+        assert_eq!(sorted.len(), 200);
+        let keys: Vec<i64> = sorted.iter().map(|(k, _)| *k).collect();
+        let mut expected: Vec<i64> = data.iter().map(|(k, _)| *k).collect();
+        expected.sort();
+        assert_eq!(keys, expected);
+        // Partition boundaries respect the order.
+        for p in 0..sorted.num_partitions() - 1 {
+            if let (Some(last), Some(first)) = (
+                sorted.partition(p).last(),
+                sorted.partition(p + 1).first(),
+            ) {
+                assert!(last.0 <= first.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_empty_and_single() {
+        let e = engine();
+        let empty: Dataset<(u32, u32)> = Dataset::from_vec(vec![], 3);
+        assert!(empty.sort_by_key(&e, 3, 4).is_empty());
+        let single = Dataset::from_vec(vec![(5u32, 1u32)], 2);
+        assert_eq!(single.sort_by_key(&e, 3, 4).collect(), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn sort_with_heavy_skew_is_correct() {
+        let e = engine();
+        let data: Vec<(u8, u32)> = (0..100).map(|i| (7u8, i)).collect(); // one key
+        let ds = Dataset::from_vec(data, 5);
+        let sorted = ds.sort_by_key(&e, 4, 4);
+        assert_eq!(sorted.len(), 100);
+        assert!(sorted.iter().all(|(k, _)| *k == 7));
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        let e = engine();
+        let left: Vec<(u32, &'static str)> =
+            vec![(1, "a"), (2, "b"), (2, "b2"), (3, "c")];
+        let right: Vec<(u32, i32)> = vec![(2, 20), (3, 30), (3, 31), (4, 40)];
+        let l = Dataset::from_vec(left.clone(), 2);
+        let r = Dataset::from_vec(right.clone(), 3);
+        let mut joined = l.join(&e, &r, 4).collect();
+        joined.sort();
+        let mut expected = Vec::new();
+        for (k, v) in &left {
+            for (k2, w) in &right {
+                if k == k2 {
+                    expected.push((*k, (*v, *w)));
+                }
+            }
+        }
+        expected.sort();
+        assert_eq!(joined, expected);
+    }
+
+    #[test]
+    fn join_disjoint_keys_is_empty() {
+        let e = engine();
+        let l = Dataset::from_vec(vec![(1u32, 1u32)], 1);
+        let r = Dataset::from_vec(vec![(2u32, 2u32)], 1);
+        assert!(l.join(&e, &r, 2).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Job/task metrics — the in-process analogue of the Spark stage UI.
+//!
+//! The benchmark harness uses these timings to report the per-operation
+//! breakdown tables (experiment E9) and to verify that work is actually
+//! distributed across tasks rather than serialized on the driver.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Timing of one task within a job.
+#[derive(Debug, Clone)]
+pub struct TaskMetrics {
+    /// Task index within its job.
+    pub index: usize,
+    /// Wall-clock duration of the task body on its executor.
+    pub duration: Duration,
+}
+
+/// Timing summary of one job (a batch of tasks with a barrier).
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// Job name as passed to [`crate::Engine::run_job`].
+    pub name: String,
+    /// Per-task timings (empty when the job failed).
+    pub tasks: Vec<TaskMetrics>,
+    /// End-to-end wall time including scheduling.
+    pub wall: Duration,
+    /// Whether every task completed without panicking.
+    pub succeeded: bool,
+}
+
+impl JobMetrics {
+    /// Sum of task durations (total executor CPU-ish time).
+    pub fn total_task_time(&self) -> Duration {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Longest single task (the stage's critical path).
+    pub fn max_task_time(&self) -> Duration {
+        self.tasks
+            .iter()
+            .map(|t| t.duration)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Ratio of total task time to (wall * tasks) — a crude utilization
+    /// figure in [0, 1] when tasks outnumber threads.
+    pub fn skew(&self) -> f64 {
+        let max = self.max_task_time().as_secs_f64();
+        let total = self.total_task_time().as_secs_f64();
+        if total <= 0.0 || self.tasks.is_empty() {
+            return 0.0;
+        }
+        max * self.tasks.len() as f64 / total
+    }
+}
+
+/// Registry of all jobs an engine has run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    jobs: Mutex<Vec<JobMetrics>>,
+    broadcasts: std::sync::atomic::AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed (or failed) job.
+    pub fn record_job(&self, metrics: JobMetrics) {
+        self.jobs.lock().push(metrics);
+    }
+
+    /// Record a broadcast creation.
+    pub fn record_broadcast(&self) {
+        self.broadcasts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of broadcasts created.
+    pub fn broadcast_count(&self) -> u64 {
+        self.broadcasts.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Snapshot of all recorded jobs, in completion order.
+    pub fn jobs(&self) -> Vec<JobMetrics> {
+        self.jobs.lock().clone()
+    }
+
+    /// Total wall time of jobs whose name starts with `prefix`.
+    pub fn wall_time_for(&self, prefix: &str) -> Duration {
+        self.jobs
+            .lock()
+            .iter()
+            .filter(|j| j.name.starts_with(prefix))
+            .map(|j| j.wall)
+            .sum()
+    }
+
+    /// Number of recorded jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// Drop all recorded jobs (between benchmark phases).
+    pub fn clear(&self) {
+        self.jobs.lock().clear();
+        self.broadcasts
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(name: &str, task_ms: &[u64], wall_ms: u64) -> JobMetrics {
+        JobMetrics {
+            name: name.into(),
+            tasks: task_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| TaskMetrics {
+                    index: i,
+                    duration: Duration::from_millis(ms),
+                })
+                .collect(),
+            wall: Duration::from_millis(wall_ms),
+            succeeded: true,
+        }
+    }
+
+    #[test]
+    fn totals_and_max() {
+        let j = job("x", &[10, 20, 30], 35);
+        assert_eq!(j.total_task_time(), Duration::from_millis(60));
+        assert_eq!(j.max_task_time(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn skew_balanced_is_one() {
+        let j = job("x", &[10, 10, 10, 10], 40);
+        assert!((j.skew() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_empty_is_zero() {
+        let j = job("x", &[], 40);
+        assert_eq!(j.skew(), 0.0);
+    }
+
+    #[test]
+    fn registry_filters_by_prefix() {
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("update:0", &[5], 5));
+        reg.record_job(job("update:1", &[7], 7));
+        reg.record_job(job("select:0", &[100], 100));
+        assert_eq!(reg.wall_time_for("update"), Duration::from_millis(12));
+        assert_eq!(reg.job_count(), 3);
+        reg.clear();
+        assert_eq!(reg.job_count(), 0);
+    }
+
+    #[test]
+    fn registry_counts_broadcasts() {
+        let reg = MetricsRegistry::new();
+        reg.record_broadcast();
+        reg.record_broadcast();
+        assert_eq!(reg.broadcast_count(), 2);
+        reg.clear();
+        assert_eq!(reg.broadcast_count(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Partitioning strategies.
+//!
+//! Datasets are split into contiguous partitions; shuffles route records to
+//! target partitions with a [`Partitioner`]. The hash partitioner uses the
+//! FxHash multiplication-based mixing function (fast, adequate quality for
+//! in-process shuffles; HashDoS resistance is irrelevant here — see the
+//! perf-book guidance on hash function choice).
+
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+/// Split `len` items into `parts` contiguous ranges whose sizes differ by at
+/// most one. Returns exactly `parts` ranges (possibly empty trailing ones
+/// when `len < parts`).
+///
+/// The first `len % parts` ranges get one extra element, which keeps the
+/// longest-partition length minimal — the property that bounds stage wall
+/// time in a barrier-synchronized dataflow.
+pub fn partition_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Maps a record key to a target partition index.
+pub trait Partitioner<K: ?Sized>: Send + Sync {
+    /// Total number of target partitions.
+    fn num_partitions(&self) -> usize;
+    /// Target partition for `key`; must be `< num_partitions()`.
+    fn partition(&self, key: &K) -> usize;
+}
+
+/// Hash partitioner over any `Hash` key.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    parts: usize,
+}
+
+impl HashPartitioner {
+    /// Create a hash partitioner targeting `parts` partitions (at least 1).
+    pub fn new(parts: usize) -> Self {
+        HashPartitioner { parts: parts.max(1) }
+    }
+}
+
+impl<K: Hash + ?Sized> Partitioner<K> for HashPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.parts
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        let mut hasher = FxHasher::default();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.parts as u64) as usize
+    }
+}
+
+/// Range partitioner for `u64` keys distributed over a known span, used to
+/// shard lattice state indices contiguously (state index = array index, so
+/// contiguous shards keep kernels gather-free).
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    parts: usize,
+    span: u64,
+}
+
+impl RangePartitioner {
+    /// Partitioner for keys in `0..span` into `parts` contiguous ranges.
+    pub fn new(parts: usize, span: u64) -> Self {
+        RangePartitioner {
+            parts: parts.max(1),
+            span: span.max(1),
+        }
+    }
+}
+
+impl Partitioner<u64> for RangePartitioner {
+    fn num_partitions(&self) -> usize {
+        self.parts
+    }
+
+    fn partition(&self, key: &u64) -> usize {
+        let key = (*key).min(self.span - 1);
+        // Mirror partition_ranges: first `extra` ranges are one larger.
+        let base = self.span / self.parts as u64;
+        let extra = self.span % self.parts as u64;
+        let boundary = extra * (base + 1);
+        if key < boundary {
+            (key / (base + 1)) as usize
+        } else if base == 0 {
+            // span < parts: everything past the boundary is out of range of
+            // the sized partitions; clamp to the last non-empty one.
+            (extra.saturating_sub(1)) as usize
+        } else {
+            (extra + (key - boundary) / base) as usize
+        }
+    }
+}
+
+/// FxHash: the rustc hash function (multiply + rotate mixing).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 16, 100, 1023] {
+            for parts in [1usize, 2, 3, 8, 50] {
+                let ranges = partition_ranges(len, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    expected_start = r.end;
+                }
+                assert_eq!(expected_start, len);
+                let sizes: Vec<_> = ranges.iter().map(|r| r.len()).collect();
+                let max = sizes.iter().max().unwrap();
+                let min = sizes.iter().min().unwrap();
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_parts_clamps() {
+        let ranges = partition_ranges(10, 0);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0], 0..10);
+    }
+
+    #[test]
+    fn hash_partitioner_in_range() {
+        let p = HashPartitioner::new(7);
+        for key in 0u64..1000 {
+            let idx = p.partition(&key);
+            assert!(idx < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p = HashPartitioner::new(8);
+        let mut counts = [0usize; 8];
+        for key in 0u64..8000 {
+            counts[p.partition(&key)] += 1;
+        }
+        // Expect roughly 1000 per bucket; allow generous slack.
+        for &c in &counts {
+            assert!(c > 500 && c < 1500, "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_matches_partition_ranges() {
+        for span in [1u64, 5, 16, 100, 1000] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let ranges = partition_ranges(span as usize, parts);
+                let p = RangePartitioner::new(parts, span);
+                for key in 0..span {
+                    let expected = ranges
+                        .iter()
+                        .position(|r| r.contains(&(key as usize)))
+                        .unwrap();
+                    assert_eq!(
+                        p.partition(&key),
+                        expected,
+                        "span={span} parts={parts} key={key}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_partitioner_clamps_out_of_span() {
+        let p = RangePartitioner::new(4, 100);
+        assert!(Partitioner::<u64>::partition(&p, &1_000_000) < 4);
+    }
+
+    #[test]
+    fn fxhasher_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        "hello world".hash(&mut a);
+        "hello world".hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,219 @@
+//! Task retry — the engine's fault-containment layer.
+//!
+//! Spark re-executes failed tasks up to `spark.task.maxFailures` before
+//! failing the job; long surveillance runs rely on that to survive flaky
+//! executors. The in-process analogue retries a panicking task closure a
+//! bounded number of times. Retryable tasks are `Fn` (re-invocable) rather
+//! than the one-shot `FnOnce` of [`crate::ThreadPool::run_tasks`]; task
+//! closures must therefore be idempotent, exactly like Spark tasks.
+
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::{Engine, JobMetrics, TaskMetrics};
+
+/// Policy for retrying failed tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per task (≥ 1; 1 means no retry).
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Spark's default is 4 attempts.
+        RetryPolicy { max_attempts: 4 }
+    }
+}
+
+impl Engine {
+    /// Run a job whose tasks are retried on panic per `policy`.
+    ///
+    /// Returns the results in task order, plus the total number of retries
+    /// that occurred. Fails with [`EngineError::TaskPanicked`] only after a
+    /// task exhausts its attempts; earlier attempts' panics are contained.
+    pub fn run_job_retrying<T, F>(
+        &self,
+        name: &str,
+        tasks: Vec<F>,
+        policy: RetryPolicy,
+    ) -> Result<(Vec<T>, usize)>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        let start = std::time::Instant::now();
+        let tasks: Vec<Arc<F>> = tasks.into_iter().map(Arc::new).collect();
+
+        // Attempt loop: resubmit only the failed task indices each round.
+        let mut pending: Vec<usize> = (0..tasks.len()).collect();
+        let mut slots: Vec<Option<T>> = (0..tasks.len()).map(|_| None).collect();
+        let mut durations: Vec<std::time::Duration> = vec![Default::default(); tasks.len()];
+        let mut retries = 0usize;
+        let mut last_error: Option<(usize, String)> = None;
+
+        for attempt in 0..policy.max_attempts {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                retries += pending.len();
+            }
+            let round: Vec<_> = pending
+                .iter()
+                .map(|&idx| {
+                    let task = Arc::clone(&tasks[idx]);
+                    move || {
+                        let started = std::time::Instant::now();
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            task()
+                        }));
+                        (out, started.elapsed())
+                    }
+                })
+                .collect();
+            let outcomes = self.pool().run_tasks(round)?;
+            let mut still_pending = Vec::new();
+            for (slot_pos, result) in pending.iter().zip(outcomes) {
+                let (outcome, duration) = result.value;
+                match outcome {
+                    Ok(value) => {
+                        slots[*slot_pos] = Some(value);
+                        durations[*slot_pos] = duration;
+                    }
+                    Err(payload) => {
+                        last_error = Some((
+                            *slot_pos,
+                            crate::error::panic_message(payload.as_ref()),
+                        ));
+                        still_pending.push(*slot_pos);
+                    }
+                }
+            }
+            pending = still_pending;
+        }
+
+        let succeeded = pending.is_empty();
+        self.metrics().record_job(JobMetrics {
+            name: name.to_string(),
+            tasks: durations
+                .iter()
+                .enumerate()
+                .map(|(index, &duration)| TaskMetrics { index, duration })
+                .collect(),
+            wall: start.elapsed(),
+            succeeded,
+        });
+        if !succeeded {
+            let (task, message) = last_error.expect("pending implies a recorded failure");
+            return Err(EngineError::TaskPanicked { task, message });
+        }
+        Ok((
+            slots.into_iter().map(|s| s.expect("all slots filled")).collect(),
+            retries,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default().with_threads(2))
+    }
+
+    #[test]
+    fn no_failures_no_retries() {
+        let e = engine();
+        let tasks: Vec<_> = (0..6).map(|i| move || i * 2).collect();
+        let (out, retries) = e
+            .run_job_retrying("clean", tasks, RetryPolicy::default())
+            .unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn flaky_task_succeeds_on_retry() {
+        let e = engine();
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let a = Arc::clone(&attempts);
+        // Fails twice, then succeeds.
+        let flaky = move || {
+            let n = a.fetch_add(1, Ordering::SeqCst);
+            if n < 2 {
+                panic!("transient failure {n}");
+            }
+            99
+        };
+        let (out, retries) = e
+            .run_job_retrying("flaky", vec![flaky], RetryPolicy { max_attempts: 4 })
+            .unwrap();
+        assert_eq!(out, vec![99]);
+        assert_eq!(retries, 2);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn permanent_failure_exhausts_attempts() {
+        let e = engine();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let doomed = move || -> i32 {
+            c.fetch_add(1, Ordering::SeqCst);
+            panic!("permanent");
+        };
+        let err = e
+            .run_job_retrying("doomed", vec![doomed], RetryPolicy { max_attempts: 3 })
+            .unwrap_err();
+        match err {
+            EngineError::TaskPanicked { task: 0, message } => {
+                assert_eq!(message, "permanent");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        // The failed job is recorded as such.
+        let jobs = e.metrics().jobs();
+        assert!(!jobs.last().unwrap().succeeded);
+    }
+
+    #[test]
+    fn only_failed_tasks_are_retried() {
+        let e = engine();
+        let good_calls = Arc::new(AtomicUsize::new(0));
+        let flaky_calls = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&good_calls);
+        let f = Arc::clone(&flaky_calls);
+        let tasks: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![
+            Box::new(move || {
+                g.fetch_add(1, Ordering::SeqCst);
+                1
+            }),
+            Box::new(move || {
+                if f.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("once");
+                }
+                2
+            }),
+        ];
+        let (out, retries) = e
+            .run_job_retrying("partial", tasks, RetryPolicy::default())
+            .unwrap();
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(retries, 1);
+        assert_eq!(good_calls.load(Ordering::SeqCst), 1, "good task ran once");
+        assert_eq!(flaky_calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let e = engine();
+        let _ = e.run_job_retrying("bad", vec![|| 1], RetryPolicy { max_attempts: 0 });
+    }
+}

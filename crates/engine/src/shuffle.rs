@@ -1,0 +1,196 @@
+//! Shuffle operations for keyed datasets.
+//!
+//! A shuffle is the all-to-all exchange between two stages: every input
+//! partition buckets its records by target partition (the "map side"), then
+//! target partitions are assembled from the buckets (the "reduce side").
+//! SBGT shuffles subjects into pooling batches and groups per-pool records;
+//! the lattice kernels themselves are shuffle-free by construction (range
+//! sharding keeps state indices contiguous).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::partitioner::{HashPartitioner, Partitioner};
+use crate::Engine;
+
+/// Extension methods available on datasets of `(K, V)` pairs.
+impl<K, V> Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Hash-shuffle into `parts` partitions so all records with equal keys
+    /// land in the same partition.
+    pub fn shuffle_by_key(&self, engine: &Engine, parts: usize) -> Dataset<(K, V)> {
+        let partitioner = Arc::new(HashPartitioner::new(parts));
+        self.shuffle_with(engine, partitioner)
+    }
+
+    /// Shuffle with an arbitrary partitioner.
+    pub fn shuffle_with<P>(&self, engine: &Engine, partitioner: Arc<P>) -> Dataset<(K, V)>
+    where
+        P: Partitioner<K> + 'static,
+    {
+        let parts = partitioner.num_partitions();
+        // Map side: each input partition produces `parts` buckets.
+        let p2 = Arc::clone(&partitioner);
+        let bucketed: Dataset<Vec<(K, V)>> = self.map_partitions(engine, move |_, records| {
+            let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+            for (k, v) in records {
+                buckets[p2.partition(k)].push((k.clone(), v.clone()));
+            }
+            buckets
+        });
+        // Reduce side: concatenate bucket `t` from every map output.
+        let handles: Vec<Arc<Vec<Vec<(K, V)>>>> =
+            bucketed.partition_handles().to_vec();
+        let tasks: Vec<_> = (0..parts)
+            .map(|target| {
+                let handles = handles.clone();
+                move || {
+                    let mut out = Vec::new();
+                    // Each map partition produced exactly `parts` records,
+                    // record `t` being the bucket destined for partition `t`.
+                    for h in &handles {
+                        out.extend(h[target].iter().cloned());
+                    }
+                    out
+                }
+            })
+            .collect();
+        let parts_vec = engine
+            .run_job("shuffle_reduce", tasks)
+            .expect("shuffle reduce failed");
+        Dataset::from_partitions(parts_vec)
+    }
+
+    /// Group values by key: shuffle then assemble `(K, Vec<V>)` per key.
+    /// Key order within the output is unspecified; value order within a key
+    /// follows partition order of the input.
+    pub fn group_by_key(&self, engine: &Engine, parts: usize) -> Dataset<(K, Vec<V>)> {
+        let shuffled = self.shuffle_by_key(engine, parts);
+        shuffled.map_partitions(engine, |_, records| {
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in records {
+                groups.entry(k.clone()).or_default().push(v.clone());
+            }
+            groups.into_iter().collect()
+        })
+    }
+
+    /// Reduce values per key with a commutative, associative operation.
+    pub fn reduce_by_key<F>(&self, engine: &Engine, parts: usize, f: F) -> Dataset<(K, V)>
+    where
+        F: Fn(&V, &V) -> V + Send + Sync + 'static,
+    {
+        // Map-side combine first (the optimization Spark calls a combiner):
+        // shrink each partition to one record per key before shuffling.
+        let f = Arc::new(f);
+        let f1 = Arc::clone(&f);
+        let combined: Dataset<(K, V)> = self.map_partitions(engine, move |_, records| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in records {
+                match acc.get_mut(k) {
+                    Some(existing) => *existing = f1(existing, v),
+                    None => {
+                        acc.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        });
+        let shuffled = combined.shuffle_by_key(engine, parts);
+        let f2 = Arc::clone(&f);
+        shuffled.map_partitions(engine, move |_, records| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in records {
+                match acc.get_mut(k) {
+                    Some(existing) => *existing = f2(existing, v),
+                    None => {
+                        acc.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default().with_threads(2))
+    }
+
+    #[test]
+    fn shuffle_colocates_keys() {
+        let e = engine();
+        let data: Vec<(u64, u64)> = (0..200).map(|i| (i % 10, i)).collect();
+        let ds = Dataset::from_vec(data, 8);
+        let shuffled = ds.shuffle_by_key(&e, 4);
+        assert_eq!(shuffled.len(), 200);
+        // Every key must appear in exactly one partition.
+        for key in 0u64..10 {
+            let holders = (0..shuffled.num_partitions())
+                .filter(|&p| shuffled.partition(p).iter().any(|(k, _)| *k == key))
+                .count();
+            assert_eq!(holders, 1, "key {key} split across partitions");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let e = engine();
+        let data: Vec<(u32, u32)> = (0..97).map(|i| (i * 7 % 13, i)).collect();
+        let ds = Dataset::from_vec(data.clone(), 5);
+        let mut before: Vec<_> = data;
+        let mut after = ds.shuffle_by_key(&e, 3).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let e = engine();
+        let data: Vec<(u8, u32)> = (0..60).map(|i| ((i % 3) as u8, i)).collect();
+        let ds = Dataset::from_vec(data, 6);
+        let grouped = ds.group_by_key(&e, 2);
+        let mut groups = grouped.collect();
+        groups.sort_by_key(|(k, _)| *k);
+        assert_eq!(groups.len(), 3);
+        for (k, vs) in groups {
+            assert_eq!(vs.len(), 20, "key {k}");
+            for v in vs {
+                assert_eq!(v % 3, u32::from(k));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let e = engine();
+        let data: Vec<(u8, u64)> = (1..=100).map(|i| ((i % 4) as u8, i)).collect();
+        let ds = Dataset::from_vec(data, 7);
+        let mut reduced = ds.reduce_by_key(&e, 3, |a, b| a + b).collect();
+        reduced.sort_by_key(|(k, _)| *k);
+        let expected: Vec<(u8, u64)> = (0..4u8)
+            .map(|k| (k, (1..=100u64).filter(|i| (i % 4) as u8 == k).sum()))
+            .collect();
+        assert_eq!(reduced, expected);
+    }
+
+    #[test]
+    fn shuffle_empty_dataset() {
+        let e = engine();
+        let ds: Dataset<(u64, u64)> = Dataset::from_vec(vec![], 4);
+        let s = ds.shuffle_by_key(&e, 4);
+        assert!(s.is_empty());
+        assert_eq!(s.num_partitions(), 4);
+    }
+}

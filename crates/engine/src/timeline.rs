@@ -1,0 +1,141 @@
+//! Textual stage timeline — the terminal-friendly Spark UI.
+//!
+//! Renders a [`crate::MetricsRegistry`] snapshot as a per-job table plus an
+//! ASCII bar per task, scaled to the slowest task. Useful when tuning
+//! partition counts: a stage with one long bar and many short ones is
+//! skewed; uniformly short bars with a long wall time means scheduling
+//! overhead dominates.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::metrics::{JobMetrics, MetricsRegistry};
+
+/// Render every recorded job as a compact text timeline.
+pub fn render_timeline(registry: &MetricsRegistry) -> String {
+    let jobs = registry.jobs();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} job(s), {} broadcast(s)",
+        jobs.len(),
+        registry.broadcast_count()
+    );
+    for (i, job) in jobs.iter().enumerate() {
+        out.push_str(&render_job(i, job));
+    }
+    out
+}
+
+/// Render one job: header line plus one bar per task (capped at 16 tasks;
+/// more are summarized).
+pub fn render_job(index: usize, job: &JobMetrics) -> String {
+    let mut out = String::new();
+    let status = if job.succeeded { "ok" } else { "FAILED" };
+    let _ = writeln!(
+        out,
+        "[{index}] {name} — {tasks} task(s), wall {wall:?}, busy {busy:?}, skew {skew:.2} [{status}]",
+        name = job.name,
+        tasks = job.tasks.len(),
+        wall = job.wall,
+        busy = job.total_task_time(),
+        skew = job.skew(),
+    );
+    let max = job.max_task_time();
+    const WIDTH: usize = 32;
+    const SHOWN: usize = 16;
+    for task in job.tasks.iter().take(SHOWN) {
+        let bar_len = scaled_len(task.duration, max, WIDTH);
+        let _ = writeln!(
+            out,
+            "    task {:>3} |{:<width$}| {:?}",
+            task.index,
+            "#".repeat(bar_len),
+            task.duration,
+            width = WIDTH
+        );
+    }
+    if job.tasks.len() > SHOWN {
+        let _ = writeln!(out, "    ... {} more task(s)", job.tasks.len() - SHOWN);
+    }
+    out
+}
+
+fn scaled_len(d: Duration, max: Duration, width: usize) -> usize {
+    if max.is_zero() {
+        return 0;
+    }
+    let frac = d.as_secs_f64() / max.as_secs_f64();
+    ((frac * width as f64).round() as usize).min(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TaskMetrics;
+
+    fn job(name: &str, ms: &[u64]) -> JobMetrics {
+        JobMetrics {
+            name: name.into(),
+            tasks: ms
+                .iter()
+                .enumerate()
+                .map(|(index, &m)| TaskMetrics {
+                    index,
+                    duration: Duration::from_millis(m),
+                })
+                .collect(),
+            wall: Duration::from_millis(ms.iter().copied().max().unwrap_or(0) + 1),
+            succeeded: true,
+        }
+    }
+
+    #[test]
+    fn renders_header_and_bars() {
+        let j = job("update", &[10, 20, 40]);
+        let text = render_job(0, &j);
+        assert!(text.contains("[0] update — 3 task(s)"));
+        assert!(text.contains("task   0"));
+        assert!(text.contains("task   2"));
+        // Longest task gets the full-width bar; half-length task gets half.
+        let full = "#".repeat(32);
+        let half = "#".repeat(16);
+        assert!(text.contains(&full));
+        assert!(text.contains(&half));
+        assert!(text.contains("[ok]"));
+    }
+
+    #[test]
+    fn failed_job_is_flagged() {
+        let mut j = job("broken", &[]);
+        j.succeeded = false;
+        let text = render_job(3, &j);
+        assert!(text.contains("[FAILED]"));
+    }
+
+    #[test]
+    fn long_jobs_are_truncated() {
+        let j = job("wide", &[5; 40]);
+        let text = render_job(0, &j);
+        assert!(text.contains("... 24 more task(s)"));
+    }
+
+    #[test]
+    fn registry_rendering_counts_jobs() {
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("a", &[1, 2]));
+        reg.record_job(job("b", &[3]));
+        reg.record_broadcast();
+        let text = render_timeline(&reg);
+        assert!(text.starts_with("2 job(s), 1 broadcast(s)"));
+        assert!(text.contains("[0] a"));
+        assert!(text.contains("[1] b"));
+    }
+
+    #[test]
+    fn zero_max_yields_empty_bars() {
+        let j = job("instant", &[0, 0]);
+        let text = render_job(0, &j);
+        assert!(text.contains("|                                |"));
+    }
+}

@@ -1,0 +1,549 @@
+//! Product-of-chains lattices: general classification models.
+//!
+//! The Boolean lattice (`2^N`) classifies each subject into two states.
+//! The underlying framework of Tatsuoka et al. is more general: each
+//! subject `i` may occupy one of `L_i` *ordered* levels (e.g. negative /
+//! low viral load / high viral load), and the joint state space is the
+//! product of chains `C_{L_0} × ... × C_{L_{N-1}}`, ordered
+//! component-wise. The Boolean case is `L_i = 2` everywhere.
+//!
+//! Pooled tests generalize naturally: a pool's analyte content is the sum
+//! of its members' levels, so a likelihood table indexed by *total pooled
+//! level* (instead of positive count) drives the same multiply-and-reduce
+//! kernels. States are mixed-radix integers, so the dense layout and
+//! chunked traversals carry over unchanged.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a product-of-chains lattice: subject `i` has `levels[i] ≥ 2`
+/// ordered states `0 .. levels[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainShape {
+    levels: Vec<u8>,
+    /// Mixed-radix place values: `strides[i]` = product of `levels[..i]`.
+    strides: Vec<usize>,
+    len: usize,
+}
+
+impl ChainShape {
+    /// Build a shape from per-subject level counts.
+    ///
+    /// # Panics
+    /// Panics when empty, when any subject has fewer than 2 levels, or when
+    /// the product of levels overflows `usize`.
+    pub fn new(levels: &[u8]) -> Self {
+        assert!(!levels.is_empty(), "need at least one subject");
+        let mut strides = Vec::with_capacity(levels.len());
+        let mut len: usize = 1;
+        for (i, &l) in levels.iter().enumerate() {
+            assert!(l >= 2, "subject {i} needs at least 2 levels");
+            strides.push(len);
+            len = len
+                .checked_mul(l as usize)
+                .expect("lattice size overflows usize");
+        }
+        ChainShape {
+            levels: levels.to_vec(),
+            strides,
+            len,
+        }
+    }
+
+    /// Uniform shape: `n` subjects with `l` levels each.
+    pub fn uniform(n: usize, l: u8) -> Self {
+        ChainShape::new(&vec![l; n])
+    }
+
+    /// Number of subjects.
+    pub fn n_subjects(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level count of subject `i`.
+    pub fn levels_of(&self, i: usize) -> u8 {
+        self.levels[i]
+    }
+
+    /// Total number of joint states (product of level counts).
+    pub fn num_states(&self) -> usize {
+        self.len
+    }
+
+    /// Maximum possible total level over a pool of subject indices.
+    pub fn max_pool_level(&self, pool: &[usize]) -> u32 {
+        pool.iter()
+            .map(|&i| u32::from(self.levels[i]) - 1)
+            .sum()
+    }
+
+    /// Decode subject `i`'s level from a state index.
+    #[inline]
+    pub fn level(&self, state: usize, i: usize) -> u8 {
+        ((state / self.strides[i]) % self.levels[i] as usize) as u8
+    }
+
+    /// Encode a full level assignment into a state index.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or an out-of-range level (debug).
+    pub fn encode(&self, levels: &[u8]) -> usize {
+        assert_eq!(levels.len(), self.levels.len());
+        let mut idx = 0usize;
+        for (i, &l) in levels.iter().enumerate() {
+            debug_assert!(l < self.levels[i]);
+            idx += self.strides[i] * l as usize;
+        }
+        idx
+    }
+
+    /// Decode a state index into a level assignment.
+    pub fn decode(&self, state: usize) -> Vec<u8> {
+        (0..self.n_subjects()).map(|i| self.level(state, i)).collect()
+    }
+
+    /// Total level a state places into a pool (the analyte content).
+    pub fn pool_level(&self, state: usize, pool: &[usize]) -> u32 {
+        pool.iter().map(|&i| u32::from(self.level(state, i))).sum()
+    }
+
+    /// Component-wise lattice order: `a ≤ b` iff every subject's level in
+    /// `a` is ≤ its level in `b`.
+    pub fn leq(&self, a: usize, b: usize) -> bool {
+        (0..self.n_subjects()).all(|i| self.level(a, i) <= self.level(b, i))
+    }
+}
+
+/// Dense posterior over a product-of-chains lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPosterior {
+    shape: ChainShape,
+    probs: Vec<f64>,
+}
+
+impl ChainPosterior {
+    /// Independent prior: `priors[i][l]` is subject `i`'s prior probability
+    /// of level `l` (each row must have `shape.levels_of(i)` entries
+    /// summing to 1 within tolerance).
+    pub fn from_priors(shape: ChainShape, priors: &[Vec<f64>]) -> Self {
+        assert_eq!(priors.len(), shape.n_subjects());
+        for (i, row) in priors.iter().enumerate() {
+            assert_eq!(row.len(), shape.levels_of(i) as usize, "subject {i}");
+            let total: f64 = row.iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "subject {i} prior sums to {total}"
+            );
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+        // Mixed-radix doubling: extend one subject at a time.
+        let mut probs = vec![1.0f64];
+        for row in priors {
+            let mut next = Vec::with_capacity(probs.len() * row.len());
+            for &p_level in row {
+                next.extend(probs.iter().map(|&p| p * p_level));
+            }
+            // Mixed radix builds most-significant-last: reorder so that
+            // subject 0 is the least significant digit, matching `encode`.
+            // Extending least-significant-first means each new subject's
+            // level varies slowest — i.e. iterate levels outermost, as
+            // done above with `next` blocks of the old length.
+            probs = next;
+        }
+        // The construction above appends each new subject as the *most*
+        // significant digit, which is exactly `strides` order (subject 0
+        // least significant), so the layout matches `encode`.
+        ChainPosterior { shape, probs }
+    }
+
+    /// Uniform mass over all joint states.
+    pub fn new_uniform(shape: ChainShape) -> Self {
+        let len = shape.num_states();
+        ChainPosterior {
+            shape,
+            probs: vec![1.0 / len as f64; len],
+        }
+    }
+
+    /// The lattice shape.
+    pub fn shape(&self) -> &ChainShape {
+        &self.shape
+    }
+
+    /// Number of joint states.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mass of one state index.
+    pub fn get(&self, state: usize) -> f64 {
+        self.probs[state]
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Fused multiply + total: multiply each state by
+    /// `table[pool_level(state)]` (the likelihood of the observed outcome
+    /// given the pool's total analyte level) and return the new total.
+    ///
+    /// # Panics
+    /// Panics when the table is shorter than `max_pool_level(pool) + 1`.
+    pub fn mul_likelihood_fused(&mut self, pool: &[usize], table: &[f64]) -> f64 {
+        let needed = self.shape.max_pool_level(pool) as usize + 1;
+        assert!(table.len() >= needed, "table needs {needed} entries");
+        let mut total = 0.0;
+        for (state, p) in self.probs.iter_mut().enumerate() {
+            let level = self.shape.pool_level(state, pool) as usize;
+            *p *= table[level];
+            total += *p;
+        }
+        total
+    }
+
+    /// Normalize; `None` when degenerate.
+    pub fn try_normalize(&mut self) -> Option<f64> {
+        let z = self.total();
+        if !(z.is_finite() && z > 0.0) {
+            return None;
+        }
+        let inv = 1.0 / z;
+        for p in &mut self.probs {
+            *p *= inv;
+        }
+        Some(z)
+    }
+
+    /// Per-subject level marginals: `out[i][l] = P(subject i at level l)`,
+    /// normalized, in one traversal.
+    pub fn level_marginals(&self) -> Vec<Vec<f64>> {
+        let n = self.shape.n_subjects();
+        let mut acc: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![0.0; self.shape.levels_of(i) as usize])
+            .collect();
+        let mut total = 0.0;
+        for (state, &p) in self.probs.iter().enumerate() {
+            total += p;
+            for (i, row) in acc.iter_mut().enumerate() {
+                row[self.shape.level(state, i) as usize] += p;
+            }
+        }
+        if total > 0.0 {
+            for row in &mut acc {
+                for v in row {
+                    *v /= total;
+                }
+            }
+        }
+        acc
+    }
+
+    /// `P(subject i at level ≥ 1)` — the "any positivity" marginal that
+    /// reduces to the Boolean marginal when `L_i = 2`.
+    pub fn positive_marginals(&self) -> Vec<f64> {
+        self.level_marginals()
+            .into_iter()
+            .map(|row| row[1..].iter().sum())
+            .collect()
+    }
+
+    /// MAP joint state and its normalized probability.
+    pub fn map_state(&self) -> (usize, f64) {
+        let z = self.total();
+        let (idx, &p) = self
+            .probs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .expect("non-empty lattice");
+        (idx, if z > 0.0 { p / z } else { 0.0 })
+    }
+
+    /// Distribution of a pool's total level under the normalized
+    /// posterior: `out[t] = P(pool content = t)`, for `t` up to the pool's
+    /// maximum level. One traversal; this is both the predictive outcome
+    /// driver and the halving objective for graded lattices
+    /// (`out[0]` is the pool-zero/"all clear" mass the halving rule
+    /// bisects on).
+    pub fn pool_level_distribution(&self, pool: &[usize]) -> Vec<f64> {
+        let max = self.shape.max_pool_level(pool) as usize;
+        let mut hist = vec![0.0f64; max + 1];
+        let mut total = 0.0;
+        for (state, &p) in self.probs.iter().enumerate() {
+            hist[self.shape.pool_level(state, pool) as usize] += p;
+            total += p;
+        }
+        if total > 0.0 {
+            for h in &mut hist {
+                *h /= total;
+            }
+        }
+        hist
+    }
+
+    /// Bayesian halving over prefix pools of `order` (subjects by
+    /// ascending positive-marginal): the prefix whose pool-zero mass is
+    /// nearest ½. Returns `(pool, zero_mass)`; `None` when `order` is
+    /// empty or the posterior degenerate.
+    pub fn select_halving_prefix(
+        &self,
+        order: &[usize],
+        max_pool_size: usize,
+    ) -> Option<(Vec<usize>, f64)> {
+        let cap = max_pool_size.min(order.len());
+        if cap == 0 {
+            return None;
+        }
+        let total = self.total();
+        if !(total.is_finite() && total > 0.0) {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for k in 1..=cap {
+            let pool = &order[..k];
+            let zero = self.pool_level_distribution(pool)[0];
+            let d = (zero - 0.5).abs();
+            let better = match best {
+                None => true,
+                Some((_, bd)) => d + 1e-12 < bd,
+            };
+            if better {
+                best = Some((k, d));
+            }
+        }
+        best.map(|(k, _)| {
+            let pool = order[..k].to_vec();
+            let zero = self.pool_level_distribution(&pool)[0];
+            (pool, zero)
+        })
+    }
+
+    /// Shannon entropy (nats).
+    pub fn entropy(&self) -> f64 {
+        let z = self.total();
+        if !(z.is_finite() && z > 0.0) {
+            return 0.0;
+        }
+        let mut sum_plogp = 0.0;
+        for &p in &self.probs {
+            if p > 0.0 {
+                sum_plogp += p * p.ln();
+            }
+        }
+        z.ln() - sum_plogp / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DensePosterior;
+    use crate::state::State;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs())
+    }
+
+    #[test]
+    fn shape_arithmetic() {
+        let shape = ChainShape::new(&[2, 3, 2]);
+        assert_eq!(shape.num_states(), 12);
+        assert_eq!(shape.n_subjects(), 3);
+        // encode/decode roundtrip for every state.
+        for state in 0..12 {
+            let levels = shape.decode(state);
+            assert_eq!(shape.encode(&levels), state);
+            for (i, &l) in levels.iter().enumerate() {
+                assert_eq!(shape.level(state, i), l);
+                assert!(l < shape.levels_of(i));
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_componentwise() {
+        let shape = ChainShape::new(&[2, 3]);
+        let a = shape.encode(&[0, 1]);
+        let b = shape.encode(&[1, 2]);
+        let c = shape.encode(&[1, 0]);
+        assert!(shape.leq(a, b));
+        assert!(!shape.leq(b, a));
+        assert!(!shape.leq(a, c) && !shape.leq(c, a)); // incomparable
+        assert!(shape.leq(0, a));
+    }
+
+    #[test]
+    fn boolean_case_matches_dense_posterior() {
+        // L = 2 everywhere reduces exactly to the Boolean machinery:
+        // priors [1-p, p], table indexed by positive count.
+        let risks = [0.1, 0.3, 0.2];
+        let shape = ChainShape::uniform(3, 2);
+        let priors: Vec<Vec<f64>> = risks.iter().map(|&p| vec![1.0 - p, p]).collect();
+        let mut chains = ChainPosterior::from_priors(shape, &priors);
+        let mut boolean = DensePosterior::from_risks(&risks);
+
+        // Prior agreement state-by-state (indices coincide: level of
+        // subject i is bit i).
+        for state in 0..8usize {
+            assert!(
+                close(chains.get(state), boolean.get(State(state as u64))),
+                "state {state}: {} vs {}",
+                chains.get(state),
+                boolean.get(State(state as u64))
+            );
+        }
+
+        // Update agreement on pool {0, 2}.
+        let table = [0.97, 0.4, 0.2];
+        let zc = chains.mul_likelihood_fused(&[0, 2], &table);
+        let zb = boolean.mul_likelihood_fused(State::from_subjects([0, 2]), &table);
+        assert!(close(zc, zb));
+        for (a, b) in chains.positive_marginals().iter().zip(boolean.marginals()) {
+            assert!(close(*a, b));
+        }
+        assert!(close(chains.entropy(), boolean.entropy()));
+    }
+
+    #[test]
+    fn three_level_prior_and_marginals() {
+        // One subject, three levels.
+        let shape = ChainShape::new(&[3]);
+        let prior = vec![vec![0.7, 0.2, 0.1]];
+        let post = ChainPosterior::from_priors(shape, &prior);
+        let m = post.level_marginals();
+        assert!(close(m[0][0], 0.7));
+        assert!(close(m[0][1], 0.2));
+        assert!(close(m[0][2], 0.1));
+        assert!(close(post.positive_marginals()[0], 0.3));
+        assert!(close(post.total(), 1.0));
+    }
+
+    #[test]
+    fn independent_prior_factorizes() {
+        let shape = ChainShape::new(&[3, 2]);
+        let priors = vec![vec![0.5, 0.3, 0.2], vec![0.9, 0.1]];
+        let post = ChainPosterior::from_priors(shape.clone(), &priors);
+        for state in 0..shape.num_states() {
+            let levels = shape.decode(state);
+            let expected =
+                priors[0][levels[0] as usize] * priors[1][levels[1] as usize];
+            assert!(close(post.get(state), expected), "state {state}");
+        }
+    }
+
+    #[test]
+    fn viral_load_update_prefers_consistent_levels() {
+        // Two subjects with 3 levels (neg/low/high). A pooled outcome whose
+        // likelihood peaks at total level 2 should favor {low, low},
+        // {high, neg} and {neg, high} over {neg, neg} and {high, high}.
+        let shape = ChainShape::uniform(2, 3);
+        let priors = vec![vec![1.0 / 3.0; 3]; 2];
+        let mut post = ChainPosterior::from_priors(shape.clone(), &priors);
+        // table[total_level] with a peak at 2 (max total level = 4).
+        let table = [0.05, 0.2, 1.0, 0.2, 0.05];
+        post.mul_likelihood_fused(&[0, 1], &table);
+        post.try_normalize().unwrap();
+        let best = shape.encode(&[1, 1]);
+        let worst = shape.encode(&[0, 0]);
+        assert!(post.get(best) > post.get(worst));
+        let (map, _) = post.map_state();
+        assert_eq!(shape.pool_level(map, &[0, 1]), 2);
+    }
+
+    #[test]
+    fn mixed_shapes_update_and_entropy() {
+        let shape = ChainShape::new(&[2, 4, 3]);
+        let priors = vec![
+            vec![0.8, 0.2],
+            vec![0.4, 0.3, 0.2, 0.1],
+            vec![0.6, 0.3, 0.1],
+        ];
+        let mut post = ChainPosterior::from_priors(shape.clone(), &priors);
+        assert_eq!(post.len(), 24);
+        assert!(close(post.total(), 1.0));
+        let h_before = post.entropy();
+        // An informative observation on pool {1, 2}: max level 3 + 2 = 5.
+        let table = [1.0, 0.5, 0.25, 0.12, 0.06, 0.03];
+        assert_eq!(shape.max_pool_level(&[1, 2]), 5);
+        post.mul_likelihood_fused(&[1, 2], &table);
+        post.try_normalize().unwrap();
+        assert!(post.entropy() < h_before);
+        // Level marginals stay distributions.
+        for row in post.level_marginals() {
+            assert!(close(row.iter().sum::<f64>(), 1.0));
+        }
+    }
+
+    #[test]
+    fn pool_level_distribution_is_a_distribution() {
+        let shape = ChainShape::new(&[3, 2, 3]);
+        let priors = vec![
+            vec![0.6, 0.3, 0.1],
+            vec![0.9, 0.1],
+            vec![0.5, 0.3, 0.2],
+        ];
+        let post = ChainPosterior::from_priors(shape.clone(), &priors);
+        let dist = post.pool_level_distribution(&[0, 2]);
+        assert_eq!(dist.len(), 5); // max level 2 + 2
+        assert!(close(dist.iter().sum::<f64>(), 1.0));
+        // P(content 0) = P(both at level 0) under independence.
+        assert!(close(dist[0], 0.6 * 0.5));
+        // P(content 4) = both at level 2.
+        assert!(close(dist[4], 0.1 * 0.2));
+    }
+
+    #[test]
+    fn chain_halving_picks_near_half_zero_mass() {
+        // Subjects with P(level 0) = 0.8 each: prefixes have zero-mass
+        // 0.8^k; k = 3 gives 0.512, closest to 1/2.
+        let shape = ChainShape::uniform(6, 3);
+        let priors = vec![vec![0.8, 0.15, 0.05]; 6];
+        let post = ChainPosterior::from_priors(shape, &priors);
+        let order: Vec<usize> = (0..6).collect();
+        let (pool, zero) = post.select_halving_prefix(&order, 6).unwrap();
+        assert_eq!(pool, vec![0, 1, 2]);
+        assert!(close(zero, 0.8f64.powi(3)));
+    }
+
+    #[test]
+    fn chain_halving_degenerate_cases() {
+        let shape = ChainShape::uniform(2, 3);
+        let post = ChainPosterior::new_uniform(shape);
+        assert!(post.select_halving_prefix(&[], 4).is_none());
+        assert!(post.select_halving_prefix(&[0, 1], 0).is_none());
+    }
+
+    #[test]
+    fn uniform_entropy() {
+        let shape = ChainShape::new(&[3, 3]);
+        let post = ChainPosterior::new_uniform(shape);
+        assert!(close(post.entropy(), 9f64.ln()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 levels")]
+    fn shape_validates_levels() {
+        let _ = ChainShape::new(&[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table needs")]
+    fn table_length_checked() {
+        let shape = ChainShape::uniform(2, 3);
+        let mut post = ChainPosterior::new_uniform(shape);
+        let _ = post.mul_likelihood_fused(&[0, 1], &[1.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior sums")]
+    fn priors_must_normalize() {
+        let shape = ChainShape::new(&[2]);
+        let _ = ChainPosterior::from_priors(shape, &[vec![0.5, 0.6]]);
+    }
+}

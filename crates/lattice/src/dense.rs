@@ -1,0 +1,672 @@
+//! Dense posterior over the full Boolean lattice.
+//!
+//! `DensePosterior` stores one `f64` of (generally unnormalized) posterior
+//! mass per state, indexed by the state's bitmask. All methods here are the
+//! **serial reference kernels** — they define the semantics, serve as the
+//! baseline framework in the speedup experiments, and back-stop the parallel
+//! kernels in [`crate::kernels`] (property tests assert agreement).
+//!
+//! Kernel design notes (these are the paper's constant-factor wins, not
+//! incidental details):
+//!
+//! * A pooled test's likelihood depends on the state only through
+//!   `k = |s ∩ A|`, so a multiply pass indexes a precomputed table of
+//!   `|A| + 1` entries rather than calling the response model `2^N` times.
+//! * Marginals for all `N` subjects are accumulated in **one** pass
+//!   (`O(2^N · N)` bit-tests but a single memory traversal) instead of `N`
+//!   separate passes.
+//! * The halving search needs the pool-negative mass of every *prefix pool*
+//!   of a subject ordering; [`DensePosterior::prefix_negative_masses`]
+//!   computes all `N+1` of them in one traversal via a first-positive-
+//!   position histogram, instead of one `O(2^N)` scan per candidate.
+
+use crate::state::State;
+use crate::MAX_SUBJECTS;
+
+/// Per-byte first-position lookup tables for the all-prefix mass kernels.
+///
+/// `pos_of[b]` is the position of subject `b` in the candidate ordering
+/// (`u32::MAX` when absent). The returned `lanes[l][byte]` is the minimum
+/// ordering position over the set bits of `byte` interpreted as subjects
+/// `8l .. 8l+7`, with `m` (the order length) when none apply. A state's
+/// first positive position is then `min` over its byte lanes — four table
+/// lookups for `N ≤ 32` instead of a set-bit loop, which makes the fused
+/// selection pass run at copy speed.
+pub(crate) fn first_pos_tables(pos_of: &[u32], m: usize) -> Vec<[u32; 256]> {
+    let n = pos_of.len();
+    let lanes = n.div_ceil(8);
+    let mut tables = vec![[m as u32; 256]; lanes];
+    for (lane, table) in tables.iter_mut().enumerate() {
+        for byte in 1usize..256 {
+            let mut best = m as u32;
+            let mut bits = byte;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let subj = lane * 8 + b;
+                if subj < n {
+                    let pos = pos_of[subj];
+                    if pos < best {
+                        best = pos;
+                    }
+                }
+                bits &= bits - 1;
+            }
+            table[byte] = best;
+        }
+    }
+    tables
+}
+
+/// First positive position of `state` under the prepared tables.
+#[inline]
+pub(crate) fn first_pos(tables: &[[u32; 256]], state: u64) -> u32 {
+    let mut best = u32::MAX;
+    let mut bits = state;
+    for table in tables {
+        let byte = (bits & 0xFF) as usize;
+        let v = table[byte];
+        if v < best {
+            best = v;
+        }
+        bits >>= 8;
+        if bits == 0 {
+            break;
+        }
+    }
+    if best == u32::MAX {
+        // Only reachable when `tables` is empty (a zero-subject cohort,
+        // where the order is necessarily empty and every position is 0);
+        // lane 0 otherwise always yields a value ≤ m.
+        0
+    } else {
+        best
+    }
+}
+
+/// Dense (one slot per lattice state) posterior mass vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensePosterior {
+    n_subjects: usize,
+    probs: Vec<f64>,
+}
+
+impl DensePosterior {
+    /// Uniform mass over all `2^n` states.
+    pub fn new_uniform(n: usize) -> Self {
+        let len = crate::num_states(n);
+        DensePosterior {
+            n_subjects: n,
+            probs: vec![1.0 / len as f64; len],
+        }
+    }
+
+    /// Build from an arbitrary mass function.
+    pub fn from_fn(n: usize, f: impl Fn(State) -> f64) -> Self {
+        let len = crate::num_states(n);
+        let probs = (0..len as u64).map(|i| f(State(i))).collect();
+        DensePosterior {
+            n_subjects: n,
+            probs,
+        }
+    }
+
+    /// Independent-risk prior: `π(s) = ∏_{i∈s} p_i · ∏_{i∉s} (1 − p_i)`.
+    ///
+    /// Built by in-place doubling in `O(2^N)` total work: after step `i` the
+    /// first `2^(i+1)` slots hold the joint mass of the first `i+1` subjects.
+    ///
+    /// ```
+    /// use sbgt_lattice::{DensePosterior, State};
+    /// let prior = DensePosterior::from_risks(&[0.1, 0.3]);
+    /// assert!((prior.get(State::EMPTY) - 0.9 * 0.7).abs() < 1e-12);
+    /// assert!((prior.total() - 1.0).abs() < 1e-12);
+    /// assert_eq!(prior.marginals().len(), 2);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if any risk is outside `[0, 1]` or `risks.len() > MAX_SUBJECTS`.
+    pub fn from_risks(risks: &[f64]) -> Self {
+        let n = risks.len();
+        assert!(n <= MAX_SUBJECTS, "too many subjects");
+        for (i, &p) in risks.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "risk {i} = {p} outside [0,1]"
+            );
+        }
+        let len = crate::num_states(n);
+        let mut probs = vec![0.0; len];
+        probs[0] = 1.0;
+        let mut filled = 1usize;
+        for &p in risks {
+            for j in 0..filled {
+                let base = probs[j];
+                probs[j + filled] = base * p;
+                probs[j] = base * (1.0 - p);
+            }
+            filled <<= 1;
+        }
+        debug_assert_eq!(filled, len);
+        DensePosterior {
+            n_subjects: n,
+            probs,
+        }
+    }
+
+    /// Build from a raw mass vector (length must be `2^n`).
+    pub fn from_probs(n: usize, probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), crate::num_states(n), "length must be 2^n");
+        DensePosterior {
+            n_subjects: n,
+            probs,
+        }
+    }
+
+    /// Cohort size `N`.
+    #[inline]
+    pub fn n_subjects(&self) -> usize {
+        self.n_subjects
+    }
+
+    /// Number of states (`2^N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Always false: a lattice has at least the empty state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mass of one state.
+    #[inline]
+    pub fn get(&self, s: State) -> f64 {
+        self.probs[s.index()]
+    }
+
+    /// Borrow the raw mass vector (state index = slot index).
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mutably borrow the raw mass vector (for the parallel kernels).
+    #[inline]
+    pub fn probs_mut(&mut self) -> &mut [f64] {
+        &mut self.probs
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Normalize to total mass 1; returns the normalizing constant `Z`.
+    /// Returns `None` (leaving the vector untouched) when the total is zero,
+    /// negative, or not finite — the degenerate case a caller must handle
+    /// (e.g. an impossible observation under a truncated sparse posterior).
+    pub fn try_normalize(&mut self) -> Option<f64> {
+        let z = self.total();
+        if !(z.is_finite() && z > 0.0) {
+            return None;
+        }
+        let inv = 1.0 / z;
+        for p in &mut self.probs {
+            *p *= inv;
+        }
+        Some(z)
+    }
+
+    /// Normalize to total mass 1; returns `Z`.
+    ///
+    /// # Panics
+    /// Panics on degenerate total mass; see [`Self::try_normalize`].
+    pub fn normalize(&mut self) -> f64 {
+        self.try_normalize()
+            .expect("posterior mass is zero or non-finite; observation impossible under prior")
+    }
+
+    /// Multiply every state's mass by `table[|s ∩ pool|]`.
+    ///
+    /// `table` must have `pool.rank() + 1` entries: the likelihood of the
+    /// observed outcome given `k` positives in the pool.
+    pub fn mul_likelihood(&mut self, pool: State, table: &[f64]) {
+        assert!(
+            table.len() > pool.rank() as usize,
+            "likelihood table too short: need {} entries",
+            pool.rank() + 1
+        );
+        let mask = pool.bits();
+        for (idx, p) in self.probs.iter_mut().enumerate() {
+            let k = (idx as u64 & mask).count_ones() as usize;
+            *p *= table[k];
+        }
+    }
+
+    /// Fused multiply + total: one traversal, returns the new total mass
+    /// (the Bayesian evidence of the observation). This is the fusion of
+    /// Spark stages the SBGT framework performs to halve lattice traffic.
+    pub fn mul_likelihood_fused(&mut self, pool: State, table: &[f64]) -> f64 {
+        assert!(table.len() > pool.rank() as usize);
+        let mask = pool.bits();
+        let mut total = 0.0;
+        for (idx, p) in self.probs.iter_mut().enumerate() {
+            let k = (idx as u64 & mask).count_ones() as usize;
+            *p *= table[k];
+            total += *p;
+        }
+        total
+    }
+
+    /// Posterior marginal `P(subject i positive)` for every subject, plus
+    /// normalization by the current total, in a single traversal.
+    ///
+    /// ```
+    /// use sbgt_lattice::DensePosterior;
+    /// let prior = DensePosterior::from_risks(&[0.25, 0.5]);
+    /// let m = prior.marginals();
+    /// assert!((m[0] - 0.25).abs() < 1e-12 && (m[1] - 0.5).abs() < 1e-12);
+    /// ```
+    ///
+    /// Returns the zero vector for a posterior with zero total mass.
+    pub fn marginals(&self) -> Vec<f64> {
+        let n = self.n_subjects;
+        let mut acc = vec![0.0f64; n];
+        let mut total = 0.0f64;
+        for (idx, &p) in self.probs.iter().enumerate() {
+            total += p;
+            let mut bits = idx as u64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                acc[b] += p;
+                bits &= bits - 1;
+            }
+        }
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Mass of the pool-negative down-set `{s : s ∩ pool = ∅}`, relative to
+    /// the current total (i.e. a probability when the posterior is
+    /// normalized; otherwise raw mass — see [`Self::total`]).
+    pub fn pool_negative_mass(&self, pool: State) -> f64 {
+        let mask = pool.bits();
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| *idx as u64 & mask == 0)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// Pool-negative masses of **all prefix pools** of a subject ordering in
+    /// one traversal.
+    ///
+    /// For `order = [o_0, .., o_{m-1}]`, prefix pool `A_k = {o_0, .., o_{k-1}}`
+    /// (so `A_0 = ∅`). Returns `masses[k] = Σ_{s ∩ A_k = ∅} π(s)` for
+    /// `k = 0..=m`.
+    ///
+    /// Method: for each state, find `f(s)` = smallest `k` such that `o_k`
+    /// is positive in `s` (`m` if none is); then `s` contributes to exactly
+    /// the prefixes `k ≤ f(s)`, so a histogram over `f` plus one suffix-sum
+    /// yields every prefix mass. One pass instead of `m` passes — the
+    /// test-selection speedup of the framework comes from here.
+    ///
+    /// # Panics
+    /// Panics if `order` contains a duplicate or an index `>= n_subjects`.
+    pub fn prefix_negative_masses(&self, order: &[usize]) -> Vec<f64> {
+        let m = order.len();
+        let mut pos_of = vec![u32::MAX; self.n_subjects];
+        for (k, &subj) in order.iter().enumerate() {
+            assert!(subj < self.n_subjects, "subject {subj} out of range");
+            assert!(pos_of[subj] == u32::MAX, "duplicate subject {subj} in order");
+            pos_of[subj] = k as u32;
+        }
+        let tables = first_pos_tables(&pos_of, m);
+        let mut hist = vec![0.0f64; m + 1];
+        for (idx, &p) in self.probs.iter().enumerate() {
+            let first = first_pos(&tables, idx as u64);
+            hist[first as usize] += p;
+        }
+        // masses[k] = sum of hist[k..=m]
+        let mut masses = vec![0.0f64; m + 1];
+        let mut running = 0.0;
+        for k in (0..=m).rev() {
+            running += hist[k];
+            masses[k] = running;
+        }
+        masses
+    }
+
+    /// Shannon entropy (nats) of the normalized posterior. Zero-mass states
+    /// contribute zero. Returns 0 for a degenerate (zero-total) posterior.
+    pub fn entropy(&self) -> f64 {
+        let z = self.total();
+        if !(z.is_finite() && z > 0.0) {
+            return 0.0;
+        }
+        let mut sum_plogp = 0.0;
+        for &p in &self.probs {
+            if p > 0.0 {
+                sum_plogp += p * p.ln();
+            }
+        }
+        z.ln() - sum_plogp / z
+    }
+
+    /// Maximum a-posteriori state and its normalized probability.
+    pub fn map_state(&self) -> (State, f64) {
+        let z = self.total();
+        let (idx, &p) = self
+            .probs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .expect("non-empty lattice");
+        let prob = if z > 0.0 { p / z } else { 0.0 };
+        (State(idx as u64), prob)
+    }
+
+    /// The `k` highest-mass states with their normalized probabilities,
+    /// descending (ties broken by state index, ascending).
+    pub fn top_k(&self, k: usize) -> Vec<(State, f64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry(f64, u64);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Primary: mass ascending (so the heap root is the smallest
+                // kept entry); secondary: index descending, so that equal
+                // masses prefer keeping the smaller index.
+                self.0
+                    .total_cmp(&other.0)
+                    .then(other.1.cmp(&self.1))
+            }
+        }
+
+        if k == 0 {
+            return Vec::with_capacity(0);
+        }
+        let z = self.total();
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+        for (idx, &p) in self.probs.iter().enumerate() {
+            heap.push(Reverse(Entry(p, idx as u64)));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut out: Vec<(State, f64)> = heap
+            .into_iter()
+            .map(|Reverse(Entry(p, idx))| (State(idx), if z > 0.0 { p / z } else { 0.0 }))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.bits().cmp(&b.0.bits())));
+        out
+    }
+
+    /// Expected number of positive subjects under the normalized posterior.
+    pub fn expected_positives(&self) -> f64 {
+        self.marginals().iter().sum()
+    }
+
+    /// Probability (normalized) that the number of positives is exactly `k`.
+    pub fn rank_distribution(&self) -> Vec<f64> {
+        let mut hist = vec![0.0; self.n_subjects + 1];
+        let mut total = 0.0;
+        for (idx, &p) in self.probs.iter().enumerate() {
+            hist[(idx as u64).count_ones() as usize] += p;
+            total += p;
+        }
+        if total > 0.0 {
+            for h in &mut hist {
+                *h /= total;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::all_states;
+
+    const TOL: f64 = 1e-12;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn uniform_total_is_one() {
+        let d = DensePosterior::new_uniform(6);
+        assert_close(d.total(), 1.0);
+        assert_eq!(d.len(), 64);
+    }
+
+    #[test]
+    fn from_risks_matches_direct_product() {
+        let risks = [0.1, 0.35, 0.02, 0.5];
+        let d = DensePosterior::from_risks(&risks);
+        for s in all_states(risks.len()) {
+            let mut expected = 1.0;
+            for (i, &p) in risks.iter().enumerate() {
+                expected *= if s.contains(i) { p } else { 1.0 - p };
+            }
+            assert!((d.get(s) - expected).abs() < TOL, "state {s}");
+        }
+        assert_close(d.total(), 1.0);
+    }
+
+    #[test]
+    fn from_risks_extreme_probabilities() {
+        let d = DensePosterior::from_risks(&[0.0, 1.0]);
+        // Only the state {1} has mass.
+        assert_close(d.get(State::from_subjects([1])), 1.0);
+        assert_close(d.get(State::EMPTY), 0.0);
+        assert_close(d.get(State::from_subjects([0])), 0.0);
+        assert_close(d.get(State::from_subjects([0, 1])), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn from_risks_validates() {
+        let _ = DensePosterior::from_risks(&[0.5, 1.5]);
+    }
+
+    #[test]
+    fn marginals_match_risks_for_prior() {
+        let risks = [0.05, 0.2, 0.6, 0.01, 0.33];
+        let d = DensePosterior::from_risks(&risks);
+        let m = d.marginals();
+        for (a, b) in m.iter().zip(risks.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn marginals_of_zero_posterior_are_zero() {
+        let d = DensePosterior::from_probs(2, vec![0.0; 4]);
+        assert_eq!(d.marginals(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_and_degenerate() {
+        let mut d = DensePosterior::from_probs(1, vec![3.0, 1.0]);
+        let z = d.normalize();
+        assert_close(z, 4.0);
+        assert_close(d.get(State::EMPTY), 0.75);
+
+        let mut zero = DensePosterior::from_probs(1, vec![0.0, 0.0]);
+        assert!(zero.try_normalize().is_none());
+        let mut nan = DensePosterior::from_probs(1, vec![f64::NAN, 1.0]);
+        assert!(nan.try_normalize().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "observation impossible")]
+    fn normalize_panics_on_zero_mass() {
+        let mut zero = DensePosterior::from_probs(1, vec![0.0, 0.0]);
+        let _ = zero.normalize();
+    }
+
+    #[test]
+    fn mul_likelihood_indexes_by_intersection() {
+        let mut d = DensePosterior::new_uniform(3);
+        let pool = State::from_subjects([0, 2]);
+        // table[k]: distinguishable per k
+        let table = [1.0, 10.0, 100.0];
+        d.mul_likelihood(pool, &table);
+        let base = 1.0 / 8.0;
+        assert_close(d.get(State::EMPTY), base);
+        assert_close(d.get(State::from_subjects([1])), base);
+        assert_close(d.get(State::from_subjects([0])), 10.0 * base);
+        assert_close(d.get(State::from_subjects([2, 1])), 10.0 * base);
+        assert_close(d.get(State::from_subjects([0, 2])), 100.0 * base);
+    }
+
+    #[test]
+    fn fused_equals_separate() {
+        let risks = [0.1, 0.2, 0.3, 0.4, 0.25];
+        let pool = State::from_subjects([1, 3, 4]);
+        let table = [0.95, 0.3, 0.2, 0.1];
+        let mut a = DensePosterior::from_risks(&risks);
+        let mut b = a.clone();
+        a.mul_likelihood(pool, &table);
+        let total = b.mul_likelihood_fused(pool, &table);
+        assert_eq!(a.probs(), b.probs());
+        assert_close(total, a.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "likelihood table too short")]
+    fn mul_likelihood_table_length_checked() {
+        let mut d = DensePosterior::new_uniform(3);
+        d.mul_likelihood(State::from_subjects([0, 1]), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_negative_mass_matches_enumeration() {
+        let risks = [0.3, 0.1, 0.25, 0.4];
+        let d = DensePosterior::from_risks(&risks);
+        let pool = State::from_subjects([1, 2]);
+        let expected: f64 = all_states(4)
+            .filter(|s| !s.intersects(pool))
+            .map(|s| d.get(s))
+            .sum();
+        assert_close(d.pool_negative_mass(pool), expected);
+        // For an independent prior, mass = ∏ (1-p_i) over pool members.
+        assert_close(expected, 0.9 * 0.75);
+    }
+
+    #[test]
+    fn prefix_masses_match_per_pool_scans() {
+        let risks = [0.3, 0.1, 0.25, 0.4, 0.15];
+        let d = DensePosterior::from_risks(&risks);
+        let order = [3usize, 0, 4, 1, 2];
+        let masses = d.prefix_negative_masses(&order);
+        assert_eq!(masses.len(), 6);
+        for k in 0..=order.len() {
+            let pool = State::from_subjects(order[..k].iter().copied());
+            assert!(
+                (masses[k] - d.pool_negative_mass(pool)).abs() < 1e-9,
+                "prefix {k}"
+            );
+        }
+        assert_close(masses[0], d.total());
+    }
+
+    #[test]
+    fn prefix_masses_partial_order() {
+        // Order over a strict subset of subjects.
+        let d = DensePosterior::from_risks(&[0.5, 0.5, 0.5]);
+        let masses = d.prefix_negative_masses(&[1]);
+        assert_eq!(masses.len(), 2);
+        assert_close(masses[0], 1.0);
+        assert_close(masses[1], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate subject")]
+    fn prefix_masses_rejects_duplicates() {
+        let d = DensePosterior::new_uniform(3);
+        let _ = d.prefix_negative_masses(&[1, 1]);
+    }
+
+    #[test]
+    fn entropy_uniform_is_n_log2() {
+        let d = DensePosterior::new_uniform(5);
+        assert_close(d.entropy(), 32f64.ln());
+        // Scaling the masses must not change the entropy.
+        let scaled = DensePosterior::from_probs(5, d.probs().iter().map(|p| p * 7.0).collect());
+        assert_close(scaled.entropy(), 32f64.ln());
+    }
+
+    #[test]
+    fn entropy_point_mass_is_zero() {
+        let mut probs = vec![0.0; 8];
+        probs[3] = 2.5;
+        let d = DensePosterior::from_probs(3, probs);
+        assert_close(d.entropy(), 0.0);
+    }
+
+    #[test]
+    fn map_state_and_top_k() {
+        let mut probs = vec![0.0; 8];
+        probs[5] = 0.5;
+        probs[2] = 0.3;
+        probs[7] = 0.2;
+        let d = DensePosterior::from_probs(3, probs);
+        let (s, p) = d.map_state();
+        assert_eq!(s, State(5));
+        assert_close(p, 0.5);
+        let top = d.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, State(5));
+        assert_eq!(top[1].0, State(2));
+        assert_close(top[0].1, 0.5);
+        assert!(d.top_k(0).is_empty());
+        // k larger than the lattice is fine.
+        assert_eq!(d.top_k(100).len(), 8);
+    }
+
+    #[test]
+    fn top_k_tie_break_prefers_small_index() {
+        let d = DensePosterior::from_probs(2, vec![0.25; 4]);
+        let top = d.top_k(2);
+        assert_eq!(top[0].0, State(0));
+        assert_eq!(top[1].0, State(1));
+    }
+
+    #[test]
+    fn expected_positives_matches_rank_distribution() {
+        let risks = [0.2, 0.5, 0.1];
+        let d = DensePosterior::from_risks(&risks);
+        let expected: f64 = risks.iter().sum();
+        assert_close(d.expected_positives(), expected);
+        let rd = d.rank_distribution();
+        assert_eq!(rd.len(), 4);
+        assert_close(rd.iter().sum::<f64>(), 1.0);
+        let mean_rank: f64 = rd.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert_close(mean_rank, expected);
+    }
+
+    #[test]
+    fn from_fn_builds_by_state() {
+        let d = DensePosterior::from_fn(3, |s| s.rank() as f64);
+        assert_eq!(d.get(State::from_subjects([0, 1, 2])), 3.0);
+        assert_eq!(d.get(State::EMPTY), 0.0);
+    }
+}

@@ -1,0 +1,461 @@
+//! Data-parallel lattice kernels.
+//!
+//! Each function here is the chunked, parallel counterpart of a serial
+//! reference kernel on [`DensePosterior`]; property tests assert agreement
+//! to floating-point tolerance. The SBGT operators dispatch to these when
+//! the lattice is large enough to amortize fork/join overhead
+//! ([`ParConfig::threshold`]), exactly as the Spark framework only shines
+//! past a state-count threshold.
+//!
+//! Parallelism is rayon over contiguous chunks: the state index equals the
+//! array index, so a chunk starting at `base` covers states
+//! `base .. base + chunk_len` and every kernel recovers the state mask from
+//! `base + offset` without any gather.
+
+use rayon::prelude::*;
+
+use crate::dense::DensePosterior;
+use crate::state::State;
+
+/// Tuning for the parallel kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Chunk length in states. Chosen so a chunk's mass vector fits L2
+    /// (2^16 f64 = 512 KiB halves; 2^14 default = 128 KiB is conservative).
+    pub chunk_len: usize,
+    /// Below this state count the serial kernel is used (fork/join overhead
+    /// dominates under ~64k states).
+    pub threshold: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            chunk_len: 1 << 14,
+            threshold: 1 << 16,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Config that always takes the parallel path (for tests/benches).
+    pub fn always_parallel() -> Self {
+        ParConfig {
+            chunk_len: 1 << 14,
+            threshold: 0,
+        }
+    }
+}
+
+/// Parallel fused multiply + total: `probs[s] *= table[|s ∩ pool|]`,
+/// returning the new total mass. See
+/// [`DensePosterior::mul_likelihood_fused`].
+pub fn par_mul_likelihood_fused(
+    posterior: &mut DensePosterior,
+    pool: State,
+    table: &[f64],
+    cfg: ParConfig,
+) -> f64 {
+    assert!(table.len() > pool.rank() as usize, "likelihood table too short");
+    if posterior.len() < cfg.threshold {
+        return posterior.mul_likelihood_fused(pool, table);
+    }
+    let mask = pool.bits();
+    let chunk = cfg.chunk_len.max(1);
+    posterior
+        .probs_mut()
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, probs)| {
+            let base = (ci * chunk) as u64;
+            let mut local = 0.0;
+            for (off, p) in probs.iter_mut().enumerate() {
+                let k = ((base + off as u64) & mask).count_ones() as usize;
+                *p *= table[k];
+                local += *p;
+            }
+            local
+        })
+        .sum()
+}
+
+/// Parallel normalization: divide by `z` (caller obtains `z` from a fused
+/// pass or [`par_total`]).
+pub fn par_scale(posterior: &mut DensePosterior, factor: f64, cfg: ParConfig) {
+    if posterior.len() < cfg.threshold {
+        for p in posterior.probs_mut() {
+            *p *= factor;
+        }
+        return;
+    }
+    posterior
+        .probs_mut()
+        .par_chunks_mut(cfg.chunk_len.max(1))
+        .for_each(|chunk| {
+            for p in chunk {
+                *p *= factor;
+            }
+        });
+}
+
+/// Parallel total mass.
+pub fn par_total(posterior: &DensePosterior, cfg: ParConfig) -> f64 {
+    if posterior.len() < cfg.threshold {
+        return posterior.total();
+    }
+    posterior
+        .probs()
+        .par_chunks(cfg.chunk_len.max(1))
+        .map(|chunk| chunk.iter().sum::<f64>())
+        .sum()
+}
+
+/// Parallel single-pass marginals (normalized by the total), matching
+/// [`DensePosterior::marginals`].
+pub fn par_marginals(posterior: &DensePosterior, cfg: ParConfig) -> Vec<f64> {
+    if posterior.len() < cfg.threshold {
+        return posterior.marginals();
+    }
+    let n = posterior.n_subjects();
+    let chunk = cfg.chunk_len.max(1);
+    let (acc, total) = posterior
+        .probs()
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, probs)| {
+            let base = (ci * chunk) as u64;
+            let mut acc = vec![0.0f64; n];
+            let mut total = 0.0f64;
+            for (off, &p) in probs.iter().enumerate() {
+                total += p;
+                let mut bits = base + off as u64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    acc[b] += p;
+                    bits &= bits - 1;
+                }
+            }
+            (acc, total)
+        })
+        .reduce(
+            || (vec![0.0f64; n], 0.0f64),
+            |(mut a, ta), (b, tb)| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                (a, ta + tb)
+            },
+        );
+    let mut acc = acc;
+    if total > 0.0 {
+        for a in &mut acc {
+            *a /= total;
+        }
+    }
+    acc
+}
+
+/// Parallel pool-negative mass, matching
+/// [`DensePosterior::pool_negative_mass`].
+pub fn par_pool_negative_mass(posterior: &DensePosterior, pool: State, cfg: ParConfig) -> f64 {
+    if posterior.len() < cfg.threshold {
+        return posterior.pool_negative_mass(pool);
+    }
+    let mask = pool.bits();
+    let chunk = cfg.chunk_len.max(1);
+    posterior
+        .probs()
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, probs)| {
+            let base = (ci * chunk) as u64;
+            let mut local = 0.0;
+            for (off, &p) in probs.iter().enumerate() {
+                if (base + off as u64) & mask == 0 {
+                    local += p;
+                }
+            }
+            local
+        })
+        .sum()
+}
+
+/// Parallel all-prefix pool-negative masses, matching
+/// [`DensePosterior::prefix_negative_masses`].
+pub fn par_prefix_negative_masses(
+    posterior: &DensePosterior,
+    order: &[usize],
+    cfg: ParConfig,
+) -> Vec<f64> {
+    if posterior.len() < cfg.threshold {
+        return posterior.prefix_negative_masses(order);
+    }
+    let n = posterior.n_subjects();
+    let m = order.len();
+    let mut pos_of = vec![u32::MAX; n];
+    for (k, &subj) in order.iter().enumerate() {
+        assert!(subj < n, "subject {subj} out of range");
+        assert!(pos_of[subj] == u32::MAX, "duplicate subject {subj} in order");
+        pos_of[subj] = k as u32;
+    }
+    let chunk = cfg.chunk_len.max(1);
+    let tables = crate::dense::first_pos_tables(&pos_of, m);
+    let tables = &tables;
+    let hist = posterior
+        .probs()
+        .par_chunks(chunk)
+        .enumerate()
+        .map(move |(ci, probs)| {
+            let base = (ci * chunk) as u64;
+            let mut hist = vec![0.0f64; m + 1];
+            for (off, &p) in probs.iter().enumerate() {
+                let first = crate::dense::first_pos(tables, base + off as u64);
+                hist[first as usize] += p;
+            }
+            hist
+        })
+        .reduce(
+            || vec![0.0f64; m + 1],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    let mut masses = vec![0.0f64; m + 1];
+    let mut running = 0.0;
+    for k in (0..=m).rev() {
+        running += hist[k];
+        masses[k] = running;
+    }
+    masses
+}
+
+/// Parallel entropy (nats), matching [`DensePosterior::entropy`].
+pub fn par_entropy(posterior: &DensePosterior, cfg: ParConfig) -> f64 {
+    if posterior.len() < cfg.threshold {
+        return posterior.entropy();
+    }
+    let chunk = cfg.chunk_len.max(1);
+    let (z, sum_plogp) = posterior
+        .probs()
+        .par_chunks(chunk)
+        .map(|probs| {
+            let mut z = 0.0;
+            let mut s = 0.0;
+            for &p in probs {
+                z += p;
+                if p > 0.0 {
+                    s += p * p.ln();
+                }
+            }
+            (z, s)
+        })
+        .reduce(|| (0.0, 0.0), |(a1, b1), (a2, b2)| (a1 + a2, b1 + b2));
+    if !(z.is_finite() && z > 0.0) {
+        return 0.0;
+    }
+    z.ln() - sum_plogp / z
+}
+
+/// Parallel top-k: per-chunk bounded heaps merged on the driver, matching
+/// [`DensePosterior::top_k`] (same ordering and tie-breaks).
+pub fn par_top_k(posterior: &DensePosterior, k: usize, cfg: ParConfig) -> Vec<(State, f64)> {
+    if posterior.len() < cfg.threshold || k == 0 {
+        return posterior.top_k(k);
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f64, u64);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+        }
+    }
+
+    let chunk = cfg.chunk_len.max(1);
+    let z = par_total(posterior, cfg);
+    let mut candidates: Vec<(u64, f64)> = posterior
+        .probs()
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, probs)| {
+            let base = (ci * chunk) as u64;
+            let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+            for (off, &p) in probs.iter().enumerate() {
+                heap.push(Reverse(Entry(p, base + off as u64)));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+            heap.into_iter()
+                .map(|Reverse(Entry(p, idx))| (idx, p))
+                .collect::<Vec<_>>()
+        })
+        .reduce(Vec::new, |mut a, b| {
+            a.extend(b);
+            a
+        });
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    candidates.truncate(k);
+    candidates
+        .into_iter()
+        .map(|(idx, p)| (State(idx), if z > 0.0 { p / z } else { 0.0 }))
+        .collect()
+}
+
+/// Parallel construction from a state→mass function.
+pub fn par_from_fn(
+    n: usize,
+    f: impl Fn(State) -> f64 + Sync,
+    cfg: ParConfig,
+) -> DensePosterior {
+    let len = crate::num_states(n);
+    if len < cfg.threshold {
+        return DensePosterior::from_fn(n, f);
+    }
+    let chunk = cfg.chunk_len.max(1);
+    let mut probs = vec![0.0f64; len];
+    probs
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(ci, slots)| {
+            let base = (ci * chunk) as u64;
+            for (off, slot) in slots.iter_mut().enumerate() {
+                *slot = f(State(base + off as u64));
+            }
+        });
+    DensePosterior::from_probs(n, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(n: usize) -> DensePosterior {
+        let risks: Vec<f64> = (0..n).map(|i| 0.02 + 0.9 * (i as f64 / n as f64)).collect();
+        DensePosterior::from_risks(&risks)
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs()), "{a} vs {b}");
+    }
+
+    const CFG: ParConfig = ParConfig {
+        chunk_len: 64,
+        threshold: 0,
+    };
+
+    #[test]
+    fn fused_matches_serial() {
+        let pool = State::from_subjects([0, 3, 7]);
+        let table = [0.95, 0.5, 0.3, 0.2];
+        let mut a = example(10);
+        let mut b = a.clone();
+        let ta = a.mul_likelihood_fused(pool, &table);
+        let tb = par_mul_likelihood_fused(&mut b, pool, &table, CFG);
+        assert_close(ta, tb);
+        for (x, y) in a.probs().iter().zip(b.probs()) {
+            assert_close(*x, *y);
+        }
+    }
+
+    #[test]
+    fn below_threshold_uses_serial_path() {
+        let pool = State::from_subjects([1]);
+        let table = [0.9, 0.2];
+        let mut a = example(6);
+        let cfg = ParConfig {
+            chunk_len: 16,
+            threshold: usize::MAX,
+        };
+        let t = par_mul_likelihood_fused(&mut a, pool, &table, cfg);
+        assert_close(t, a.total());
+    }
+
+    #[test]
+    fn total_and_scale() {
+        let mut d = example(9);
+        let t = par_total(&d, CFG);
+        assert_close(t, d.total());
+        par_scale(&mut d, 1.0 / t, CFG);
+        assert_close(par_total(&d, CFG), 1.0);
+    }
+
+    #[test]
+    fn marginals_match_serial() {
+        let d = example(11);
+        let serial = d.marginals();
+        let parallel = par_marginals(&d, CFG);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn pool_negative_mass_matches_serial() {
+        let d = example(10);
+        for pool in [
+            State::EMPTY,
+            State::from_subjects([0]),
+            State::from_subjects([2, 5, 9]),
+            State::full(10),
+        ] {
+            assert_close(
+                d.pool_negative_mass(pool),
+                par_pool_negative_mass(&d, pool, CFG),
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_masses_match_serial() {
+        let d = example(10);
+        let order = [4usize, 9, 0, 2, 7, 1];
+        let serial = d.prefix_negative_masses(&order);
+        let parallel = par_prefix_negative_masses(&d, &order, CFG);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn entropy_matches_serial() {
+        let d = example(10);
+        assert_close(d.entropy(), par_entropy(&d, CFG));
+    }
+
+    #[test]
+    fn top_k_matches_serial() {
+        let d = example(10);
+        for k in [0usize, 1, 5, 64, 2000] {
+            let serial = d.top_k(k);
+            let parallel = par_top_k(&d, k, CFG);
+            assert_eq!(serial.len(), parallel.len(), "k={k}");
+            for ((s1, p1), (s2, p2)) in serial.iter().zip(&parallel) {
+                assert_eq!(s1, s2, "k={k}");
+                assert_close(*p1, *p2);
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_matches_serial() {
+        let f = |s: State| 1.0 / (1.0 + s.rank() as f64);
+        let a = DensePosterior::from_fn(9, f);
+        let b = par_from_fn(9, f, CFG);
+        for (x, y) in a.probs().iter().zip(b.probs()) {
+            assert_close(*x, *y);
+        }
+    }
+}

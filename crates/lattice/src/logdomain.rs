@@ -1,0 +1,289 @@
+//! Log-domain posterior for numerically hard regimes.
+//!
+//! A long sequential episode multiplies the posterior by hundreds of
+//! likelihood factors; with near-degenerate assays (likelihoods near 0)
+//! and large `N`, linear-domain masses underflow `f64` long before the
+//! procedure terminates. `LogPosterior` stores `ln π(s)` (with `-∞` for
+//! zero mass) and normalizes with a max-shifted log-sum-exp, so episodes
+//! of any length stay representable. It mirrors the core kernels of
+//! [`crate::DensePosterior`]; conversions are exact where representable
+//! and property-tested against the linear domain.
+
+use crate::dense::DensePosterior;
+use crate::state::State;
+
+/// Dense posterior in the log domain: slot `s` holds `ln π(s)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogPosterior {
+    n_subjects: usize,
+    log_probs: Vec<f64>,
+}
+
+impl LogPosterior {
+    /// Convert from the linear domain (`0 ↦ −∞`).
+    pub fn from_dense(dense: &DensePosterior) -> Self {
+        LogPosterior {
+            n_subjects: dense.n_subjects(),
+            log_probs: dense.probs().iter().map(|&p| p.ln()).collect(),
+        }
+    }
+
+    /// Independent-risk prior, built directly in the log domain (sums of
+    /// logs, immune to underflow even for hundreds of subjects... though
+    /// the vector length still bounds `n`).
+    pub fn from_risks(risks: &[f64]) -> Self {
+        let n = risks.len();
+        let len = crate::num_states(n);
+        let log_p: Vec<f64> = risks.iter().map(|&p| p.ln()).collect();
+        let log_q: Vec<f64> = risks.iter().map(|&p| (1.0 - p).ln()).collect();
+        let mut log_probs = vec![0.0f64; len];
+        // Same doubling construction as the linear domain, with sums.
+        let mut filled = 1usize;
+        for i in 0..n {
+            for j in 0..filled {
+                let base = log_probs[j];
+                log_probs[j + filled] = base + log_p[i];
+                log_probs[j] = base + log_q[i];
+            }
+            filled <<= 1;
+        }
+        LogPosterior {
+            n_subjects: n,
+            log_probs,
+        }
+    }
+
+    /// Cohort size.
+    pub fn n_subjects(&self) -> usize {
+        self.n_subjects
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.log_probs.len()
+    }
+
+    /// Never empty (a lattice has at least the bottom state).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `ln π(s)`.
+    pub fn get_log(&self, s: State) -> f64 {
+        self.log_probs[s.index()]
+    }
+
+    /// Log of the total mass, via max-shifted log-sum-exp
+    /// (`-∞` for an all-zero posterior).
+    pub fn log_total(&self) -> f64 {
+        log_sum_exp(&self.log_probs)
+    }
+
+    /// Add `ln table[|s ∩ pool|]` to every state — the log-domain Bayesian
+    /// update. Returns the log-evidence `ln Σ π(s)·table[k(s)]` *relative
+    /// to the pre-update total* and renormalizes so the max log-mass is 0
+    /// (which keeps all values representable regardless of episode
+    /// length).
+    ///
+    /// Returns `None` when the observation is impossible (all slots −∞).
+    pub fn update(&mut self, pool: State, table: &[f64]) -> Option<f64> {
+        assert!(
+            table.len() > pool.rank() as usize,
+            "likelihood table too short"
+        );
+        let log_table: Vec<f64> = table.iter().map(|&v| v.ln()).collect();
+        let mask = pool.bits();
+        let before = self.log_total();
+        for (idx, lp) in self.log_probs.iter_mut().enumerate() {
+            let k = (idx as u64 & mask).count_ones() as usize;
+            *lp += log_table[k];
+        }
+        let after = self.log_total();
+        if !after.is_finite() {
+            return None;
+        }
+        // Shift so the maximum is zero: subsequent log-sum-exps stay exact
+        // and slots never drift toward -inf overflow.
+        let max = self
+            .log_probs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        for lp in &mut self.log_probs {
+            *lp -= max;
+        }
+        Some(after - before)
+    }
+
+    /// Posterior marginals (probabilities, linear domain) — exact via a
+    /// shifted exponentiation.
+    pub fn marginals(&self) -> Vec<f64> {
+        let max = self
+            .log_probs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !max.is_finite() {
+            return vec![0.0; self.n_subjects];
+        }
+        let mut acc = vec![0.0f64; self.n_subjects];
+        let mut total = 0.0f64;
+        for (idx, &lp) in self.log_probs.iter().enumerate() {
+            let w = (lp - max).exp();
+            total += w;
+            let mut bits = idx as u64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                acc[b] += w;
+                bits &= bits - 1;
+            }
+        }
+        for a in &mut acc {
+            *a /= total;
+        }
+        acc
+    }
+
+    /// MAP state and its log-probability relative to the total.
+    pub fn map_state(&self) -> (State, f64) {
+        let (idx, &lp) = self
+            .log_probs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .expect("non-empty lattice");
+        (State(idx as u64), lp - self.log_total())
+    }
+
+    /// Convert back to the linear domain, normalized.
+    pub fn to_dense(&self) -> DensePosterior {
+        let max = self
+            .log_probs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let probs: Vec<f64> = if max.is_finite() {
+            self.log_probs.iter().map(|&lp| (lp - max).exp()).collect()
+        } else {
+            vec![0.0; self.log_probs.len()]
+        };
+        let mut dense = DensePosterior::from_probs(self.n_subjects, probs);
+        let _ = dense.try_normalize();
+        dense
+    }
+}
+
+/// Max-shifted log-sum-exp; `-∞` for an empty or all-`-∞` slice.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs())
+    }
+
+    #[test]
+    fn from_risks_matches_linear_domain() {
+        let risks = [0.1, 0.35, 0.02, 0.6];
+        let log = LogPosterior::from_risks(&risks);
+        let lin = DensePosterior::from_risks(&risks);
+        for idx in 0..lin.len() {
+            let s = State(idx as u64);
+            assert!(close(log.get_log(s), lin.get(s).ln()), "state {s}");
+        }
+        assert!(close(log.log_total(), 0.0)); // prior total = 1
+    }
+
+    #[test]
+    fn update_matches_linear_domain() {
+        let risks = [0.05, 0.2, 0.12, 0.3, 0.08];
+        let pool = State::from_subjects([1, 3, 4]);
+        let table = [0.97, 0.4, 0.22, 0.15];
+
+        let mut log = LogPosterior::from_risks(&risks);
+        let mut lin = DensePosterior::from_risks(&risks);
+        let log_ev = log.update(pool, &table).unwrap();
+        let ev = lin.mul_likelihood_fused(pool, &table);
+        lin.try_normalize().unwrap();
+        assert!(close(log_ev, ev.ln()));
+        for (a, b) in log.marginals().iter().zip(lin.marginals()) {
+            assert!(close(*a, b));
+        }
+        let (ms, _) = log.map_state();
+        assert_eq!(ms, lin.map_state().0);
+    }
+
+    #[test]
+    fn survives_extreme_underflow() {
+        // 200 consecutive harsh updates would underflow linear f64
+        // (0.001^200 = 1e-600); the log domain must stay finite and
+        // normalized.
+        let risks = [0.3, 0.4, 0.2];
+        let pool = State::from_subjects([0, 1, 2]);
+        // A likelihood table that crushes all masses equally hard, plus a
+        // slight tilt so the posterior still moves.
+        let table = [1e-3, 9e-4, 8e-4, 7e-4];
+        let mut log = LogPosterior::from_risks(&risks);
+        for _ in 0..200 {
+            log.update(pool, &table).unwrap();
+        }
+        let m = log.marginals();
+        assert!(m.iter().all(|x| x.is_finite()));
+        let d = log.to_dense();
+        assert!(close(d.total(), 1.0));
+        // The tilt pushes mass toward fewer positives (larger table value
+        // for smaller k): empty state must dominate.
+        assert_eq!(log.map_state().0, State::EMPTY);
+
+        // The linear domain indeed underflows in the same scenario.
+        let mut lin = DensePosterior::from_risks(&risks);
+        let mut underflowed = false;
+        for _ in 0..200 {
+            let z = lin.mul_likelihood_fused(pool, &table);
+            if z == 0.0 {
+                underflowed = true;
+                break;
+            }
+        }
+        assert!(underflowed, "expected the linear domain to underflow");
+    }
+
+    #[test]
+    fn impossible_observation_returns_none() {
+        let mut log = LogPosterior::from_risks(&[0.5]);
+        // Zero out everything: table of zeros.
+        assert!(log.update(State::from_subjects([0]), &[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn log_sum_exp_edge_cases() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+        assert!(close(log_sum_exp(&[0.0, 0.0]), 2f64.ln()));
+        // Huge shifts must not overflow.
+        assert!(close(log_sum_exp(&[-1000.0, -1000.0]), -1000.0 + 2f64.ln()));
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let risks = [0.2, 0.4, 0.1];
+        let log = LogPosterior::from_risks(&risks);
+        let d = log.to_dense();
+        let direct = DensePosterior::from_risks(&risks);
+        for (a, b) in d.probs().iter().zip(direct.probs()) {
+            assert!(close(*a, *b));
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Property-based tests for the lattice substrate: serial reference kernels
+//! vs. parallel kernels vs. sparse representation, plus order-theoretic
+//! invariants of the state type.
+
+use proptest::prelude::*;
+
+use sbgt_lattice::iter::{all_states, states_of_rank, subsets_of};
+use sbgt_lattice::kernels::{
+    par_entropy, par_marginals, par_mul_likelihood_fused, par_pool_negative_mass,
+    par_prefix_negative_masses, ParConfig,
+};
+use sbgt_lattice::{DensePosterior, SparsePosterior, State};
+
+const CFG: ParConfig = ParConfig {
+    chunk_len: 37, // deliberately odd to exercise ragged chunk boundaries
+    threshold: 0,
+};
+
+fn risks_strategy(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..0.999, 1..=max_n)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prior_total_mass_is_one(risks in risks_strategy(10)) {
+        let d = DensePosterior::from_risks(&risks);
+        prop_assert!(close(d.total(), 1.0));
+    }
+
+    #[test]
+    fn prior_marginals_equal_risks(risks in risks_strategy(10)) {
+        let d = DensePosterior::from_risks(&risks);
+        let m = d.marginals();
+        for (a, b) in m.iter().zip(&risks) {
+            prop_assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_agree_with_serial(
+        risks in risks_strategy(9),
+        pool_bits in any::<u64>(),
+        outcome_scale in 0.01f64..1.0,
+    ) {
+        let n = risks.len();
+        let pool = State(pool_bits & State::full(n).bits());
+        let table: Vec<f64> = (0..=pool.rank() as usize)
+            .map(|k| outcome_scale * (k as f64 + 0.5) / (pool.rank() as f64 + 1.0))
+            .collect();
+
+        let mut serial = DensePosterior::from_risks(&risks);
+        let mut parallel = serial.clone();
+
+        let ts = serial.mul_likelihood_fused(pool, &table);
+        let tp = par_mul_likelihood_fused(&mut parallel, pool, &table, CFG);
+        prop_assert!(close(ts, tp));
+        for (a, b) in serial.probs().iter().zip(parallel.probs()) {
+            prop_assert!(close(*a, *b));
+        }
+
+        prop_assert!(close(serial.entropy(), par_entropy(&parallel, CFG)));
+        prop_assert!(close(
+            serial.pool_negative_mass(pool),
+            par_pool_negative_mass(&parallel, pool, CFG)
+        ));
+        for (a, b) in serial.marginals().iter().zip(par_marginals(&parallel, CFG)) {
+            prop_assert!(close(*a, b));
+        }
+    }
+
+    #[test]
+    fn prefix_masses_agree_and_decrease(
+        risks in risks_strategy(9),
+        seed in any::<u64>(),
+    ) {
+        let n = risks.len();
+        let d = DensePosterior::from_risks(&risks);
+        // Pseudo-random permutation of subjects from the seed.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let serial = d.prefix_negative_masses(&order);
+        let parallel = par_prefix_negative_masses(&d, &order, CFG);
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert!(close(*a, *b));
+        }
+        // Monotonicity: growing the pool can only shrink the negative set.
+        for w in serial.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+        // Agreement with per-pool scans.
+        for k in 0..=n {
+            let pool = State::from_subjects(order[..k].iter().copied());
+            prop_assert!(close(serial[k], d.pool_negative_mass(pool)));
+        }
+    }
+
+    #[test]
+    fn sparse_unpruned_matches_dense_after_updates(
+        risks in risks_strategy(8),
+        pool_bits in any::<u64>(),
+    ) {
+        let n = risks.len();
+        let pool = State(pool_bits & State::full(n).bits());
+        let table: Vec<f64> = (0..=pool.rank() as usize).map(|k| 0.9 / (k + 1) as f64).collect();
+
+        let mut dense = DensePosterior::from_risks(&risks);
+        let mut sparse = SparsePosterior::from_dense(&dense, 0.0);
+        let td = dense.mul_likelihood_fused(pool, &table);
+        let ts = sparse.mul_likelihood_fused(pool, &table);
+        prop_assert!(close(td, ts));
+        for (a, b) in dense.marginals().iter().zip(sparse.marginals()) {
+            prop_assert!(close(*a, b));
+        }
+    }
+
+    #[test]
+    fn pruning_error_is_bounded(risks in risks_strategy(8), eps in 1e-6f64..1e-2) {
+        let dense = DensePosterior::from_risks(&risks);
+        let sparse = SparsePosterior::from_dense(&dense, eps);
+        // Total discarded mass is at most eps * total * #states.
+        let bound = eps * dense.total() * dense.len() as f64;
+        prop_assert!(sparse.pruned_mass() <= bound + 1e-12);
+        prop_assert!(close(sparse.total() + sparse.pruned_mass(), dense.total()));
+    }
+
+    #[test]
+    fn normalization_preserves_ratios(risks in risks_strategy(8)) {
+        let mut d = DensePosterior::from_risks(&risks);
+        let before0 = d.get(State::EMPTY);
+        let before_last = d.get(State::full(risks.len()));
+        let z = d.normalize();
+        prop_assert!(close(z, 1.0)); // prior already normalized
+        prop_assert!(close(d.get(State::EMPTY), before0));
+        prop_assert!(close(d.get(State::full(risks.len())), before_last));
+    }
+
+    #[test]
+    fn subset_iter_size(mask_bits in 0u64..256) {
+        let mask = State(mask_bits);
+        let count = subsets_of(mask).count();
+        prop_assert_eq!(count, 1usize << mask.rank());
+    }
+
+    #[test]
+    fn state_order_properties(a in 0u64..1024, b in 0u64..1024) {
+        let (a, b) = (State(a), State(b));
+        // meet is the greatest lower bound, join the least upper bound.
+        prop_assert!(a.meet(b).is_subset_of(a));
+        prop_assert!(a.meet(b).is_subset_of(b));
+        prop_assert!(a.is_subset_of(a.join(b)));
+        prop_assert!(b.is_subset_of(a.join(b)));
+        // Absorption laws.
+        prop_assert_eq!(a.meet(a.join(b)), a);
+        prop_assert_eq!(a.join(a.meet(b)), a);
+        // Rank is strictly monotone on strict inclusion.
+        if a.is_subset_of(b) && a != b {
+            prop_assert!(a.rank() < b.rank());
+        }
+    }
+
+    #[test]
+    fn rank_iteration_partitions_lattice(n in 1usize..10) {
+        let total: usize = (0..=n).map(|k| states_of_rank(n, k).count()).sum();
+        prop_assert_eq!(total, 1usize << n);
+        prop_assert_eq!(all_states(n).count(), 1usize << n);
+    }
+}
+
+// --- extension modules: transforms, log domain, product-of-chains ---
+
+use sbgt_lattice::logdomain::LogPosterior;
+use sbgt_lattice::transform::{
+    all_pool_negative_masses, mobius_in_place, up_set_masses, zeta_in_place,
+};
+use sbgt_lattice::{ChainPosterior, ChainShape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Möbius inverts zeta on arbitrary mass vectors.
+    #[test]
+    fn mobius_inverts_zeta_on_arbitrary_vectors(
+        probs in prop::collection::vec(0.0f64..10.0, 32..=32),
+    ) {
+        let n = 5;
+        let mut f = probs.clone();
+        zeta_in_place(&mut f, n);
+        mobius_in_place(&mut f, n);
+        for (a, b) in f.iter().zip(&probs) {
+            prop_assert!(close(*a, *b));
+        }
+    }
+
+    /// All-pool masses from the transform agree with per-pool scans, and
+    /// up-set masses respect inclusion monotonicity.
+    #[test]
+    fn transform_masses_agree_and_are_monotone(risks in risks_strategy(7)) {
+        let d = DensePosterior::from_risks(&risks);
+        let n = risks.len();
+        let all = all_pool_negative_masses(&d);
+        for pool_bits in 0u64..(1 << n) {
+            prop_assert!(close(
+                all[pool_bits as usize],
+                d.pool_negative_mass(State(pool_bits))
+            ));
+        }
+        let up = up_set_masses(&d);
+        // t ⊆ u  ⇒  up-set of t ⊇ up-set of u  ⇒  mass(t) >= mass(u).
+        for t in 0usize..(1 << n) {
+            for bit in 0..n {
+                if t & (1 << bit) == 0 {
+                    let u = t | (1 << bit);
+                    prop_assert!(up[t] >= up[u] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Log-domain updates track linear-domain updates for random tables.
+    #[test]
+    fn log_domain_tracks_linear(
+        risks in risks_strategy(7),
+        pool_bits in 1u64..128,
+        table_seed in 1u64..1000,
+    ) {
+        let n = risks.len();
+        let mask = pool_bits & ((1u64 << n) - 1);
+        prop_assume!(mask != 0);
+        let pool = State(mask);
+        // Deterministic pseudo-random positive table.
+        let table: Vec<f64> = (0..=pool.rank())
+            .map(|k| {
+                let x = (table_seed.wrapping_mul(k as u64 + 1)).wrapping_mul(2654435761) % 1000;
+                0.01 + x as f64 / 1000.0
+            })
+            .collect();
+        let mut lin = DensePosterior::from_risks(&risks);
+        let mut log = LogPosterior::from_risks(&risks);
+        let z_lin = lin.mul_likelihood_fused(pool, &table);
+        lin.try_normalize().unwrap();
+        let z_log = log.update(pool, &table).unwrap();
+        prop_assert!(close(z_lin.ln(), z_log));
+        for (a, b) in lin.marginals().iter().zip(log.marginals()) {
+            prop_assert!(close(*a, b));
+        }
+    }
+
+    /// Chain lattices with binary levels agree with the Boolean lattice on
+    /// priors, updates, and marginals.
+    #[test]
+    fn chain_binary_levels_match_boolean(risks in risks_strategy(6), pool_bits in 1u64..64) {
+        let n = risks.len();
+        let mask = pool_bits & ((1u64 << n) - 1);
+        prop_assume!(mask != 0);
+        let pool = State(mask);
+        let pool_subjects: Vec<usize> = pool.subjects().collect();
+        let shape = ChainShape::uniform(n, 2);
+        let priors: Vec<Vec<f64>> = risks.iter().map(|&p| vec![1.0 - p, p]).collect();
+        let mut chain = ChainPosterior::from_priors(shape, &priors);
+        let mut boolean = DensePosterior::from_risks(&risks);
+        let table: Vec<f64> = (0..=pool.rank()).map(|k| 0.9 / (k as f64 + 1.0)).collect();
+        let zc = chain.mul_likelihood_fused(&pool_subjects, &table);
+        let zb = boolean.mul_likelihood_fused(pool, &table);
+        prop_assert!(close(zc, zb));
+        for (a, b) in chain.positive_marginals().iter().zip(boolean.marginals()) {
+            prop_assert!(close(*a, b));
+        }
+        prop_assert!(close(chain.entropy(), boolean.entropy()));
+    }
+
+    /// Chain level-marginals are distributions and encode/decode is a
+    /// bijection.
+    #[test]
+    fn chain_shape_bijection_and_marginal_axioms(
+        levels in prop::collection::vec(2u8..4, 1..5),
+    ) {
+        let shape = ChainShape::new(&levels);
+        let post = ChainPosterior::new_uniform(shape.clone());
+        for state in 0..shape.num_states() {
+            prop_assert_eq!(shape.encode(&shape.decode(state)), state);
+        }
+        for (i, row) in post.level_marginals().iter().enumerate() {
+            prop_assert_eq!(row.len(), shape.levels_of(i) as usize);
+            prop_assert!(close(row.iter().sum::<f64>(), 1.0));
+            // Uniform joint ⇒ uniform per-subject marginals.
+            for &v in row {
+                prop_assert!(close(v, 1.0 / shape.levels_of(i) as f64));
+            }
+        }
+    }
+}

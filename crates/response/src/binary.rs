@@ -1,0 +1,178 @@
+//! Binary (positive/negative) assay with dilution-dependent sensitivity.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::dilution::Dilution;
+use crate::model::{BinaryOutcomeModel, ResponseModel};
+
+/// A binary pooled assay:
+///
+/// * a pool with no positive samples reads positive with probability
+///   `1 − specificity` (false positive);
+/// * a pool with `k ≥ 1` positives of `n` reads positive with probability
+///   `sensitivity · d(k, n)` where `d` is the dilution attenuation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryDilutionModel {
+    /// Maximum (undiluted) sensitivity, in `(0, 1]`.
+    pub sensitivity: f64,
+    /// Specificity, in `(0, 1]`.
+    pub specificity: f64,
+    /// Dilution attenuation curve.
+    pub dilution: Dilution,
+}
+
+impl BinaryDilutionModel {
+    /// Construct with validation.
+    ///
+    /// # Panics
+    /// Panics when sensitivity or specificity lies outside `(0, 1]`.
+    pub fn new(sensitivity: f64, specificity: f64, dilution: Dilution) -> Self {
+        assert!(
+            sensitivity > 0.0 && sensitivity <= 1.0,
+            "sensitivity {sensitivity} outside (0,1]"
+        );
+        assert!(
+            specificity > 0.0 && specificity <= 1.0,
+            "specificity {specificity} outside (0,1]"
+        );
+        BinaryDilutionModel {
+            sensitivity,
+            specificity,
+            dilution,
+        }
+    }
+
+    /// A realistic RT-PCR-like default: 99% sensitivity, 99.5% specificity,
+    /// exponential dilution with `α = 4` (matches the moderate-dilution
+    /// regime explored in the method paper).
+    pub fn pcr_like() -> Self {
+        BinaryDilutionModel::new(0.99, 0.995, Dilution::Exponential { alpha: 4.0 })
+    }
+
+    /// A perfect test without dilution (classic group-testing idealization,
+    /// useful in tests because posteriors become exact indicator sets).
+    pub fn perfect() -> Self {
+        BinaryDilutionModel::new(1.0, 1.0, Dilution::None)
+    }
+}
+
+impl ResponseModel for BinaryDilutionModel {
+    type Outcome = bool;
+
+    fn likelihood(&self, outcome: bool, positives: u32, pool_size: u32) -> f64 {
+        let p_pos = self.positive_prob(positives, pool_size);
+        if outcome {
+            p_pos
+        } else {
+            1.0 - p_pos
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, positives: u32, pool_size: u32) -> bool {
+        rng.random::<f64>() < self.positive_prob(positives, pool_size)
+    }
+}
+
+impl BinaryOutcomeModel for BinaryDilutionModel {
+    fn positive_prob(&self, positives: u32, pool_size: u32) -> f64 {
+        if positives == 0 {
+            1.0 - self.specificity
+        } else {
+            self.sensitivity * self.dilution.attenuation(positives, pool_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_test_is_indicator() {
+        let m = BinaryDilutionModel::perfect();
+        assert_eq!(m.likelihood(true, 0, 5), 0.0);
+        assert_eq!(m.likelihood(false, 0, 5), 1.0);
+        assert_eq!(m.likelihood(true, 1, 5), 1.0);
+        assert_eq!(m.likelihood(false, 3, 5), 0.0);
+    }
+
+    #[test]
+    fn likelihoods_sum_to_one() {
+        let m = BinaryDilutionModel::pcr_like();
+        for n in [1u32, 4, 16] {
+            for k in 0..=n {
+                let s = m.likelihood(true, k, n) + m.likelihood(false, k, n);
+                assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dilution_lowers_detection() {
+        let m = BinaryDilutionModel::new(0.95, 0.99, Dilution::Linear);
+        let single_neat = m.positive_prob(1, 1);
+        let single_pool8 = m.positive_prob(1, 8);
+        assert!((single_neat - 0.95).abs() < 1e-12);
+        assert!((single_pool8 - 0.95 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_dilution_is_constant_sensitivity() {
+        let m = BinaryDilutionModel::new(0.9, 0.98, Dilution::None);
+        for n in [1u32, 8, 32] {
+            for k in 1..=n {
+                assert!((m.positive_prob(k, n) - 0.9).abs() < 1e-12);
+            }
+        }
+        assert!((m.positive_prob(0, 32) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marker_trait_accessors() {
+        let m = BinaryDilutionModel::pcr_like();
+        assert!((m.base_sensitivity() - 0.99).abs() < 1e-12);
+        assert!((m.specificity() - 0.995).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_matches_pointwise() {
+        let m = BinaryDilutionModel::pcr_like();
+        let t = m.likelihood_table(true, 6);
+        assert_eq!(t.len(), 7);
+        for (k, &v) in t.iter().enumerate() {
+            assert_eq!(v, m.likelihood(true, k as u32, 6));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_probability() {
+        let m = BinaryDilutionModel::new(0.8, 0.9, Dilution::None);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| m.sample(&mut rng, 2, 4))
+            .count() as f64;
+        let rate = hits / trials as f64;
+        assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
+        let false_pos = (0..trials)
+            .filter(|_| m.sample(&mut rng, 0, 4))
+            .count() as f64
+            / trials as f64;
+        assert!((false_pos - 0.1).abs() < 0.02, "fp {false_pos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitivity")]
+    fn validates_sensitivity() {
+        let _ = BinaryDilutionModel::new(0.0, 0.9, Dilution::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "specificity")]
+    fn validates_specificity() {
+        let _ = BinaryDilutionModel::new(0.9, 1.5, Dilution::None);
+    }
+}

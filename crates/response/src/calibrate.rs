@@ -1,0 +1,156 @@
+//! Calibration helpers for response models.
+//!
+//! Labs characterize an assay's dilution behaviour with spike-in series:
+//! detection rates of pools with one positive sample at several pool sizes.
+//! These helpers fit the exponential attenuation parameter to such data and
+//! derive operational quantities (maximum usable pool size for a target
+//! sensitivity), mirroring the calculator tooling the method paper ships.
+
+use crate::dilution::Dilution;
+
+/// An observed detection rate: a pool of `pool_size` containing exactly one
+/// positive sample was detected with empirical probability `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionPoint {
+    /// Pool size `n ≥ 1`.
+    pub pool_size: u32,
+    /// Observed detection rate in `[0, 1]`.
+    pub rate: f64,
+}
+
+/// Fit the `α` of [`Dilution::Exponential`] to single-positive detection
+/// data by least squares over a log-spaced grid refined with golden-section
+/// search. `sensitivity` is the assay's neat sensitivity.
+///
+/// Returns the fitted `α` (clamped to `[1e-3, 1e3]`). With an empty data
+/// slice, returns the midpoint default `α = 4.0`.
+pub fn fit_exponential_alpha(points: &[DetectionPoint], sensitivity: f64) -> f64 {
+    assert!(sensitivity > 0.0 && sensitivity <= 1.0);
+    if points.is_empty() {
+        return 4.0;
+    }
+    let loss = |alpha: f64| -> f64 {
+        let d = Dilution::Exponential { alpha };
+        points
+            .iter()
+            .map(|pt| {
+                let predicted = sensitivity * d.attenuation(1, pt.pool_size);
+                let e = predicted - pt.rate;
+                e * e
+            })
+            .sum()
+    };
+    // Coarse log-grid scan.
+    let mut best = (4.0f64, loss(4.0));
+    let mut a = 1e-3;
+    while a <= 1e3 {
+        let l = loss(a);
+        if l < best.1 {
+            best = (a, l);
+        }
+        a *= 1.3;
+    }
+    // Golden-section refinement around the best grid point.
+    let (mut lo, mut hi) = (best.0 / 1.3, best.0 * 1.3);
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..60 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if loss(m1) < loss(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    ((lo + hi) / 2.0).clamp(1e-3, 1e3)
+}
+
+/// Largest pool size such that a single positive sample is still detected
+/// with probability at least `target` under the given model parameters.
+/// Returns `None` when even a neat test misses the target.
+pub fn max_pool_for_sensitivity(
+    sensitivity: f64,
+    dilution: Dilution,
+    target: f64,
+    max_search: u32,
+) -> Option<u32> {
+    assert!((0.0..=1.0).contains(&target));
+    let ok = |n: u32| sensitivity * dilution.attenuation(1, n) >= target;
+    if !ok(1) {
+        return None;
+    }
+    // Effective single-positive sensitivity is non-increasing in pool size,
+    // so scan until it first drops below the target.
+    let mut best = 1;
+    for n in 2..=max_search {
+        if ok(n) {
+            best = n;
+        } else {
+            break;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_known_alpha() {
+        let truth = Dilution::Exponential { alpha: 5.0 };
+        let sens = 0.98;
+        let points: Vec<DetectionPoint> = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&n| DetectionPoint {
+                pool_size: n,
+                rate: sens * truth.attenuation(1, n),
+            })
+            .collect();
+        let fitted = fit_exponential_alpha(&points, sens);
+        assert!((fitted - 5.0).abs() < 0.05, "fitted {fitted}");
+    }
+
+    #[test]
+    fn fit_with_noise_is_close() {
+        let truth = Dilution::Exponential { alpha: 3.0 };
+        let sens = 0.95;
+        let noise = [0.01, -0.012, 0.008, -0.005, 0.011];
+        let points: Vec<DetectionPoint> = [2u32, 4, 8, 16, 32]
+            .iter()
+            .zip(noise.iter())
+            .map(|(&n, &e)| DetectionPoint {
+                pool_size: n,
+                rate: (sens * truth.attenuation(1, n) + e).clamp(0.0, 1.0),
+            })
+            .collect();
+        let fitted = fit_exponential_alpha(&points, sens);
+        assert!((fitted - 3.0).abs() < 0.5, "fitted {fitted}");
+    }
+
+    #[test]
+    fn fit_empty_returns_default() {
+        assert_eq!(fit_exponential_alpha(&[], 0.95), 4.0);
+    }
+
+    #[test]
+    fn max_pool_no_dilution_is_unbounded_to_search_cap() {
+        let n = max_pool_for_sensitivity(0.99, Dilution::None, 0.9, 64).unwrap();
+        assert_eq!(n, 64);
+    }
+
+    #[test]
+    fn max_pool_linear_dilution() {
+        // sens/n >= target  =>  n <= sens/target
+        let n = max_pool_for_sensitivity(0.9, Dilution::Linear, 0.2, 64).unwrap();
+        assert_eq!(n, 4); // 0.9/4 = 0.225 >= 0.2; 0.9/5 = 0.18 < 0.2
+    }
+
+    #[test]
+    fn max_pool_unreachable_target() {
+        assert_eq!(
+            max_pool_for_sensitivity(0.8, Dilution::None, 0.9, 64),
+            None
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Continuous-outcome response models.
+//!
+//! qPCR assays report a cycle-threshold (Ct) value — effectively a noisy
+//! log-concentration measurement — rather than a hard positive/negative
+//! call. The Biostatistics paper's framework accepts such general response
+//! distributions directly: the Bayesian update only needs densities
+//! `f(y | k, n)`. We model the negated-and-shifted signal as Gaussian:
+//!
+//! * `k = 0`: `y ~ N(mu_neg, sigma²)` (background noise);
+//! * `k ≥ 1`: `y ~ N(mu_pos + slope · log2(k/n), sigma²)` — each
+//!   two-fold dilution of the positive fraction shifts the mean by `slope`
+//!   (for real PCR, one cycle per two-fold dilution).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::model::ResponseModel;
+
+/// Gaussian continuous-response model with log2-dilution mean shift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianResponse {
+    /// Mean signal of a negative pool.
+    pub mu_neg: f64,
+    /// Mean signal of an undiluted fully-positive pool.
+    pub mu_pos: f64,
+    /// Signal shift per two-fold dilution (positive: dilution lowers the
+    /// signal toward `mu_neg`).
+    pub slope: f64,
+    /// Common standard deviation, `> 0`.
+    pub sigma: f64,
+}
+
+impl GaussianResponse {
+    /// Construct with validation.
+    ///
+    /// # Panics
+    /// Panics when `sigma <= 0`, the slope is negative, or the positive mean
+    /// does not exceed the negative mean (the assay must have some signal).
+    pub fn new(mu_neg: f64, mu_pos: f64, slope: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!(slope >= 0.0, "slope must be non-negative");
+        assert!(mu_pos > mu_neg, "positive mean must exceed negative mean");
+        GaussianResponse {
+            mu_neg,
+            mu_pos,
+            slope,
+            sigma,
+        }
+    }
+
+    /// A PCR-flavoured default: negatives at 0, neat positives at 12 units
+    /// above background, one unit lost per two-fold dilution, unit noise.
+    pub fn pcr_like() -> Self {
+        GaussianResponse::new(0.0, 12.0, 1.0, 1.0)
+    }
+
+    /// Mean signal given `k` positives of `n`.
+    pub fn mean(&self, positives: u32, pool_size: u32) -> f64 {
+        if positives == 0 {
+            self.mu_neg
+        } else {
+            let r = f64::from(positives) / f64::from(pool_size);
+            self.mu_pos + self.slope * r.log2()
+        }
+    }
+
+    fn density(&self, y: f64, mean: f64) -> f64 {
+        let z = (y - mean) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+impl ResponseModel for GaussianResponse {
+    type Outcome = f64;
+
+    fn likelihood(&self, outcome: f64, positives: u32, pool_size: u32) -> f64 {
+        self.density(outcome, self.mean(positives, pool_size))
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, positives: u32, pool_size: u32) -> f64 {
+        self.mean(positives, pool_size) + self.sigma * standard_normal(rng)
+    }
+}
+
+/// Standard normal draw via Box–Muller (rand_distr is outside the allowed
+/// dependency set; this keeps sampling self-contained).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn means_shift_with_dilution() {
+        let m = GaussianResponse::pcr_like();
+        assert_eq!(m.mean(0, 8), 0.0);
+        assert_eq!(m.mean(8, 8), 12.0);
+        // Half-positive pool: one slope unit below neat.
+        assert!((m.mean(4, 8) - 11.0).abs() < 1e-12);
+        // Single positive in 8: three two-fold dilutions.
+        assert!((m.mean(1, 8) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_is_maximal_at_mean() {
+        let m = GaussianResponse::pcr_like();
+        let at_mean = m.likelihood(9.0, 1, 8);
+        assert!(at_mean > m.likelihood(8.0, 1, 8));
+        assert!(at_mean > m.likelihood(10.0, 1, 8));
+    }
+
+    #[test]
+    fn density_integrates_to_one_numerically() {
+        let m = GaussianResponse::pcr_like();
+        let dx = 0.01;
+        let integral: f64 = (-1000..3000)
+            .map(|i| m.likelihood(i as f64 * dx, 2, 4) * dx)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn table_has_expected_ordering() {
+        // A strong signal observation should favor large k.
+        let m = GaussianResponse::pcr_like();
+        let t = m.likelihood_table(12.0, 4);
+        assert_eq!(t.len(), 5);
+        assert!(t[4] > t[1]);
+        assert!(t[0] < t[1]);
+        // A background-level observation favors k = 0.
+        let t0 = m.likelihood_table(0.0, 4);
+        assert!(t0[0] > t0[1]);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let m = GaussianResponse::pcr_like();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng, 2, 8)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - m.mean(2, 8)).abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let s: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = s.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        let inside = s.iter().filter(|x| x.abs() < 1.96).count() as f64 / n as f64;
+        assert!((inside - 0.95).abs() < 0.01, "95% coverage {inside}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn validates_sigma() {
+        let _ = GaussianResponse::new(0.0, 10.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mean")]
+    fn validates_signal() {
+        let _ = GaussianResponse::new(5.0, 5.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Censored Ct-value response: the realistic qPCR outcome.
+//!
+//! A real qPCR run reports either a cycle-threshold value (the cycle at
+//! which amplification crossed threshold — lower Ct ⇔ more analyte) or
+//! *no amplification* within the cycle budget. The outcome is therefore a
+//! mixture: a detection indicator plus, conditionally, a continuous value.
+//! This model composes the binary dilution machinery (for the detection
+//! probability) with a Gaussian Ct conditional on detection whose mean
+//! rises with dilution (each two-fold dilution costs ~one cycle).
+//!
+//! It exercises the framework's "general response distributions" claim end
+//! to end: the likelihood is a probability mass for the censored branch
+//! and `P(detect) × density` for the detected branch, and both flow
+//! through the standard lattice update unchanged.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::continuous::standard_normal;
+use crate::dilution::Dilution;
+use crate::model::ResponseModel;
+
+/// Outcome of a censored qPCR run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CtOutcome {
+    /// Amplification crossed threshold at this cycle count.
+    Detected(f64),
+    /// No amplification within the cycle budget.
+    NotDetected,
+}
+
+/// Censored Ct-value model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CtValueModel {
+    /// Maximum (neat, single-positive) detection sensitivity.
+    pub sensitivity: f64,
+    /// Specificity: a fully-negative pool amplifies (spuriously) with
+    /// probability `1 − specificity`, drawing its Ct near the cycle
+    /// budget.
+    pub specificity: f64,
+    /// Dilution attenuation on the detection probability.
+    pub dilution: Dilution,
+    /// Mean Ct of a neat fully-positive pool.
+    pub ct_neat: f64,
+    /// Cycles added per two-fold dilution of the positive fraction.
+    pub ct_per_doubling: f64,
+    /// Ct standard deviation.
+    pub sigma: f64,
+    /// Mean Ct of spurious amplification in true-negative pools.
+    pub ct_spurious: f64,
+}
+
+impl CtValueModel {
+    /// A realistic default: neat positives at Ct 20, one cycle per
+    /// two-fold dilution, σ = 1.5, spurious amplifications near Ct 38.
+    pub fn pcr_like() -> Self {
+        CtValueModel {
+            sensitivity: 0.99,
+            specificity: 0.995,
+            dilution: Dilution::Exponential { alpha: 4.0 },
+            ct_neat: 20.0,
+            ct_per_doubling: 1.0,
+            sigma: 1.5,
+            ct_spurious: 38.0,
+        }
+    }
+
+    /// Detection probability given `k` positives of `n`.
+    pub fn detect_prob(&self, positives: u32, pool_size: u32) -> f64 {
+        if positives == 0 {
+            1.0 - self.specificity
+        } else {
+            self.sensitivity * self.dilution.attenuation(positives, pool_size)
+        }
+    }
+
+    /// Mean Ct conditional on detection.
+    pub fn ct_mean(&self, positives: u32, pool_size: u32) -> f64 {
+        if positives == 0 {
+            self.ct_spurious
+        } else {
+            let r = f64::from(positives) / f64::from(pool_size);
+            // log2(r) <= 0: dilution raises the Ct.
+            self.ct_neat - self.ct_per_doubling * r.log2()
+        }
+    }
+
+    fn ct_density(&self, ct: f64, mean: f64) -> f64 {
+        let z = (ct - mean) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+impl ResponseModel for CtValueModel {
+    type Outcome = CtOutcome;
+
+    fn likelihood(&self, outcome: CtOutcome, positives: u32, pool_size: u32) -> f64 {
+        let p_detect = self.detect_prob(positives, pool_size);
+        match outcome {
+            CtOutcome::NotDetected => 1.0 - p_detect,
+            CtOutcome::Detected(ct) => {
+                p_detect * self.ct_density(ct, self.ct_mean(positives, pool_size))
+            }
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, positives: u32, pool_size: u32) -> CtOutcome {
+        let p_detect = self.detect_prob(positives, pool_size);
+        if rng.random::<f64>() < p_detect {
+            let ct = self.ct_mean(positives, pool_size) + self.sigma * standard_normal(rng);
+            CtOutcome::Detected(ct)
+        } else {
+            CtOutcome::NotDetected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ct_mean_rises_with_dilution() {
+        let m = CtValueModel::pcr_like();
+        assert_eq!(m.ct_mean(8, 8), 20.0);
+        assert!((m.ct_mean(1, 8) - 23.0).abs() < 1e-12); // 3 doublings
+        assert!((m.ct_mean(4, 8) - 21.0).abs() < 1e-12);
+        assert_eq!(m.ct_mean(0, 8), 38.0);
+    }
+
+    #[test]
+    fn detection_mixes_binary_machinery() {
+        let m = CtValueModel::pcr_like();
+        assert!((m.detect_prob(0, 4) - 0.005).abs() < 1e-12);
+        assert!(m.detect_prob(1, 16) < m.detect_prob(1, 2));
+        assert!((m.detect_prob(4, 4) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn likelihood_normalizes_over_outcome_space() {
+        // P(not detected) + ∫ P(detected, ct) dct = 1 for every (k, n).
+        let m = CtValueModel::pcr_like();
+        let dx = 0.02;
+        for (k, n) in [(0u32, 4u32), (1, 4), (2, 8), (8, 8)] {
+            let censored = m.likelihood(CtOutcome::NotDetected, k, n);
+            let integral: f64 = (0..4000)
+                .map(|i| m.likelihood(CtOutcome::Detected(i as f64 * dx), k, n) * dx)
+                .sum();
+            assert!(
+                (censored + integral - 1.0).abs() < 1e-3,
+                "k={k} n={n}: {censored} + {integral}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_ct_implies_high_positive_fraction() {
+        // Ct 20 (strong signal) must favor an all-positive pool over a
+        // single positive.
+        let m = CtValueModel::pcr_like();
+        let strong = CtOutcome::Detected(20.0);
+        assert!(m.likelihood(strong, 4, 4) > m.likelihood(strong, 1, 4));
+        // Ct 23.5 favors the single positive in 8.
+        let weak = CtOutcome::Detected(23.0);
+        assert!(m.likelihood(weak, 1, 8) > m.likelihood(weak, 8, 8));
+    }
+
+    #[test]
+    fn sampling_matches_detection_rate() {
+        let m = CtValueModel::pcr_like();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 20_000;
+        let detected = (0..trials)
+            .filter(|_| matches!(m.sample(&mut rng, 2, 4), CtOutcome::Detected(_)))
+            .count() as f64
+            / trials as f64;
+        let expected = m.detect_prob(2, 4);
+        assert!((detected - expected).abs() < 0.02, "{detected} vs {expected}");
+    }
+
+    #[test]
+    fn lattice_update_with_ct_outcomes() {
+        // End-to-end through the generic table path: a strong Ct on a
+        // two-subject pool raises both marginals.
+        use sbgt_lattice::DensePosterior;
+        let m = CtValueModel::pcr_like();
+        let mut post = DensePosterior::from_risks(&[0.1, 0.1, 0.1]);
+        let pool = sbgt_lattice::State::from_subjects([0, 1]);
+        let table = m.likelihood_table(CtOutcome::Detected(20.5), pool.rank());
+        post.mul_likelihood(pool, &table);
+        post.try_normalize().unwrap();
+        let marg = post.marginals();
+        assert!(marg[0] > 0.5, "marginal {}", marg[0]);
+        assert!((marg[2] - 0.1).abs() < 1e-9);
+    }
+}

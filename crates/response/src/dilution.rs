@@ -1,0 +1,182 @@
+//! Dilution attenuation curves.
+//!
+//! A pool of `n` samples with `k` positives carries analyte concentration
+//! proportional to `k/n`. The attenuation curve `d(k, n)` maps that
+//! concentration to a multiplier on the assay's maximum sensitivity:
+//! `sens_eff(k, n) = sens_max · d(k, n)` with `d(0, n) = 0` and
+//! `d(n, n) = 1` (an undiluted fully-positive pool reaches full
+//! sensitivity). All curves are non-decreasing in `k` at fixed `n` — more
+//! positive samples can only make detection easier.
+
+use serde::{Deserialize, Serialize};
+
+/// Attenuation curve families from the dilution-effects literature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dilution {
+    /// No dilution effect: any positive sample is detected at full
+    /// sensitivity regardless of pool size (the classical Dorfman setting).
+    None,
+    /// Sensitivity proportional to the positive fraction: `d = k/n`.
+    /// A strong dilution effect — a single positive in a pool of 32 retains
+    /// only 1/32 of the sensitivity.
+    Linear,
+    /// Saturating exponential in the positive fraction:
+    /// `d = (1 − e^{−α·k/n}) / (1 − e^{−α})`. Larger `α` saturates faster
+    /// (weaker dilution penalty); `α → 0` degenerates to linear.
+    Exponential {
+        /// Saturation rate `α > 0`.
+        alpha: f64,
+    },
+    /// Hill curve in the positive fraction `r = k/n`:
+    /// `d = [r^γ / (r^γ + κ^γ)] · (1 + κ^γ)` — normalized so `d(n,n) = 1`.
+    /// `κ` is the half-effect fraction, `γ` the steepness.
+    Hill {
+        /// Steepness `γ > 0`.
+        gamma: f64,
+        /// Positive fraction at which sensitivity reaches half its
+        /// asymptote, `0 < κ <= 1`.
+        kappa: f64,
+    },
+}
+
+impl Dilution {
+    /// The attenuation `d(k, n) ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `pool_size == 0` or `positives > pool_size` (debug
+    /// assertions), or on invalid curve parameters.
+    pub fn attenuation(&self, positives: u32, pool_size: u32) -> f64 {
+        debug_assert!(pool_size >= 1, "pool must be non-empty");
+        debug_assert!(positives <= pool_size);
+        if positives == 0 {
+            return 0.0;
+        }
+        let r = f64::from(positives) / f64::from(pool_size);
+        match *self {
+            Dilution::None => 1.0,
+            Dilution::Linear => r,
+            Dilution::Exponential { alpha } => {
+                assert!(alpha > 0.0, "alpha must be positive");
+                (1.0 - (-alpha * r).exp()) / (1.0 - (-alpha).exp())
+            }
+            Dilution::Hill { gamma, kappa } => {
+                assert!(gamma > 0.0 && kappa > 0.0 && kappa <= 1.0, "invalid Hill parameters");
+                let rg = r.powf(gamma);
+                let kg = kappa.powf(gamma);
+                (rg / (rg + kg)) * (1.0 + kg)
+            }
+        }
+    }
+
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dilution::None => "none",
+            Dilution::Linear => "linear",
+            Dilution::Exponential { .. } => "exponential",
+            Dilution::Hill { .. } => "hill",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curves() -> Vec<Dilution> {
+        vec![
+            Dilution::None,
+            Dilution::Linear,
+            Dilution::Exponential { alpha: 3.0 },
+            Dilution::Hill {
+                gamma: 2.0,
+                kappa: 0.3,
+            },
+        ]
+    }
+
+    #[test]
+    fn boundary_conditions() {
+        for d in curves() {
+            for n in [1u32, 2, 8, 32] {
+                assert_eq!(d.attenuation(0, n), 0.0, "{:?} d(0,{n})", d);
+                let full = d.attenuation(n, n);
+                assert!((full - 1.0).abs() < 1e-12, "{:?} d({n},{n}) = {full}", d);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_positives() {
+        for d in curves() {
+            for n in [2u32, 5, 16] {
+                let mut prev = 0.0;
+                for k in 0..=n {
+                    let v = d.attenuation(k, n);
+                    assert!(v >= prev - 1e-12, "{:?} not monotone at k={k} n={n}", d);
+                    assert!((0.0..=1.0 + 1e-12).contains(&v));
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dilution_worsens_with_pool_size() {
+        // One positive in a bigger pool must be (weakly) harder to detect.
+        for d in curves() {
+            let mut prev = f64::INFINITY;
+            for n in [1u32, 2, 4, 8, 16, 32] {
+                let v = d.attenuation(1, n);
+                assert!(v <= prev + 1e-12, "{:?} at n={n}", d);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn linear_is_exact_fraction() {
+        assert!((Dilution::Linear.attenuation(3, 12) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponential_saturates_faster_with_larger_alpha() {
+        let weak = Dilution::Exponential { alpha: 1.0 };
+        let strong = Dilution::Exponential { alpha: 8.0 };
+        assert!(strong.attenuation(1, 8) > weak.attenuation(1, 8));
+    }
+
+    #[test]
+    fn hill_half_effect_at_kappa() {
+        let d = Dilution::Hill {
+            gamma: 3.0,
+            kappa: 0.5,
+        };
+        // At r = kappa the unnormalized curve is exactly 1/2 of its
+        // asymptote; the normalized value is (1 + κ^γ)/2.
+        let v = d.attenuation(1, 2);
+        let expected = (1.0 + 0.5f64.powf(3.0)) / 2.0;
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Dilution::None.name(), "none");
+        assert_eq!(Dilution::Linear.name(), "linear");
+        assert_eq!(Dilution::Exponential { alpha: 1.0 }.name(), "exponential");
+        assert_eq!(
+            Dilution::Hill {
+                gamma: 1.0,
+                kappa: 0.5
+            }
+            .name(),
+            "hill"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn exponential_validates_alpha() {
+        let _ = Dilution::Exponential { alpha: -1.0 }.attenuation(1, 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Graded (multi-level) pooled assay for product-of-chains lattices.
+//!
+//! When subjects carry ordered infection levels (negative / low / high),
+//! a pool's analyte content is the *total level* of its members, and the
+//! detection probability depends on that total relative to the pool's
+//! maximum possible content. This model adapts the binary dilution
+//! machinery to graded states; its table form plugs directly into
+//! `ChainPosterior::mul_likelihood_fused`.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::dilution::Dilution;
+
+/// Binary-outcome assay over graded pooled content.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradedBinaryModel {
+    /// Maximum sensitivity (content-saturated pool).
+    pub sensitivity: f64,
+    /// Specificity (zero-content pool).
+    pub specificity: f64,
+    /// Attenuation as a function of the content fraction.
+    pub dilution: Dilution,
+}
+
+impl GradedBinaryModel {
+    /// Construct with validation.
+    ///
+    /// # Panics
+    /// Panics when sensitivity/specificity lie outside `(0, 1]`.
+    pub fn new(sensitivity: f64, specificity: f64, dilution: Dilution) -> Self {
+        assert!(sensitivity > 0.0 && sensitivity <= 1.0);
+        assert!(specificity > 0.0 && specificity <= 1.0);
+        GradedBinaryModel {
+            sensitivity,
+            specificity,
+            dilution,
+        }
+    }
+
+    /// PCR-like default matching [`crate::BinaryDilutionModel::pcr_like`].
+    pub fn pcr_like() -> Self {
+        GradedBinaryModel::new(0.99, 0.995, Dilution::Exponential { alpha: 4.0 })
+    }
+
+    /// `P(positive outcome | total_level of max_level in the pool)`.
+    ///
+    /// The attenuation is evaluated at the content fraction
+    /// `total_level / max_level` through the same curves as the Boolean
+    /// model (which is recovered when levels are 0/1 and `max_level` is the
+    /// pool size).
+    ///
+    /// # Panics
+    /// Panics when `max_level == 0` or `total_level > max_level`.
+    pub fn positive_prob(&self, total_level: u32, max_level: u32) -> f64 {
+        assert!(max_level >= 1, "pool must have positive capacity");
+        assert!(total_level <= max_level);
+        if total_level == 0 {
+            1.0 - self.specificity
+        } else {
+            self.sensitivity * self.dilution.attenuation(total_level, max_level)
+        }
+    }
+
+    /// Likelihood table over total levels `0..=max_level` for an observed
+    /// binary outcome — the vector `ChainPosterior` updates with.
+    pub fn likelihood_table(&self, outcome: bool, max_level: u32) -> Vec<f64> {
+        (0..=max_level)
+            .map(|t| {
+                let p = self.positive_prob(t, max_level);
+                if outcome {
+                    p
+                } else {
+                    1.0 - p
+                }
+            })
+            .collect()
+    }
+
+    /// Sample an outcome for a pool with the given content.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        total_level: u32,
+        max_level: u32,
+    ) -> bool {
+        rng.random::<f64>() < self.positive_prob(total_level, max_level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::BinaryDilutionModel;
+    use crate::model::BinaryOutcomeModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduces_to_boolean_model_on_binary_levels() {
+        let graded = GradedBinaryModel::pcr_like();
+        let boolean = BinaryDilutionModel::pcr_like();
+        // A Boolean pool of size n has max_level = n and total = positives.
+        for n in [1u32, 4, 8] {
+            for k in 0..=n {
+                assert!(
+                    (graded.positive_prob(k, n) - boolean.positive_prob(k, n)).abs() < 1e-12,
+                    "k={k} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_shape_and_monotonicity() {
+        let m = GradedBinaryModel::pcr_like();
+        let t = m.likelihood_table(true, 6);
+        assert_eq!(t.len(), 7);
+        // More content ⇒ (weakly) more detectable.
+        for w in t.windows(2).skip(1) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        // Negative-outcome table is the complement.
+        let tn = m.likelihood_table(false, 6);
+        for (a, b) in t.iter().zip(&tn) {
+            assert!((a + b - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn graded_chain_update_end_to_end() {
+        use sbgt_lattice::{ChainPosterior, ChainShape};
+        // Two subjects, 3 levels each; a strongly positive pooled outcome
+        // shifts mass toward higher total levels.
+        let shape = ChainShape::uniform(2, 3);
+        let priors = vec![vec![0.8, 0.15, 0.05]; 2];
+        let mut post = ChainPosterior::from_priors(shape.clone(), &priors);
+        let m = GradedBinaryModel::pcr_like();
+        let max_level = shape.max_pool_level(&[0, 1]);
+        let table = m.likelihood_table(true, max_level);
+        post.mul_likelihood_fused(&[0, 1], &table);
+        post.try_normalize().unwrap();
+        let pos = post.positive_marginals();
+        assert!(pos[0] > 0.2, "marginal {}", pos[0]); // prior was 0.2
+        // High level gains relative to low within each subject.
+        let lm = post.level_marginals();
+        assert!(lm[0][2] / lm[0][1] > 0.05 / 0.15 - 1e-9);
+    }
+
+    #[test]
+    fn sampling_rate_matches() {
+        let m = GradedBinaryModel::new(0.9, 0.95, Dilution::None);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 20_000;
+        let rate = (0..trials).filter(|_| m.sample(&mut rng, 3, 6)).count() as f64
+            / trials as f64;
+        assert!((rate - 0.9).abs() < 0.02, "{rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _ = GradedBinaryModel::pcr_like().positive_prob(0, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The response-model abstraction.
+
+use rand::Rng;
+
+/// A probabilistic model of a pooled test's outcome.
+///
+/// The outcome distribution may depend on the state hypothesis only through
+/// `positives = |s ∩ A|` and `pool_size = |A|` — the conditional
+/// independence assumption of the lattice framework. This is exactly what
+/// makes the lattice update cheap: a single observed outcome induces a
+/// likelihood **table** of `pool_size + 1` values, and the `2^N` update
+/// indexes that table by popcount.
+pub trait ResponseModel {
+    /// The observable outcome type (e.g. `bool` for a binary assay, `f64`
+    /// for a continuous signal).
+    type Outcome: Copy + PartialEq + std::fmt::Debug;
+
+    /// Likelihood (probability or density) of `outcome` given `positives`
+    /// positive samples in a pool of `pool_size`.
+    ///
+    /// Must be finite and non-negative for `0 <= positives <= pool_size`,
+    /// `pool_size >= 1`.
+    fn likelihood(&self, outcome: Self::Outcome, positives: u32, pool_size: u32) -> f64;
+
+    /// The likelihood table `[f(y|0,n), f(y|1,n), .., f(y|n,n)]` consumed by
+    /// the lattice multiply kernels.
+    fn likelihood_table(&self, outcome: Self::Outcome, pool_size: u32) -> Vec<f64> {
+        (0..=pool_size)
+            .map(|k| self.likelihood(outcome, k, pool_size))
+            .collect()
+    }
+
+    /// Draw an outcome for a pool with `positives` of `pool_size` samples
+    /// truly positive (used by the simulation substrate).
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, positives: u32, pool_size: u32)
+        -> Self::Outcome;
+}
+
+/// Extra structure available when outcomes are binary: the full outcome
+/// distribution is determined by one probability per `(k, n)`, which is what
+/// the look-ahead selection rules branch on.
+pub trait BinaryOutcomeModel: ResponseModel<Outcome = bool> {
+    /// `P(test reads positive | k positives in a pool of n)`.
+    fn positive_prob(&self, positives: u32, pool_size: u32) -> f64;
+
+    /// Test sensitivity for a neat (undiluted) single sample.
+    fn base_sensitivity(&self) -> f64 {
+        self.positive_prob(1, 1)
+    }
+
+    /// Test specificity (one minus the false-positive probability).
+    fn specificity(&self) -> f64 {
+        1.0 - self.positive_prob(0, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A perfect test, for exercising the default methods.
+    struct Perfect;
+
+    impl ResponseModel for Perfect {
+        type Outcome = bool;
+
+        fn likelihood(&self, outcome: bool, positives: u32, _pool_size: u32) -> f64 {
+            let positive_pool = positives > 0;
+            if outcome == positive_pool {
+                1.0
+            } else {
+                0.0
+            }
+        }
+
+        fn sample<R: Rng + ?Sized>(&self, _rng: &mut R, positives: u32, _n: u32) -> bool {
+            positives > 0
+        }
+    }
+
+    impl BinaryOutcomeModel for Perfect {
+        fn positive_prob(&self, positives: u32, _pool_size: u32) -> f64 {
+            if positives > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn default_table_enumerates_k() {
+        let t = Perfect.likelihood_table(true, 3);
+        assert_eq!(t, vec![0.0, 1.0, 1.0, 1.0]);
+        let t = Perfect.likelihood_table(false, 3);
+        assert_eq!(t, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn default_sensitivity_specificity() {
+        assert_eq!(Perfect.base_sensitivity(), 1.0);
+        assert_eq!(Perfect.specificity(), 1.0);
+    }
+
+    #[test]
+    fn sample_is_deterministic_for_perfect_test() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Perfect.sample(&mut rng, 2, 4));
+        assert!(!Perfect.sample(&mut rng, 0, 4));
+    }
+}

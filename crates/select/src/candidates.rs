@@ -1,0 +1,168 @@
+//! Candidate-pool generation strategies.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sbgt_lattice::iter::subsets_of;
+use sbgt_lattice::State;
+
+/// How to enumerate candidate pools over a set of eligible subjects.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateStrategy {
+    /// Every non-empty subset of the eligible subjects with at most
+    /// `max_pool_size` members. Exponential in the eligible count — only
+    /// viable for small cohorts; used as ground truth.
+    Exhaustive {
+        /// Largest pool size to consider (assay-constrained).
+        max_pool_size: usize,
+    },
+    /// Prefixes `{o_1}, {o_1, o_2}, ...` of the supplied subject ordering,
+    /// up to `max_pool_size`. With subjects ordered by ascending marginal,
+    /// this contains the BHA optimum for independent posteriors.
+    SortedPrefix {
+        /// Largest prefix length to consider.
+        max_pool_size: usize,
+    },
+    /// `count` pools drawn uniformly among subsets of size
+    /// `1..=max_pool_size`, seeded for reproducibility.
+    Random {
+        /// Number of candidate pools to draw.
+        count: usize,
+        /// Largest pool size to draw.
+        max_pool_size: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl CandidateStrategy {
+    /// Generate the candidate pools over `eligible` subjects, which must be
+    /// supplied in the intended priority order (for `SortedPrefix`, by
+    /// ascending posterior marginal).
+    ///
+    /// Returns an empty vector when `eligible` is empty.
+    pub fn generate(&self, eligible: &[usize]) -> Vec<State> {
+        if eligible.is_empty() {
+            return Vec::with_capacity(0);
+        }
+        match *self {
+            CandidateStrategy::Exhaustive { max_pool_size } => {
+                let mask = State::from_subjects(eligible.iter().copied());
+                subsets_of(mask)
+                    .filter(|s| {
+                        let r = s.rank() as usize;
+                        r >= 1 && r <= max_pool_size
+                    })
+                    .collect()
+            }
+            CandidateStrategy::SortedPrefix { max_pool_size } => {
+                let cap = max_pool_size.min(eligible.len());
+                (1..=cap)
+                    .map(|k| State::from_subjects(eligible[..k].iter().copied()))
+                    .collect()
+            }
+            CandidateStrategy::Random {
+                count,
+                max_pool_size,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let cap = max_pool_size.min(eligible.len()).max(1);
+                let mut pools = Vec::with_capacity(count);
+                let mut scratch: Vec<usize> = eligible.to_vec();
+                for _ in 0..count {
+                    let size = rng.random_range(1..=cap);
+                    // Partial Fisher-Yates: the first `size` entries become
+                    // a uniform size-`size` subset.
+                    for i in 0..size {
+                        let j = rng.random_range(i..scratch.len());
+                        scratch.swap(i, j);
+                    }
+                    pools.push(State::from_subjects(scratch[..size].iter().copied()));
+                }
+                pools.sort_unstable_by_key(|s| s.bits());
+                pools.dedup();
+                pools
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_counts() {
+        let c = CandidateStrategy::Exhaustive { max_pool_size: 2 };
+        let pools = c.generate(&[0, 2, 5]);
+        // C(3,1) + C(3,2) = 6
+        assert_eq!(pools.len(), 6);
+        for p in &pools {
+            assert!(p.rank() >= 1 && p.rank() <= 2);
+            assert!(p.is_subset_of(State::from_subjects([0, 2, 5])));
+        }
+    }
+
+    #[test]
+    fn exhaustive_unbounded_includes_full_set() {
+        let c = CandidateStrategy::Exhaustive { max_pool_size: 99 };
+        let pools = c.generate(&[1, 3]);
+        assert_eq!(pools.len(), 3); // {1}, {3}, {1,3}
+    }
+
+    #[test]
+    fn prefix_respects_order() {
+        let c = CandidateStrategy::SortedPrefix { max_pool_size: 3 };
+        let pools = c.generate(&[4, 1, 7, 2]);
+        assert_eq!(
+            pools,
+            vec![
+                State::from_subjects([4]),
+                State::from_subjects([4, 1]),
+                State::from_subjects([4, 1, 7]),
+            ]
+        );
+    }
+
+    #[test]
+    fn prefix_caps_at_eligible_count() {
+        let c = CandidateStrategy::SortedPrefix { max_pool_size: 10 };
+        assert_eq!(c.generate(&[0, 1]).len(), 2);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_bounded() {
+        let c = CandidateStrategy::Random {
+            count: 20,
+            max_pool_size: 3,
+            seed: 9,
+        };
+        let eligible = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        let a = c.generate(&eligible);
+        let b = c.generate(&eligible);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= 20);
+        let mask = State::from_subjects(eligible.iter().copied());
+        for p in &a {
+            assert!(p.rank() >= 1 && p.rank() <= 3);
+            assert!(p.is_subset_of(mask));
+        }
+    }
+
+    #[test]
+    fn empty_eligible_yields_no_pools() {
+        for c in [
+            CandidateStrategy::Exhaustive { max_pool_size: 2 },
+            CandidateStrategy::SortedPrefix { max_pool_size: 2 },
+            CandidateStrategy::Random {
+                count: 5,
+                max_pool_size: 2,
+                seed: 1,
+            },
+        ] {
+            assert!(c.generate(&[]).is_empty());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Look-ahead stage selection.
+//!
+//! A *stage* runs several pooled tests in parallel on the bench before the
+//! next posterior update. The method paper's look-ahead rules pick all `L`
+//! pools of a stage up front: the first by the ordinary halving rule, each
+//! subsequent one by minimizing the **expected** halving distance over the
+//! outcome branches of the pools already committed to the stage. More pools
+//! per stage means fewer serial stages (lower turnaround time) at the cost
+//! of more total tests — the trade-off of experiment E8.
+
+use std::collections::HashSet;
+
+use sbgt_bayes::{update_dense, Observation};
+use sbgt_lattice::{DensePosterior, State};
+use sbgt_response::BinaryOutcomeModel;
+
+use crate::halving::Selection;
+
+/// Configuration for a look-ahead stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookaheadConfig {
+    /// Number of pools to select for the stage (`L ≥ 1`); `L = 1`
+    /// degenerates to the plain halving rule.
+    pub width: usize,
+    /// Largest admissible pool size.
+    pub max_pool_size: usize,
+}
+
+impl Default for LookaheadConfig {
+    fn default() -> Self {
+        LookaheadConfig {
+            width: 1,
+            max_pool_size: 32,
+        }
+    }
+}
+
+/// Select the pools of one stage by greedy expected-halving search over
+/// prefix candidates of `order` (subjects by ascending marginal).
+///
+/// Returns up to `cfg.width` selections; each [`Selection`]'s
+/// `negative_mass`/`distance` are the **expected** values over the outcome
+/// branches of the previously committed pools (for the first pool they
+/// coincide with the plain halving quantities). Fewer pools are returned
+/// when candidates run out or every branch dies (impossible outcomes under
+/// a degenerate model).
+pub fn select_stage_lookahead<M: BinaryOutcomeModel>(
+    posterior: &DensePosterior,
+    model: &M,
+    order: &[usize],
+    cfg: &LookaheadConfig,
+) -> Vec<Selection> {
+    assert!(cfg.width >= 1, "stage width must be at least 1");
+    let cap = cfg.max_pool_size.min(order.len());
+    if cap == 0 {
+        return Vec::with_capacity(0);
+    }
+
+    // Outcome branches: (normalized posterior, probability weight).
+    let mut branches: Vec<(DensePosterior, f64)> = vec![(posterior.clone(), 1.0)];
+    if branches[0].0.try_normalize().is_none() {
+        return Vec::with_capacity(0);
+    }
+
+    let mut chosen: Vec<Selection> = Vec::with_capacity(cfg.width);
+    let mut used: HashSet<u64> = HashSet::new();
+
+    for _ in 0..cfg.width {
+        // Score every prefix candidate against every branch in one
+        // all-prefix pass per branch.
+        let mut expected_mass = vec![0.0f64; cap + 1];
+        let mut expected_dist = vec![0.0f64; cap + 1];
+        for (post, w) in &branches {
+            let masses = post.prefix_negative_masses(order);
+            let total = masses[0];
+            if !(total.is_finite() && total > 0.0) {
+                continue;
+            }
+            for k in 1..=cap {
+                let m = masses[k] / total;
+                expected_mass[k] += w * m;
+                expected_dist[k] += w * (m - 0.5).abs();
+            }
+        }
+        let mut best: Option<(usize, State)> = None;
+        for k in 1..=cap {
+            let pool = State::from_subjects(order[..k].iter().copied());
+            if used.contains(&pool.bits()) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bk, _)) => expected_dist[k] + 1e-12 < expected_dist[bk],
+            };
+            if better {
+                best = Some((k, pool));
+            }
+        }
+        let Some((k, pool)) = best else { break };
+        used.insert(pool.bits());
+        chosen.push(Selection {
+            pool,
+            negative_mass: expected_mass[k],
+            distance: expected_dist[k],
+        });
+
+        if chosen.len() == cfg.width {
+            break;
+        }
+
+        // Branch every posterior on the chosen pool's two outcomes.
+        let mut next: Vec<(DensePosterior, f64)> = Vec::with_capacity(branches.len() * 2);
+        for (post, w) in branches {
+            for outcome in [false, true] {
+                let mut branched = post.clone();
+                match update_dense(&mut branched, model, &Observation::new(pool, outcome)) {
+                    Ok(z) => next.push((branched, w * z)),
+                    Err(_) => {} // impossible branch: zero predictive mass
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        branches = next;
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halving::select_halving_prefix;
+    use sbgt_response::BinaryDilutionModel;
+
+    fn ascending_order(risks: &[f64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..risks.len()).collect();
+        order.sort_by(|&a, &b| risks[a].total_cmp(&risks[b]));
+        order
+    }
+
+    #[test]
+    fn width_one_matches_plain_halving() {
+        let risks = [0.02, 0.08, 0.05, 0.15, 0.01];
+        let post = DensePosterior::from_risks(&risks);
+        let order = ascending_order(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig {
+            width: 1,
+            max_pool_size: 5,
+        };
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        let plain = select_halving_prefix(&post, &order, 5).unwrap();
+        assert_eq!(stage.len(), 1);
+        assert_eq!(stage[0].pool, plain.pool);
+        assert!((stage[0].negative_mass - plain.negative_mass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_stage_returns_distinct_pools() {
+        let risks = [0.03, 0.07, 0.12, 0.2, 0.04, 0.09, 0.15, 0.25];
+        let post = DensePosterior::from_risks(&risks);
+        let order = ascending_order(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig {
+            width: 3,
+            max_pool_size: 8,
+        };
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        assert_eq!(stage.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for s in &stage {
+            assert!(seen.insert(s.pool.bits()), "duplicate pool in stage");
+            assert!(s.pool.rank() as usize <= 8);
+        }
+    }
+
+    #[test]
+    fn expected_distance_is_bounded() {
+        let risks = [0.1, 0.2, 0.15, 0.05];
+        let post = DensePosterior::from_risks(&risks);
+        let order = ascending_order(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig {
+            width: 2,
+            max_pool_size: 4,
+        };
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        for s in &stage {
+            assert!(s.distance >= -1e-12 && s.distance <= 0.5 + 1e-12);
+            assert!(s.negative_mass >= -1e-12 && s.negative_mass <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_order_yields_empty_stage() {
+        let post = DensePosterior::from_risks(&[0.1, 0.1]);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig::default();
+        assert!(select_stage_lookahead(&post, &model, &[], &cfg).is_empty());
+    }
+
+    #[test]
+    fn degenerate_posterior_yields_empty_stage() {
+        let post = DensePosterior::from_probs(2, vec![0.0; 4]);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig::default();
+        assert!(select_stage_lookahead(&post, &model, &[0, 1], &cfg).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage width")]
+    fn zero_width_panics() {
+        let post = DensePosterior::from_risks(&[0.1]);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig {
+            width: 0,
+            max_pool_size: 1,
+        };
+        let _ = select_stage_lookahead(&post, &model, &[0], &cfg);
+    }
+}

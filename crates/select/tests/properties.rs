@@ -1,0 +1,149 @@
+//! Property tests for the selection rules: optimality relations between
+//! prefix, global, and exhaustive halving; look-ahead sanity; information
+//! gain bounds.
+
+use proptest::prelude::*;
+
+use sbgt_lattice::{DensePosterior, State};
+use sbgt_response::{BinaryDilutionModel, Dilution};
+use sbgt_select::{
+    select_halving_exhaustive, select_halving_global, select_halving_prefix,
+    select_information_gain, select_stage_lookahead, CandidateStrategy, LookaheadConfig,
+};
+
+fn risks_strategy(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..0.45, 2..=max_n)
+}
+
+fn ascending(risks: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..risks.len()).collect();
+    order.sort_by(|&a, &b| risks[a].total_cmp(&risks[b]));
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The optimality chain: exhaustive ≡ global ≤ prefix, all with
+    /// distances in [0, 1/2] and masses in [0, 1].
+    #[test]
+    fn optimality_chain(risks in risks_strategy(8), cap in 1usize..9) {
+        let post = DensePosterior::from_risks(&risks);
+        let order = ascending(&risks);
+        let cap = cap.min(risks.len());
+
+        let prefix = select_halving_prefix(&post, &order, cap).unwrap();
+        let global = select_halving_global(&post, &order, cap).unwrap();
+        let candidates = CandidateStrategy::Exhaustive { max_pool_size: cap }.generate(&order);
+        let exhaustive = select_halving_exhaustive(&post, &candidates).unwrap();
+
+        prop_assert_eq!(global.pool, exhaustive.pool);
+        prop_assert!(global.distance <= prefix.distance + 1e-12);
+        for s in [&prefix, &global, &exhaustive] {
+            prop_assert!(s.distance >= -1e-12 && s.distance <= 0.5 + 1e-12);
+            prop_assert!(s.negative_mass >= -1e-12 && s.negative_mass <= 1.0 + 1e-12);
+            prop_assert!(s.pool.rank() as usize <= cap);
+            prop_assert!(!s.pool.is_empty());
+        }
+    }
+
+    /// Selected pools only ever contain eligible subjects.
+    #[test]
+    fn selection_respects_eligibility(
+        risks in risks_strategy(8),
+        eligible_mask in 1u64..255,
+    ) {
+        let n = risks.len();
+        let mask = eligible_mask & State::full(n).bits();
+        prop_assume!(mask != 0);
+        let eligible: Vec<usize> = State(mask).subjects().collect();
+        let post = DensePosterior::from_risks(&risks);
+        if let Some(sel) = select_halving_global(&post, &eligible, n) {
+            prop_assert!(sel.pool.is_subset_of(State(mask)));
+        }
+        if let Some(sel) = select_halving_prefix(&post, &eligible, n) {
+            prop_assert!(sel.pool.is_subset_of(State(mask)));
+        }
+    }
+
+    /// Look-ahead stages produce distinct, admissible pools with bounded
+    /// expected quantities.
+    #[test]
+    fn lookahead_stage_well_formed(
+        risks in risks_strategy(7),
+        width in 1usize..4,
+        cap in 1usize..8,
+    ) {
+        let post = DensePosterior::from_risks(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        let order = ascending(&risks);
+        let cfg = LookaheadConfig {
+            width,
+            max_pool_size: cap,
+        };
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        prop_assert!(stage.len() <= width);
+        let mut seen = std::collections::HashSet::new();
+        for s in &stage {
+            prop_assert!(seen.insert(s.pool.bits()), "duplicate pool");
+            prop_assert!(s.pool.rank() as usize <= cap);
+            prop_assert!(s.distance >= -1e-12 && s.distance <= 0.5 + 1e-12);
+        }
+    }
+
+    /// Information gain is non-negative, bounded by ln 2, and weakly
+    /// improves with shortlist width.
+    #[test]
+    fn information_gain_bounds(
+        risks in risks_strategy(7),
+        dilution_alpha in 1.0f64..8.0,
+    ) {
+        let post = DensePosterior::from_risks(&risks);
+        let model = BinaryDilutionModel::new(
+            0.95,
+            0.99,
+            Dilution::Exponential { alpha: dilution_alpha },
+        );
+        let order = ascending(&risks);
+        let n = risks.len();
+        let narrow = select_information_gain(&post, &model, &order, n, 1).unwrap();
+        let wide = select_information_gain(&post, &model, &order, n, n).unwrap();
+        for sel in [&narrow, &wide] {
+            prop_assert!(sel.information_gain >= -1e-9);
+            prop_assert!(sel.information_gain <= 2f64.ln() + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&sel.predictive_positive));
+        }
+        prop_assert!(wide.information_gain >= narrow.information_gain - 1e-12);
+    }
+
+    /// Candidate generators only emit admissible pools, and the prefix
+    /// family is nested.
+    #[test]
+    fn candidate_generators_admissible(
+        eligible in prop::collection::vec(0usize..12, 1..8),
+        cap in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut eligible = eligible;
+        eligible.sort_unstable();
+        eligible.dedup();
+        let mask = State::from_subjects(eligible.iter().copied());
+        for strategy in [
+            CandidateStrategy::Exhaustive { max_pool_size: cap },
+            CandidateStrategy::SortedPrefix { max_pool_size: cap },
+            CandidateStrategy::Random { count: 10, max_pool_size: cap, seed },
+        ] {
+            let pools = strategy.generate(&eligible);
+            for p in &pools {
+                prop_assert!(!p.is_empty());
+                prop_assert!(p.rank() as usize <= cap);
+                prop_assert!(p.is_subset_of(mask));
+            }
+        }
+        // Prefix nesting.
+        let prefixes = CandidateStrategy::SortedPrefix { max_pool_size: cap }.generate(&eligible);
+        for w in prefixes.windows(2) {
+            prop_assert!(w[0].is_subset_of(w[1]));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Episode metrics and aggregation.
+
+use serde::{Deserialize, Serialize};
+
+use sbgt_bayes::SubjectStatus;
+use sbgt_lattice::State;
+
+/// Classification confusion matrix against the ground truth. Undetermined
+/// subjects (episodes truncated by a test budget) are counted separately
+/// and excluded from the rate denominators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Truly positive, classified positive.
+    pub tp: usize,
+    /// Truly negative, classified positive.
+    pub fp: usize,
+    /// Truly negative, classified negative.
+    pub tn: usize,
+    /// Truly positive, classified negative.
+    pub fn_: usize,
+    /// Subjects left undetermined.
+    pub undetermined: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tally statuses against the truth.
+    pub fn from_statuses(statuses: &[SubjectStatus], truth: State) -> Self {
+        let mut m = ConfusionMatrix::default();
+        for (i, s) in statuses.iter().enumerate() {
+            let positive = truth.contains(i);
+            match (s, positive) {
+                (SubjectStatus::Positive, true) => m.tp += 1,
+                (SubjectStatus::Positive, false) => m.fp += 1,
+                (SubjectStatus::Negative, false) => m.tn += 1,
+                (SubjectStatus::Negative, true) => m.fn_ += 1,
+                (SubjectStatus::Undetermined, _) => m.undetermined += 1,
+            }
+        }
+        m
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+        self.undetermined += other.undetermined;
+    }
+
+    /// `TP / (TP + FN)`; 1.0 when there are no true positives (vacuous).
+    pub fn sensitivity(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `TN / (TN + FP)`; 1.0 when there are no true negatives (vacuous).
+    pub fn specificity(&self) -> f64 {
+        let denom = self.tn + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tn as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of classified subjects that are classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let classified = self.tp + self.fp + self.tn + self.fn_;
+        if classified == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / classified as f64
+    }
+
+    /// Number of subjects counted.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_ + self.undetermined
+    }
+}
+
+/// Cost metrics of one testing episode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeStats {
+    /// Total assays consumed.
+    pub tests: usize,
+    /// Sequential stages (posterior-update rounds with a lab turnaround).
+    pub stages: usize,
+    /// Cohort size.
+    pub subjects: usize,
+}
+
+impl EpisodeStats {
+    /// Tests per subject — the headline efficiency metric (individual
+    /// testing costs exactly 1.0).
+    pub fn tests_per_subject(&self) -> f64 {
+        if self.subjects == 0 {
+            0.0
+        } else {
+            self.tests as f64 / self.subjects as f64
+        }
+    }
+}
+
+/// Mean/standard-deviation summary over replicate episodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased; 0 for fewer than 2 samples).
+    pub sd: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl SummaryStats {
+    /// Summarize a sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return SummaryStats::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = if n < 2 {
+            0.0
+        } else {
+            let var =
+                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        SummaryStats { mean, sd, n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_from_statuses() {
+        use SubjectStatus::*;
+        let truth = State::from_subjects([0, 1]);
+        let statuses = [Positive, Negative, Negative, Positive, Undetermined];
+        let m = ConfusionMatrix::from_statuses(&statuses, truth);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.undetermined, 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.sensitivity() - 0.5).abs() < 1e-12);
+        assert!((m.specificity() - 0.5).abs() < 1e-12);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_rates_are_one() {
+        let m = ConfusionMatrix {
+            tn: 5,
+            ..Default::default()
+        };
+        assert_eq!(m.sensitivity(), 1.0);
+        let m = ConfusionMatrix {
+            tp: 5,
+            ..Default::default()
+        };
+        assert_eq!(m.specificity(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+            undetermined: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.tp, 2);
+        assert_eq!(a.undetermined, 10);
+    }
+
+    #[test]
+    fn episode_stats() {
+        let s = EpisodeStats {
+            tests: 5,
+            stages: 3,
+            subjects: 20,
+        };
+        assert!((s.tests_per_subject() - 0.25).abs() < 1e-12);
+        assert_eq!(EpisodeStats::default().tests_per_subject(), 0.0);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let s = SummaryStats::from_samples(&[2.0, 4.0, 6.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.sd - 2.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        assert_eq!(SummaryStats::from_samples(&[]).n, 0);
+        assert_eq!(SummaryStats::from_samples(&[1.0]).sd, 0.0);
+    }
+}

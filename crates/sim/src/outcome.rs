@@ -1,0 +1,53 @@
+//! The virtual lab: sample assay outcomes against the ground truth.
+
+use rand::Rng;
+
+use sbgt_lattice::State;
+use sbgt_response::ResponseModel;
+
+use crate::population::Population;
+
+/// Run one pooled test in the virtual lab: count the true positives the
+/// pool contains and draw an outcome from the response model.
+///
+/// # Panics
+/// Panics on an empty pool (no sample to run).
+pub fn run_test<M: ResponseModel, R: Rng + ?Sized>(
+    population: &Population,
+    model: &M,
+    pool: State,
+    rng: &mut R,
+) -> M::Outcome {
+    assert!(!pool.is_empty(), "cannot run a test on an empty pool");
+    let k = population.positives_in(pool);
+    model.sample(rng, k, pool.rank())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::RiskProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbgt_response::BinaryDilutionModel;
+
+    #[test]
+    fn perfect_test_reflects_truth() {
+        let profile = RiskProfile::Flat { n: 4, p: 0.5 };
+        let pop = Population::with_truth(&profile, State::from_subjects([2]));
+        let model = BinaryDilutionModel::perfect();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(run_test(&pop, &model, State::from_subjects([1, 2]), &mut rng));
+        assert!(!run_test(&pop, &model, State::from_subjects([0, 1]), &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_pool_rejected() {
+        let profile = RiskProfile::Flat { n: 2, p: 0.5 };
+        let pop = Population::with_truth(&profile, State::EMPTY);
+        let model = BinaryDilutionModel::perfect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = run_test(&pop, &model, State::EMPTY, &mut rng);
+    }
+}

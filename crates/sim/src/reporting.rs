@@ -1,0 +1,172 @@
+//! Human-readable report rendering for surveillance results.
+//!
+//! Public-health consumers of the framework read program summaries, not
+//! structs. These renderers produce compact markdown for the
+//! [`crate::SurveillanceReport`] and multi-wave [`crate::WaveReport`]
+//! streams — the textual equivalent of the paper's dashboard figures.
+//! Pure string formatting: no engine, no RNG, fully unit-testable.
+
+use std::fmt::Write as _;
+
+use crate::metrics::ConfusionMatrix;
+use crate::stream::WaveReport;
+use crate::surveillance::SurveillanceReport;
+
+/// Render a confusion matrix as a one-line summary.
+pub fn confusion_summary(c: &ConfusionMatrix) -> String {
+    format!(
+        "sens {:.3} / spec {:.3} / acc {:.1}% ({} subjects, {} undetermined)",
+        c.sensitivity(),
+        c.specificity(),
+        100.0 * c.accuracy(),
+        c.total(),
+        c.undetermined
+    )
+}
+
+/// Render a surveillance report as markdown.
+pub fn render_surveillance(report: &SurveillanceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Surveillance program summary");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "* screened **{}** subjects in **{}** cohorts using **{}** assays",
+        report.total_subjects,
+        report.per_cohort.len(),
+        report.total_tests
+    );
+    let _ = writeln!(
+        out,
+        "* tests/subject: **{:.3} ± {:.3}** (savings vs individual testing: {:.1}%)",
+        report.tests_per_subject.mean,
+        report.tests_per_subject.sd,
+        100.0 * (1.0 - report.tests_per_subject.mean)
+    );
+    let _ = writeln!(
+        out,
+        "* stages/cohort: {:.2} ± {:.2}",
+        report.stages.mean, report.stages.sd
+    );
+    let _ = writeln!(out, "* classification: {}", confusion_summary(&report.confusion));
+    out
+}
+
+/// Render a multi-wave stream as a markdown table.
+pub fn render_stream(waves: &[WaveReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Adaptive surveillance stream");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| wave | true p | assumed p | sens | spec | tests | tests/subject |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for w in waves {
+        let tps = if w.subjects > 0 {
+            w.tests as f64 / w.subjects as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {:.3} |",
+            w.wave,
+            w.true_prevalence,
+            w.used_estimate,
+            w.confusion.sensitivity(),
+            w.confusion.specificity(),
+            w.tests,
+            tps
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{EpisodeStats, SummaryStats};
+
+    fn confusion() -> ConfusionMatrix {
+        ConfusionMatrix {
+            tp: 3,
+            fp: 0,
+            tn: 45,
+            fn_: 1,
+            undetermined: 1,
+        }
+    }
+
+    #[test]
+    fn confusion_line_contains_rates() {
+        let s = confusion_summary(&confusion());
+        assert!(s.contains("sens 0.750"));
+        assert!(s.contains("spec 1.000"));
+        assert!(s.contains("50 subjects"));
+        assert!(s.contains("1 undetermined"));
+    }
+
+    #[test]
+    fn surveillance_markdown_has_key_figures() {
+        let report = SurveillanceReport {
+            confusion: confusion(),
+            per_cohort: vec![
+                EpisodeStats {
+                    tests: 5,
+                    stages: 3,
+                    subjects: 10,
+                },
+                EpisodeStats {
+                    tests: 7,
+                    stages: 4,
+                    subjects: 10,
+                },
+            ],
+            tests_per_subject: SummaryStats::from_samples(&[0.5, 0.7]),
+            stages: SummaryStats::from_samples(&[3.0, 4.0]),
+            total_tests: 12,
+            total_subjects: 20,
+        };
+        let md = render_surveillance(&report);
+        assert!(md.contains("**20** subjects"));
+        assert!(md.contains("**2** cohorts"));
+        assert!(md.contains("**12** assays"));
+        assert!(md.contains("0.600 ± 0.141"));
+        assert!(md.starts_with("## Surveillance"));
+    }
+
+    #[test]
+    fn stream_markdown_has_one_row_per_wave() {
+        let waves = vec![
+            WaveReport {
+                wave: 0,
+                true_prevalence: 0.02,
+                used_estimate: 0.02,
+                confusion: confusion(),
+                tests: 40,
+                subjects: 80,
+            },
+            WaveReport {
+                wave: 1,
+                true_prevalence: 0.04,
+                used_estimate: 0.025,
+                confusion: confusion(),
+                tests: 55,
+                subjects: 80,
+            },
+        ];
+        let md = render_stream(&waves);
+        assert_eq!(md.matches("| 0.0").count() >= 2, true);
+        assert!(md.contains("| 0 | 0.020 | 0.020 |"));
+        assert!(md.contains("| 1 | 0.040 | 0.025 |"));
+        assert!(md.contains("| 40 | 0.500 |"));
+    }
+
+    #[test]
+    fn empty_stream_renders_header_only() {
+        let md = render_stream(&[]);
+        assert!(md.contains("| wave |"));
+        assert_eq!(md.lines().count(), 4);
+    }
+}

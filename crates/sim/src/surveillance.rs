@@ -1,0 +1,166 @@
+//! The batched surveillance harness — the framework's Spark-style outer
+//! loop.
+//!
+//! Population-scale surveillance splits a stream of specimens into cohorts
+//! of a manageable lattice size, runs one sequential episode per cohort,
+//! and aggregates program-level metrics. SBGT distributes this outer loop
+//! across the cluster; here each cohort episode is one task on the
+//! [`sbgt_engine`] executor pool, with the per-cohort results reduced on
+//! the driver.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use sbgt_engine::{Dataset, Engine};
+use sbgt_response::BinaryDilutionModel;
+
+use crate::metrics::{ConfusionMatrix, EpisodeStats, SummaryStats};
+use crate::population::{Population, RiskProfile};
+use crate::runner::{run_episode, EpisodeConfig};
+
+/// Configuration of a surveillance run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveillanceConfig {
+    /// Number of cohorts (batches) to process.
+    pub cohorts: usize,
+    /// Risk profile of each cohort.
+    pub profile: RiskProfile,
+    /// Assay model shared by all cohorts.
+    pub model: BinaryDilutionModel,
+    /// Episode parameters (the per-cohort seed is derived from `base_seed`
+    /// and the cohort index).
+    pub episode: EpisodeConfig,
+    /// Base RNG seed.
+    pub base_seed: u64,
+}
+
+/// Program-level aggregates of a surveillance run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveillanceReport {
+    /// Pooled confusion matrix over all cohorts.
+    pub confusion: ConfusionMatrix,
+    /// Per-cohort cost metrics.
+    pub per_cohort: Vec<EpisodeStats>,
+    /// Summary of tests-per-subject across cohorts.
+    pub tests_per_subject: SummaryStats,
+    /// Summary of stages across cohorts.
+    pub stages: SummaryStats,
+    /// Total assays consumed.
+    pub total_tests: usize,
+    /// Total subjects screened.
+    pub total_subjects: usize,
+}
+
+/// Run `cfg.cohorts` independent cohort episodes as parallel engine tasks
+/// and aggregate.
+pub fn run_surveillance(engine: &Engine, cfg: &SurveillanceConfig) -> SurveillanceReport {
+    let shared = Arc::new(cfg.clone());
+    let cohort_ids: Vec<usize> = (0..cfg.cohorts).collect();
+    let dataset = Dataset::from_vec(cohort_ids, engine.default_partitions());
+
+    let results = dataset.map_partitions(engine, move |_, ids| {
+        ids.iter()
+            .map(|&cohort| {
+                let cfg = &*shared;
+                let seed = cfg
+                    .base_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(cohort as u64);
+                let population = Population::sample(&cfg.profile, seed);
+                let mut episode_cfg = cfg.episode;
+                episode_cfg.seed = seed ^ 0x5bd1_e995;
+                let r = run_episode(&population, &cfg.model, &episode_cfg);
+                (r.stats, r.confusion)
+            })
+            .collect()
+    });
+
+    let collected: Vec<(EpisodeStats, ConfusionMatrix)> = results.collect();
+    let mut confusion = ConfusionMatrix::default();
+    let mut per_cohort = Vec::with_capacity(collected.len());
+    let mut total_tests = 0usize;
+    let mut total_subjects = 0usize;
+    for (stats, c) in &collected {
+        confusion.merge(c);
+        per_cohort.push(*stats);
+        total_tests += stats.tests;
+        total_subjects += stats.subjects;
+    }
+    let tps: Vec<f64> = per_cohort.iter().map(|s| s.tests_per_subject()).collect();
+    let stages: Vec<f64> = per_cohort.iter().map(|s| s.stages as f64).collect();
+    SurveillanceReport {
+        confusion,
+        tests_per_subject: SummaryStats::from_samples(&tps),
+        stages: SummaryStats::from_samples(&stages),
+        per_cohort,
+        total_tests,
+        total_subjects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_engine::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default().with_threads(2))
+    }
+
+    fn config(cohorts: usize) -> SurveillanceConfig {
+        SurveillanceConfig {
+            cohorts,
+            profile: RiskProfile::Flat { n: 8, p: 0.03 },
+            model: BinaryDilutionModel::perfect(),
+            episode: EpisodeConfig::standard(0),
+            base_seed: 42,
+        }
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let e = engine();
+        let report = run_surveillance(&e, &config(6));
+        assert_eq!(report.per_cohort.len(), 6);
+        assert_eq!(report.total_subjects, 48);
+        assert_eq!(report.confusion.total(), 48);
+        let sum_tests: usize = report.per_cohort.iter().map(|s| s.tests).sum();
+        assert_eq!(report.total_tests, sum_tests);
+        assert_eq!(report.tests_per_subject.n, 6);
+        // Perfect assay: no misclassifications.
+        assert_eq!(report.confusion.fp + report.confusion.fn_, 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let e = engine();
+        let a = run_surveillance(&e, &config(4));
+        let b = run_surveillance(&e, &config(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cohorts_differ_from_each_other() {
+        let e = engine();
+        let report = run_surveillance(&e, &config(16));
+        // With 16 cohorts at p=0.03, n=8, test counts should not all match.
+        let first = report.per_cohort[0].tests;
+        assert!(
+            report.per_cohort.iter().any(|s| s.tests != first),
+            "all cohorts identical — seeds not propagating"
+        );
+    }
+
+    #[test]
+    fn group_testing_saves_tests_at_program_scale() {
+        let e = engine();
+        let report = run_surveillance(&e, &config(10));
+        assert!(
+            (report.total_tests as f64) < 0.7 * report.total_subjects as f64,
+            "tests {} vs subjects {}",
+            report.total_tests,
+            report.total_subjects
+        );
+    }
+}
