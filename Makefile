@@ -1,0 +1,29 @@
+# Offline verification pipeline. The build environment has no network
+# access; all dependencies are vendored (see vendor/README.md), so every
+# target below must pass with `CARGO_NET_OFFLINE=true`.
+
+CARGO := CARGO_NET_OFFLINE=true cargo
+
+.PHONY: verify fmt fmt-check clippy build test bench
+
+verify: fmt-check clippy build test
+	@echo "verify: OK"
+
+fmt:
+	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test --workspace -q
+
+# Criterion benches (plain-text report; pass FILTER=<substring> to select).
+bench:
+	$(CARGO) bench -p sbgt-bench $(if $(FILTER),--bench $(FILTER),)

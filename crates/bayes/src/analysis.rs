@@ -85,10 +85,7 @@ mod tests {
         let d = DensePosterior::from_risks(&[0.1, 0.4, 0.25, 0.05]);
         let r = analyze(&d, 3);
         assert_eq!(r.marginals.len(), 4);
-        assert!(close(
-            r.expected_positives,
-            r.marginals.iter().sum::<f64>()
-        ));
+        assert!(close(r.expected_positives, r.marginals.iter().sum::<f64>()));
         assert!(close(r.rank_distribution.iter().sum::<f64>(), 1.0));
         assert_eq!(r.top_states.len(), 3);
         assert_eq!(r.top_states[0].0, r.map_state.0);

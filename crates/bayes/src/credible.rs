@@ -36,11 +36,10 @@ impl CredibleSet {
     /// Subjects positive in *every* credible state — positives you can act
     /// on at this credibility level even before marginal thresholds fire.
     pub fn certain_positives(&self) -> State {
-        self.states
-            .iter()
-            .fold(State::full(64.min(sbgt_lattice::MAX_SUBJECTS)), |acc, (s, _)| {
-                acc.meet(*s)
-            })
+        self.states.iter().fold(
+            State::full(64.min(sbgt_lattice::MAX_SUBJECTS)),
+            |acc, (s, _)| acc.meet(*s),
+        )
     }
 
     /// Subjects negative in every credible state.

@@ -22,8 +22,8 @@ pub mod prior;
 pub mod update;
 
 pub use analysis::{analyze, analyze_par, PosteriorReport};
+pub use classify::{classify_marginals, ClassificationRule, CohortClassification, SubjectStatus};
 pub use credible::{credible_set, CredibleSet};
 pub use predictive::{predictive_cost, PredictiveCost, RolloutConfig};
-pub use classify::{classify_marginals, ClassificationRule, CohortClassification, SubjectStatus};
 pub use prior::Prior;
 pub use update::{update_dense, update_dense_par, update_sparse, BayesError, Observation};

@@ -136,8 +136,8 @@ fn rollout<M: BinaryOutcomeModel, R: Rng + ?Sized>(
         }
         let cap = cfg.max_pool_size.min(eligible.len());
         let mut best = (1usize, f64::INFINITY);
-        for k in 1..=cap {
-            let d = (masses[k] / total - 0.5).abs();
+        for (k, &mass) in masses.iter().enumerate().take(cap + 1).skip(1) {
+            let d = (mass / total - 0.5).abs();
             if d < best.1 {
                 best = (k, d);
             }

@@ -31,11 +31,12 @@ impl Prior {
     /// # Panics
     /// Panics when `p ∉ (0, 1)` or `n` is zero or exceeds the lattice limit.
     pub fn flat(n: usize, p: f64) -> Self {
-        assert!(n >= 1 && n <= MAX_SUBJECTS, "cohort size {n} out of range");
+        assert!(
+            (1..=MAX_SUBJECTS).contains(&n),
+            "cohort size {n} out of range"
+        );
         assert!(p > 0.0 && p < 1.0, "prevalence {p} must be in (0,1)");
-        Prior {
-            risks: vec![p; n],
-        }
+        Prior { risks: vec![p; n] }
     }
 
     /// Arbitrary per-subject risks.
@@ -63,7 +64,7 @@ impl Prior {
     pub fn from_groups(groups: &[(usize, f64)]) -> Self {
         let mut risks = Vec::new();
         for &(count, p) in groups {
-            risks.extend(std::iter::repeat(p).take(count));
+            risks.extend(std::iter::repeat_n(p, count));
         }
         Prior::from_risks(&risks)
     }

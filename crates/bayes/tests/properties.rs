@@ -18,11 +18,15 @@ fn risks_strategy(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn model_strategy() -> impl Strategy<Value = BinaryDilutionModel> {
-    (0.7f64..1.0, 0.9f64..1.0, prop_oneof![
-        Just(Dilution::None),
-        Just(Dilution::Linear),
-        (1.0f64..8.0).prop_map(|alpha| Dilution::Exponential { alpha }),
-    ])
+    (
+        0.7f64..1.0,
+        0.9f64..1.0,
+        prop_oneof![
+            Just(Dilution::None),
+            Just(Dilution::Linear),
+            (1.0f64..8.0).prop_map(|alpha| Dilution::Exponential { alpha }),
+        ],
+    )
         .prop_map(|(sens, spec, dilution)| BinaryDilutionModel::new(sens, spec, dilution))
 }
 

@@ -25,7 +25,9 @@ fn bench_table_vs_model_calls(c: &mut Criterion) {
     let mask = pool.bits();
 
     let mut group = c.benchmark_group("ablation_table_vs_calls");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("table_lookup", |b| {
         b.iter(|| {
             let mut p = post.clone();
@@ -60,7 +62,9 @@ fn bench_fused_vs_separate(c: &mut Criterion) {
     let table = model.likelihood_table(true, pool.rank());
 
     let mut group = c.benchmark_group("ablation_fused_vs_separate");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("fused_multiply_sum", |b| {
         b.iter(|| {
             let mut p = post.clone();
@@ -91,7 +95,9 @@ fn bench_zeta_vs_naive_all_pools(c: &mut Criterion) {
     // All-pools pricing at a size where naive is still feasible.
     let post = warmed_posterior(12);
     let mut group = c.benchmark_group("ablation_all_pools");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("zeta_transform", |b| {
         b.iter(|| all_pool_negative_masses(&post)[1])
     });
@@ -114,7 +120,9 @@ fn bench_sparse_vs_dense_update(c: &mut Criterion) {
     let table = model.likelihood_table(false, pool.rank());
 
     let mut group = c.benchmark_group("ablation_sparse_vs_dense");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("dense", |b| {
         b.iter(|| {
             let mut p = dense.clone();

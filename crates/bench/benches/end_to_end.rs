@@ -15,7 +15,9 @@ use sbgt_sim::{run_surveillance, RiskProfile, SurveillanceConfig};
 
 fn bench_episode(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_episode");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for &n in &[12usize, 14] {
         let prior = bench_prior(n, 7);
@@ -45,7 +47,9 @@ fn bench_episode(c: &mut Criterion) {
 fn bench_surveillance(c: &mut Criterion) {
     let engine = Engine::new(EngineConfig::default());
     let mut group = c.benchmark_group("e9_surveillance");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     let cfg = SurveillanceConfig {
         cohorts: 8,

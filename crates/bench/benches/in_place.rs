@@ -1,0 +1,113 @@
+//! In-place vs immutable engine stages on the posterior hot loop.
+//!
+//! Times one Bayesian update round of a `ShardedPosterior` at N = 22
+//! (4M states) on a 4-thread engine three ways:
+//!
+//! * `in_place` — the zero-copy stage: shard handles are uniquely owned,
+//!   every partition is multiplied through `&mut [f64]`, only per-partition
+//!   scalar sums return to the driver. No posterior-sized allocation.
+//! * `immutable` — the materializing baseline: each task builds a fresh
+//!   values vector, and a new dataset replaces the old one (one
+//!   posterior-sized allocation + copy per round).
+//! * `cow` — the in-place API with shards shared by a clone, forcing the
+//!   copy-on-write fallback (worst case: allocation *and* the in-place
+//!   traversal).
+//!
+//! Also times the fused BHA superstage (update + marginals + prefix
+//! masses) against the same statistics as three separate stages.
+//!
+//! The acceptance target is `in_place` ≥ 2x over `immutable` at N = 22.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbgt::ShardedPosterior;
+use sbgt_bench::warmed_posterior;
+use sbgt_engine::{Engine, EngineConfig};
+use sbgt_lattice::State;
+use sbgt_response::BinaryDilutionModel;
+
+const N: usize = 22;
+const PARTS: usize = 8;
+const THREADS: usize = 4;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::default().with_threads(THREADS))
+}
+
+fn bench_update_paths(c: &mut Criterion) {
+    let e = engine();
+    let model = BinaryDilutionModel::pcr_like();
+    let dense = warmed_posterior(N);
+    let pool = State::from_subjects([0, 3, 5, 8, 11, 14, 17, 20]);
+
+    let mut group = c.benchmark_group("in_place_update");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    // Alternating outcomes keep the posterior well-conditioned while the
+    // same instance is updated round after round, like a real session.
+    group.bench_function("in_place", |b| {
+        let mut post = ShardedPosterior::from_dense(&dense, PARTS);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            post.update(&e, &model, pool, flip).unwrap()
+        })
+    });
+    group.bench_function("immutable", |b| {
+        let mut post = ShardedPosterior::from_dense(&dense, PARTS);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            post.update_immutable(&e, &model, pool, flip).unwrap()
+        })
+    });
+    group.bench_function("cow_shared_handles", |b| {
+        let mut post = ShardedPosterior::from_dense(&dense, PARTS);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let _pin = post.clone(); // share every handle → force COW
+            post.update(&e, &model, pool, flip).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fused_round(c: &mut Criterion) {
+    let e = engine();
+    let model = BinaryDilutionModel::pcr_like();
+    let dense = warmed_posterior(N);
+    let order: Vec<usize> = (0..N).collect();
+    let pool = State::from_subjects([1, 4, 7, 10, 13, 16, 19]);
+
+    let mut group = c.benchmark_group("fused_round");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("fused_superstage", |b| {
+        let mut post = ShardedPosterior::from_dense(&dense, PARTS);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            post.fused_round(&e, &model, pool, flip, &order).unwrap()
+        })
+    });
+    group.bench_function("three_separate_stages", |b| {
+        let mut post = ShardedPosterior::from_dense(&dense, PARTS);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let z = post.update(&e, &model, pool, flip).unwrap();
+            let marginals = post.marginals(&e);
+            let masses = post.prefix_negative_masses(&e, &order);
+            (z, marginals, masses)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_paths, bench_fused_round);
+criterion_main!(benches);

@@ -7,8 +7,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sbgt::ShardedPosterior;
-use sbgt_bench::{baseline_update, warmed_posterior};
 use sbgt_bayes::{update_dense_par, Observation};
+use sbgt_bench::{baseline_update, warmed_posterior};
 use sbgt_engine::{Engine, EngineConfig};
 use sbgt_lattice::kernels::ParConfig;
 use sbgt_lattice::State;
@@ -19,7 +19,9 @@ fn bench_update(c: &mut Criterion) {
     let cfg = ParConfig::always_parallel();
     let engine = Engine::new(EngineConfig::default());
     let mut group = c.benchmark_group("e2_update");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for &n in &[12usize, 16, 18] {
         let post = warmed_posterior(n);

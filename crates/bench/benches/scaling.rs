@@ -20,10 +20,14 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let post = warmed_posterior(N);
     let pool = State::from_subjects([0, 2, 4, 6]);
     let table = model.likelihood_table(true, pool.rank());
-    let host = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
 
     let mut group = c.benchmark_group("e5_thread_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for t in [1usize, 2, 4, 8] {
         if t > 2 * host {
             break;
@@ -51,7 +55,9 @@ fn bench_chunk_granularity(c: &mut Criterion) {
     let table = model.likelihood_table(true, pool.rank());
 
     let mut group = c.benchmark_group("e5_chunk_granularity");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for shift in [10usize, 12, 14, 16] {
         let cfg = ParConfig {
             chunk_len: 1 << shift,
@@ -78,15 +84,21 @@ fn bench_engine_partitions(c: &mut Criterion) {
     let engine = Engine::new(EngineConfig::default());
 
     let mut group = c.benchmark_group("e5_engine_partitions");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for parts in [1usize, 4, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("sharded_update", parts), &parts, |b, &p| {
-            b.iter(|| {
-                let mut sp = ShardedPosterior::from_dense(&post, p);
-                sp.update(&engine, &model, pool, true).unwrap();
-                sp.total()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sharded_update", parts),
+            &parts,
+            |b, &p| {
+                b.iter(|| {
+                    let mut sp = ShardedPosterior::from_dense(&post, p);
+                    sp.update(&engine, &model, pool, true).unwrap();
+                    sp.total()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ use sbgt_select::{select_halving_global, select_halving_prefix, select_halving_p
 fn bench_selection(c: &mut Criterion) {
     let cfg = ParConfig::always_parallel();
     let mut group = c.benchmark_group("e3_selection");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for &n in &[12usize, 16, 18] {
         let post = warmed_posterior(n);

@@ -11,22 +11,22 @@ use std::time::Duration;
 
 use sbgt::prelude::*;
 use sbgt::ShardedPosterior;
+use sbgt_bayes::{analyze, analyze_par, update_dense_par, Observation};
 use sbgt_bench::{
     baseline_analysis, baseline_selection, baseline_update, bench_prior, best_of, fmt_duration,
-    fmt_speedup, markdown_table, warmed_posterior, timed,
+    fmt_speedup, markdown_table, timed, warmed_posterior,
 };
-use sbgt_bayes::{analyze, analyze_par, update_dense_par, Observation};
 use sbgt_engine::{Engine, EngineConfig};
 use sbgt_lattice::kernels::{
     par_entropy, par_marginals, par_mul_likelihood_fused, par_prefix_negative_masses, ParConfig,
 };
 use sbgt_lattice::SparsePosterior;
 use sbgt_response::ResponseModel;
+use sbgt_sim::runner::{EpisodeConfig, SelectionMethod};
 use sbgt_sim::{
     run_array_testing, run_dorfman, run_episode, run_individual, square_grid, ConfusionMatrix,
     Population, RiskProfile, Scenario, SummaryStats,
 };
-use sbgt_sim::runner::{EpisodeConfig, SelectionMethod};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,9 +39,14 @@ fn main() {
         .unwrap_or_default();
     let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
-    println!("# SBGT reconstructed experiments ({} mode)", if quick { "quick" } else { "full" });
+    println!(
+        "# SBGT reconstructed experiments ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
     println!();
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host parallelism: {host} thread(s)");
     println!();
 
@@ -132,7 +137,16 @@ fn e1_workloads() {
     println!(
         "{}",
         markdown_table(
-            &["scenario", "N", "mean risk", "dilution", "sens", "spec", "max pool", "threshold"],
+            &[
+                "scenario",
+                "N",
+                "mean risk",
+                "dilution",
+                "sens",
+                "spec",
+                "max pool",
+                "threshold"
+            ],
             &rows
         )
     );
@@ -189,7 +203,16 @@ fn e2_lattice_manipulation(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["N", "states", "baseline", "SBGT fused", "SBGT par", "SBGT engine", "fused speedup", "par speedup"],
+            &[
+                "N",
+                "states",
+                "baseline",
+                "SBGT fused",
+                "SBGT par",
+                "SBGT engine",
+                "fused speedup",
+                "par speedup"
+            ],
             &rows
         )
     );
@@ -238,7 +261,14 @@ fn e3_test_selection(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["N", "baseline", "SBGT one-pass", "SBGT par", "one-pass speedup", "par speedup"],
+            &[
+                "N",
+                "baseline",
+                "SBGT one-pass",
+                "SBGT par",
+                "one-pass speedup",
+                "par speedup"
+            ],
             &rows
         )
     );
@@ -269,7 +299,14 @@ fn e4_statistical_analysis(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["N", "baseline", "SBGT fused", "SBGT par", "fused speedup", "par speedup"],
+            &[
+                "N",
+                "baseline",
+                "SBGT fused",
+                "SBGT par",
+                "fused speedup",
+                "par speedup"
+            ],
             &rows
         )
     );
@@ -279,7 +316,9 @@ fn e4_statistical_analysis(quick: bool) {
 fn e5_strong_scaling(quick: bool) {
     println!("## E5 — strong scaling (Fig. D)\n");
     let n = if quick { 16 } else { 20 };
-    let host = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize, 2, 4, 8];
     threads.retain(|&t| t <= 2 * host.max(1));
     let post = warmed_posterior(n);
@@ -322,7 +361,15 @@ fn e5_strong_scaling(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["threads", "update", "upd speedup", "selection", "sel speedup", "analysis", "ana speedup"],
+            &[
+                "threads",
+                "update",
+                "upd speedup",
+                "selection",
+                "sel speedup",
+                "analysis",
+                "ana speedup"
+            ],
             &rows
         )
     );
@@ -366,7 +413,14 @@ fn e6_classification_quality(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["prevalence", "sensitivity", "specificity", "accuracy", "tests/subject", "undetermined"],
+            &[
+                "prevalence",
+                "sensitivity",
+                "specificity",
+                "accuracy",
+                "tests/subject",
+                "undetermined"
+            ],
             &rows
         )
     );
@@ -442,7 +496,17 @@ fn e7_with_model(quick: bool, label: &str, model: BinaryDilutionModel) {
     println!(
         "{}",
         markdown_table(
-            &["prevalence", "BHA t/subj", "Dorfman t/subj", "array t/subj", "individual", "BHA savings", "Dorfman savings", "BHA acc", "Dorfman acc"],
+            &[
+                "prevalence",
+                "BHA t/subj",
+                "Dorfman t/subj",
+                "array t/subj",
+                "individual",
+                "BHA savings",
+                "Dorfman savings",
+                "BHA acc",
+                "Dorfman acc"
+            ],
             &rows
         )
     );
@@ -485,7 +549,10 @@ fn e8_lookahead_tradeoff(quick: bool) {
     println!("(N = {n}, p = 0.05, {reps} replicates/row)\n");
     println!(
         "{}",
-        markdown_table(&["stage width L", "stages", "tests", "tests/subject"], &rows)
+        markdown_table(
+            &["stage width L", "stages", "tests", "tests/subject"],
+            &rows
+        )
     );
 }
 
@@ -499,11 +566,7 @@ fn e9_stage_breakdown(quick: bool) {
     let lab = |pool: sbgt_lattice::State| truth.intersects(pool);
 
     // SBGT session with manual loop so each operation class is timed.
-    let mut fast = SbgtSession::new(
-        prior.clone(),
-        model,
-        SbgtConfig::default(),
-    );
+    let mut fast = SbgtSession::new(prior.clone(), model, SbgtConfig::default());
     let (mut f_upd, mut f_sel, mut f_ana) = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
     loop {
         let (classification, d) = timed(|| fast.classify());
@@ -611,7 +674,13 @@ fn e10_pruning_ablation(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["epsilon", "support", "support %", "update time", "max marginal error"],
+            &[
+                "epsilon",
+                "support",
+                "support %",
+                "update time",
+                "max marginal error"
+            ],
             &rows
         )
     );
@@ -643,7 +712,10 @@ fn e11_misspecification(quick: bool) {
             format!("{:.3}", r.confusion.sensitivity()),
             format!("{:.3}", r.confusion.specificity()),
             format!("{:.1}%", 100.0 * r.confusion.accuracy()),
-            format!("{:.3} ± {:.3}", r.tests_per_subject.mean, r.tests_per_subject.sd),
+            format!(
+                "{:.3} ± {:.3}",
+                r.tests_per_subject.mean, r.tests_per_subject.sd
+            ),
             format!("{:.1} ± {:.1}", r.stages.mean, r.stages.sd),
         ]
     })
@@ -652,7 +724,15 @@ fn e11_misspecification(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["prior bias", "assumed p", "sensitivity", "specificity", "accuracy", "tests/subject", "stages"],
+            &[
+                "prior bias",
+                "assumed p",
+                "sensitivity",
+                "specificity",
+                "accuracy",
+                "tests/subject",
+                "stages"
+            ],
             &rows
         )
     );
@@ -663,10 +743,13 @@ fn e11_misspecification(quick: bool) {
 fn e12_selection_rules(quick: bool) {
     println!("## E12 — selection rules: prefix vs global vs exhaustive (Fig. J)\n");
     use sbgt_select::{
-        select_halving_exhaustive, select_halving_global, select_halving_prefix,
-        CandidateStrategy,
+        select_halving_exhaustive, select_halving_global, select_halving_prefix, CandidateStrategy,
     };
-    let sizes: Vec<usize> = if quick { vec![10, 12] } else { vec![10, 12, 14, 16, 18] };
+    let sizes: Vec<usize> = if quick {
+        vec![10, 12]
+    } else {
+        vec![10, 12, 14, 16, 18]
+    };
     let mut rows = Vec::new();
     for n in sizes {
         let reps = reps_for(n);
@@ -681,8 +764,7 @@ fn e12_selection_rules(quick: bool) {
             best_of(reps, || select_halving_global(&post, &order, 16).unwrap());
         // Naive exhaustive is Θ(4^N): only run it while feasible.
         let naive = if n <= 14 {
-            let candidates =
-                CandidateStrategy::Exhaustive { max_pool_size: 16 }.generate(&order);
+            let candidates = CandidateStrategy::Exhaustive { max_pool_size: 16 }.generate(&order);
             let (sel, t) = best_of(1, || select_halving_exhaustive(&post, &candidates).unwrap());
             assert_eq!(sel.pool, sel_global.pool, "global must equal exhaustive");
             Some(t)
@@ -702,7 +784,14 @@ fn e12_selection_rules(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["N", "prefix time", "prefix dist", "global time", "global dist", "naive exhaustive time"],
+            &[
+                "N",
+                "prefix time",
+                "prefix dist",
+                "global time",
+                "global dist",
+                "naive exhaustive time"
+            ],
             &rows
         )
     );

@@ -113,7 +113,9 @@ pub fn fmt_speedup(baseline: Duration, fast: Duration) -> String {
 /// Whether quick mode is requested (`SBGT_QUICK=1`): smaller sweeps for CI
 /// and the test suite.
 pub fn quick_mode() -> bool {
-    std::env::var("SBGT_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SBGT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// A posterior warmed into a non-trivial shape by six scripted pooled

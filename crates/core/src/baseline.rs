@@ -22,9 +22,7 @@
 //! (asserted by tests); only the cost model differs. The E2–E4 experiments
 //! measure that gap.
 
-use sbgt_bayes::{
-    classify_marginals, BayesError, CohortClassification, PosteriorReport, Prior,
-};
+use sbgt_bayes::{classify_marginals, BayesError, CohortClassification, PosteriorReport, Prior};
 use sbgt_lattice::{iter::all_states, DensePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 use sbgt_select::Selection;
@@ -181,19 +179,15 @@ impl<M: BinaryOutcomeModel> BaselineSession<M> {
             }
         }
         // Top-k: materialize all 2^N states and sort.
-        let mut everything: Vec<(State, f64)> = all_states(n)
-            .map(|s| (s, self.posterior.get(s)))
-            .collect();
+        let mut everything: Vec<(State, f64)> =
+            all_states(n).map(|s| (s, self.posterior.get(s))).collect();
         everything.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.bits().cmp(&b.0.bits())));
         let top_states: Vec<(State, f64)> = everything
             .into_iter()
             .take(top_k)
             .map(|(s, p)| (s, if total > 0.0 { p / total } else { 0.0 }))
             .collect();
-        let map_state = top_states
-            .first()
-            .copied()
-            .unwrap_or((State::EMPTY, 0.0));
+        let map_state = top_states.first().copied().unwrap_or((State::EMPTY, 0.0));
         PosteriorReport {
             marginals,
             entropy,
@@ -311,11 +305,8 @@ mod tests {
     #[test]
     fn baseline_error_paths() {
         let model = BinaryDilutionModel::perfect();
-        let mut base = BaselineSession::new(
-            Prior::flat(3, 0.1),
-            model,
-            SbgtConfig::default().serial(),
-        );
+        let mut base =
+            BaselineSession::new(Prior::flat(3, 0.1), model, SbgtConfig::default().serial());
         assert_eq!(
             base.observe(State::EMPTY, true).unwrap_err(),
             BayesError::EmptyPool

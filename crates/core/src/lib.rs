@@ -51,19 +51,22 @@ pub mod config;
 pub mod parallel;
 pub mod report;
 pub mod session;
+pub mod sharded_session;
 pub mod sparse_session;
 
 pub use baseline::BaselineSession;
 pub use config::{ExecMode, SbgtConfig};
-pub use parallel::ShardedPosterior;
+pub use parallel::{FusedRound, ShardedPosterior};
 pub use report::SessionOutcome;
 pub use session::SbgtSession;
+pub use sharded_session::ShardedSession;
 pub use sparse_session::SparseSession;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
-        BaselineSession, ExecMode, SbgtConfig, SbgtSession, SessionOutcome, SparseSession,
+        BaselineSession, ExecMode, SbgtConfig, SbgtSession, SessionOutcome, ShardedSession,
+        SparseSession,
     };
     pub use sbgt_bayes::{ClassificationRule, CohortClassification, Prior, SubjectStatus};
     pub use sbgt_lattice::State;

@@ -16,10 +16,18 @@
 //!   folding the normalizing constant into the driver state);
 //! * marginals / down-set masses / prefix masses are aggregate stages.
 //!
-//! The rayon kernels in `sbgt-lattice` remain the fastest in-process path
-//! (no per-stage allocation); this module exists to exercise and measure
-//! the dataflow form of the algorithms — per-stage timings land in the
-//! engine's metrics registry, giving the E9 breakdown.
+//! The hot loop runs through the engine's **in-place stage layer**
+//! ([`Dataset::map_partitions_in_place`]): updates multiply shard values
+//! through uniquely-owned `Arc` handles and return only per-partition
+//! partial sums, so an observation allocates nothing posterior-sized — no
+//! output dataset, no driver-side clones. Read-only aggregations
+//! (marginals, masses) run as `aggregate_partitions` stages that ship one
+//! small record per partition to the driver. [`ShardedPosterior::fused_round`]
+//! goes further and computes update + marginals + prefix-negative-mass
+//! histogram in a single traversal, making a full BHA round one stage
+//! instead of three. The legacy materializing update is kept as
+//! [`ShardedPosterior::update_immutable`] for A/B benchmarking; per-stage
+//! variants land in the engine's metrics registry, giving the E9 breakdown.
 
 use std::sync::Arc;
 
@@ -28,10 +36,31 @@ use sbgt_engine::{Dataset, Engine};
 use sbgt_lattice::{DensePosterior, State};
 use sbgt_response::ResponseModel;
 
+/// Everything one fused BHA round produces: the Bayesian update applied
+/// in place, plus the post-update statistics the next round needs,
+/// computed in the same traversal.
+#[derive(Debug, Clone)]
+pub struct FusedRound {
+    /// Model evidence of the observation (relative to the pre-round total).
+    pub evidence: f64,
+    /// Post-update normalized marginals.
+    pub marginals: Vec<f64>,
+    /// Post-update unnormalized all-prefix pool-negative masses for the
+    /// `order` passed to [`ShardedPosterior::fused_round`]
+    /// (`masses[k]` = mass with the first `k` subjects of `order` all
+    /// negative; `masses[0]` = new total).
+    pub prefix_negative_masses: Vec<f64>,
+}
+
 /// A posterior sharded across engine partitions.
 ///
 /// The shard values are **unnormalized**; `total` carries the current
 /// normalization constant. All probability-returning methods divide by it.
+///
+/// Cloning is cheap: clones share the shard storage (`Arc` handles), so
+/// the next in-place update on either copy takes the copy-on-write path
+/// and leaves the other copy untouched.
+#[derive(Clone)]
 pub struct ShardedPosterior {
     n_subjects: usize,
     shards: Dataset<f64>,
@@ -91,9 +120,50 @@ impl ShardedPosterior {
         DensePosterior::from_probs(self.n_subjects, probs)
     }
 
-    /// Bayesian update as a dataflow stage: broadcast the likelihood table,
-    /// map every shard, emit partial sums. Returns the model evidence.
+    /// Bayesian update as a **zero-copy in-place stage**: broadcast the
+    /// likelihood table, multiply every shard through its uniquely-owned
+    /// handle, return only per-partition partial sums. No posterior-sized
+    /// buffer is allocated. Returns the model evidence.
+    ///
+    /// If the observation is impossible (`new_total` not finite-positive)
+    /// the shard values have already been multiplied by the zero table and
+    /// the posterior is degenerate; like the dense fused update, callers
+    /// must treat the posterior as unusable after this error.
     pub fn update<M: ResponseModel>(
+        &mut self,
+        engine: &Engine,
+        model: &M,
+        pool: State,
+        outcome: M::Outcome,
+    ) -> Result<f64, BayesError> {
+        if pool.is_empty() {
+            return Err(BayesError::EmptyPool);
+        }
+        let table = engine.broadcast(model.likelihood_table(outcome, pool.rank()));
+        let mask = pool.bits();
+        let offsets = Arc::clone(&self.offsets);
+
+        let partial_sums = self
+            .shards
+            .try_map_partitions_in_place(engine, "update:in-place", move |pidx, probs| {
+                mul_table_in_place(probs, offsets[pidx], mask, table.value())
+            })
+            .unwrap_or_else(|e| panic!("dataset job failed: {e}"));
+
+        let new_total: f64 = partial_sums.iter().sum();
+        if !(new_total.is_finite() && new_total > 0.0) {
+            return Err(BayesError::ImpossibleObservation);
+        }
+        let evidence = new_total / self.total;
+        self.total = new_total;
+        Ok(evidence)
+    }
+
+    /// The pre-in-place update: a materializing `map_partitions` stage
+    /// whose outputs are moved (not cloned) into the new shard dataset.
+    /// Kept as the immutable baseline the in-place path is benchmarked
+    /// against; semantically identical to [`Self::update`].
+    pub fn update_immutable<M: ResponseModel>(
         &mut self,
         engine: &Engine,
         model: &M,
@@ -112,25 +182,19 @@ impl ShardedPosterior {
         // needed.
         let fused: Dataset<(Vec<f64>, f64)> =
             self.shards.map_partitions(engine, move |pidx, probs| {
-                let base = offsets[pidx];
-                let table = table.value();
-                let mut out = Vec::with_capacity(probs.len());
-                let mut sum = 0.0;
-                for (off, &p) in probs.iter().enumerate() {
-                    let k = ((base + off as u64) & mask).count_ones() as usize;
-                    let v = p * table[k];
-                    sum += v;
-                    out.push(v);
-                }
-                vec![(out, sum)]
+                vec![mul_table_collect(probs, offsets[pidx], mask, table.value())]
             });
 
+        // The stage output handles are uniquely owned, so each partition's
+        // values vector is moved out — not cloned — on the driver.
         let mut new_parts: Vec<Vec<f64>> = Vec::with_capacity(fused.num_partitions());
         let mut new_total = 0.0;
-        for p in 0..fused.num_partitions() {
-            let (values, sum) = &fused.partition(p)[0];
+        for handle in fused.into_partitions() {
+            let mut records =
+                Arc::try_unwrap(handle).expect("stage output handles are uniquely owned");
+            let (values, sum) = records.pop().expect("one record per partition");
             new_total += sum;
-            new_parts.push(values.clone());
+            new_parts.push(values);
         }
         if !(new_total.is_finite() && new_total > 0.0) {
             return Err(BayesError::ImpossibleObservation);
@@ -141,33 +205,123 @@ impl ShardedPosterior {
         Ok(evidence)
     }
 
-    /// Marginals as an aggregate stage (per-partition local accumulators,
-    /// tree-reduced on the driver).
+    /// Fused BHA superstage: apply the Bayesian update **and** compute the
+    /// post-update marginals and all-prefix pool-negative masses in one
+    /// in-place traversal per partition — a full round in one stage
+    /// instead of three.
+    ///
+    /// `order` is the candidate subject ordering for the prefix masses.
+    /// Since the masses are computed in the same traversal that updates
+    /// the posterior, callers necessarily supply an ordering derived from
+    /// the *previous* round's marginals (the returned masses themselves
+    /// are exact for the updated posterior). Running marginals and
+    /// [`Self::prefix_negative_masses`] as separate stages removes that
+    /// one-round staleness at the cost of an extra traversal.
+    pub fn fused_round<M: ResponseModel>(
+        &mut self,
+        engine: &Engine,
+        model: &M,
+        pool: State,
+        outcome: M::Outcome,
+        order: &[usize],
+    ) -> Result<FusedRound, BayesError> {
+        if pool.is_empty() {
+            return Err(BayesError::EmptyPool);
+        }
+        let n = self.n_subjects;
+        let m = order.len();
+        let table = engine.broadcast(model.likelihood_table(outcome, pool.rank()));
+        let mask = pool.bits();
+        let offsets = Arc::clone(&self.offsets);
+        let pos_of = Arc::new(Self::positions_of(n, order));
+
+        let partials = self
+            .shards
+            .try_map_partitions_in_place(engine, "fused-round:in-place", move |pidx, probs| {
+                let base = offsets[pidx];
+                let table = table.value();
+                let mut sum = 0.0;
+                let mut acc = vec![0.0f64; n];
+                let mut hist = vec![0.0f64; m + 1];
+                for (off, p) in probs.iter_mut().enumerate() {
+                    let state = base + off as u64;
+                    let k = (state & mask).count_ones() as usize;
+                    let v = *p * table[k];
+                    *p = v;
+                    sum += v;
+                    // Marginal accumulation and first-positive histogram on
+                    // the post-update value, in the same cache-resident pass.
+                    let mut first = m as u32;
+                    let mut bits = state;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        acc[b] += v;
+                        let pos = pos_of[b];
+                        if pos < first {
+                            first = pos;
+                        }
+                        bits &= bits - 1;
+                    }
+                    hist[first as usize] += v;
+                }
+                (sum, acc, hist)
+            })
+            .unwrap_or_else(|e| panic!("dataset job failed: {e}"));
+
+        let mut new_total = 0.0;
+        let mut marginals = vec![0.0f64; n];
+        let mut hist = vec![0.0f64; m + 1];
+        for (sum, acc, local_hist) in partials {
+            new_total += sum;
+            for (a, l) in marginals.iter_mut().zip(&acc) {
+                *a += l;
+            }
+            for (h, l) in hist.iter_mut().zip(&local_hist) {
+                *h += l;
+            }
+        }
+        if !(new_total.is_finite() && new_total > 0.0) {
+            return Err(BayesError::ImpossibleObservation);
+        }
+        let evidence = new_total / self.total;
+        self.total = new_total;
+        for a in &mut marginals {
+            *a /= new_total;
+        }
+        Ok(FusedRound {
+            evidence,
+            marginals,
+            prefix_negative_masses: Self::suffix_sum(hist),
+        })
+    }
+
+    /// Marginals as a read-only aggregate stage (per-partition local
+    /// accumulators shipped to the driver — no dataset materialized).
     pub fn marginals(&self, engine: &Engine) -> Vec<f64> {
         let n = self.n_subjects;
         let offsets = Arc::clone(&self.offsets);
-        let partials: Dataset<(Vec<f64>, f64)> =
-            self.shards.map_partitions(engine, move |pidx, probs| {
-                let base = offsets[pidx];
-                let mut acc = vec![0.0f64; n];
-                let mut total = 0.0;
-                for (off, &p) in probs.iter().enumerate() {
-                    total += p;
-                    let mut bits = base + off as u64;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        acc[b] += p;
-                        bits &= bits - 1;
+        let partials: Vec<(Vec<f64>, f64)> =
+            self.shards
+                .aggregate_partitions(engine, move |pidx, probs| {
+                    let base = offsets[pidx];
+                    let mut acc = vec![0.0f64; n];
+                    let mut total = 0.0;
+                    for (off, &p) in probs.iter().enumerate() {
+                        total += p;
+                        let mut bits = base + off as u64;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            acc[b] += p;
+                            bits &= bits - 1;
+                        }
                     }
-                }
-                vec![(acc, total)]
-            });
+                    (acc, total)
+                });
         let mut acc = vec![0.0f64; n];
         let mut total = 0.0;
-        for p in 0..partials.num_partitions() {
-            let (local, t) = &partials.partition(p)[0];
+        for (local, t) in partials {
             total += t;
-            for (a, l) in acc.iter_mut().zip(local) {
+            for (a, l) in acc.iter_mut().zip(&local) {
                 *a += l;
             }
         }
@@ -179,21 +333,23 @@ impl ShardedPosterior {
         acc
     }
 
-    /// Pool-negative probability as an aggregate stage.
+    /// Pool-negative probability as a read-only aggregate stage.
     pub fn pool_negative_mass(&self, engine: &Engine, pool: State) -> f64 {
         let mask = pool.bits();
         let offsets = Arc::clone(&self.offsets);
-        let partials: Dataset<f64> = self.shards.map_partitions(engine, move |pidx, probs| {
-            let base = offsets[pidx];
-            let mut local = 0.0;
-            for (off, &p) in probs.iter().enumerate() {
-                if (base + off as u64) & mask == 0 {
-                    local += p;
+        let partials: Vec<f64> = self
+            .shards
+            .aggregate_partitions(engine, move |pidx, probs| {
+                let base = offsets[pidx];
+                let mut local = 0.0;
+                for (off, &p) in probs.iter().enumerate() {
+                    if (base + off as u64) & mask == 0 {
+                        local += p;
+                    }
                 }
-            }
-            vec![local]
-        });
-        let mass: f64 = partials.collect().iter().sum();
+                local
+            });
+        let mass: f64 = partials.iter().sum();
         if self.total > 0.0 {
             mass / self.total
         } else {
@@ -201,56 +357,131 @@ impl ShardedPosterior {
         }
     }
 
-    /// All-prefix pool-negative probabilities (the selection kernel) as an
-    /// aggregate stage: per-partition first-positive histograms, reduced
-    /// and suffix-summed on the driver.
+    /// All-prefix pool-negative probabilities (the selection kernel) as a
+    /// read-only aggregate stage: per-partition first-positive histograms,
+    /// reduced and suffix-summed on the driver.
     pub fn prefix_negative_masses(&self, engine: &Engine, order: &[usize]) -> Vec<f64> {
         let n = self.n_subjects;
         let m = order.len();
+        let pos_of = Arc::new(Self::positions_of(n, order));
+        let offsets = Arc::clone(&self.offsets);
+        let partials: Vec<Vec<f64>> =
+            self.shards
+                .aggregate_partitions(engine, move |pidx, probs| {
+                    let base = offsets[pidx];
+                    let mut hist = vec![0.0f64; m + 1];
+                    for (off, &p) in probs.iter().enumerate() {
+                        let mut first = m as u32;
+                        let mut bits = base + off as u64;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            let pos = pos_of[b];
+                            if pos < first {
+                                first = pos;
+                                if first == 0 {
+                                    break;
+                                }
+                            }
+                            bits &= bits - 1;
+                        }
+                        hist[first as usize] += p;
+                    }
+                    hist
+                });
+        let mut hist = vec![0.0f64; m + 1];
+        for local in partials {
+            for (h, l) in hist.iter_mut().zip(&local) {
+                *h += l;
+            }
+        }
+        Self::suffix_sum(hist)
+    }
+
+    /// Position of each subject within `order` (`u32::MAX` = not in order).
+    fn positions_of(n: usize, order: &[usize]) -> Vec<u32> {
         let mut pos_of = vec![u32::MAX; n];
         for (k, &subj) in order.iter().enumerate() {
             assert!(subj < n, "subject {subj} out of range");
             assert!(pos_of[subj] == u32::MAX, "duplicate subject in order");
             pos_of[subj] = k as u32;
         }
-        let pos_of = Arc::new(pos_of);
-        let offsets = Arc::clone(&self.offsets);
-        let partials: Dataset<Vec<f64>> =
-            self.shards.map_partitions(engine, move |pidx, probs| {
-                let base = offsets[pidx];
-                let mut hist = vec![0.0f64; m + 1];
-                for (off, &p) in probs.iter().enumerate() {
-                    let mut first = m as u32;
-                    let mut bits = base + off as u64;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        let pos = pos_of[b];
-                        if pos < first {
-                            first = pos;
-                            if first == 0 {
-                                break;
-                            }
-                        }
-                        bits &= bits - 1;
-                    }
-                    hist[first as usize] += p;
-                }
-                vec![hist]
-            });
-        let mut hist = vec![0.0f64; m + 1];
-        for p in 0..partials.num_partitions() {
-            for (h, l) in hist.iter_mut().zip(&partials.partition(p)[0]) {
-                *h += l;
-            }
-        }
-        let mut masses = vec![0.0f64; m + 1];
+        pos_of
+    }
+
+    /// Turn a first-positive histogram into all-prefix negative masses.
+    fn suffix_sum(hist: Vec<f64>) -> Vec<f64> {
+        let mut masses = vec![0.0f64; hist.len()];
         let mut running = 0.0;
-        for k in (0..=m).rev() {
+        for k in (0..hist.len()).rev() {
             running += hist[k];
             masses[k] = running;
         }
         masses
     }
+}
+
+/// Popcount of `i & mask` for every low-byte value `i`.
+fn low_byte_popcounts(mask: u64) -> [u8; 256] {
+    let m = (mask & 0xFF) as usize;
+    let mut t = [0u8; 256];
+    for (i, e) in t.iter_mut().enumerate() {
+        *e = (i & m).count_ones() as u8;
+    }
+    t
+}
+
+/// `probs[off] *= table[popcount((base + off) & mask)]` for every element,
+/// returning the partial sum — the update's per-partition kernel.
+///
+/// Blocked: within a 256-aligned run of global state indices the high bits
+/// are constant, so their popcount is hoisted out and the low byte comes
+/// from a 256-entry table. Four accumulator lanes (lane of element `off` =
+/// `off % 4`) break the floating-point add dependency chain; the reduction
+/// order is a pure function of the partition layout, so this kernel and
+/// [`mul_table_collect`] stay bit-for-bit identical.
+fn mul_table_in_place(probs: &mut [f64], base: u64, mask: u64, table: &[f64]) -> f64 {
+    let lo = low_byte_popcounts(mask);
+    let hi_mask = mask & !0xFF;
+    let mut lanes = [0.0f64; 4];
+    let len = probs.len();
+    let mut off = 0usize;
+    while off < len {
+        let state = base + off as u64;
+        let k_hi = (state & hi_mask).count_ones() as usize;
+        let run = ((256 - (state & 0xFF)) as usize).min(len - off);
+        for o in off..off + run {
+            let b = ((base + o as u64) & 0xFF) as usize;
+            let v = probs[o] * table[k_hi + lo[b] as usize];
+            probs[o] = v;
+            lanes[o & 3] += v;
+        }
+        off += run;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// The materializing twin of [`mul_table_in_place`]: identical arithmetic
+/// in identical order, but writing into a freshly allocated vector.
+fn mul_table_collect(src: &[f64], base: u64, mask: u64, table: &[f64]) -> (Vec<f64>, f64) {
+    let lo = low_byte_popcounts(mask);
+    let hi_mask = mask & !0xFF;
+    let mut out = Vec::with_capacity(src.len());
+    let mut lanes = [0.0f64; 4];
+    let len = src.len();
+    let mut off = 0usize;
+    while off < len {
+        let state = base + off as u64;
+        let k_hi = (state & hi_mask).count_ones() as usize;
+        let run = ((256 - (state & 0xFF)) as usize).min(len - off);
+        for o in off..off + run {
+            let b = ((base + o as u64) & 0xFF) as usize;
+            let v = src[o] * table[k_hi + lo[b] as usize];
+            out.push(v);
+            lanes[o & 3] += v;
+        }
+        off += run;
+    }
+    (out, (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
 }
 
 #[cfg(test)]
@@ -364,5 +595,126 @@ mod tests {
         sharded.marginals(&e);
         assert!(e.metrics().job_count() >= 2, "expected dataflow stages");
         assert_eq!(e.metrics().broadcast_count(), 1);
+        // The update ran as an in-place stage over uniquely-owned shards;
+        // the marginals stage is a read-only (immutable) aggregation.
+        let jobs = e.metrics().jobs();
+        assert_eq!(
+            jobs[0].variant,
+            sbgt_engine::StageVariant::InPlace { unique: 4, cow: 0 }
+        );
+        assert_eq!(jobs[1].variant, sbgt_engine::StageVariant::Immutable);
+        assert_eq!(e.metrics().in_place_job_count(), 1);
+    }
+
+    #[test]
+    fn in_place_and_immutable_updates_are_bit_identical() {
+        let e = engine();
+        let model = BinaryDilutionModel::pcr_like();
+        let dense = Prior::from_risks(&risks()).to_dense();
+        let mut in_place = ShardedPosterior::from_dense(&dense, 5);
+        let mut immutable = ShardedPosterior::from_dense(&dense, 5);
+        let tests = [
+            (State::from_subjects([0, 1, 2, 3]), true),
+            (State::from_subjects([4, 5]), false),
+            (State::from_subjects([0]), true),
+        ];
+        for (pool, outcome) in tests {
+            let za = in_place.update(&e, &model, pool, outcome).unwrap();
+            let zb = immutable
+                .update_immutable(&e, &model, pool, outcome)
+                .unwrap();
+            assert_eq!(za.to_bits(), zb.to_bits(), "evidence must be identical");
+        }
+        assert_eq!(in_place.total().to_bits(), immutable.total().to_bits());
+        let a = in_place.to_dense(&e);
+        let b = immutable.to_dense(&e);
+        for (x, y) in a.probs().iter().zip(b.probs()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_round_matches_separate_stages() {
+        let e = engine();
+        let model = BinaryDilutionModel::pcr_like();
+        let dense = Prior::from_risks(&risks()).to_dense();
+        let mut fused = ShardedPosterior::from_dense(&dense, 5);
+        let mut staged = ShardedPosterior::from_dense(&dense, 5);
+        let pool = State::from_subjects([1, 3, 6]);
+        let order = [3usize, 0, 7, 2, 5];
+
+        let round = fused.fused_round(&e, &model, pool, true, &order).unwrap();
+        let z = staged.update(&e, &model, pool, true).unwrap();
+        assert!(close(round.evidence, z));
+        for (a, b) in round.marginals.iter().zip(staged.marginals(&e)) {
+            assert!(close(*a, b));
+        }
+        let masses = staged.prefix_negative_masses(&e, &order);
+        assert_eq!(round.prefix_negative_masses.len(), masses.len());
+        for (a, b) in round.prefix_negative_masses.iter().zip(&masses) {
+            assert!(close(*a, *b));
+        }
+        // And the posteriors themselves agree.
+        let a = fused.to_dense(&e);
+        let b = staged.to_dense(&e);
+        for (x, y) in a.probs().iter().zip(b.probs()) {
+            assert!(close(*x, *y));
+        }
+    }
+
+    #[test]
+    fn fused_round_error_paths() {
+        let e = engine();
+        let model = BinaryDilutionModel::perfect();
+        let mut sharded = ShardedPosterior::from_dense(&Prior::flat(4, 0.1).to_dense(), 2);
+        assert_eq!(
+            sharded
+                .fused_round(&e, &model, State::EMPTY, true, &[0, 1])
+                .unwrap_err(),
+            BayesError::EmptyPool
+        );
+        let pool = State::from_subjects([0, 1, 2, 3]);
+        sharded
+            .fused_round(&e, &model, pool, false, &[0, 1])
+            .unwrap();
+        assert_eq!(
+            sharded
+                .fused_round(&e, &model, pool, true, &[0, 1])
+                .unwrap_err(),
+            BayesError::ImpossibleObservation
+        );
+    }
+
+    #[test]
+    fn update_copies_on_write_when_shards_are_shared() {
+        // A dataflow consumer holding the shard dataset must not observe
+        // the in-place update (Spark datasets are immutable to observers).
+        let e = engine();
+        let model = BinaryDilutionModel::pcr_like();
+        let dense = Prior::from_risks(&risks()).to_dense();
+        let mut sharded = ShardedPosterior::from_dense(&dense, 3);
+        let snapshot = sharded.shards.clone();
+        sharded
+            .update(&e, &model, State::from_subjects([0, 1]), false)
+            .unwrap();
+        // Snapshot still holds the prior values.
+        for (a, b) in snapshot.collect().iter().zip(dense.probs()) {
+            assert!(close(*a, *b));
+        }
+        let jobs = e.metrics().jobs();
+        assert_eq!(
+            jobs.last().unwrap().variant,
+            sbgt_engine::StageVariant::InPlace { unique: 0, cow: 3 }
+        );
+        // The next update is unique again: the COW pass re-established
+        // sole ownership of every shard handle.
+        sharded
+            .update(&e, &model, State::from_subjects([2]), false)
+            .unwrap();
+        let jobs = e.metrics().jobs();
+        assert_eq!(
+            jobs.last().unwrap().variant,
+            sbgt_engine::StageVariant::InPlace { unique: 3, cow: 0 }
+        );
     }
 }

@@ -120,7 +120,15 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// ordering for the halving search.
     pub fn eligible_order(&self) -> Vec<usize> {
         let marginals = self.marginals();
-        let mut eligible = classify_marginals(&marginals, self.config.rule).undetermined();
+        let classification = classify_marginals(&marginals, self.config.rule);
+        Self::order_from(&marginals, &classification)
+    }
+
+    /// `eligible_order` given already-computed marginals and their
+    /// classification, so one marginals pass can feed classification,
+    /// ordering, and selection in a single round.
+    fn order_from(marginals: &[f64], classification: &CohortClassification) -> Vec<usize> {
+        let mut eligible = classification.undetermined();
         eligible.sort_by(|&a, &b| marginals[a].total_cmp(&marginals[b]).then(a.cmp(&b)));
         eligible
     }
@@ -128,13 +136,16 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// Bayesian Halving Algorithm: the next pool to test, or `None` when
     /// every subject is already classified.
     pub fn select_next(&self) -> Option<Selection> {
-        let order = self.eligible_order();
+        self.select_next_with_order(&self.eligible_order())
+    }
+
+    fn select_next_with_order(&self, order: &[usize]) -> Option<Selection> {
         match self.config.exec {
             ExecMode::Serial => {
-                select_halving_prefix(&self.posterior, &order, self.config.max_pool_size)
+                select_halving_prefix(&self.posterior, order, self.config.max_pool_size)
             }
             ExecMode::Parallel(cfg) => {
-                select_halving_prefix_par(&self.posterior, &order, self.config.max_pool_size, cfg)
+                select_halving_prefix_par(&self.posterior, order, self.config.max_pool_size, cfg)
             }
         }
     }
@@ -172,12 +183,15 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
 
     /// Look-ahead stage selection: up to `width` pools for one lab round.
     pub fn select_stage(&self, width: usize) -> Vec<Selection> {
-        let order = self.eligible_order();
+        self.select_stage_with_order(width, &self.eligible_order())
+    }
+
+    fn select_stage_with_order(&self, width: usize, order: &[usize]) -> Vec<Selection> {
         let cfg = LookaheadConfig {
             width,
             max_pool_size: self.config.max_pool_size,
         };
-        select_stage_lookahead(&self.posterior, &self.model, &order, &cfg)
+        select_stage_lookahead(&self.posterior, &self.model, order, &cfg)
     }
 
     /// Full statistical readout (marginals, entropy, MAP, top-k, rank
@@ -200,22 +214,26 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     ) -> SessionOutcome {
         assert!(stage_width >= 1, "stage width must be at least 1");
         loop {
-            let classification = self.classify();
+            // One marginals pass feeds classification, the candidate
+            // ordering, and selection for the whole round.
+            let marginals = self.marginals();
+            let classification = classify_marginals(&marginals, self.config.rule);
             if classification.is_terminal() || self.stages >= self.config.max_stages {
                 return self.outcome(classification);
             }
+            let order = Self::order_from(&marginals, &classification);
             let selections = if stage_width == 1 {
-                self.select_next().map(|s| vec![s]).unwrap_or_default()
+                self.select_next_with_order(&order)
+                    .map(|s| vec![s])
+                    .unwrap_or_default()
             } else {
-                self.select_stage(stage_width)
+                self.select_stage_with_order(stage_width, &order)
             };
             if selections.is_empty() {
                 return self.outcome(classification);
             }
-            let observations: Vec<(State, bool)> = selections
-                .iter()
-                .map(|s| (s.pool, lab(s.pool)))
-                .collect();
+            let observations: Vec<(State, bool)> =
+                selections.iter().map(|s| (s.pool, lab(s.pool))).collect();
             if self.observe_stage(&observations).is_err() {
                 return self.outcome(self.classify());
             }
@@ -343,7 +361,8 @@ mod tests {
             SbgtConfig::default().serial(),
         );
         // One all-negative pool classifies everyone at these thresholds.
-        s.observe(State::from_subjects([0, 1, 2, 3]), false).unwrap();
+        s.observe(State::from_subjects([0, 1, 2, 3]), false)
+            .unwrap();
         assert!(s.classify().is_terminal());
         assert!(s.select_next().is_none());
     }

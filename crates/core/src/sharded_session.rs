@@ -1,0 +1,309 @@
+//! The engine-backed session: the BHA stage loop on the dataflow path.
+//!
+//! [`ShardedSession`] drives a [`ShardedPosterior`] the way [`crate::SbgtSession`]
+//! drives the dense rayon kernels, but every posterior traversal is an
+//! engine stage — and the hot loop runs through the **fused in-place
+//! superstage** ([`ShardedPosterior::fused_round`]): one traversal per
+//! observation applies the Bayesian update and computes the post-update
+//! marginals and all-prefix negative masses, so a full BHA round costs one
+//! stage instead of three, with zero posterior-sized allocations.
+//!
+//! ## Selection pipelining
+//!
+//! The fused round computes prefix masses under a candidate ordering that
+//! must be supplied *before* the update runs, so the loop pipelines: the
+//! ordering passed into round `t` is derived from round `t-1`'s (fresh)
+//! marginals, and the masses that round returns drive round `t+1`'s pool
+//! selection. Classification always uses the current marginals — only the
+//! candidate *ordering* for selection is one round stale, which perturbs
+//! near-tied pool choices but never the posterior math (every returned
+//! mass is exact for the updated posterior). [`ShardedSession::select_next`]
+//! remains the exact, non-pipelined path (fresh ordering, one extra
+//! read-only stage).
+
+use sbgt_bayes::{classify_marginals, BayesError, CohortClassification, Prior};
+use sbgt_engine::Engine;
+use sbgt_lattice::State;
+use sbgt_response::BinaryOutcomeModel;
+use sbgt_select::{select_halving_from_masses, Selection};
+
+use crate::config::SbgtConfig;
+use crate::parallel::ShardedPosterior;
+use crate::report::SessionOutcome;
+
+/// A live group-testing session whose posterior lives as engine shards.
+pub struct ShardedSession<M> {
+    posterior: ShardedPosterior,
+    model: M,
+    config: SbgtConfig,
+    history: Vec<(State, bool)>,
+    /// Marginals of the current posterior (kept fresh by every round).
+    marginals: Vec<f64>,
+    /// `(order, masses)` carried over from the last fused round: all-prefix
+    /// negative masses of the *current* posterior under `order`.
+    pending_selection: Option<(Vec<usize>, Vec<f64>)>,
+}
+
+impl<M: BinaryOutcomeModel> ShardedSession<M> {
+    /// Open a session: shard the prior posterior into `parts` partitions
+    /// and run one marginals stage to seed the classification state.
+    pub fn new(engine: &Engine, prior: Prior, model: M, config: SbgtConfig, parts: usize) -> Self {
+        let posterior = ShardedPosterior::from_dense(&prior.to_dense(), parts);
+        let marginals = posterior.marginals(engine);
+        ShardedSession {
+            posterior,
+            model,
+            config,
+            history: Vec::new(),
+            marginals,
+            pending_selection: None,
+        }
+    }
+
+    /// Cohort size.
+    pub fn n_subjects(&self) -> usize {
+        self.posterior.n_subjects()
+    }
+
+    /// The sharded posterior.
+    pub fn posterior(&self) -> &ShardedPosterior {
+        &self.posterior
+    }
+
+    /// Every `(pool, outcome)` observed so far, in order.
+    pub fn history(&self) -> &[(State, bool)] {
+        &self.history
+    }
+
+    /// Completed stages (one fused stage per observation).
+    pub fn stages(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Current posterior marginals (no stage: kept fresh by each round).
+    pub fn marginals(&self) -> &[f64] {
+        &self.marginals
+    }
+
+    /// Classification under the configured rule.
+    pub fn classify(&self) -> CohortClassification {
+        classify_marginals(&self.marginals, self.config.rule)
+    }
+
+    /// Unclassified subjects by ascending marginal (ties by index) — the
+    /// candidate ordering for the halving search.
+    pub fn eligible_order(&self) -> Vec<usize> {
+        let mut eligible = self.classify().undetermined();
+        eligible.sort_by(|&a, &b| {
+            self.marginals[a]
+                .total_cmp(&self.marginals[b])
+                .then(a.cmp(&b))
+        });
+        eligible
+    }
+
+    /// Exact BHA selection: fresh eligible ordering, one read-only
+    /// all-prefix mass stage. `None` when the cohort is classified.
+    pub fn select_next(&self, engine: &Engine) -> Option<Selection> {
+        let order = self.eligible_order();
+        if order.is_empty() {
+            return None;
+        }
+        let masses = self.posterior.prefix_negative_masses(engine, &order);
+        select_halving_from_masses(&order, &masses, self.config.max_pool_size)
+    }
+
+    /// Ingest one observed pooled test as a single fused in-place stage;
+    /// returns the model evidence. Refreshes the marginals and banks the
+    /// prefix masses for the next round's pipelined selection.
+    pub fn observe(
+        &mut self,
+        engine: &Engine,
+        pool: State,
+        outcome: bool,
+    ) -> Result<f64, BayesError> {
+        let order = self.eligible_order();
+        let round = self
+            .posterior
+            .fused_round(engine, &self.model, pool, outcome, &order)?;
+        self.marginals = round.marginals;
+        self.pending_selection = Some((order, round.prefix_negative_masses));
+        self.history.push((pool, outcome));
+        Ok(round.evidence)
+    }
+
+    /// Drive the session to classification against a lab oracle, one fused
+    /// stage per round. Stops when the cohort is classified, the stage cap
+    /// is reached, or an observation is impossible under the model.
+    pub fn run_to_classification(
+        &mut self,
+        engine: &Engine,
+        mut lab: impl FnMut(State) -> bool,
+    ) -> SessionOutcome {
+        loop {
+            let classification = self.classify();
+            if classification.is_terminal() || self.stages() >= self.config.max_stages {
+                return self.outcome(classification);
+            }
+            // Pipelined fast path: masses banked by the previous fused
+            // round. First round (or after a miss) pays one extra stage.
+            let selection = self
+                .pending_selection
+                .take()
+                .and_then(|(order, masses)| {
+                    select_halving_from_masses(&order, &masses, self.config.max_pool_size)
+                })
+                .or_else(|| self.select_next(engine));
+            let Some(selection) = selection else {
+                return self.outcome(classification);
+            };
+            let outcome = lab(selection.pool);
+            if self.observe(engine, selection.pool, outcome).is_err() {
+                return self.outcome(self.classify());
+            }
+        }
+    }
+
+    fn outcome(&self, classification: CohortClassification) -> SessionOutcome {
+        SessionOutcome {
+            tests: self.history.len(),
+            stages: self.stages(),
+            subjects: self.n_subjects(),
+            classification,
+            marginals: self.marginals.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_engine::EngineConfig;
+    use sbgt_response::BinaryDilutionModel;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default().with_threads(2))
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    /// Ten subjects with distinct risks: a flat prior would leave the
+    /// ascending-marginal ordering to last-ulp noise (dense and sharded
+    /// summation orders differ), sending the two implementations down
+    /// different — equally valid — BHA trajectories.
+    fn distinct_risks() -> Prior {
+        Prior::from_risks(&[0.03, 0.07, 0.02, 0.09, 0.05, 0.04, 0.08, 0.06, 0.025, 0.045])
+    }
+
+    #[test]
+    fn fused_loop_classifies_with_perfect_oracle() {
+        let e = engine();
+        let truth = State::from_subjects([4, 9]);
+        let mut s = ShardedSession::new(
+            &e,
+            distinct_risks(),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default(),
+            4,
+        );
+        let outcome = s.run_to_classification(&e, |pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        assert_eq!(outcome.classification.positives(), 2);
+        assert_eq!(
+            outcome.classification.statuses[4],
+            sbgt_bayes::SubjectStatus::Positive
+        );
+        assert_eq!(
+            outcome.classification.statuses[9],
+            sbgt_bayes::SubjectStatus::Positive
+        );
+        assert!(outcome.tests < 10, "group testing must beat individual");
+    }
+
+    #[test]
+    fn rounds_run_as_single_in_place_stages() {
+        let e = engine();
+        let truth = State::from_subjects([2]);
+        let mut s = ShardedSession::new(
+            &e,
+            Prior::flat(8, 0.06),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default(),
+            4,
+        );
+        e.metrics().clear();
+        let outcome = s.run_to_classification(&e, |pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        // Steady-state rounds are one fused in-place stage each; only the
+        // bootstrap selection may add one read-only stage.
+        let jobs = e.metrics().jobs();
+        let fused = jobs
+            .iter()
+            .filter(|j| j.name.contains("fused-round"))
+            .count();
+        assert_eq!(fused, outcome.tests, "one fused stage per observation");
+        assert!(
+            jobs.len() <= outcome.tests + 1,
+            "at most one bootstrap stage beyond the fused rounds ({} jobs, {} tests)",
+            jobs.len(),
+            outcome.tests
+        );
+        assert_eq!(e.metrics().in_place_job_count(), fused);
+    }
+
+    #[test]
+    fn observe_matches_dense_session_evidence() {
+        let e = engine();
+        let prior = Prior::from_risks(&[0.02, 0.05, 0.01, 0.1, 0.03, 0.08, 0.02, 0.04]);
+        let model = BinaryDilutionModel::pcr_like();
+        let mut sharded = ShardedSession::new(&e, prior.clone(), model, SbgtConfig::default(), 3);
+        let mut dense = crate::SbgtSession::new(prior, model, SbgtConfig::default().serial());
+        let pool = State::from_subjects([0, 1, 2, 3]);
+        let zs = sharded.observe(&e, pool, true).unwrap();
+        let zd = dense.observe(pool, true).unwrap();
+        assert!(close(zs, zd), "evidence {zs} vs {zd}");
+        for (a, b) in sharded.marginals().iter().zip(dense.marginals()) {
+            assert!(close(*a, b));
+        }
+        assert_eq!(sharded.history(), dense.history());
+    }
+
+    #[test]
+    fn exact_select_agrees_with_dense_prefix_rule() {
+        let e = engine();
+        // Distinct risks, none on the symmetric(0.99) boundary: a subject
+        // at exactly 0.01 flips classification on ulp-level summation
+        // differences between the dense and sharded paths.
+        let prior = Prior::from_risks(&[0.02, 0.05, 0.03, 0.1, 0.035, 0.08, 0.025, 0.04]);
+        let model = BinaryDilutionModel::pcr_like();
+        let mut sharded = ShardedSession::new(&e, prior.clone(), model, SbgtConfig::default(), 3);
+        let mut dense = crate::SbgtSession::new(prior, model, SbgtConfig::default().serial());
+        let pool = State::from_subjects([1, 5]);
+        sharded.observe(&e, pool, false).unwrap();
+        dense.observe(pool, false).unwrap();
+        let a = sharded.select_next(&e).unwrap();
+        let b = dense.select_next().unwrap();
+        assert_eq!(a.pool, b.pool);
+        assert!(close(a.negative_mass, b.negative_mass));
+    }
+
+    #[test]
+    fn impossible_observation_ends_run() {
+        let e = engine();
+        let mut s = ShardedSession::new(
+            &e,
+            Prior::flat(4, 0.1),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default(),
+            2,
+        );
+        let pool = State::from_subjects([0, 1, 2, 3]);
+        s.observe(&e, pool, false).unwrap();
+        assert_eq!(
+            s.observe(&e, pool, true).unwrap_err(),
+            BayesError::ImpossibleObservation
+        );
+    }
+}

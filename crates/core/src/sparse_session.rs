@@ -184,7 +184,8 @@ mod tests {
         let cfg = SbgtConfig::default().serial();
         let mut s = SparseSession::new(Prior::from_risks(&risks()), model, cfg, 1e-9);
         let initial = s.support();
-        s.observe(State::from_subjects([0, 1, 2, 3]), false).unwrap();
+        s.observe(State::from_subjects([0, 1, 2, 3]), false)
+            .unwrap();
         s.observe(State::from_subjects([4, 5, 6]), false).unwrap();
         assert!(s.support() < initial, "{} !< {initial}", s.support());
         assert!(s.pruned_mass() > 0.0);
@@ -221,11 +222,6 @@ mod tests {
     #[should_panic(expected = "prune epsilon")]
     fn epsilon_validated() {
         let model = BinaryDilutionModel::pcr_like();
-        let _ = SparseSession::new(
-            Prior::flat(3, 0.1),
-            model,
-            SbgtConfig::default(),
-            1.0,
-        );
+        let _ = SparseSession::new(Prior::flat(3, 0.1), model, SbgtConfig::default(), 1.0);
     }
 }

@@ -1,0 +1,149 @@
+//! Property tests: the zero-copy in-place update is *bit-for-bit*
+//! identical to the immutable materializing stage, and agrees with the
+//! serial dense kernel, across random priors, pools, outcomes, and
+//! partition counts — including the shared-handle copy-on-write case.
+
+use proptest::prelude::*;
+use sbgt::ShardedPosterior;
+use sbgt_bayes::{update_dense, BayesError, Observation, Prior};
+use sbgt_engine::{Engine, EngineConfig, StageVariant};
+use sbgt_lattice::State;
+use sbgt_response::BinaryDilutionModel;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::default().with_threads(2))
+}
+
+/// Derive a non-empty pool over `n` subjects from a free u64 seed (the
+/// vendored proptest has no dependent generation).
+fn pool_from_seed(seed: u64, n: usize) -> State {
+    let space = (1u64 << n) - 1;
+    let mask = (seed % space) + 1;
+    State::from_subjects((0..n).filter(|&i| mask >> i & 1 == 1))
+}
+
+fn assert_bitwise_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: state {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In-place and immutable updates produce bitwise-identical posteriors
+    /// and evidences for any observation sequence.
+    #[test]
+    fn in_place_matches_immutable_bitwise(
+        risks in prop::collection::vec(0.01f64..0.4, 2..=8),
+        parts in 1usize..=6,
+        obs in prop::collection::vec((proptest::arbitrary::any::<u64>(), proptest::arbitrary::any::<bool>()), 1..=5),
+    ) {
+        let e = engine();
+        let n = risks.len();
+        let dense0 = Prior::from_risks(&risks).to_dense();
+        let mut in_place = ShardedPosterior::from_dense(&dense0, parts);
+        let mut immutable = ShardedPosterior::from_dense(&dense0, parts);
+        let model = BinaryDilutionModel::pcr_like();
+
+        for &(seed, outcome) in &obs {
+            let pool = pool_from_seed(seed, n);
+            let a = in_place.update(&e, &model, pool, outcome);
+            let b = immutable.update_immutable(&e, &model, pool, outcome);
+            match (a, b) {
+                (Ok(za), Ok(zb)) => prop_assert_eq!(za.to_bits(), zb.to_bits()),
+                (Err(ea), Err(eb)) => {
+                    prop_assert_eq!(ea, eb);
+                    break;
+                }
+                (a, b) => prop_assert!(false, "paths disagree on error: {:?} vs {:?}", a, b),
+            }
+            prop_assert_eq!(in_place.total().to_bits(), immutable.total().to_bits());
+            assert_bitwise_eq(
+                in_place.to_dense(&e).probs(),
+                immutable.to_dense(&e).probs(),
+                "in-place vs immutable",
+            );
+        }
+    }
+
+    /// Both sharded paths agree with the serial dense kernel (which
+    /// renormalizes every round, so agreement is to rounding, not bits).
+    #[test]
+    fn sharded_matches_dense_serial(
+        risks in prop::collection::vec(0.01f64..0.4, 2..=8),
+        parts in 1usize..=6,
+        obs in prop::collection::vec((proptest::arbitrary::any::<u64>(), proptest::arbitrary::any::<bool>()), 1..=5),
+    ) {
+        let e = engine();
+        let n = risks.len();
+        let mut dense = Prior::from_risks(&risks).to_dense();
+        let mut sharded = ShardedPosterior::from_dense(&dense, parts);
+        let model = BinaryDilutionModel::pcr_like();
+
+        for &(seed, outcome) in &obs {
+            let pool = pool_from_seed(seed, n);
+            let observation = Observation::new(pool, outcome);
+            let zd = update_dense(&mut dense, &model, &observation);
+            let zs = sharded.update(&e, &model, pool, outcome);
+            match (zd, zs) {
+                (Ok(zd), Ok(zs)) => prop_assert!((zd - zs).abs() <= 1e-12 * zd.abs().max(1.0)),
+                (Err(BayesError::ImpossibleObservation), Err(BayesError::ImpossibleObservation)) => break,
+                (a, b) => prop_assert!(false, "kernels disagree on error: {:?} vs {:?}", a, b),
+            }
+            for (i, (d, s)) in dense.probs().iter().zip(sharded.to_dense(&e).probs()).enumerate() {
+                prop_assert!(
+                    (d - s).abs() <= 1e-12,
+                    "state {}: dense {} vs sharded {}", i, d, s
+                );
+            }
+        }
+    }
+
+    /// Shared-handle case: a clone shares shard storage, so updating one
+    /// copy must take the copy-on-write path, leave the clone bitwise
+    /// untouched, and still produce the exact same posterior as an
+    /// unshared in-place update.
+    #[test]
+    fn cow_update_leaves_clone_untouched(
+        risks in prop::collection::vec(0.01f64..0.4, 2..=8),
+        parts in 1usize..=4,
+        seed in proptest::arbitrary::any::<u64>(),
+        outcome in proptest::arbitrary::any::<bool>(),
+    ) {
+        let e = engine();
+        let n = risks.len();
+        let dense0 = Prior::from_risks(&risks).to_dense();
+        let mut shared = ShardedPosterior::from_dense(&dense0, parts);
+        let snapshot = shared.clone();
+        let snapshot_before = snapshot.to_dense(&e);
+        let mut unshared = ShardedPosterior::from_dense(&dense0, parts);
+        let model = BinaryDilutionModel::pcr_like();
+        let pool = pool_from_seed(seed, n);
+
+        let za = shared.update(&e, &model, pool, outcome).unwrap();
+        let jobs = e.metrics().jobs();
+        match jobs.last().unwrap().variant {
+            StageVariant::InPlace { unique, cow } => {
+                prop_assert_eq!(unique, 0, "every partition was shared with the clone");
+                prop_assert_eq!(cow, shared.num_partitions());
+            }
+            other => prop_assert!(false, "expected in-place stage, got {}", other),
+        }
+        // The clone still sees the prior, bit for bit.
+        assert_bitwise_eq(snapshot.to_dense(&e).probs(), snapshot_before.probs(), "clone");
+        // The COW result is identical to the unshared (truly in-place) one.
+        let zb = unshared.update(&e, &model, pool, outcome).unwrap();
+        prop_assert_eq!(za.to_bits(), zb.to_bits());
+        assert_bitwise_eq(
+            shared.to_dense(&e).probs(),
+            unshared.to_dense(&e).probs(),
+            "cow vs unique",
+        );
+    }
+}

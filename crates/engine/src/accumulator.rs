@@ -29,12 +29,10 @@ impl SumAccumulator {
         let mut current = self.bits.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(current) + delta).to_bits();
-            match self.bits.compare_exchange_weak(
-                current,
-                new,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .bits
+                .compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => current = actual,
             }

@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn builders_clamp() {
-        let c = EngineConfig::default().with_threads(0).with_partitions_per_thread(0);
+        let c = EngineConfig::default()
+            .with_threads(0)
+            .with_partitions_per_thread(0);
         assert_eq!(c.threads, 1);
         assert_eq!(c.partitions_per_thread, 1);
     }

@@ -85,6 +85,13 @@ impl<T> Dataset<T> {
         &self.partitions
     }
 
+    /// Consume the dataset, yielding its partition handles. Handles that are
+    /// uniquely owned can then be moved out with [`Arc::try_unwrap`] —
+    /// the zero-copy way to take a stage's output to the driver.
+    pub fn into_partitions(self) -> Vec<Arc<Vec<T>>> {
+        self.partitions
+    }
+
     /// Iterate over records in partition order (driver-side, sequential).
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.partitions.iter().flat_map(|p| p.iter())
@@ -124,15 +131,138 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         unwrap_job(self.try_map_partitions(engine, "map_partitions", f))
     }
 
+    /// In-place per-partition stage: each task receives `&mut [T]` for its
+    /// partition and returns one scalar to the driver; **no output dataset
+    /// is materialized**. This is the zero-copy primitive for iterated
+    /// numeric passes (posterior updates) where the immutable path's
+    /// per-stage output allocation dominates.
+    ///
+    /// # Uniqueness and copy-on-write
+    ///
+    /// A partition is mutated in place only when its `Arc` handle is
+    /// uniquely owned by this dataset (checked per task with
+    /// [`Arc::try_unwrap`]). If the handle is shared — a live clone of the
+    /// dataset, a held [`Self::partition_handles`] handle — the task clones
+    /// the partition and mutates the copy, so other owners never observe
+    /// the mutation. Either way `self` ends up owning the updated
+    /// partitions. The unique/COW split is recorded on the job's metrics as
+    /// [`crate::StageVariant::InPlace`].
+    ///
+    /// # Errors
+    ///
+    /// On task failure the consumed partitions are lost with the failed
+    /// job: the dataset is left **empty** (zero partitions). Callers that
+    /// need the pre-stage data after a failure must clone first.
+    pub fn try_map_partitions_in_place<R, F>(
+        &mut self,
+        engine: &Engine,
+        name: &str,
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        T: Clone,
+        R: Send + 'static,
+        F: Fn(usize, &mut [T]) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let handles = std::mem::take(&mut self.partitions);
+        let tasks: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(idx, handle)| {
+                let f = Arc::clone(&f);
+                move || {
+                    let (mut values, unique) = match Arc::try_unwrap(handle) {
+                        Ok(values) => (values, true),
+                        // Shared handle: copy-on-write so other owners keep
+                        // the pre-stage values.
+                        Err(shared) => ((*shared).clone(), false),
+                    };
+                    let result = f(idx, &mut values);
+                    (Arc::new(values), result, unique)
+                }
+            })
+            .collect();
+        let outputs = engine.run_job(name, tasks)?;
+        let mut results = Vec::with_capacity(outputs.len());
+        let (mut unique, mut cow) = (0, 0);
+        self.partitions = outputs
+            .into_iter()
+            .map(|(handle, result, was_unique)| {
+                if was_unique {
+                    unique += 1;
+                } else {
+                    cow += 1;
+                }
+                results.push(result);
+                handle
+            })
+            .collect();
+        engine
+            .metrics()
+            .annotate_last_job(crate::StageVariant::InPlace { unique, cow });
+        Ok(results)
+    }
+
+    /// In-place per-partition stage (panics on task failure); see
+    /// [`Self::try_map_partitions_in_place`].
+    pub fn map_partitions_in_place<R, F>(&mut self, engine: &Engine, f: F) -> Vec<R>
+    where
+        T: Clone,
+        R: Send + 'static,
+        F: Fn(usize, &mut [T]) -> R + Send + Sync + 'static,
+    {
+        unwrap_job(self.try_map_partitions_in_place(engine, "map_partitions_in_place", f))
+    }
+
+    /// Read-only per-partition stage returning one value per partition to
+    /// the driver, without materializing an output dataset (Spark's
+    /// `runJob`). The lighter sibling of
+    /// [`Self::try_map_partitions_in_place`] for aggregations whose
+    /// per-partition result is small (sums, histograms, local argmaxes).
+    pub fn try_aggregate_partitions<R, F>(
+        &self,
+        engine: &Engine,
+        name: &str,
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &[T]) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(idx, part)| {
+                let part = Arc::clone(part);
+                let f = Arc::clone(&f);
+                move || f(idx, &part)
+            })
+            .collect();
+        engine.run_job(name, tasks)
+    }
+
+    /// Read-only per-partition stage (panics on task failure); see
+    /// [`Self::try_aggregate_partitions`].
+    pub fn aggregate_partitions<R, F>(&self, engine: &Engine, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &[T]) -> R + Send + Sync + 'static,
+    {
+        unwrap_job(self.try_aggregate_partitions(engine, "aggregate_partitions", f))
+    }
+
     /// Element-wise map.
     pub fn map<U, F>(&self, engine: &Engine, f: F) -> Dataset<U>
     where
         U: Send + Sync + 'static,
         F: Fn(&T) -> U + Send + Sync + 'static,
     {
-        unwrap_job(self.try_map_partitions(engine, "map", move |_, part| {
-            part.iter().map(&f).collect()
-        }))
+        unwrap_job(
+            self.try_map_partitions(engine, "map", move |_, part| part.iter().map(&f).collect()),
+        )
     }
 
     /// Keep records matching the predicate.
@@ -154,7 +284,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         F: Fn(&T) -> I + Send + Sync + 'static,
     {
         unwrap_job(self.try_map_partitions(engine, "flat_map", move |_, part| {
-            part.iter().flat_map(|x| f(x)).collect()
+            part.iter().flat_map(&f).collect()
         }))
     }
 
@@ -164,10 +294,12 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     where
         F: Fn(usize, &[T]) + Send + Sync + 'static,
     {
-        unwrap_job(self.try_map_partitions(engine, "for_each", move |idx, part| {
-            f(idx, part);
-            Vec::<()>::with_capacity(0)
-        }));
+        unwrap_job(
+            self.try_map_partitions(engine, "for_each", move |idx, part| {
+                f(idx, part);
+                Vec::<()>::with_capacity(0)
+            }),
+        );
     }
 
     /// General two-phase aggregation: fold each partition with `seq` from a
@@ -217,10 +349,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
             })
             .collect();
         let partials = unwrap_job(engine.run_job("reduce", tasks));
-        partials
-            .into_iter()
-            .flatten()
-            .reduce(|a, b| f(&a, &b))
+        partials.into_iter().flatten().reduce(|a, b| f(&a, &b))
     }
 
     /// Count records (parallel).
@@ -292,7 +421,12 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 let a = Arc::clone(a);
                 let b = Arc::clone(b);
                 let f = Arc::clone(&f);
-                move || a.iter().zip(b.iter()).map(|(x, y)| f(x, y)).collect::<Vec<V>>()
+                move || {
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| f(x, y))
+                        .collect::<Vec<V>>()
+                }
             })
             .collect();
         let parts = engine.run_job("zip_map", tasks)?;
@@ -351,20 +485,22 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     {
         assert!((0.0..=1.0).contains(&frac), "fraction {frac} outside [0,1]");
         let threshold = (frac * u64::MAX as f64) as u64;
-        unwrap_job(self.try_map_partitions(engine, "sample", move |pidx, part| {
-            part.iter()
-                .enumerate()
-                .filter(|(off, _)| {
-                    let mut h = crate::partitioner::FxHasher::default();
-                    use std::hash::Hasher as _;
-                    h.write_u64(seed);
-                    h.write_usize(pidx);
-                    h.write_usize(*off);
-                    h.finish() <= threshold
-                })
-                .map(|(_, x)| x.clone())
-                .collect()
-        }))
+        unwrap_job(
+            self.try_map_partitions(engine, "sample", move |pidx, part| {
+                part.iter()
+                    .enumerate()
+                    .filter(|(off, _)| {
+                        let mut h = crate::partitioner::FxHasher::default();
+                        use std::hash::Hasher as _;
+                        h.write_u64(seed);
+                        h.write_usize(pidx);
+                        h.write_usize(*off);
+                        h.finish() <= threshold
+                    })
+                    .map(|(_, x)| x.clone())
+                    .collect()
+            }),
+        )
     }
 }
 
@@ -491,13 +627,7 @@ mod tests {
     fn map_propagates_user_panic() {
         let e = engine();
         let ds = Dataset::from_vec(vec![1, 2, 3], 2);
-        let _ = ds.map(&e, |x| {
-            if *x == 2 {
-                panic!("bad record")
-            } else {
-                *x
-            }
-        });
+        let _ = ds.map(&e, |x| if *x == 2 { panic!("bad record") } else { *x });
     }
 
     #[test]
@@ -536,6 +666,113 @@ mod tests {
         let e = engine();
         let ds = Dataset::from_vec(vec![1], 1);
         let _ = ds.sample(&e, 1.5, 0);
+    }
+
+    #[test]
+    fn in_place_mutates_without_copy_when_unique() {
+        let e = engine();
+        let mut ds = Dataset::from_vec((0..100i64).collect::<Vec<_>>(), 4);
+        let before: Vec<*const i64> = ds.partition_handles().iter().map(|h| h.as_ptr()).collect();
+        let sums = ds.map_partitions_in_place(&e, |_, part| {
+            let mut sum = 0i64;
+            for x in part.iter_mut() {
+                *x *= 2;
+                sum += *x;
+            }
+            sum
+        });
+        assert_eq!(sums.iter().sum::<i64>(), 99 * 100);
+        assert_eq!(ds.collect(), (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        // Unique handles: the very same buffers were mutated, no copies.
+        let after: Vec<*const i64> = ds.partition_handles().iter().map(|h| h.as_ptr()).collect();
+        assert_eq!(before, after);
+        let jobs = e.metrics().jobs();
+        assert_eq!(
+            jobs.last().unwrap().variant,
+            crate::StageVariant::InPlace { unique: 4, cow: 0 }
+        );
+    }
+
+    #[test]
+    fn in_place_copies_on_write_when_shared() {
+        let e = engine();
+        let mut ds = Dataset::from_vec((0..40i64).collect::<Vec<_>>(), 4);
+        let snapshot = ds.clone(); // shares every handle
+        let results = ds.map_partitions_in_place(&e, |idx, part| {
+            for x in part.iter_mut() {
+                *x += 1;
+            }
+            idx
+        });
+        assert_eq!(results, vec![0, 1, 2, 3]);
+        // The mutation landed in `ds`...
+        assert_eq!(ds.collect(), (1..41).collect::<Vec<_>>());
+        // ...while the shared snapshot is untouched (COW).
+        assert_eq!(snapshot.collect(), (0..40).collect::<Vec<_>>());
+        let jobs = e.metrics().jobs();
+        assert_eq!(
+            jobs.last().unwrap().variant,
+            crate::StageVariant::InPlace { unique: 0, cow: 4 }
+        );
+    }
+
+    #[test]
+    fn in_place_mixed_uniqueness_is_per_partition() {
+        let e = engine();
+        let mut ds = Dataset::from_vec((0..40i64).collect::<Vec<_>>(), 4);
+        // Share only one partition's handle.
+        let held = Arc::clone(&ds.partition_handles()[2]);
+        ds.map_partitions_in_place(&e, |_, part| {
+            for x in part.iter_mut() {
+                *x = -*x;
+            }
+        });
+        assert_eq!(ds.collect(), (0..40).map(|x| -x).collect::<Vec<_>>());
+        assert_eq!(*held, (20..30).collect::<Vec<_>>());
+        let jobs = e.metrics().jobs();
+        assert_eq!(
+            jobs.last().unwrap().variant,
+            crate::StageVariant::InPlace { unique: 3, cow: 1 }
+        );
+    }
+
+    #[test]
+    fn in_place_failure_empties_dataset() {
+        let e = engine();
+        let mut ds = Dataset::from_vec((0..10i64).collect::<Vec<_>>(), 2);
+        let err = ds.try_map_partitions_in_place(&e, "boom", |idx, _part| {
+            if idx == 1 {
+                panic!("bad partition");
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(ds.num_partitions(), 0);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn aggregate_partitions_returns_per_partition_results() {
+        let e = engine();
+        let ds = Dataset::from_vec((0..100u64).collect::<Vec<_>>(), 5);
+        let sums = ds.aggregate_partitions(&e, |_, part| part.iter().sum::<u64>());
+        assert_eq!(sums.len(), 5);
+        assert_eq!(sums.iter().sum::<u64>(), 4950);
+        // Read-only: the dataset is intact and the stage is immutable.
+        assert_eq!(ds.len(), 100);
+        let jobs = e.metrics().jobs();
+        assert_eq!(jobs.last().unwrap().variant, crate::StageVariant::Immutable);
+    }
+
+    #[test]
+    fn into_partitions_moves_handles_out() {
+        let ds = Dataset::from_vec((0..6i32).collect::<Vec<_>>(), 2);
+        let handles = ds.into_partitions();
+        assert_eq!(handles.len(), 2);
+        let owned: Vec<Vec<i32>> = handles
+            .into_iter()
+            .map(|h| Arc::try_unwrap(h).expect("unique"))
+            .collect();
+        assert_eq!(owned, vec![vec![0, 1, 2], vec![3, 4, 5]]);
     }
 
     #[test]

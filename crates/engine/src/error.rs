@@ -75,7 +75,10 @@ mod tests {
             EngineError::PartitionMismatch { left: 2, right: 4 }.to_string(),
             "partition mismatch: left has 2 partitions, right has 4"
         );
-        assert_eq!(EngineError::PoolShutDown.to_string(), "executor pool shut down");
+        assert_eq!(
+            EngineError::PoolShutDown.to_string(),
+            "executor pool shut down"
+        );
         assert_eq!(
             EngineError::EmptyDataset.to_string(),
             "operation requires a non-empty dataset"

@@ -25,7 +25,12 @@ where
     /// Range bounds come from sampling up to `sample_per_part` keys per
     /// input partition (Spark's `RangePartitioner` approach); skewed inputs
     /// degrade balance but never correctness.
-    pub fn sort_by_key(&self, engine: &Engine, parts: usize, sample_per_part: usize) -> Dataset<(K, V)> {
+    pub fn sort_by_key(
+        &self,
+        engine: &Engine,
+        parts: usize,
+        sample_per_part: usize,
+    ) -> Dataset<(K, V)> {
         let parts = parts.max(1);
         if self.is_empty() {
             return Dataset::from_partitions((0..parts).map(|_| Vec::new()).collect());
@@ -143,10 +148,9 @@ mod tests {
         assert_eq!(keys, expected);
         // Partition boundaries respect the order.
         for p in 0..sorted.num_partitions() - 1 {
-            if let (Some(last), Some(first)) = (
-                sorted.partition(p).last(),
-                sorted.partition(p + 1).first(),
-            ) {
+            if let (Some(last), Some(first)) =
+                (sorted.partition(p).last(), sorted.partition(p + 1).first())
+            {
                 assert!(last.0 <= first.0);
             }
         }
@@ -174,8 +178,7 @@ mod tests {
     #[test]
     fn join_matches_nested_loop() {
         let e = engine();
-        let left: Vec<(u32, &'static str)> =
-            vec![(1, "a"), (2, "b"), (2, "b2"), (3, "c")];
+        let left: Vec<(u32, &'static str)> = vec![(1, "a"), (2, "b"), (2, "b2"), (3, "c")];
         let right: Vec<(u32, i32)> = vec![(2, 20), (3, 30), (3, 31), (4, 40)];
         let l = Dataset::from_vec(left.clone(), 2);
         let r = Dataset::from_vec(right.clone(), 3);

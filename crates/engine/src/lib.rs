@@ -24,6 +24,36 @@
 //! match what the SBGT paper's dataflow needs, so the scaling structure of
 //! the original system is preserved.
 //!
+//! ## Immutable vs in-place stages
+//!
+//! Stages come in two execution variants, recorded per job as a
+//! [`StageVariant`] in the metrics registry and rendered in the timeline:
+//!
+//! * **Immutable** (`map_partitions` and everything lowering to it): tasks
+//!   read shared partition handles and materialize new output vectors. Any
+//!   number of dataset clones can coexist; nothing is ever mutated. This is
+//!   the Spark-faithful default, but each stage allocates output the size
+//!   of its input — ruinous for a `2^N` posterior updated hundreds of times
+//!   per episode.
+//! * **In-place** ([`Dataset::map_partitions_in_place`] /
+//!   [`Dataset::try_map_partitions_in_place`]): tasks receive `&mut [T]`
+//!   and return only a per-partition scalar; no output dataset is
+//!   materialized. Mutating through a shared `Arc` would be unsound, so
+//!   each task proves uniqueness at runtime with [`Arc::try_unwrap`]:
+//!   a partition whose handle is uniquely owned by this dataset is mutated
+//!   in place (zero copies); a partition whose handle is shared — a live
+//!   [`Dataset::clone`], an outstanding [`Dataset::partition_handles`]
+//!   borrow kept alive, a concurrent reader — is **copied first**
+//!   (copy-on-write), so observers of the old handle never see the
+//!   mutation. The per-stage unique/COW split is what
+//!   [`StageVariant::InPlace`] records.
+//!
+//! The uniqueness rule means in-place stages are *semantically* identical
+//! to running the same closure immutably and replacing the dataset — only
+//! the allocation profile differs. The single caveat: if an in-place stage
+//! fails (task panic), the consumed partitions are gone and the dataset is
+//! left empty; see `try_map_partitions_in_place`.
+//!
 //! ## Example
 //!
 //! ```
@@ -55,7 +85,7 @@ pub use broadcast::Broadcast;
 pub use config::EngineConfig;
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
-pub use metrics::{JobMetrics, MetricsRegistry, TaskMetrics};
+pub use metrics::{JobMetrics, MetricsRegistry, StageVariant, TaskMetrics};
 pub use partitioner::{partition_ranges, HashPartitioner, Partitioner, RangePartitioner};
 pub use pool::ThreadPool;
 pub use retry::RetryPolicy;
@@ -150,6 +180,7 @@ impl Engine {
                     tasks: task_metrics,
                     wall: elapsed,
                     succeeded: true,
+                    variant: StageVariant::Immutable,
                 });
                 Ok(results.into_iter().map(|r| r.value).collect())
             }
@@ -159,6 +190,7 @@ impl Engine {
                     tasks: Vec::with_capacity(0),
                     wall: elapsed,
                     succeeded: false,
+                    variant: StageVariant::Immutable,
                 });
                 let _ = n_tasks;
                 Err(e)
@@ -214,20 +246,15 @@ mod tests {
     #[test]
     fn engine_surfaces_task_panic() {
         let engine = Engine::new(EngineConfig::default().with_threads(2));
-        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
-            Box::new(|| 1),
-            Box::new(|| panic!("boom")),
-            Box::new(|| 3),
-        ];
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
         let err = engine.run_job("panicky", tasks).unwrap_err();
         match err {
             EngineError::TaskPanicked { .. } => {}
             other => panic!("expected TaskPanicked, got {other:?}"),
         }
         // Pool must stay usable after a panic.
-        let ok = engine
-            .run_job("after", vec![|| 42])
-            .unwrap();
+        let ok = engine.run_job("after", vec![|| 42]).unwrap();
         assert_eq!(ok, vec![42]);
     }
 

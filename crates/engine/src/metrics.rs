@@ -17,6 +17,43 @@ pub struct TaskMetrics {
     pub duration: Duration,
 }
 
+/// How a stage touched its partitions — the axis the E9 breakdown uses to
+/// distinguish allocation-free rounds from materializing ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StageVariant {
+    /// Classic `Dataset → Dataset` transform: tasks read shared partitions
+    /// and materialize new output vectors.
+    #[default]
+    Immutable,
+    /// In-place stage: `unique` partitions were mutated through their sole
+    /// `Arc` handle without copying; `cow` partitions were copied first
+    /// because their handles were shared (copy-on-write fallback).
+    InPlace {
+        /// Partitions mutated without a copy.
+        unique: usize,
+        /// Partitions that had to be cloned before mutation.
+        cow: usize,
+    },
+}
+
+impl StageVariant {
+    /// Whether any partition of the stage avoided a copy.
+    pub fn is_in_place(&self) -> bool {
+        matches!(self, StageVariant::InPlace { .. })
+    }
+}
+
+impl std::fmt::Display for StageVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageVariant::Immutable => write!(f, "immutable"),
+            StageVariant::InPlace { unique, cow } => {
+                write!(f, "in-place {unique}u/{cow}c")
+            }
+        }
+    }
+}
+
 /// Timing summary of one job (a batch of tasks with a barrier).
 #[derive(Debug, Clone)]
 pub struct JobMetrics {
@@ -28,6 +65,8 @@ pub struct JobMetrics {
     pub wall: Duration,
     /// Whether every task completed without panicking.
     pub succeeded: bool,
+    /// How the stage touched its partitions (in-place vs immutable).
+    pub variant: StageVariant,
 }
 
 impl JobMetrics {
@@ -73,6 +112,24 @@ impl MetricsRegistry {
     /// Record a completed (or failed) job.
     pub fn record_job(&self, metrics: JobMetrics) {
         self.jobs.lock().push(metrics);
+    }
+
+    /// Re-tag the most recently recorded job's [`StageVariant`]. Used by
+    /// in-place dataset stages: partition uniqueness is only known after the
+    /// tasks have run, so the stage annotates its job post hoc.
+    pub fn annotate_last_job(&self, variant: StageVariant) {
+        if let Some(last) = self.jobs.lock().last_mut() {
+            last.variant = variant;
+        }
+    }
+
+    /// Jobs recorded with an in-place variant (any uniqueness mix).
+    pub fn in_place_job_count(&self) -> usize {
+        self.jobs
+            .lock()
+            .iter()
+            .filter(|j| j.variant.is_in_place())
+            .count()
     }
 
     /// Record a broadcast creation.
@@ -131,6 +188,7 @@ mod tests {
                 .collect(),
             wall: Duration::from_millis(wall_ms),
             succeeded: true,
+            variant: StageVariant::default(),
         }
     }
 
@@ -162,6 +220,25 @@ mod tests {
         assert_eq!(reg.wall_time_for("update"), Duration::from_millis(12));
         assert_eq!(reg.job_count(), 3);
         reg.clear();
+        assert_eq!(reg.job_count(), 0);
+    }
+
+    #[test]
+    fn annotate_last_job_retags_variant() {
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("update", &[5], 5));
+        reg.record_job(job("update", &[7], 7));
+        reg.annotate_last_job(StageVariant::InPlace { unique: 3, cow: 1 });
+        let jobs = reg.jobs();
+        assert_eq!(jobs[0].variant, StageVariant::Immutable);
+        assert_eq!(jobs[1].variant, StageVariant::InPlace { unique: 3, cow: 1 });
+        assert!(jobs[1].variant.is_in_place());
+        assert_eq!(reg.in_place_job_count(), 1);
+        assert_eq!(jobs[1].variant.to_string(), "in-place 3u/1c");
+        assert_eq!(jobs[0].variant.to_string(), "immutable");
+        // Annotating an empty registry is a no-op, not a panic.
+        reg.clear();
+        reg.annotate_last_job(StageVariant::Immutable);
         assert_eq!(reg.job_count(), 0);
     }
 

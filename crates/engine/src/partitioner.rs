@@ -48,7 +48,9 @@ pub struct HashPartitioner {
 impl HashPartitioner {
     /// Create a hash partitioner targeting `parts` partitions (at least 1).
     pub fn new(parts: usize) -> Self {
-        HashPartitioner { parts: parts.max(1) }
+        HashPartitioner {
+            parts: parts.max(1),
+        }
     }
 }
 
@@ -96,12 +98,14 @@ impl Partitioner<u64> for RangePartitioner {
         let boundary = extra * (base + 1);
         if key < boundary {
             (key / (base + 1)) as usize
-        } else if base == 0 {
-            // span < parts: everything past the boundary is out of range of
-            // the sized partitions; clamp to the last non-empty one.
-            (extra.saturating_sub(1)) as usize
         } else {
-            (extra + (key - boundary) / base) as usize
+            match (key - boundary).checked_div(base) {
+                Some(q) => (extra + q) as usize,
+                // span < parts: everything past the boundary is out of
+                // range of the sized partitions; clamp to the last
+                // non-empty one.
+                None => (extra.saturating_sub(1)) as usize,
+            }
         }
     }
 }

@@ -137,7 +137,11 @@ impl ThreadPool {
     }
 
     /// Convenience: run `n` tasks produced by an indexed factory.
-    pub fn run_indexed<T, F>(&self, n: usize, factory: impl Fn(usize) -> F) -> Result<Vec<TaskResult<T>>>
+    pub fn run_indexed<T, F>(
+        &self,
+        n: usize,
+        factory: impl Fn(usize) -> F,
+    ) -> Result<Vec<TaskResult<T>>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
@@ -215,10 +219,9 @@ mod tests {
     #[test]
     fn pool_survives_panics() {
         let pool = ThreadPool::new(2, "t");
-        let bad: Vec<Box<dyn FnOnce() -> i32 + Send>> =
-            (0..8)
-                .map(|_| Box::new(|| -> i32 { panic!("x") }) as _)
-                .collect();
+        let bad: Vec<Box<dyn FnOnce() -> i32 + Send>> = (0..8)
+            .map(|_| Box::new(|| -> i32 { panic!("x") }) as _)
+            .collect();
         assert!(pool.run_tasks(bad).is_err());
         let good = pool.run_tasks(vec![|| 1, || 2]).unwrap();
         assert_eq!(good.len(), 2);
@@ -254,7 +257,6 @@ mod tests {
         let r = pool
             .run_tasks(vec![|| {
                 std::thread::sleep(Duration::from_millis(5));
-                ()
             }])
             .unwrap();
         assert!(r[0].duration >= Duration::from_millis(4));

@@ -66,9 +66,7 @@ impl Engine {
                     let task = Arc::clone(&tasks[idx]);
                     move || {
                         let started = std::time::Instant::now();
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            task()
-                        }));
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task()));
                         (out, started.elapsed())
                     }
                 })
@@ -83,10 +81,8 @@ impl Engine {
                         durations[*slot_pos] = duration;
                     }
                     Err(payload) => {
-                        last_error = Some((
-                            *slot_pos,
-                            crate::error::panic_message(payload.as_ref()),
-                        ));
+                        last_error =
+                            Some((*slot_pos, crate::error::panic_message(payload.as_ref())));
                         still_pending.push(*slot_pos);
                     }
                 }
@@ -104,13 +100,17 @@ impl Engine {
                 .collect(),
             wall: start.elapsed(),
             succeeded,
+            variant: crate::StageVariant::Immutable,
         });
         if !succeeded {
             let (task, message) = last_error.expect("pending implies a recorded failure");
             return Err(EngineError::TaskPanicked { task, message });
         }
         Ok((
-            slots.into_iter().map(|s| s.expect("all slots filled")).collect(),
+            slots
+                .into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect(),
             retries,
         ))
     }

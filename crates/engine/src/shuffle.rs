@@ -44,8 +44,8 @@ where
             buckets
         });
         // Reduce side: concatenate bucket `t` from every map output.
-        let handles: Vec<Arc<Vec<Vec<(K, V)>>>> =
-            bucketed.partition_handles().to_vec();
+        type BucketHandles<K, V> = Vec<Arc<Vec<Vec<(K, V)>>>>;
+        let handles: BucketHandles<K, V> = bucketed.partition_handles().to_vec();
         let tasks: Vec<_> = (0..parts)
             .map(|target| {
                 let handles = handles.clone();

@@ -34,12 +34,13 @@ pub fn render_job(index: usize, job: &JobMetrics) -> String {
     let status = if job.succeeded { "ok" } else { "FAILED" };
     let _ = writeln!(
         out,
-        "[{index}] {name} — {tasks} task(s), wall {wall:?}, busy {busy:?}, skew {skew:.2} [{status}]",
+        "[{index}] {name} — {tasks} task(s), wall {wall:?}, busy {busy:?}, skew {skew:.2} [{variant}] [{status}]",
         name = job.name,
         tasks = job.tasks.len(),
         wall = job.wall,
         busy = job.total_task_time(),
         skew = job.skew(),
+        variant = job.variant,
     );
     let max = job.max_task_time();
     const WIDTH: usize = 32;
@@ -72,7 +73,7 @@ fn scaled_len(d: Duration, max: Duration, width: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::TaskMetrics;
+    use crate::metrics::{StageVariant, TaskMetrics};
 
     fn job(name: &str, ms: &[u64]) -> JobMetrics {
         JobMetrics {
@@ -87,6 +88,7 @@ mod tests {
                 .collect(),
             wall: Duration::from_millis(ms.iter().copied().max().unwrap_or(0) + 1),
             succeeded: true,
+            variant: StageVariant::default(),
         }
     }
 
@@ -103,6 +105,16 @@ mod tests {
         assert!(text.contains(&full));
         assert!(text.contains(&half));
         assert!(text.contains("[ok]"));
+    }
+
+    #[test]
+    fn variant_is_rendered() {
+        let immutable = render_job(0, &job("update", &[4]));
+        assert!(immutable.contains("[immutable]"));
+        let mut j = job("update", &[4, 4]);
+        j.variant = StageVariant::InPlace { unique: 2, cow: 0 };
+        let in_place = render_job(1, &j);
+        assert!(in_place.contains("[in-place 2u/0c]"));
     }
 
     #[test]

@@ -71,9 +71,7 @@ impl ChainShape {
 
     /// Maximum possible total level over a pool of subject indices.
     pub fn max_pool_level(&self, pool: &[usize]) -> u32 {
-        pool.iter()
-            .map(|&i| u32::from(self.levels[i]) - 1)
-            .sum()
+        pool.iter().map(|&i| u32::from(self.levels[i]) - 1).sum()
     }
 
     /// Decode subject `i`'s level from a state index.
@@ -98,7 +96,9 @@ impl ChainShape {
 
     /// Decode a state index into a level assignment.
     pub fn decode(&self, state: usize) -> Vec<u8> {
-        (0..self.n_subjects()).map(|i| self.level(state, i)).collect()
+        (0..self.n_subjects())
+            .map(|i| self.level(state, i))
+            .collect()
     }
 
     /// Total level a state places into a pool (the analyte content).
@@ -431,8 +431,7 @@ mod tests {
         let post = ChainPosterior::from_priors(shape.clone(), &priors);
         for state in 0..shape.num_states() {
             let levels = shape.decode(state);
-            let expected =
-                priors[0][levels[0] as usize] * priors[1][levels[1] as usize];
+            let expected = priors[0][levels[0] as usize] * priors[1][levels[1] as usize];
             assert!(close(post.get(state), expected), "state {state}");
         }
     }
@@ -483,11 +482,7 @@ mod tests {
     #[test]
     fn pool_level_distribution_is_a_distribution() {
         let shape = ChainShape::new(&[3, 2, 3]);
-        let priors = vec![
-            vec![0.6, 0.3, 0.1],
-            vec![0.9, 0.1],
-            vec![0.5, 0.3, 0.2],
-        ];
+        let priors = vec![vec![0.6, 0.3, 0.1], vec![0.9, 0.1], vec![0.5, 0.3, 0.2]];
         let post = ChainPosterior::from_priors(shape.clone(), &priors);
         let dist = post.pool_level_distribution(&[0, 2]);
         assert_eq!(dist.len(), 5); // max level 2 + 2

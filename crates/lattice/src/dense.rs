@@ -37,7 +37,7 @@ pub(crate) fn first_pos_tables(pos_of: &[u32], m: usize) -> Vec<[u32; 256]> {
     let lanes = n.div_ceil(8);
     let mut tables = vec![[m as u32; 256]; lanes];
     for (lane, table) in tables.iter_mut().enumerate() {
-        for byte in 1usize..256 {
+        for (byte, entry) in table.iter_mut().enumerate().skip(1) {
             let mut best = m as u32;
             let mut bits = byte;
             while bits != 0 {
@@ -51,7 +51,7 @@ pub(crate) fn first_pos_tables(pos_of: &[u32], m: usize) -> Vec<[u32; 256]> {
                 }
                 bits &= bits - 1;
             }
-            table[byte] = best;
+            *entry = best;
         }
     }
     tables
@@ -324,7 +324,10 @@ impl DensePosterior {
         let mut pos_of = vec![u32::MAX; self.n_subjects];
         for (k, &subj) in order.iter().enumerate() {
             assert!(subj < self.n_subjects, "subject {subj} out of range");
-            assert!(pos_of[subj] == u32::MAX, "duplicate subject {subj} in order");
+            assert!(
+                pos_of[subj] == u32::MAX,
+                "duplicate subject {subj} in order"
+            );
             pos_of[subj] = k as u32;
         }
         let tables = first_pos_tables(&pos_of, m);
@@ -391,9 +394,7 @@ impl DensePosterior {
                 // Primary: mass ascending (so the heap root is the smallest
                 // kept entry); secondary: index descending, so that equal
                 // masses prefer keeping the smaller index.
-                self.0
-                    .total_cmp(&other.0)
-                    .then(other.1.cmp(&self.1))
+                self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
             }
         }
 

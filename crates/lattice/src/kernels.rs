@@ -56,7 +56,10 @@ pub fn par_mul_likelihood_fused(
     table: &[f64],
     cfg: ParConfig,
 ) -> f64 {
-    assert!(table.len() > pool.rank() as usize, "likelihood table too short");
+    assert!(
+        table.len() > pool.rank() as usize,
+        "likelihood table too short"
+    );
     if posterior.len() < cfg.threshold {
         return posterior.mul_likelihood_fused(pool, table);
     }
@@ -195,7 +198,10 @@ pub fn par_prefix_negative_masses(
     let mut pos_of = vec![u32::MAX; n];
     for (k, &subj) in order.iter().enumerate() {
         assert!(subj < n, "subject {subj} out of range");
-        assert!(pos_of[subj] == u32::MAX, "duplicate subject {subj} in order");
+        assert!(
+            pos_of[subj] == u32::MAX,
+            "duplicate subject {subj} in order"
+        );
         pos_of[subj] = k as u32;
     }
     let chunk = cfg.chunk_len.max(1);
@@ -314,11 +320,7 @@ pub fn par_top_k(posterior: &DensePosterior, k: usize, cfg: ParConfig) -> Vec<(S
 }
 
 /// Parallel construction from a state→mass function.
-pub fn par_from_fn(
-    n: usize,
-    f: impl Fn(State) -> f64 + Sync,
-    cfg: ParConfig,
-) -> DensePosterior {
+pub fn par_from_fn(n: usize, f: impl Fn(State) -> f64 + Sync, cfg: ParConfig) -> DensePosterior {
     let len = crate::num_states(n);
     if len < cfg.threshold {
         return DensePosterior::from_fn(n, f);
@@ -347,7 +349,10 @@ mod tests {
     }
 
     fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs()), "{a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs()),
+            "{a} vs {b}"
+        );
     }
 
     const CFG: ParConfig = ParConfig {

@@ -98,7 +98,10 @@ impl SparsePosterior {
 
     /// Mass of one state (zero when pruned).
     pub fn get(&self, s: State) -> f64 {
-        match self.entries.binary_search_by_key(&s.bits(), |(t, _)| t.bits()) {
+        match self
+            .entries
+            .binary_search_by_key(&s.bits(), |(t, _)| t.bits())
+        {
             Ok(i) => self.entries[i].1,
             Err(_) => 0.0,
         }
@@ -125,7 +128,10 @@ impl SparsePosterior {
     /// Multiply each retained state's mass by `table[|s ∩ pool|]` and return
     /// the new total (fused pass, like the dense kernel).
     pub fn mul_likelihood_fused(&mut self, pool: State, table: &[f64]) -> f64 {
-        assert!(table.len() > pool.rank() as usize, "likelihood table too short");
+        assert!(
+            table.len() > pool.rank() as usize,
+            "likelihood table too short"
+        );
         let mut total = 0.0;
         for (s, p) in &mut self.entries {
             *p *= table[s.positives_in(pool) as usize];
@@ -191,7 +197,10 @@ impl SparsePosterior {
         let mut pos_of = vec![u32::MAX; self.n_subjects];
         for (k, &subj) in order.iter().enumerate() {
             assert!(subj < self.n_subjects, "subject {subj} out of range");
-            assert!(pos_of[subj] == u32::MAX, "duplicate subject {subj} in order");
+            assert!(
+                pos_of[subj] == u32::MAX,
+                "duplicate subject {subj} in order"
+            );
             pos_of[subj] = k as u32;
         }
         let mut hist = vec![0.0f64; m + 1];
@@ -352,10 +361,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate state")]
     fn from_entries_rejects_duplicates() {
-        let _ = SparsePosterior::from_entries(
-            2,
-            vec![(State(1), 0.5), (State(1), 0.5)],
-        );
+        let _ = SparsePosterior::from_entries(2, vec![(State(1), 0.5), (State(1), 0.5)]);
     }
 
     #[test]
@@ -366,10 +372,7 @@ mod tests {
 
     #[test]
     fn from_entries_sorts() {
-        let s = SparsePosterior::from_entries(
-            3,
-            vec![(State(5), 0.2), (State(1), 0.8)],
-        );
+        let s = SparsePosterior::from_entries(3, vec![(State(5), 0.2), (State(1), 0.8)]);
         assert_eq!(s.entries()[0].0, State(1));
         assert_close(s.get(State(5)), 0.2);
     }

@@ -152,15 +152,11 @@ mod tests {
         let m = BinaryDilutionModel::new(0.8, 0.9, Dilution::None);
         let mut rng = StdRng::seed_from_u64(42);
         let trials = 20_000;
-        let hits = (0..trials)
-            .filter(|_| m.sample(&mut rng, 2, 4))
-            .count() as f64;
+        let hits = (0..trials).filter(|_| m.sample(&mut rng, 2, 4)).count() as f64;
         let rate = hits / trials as f64;
         assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
-        let false_pos = (0..trials)
-            .filter(|_| m.sample(&mut rng, 0, 4))
-            .count() as f64
-            / trials as f64;
+        let false_pos =
+            (0..trials).filter(|_| m.sample(&mut rng, 0, 4)).count() as f64 / trials as f64;
         assert!((false_pos - 0.1).abs() < 0.02, "fp {false_pos}");
     }
 

@@ -148,9 +148,6 @@ mod tests {
 
     #[test]
     fn max_pool_unreachable_target() {
-        assert_eq!(
-            max_pool_for_sensitivity(0.8, Dilution::None, 0.9, 64),
-            None
-        );
+        assert_eq!(max_pool_for_sensitivity(0.8, Dilution::None, 0.9, 64), None);
     }
 }

@@ -149,8 +149,7 @@ mod tests {
         let n = 40_000;
         let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng, 2, 8)).collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - m.mean(2, 8)).abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -177,7 +177,10 @@ mod tests {
             .count() as f64
             / trials as f64;
         let expected = m.detect_prob(2, 4);
-        assert!((detected - expected).abs() < 0.02, "{detected} vs {expected}");
+        assert!(
+            (detected - expected).abs() < 0.02,
+            "{detected} vs {expected}"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Dilution {
                 (1.0 - (-alpha * r).exp()) / (1.0 - (-alpha).exp())
             }
             Dilution::Hill { gamma, kappa } => {
-                assert!(gamma > 0.0 && kappa > 0.0 && kappa <= 1.0, "invalid Hill parameters");
+                assert!(
+                    gamma > 0.0 && kappa > 0.0 && kappa <= 1.0,
+                    "invalid Hill parameters"
+                );
                 let rg = r.powf(gamma);
                 let kg = kappa.powf(gamma);
                 (rg / (rg + kg)) * (1.0 + kg)

@@ -78,12 +78,7 @@ impl GradedBinaryModel {
     }
 
     /// Sample an outcome for a pool with the given content.
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        total_level: u32,
-        max_level: u32,
-    ) -> bool {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, total_level: u32, max_level: u32) -> bool {
         rng.random::<f64>() < self.positive_prob(total_level, max_level)
     }
 }
@@ -142,7 +137,7 @@ mod tests {
         post.try_normalize().unwrap();
         let pos = post.positive_marginals();
         assert!(pos[0] > 0.2, "marginal {}", pos[0]); // prior was 0.2
-        // High level gains relative to low within each subject.
+                                                      // High level gains relative to low within each subject.
         let lm = post.level_marginals();
         assert!(lm[0][2] / lm[0][1] > 0.05 / 0.15 - 1e-9);
     }
@@ -152,8 +147,7 @@ mod tests {
         let m = GradedBinaryModel::new(0.9, 0.95, Dilution::None);
         let mut rng = StdRng::seed_from_u64(5);
         let trials = 20_000;
-        let rate = (0..trials).filter(|_| m.sample(&mut rng, 3, 6)).count() as f64
-            / trials as f64;
+        let rate = (0..trials).filter(|_| m.sample(&mut rng, 3, 6)).count() as f64 / trials as f64;
         assert!((rate - 0.9).abs() < 0.02, "{rate}");
     }
 

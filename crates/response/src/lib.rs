@@ -24,8 +24,8 @@ pub mod binary;
 pub mod calibrate;
 pub mod continuous;
 pub mod ct_value;
-pub mod graded;
 pub mod dilution;
+pub mod graded;
 pub mod model;
 
 pub use binary::BinaryDilutionModel;

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use sbgt_response::{
-    BinaryDilutionModel, BinaryOutcomeModel, CtOutcome, CtValueModel, Dilution,
-    GaussianResponse, GradedBinaryModel, ResponseModel,
+    BinaryDilutionModel, BinaryOutcomeModel, CtOutcome, CtValueModel, Dilution, GaussianResponse,
+    GradedBinaryModel, ResponseModel,
 };
 
 fn dilution_strategy() -> impl Strategy<Value = Dilution> {
@@ -13,8 +13,7 @@ fn dilution_strategy() -> impl Strategy<Value = Dilution> {
         Just(Dilution::None),
         Just(Dilution::Linear),
         (0.5f64..10.0).prop_map(|alpha| Dilution::Exponential { alpha }),
-        ((0.5f64..4.0), (0.05f64..1.0))
-            .prop_map(|(gamma, kappa)| Dilution::Hill { gamma, kappa }),
+        ((0.5f64..4.0), (0.05f64..1.0)).prop_map(|(gamma, kappa)| Dilution::Hill { gamma, kappa }),
     ]
 }
 

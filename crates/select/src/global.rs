@@ -82,8 +82,7 @@ fn select_impl(
                         } else if b.distance + EPS < cand.distance {
                             false
                         } else {
-                            (cand.pool.rank(), cand.pool.bits())
-                                < (b.pool.rank(), b.pool.bits())
+                            (cand.pool.rank(), cand.pool.bits()) < (b.pool.rank(), b.pool.bits())
                         }
                     }
                 };

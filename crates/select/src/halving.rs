@@ -25,12 +25,19 @@ pub struct Selection {
 }
 
 impl Selection {
-    fn better_than(&self, other: &Selection) -> bool {
-        const EPS: f64 = 1e-12;
-        if self.distance + EPS < other.distance {
+    /// Tolerance within which two halving distances count as tied.
+    pub const DISTANCE_EPS: f64 = 1e-12;
+
+    /// The one tie-breaking rule every selection path uses: a candidate
+    /// wins if its distance is smaller by more than [`Self::DISTANCE_EPS`];
+    /// within the tolerance, the smaller pool wins, then the
+    /// lexicographically smallest bitmask. Exhaustive and prefix BHA share
+    /// this comparison, so they cannot disagree on near-tied candidates.
+    pub fn better_than(&self, other: &Selection) -> bool {
+        if self.distance + Self::DISTANCE_EPS < other.distance {
             return true;
         }
-        if other.distance + EPS < self.distance {
+        if other.distance + Self::DISTANCE_EPS < self.distance {
             return false;
         }
         (self.pool.rank(), self.pool.bits()) < (other.pool.rank(), other.pool.bits())
@@ -98,7 +105,7 @@ pub fn select_halving_prefix(
     max_pool_size: usize,
 ) -> Option<Selection> {
     let masses = posterior.prefix_negative_masses(order);
-    best_prefix(order, &masses, max_pool_size)
+    select_halving_from_masses(order, &masses, max_pool_size)
 }
 
 /// Parallel variant of [`select_halving_prefix`].
@@ -109,7 +116,7 @@ pub fn select_halving_prefix_par(
     cfg: ParConfig,
 ) -> Option<Selection> {
     let masses = par_prefix_negative_masses(posterior, order, cfg);
-    best_prefix(order, &masses, max_pool_size)
+    select_halving_from_masses(order, &masses, max_pool_size)
 }
 
 /// Sparse-posterior variant of [`select_halving_prefix`].
@@ -119,10 +126,23 @@ pub fn select_halving_prefix_sparse(
     max_pool_size: usize,
 ) -> Option<Selection> {
     let masses = posterior.prefix_negative_masses(order);
-    best_prefix(order, &masses, max_pool_size)
+    select_halving_from_masses(order, &masses, max_pool_size)
 }
 
-fn best_prefix(order: &[usize], masses: &[f64], max_pool_size: usize) -> Option<Selection> {
+/// Best prefix pool given precomputed all-prefix negative masses
+/// (`masses[k]` = unnormalized mass of "first `k` subjects of `order` all
+/// negative"; `masses[0]` = posterior total). This is the driver-side half
+/// of the prefix rule, shared by the dense, sparse, parallel, and
+/// engine-sharded selection paths.
+///
+/// Candidates are compared with [`Selection::better_than`] — the same
+/// EPS-tolerant, smaller-pool-then-lex rule the exhaustive search uses —
+/// so near-tied prefixes resolve identically everywhere.
+pub fn select_halving_from_masses(
+    order: &[usize],
+    masses: &[f64],
+    max_pool_size: usize,
+) -> Option<Selection> {
     let total = masses.first().copied()?;
     if !(total.is_finite() && total > 0.0) {
         return None;
@@ -134,7 +154,7 @@ fn best_prefix(order: &[usize], masses: &[f64], max_pool_size: usize) -> Option<
     // masses[k] is non-increasing in k, so the best prefix is where the
     // normalized mass crosses 1/2 — but with a size cap and ties we simply
     // scan the <= N+1 values (negligible next to the O(2^N) mass pass).
-    let mut best: Option<(usize, Selection)> = None;
+    let mut best: Option<Selection> = None;
     for k in 1..=cap {
         let mass = masses[k] / total;
         let cand = Selection {
@@ -142,15 +162,11 @@ fn best_prefix(order: &[usize], masses: &[f64], max_pool_size: usize) -> Option<
             negative_mass: mass,
             distance: (mass - 0.5).abs(),
         };
-        let better = match &best {
-            None => true,
-            Some((_, b)) => cand.distance + 1e-12 < b.distance,
-        };
-        if better {
-            best = Some((k, cand));
+        if best.as_ref().is_none_or(|b| cand.better_than(b)) {
+            best = Some(cand);
         }
     }
-    best.map(|(_, s)| s)
+    best
 }
 
 #[cfg(test)]
@@ -253,6 +269,41 @@ mod tests {
         let sel = select_halving_exhaustive(&post, &candidates).unwrap();
         assert_eq!(sel.pool, State::from_subjects([0]));
         assert!(close(sel.negative_mass, 0.5));
+    }
+
+    #[test]
+    fn exact_half_half_tie_pins_smaller_pool() {
+        // Subject 0 at risk 0.5, subject 1 at risk 0: prefixes {0} and
+        // {0,1} both have negative mass exactly 0.5 (distance 0). The
+        // unified tie-break must pin the smaller pool — in both the
+        // prefix path and the exhaustive path.
+        let post = DensePosterior::from_risks(&[0.5, 0.0]);
+        let order = [0usize, 1];
+        let masses = post.prefix_negative_masses(&order);
+        assert_eq!(masses[1], 0.5, "prefix {{0}} mass is exactly 1/2");
+        assert_eq!(masses[2], 0.5, "prefix {{0,1}} mass is exactly 1/2");
+
+        let prefix = select_halving_prefix(&post, &order, 2).unwrap();
+        assert_eq!(prefix.pool, State::from_subjects([0]));
+        assert_eq!(prefix.negative_mass, 0.5);
+
+        let candidates = vec![State::from_subjects([0]), State::from_subjects([0, 1])];
+        let exhaustive = select_halving_exhaustive(&post, &candidates).unwrap();
+        assert_eq!(exhaustive.pool, prefix.pool, "paths must agree on the tie");
+
+        // And within equal rank the lexicographically smaller mask wins.
+        let a = Selection {
+            pool: State::from_subjects([1]),
+            negative_mass: 0.5,
+            distance: 0.0,
+        };
+        let b = Selection {
+            pool: State::from_subjects([0]),
+            negative_mass: 0.5,
+            distance: 0.0,
+        };
+        assert!(b.better_than(&a));
+        assert!(!a.better_than(&b));
     }
 
     #[test]

@@ -57,9 +57,7 @@ pub fn select_information_gain<M: BinaryOutcomeModel>(
 
     // Rank prefix candidates by halving distance (one fused pass).
     let masses = base.prefix_negative_masses(order);
-    let mut ranked: Vec<(usize, f64)> = (1..=cap)
-        .map(|k| (k, (masses[k] - 0.5).abs()))
-        .collect();
+    let mut ranked: Vec<(usize, f64)> = (1..=cap).map(|k| (k, (masses[k] - 0.5).abs())).collect();
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     ranked.truncate(shortlist);
 
@@ -71,15 +69,13 @@ pub fn select_information_gain<M: BinaryOutcomeModel>(
         let mut feasible_mass = 0.0;
         for outcome in [true, false] {
             let mut branch = base.clone();
-            match update_dense(&mut branch, model, &Observation::new(pool, outcome)) {
-                Ok(z) => {
-                    expected_h += z * branch.entropy();
-                    feasible_mass += z;
-                    if outcome {
-                        p_pos = z;
-                    }
+            // An impossible branch contributes zero mass.
+            if let Ok(z) = update_dense(&mut branch, model, &Observation::new(pool, outcome)) {
+                expected_h += z * branch.entropy();
+                feasible_mass += z;
+                if outcome {
+                    p_pos = z;
                 }
-                Err(_) => {} // impossible branch contributes zero mass
             }
         }
         if feasible_mass <= 0.0 {
@@ -160,8 +156,7 @@ mod tests {
     fn wider_shortlist_never_loses_information() {
         let risks = [0.02, 0.07, 0.13, 0.21, 0.3, 0.09];
         let post = DensePosterior::from_risks(&risks);
-        let model =
-            BinaryDilutionModel::new(0.9, 0.97, Dilution::Linear); // strong dilution
+        let model = BinaryDilutionModel::new(0.9, 0.97, Dilution::Linear); // strong dilution
         let order = ascending(&risks);
         let narrow = select_information_gain(&post, &model, &order, 6, 1).unwrap();
         let wide = select_information_gain(&post, &model, &order, 6, 6).unwrap();

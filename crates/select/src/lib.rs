@@ -32,9 +32,9 @@ pub mod lookahead;
 
 pub use candidates::CandidateStrategy;
 pub use global::{select_halving_global, select_halving_global_par};
-pub use information::{select_information_gain, InfoSelection};
 pub use halving::{
-    select_halving_exhaustive, select_halving_prefix, select_halving_prefix_par,
-    select_halving_prefix_sparse, Selection,
+    select_halving_exhaustive, select_halving_from_masses, select_halving_prefix,
+    select_halving_prefix_par, select_halving_prefix_sparse, Selection,
 };
+pub use information::{select_information_gain, InfoSelection};
 pub use lookahead::{select_stage_lookahead, LookaheadConfig};

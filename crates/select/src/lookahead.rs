@@ -113,9 +113,10 @@ pub fn select_stage_lookahead<M: BinaryOutcomeModel>(
         for (post, w) in branches {
             for outcome in [false, true] {
                 let mut branched = post.clone();
-                match update_dense(&mut branched, model, &Observation::new(pool, outcome)) {
-                    Ok(z) => next.push((branched, w * z)),
-                    Err(_) => {} // impossible branch: zero predictive mass
+                // An impossible branch has zero predictive mass.
+                if let Ok(z) = update_dense(&mut branched, model, &Observation::new(pool, outcome))
+                {
+                    next.push((branched, w * z));
                 }
             }
         }

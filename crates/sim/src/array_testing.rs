@@ -40,7 +40,10 @@ pub fn run_array_testing<M: BinaryOutcomeModel>(
 ) -> EpisodeResult {
     assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
     let n = population.n_subjects();
-    assert!(rows * cols >= n, "grid {rows}x{cols} too small for {n} subjects");
+    assert!(
+        rows * cols >= n,
+        "grid {rows}x{cols} too small for {n} subjects"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut history = Vec::new();
 
@@ -203,7 +206,11 @@ mod tests {
         for seed in 0..reps {
             let pop = Population::sample(&profile, 900 + seed);
             let r = run_array_testing(&pop, &model, 4, 4, seed);
-            assert_eq!(r.confusion.fp + r.confusion.fn_, 0, "perfect assay must be exact");
+            assert_eq!(
+                r.confusion.fp + r.confusion.fn_,
+                0,
+                "perfect assay must be exact"
+            );
             array_tests += r.stats.tests;
             retests += r.stats.tests - 8; // 8 stage-1 pools on a 4x4 grid
             positives += pop.n_positive();

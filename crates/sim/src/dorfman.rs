@@ -65,11 +65,8 @@ mod tests {
 
     #[test]
     fn optimal_pool_tracks_inverse_sqrt_prevalence() {
-        for &(p, expected_range) in &[
-            (0.01f64, (8usize, 12usize)),
-            (0.04, (4, 7)),
-            (0.10, (3, 5)),
-        ] {
+        for &(p, expected_range) in &[(0.01f64, (8usize, 12usize)), (0.04, (4, 7)), (0.10, (3, 5))]
+        {
             let (g, e) = optimal_dorfman_pool(p, 64);
             assert!(
                 g >= expected_range.0 && g <= expected_range.1,
@@ -78,7 +75,10 @@ mod tests {
             assert!(e < 1.0);
             // Close to the 1/sqrt(p) rule of thumb.
             let rule = 1.0 / p.sqrt();
-            assert!((g as f64 - rule).abs() <= 2.0, "p={p}: g={g} vs rule {rule:.1}");
+            assert!(
+                (g as f64 - rule).abs() <= 2.0,
+                "p={p}: g={g} vs rule {rule:.1}"
+            );
         }
     }
 

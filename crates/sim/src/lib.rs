@@ -39,8 +39,7 @@ pub use metrics::{ConfusionMatrix, EpisodeStats, SummaryStats};
 pub use population::{Population, RiskProfile};
 pub use robustness::{misspecification_sweep, RobustnessRow};
 pub use runner::{
-    run_dorfman, run_episode, run_episode_with_prior, run_individual, EpisodeConfig,
-    EpisodeResult,
+    run_dorfman, run_episode, run_episode_with_prior, run_individual, EpisodeConfig, EpisodeResult,
 };
 pub use scenario::Scenario;
 pub use stream::{run_stream, Drift, StreamConfig, WaveReport};

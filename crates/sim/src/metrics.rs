@@ -128,8 +128,7 @@ impl SummaryStats {
         let sd = if n < 2 {
             0.0
         } else {
-            let var =
-                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
         SummaryStats { mean, sd, n }

@@ -37,8 +37,18 @@ mod tests {
         let pop = Population::with_truth(&profile, State::from_subjects([2]));
         let model = BinaryDilutionModel::perfect();
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(run_test(&pop, &model, State::from_subjects([1, 2]), &mut rng));
-        assert!(!run_test(&pop, &model, State::from_subjects([0, 1]), &mut rng));
+        assert!(run_test(
+            &pop,
+            &model,
+            State::from_subjects([1, 2]),
+            &mut rng
+        ));
+        assert!(!run_test(
+            &pop,
+            &model,
+            State::from_subjects([0, 1]),
+            &mut rng
+        ));
     }
 
     #[test]

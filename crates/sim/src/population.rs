@@ -32,7 +32,7 @@ impl RiskProfile {
             RiskProfile::Groups(groups) => {
                 let mut risks = Vec::new();
                 for &(count, p) in groups {
-                    risks.extend(std::iter::repeat(p).take(count));
+                    risks.extend(std::iter::repeat_n(p, count));
                 }
                 risks
             }

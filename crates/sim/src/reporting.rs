@@ -48,7 +48,11 @@ pub fn render_surveillance(report: &SurveillanceReport) -> String {
         "* stages/cohort: {:.2} ± {:.2}",
         report.stages.mean, report.stages.sd
     );
-    let _ = writeln!(out, "* classification: {}", confusion_summary(&report.confusion));
+    let _ = writeln!(
+        out,
+        "* classification: {}",
+        confusion_summary(&report.confusion)
+    );
     out
 }
 
@@ -157,7 +161,7 @@ mod tests {
             },
         ];
         let md = render_stream(&waves);
-        assert_eq!(md.matches("| 0.0").count() >= 2, true);
+        assert!(md.matches("| 0.0").count() >= 2);
         assert!(md.contains("| 0 | 0.020 | 0.020 |"));
         assert!(md.contains("| 1 | 0.040 | 0.025 |"));
         assert!(md.contains("| 40 | 0.500 |"));

@@ -108,7 +108,7 @@ mod tests {
     fn presets_are_well_formed() {
         for s in Scenario::standard_table(16, 1) {
             assert!(!s.name.is_empty());
-            assert_eq!(s.profile.n_subjects() > 0, true, "{}", s.name);
+            assert!(s.profile.n_subjects() > 0, "{}", s.name);
             assert!(s.episode.max_pool_size >= 1);
         }
     }

@@ -48,7 +48,11 @@ impl Drift {
     fn step(&self, p: f64) -> f64 {
         match *self {
             Drift::None => p,
-            Drift::Exponential { factor, floor, ceil } => (p * factor).clamp(floor, ceil),
+            Drift::Exponential {
+                factor,
+                floor,
+                ceil,
+            } => (p * factor).clamp(floor, ceil),
         }
     }
 }
@@ -164,11 +168,9 @@ pub fn run_stream(engine: &Engine, cfg: &StreamConfig) -> Vec<WaveReport> {
             // Beta-smoothed positive rate over the wave's classifications.
             let last = reports.last().expect("just pushed");
             let positives = last.confusion.tp + last.confusion.fp;
-            let classified =
-                last.confusion.total() - last.confusion.undetermined;
+            let classified = last.confusion.total() - last.confusion.undetermined;
             let (a, b) = cfg.pseudo_counts;
-            estimate = ((positives as f64 + a) / (classified as f64 + a + b))
-                .clamp(1e-4, 0.5);
+            estimate = ((positives as f64 + a) / (classified as f64 + a + b)).clamp(1e-4, 0.5);
         }
         true_p = cfg.drift.step(true_p);
     }

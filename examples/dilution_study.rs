@@ -19,12 +19,21 @@ fn main() {
     let curves = [
         ("none", Dilution::None),
         ("exponential(α=4)", Dilution::Exponential { alpha: 4.0 }),
-        ("hill(γ=2, κ=0.3)", Dilution::Hill { gamma: 2.0, kappa: 0.3 }),
+        (
+            "hill(γ=2, κ=0.3)",
+            Dilution::Hill {
+                gamma: 2.0,
+                kappa: 0.3,
+            },
+        ),
         ("linear", Dilution::Linear),
     ];
 
     println!("single-positive detection probability by pool size:");
-    println!("{:>20} {:>6} {:>6} {:>6} {:>6}", "curve", "n=1", "n=4", "n=8", "n=16");
+    println!(
+        "{:>20} {:>6} {:>6} {:>6} {:>6}",
+        "curve", "n=1", "n=4", "n=8", "n=16"
+    );
     for (name, dilution) in curves {
         let m = BinaryDilutionModel::new(0.99, 0.995, dilution);
         println!(

@@ -59,7 +59,10 @@ fn main() {
     }
 
     println!("\nposterior level marginals:");
-    println!("{:>8} {:>10} {:>10} {:>10}  truth", "subject", "P(neg)", "P(low)", "P(high)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}  truth",
+        "subject", "P(neg)", "P(low)", "P(high)"
+    );
     let marginals = post.level_marginals();
     for (i, row) in marginals.iter().enumerate() {
         println!(

@@ -33,14 +33,10 @@ fn main() {
     let sensitivity = arg(3, 0.99);
     let specificity = arg(4, 0.995);
     let alpha = arg(5, 4.0);
-    assert!(n >= 2 && n <= 20, "cohort size must be in 2..=20");
+    assert!((2..=20).contains(&n), "cohort size must be in 2..=20");
     assert!(prevalence > 0.0 && prevalence < 0.5);
 
-    let model = BinaryDilutionModel::new(
-        sensitivity,
-        specificity,
-        Dilution::Exponential { alpha },
-    );
+    let model = BinaryDilutionModel::new(sensitivity, specificity, Dilution::Exponential { alpha });
     println!("pool planner — operating point:");
     println!(
         "  cohort {n}, prevalence {prevalence}, sens {sensitivity}, spec {specificity}, \

@@ -54,7 +54,5 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "each operation is Θ(2^N) with a one-pass kernel; doubling N+1 should ~double time."
-    );
+    println!("each operation is Θ(2^N) with a one-pass kernel; doubling N+1 should ~double time.");
 }

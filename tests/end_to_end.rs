@@ -5,11 +5,8 @@ use sbgt_repro::sbgt::prelude::*;
 use sbgt_repro::sbgt::{ExecMode, ShardedPosterior};
 use sbgt_repro::sbgt_engine::{Engine, EngineConfig};
 use sbgt_repro::sbgt_lattice::kernels::ParConfig;
-use sbgt_repro::sbgt_response::BinaryOutcomeModel;
 use sbgt_repro::sbgt_sim::runner::{EpisodeConfig, SelectionMethod};
-use sbgt_repro::sbgt_sim::{
-    run_dorfman, run_episode, run_individual, Population, RiskProfile,
-};
+use sbgt_repro::sbgt_sim::{run_dorfman, run_episode, run_individual, Population, RiskProfile};
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() < 1e-9 * (1.0 + a.abs() + b.abs())
@@ -125,7 +122,9 @@ fn efficiency_ordering_holds_at_low_prevalence() {
     let (mut bha, mut dorf, mut indiv) = (0usize, 0usize, 0usize);
     for seed in 0..reps {
         let pop = Population::sample(&profile, 7000 + seed);
-        bha += run_episode(&pop, &model, &EpisodeConfig::standard(seed)).stats.tests;
+        bha += run_episode(&pop, &model, &EpisodeConfig::standard(seed))
+            .stats
+            .tests;
         dorf += run_dorfman(&pop, &model, 8, seed).stats.tests;
         indiv += run_individual(&pop, &model, seed).stats.tests;
     }

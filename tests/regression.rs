@@ -19,7 +19,10 @@ fn pinned_episode_low_prevalence() {
     // The halving pool at p=0.02 is the whole cohort (0.98^10 is the
     // closest achievable negative mass to 1/2), and one perfect negative
     // outcome classifies everyone.
-    assert_eq!(r.stats.tests, 1, "one all-negative pool settles 10 subjects");
+    assert_eq!(
+        r.stats.tests, 1,
+        "one all-negative pool settles 10 subjects"
+    );
     assert_eq!(r.stats.stages, 1);
     assert_eq!(r.confusion.tn, 10);
 }
@@ -58,7 +61,11 @@ fn pinned_first_selection() {
     let sel = session.select_next().unwrap();
     assert_eq!(sel.pool, State::from_subjects(0..6));
     let expected: f64 = (0..6).map(|i| 1.0 - (0.02 + 0.03 * i as f64)).product();
-    assert!((sel.negative_mass - expected).abs() < 1e-9, "{}", sel.negative_mass);
+    assert!(
+        (sel.negative_mass - expected).abs() < 1e-9,
+        "{}",
+        sel.negative_mass
+    );
 }
 
 #[test]
@@ -68,9 +75,7 @@ fn pinned_posterior_after_observation() {
         BinaryDilutionModel::pcr_like(),
         SbgtConfig::default().serial(),
     );
-    let z = session
-        .observe(State::from_subjects([0, 1]), true)
-        .unwrap();
+    let z = session.observe(State::from_subjects([0, 1]), true).unwrap();
     // Pinned evidence: P(+) over the 8-state lattice under the PCR-like
     // model (sens 0.99, spec 0.995, exponential dilution alpha = 4).
     assert!((z - 0.250117167).abs() < 1e-6, "evidence {z}");
@@ -87,7 +92,10 @@ fn pinned_report_shape() {
         SbgtConfig::default().serial(),
     );
     let r = session.report(4);
-    assert!((r.entropy - 64f64.ln()).abs() < 1e-9, "uniform prior entropy");
+    assert!(
+        (r.entropy - 64f64.ln()).abs() < 1e-9,
+        "uniform prior entropy"
+    );
     assert_eq!(r.top_states.len(), 4);
     assert!((r.expected_positives - 3.0).abs() < 1e-9);
     assert!((r.rank_distribution[3] - 0.3125).abs() < 1e-9, "C(6,3)/64");

@@ -1,0 +1,279 @@
+//! Offline vendored subset of the `criterion` benchmark harness.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::measurement_time`] / `bench_function` /
+//! `bench_with_input` / `finish`, [`Bencher::iter`], [`BenchmarkId::new`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a simple wall-clock measurement loop and a plain-text
+//! median/mean report instead of statistical analysis and HTML output.
+//!
+//! Measurement model: per benchmark, one warm-up batch, then `sample_size`
+//! timed batches (batch iteration count auto-calibrated so a batch takes
+//! roughly `measurement_time / sample_size`). The median per-iteration time
+//! is reported.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value identity (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle (`criterion::Criterion` subset).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo's bench runner passes `--bench` plus any user filter; treat
+        // the first free argument as a substring filter like criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Benchmark identifier; `new(function, parameter)` renders as
+/// `function/parameter` (`criterion::BenchmarkId` subset).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let full = self.full_name(&id.into());
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let report = run_benchmark(self.sample_size, self.measurement_time, |b| f(b));
+        println!("{full:<60} {report}");
+    }
+
+    /// Run one benchmark receiving a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = self.full_name(&id.into());
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let report = run_benchmark(self.sample_size, self.measurement_time, |b| f(b, input));
+        println!("{full:<60} {report}");
+    }
+
+    /// End the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+
+    fn full_name(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this batch's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) -> String {
+    // Calibration: time a single iteration to size batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time / sample_size as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+    let mut per_iter_nanos: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_nanos.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_nanos.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_nanos[per_iter_nanos.len() / 2];
+    let mean = per_iter_nanos.iter().sum::<f64>() / per_iter_nanos.len() as f64;
+    format!(
+        "median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        fmt_nanos(median),
+        fmt_nanos(mean),
+        sample_size,
+        iters_per_sample
+    )
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner
+/// (`criterion::criterion_group!`; config-expression form unsupported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups (`criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        let id = BenchmarkId::new("f", 22);
+        assert_eq!(id.id, "f/22");
+    }
+}

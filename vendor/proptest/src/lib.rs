@@ -1,0 +1,473 @@
+//! Offline vendored subset of the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, [`Strategy`] with
+//! `prop_map` and `boxed`, `any::<T>()`, integer/float range strategies,
+//! tuple strategies, [`prelude::Just`], `prop::collection::vec`,
+//! [`prop_oneof!`], `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, and
+//! `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the panic
+//!   message and the `PROPTEST_CASE` line printed on failure) but is not
+//!   minimized.
+//! * **Deterministic seeding** — case `i` of every test derives its RNG
+//!   from a fixed base seed and `i`, so failures reproduce without a
+//!   persistence file. Set `PROPTEST_BASE_SEED` to explore other streams.
+//! * `prop_assume!` skips the case (continuing the loop) rather than
+//!   feeding back into generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runner configuration (`proptest::test_runner::Config` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Base seed for case derivation (`PROPTEST_BASE_SEED` env override).
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_BASE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5BD1E995)
+}
+
+/// RNG for one test case.
+pub fn case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(base_seed() ^ case.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of random values (`proptest::strategy::Strategy` subset;
+    /// generation only, no value trees / shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> W,
+        {
+            Map { base: self, f }
+        }
+
+        /// Filter generated values; `generate` retries until `f` accepts
+        /// (bounded; panics if the predicate is pathologically selective).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, W> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W;
+        fn generate(&self, rng: &mut StdRng) -> W {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.base.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({}) rejected 1000 consecutive values",
+                self.whence
+            );
+        }
+    }
+
+    /// Strategy yielding one fixed value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut StdRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (backs [`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        /// The alternatives (must be non-empty).
+        pub options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            assert!(
+                !self.options.is_empty(),
+                "prop_oneof! needs at least one option"
+            );
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+}
+
+pub mod arbitrary {
+    use super::*;
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+            }
+        )+};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> crate::strategy::Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`proptest::arbitrary::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// The `prop::` module namespace (`proptest::prelude::prop`).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+
+        /// Element-count specification accepted by [`vec`]: a fixed size, a
+        /// `Range<usize>`, or a `RangeInclusive<usize>`.
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    lo: n,
+                    hi_inclusive: n,
+                }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange {
+                    lo: *r.start(),
+                    hi_inclusive: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+}
+
+pub mod prelude {
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::prop;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Skip the rest of the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // Signal handled by the proptest! runner loop.
+            continue;
+        }
+    };
+}
+
+/// Assert inside a property (panics with the formatted message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            options: vec![$($crate::strategy::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+/// Declare property tests (`proptest::proptest!` subset: `name in strategy`
+/// bindings, optional leading `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr)) => {};
+    (@impl ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..u64::from(config.cases) {
+                let mut proptest_rng = $crate::case_rng(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                // A `prop_assume!` failure `continue`s this loop; assertion
+                // failures panic with the case number recoverable from
+                // PROPTEST_BASE_SEED + case order.
+                $body
+            }
+        }
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_ranges(x in 0usize..10, (a, b) in (0.0f64..1.0, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..1.0).contains(&a));
+            let _ = b;
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(1u32),
+            (10u32..20).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 1 || (20..40).contains(&v), "v = {v}");
+        }
+
+        #[test]
+        fn assume_skips(mask in any::<u64>()) {
+            prop_assume!(mask != 0);
+            prop_assert!(mask.count_ones() >= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::case_rng(0);
+        let v = prop::collection::vec(any::<bool>(), 4).generate(&mut rng);
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,661 @@
+//! Offline vendored subset of the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the slice of rayon the workspace uses: `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter` on integer ranges, the `map` / `enumerate` / `for_each` /
+//! `sum` / `reduce` / `collect` combinators, and `ThreadPoolBuilder` /
+//! `ThreadPool::install` for pinning a thread count.
+//!
+//! Execution model: a parallel iterator is split into at most
+//! `current_num_threads()` contiguous pieces, each piece is folded
+//! sequentially on a scoped worker thread (`std::thread::scope`), and the
+//! per-piece results are combined on the caller in piece order — so ordered
+//! terminals (`collect`, `enumerate`) preserve rayon's ordering guarantees
+//! and float reductions are deterministic for a fixed thread count. There is
+//! no work stealing; the SBGT kernels feed uniform chunks, where contiguous
+//! splitting is already balanced.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+std::thread_local! {
+    static POOL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let pinned = POOL_THREADS.with(|t| t.get());
+    if pinned > 0 {
+        pinned
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction cannot fail
+/// here; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default (ambient) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the thread count (0 means the ambient default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that pins the thread count for closures run under
+/// [`ThreadPool::install`]. Workers are scoped threads spawned per
+/// operation, so the pool itself holds no OS resources.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count pinned.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let result = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    /// The pinned thread count (ambient default if 0).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producers: splittable sources of items
+// ---------------------------------------------------------------------------
+
+/// A splittable, sequentially-drainable source of items. The engine splits a
+/// producer into one piece per worker and drains each piece on its own
+/// scoped thread.
+pub trait Producer: Sized + Send {
+    /// Item type produced.
+    type Item: Send;
+    /// Remaining item count.
+    fn len(&self) -> usize;
+    /// Whether the producer is exhausted.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, at)` and `[at, len)`.
+    fn split_at(self, at: usize) -> (Self, Self);
+    /// Drain this piece sequentially, feeding each item to `sink`.
+    fn drain(self, sink: &mut impl FnMut(Self::Item));
+}
+
+/// Immutable chunks of a slice.
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (
+            ChunksProducer {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksProducer {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn drain(self, sink: &mut impl FnMut(Self::Item)) {
+        for c in self.slice.chunks(self.chunk) {
+            sink(c);
+        }
+    }
+}
+
+/// Mutable chunks of a slice.
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (
+            ChunksMutProducer {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksMutProducer {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn drain(self, sink: &mut impl FnMut(Self::Item)) {
+        for c in self.slice.chunks_mut(self.chunk) {
+            sink(c);
+        }
+    }
+}
+
+/// Integer range producer.
+pub struct RangeProducer<T> {
+    start: T,
+    /// Count of remaining items (avoids end-of-domain overflow for
+    /// inclusive ranges).
+    count: usize,
+}
+
+macro_rules! impl_range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.count
+            }
+
+            fn split_at(self, at: usize) -> (Self, Self) {
+                let at = at.min(self.count);
+                (
+                    RangeProducer { start: self.start, count: at },
+                    RangeProducer {
+                        start: self.start + at as $t,
+                        count: self.count - at,
+                    },
+                )
+            }
+
+            fn drain(self, sink: &mut impl FnMut(Self::Item)) {
+                let mut v = self.start;
+                for _ in 0..self.count {
+                    sink(v);
+                    v = v.wrapping_add(1);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeProducer<$t>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                let count = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter {
+                    producer: RangeProducer { start: self.start, count },
+                }
+            }
+        }
+
+        impl IntoParallelIterator for RangeInclusive<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeProducer<$t>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                let (start, end) = (*self.start(), *self.end());
+                let count = if end >= start {
+                    (end - start) as usize + 1
+                } else {
+                    0
+                };
+                ParIter {
+                    producer: RangeProducer { start, count },
+                }
+            }
+        }
+    )*};
+}
+impl_range_producer!(u32, u64, usize, i32, i64);
+
+/// Owned vector producer (for `Vec::into_par_iter`).
+pub struct VecProducer<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, at: usize) -> (Self, Self) {
+        let right = self.items.split_off(at.min(self.items.len()));
+        (self, VecProducer { items: right })
+    }
+
+    fn drain(self, sink: &mut impl FnMut(Self::Item)) {
+        for item in self.items {
+            sink(item);
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecProducer<T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            producer: VecProducer { items: self },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinator producers
+// ---------------------------------------------------------------------------
+
+/// `map` applied lazily per item on the worker thread.
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(at);
+        (
+            MapProducer {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            MapProducer { base: r, f: self.f },
+        )
+    }
+
+    fn drain(self, sink: &mut impl FnMut(Self::Item)) {
+        let f = self.f;
+        self.base.drain(&mut |item| sink(f(item)));
+    }
+}
+
+/// Global-index `enumerate`.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(at);
+        (
+            EnumerateProducer {
+                base: l,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: r,
+                offset: self.offset + at,
+            },
+        )
+    }
+
+    fn drain(self, sink: &mut impl FnMut(Self::Item)) {
+        let mut idx = self.offset;
+        self.base.drain(&mut |item| {
+            sink((idx, item));
+            idx += 1;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator facade
+// ---------------------------------------------------------------------------
+
+/// The single parallel-iterator type; combinators wrap the producer.
+pub struct ParIter<P> {
+    producer: P,
+}
+
+/// Conversion into a parallel iterator (`rayon::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel-iterator combinators and terminals (one trait; the workspace
+/// does not distinguish `IndexedParallelIterator`).
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+    /// Underlying producer type.
+    type Producer: Producer<Item = Self::Item>;
+
+    /// Unwrap the producer.
+    fn into_producer(self) -> Self::Producer;
+
+    /// Lazy per-item transform.
+    fn map<R, F>(self, f: F) -> ParIter<MapProducer<Self::Producer, F>>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        ParIter {
+            producer: MapProducer {
+                base: self.into_producer(),
+                f: Arc::new(f),
+            },
+        }
+    }
+
+    /// Pair each item with its global index.
+    fn enumerate(self) -> ParIter<EnumerateProducer<Self::Producer>> {
+        ParIter {
+            producer: EnumerateProducer {
+                base: self.into_producer(),
+                offset: 0,
+            },
+        }
+    }
+
+    /// Run `f` on every item (parallel, unordered side effects).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_pieces(self.into_producer(), &|piece| {
+            piece.drain(&mut |item| f(item));
+        });
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let partials = run_pieces(self.into_producer(), &|piece| {
+            let mut items = Vec::new();
+            piece.drain(&mut |item| items.push(item));
+            items.into_iter().sum::<S>()
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Reduce with an identity factory and an associative operation
+    /// (`rayon::ParallelIterator::reduce`).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let partials = run_pieces(self.into_producer(), &|piece| {
+            let mut acc = identity();
+            piece.drain(&mut |item| {
+                let prev = std::mem::replace(&mut acc, identity());
+                acc = op(prev, item);
+            });
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Collect into a container, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let piece_vecs = run_pieces(self.into_producer(), &|piece| {
+            let mut items = Vec::with_capacity(piece.len());
+            piece.drain(&mut |item| items.push(item));
+            items
+        });
+        piece_vecs.into_iter().flatten().collect()
+    }
+
+    /// Item count.
+    fn count(self) -> usize {
+        let producer = self.into_producer();
+        let partials = run_pieces(producer, &|piece| {
+            let mut n = 0usize;
+            piece.drain(&mut |_| n += 1);
+            n
+        });
+        partials.into_iter().sum()
+    }
+}
+
+impl<P: Producer> ParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Producer = P;
+
+    fn into_producer(self) -> P {
+        self.producer
+    }
+}
+
+/// Split `producer` into at most `current_num_threads()` contiguous pieces
+/// and run `job` over each piece on scoped worker threads, returning the
+/// per-piece results in piece order. The last piece runs on the caller.
+fn run_pieces<P, R, J>(producer: P, job: &J) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    J: Fn(P) -> R + Sync,
+{
+    let len = producer.len();
+    let workers = current_num_threads().max(1).min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return vec![job(producer)];
+    }
+    let mut pieces = Vec::with_capacity(workers);
+    let mut rest = producer;
+    let mut remaining = len;
+    for w in 0..workers - 1 {
+        let take = remaining / (workers - w);
+        let (piece, r) = rest.split_at(take);
+        pieces.push(piece);
+        rest = r;
+        remaining -= take;
+    }
+    pieces.push(rest);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(pieces.len() - 1);
+        let mut iter = pieces.into_iter();
+        let first = iter.next().expect("at least one piece");
+        for piece in iter {
+            handles.push(scope.spawn(move || job(piece)));
+        }
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(job(first));
+        for handle in handles {
+            out.push(handle.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Slice entry points
+// ---------------------------------------------------------------------------
+
+/// `par_chunks` on shared slices (`rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            producer: ChunksProducer {
+                slice: self,
+                chunk: chunk_size,
+            },
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            producer: ChunksMutProducer {
+                slice: self,
+                chunk: chunk_size,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_sum_matches_serial() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let par: f64 = data.par_chunks(64).map(|c| c.iter().sum::<f64>()).sum();
+        let serial: f64 = data.iter().sum();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjointly() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(37).enumerate().for_each(|(ci, chunk)| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = ci * 37 + off;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn range_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..=999).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn reduce_combines_all_pieces() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (sum, count) = data
+            .par_chunks(7)
+            .map(|c| (c.iter().sum::<f64>(), c.len()))
+            .reduce(|| (0.0, 0), |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2));
+        assert_eq!(sum, 5050.0);
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(POOL_THREADS.with(|t| t.get()), 3);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let data: Vec<f64> = Vec::new();
+        let total: f64 = data.par_chunks(8).map(|c| c.iter().sum::<f64>()).sum();
+        assert_eq!(total, 0.0);
+        let v: Vec<u32> = (5u32..5).into_par_iter().collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline vendored subset of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for forward
+//! compatibility but never drives them through a serializer (no data-format
+//! crate is an allowed dependency). This facade therefore exposes marker
+//! traits plus the no-op derive macros from the vendored `serde_derive`;
+//! swapping in real serde later requires no source changes in the
+//! workspace, only a dependency change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

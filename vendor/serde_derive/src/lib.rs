@@ -1,0 +1,21 @@
+//! Offline vendored no-op `serde` derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! types but never serializes through a data format (serde_json is not an
+//! allowed dependency), so the derives only need to *exist*. They accept
+//! the `#[serde(...)]` helper attribute and expand to nothing; the marker
+//! traits in the vendored `serde` crate are never used as bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
