@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test bench
+.PHONY: verify fmt fmt-check clippy build test chaos bench
 
-verify: fmt-check clippy build test
+verify: fmt-check clippy build test chaos
 	@echo "verify: OK"
 
 fmt:
@@ -23,6 +23,13 @@ build:
 
 test:
 	$(CARGO) test --workspace -q
+
+# Fault-injection suite: seeded panics/stragglers/poisons into every stage
+# variant of the posterior hot loop must recover bit-for-bit (offline,
+# in-process — no network or external chaos tooling involved).
+chaos:
+	$(CARGO) test -p sbgt --test chaos_equivalence -q
+	$(CARGO) test -p sbgt-engine -q -- stage:: chaos:: retry::
 
 # Criterion benches (plain-text report; pass FILTER=<substring> to select).
 bench:

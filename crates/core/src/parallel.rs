@@ -129,6 +129,13 @@ impl ShardedPosterior {
     /// the shard values have already been multiplied by the zero table and
     /// the posterior is degenerate; like the dense fused update, callers
     /// must treat the posterior as unusable after this error.
+    ///
+    /// When the engine's fault tolerance is active (retries, speculation,
+    /// or an installed fault plan) the stage instead runs copy-on-write
+    /// from pristine driver-held handles: task failures retry against
+    /// unmutated input and recover **bit-for-bit** — the closure is pure
+    /// and partials are reduced in task order — while a permanently failed
+    /// stage leaves the shards untouched.
     pub fn update<M: ResponseModel>(
         &mut self,
         engine: &Engine,

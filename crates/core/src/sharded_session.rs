@@ -135,6 +135,11 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
     /// Drive the session to classification against a lab oracle, one fused
     /// stage per round. Stops when the cohort is classified, the stage cap
     /// is reached, or an observation is impossible under the model.
+    ///
+    /// Under a fault-tolerant engine the whole run survives injected or
+    /// real task failures with an identical outcome: every stage recovers
+    /// bit-for-bit, so pool selection — which feeds on posterior bits —
+    /// never diverges from a fault-free run.
     pub fn run_to_classification(
         &mut self,
         engine: &Engine,

@@ -2,11 +2,16 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::SpeculationConfig;
+use crate::retry::RetryPolicy;
+
 /// Configuration for an [`crate::Engine`].
 ///
 /// Mirrors the knobs of a Spark deployment that matter to SBGT: executor
-/// count (`threads`) and partition granularity (`partitions_per_thread`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// count (`threads`), partition granularity (`partitions_per_thread`), task
+/// re-execution (`retry`, Spark's `spark.task.maxFailures`), and straggler
+/// speculation (`speculation`, Spark's `spark.speculation`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Number of executor threads. Defaults to the available parallelism of
     /// the host (at least 1).
@@ -15,6 +20,15 @@ pub struct EngineConfig {
     /// partition count. Over-partitioning (the Spark default of 2-4x) keeps
     /// executors busy when partition workloads are skewed.
     pub partitions_per_thread: usize,
+    /// Per-task retry policy applied to every dataset stage. Defaults to
+    /// [`RetryPolicy::none`] (single attempt): retries force in-place
+    /// stages onto the copy-on-write path (a retried task must re-run
+    /// against pristine input), so fault tolerance is opt-in to keep the
+    /// zero-copy hot loop intact by default.
+    pub retry: RetryPolicy,
+    /// Speculative re-execution of stragglers; `None` (default) disables
+    /// it. Enabling it also activates the fault-tolerant stage path.
+    pub speculation: Option<SpeculationConfig>,
 }
 
 impl Default for EngineConfig {
@@ -22,6 +36,8 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: available_threads(),
             partitions_per_thread: 4,
+            retry: RetryPolicy::none(),
+            speculation: None,
         }
     }
 }
@@ -36,6 +52,19 @@ impl EngineConfig {
     /// Set the per-thread partition multiplier (clamped to at least 1).
     pub fn with_partitions_per_thread(mut self, ppt: usize) -> Self {
         self.partitions_per_thread = ppt.max(1);
+        self
+    }
+
+    /// Set the stage retry policy (e.g. `RetryPolicy::default()` for the
+    /// Spark-style 4 attempts).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enable speculative straggler re-execution.
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = Some(speculation);
         self
     }
 }
@@ -56,6 +85,8 @@ mod tests {
         let c = EngineConfig::default();
         assert!(c.threads >= 1);
         assert!(c.partitions_per_thread >= 1);
+        assert_eq!(c.retry.max_attempts(), 1, "fault tolerance is opt-in");
+        assert!(c.speculation.is_none());
     }
 
     #[test]
@@ -65,6 +96,17 @@ mod tests {
             .with_partitions_per_thread(0);
         assert_eq!(c.threads, 1);
         assert_eq!(c.partitions_per_thread, 1);
+    }
+
+    #[test]
+    fn fault_tolerance_builders() {
+        let c = EngineConfig::default()
+            .with_retry(RetryPolicy::default())
+            .with_speculation(SpeculationConfig::default());
+        assert_eq!(c.retry.max_attempts(), 4);
+        let spec = c.speculation.unwrap();
+        assert!(spec.quantile > 0.0 && spec.quantile <= 1.0);
+        assert!(spec.multiplier >= 1.0);
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 move || f(idx, &part)
             })
             .collect();
-        let parts = engine.run_job(name, tasks)?;
+        let parts = engine.run_stage(name, tasks)?;
         Ok(Dataset::from_partitions(parts))
     }
 
@@ -148,11 +148,27 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     /// partitions. The unique/COW split is recorded on the job's metrics as
     /// [`crate::StageVariant::InPlace`].
     ///
+    /// # Fault tolerance
+    ///
+    /// When [`Engine::fault_tolerance_active`] (retries, speculation, or an
+    /// installed fault plan), the zero-copy path is unsound for recovery:
+    /// a retried attempt must re-run against **pristine** input, but an
+    /// in-place attempt may have half-mutated its partition before dying.
+    /// The stage therefore switches to a retry-safe variant: the dataset
+    /// keeps its partition handles on the driver and every attempt mutates
+    /// a private copy (recorded as all-COW on the job's metrics). First
+    /// attempts pay one copy per partition — exactly what COW would have
+    /// cost — and retried or speculative attempts are automatically
+    /// idempotent and race-free.
+    ///
     /// # Errors
     ///
-    /// On task failure the consumed partitions are lost with the failed
-    /// job: the dataset is left **empty** (zero partitions). Callers that
-    /// need the pre-stage data after a failure must clone first.
+    /// With fault tolerance off, a task failure loses the consumed
+    /// partitions with the failed job: the dataset is left **empty** (zero
+    /// partitions). Callers that need the pre-stage data after a failure
+    /// must clone first. With fault tolerance on, a failed stage leaves the
+    /// dataset **unchanged** (pristine pre-stage partitions; no partial
+    /// results are leaked).
     pub fn try_map_partitions_in_place<R, F>(
         &mut self,
         engine: &Engine,
@@ -165,6 +181,9 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         F: Fn(usize, &mut [T]) -> R + Send + Sync + 'static,
     {
         let f = Arc::new(f);
+        if engine.fault_tolerance_active() {
+            return self.map_in_place_retry_safe(engine, name, f);
+        }
         let handles = std::mem::take(&mut self.partitions);
         let tasks: Vec<_> = handles
             .into_iter()
@@ -201,6 +220,55 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         engine
             .metrics()
             .annotate_last_job(crate::StageVariant::InPlace { unique, cow });
+        Ok(results)
+    }
+
+    /// Retry-safe in-place stage: the driver keeps the pristine handles and
+    /// each attempt mutates a private copy, so attempts are idempotent
+    /// (retries) and never race each other (speculation). On failure the
+    /// dataset is left exactly as it was.
+    fn map_in_place_retry_safe<R, F>(
+        &mut self,
+        engine: &Engine,
+        name: &str,
+        f: Arc<F>,
+    ) -> Result<Vec<R>>
+    where
+        T: Clone,
+        R: Send + 'static,
+        F: Fn(usize, &mut [T]) -> R + Send + Sync + 'static,
+    {
+        let tasks: Vec<_> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(idx, handle)| {
+                let handle = Arc::clone(handle);
+                let f = Arc::clone(&f);
+                move || {
+                    // Copy from the pristine handle on *every* attempt; the
+                    // driver's copy is never mutated, so a re-run after a
+                    // half-complete panic still sees unmutated input.
+                    let mut values = (*handle).clone();
+                    let result = f(idx, &mut values);
+                    (Arc::new(values), result)
+                }
+            })
+            .collect();
+        // On failure `self.partitions` has not been touched: pristine.
+        let outputs = engine.run_stage(name, tasks)?;
+        let cow = outputs.len();
+        let mut results = Vec::with_capacity(cow);
+        self.partitions = outputs
+            .into_iter()
+            .map(|(handle, result)| {
+                results.push(result);
+                handle
+            })
+            .collect();
+        engine
+            .metrics()
+            .annotate_last_job(crate::StageVariant::InPlace { unique: 0, cow });
         Ok(results)
     }
 
@@ -241,7 +309,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 move || f(idx, &part)
             })
             .collect();
-        engine.run_job(name, tasks)
+        engine.run_stage(name, tasks)
     }
 
     /// Read-only per-partition stage (panics on task failure); see
@@ -313,18 +381,19 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         C: Fn(A, A) -> A,
     {
         let seq = Arc::new(seq);
-        let zero_task = zero.clone();
         let tasks: Vec<_> = self
             .partitions
             .iter()
             .map(|part| {
                 let part = Arc::clone(part);
                 let seq = Arc::clone(&seq);
-                let zero = zero_task.clone();
-                move || part.iter().fold(zero, |acc, x| seq(acc, x))
+                let zero = zero.clone();
+                // `zero.clone()` per invocation keeps the task re-runnable
+                // (retry/speculation re-invoke the closure).
+                move || part.iter().fold(zero.clone(), |acc, x| seq(acc, x))
             })
             .collect();
-        let partials = unwrap_job(engine.run_job("aggregate", tasks));
+        let partials = unwrap_job(engine.run_stage("aggregate", tasks));
         partials.into_iter().fold(zero, comb)
     }
 
@@ -348,7 +417,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 }
             })
             .collect();
-        let partials = unwrap_job(engine.run_job("reduce", tasks));
+        let partials = unwrap_job(engine.run_stage("reduce", tasks));
         partials.into_iter().flatten().reduce(|a, b| f(&a, &b))
     }
 
@@ -362,7 +431,9 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 move || part.len()
             })
             .collect();
-        unwrap_job(engine.run_job("count", tasks)).into_iter().sum()
+        unwrap_job(engine.run_stage("count", tasks))
+            .into_iter()
+            .sum()
     }
 
     /// Gather all records to the driver in partition order.
@@ -429,7 +500,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 }
             })
             .collect();
-        let parts = engine.run_job("zip_map", tasks)?;
+        let parts = engine.run_stage("zip_map", tasks)?;
         Ok(Dataset::from_partitions(parts))
     }
 
@@ -748,6 +819,98 @@ mod tests {
         assert!(err.is_err());
         assert_eq!(ds.num_partitions(), 0);
         assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn in_place_failure_restores_pristine_under_fault_tolerance() {
+        let e = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_retry(crate::RetryPolicy::clamped(2)),
+        );
+        let mut ds = Dataset::from_vec((0..10i64).collect::<Vec<_>>(), 2);
+        // Mutates its copy before dying on every attempt: the partial
+        // results must never land in the dataset.
+        let err = ds
+            .try_map_partitions_in_place(&e, "boom", |idx, part| {
+                for x in part.iter_mut() {
+                    *x = -1;
+                }
+                if idx == 1 {
+                    panic!("bad partition");
+                }
+            })
+            .unwrap_err();
+        match err {
+            EngineError::TaskPanicked {
+                stage,
+                task,
+                attempts,
+                ..
+            } => {
+                assert_eq!(stage, "boom");
+                assert_eq!(task, 1);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unchanged, not emptied and not partially mutated.
+        assert_eq!(ds.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn in_place_recovers_from_injected_panic_bit_for_bit() {
+        let clean = {
+            let e = engine();
+            let mut ds = Dataset::from_vec((0..40i64).collect::<Vec<_>>(), 4);
+            ds.map_partitions_in_place(&e, |_, part| {
+                for x in part.iter_mut() {
+                    *x = x.wrapping_mul(17) ^ 3;
+                }
+            });
+            ds.collect()
+        };
+        let e = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_retry(crate::RetryPolicy::clamped(2)),
+        );
+        e.set_fault_plan(crate::FaultPlan::new().panic_at("hot", 2, 0));
+        let mut ds = Dataset::from_vec((0..40i64).collect::<Vec<_>>(), 4);
+        ds.try_map_partitions_in_place(&e, "hot", |_, part| {
+            for x in part.iter_mut() {
+                *x = x.wrapping_mul(17) ^ 3;
+            }
+        })
+        .unwrap();
+        assert_eq!(ds.collect(), clean);
+        let job = e.metrics().jobs().pop().unwrap();
+        assert!(job.succeeded);
+        assert_eq!(job.faults.injected_panics, 1);
+        assert_eq!(job.faults.retries, 1);
+        // Retry-safe stages run all-COW from pristine handles.
+        assert_eq!(
+            job.variant,
+            crate::StageVariant::InPlace { unique: 0, cow: 4 }
+        );
+    }
+
+    #[test]
+    fn immutable_stage_recovers_from_injected_panic() {
+        let e = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_retry(crate::RetryPolicy::clamped(3)),
+        );
+        e.set_fault_plan(crate::FaultPlan::new().panic_at("map", 0, 0));
+        let ds = Dataset::from_vec((0..30i64).collect::<Vec<_>>(), 3);
+        let out = ds.map(&e, |x| x + 1).collect();
+        assert_eq!(out, (1..31).collect::<Vec<_>>());
+        // Make sure the fault actually fired and was absorbed somewhere in
+        // this engine's jobs.
+        let totals = e.metrics().fault_totals();
+        assert_eq!(totals.injected_panics, 1);
+        assert_eq!(totals.retries, 1);
     }
 
     #[test]

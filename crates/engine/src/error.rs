@@ -6,13 +6,19 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 /// Errors surfaced by engine jobs and dataset operations.
 #[derive(Debug)]
 pub enum EngineError {
-    /// A task closure panicked on an executor thread. The panic payload is
+    /// A task closure panicked on an executor thread (for retried stages:
+    /// panicked on **every** allowed attempt). The panic payload is
     /// rendered to a string when it is a `&str`/`String`, otherwise a
     /// placeholder is used.
     TaskPanicked {
+        /// Stage name the task belonged to (empty for raw pool batches,
+        /// which have no stage context).
+        stage: String,
         /// Index of the task within its job.
         task: usize,
-        /// Rendered panic message.
+        /// Attempts consumed before giving up (1 = no retry).
+        attempts: usize,
+        /// Rendered panic message of the last failed attempt.
         message: String,
     },
     /// The executor pool shut down while a job was in flight.
@@ -33,8 +39,23 @@ pub enum EngineError {
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::TaskPanicked { task, message } => {
-                write!(f, "task {task} panicked: {message}")
+            EngineError::TaskPanicked {
+                stage,
+                task,
+                attempts,
+                message,
+            } => {
+                if stage.is_empty() {
+                    write!(
+                        f,
+                        "task {task} panicked after {attempts} attempt(s): {message}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "stage '{stage}': task {task} panicked after {attempts} attempt(s): {message}"
+                    )
+                }
             }
             EngineError::PoolShutDown => write!(f, "executor pool shut down"),
             EngineError::PartitionMismatch { left, right } => write!(
@@ -67,10 +88,22 @@ mod tests {
     #[test]
     fn display_formats() {
         let e = EngineError::TaskPanicked {
+            stage: String::new(),
             task: 3,
+            attempts: 1,
             message: "x".into(),
         };
-        assert_eq!(e.to_string(), "task 3 panicked: x");
+        assert_eq!(e.to_string(), "task 3 panicked after 1 attempt(s): x");
+        let e = EngineError::TaskPanicked {
+            stage: "update".into(),
+            task: 3,
+            attempts: 4,
+            message: "x".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "stage 'update': task 3 panicked after 4 attempt(s): x"
+        );
         assert_eq!(
             EngineError::PartitionMismatch { left: 2, right: 4 }.to_string(),
             "partition mismatch: left has 2 partitions, right has 4"

@@ -50,9 +50,37 @@
 //!
 //! The uniqueness rule means in-place stages are *semantically* identical
 //! to running the same closure immutably and replacing the dataset — only
-//! the allocation profile differs. The single caveat: if an in-place stage
-//! fails (task panic), the consumed partitions are gone and the dataset is
-//! left empty; see `try_map_partitions_in_place`.
+//! the allocation profile differs. With fault tolerance off (the default),
+//! a failed in-place stage has consumed its partitions and leaves the
+//! dataset empty; see `try_map_partitions_in_place`.
+//!
+//! ## Fault model
+//!
+//! Stages run through a supervising scheduler ([`Engine::run_stage`]) that
+//! provides Spark-style fault containment:
+//!
+//! * **Retry** ([`RetryPolicy`], Spark's `spark.task.maxFailures`): a
+//!   panicking task is re-executed up to the attempt budget; the job fails
+//!   only when some task exhausts it. Task closures must be idempotent.
+//! * **Speculation** ([`SpeculationConfig`], Spark's `spark.speculation`):
+//!   once a quantile of tasks has finished, tasks still running well past
+//!   the median duration are duplicated once; first result wins.
+//! * **Deterministic fault injection** ([`FaultPlan`] / [`ChaosConfig`],
+//!   installed with [`Engine::set_fault_plan`]): seeded panics, straggler
+//!   delays, and poisoned results at exact `(stage, task, attempt)`
+//!   coordinates, for chaos testing the recovery machinery. A fault fires
+//!   purely as a function of the plan and those coordinates (plus the
+//!   engine's stage sequence number), so campaigns replay bit-for-bit;
+//!   executor scheduling cannot perturb them.
+//!
+//! Fault tolerance is **opt-in**: with the default config (single attempt,
+//! no speculation, no plan — [`Engine::fault_tolerance_active`] false),
+//! in-place stages keep their zero-copy path. When active, every in-place
+//! stage runs copy-on-write from pristine driver-held partition handles so
+//! a retried or speculated attempt always sees unmutated input, and a
+//! failed stage restores the dataset unchanged instead of leaving partial
+//! results. What was injected and what recovery did about it is recorded
+//! per job in [`metrics::FaultStats`] and rendered in the timeline.
 //!
 //! ## Example
 //!
@@ -69,6 +97,7 @@
 
 pub mod accumulator;
 pub mod broadcast;
+pub mod chaos;
 pub mod config;
 pub mod dataset;
 pub mod error;
@@ -78,19 +107,24 @@ pub mod partitioner;
 pub mod pool;
 pub mod retry;
 pub mod shuffle;
+pub mod stage;
 pub mod timeline;
 
 pub use accumulator::{CountAccumulator, SumAccumulator};
 pub use broadcast::Broadcast;
+pub use chaos::{ChaosConfig, Fault, FaultPlan, SpeculationConfig};
 pub use config::EngineConfig;
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
-pub use metrics::{JobMetrics, MetricsRegistry, StageVariant, TaskMetrics};
+pub use metrics::{FaultStats, JobMetrics, MetricsRegistry, StageVariant, TaskMetrics};
 pub use partitioner::{partition_ranges, HashPartitioner, Partitioner, RangePartitioner};
 pub use pool::ThreadPool;
 pub use retry::RetryPolicy;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// The driver of the dataflow engine.
 ///
@@ -105,6 +139,11 @@ pub struct Engine {
     pool: ThreadPool,
     config: EngineConfig,
     metrics: Arc<MetricsRegistry>,
+    /// Installed fault-injection plan, if any (chaos testing).
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
+    /// Count of stages launched; feeds the fault plan so repeated runs of
+    /// the same-named stage draw distinct random faults.
+    stage_seq: AtomicU64,
 }
 
 impl Engine {
@@ -116,6 +155,8 @@ impl Engine {
             pool,
             config,
             metrics: Arc::new(MetricsRegistry::new()),
+            fault_plan: Mutex::new(None),
+            stage_seq: AtomicU64::new(0),
         }
     }
 
@@ -150,6 +191,39 @@ impl Engine {
         &self.pool
     }
 
+    /// Install a fault-injection plan. Replaces any existing plan and
+    /// activates the fault-tolerant stage path (see
+    /// [`Engine::fault_tolerance_active`]).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault_plan.lock() = Some(Arc::new(plan));
+    }
+
+    /// Remove the installed fault plan, silencing injection.
+    pub fn clear_fault_plan(&self) {
+        *self.fault_plan.lock() = None;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.lock().clone()
+    }
+
+    /// Whether stages must be retry-safe: retries enabled, speculation
+    /// enabled, or a fault plan installed. In-place dataset stages use this
+    /// to choose between the zero-copy path (off) and the copy-on-write
+    /// recovery path (on), where every attempt re-runs against pristine
+    /// partition input.
+    pub fn fault_tolerance_active(&self) -> bool {
+        self.config.retry.retries_enabled()
+            || self.config.speculation.is_some()
+            || self.fault_plan.lock().is_some()
+    }
+
+    /// Next stage sequence number (monotonic per engine).
+    pub(crate) fn next_stage_seq(&self) -> u64 {
+        self.stage_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Run a named job: one closure per task, results returned in task order.
     ///
     /// This is the primitive every `Dataset` operation lowers to. Task
@@ -181,6 +255,7 @@ impl Engine {
                     wall: elapsed,
                     succeeded: true,
                     variant: StageVariant::Immutable,
+                    faults: FaultStats::default(),
                 });
                 Ok(results.into_iter().map(|r| r.value).collect())
             }
@@ -191,6 +266,7 @@ impl Engine {
                     wall: elapsed,
                     succeeded: false,
                     variant: StageVariant::Immutable,
+                    faults: FaultStats::default(),
                 });
                 let _ = n_tasks;
                 Err(e)
@@ -262,5 +338,31 @@ mod tests {
     fn default_partitions_positive() {
         let engine = Engine::new(EngineConfig::default().with_threads(1));
         assert!(engine.default_partitions() >= 1);
+    }
+
+    #[test]
+    fn fault_tolerance_activation_gates() {
+        // Default: off — the zero-copy in-place path stays live.
+        let engine = Engine::new(EngineConfig::default().with_threads(1));
+        assert!(!engine.fault_tolerance_active());
+        // Installing any fault plan flips it on; clearing flips it back.
+        engine.set_fault_plan(FaultPlan::new().panic_at("x", 0, 0));
+        assert!(engine.fault_tolerance_active());
+        assert!(engine.fault_plan().is_some());
+        engine.clear_fault_plan();
+        assert!(!engine.fault_tolerance_active());
+        // Retries or speculation alone also activate it.
+        let retrying = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_retry(RetryPolicy::default()),
+        );
+        assert!(retrying.fault_tolerance_active());
+        let speculating = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_speculation(SpeculationConfig::default()),
+        );
+        assert!(speculating.fault_tolerance_active());
     }
 }

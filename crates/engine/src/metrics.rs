@@ -54,6 +54,47 @@ impl std::fmt::Display for StageVariant {
     }
 }
 
+/// Fault-containment counters of one job: what the chaos layer injected
+/// and what the recovery machinery did about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Injected task panics ([`crate::Fault::Panic`]).
+    pub injected_panics: usize,
+    /// Injected straggler delays ([`crate::Fault::Delay`]).
+    pub injected_delays: usize,
+    /// Injected poisoned results ([`crate::Fault::Poison`]).
+    pub injected_poisons: usize,
+    /// Failed attempts that were re-submitted under the retry policy.
+    pub retries: usize,
+    /// Speculative duplicates launched for stragglers.
+    pub speculative_launched: usize,
+    /// Tasks whose speculative duplicate finished before the original.
+    pub speculative_wins: usize,
+}
+
+impl FaultStats {
+    /// Total injected faults of any kind.
+    pub fn injected_total(&self) -> usize {
+        self.injected_panics + self.injected_delays + self.injected_poisons
+    }
+
+    /// Whether nothing fault-related happened (the common case; quiet jobs
+    /// render without a chaos segment in the timeline).
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Accumulate another job's counters into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.injected_panics += other.injected_panics;
+        self.injected_delays += other.injected_delays;
+        self.injected_poisons += other.injected_poisons;
+        self.retries += other.retries;
+        self.speculative_launched += other.speculative_launched;
+        self.speculative_wins += other.speculative_wins;
+    }
+}
+
 /// Timing summary of one job (a batch of tasks with a barrier).
 #[derive(Debug, Clone)]
 pub struct JobMetrics {
@@ -67,6 +108,8 @@ pub struct JobMetrics {
     pub succeeded: bool,
     /// How the stage touched its partitions (in-place vs immutable).
     pub variant: StageVariant,
+    /// Injected faults, retries, and speculative duplicates of this job.
+    pub faults: FaultStats,
 }
 
 impl JobMetrics {
@@ -132,6 +175,16 @@ impl MetricsRegistry {
             .count()
     }
 
+    /// Sum of all jobs' fault counters — the campaign-level view a chaos
+    /// test asserts against (nonzero retries, speculative wins, ...).
+    pub fn fault_totals(&self) -> FaultStats {
+        let mut totals = FaultStats::default();
+        for job in self.jobs.lock().iter() {
+            totals.absorb(&job.faults);
+        }
+        totals
+    }
+
     /// Record a broadcast creation.
     pub fn record_broadcast(&self) {
         self.broadcasts
@@ -189,6 +242,7 @@ mod tests {
             wall: Duration::from_millis(wall_ms),
             succeeded: true,
             variant: StageVariant::default(),
+            faults: FaultStats::default(),
         }
     }
 
@@ -240,6 +294,32 @@ mod tests {
         reg.clear();
         reg.annotate_last_job(StageVariant::Immutable);
         assert_eq!(reg.job_count(), 0);
+    }
+
+    #[test]
+    fn fault_totals_accumulate_across_jobs() {
+        let reg = MetricsRegistry::new();
+        let mut a = job("update", &[5], 5);
+        a.faults = FaultStats {
+            injected_panics: 1,
+            injected_delays: 2,
+            injected_poisons: 0,
+            retries: 1,
+            speculative_launched: 2,
+            speculative_wins: 1,
+        };
+        let mut b = job("update", &[7], 7);
+        b.faults.retries = 3;
+        reg.record_job(a);
+        reg.record_job(b);
+        reg.record_job(job("quiet", &[1], 1));
+        let totals = reg.fault_totals();
+        assert_eq!(totals.injected_total(), 3);
+        assert_eq!(totals.retries, 4);
+        assert_eq!(totals.speculative_launched, 2);
+        assert_eq!(totals.speculative_wins, 1);
+        assert!(!totals.is_quiet());
+        assert!(reg.jobs()[2].faults.is_quiet());
     }
 
     #[test]

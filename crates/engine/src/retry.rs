@@ -6,17 +6,27 @@
 //! bounded number of times. Retryable tasks are `Fn` (re-invocable) rather
 //! than the one-shot `FnOnce` of [`crate::ThreadPool::run_tasks`]; task
 //! closures must therefore be idempotent, exactly like Spark tasks.
+//!
+//! The actual retry loop lives in the stage scheduler
+//! ([`crate::Engine::run_stage_with`]), which also handles fault injection
+//! and speculative straggler re-execution; [`crate::Engine::run_job_retrying`]
+//! is the thin policy-explicit entry point kept for driver-level jobs.
 
-use std::sync::Arc;
+use serde::{Deserialize, Serialize};
 
 use crate::error::{EngineError, Result};
-use crate::{Engine, JobMetrics, TaskMetrics};
+use crate::Engine;
 
 /// Policy for retrying failed tasks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The attempt budget is guaranteed `>= 1` by construction: use
+/// [`RetryPolicy::new`] (validated), [`RetryPolicy::clamped`], or
+/// [`RetryPolicy::none`]. A zero-attempt policy cannot exist, so jobs can
+/// never fail by mis-configuration instead of by task fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetryPolicy {
-    /// Maximum attempts per task (≥ 1; 1 means no retry).
-    pub max_attempts: usize,
+    /// Maximum attempts per task (invariant: `>= 1`; 1 means no retry).
+    max_attempts: usize,
 }
 
 impl Default for RetryPolicy {
@@ -26,12 +36,51 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// A validated policy. `max_attempts == 0` is rejected with
+    /// [`EngineError::InvalidArgument`] instead of blowing up later inside
+    /// a job (the pre-PR-2 behaviour was an `assert!` panic on the driver).
+    pub fn new(max_attempts: usize) -> Result<Self> {
+        if max_attempts == 0 {
+            return Err(EngineError::InvalidArgument(
+                "retry policy needs at least one attempt".to_string(),
+            ));
+        }
+        Ok(RetryPolicy { max_attempts })
+    }
+
+    /// Infallible constructor: clamps zero to one attempt.
+    pub fn clamped(max_attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// Single attempt, no retry — the default of [`crate::EngineConfig`].
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+
+    /// Maximum attempts per task (always `>= 1`).
+    pub fn max_attempts(&self) -> usize {
+        self.max_attempts
+    }
+
+    /// Whether failed tasks get re-executed at all.
+    pub fn retries_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+}
+
 impl Engine {
     /// Run a job whose tasks are retried on panic per `policy`.
     ///
     /// Returns the results in task order, plus the total number of retries
-    /// that occurred. Fails with [`EngineError::TaskPanicked`] only after a
-    /// task exhausts its attempts; earlier attempts' panics are contained.
+    /// that occurred. Fails with [`EngineError::TaskPanicked`] (carrying
+    /// the stage name and attempt count) only after a task exhausts its
+    /// attempts; earlier attempts' panics are contained. Runs through the
+    /// stage scheduler, so an installed [`crate::FaultPlan`] and the
+    /// engine's speculation config apply here too.
     pub fn run_job_retrying<T, F>(
         &self,
         name: &str,
@@ -42,77 +91,9 @@ impl Engine {
         T: Send + 'static,
         F: Fn() -> T + Send + Sync + 'static,
     {
-        assert!(policy.max_attempts >= 1, "need at least one attempt");
-        let start = std::time::Instant::now();
-        let tasks: Vec<Arc<F>> = tasks.into_iter().map(Arc::new).collect();
-
-        // Attempt loop: resubmit only the failed task indices each round.
-        let mut pending: Vec<usize> = (0..tasks.len()).collect();
-        let mut slots: Vec<Option<T>> = (0..tasks.len()).map(|_| None).collect();
-        let mut durations: Vec<std::time::Duration> = vec![Default::default(); tasks.len()];
-        let mut retries = 0usize;
-        let mut last_error: Option<(usize, String)> = None;
-
-        for attempt in 0..policy.max_attempts {
-            if pending.is_empty() {
-                break;
-            }
-            if attempt > 0 {
-                retries += pending.len();
-            }
-            let round: Vec<_> = pending
-                .iter()
-                .map(|&idx| {
-                    let task = Arc::clone(&tasks[idx]);
-                    move || {
-                        let started = std::time::Instant::now();
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task()));
-                        (out, started.elapsed())
-                    }
-                })
-                .collect();
-            let outcomes = self.pool().run_tasks(round)?;
-            let mut still_pending = Vec::new();
-            for (slot_pos, result) in pending.iter().zip(outcomes) {
-                let (outcome, duration) = result.value;
-                match outcome {
-                    Ok(value) => {
-                        slots[*slot_pos] = Some(value);
-                        durations[*slot_pos] = duration;
-                    }
-                    Err(payload) => {
-                        last_error =
-                            Some((*slot_pos, crate::error::panic_message(payload.as_ref())));
-                        still_pending.push(*slot_pos);
-                    }
-                }
-            }
-            pending = still_pending;
-        }
-
-        let succeeded = pending.is_empty();
-        self.metrics().record_job(JobMetrics {
-            name: name.to_string(),
-            tasks: durations
-                .iter()
-                .enumerate()
-                .map(|(index, &duration)| TaskMetrics { index, duration })
-                .collect(),
-            wall: start.elapsed(),
-            succeeded,
-            variant: crate::StageVariant::Immutable,
-        });
-        if !succeeded {
-            let (task, message) = last_error.expect("pending implies a recorded failure");
-            return Err(EngineError::TaskPanicked { task, message });
-        }
-        Ok((
-            slots
-                .into_iter()
-                .map(|s| s.expect("all slots filled"))
-                .collect(),
-            retries,
-        ))
+        let (results, stats) =
+            self.run_stage_with(name, tasks, policy, self.config().speculation)?;
+        Ok((results, stats.retries))
     }
 }
 
@@ -121,6 +102,7 @@ mod tests {
     use super::*;
     use crate::EngineConfig;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     fn engine() -> Engine {
         Engine::new(EngineConfig::default().with_threads(2))
@@ -151,7 +133,7 @@ mod tests {
             99
         };
         let (out, retries) = e
-            .run_job_retrying("flaky", vec![flaky], RetryPolicy { max_attempts: 4 })
+            .run_job_retrying("flaky", vec![flaky], RetryPolicy::new(4).unwrap())
             .unwrap();
         assert_eq!(out, vec![99]);
         assert_eq!(retries, 2);
@@ -168,18 +150,27 @@ mod tests {
             panic!("permanent");
         };
         let err = e
-            .run_job_retrying("doomed", vec![doomed], RetryPolicy { max_attempts: 3 })
+            .run_job_retrying("doomed", vec![doomed], RetryPolicy::new(3).unwrap())
             .unwrap_err();
         match err {
-            EngineError::TaskPanicked { task: 0, message } => {
+            EngineError::TaskPanicked {
+                stage,
+                task: 0,
+                attempts,
+                message,
+            } => {
+                assert_eq!(stage, "doomed");
+                assert_eq!(attempts, 3);
                 assert_eq!(message, "permanent");
             }
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(calls.load(Ordering::SeqCst), 3);
-        // The failed job is recorded as such.
+        // The failed job is recorded as such, with its retries counted.
         let jobs = e.metrics().jobs();
-        assert!(!jobs.last().unwrap().succeeded);
+        let last = jobs.last().unwrap();
+        assert!(!last.succeeded);
+        assert_eq!(last.faults.retries, 2);
     }
 
     #[test]
@@ -210,10 +201,29 @@ mod tests {
         assert_eq!(flaky_calls.load(Ordering::SeqCst), 2);
     }
 
+    /// Regression: a zero-attempt config used to `assert!`-panic on the
+    /// driver inside `run_job_retrying`; it is now rejected at policy
+    /// construction with a typed error, and an invalid policy smuggled in
+    /// anyway (same-crate struct literal) surfaces `EngineError` too.
     #[test]
-    #[should_panic(expected = "at least one attempt")]
-    fn zero_attempts_rejected() {
+    fn zero_attempts_rejected_without_panicking() {
+        match RetryPolicy::new(0) {
+            Err(EngineError::InvalidArgument(msg)) => {
+                assert!(msg.contains("at least one attempt"), "{msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        assert_eq!(RetryPolicy::clamped(0).max_attempts(), 1);
+        assert_eq!(RetryPolicy::none().max_attempts(), 1);
+        assert!(!RetryPolicy::none().retries_enabled());
+        assert!(RetryPolicy::default().retries_enabled());
+
+        // Defense in depth: the scheduler validates rather than asserting.
         let e = engine();
-        let _ = e.run_job_retrying("bad", vec![|| 1], RetryPolicy { max_attempts: 0 });
+        let invalid = RetryPolicy { max_attempts: 0 };
+        match e.run_job_retrying("bad", vec![|| 1], invalid) {
+            Err(EngineError::InvalidArgument(_)) => {}
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
     }
 }

@@ -32,9 +32,21 @@ pub fn render_timeline(registry: &MetricsRegistry) -> String {
 pub fn render_job(index: usize, job: &JobMetrics) -> String {
     let mut out = String::new();
     let status = if job.succeeded { "ok" } else { "FAILED" };
+    // Quiet jobs (the common case) render without a chaos segment.
+    let chaos = if job.faults.is_quiet() {
+        String::new()
+    } else {
+        format!(
+            " [chaos: {} injected, {} retried, spec {}/{}]",
+            job.faults.injected_total(),
+            job.faults.retries,
+            job.faults.speculative_wins,
+            job.faults.speculative_launched,
+        )
+    };
     let _ = writeln!(
         out,
-        "[{index}] {name} — {tasks} task(s), wall {wall:?}, busy {busy:?}, skew {skew:.2} [{variant}] [{status}]",
+        "[{index}] {name} — {tasks} task(s), wall {wall:?}, busy {busy:?}, skew {skew:.2} [{variant}] [{status}]{chaos}",
         name = job.name,
         tasks = job.tasks.len(),
         wall = job.wall,
@@ -73,7 +85,7 @@ fn scaled_len(d: Duration, max: Duration, width: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{StageVariant, TaskMetrics};
+    use crate::metrics::{FaultStats, StageVariant, TaskMetrics};
 
     fn job(name: &str, ms: &[u64]) -> JobMetrics {
         JobMetrics {
@@ -89,6 +101,7 @@ mod tests {
             wall: Duration::from_millis(ms.iter().copied().max().unwrap_or(0) + 1),
             succeeded: true,
             variant: StageVariant::default(),
+            faults: FaultStats::default(),
         }
     }
 
@@ -115,6 +128,35 @@ mod tests {
         j.variant = StageVariant::InPlace { unique: 2, cow: 0 };
         let in_place = render_job(1, &j);
         assert!(in_place.contains("[in-place 2u/0c]"));
+    }
+
+    /// Golden header line: exact format of a job with fault activity,
+    /// including the chaos segment.
+    #[test]
+    fn chaos_segment_golden_header() {
+        let mut j = job("update:in-place", &[10, 20]);
+        j.wall = Duration::from_millis(21);
+        j.faults = FaultStats {
+            injected_panics: 1,
+            injected_delays: 2,
+            injected_poisons: 0,
+            retries: 2,
+            speculative_launched: 1,
+            speculative_wins: 1,
+        };
+        let text = render_job(2, &j);
+        let header = text.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "[2] update:in-place — 2 task(s), wall 21ms, busy 30ms, \
+             skew 1.33 [immutable] [ok] [chaos: 3 injected, 2 retried, spec 1/1]"
+        );
+    }
+
+    #[test]
+    fn quiet_job_has_no_chaos_segment() {
+        let text = render_job(0, &job("quiet", &[5]));
+        assert!(!text.contains("chaos"));
     }
 
     #[test]

@@ -153,6 +153,34 @@ mod tests {
     }
 
     #[test]
+    fn surveillance_recovers_from_injected_faults_identically() {
+        use sbgt_engine::{FaultPlan, RetryPolicy};
+        use std::time::Duration;
+
+        let clean = run_surveillance(&engine(), &config(6));
+
+        let e = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_retry(RetryPolicy::clamped(2)),
+        );
+        // Kill one cohort task's first attempt and straggle another; the
+        // program-level report must come out identical to the clean run.
+        e.set_fault_plan(FaultPlan::new().panic_at("map_partitions", 0, 0).delay_at(
+            "map_partitions",
+            1,
+            0,
+            Duration::from_millis(5),
+        ));
+        let chaotic = run_surveillance(&e, &config(6));
+        assert_eq!(clean, chaotic);
+        let totals = e.metrics().fault_totals();
+        assert_eq!(totals.injected_panics, 1);
+        assert_eq!(totals.injected_delays, 1);
+        assert_eq!(totals.retries, 1);
+    }
+
+    #[test]
     fn group_testing_saves_tests_at_program_scale() {
         let e = engine();
         let report = run_surveillance(&e, &config(10));
