@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos bench
+.PHONY: verify fmt fmt-check clippy build test chaos bench bench-smoke
 
-verify: fmt-check clippy build test chaos
+verify: fmt-check clippy build test chaos bench-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -34,3 +34,10 @@ chaos:
 # Criterion benches (plain-text report; pass FILTER=<substring> to select).
 bench:
 	$(CARGO) bench -p sbgt-bench $(if $(FILTER),--bench $(FILTER),)
+
+# One-shot smoke of the look-ahead selection bench: `--test` runs every
+# benchmark once without measurement, and SBGT_BENCH_SMOKE=1 shrinks the
+# sweep to a 4096-state lattice — seconds, not minutes, so it rides in
+# `verify` to keep the bench harness compiling and running.
+bench-smoke:
+	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench lookahead -- --test

@@ -26,8 +26,7 @@ fn bench_episode(c: &mut Criterion) {
             b.iter(|| {
                 let mut s =
                     SbgtSession::new(prior.clone(), Assay::pcr_like(), SbgtConfig::default());
-                s.run_to_classification(1, |pool| truth.intersects(pool))
-                    .tests
+                s.run_to_classification(|pool| truth.intersects(pool)).tests
             })
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {

@@ -1,0 +1,100 @@
+//! Look-ahead stage selection: clone-per-branch vs branch-fused kernels.
+//!
+//! Times one full width-`L` greedy stage selection over a warmed posterior
+//! four ways, across N = 20..22 subjects and L = 1..3 pools per stage:
+//!
+//! * `serial` — the clone-per-branch baseline: every greedy step
+//!   materializes all `2^j` branch posteriors (`O(2^j · 2^N)` allocation
+//!   and traversal per step).
+//! * `fused` — the branch-fused kernel, serial: one traversal of the
+//!   *initial* posterior per greedy step accumulates every branch's
+//!   prefix-mass histogram at once; no branch posterior ever exists.
+//! * `par` — the fused kernel over rayon chunks with an elementwise
+//!   histogram reduce.
+//! * `sharded_fused` — the fused kernel as an engine aggregate stage over
+//!   a partitioned `ShardedPosterior` (the `lookahead:select` stage that
+//!   `ShardedSession::select_stage` runs).
+//!
+//! The acceptance target is fused ≥ 3x over serial at N = 22, L = 3
+//! (8 outcome branches).
+//!
+//! `SBGT_BENCH_SMOKE=1` shrinks the sweep to N = 12, L ≤ 2 so
+//! `make bench-smoke` (criterion `--test` mode) finishes in seconds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbgt::ShardedPosterior;
+use sbgt_bench::warmed_posterior;
+use sbgt_engine::{Engine, EngineConfig};
+use sbgt_lattice::kernels::ParConfig;
+use sbgt_lattice::LookaheadKernel;
+use sbgt_response::BinaryDilutionModel;
+use sbgt_select::{
+    drive_lookahead, select_stage_lookahead, select_stage_lookahead_fused,
+    select_stage_lookahead_par, LookaheadConfig,
+};
+
+const PARTS: usize = 8;
+const THREADS: usize = 4;
+
+fn smoke() -> bool {
+    std::env::var("SBGT_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn bench_lookahead(c: &mut Criterion) {
+    let (sizes, widths): (&[usize], &[usize]) = if smoke() {
+        (&[12], &[1, 2])
+    } else {
+        (&[20, 22], &[1, 2, 3])
+    };
+    let e = Engine::new(EngineConfig::default().with_threads(THREADS));
+    let model = BinaryDilutionModel::pcr_like();
+
+    for &n in sizes {
+        let dense = warmed_posterior(n);
+        let sharded = ShardedPosterior::from_dense(&dense, PARTS);
+        let order: Vec<usize> = (0..n).collect();
+        let kernel = Arc::new(LookaheadKernel::new(n, &order));
+
+        for &width in widths {
+            let cfg = LookaheadConfig {
+                width,
+                max_pool_size: 16,
+            };
+            let mut group = c.benchmark_group(format!("lookahead/N{n}/L{width}"));
+            group
+                .sample_size(10)
+                .measurement_time(Duration::from_secs(4));
+
+            group.bench_function("serial", |b| {
+                b.iter(|| select_stage_lookahead(&dense, &model, &order, &cfg).unwrap())
+            });
+            group.bench_function("fused", |b| {
+                b.iter(|| select_stage_lookahead_fused(&dense, &model, &order, &cfg).unwrap())
+            });
+            group.bench_function("par", |b| {
+                b.iter(|| {
+                    select_stage_lookahead_par(&dense, &model, &order, &cfg, ParConfig::default())
+                        .unwrap()
+                })
+            });
+            group.bench_function("sharded_fused", |b| {
+                b.iter(|| {
+                    drive_lookahead(&model, &order, &cfg, |pools| {
+                        sharded.lookahead_histograms(&e, &kernel, pools.to_vec())
+                    })
+                    .unwrap()
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_lookahead);
+criterion_main!(benches);

@@ -37,6 +37,11 @@ pub struct SbgtConfig {
     pub max_pool_size: usize,
     /// Stage cap for [`crate::SbgtSession::run_to_classification`].
     pub max_stages: usize,
+    /// Pools selected per stage (`L ≥ 1`). `1` is the classic one-test-
+    /// per-round BHA loop; larger widths run the look-ahead rules — fewer
+    /// serial stages for more total tests (experiment E8) — on the
+    /// branch-fused fast path.
+    pub stage_width: usize,
 }
 
 impl Default for SbgtConfig {
@@ -46,6 +51,7 @@ impl Default for SbgtConfig {
             rule: ClassificationRule::symmetric(0.99),
             max_pool_size: 16,
             max_stages: 200,
+            stage_width: 1,
         }
     }
 }
@@ -68,6 +74,22 @@ impl SbgtConfig {
     pub fn with_rule(mut self, rule: ClassificationRule) -> Self {
         self.rule = rule;
         self
+    }
+
+    /// Set the number of pools selected per stage.
+    pub fn with_stage_width(mut self, width: usize) -> Self {
+        assert!(width >= 1, "stage width must be at least 1");
+        self.stage_width = width;
+        self
+    }
+
+    /// The [`LookaheadConfig`](sbgt_select::LookaheadConfig) equivalent of
+    /// this session config.
+    pub fn lookahead(&self) -> sbgt_select::LookaheadConfig {
+        sbgt_select::LookaheadConfig {
+            width: self.stage_width,
+            max_pool_size: self.max_pool_size,
+        }
     }
 }
 
@@ -95,5 +117,24 @@ mod tests {
     #[should_panic(expected = "pool size cap")]
     fn zero_pool_cap_rejected() {
         let _ = SbgtConfig::default().with_max_pool_size(0);
+    }
+
+    #[test]
+    fn stage_width_maps_to_lookahead_config() {
+        let cfg = SbgtConfig::default()
+            .with_stage_width(3)
+            .with_max_pool_size(8);
+        assert_eq!(cfg.stage_width, 3);
+        let la = cfg.lookahead();
+        assert_eq!(la.width, 3);
+        assert_eq!(la.max_pool_size, 8);
+        assert!(la.validate().is_ok());
+        assert_eq!(SbgtConfig::default().stage_width, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage width")]
+    fn zero_stage_width_rejected() {
+        let _ = SbgtConfig::default().with_stage_width(0);
     }
 }

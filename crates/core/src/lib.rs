@@ -9,7 +9,7 @@
 //! | Operation class | Here |
 //! |---|---|
 //! | lattice-model manipulation | [`SbgtSession::observe`] (fused parallel posterior update) |
-//! | test selection | [`SbgtSession::select_next`] / [`SbgtSession::select_stage`] (one-pass prefix halving, look-ahead) |
+//! | test selection | [`SbgtSession::select_next`] / [`SbgtSession::select_stage`] (one-pass prefix halving, branch-fused look-ahead) |
 //! | statistical analysis | [`SbgtSession::report`] (fused parallel marginals/entropy/top-k) |
 //!
 //! Two execution backends implement the same math:
@@ -71,5 +71,5 @@ pub mod prelude {
     pub use sbgt_bayes::{ClassificationRule, CohortClassification, Prior, SubjectStatus};
     pub use sbgt_lattice::State;
     pub use sbgt_response::{BinaryDilutionModel, Dilution, GaussianResponse};
-    pub use sbgt_select::{LookaheadConfig, Selection};
+    pub use sbgt_select::{LookaheadConfig, SelectError, Selection};
 }

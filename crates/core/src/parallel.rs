@@ -32,8 +32,9 @@
 use std::sync::Arc;
 
 use sbgt_bayes::BayesError;
-use sbgt_engine::{Dataset, Engine};
-use sbgt_lattice::{DensePosterior, State};
+use sbgt_engine::{Dataset, Engine, StageVariant};
+use sbgt_lattice::branch::low_byte_popcounts;
+use sbgt_lattice::{BranchPool, DensePosterior, LookaheadKernel, State};
 use sbgt_response::ResponseModel;
 
 /// Everything one fused BHA round produces: the Bayesian update applied
@@ -404,6 +405,47 @@ impl ShardedPosterior {
         Self::suffix_sum(hist)
     }
 
+    /// Branch-fused look-ahead histograms as a read-only aggregate stage —
+    /// the engine-sharded half of the look-ahead selection fast path.
+    ///
+    /// Each task runs [`LookaheadKernel::histograms`] over its partition's
+    /// contiguous state range (committed pools shipped as a broadcast
+    /// variable, exactly like update likelihood tables) and sends one
+    /// `(m + 1) × 2^j` histogram to the driver, where the partials are
+    /// reduced elementwise in partition order. **Nothing posterior-sized is
+    /// allocated and no shard is written** — the stage reads the same
+    /// shared handles the updates mutate in place between stages. The job
+    /// is tagged [`StageVariant::Lookahead`] with its branch count so the
+    /// timeline distinguishes selection stages from update stages.
+    pub fn lookahead_histograms(
+        &self,
+        engine: &Engine,
+        kernel: &Arc<LookaheadKernel>,
+        pools: Vec<BranchPool>,
+    ) -> Vec<f64> {
+        let nb = 1usize << pools.len();
+        let rows = kernel.num_prefixes();
+        let kernel = Arc::clone(kernel);
+        let pools = engine.broadcast(pools);
+        let offsets = Arc::clone(&self.offsets);
+        let partials: Vec<Vec<f64>> = self
+            .shards
+            .try_aggregate_partitions(engine, "lookahead:select", move |pidx, probs| {
+                kernel.histograms(probs, offsets[pidx], pools.value())
+            })
+            .unwrap_or_else(|e| panic!("dataset job failed: {e}"));
+        engine
+            .metrics()
+            .annotate_last_job(StageVariant::Lookahead { branches: nb });
+        let mut hist = vec![0.0f64; rows * nb];
+        for local in partials {
+            for (h, l) in hist.iter_mut().zip(&local) {
+                *h += l;
+            }
+        }
+        hist
+    }
+
     /// Position of each subject within `order` (`u32::MAX` = not in order).
     fn positions_of(n: usize, order: &[usize]) -> Vec<u32> {
         let mut pos_of = vec![u32::MAX; n];
@@ -425,16 +467,6 @@ impl ShardedPosterior {
         }
         masses
     }
-}
-
-/// Popcount of `i & mask` for every low-byte value `i`.
-fn low_byte_popcounts(mask: u64) -> [u8; 256] {
-    let m = (mask & 0xFF) as usize;
-    let mut t = [0u8; 256];
-    for (i, e) in t.iter_mut().enumerate() {
-        *e = (i & m).count_ones() as u8;
-    }
-    t
 }
 
 /// `probs[off] *= table[popcount((base + off) & mask)]` for every element,
@@ -690,6 +722,49 @@ mod tests {
                 .unwrap_err(),
             BayesError::ImpossibleObservation
         );
+    }
+
+    #[test]
+    fn lookahead_histograms_match_dense_kernel() {
+        let e = engine();
+        let model = BinaryDilutionModel::pcr_like();
+        let dense = Prior::from_risks(&risks()).to_dense();
+        let sharded = ShardedPosterior::from_dense(&dense, 5);
+        let order = [3usize, 0, 7, 2, 5];
+        let kernel = Arc::new(LookaheadKernel::new(dense.n_subjects(), &order));
+        let make_pool = |subjects: &[usize]| {
+            let pool = State::from_subjects(subjects.iter().copied());
+            BranchPool {
+                mask: pool.bits(),
+                tables: [
+                    model.likelihood_table(false, pool.rank()),
+                    model.likelihood_table(true, pool.rank()),
+                ],
+            }
+        };
+        for pools in [
+            vec![],
+            vec![make_pool(&[3, 0])],
+            vec![make_pool(&[3, 0]), make_pool(&[7, 2, 5])],
+        ] {
+            let nb = 1usize << pools.len();
+            e.metrics().clear();
+            let sharded_hist = sharded.lookahead_histograms(&e, &kernel, pools.clone());
+            let dense_hist = kernel.histograms(dense.probs(), 0, &pools);
+            assert_eq!(sharded_hist.len(), dense_hist.len());
+            for (a, b) in sharded_hist.iter().zip(&dense_hist) {
+                assert!(close(*a, *b));
+            }
+            // The stage is tagged with its branch count and is read-only.
+            let jobs = e.metrics().jobs();
+            let job = jobs.last().unwrap();
+            assert_eq!(job.name, "lookahead:select");
+            assert_eq!(
+                job.variant,
+                sbgt_engine::StageVariant::Lookahead { branches: nb }
+            );
+            assert!(!job.variant.is_in_place());
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@ use sbgt_lattice::{DensePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 use sbgt_select::{
     select_halving_global, select_halving_global_par, select_halving_prefix,
-    select_halving_prefix_par, select_information_gain, select_stage_lookahead, InfoSelection,
-    LookaheadConfig, Selection,
+    select_halving_prefix_par, select_information_gain, select_stage_lookahead_fused,
+    select_stage_lookahead_par, InfoSelection, LookaheadConfig, SelectError, Selection,
 };
 
 use crate::config::{ExecMode, SbgtConfig};
@@ -181,17 +181,31 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
         )
     }
 
-    /// Look-ahead stage selection: up to `width` pools for one lab round.
-    pub fn select_stage(&self, width: usize) -> Vec<Selection> {
+    /// Look-ahead stage selection: up to `width` pools for one lab round,
+    /// on the **branch-fused** fast path (serial or rayon per the
+    /// configured [`ExecMode`]) — no branch posterior is materialized.
+    /// Rejects a zero `width` with [`SelectError::InvalidArgument`].
+    pub fn select_stage(&self, width: usize) -> Result<Vec<Selection>, SelectError> {
         self.select_stage_with_order(width, &self.eligible_order())
     }
 
-    fn select_stage_with_order(&self, width: usize, order: &[usize]) -> Vec<Selection> {
+    fn select_stage_with_order(
+        &self,
+        width: usize,
+        order: &[usize],
+    ) -> Result<Vec<Selection>, SelectError> {
         let cfg = LookaheadConfig {
             width,
             max_pool_size: self.config.max_pool_size,
         };
-        select_stage_lookahead(&self.posterior, &self.model, order, &cfg)
+        match self.config.exec {
+            ExecMode::Serial => {
+                select_stage_lookahead_fused(&self.posterior, &self.model, order, &cfg)
+            }
+            ExecMode::Parallel(pc) => {
+                select_stage_lookahead_par(&self.posterior, &self.model, order, &cfg, pc)
+            }
+        }
     }
 
     /// Full statistical readout (marginals, entropy, MAP, top-k, rank
@@ -207,12 +221,13 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// called with each selected pool and must return the assay outcome.
     /// Stops when the cohort is classified, the stage cap is reached, or an
     /// observation is impossible under the model.
-    pub fn run_to_classification(
-        &mut self,
-        stage_width: usize,
-        mut lab: impl FnMut(State) -> bool,
-    ) -> SessionOutcome {
-        assert!(stage_width >= 1, "stage width must be at least 1");
+    ///
+    /// The number of pools per stage comes from the
+    /// [`SbgtConfig::stage_width`] knob: `1` runs the classic one-test
+    /// BHA loop; wider stages run look-ahead selection on the branch-fused
+    /// fast path.
+    pub fn run_to_classification(&mut self, mut lab: impl FnMut(State) -> bool) -> SessionOutcome {
+        let stage_width = self.config.stage_width;
         loop {
             // One marginals pass feeds classification, the candidate
             // ordering, and selection for the whole round.
@@ -222,12 +237,13 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
                 return self.outcome(classification);
             }
             let order = Self::order_from(&marginals, &classification);
-            let selections = if stage_width == 1 {
+            let selections = if stage_width <= 1 {
                 self.select_next_with_order(&order)
                     .map(|s| vec![s])
                     .unwrap_or_default()
             } else {
                 self.select_stage_with_order(stage_width, &order)
+                    .expect("stage width validated by SbgtConfig")
             };
             if selections.is_empty() {
                 return self.outcome(classification);
@@ -319,7 +335,7 @@ mod tests {
             BinaryDilutionModel::perfect(),
             SbgtConfig::default().serial(),
         );
-        let outcome = s.run_to_classification(1, |pool| truth.intersects(pool));
+        let outcome = s.run_to_classification(|pool| truth.intersects(pool));
         assert!(outcome.classification.is_terminal());
         assert_eq!(outcome.classification.positives(), 2);
         assert!(outcome.classification.statuses[4] == sbgt_bayes::SubjectStatus::Positive);
@@ -331,17 +347,17 @@ mod tests {
     #[test]
     fn run_with_stage_width_uses_fewer_stages() {
         let truth = State::from_subjects([1, 6]);
-        let mk = || {
+        let mk = |width: usize| {
             SbgtSession::new(
                 Prior::flat(10, 0.08),
                 BinaryDilutionModel::pcr_like(),
-                SbgtConfig::default().serial(),
+                SbgtConfig::default().serial().with_stage_width(width),
             )
         };
-        let mut narrow = mk();
-        let o1 = narrow.run_to_classification(1, |pool| truth.intersects(pool));
-        let mut wide = mk();
-        let o2 = wide.run_to_classification(3, |pool| truth.intersects(pool));
+        let mut narrow = mk(1);
+        let o1 = narrow.run_to_classification(|pool| truth.intersects(pool));
+        let mut wide = mk(3);
+        let o2 = wide.run_to_classification(|pool| truth.intersects(pool));
         assert!(o1.classification.is_terminal());
         assert!(o2.classification.is_terminal());
         assert!(
@@ -392,6 +408,29 @@ mod tests {
         assert!(sel.information_gain >= 0.0);
         assert!(sel.information_gain <= 2f64.ln() + 1e-12);
         assert!(!sel.pool.is_empty());
+    }
+
+    #[test]
+    fn select_stage_dispatches_and_validates() {
+        let mut a = session(ExecMode::Serial);
+        let mut b = session(ExecMode::Parallel(ParConfig {
+            chunk_len: 17,
+            threshold: 0,
+        }));
+        let pool = State::from_subjects([0, 1, 2]);
+        a.observe(pool, true).unwrap();
+        b.observe(pool, true).unwrap();
+        let sa = a.select_stage(3).unwrap();
+        let sb = b.select_stage(3).unwrap();
+        assert_eq!(sa.len(), sb.len());
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.pool, y.pool);
+        }
+        // Zero width is a typed error, not a panic.
+        assert!(matches!(
+            a.select_stage(0),
+            Err(SelectError::InvalidArgument(_))
+        ));
     }
 
     #[test]

@@ -21,11 +21,15 @@
 //! remains the exact, non-pipelined path (fresh ordering, one extra
 //! read-only stage).
 
+use std::sync::Arc;
+
 use sbgt_bayes::{classify_marginals, BayesError, CohortClassification, Prior};
 use sbgt_engine::Engine;
-use sbgt_lattice::State;
+use sbgt_lattice::{LookaheadKernel, State};
 use sbgt_response::BinaryOutcomeModel;
-use sbgt_select::{select_halving_from_masses, Selection};
+use sbgt_select::{
+    drive_lookahead, select_halving_from_masses, LookaheadConfig, SelectError, Selection,
+};
 
 use crate::config::SbgtConfig;
 use crate::parallel::ShardedPosterior;
@@ -37,6 +41,9 @@ pub struct ShardedSession<M> {
     model: M,
     config: SbgtConfig,
     history: Vec<(State, bool)>,
+    /// Completed stages. One observation per stage on the width-1 loop;
+    /// a look-ahead stage banks several observations under one count.
+    stages: usize,
     /// Marginals of the current posterior (kept fresh by every round).
     marginals: Vec<f64>,
     /// `(order, masses)` carried over from the last fused round: all-prefix
@@ -55,6 +62,7 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
             model,
             config,
             history: Vec::new(),
+            stages: 0,
             marginals,
             pending_selection: None,
         }
@@ -75,9 +83,11 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         &self.history
     }
 
-    /// Completed stages (one fused stage per observation).
+    /// Completed stages. With `stage_width == 1` this equals the number of
+    /// observations; a wider look-ahead stage counts once for all its
+    /// pools (the bench-turnaround quantity of experiment E8).
     pub fn stages(&self) -> usize {
-        self.history.len()
+        self.stages
     }
 
     /// Current posterior marginals (no stage: kept fresh by each round).
@@ -113,10 +123,80 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         select_halving_from_masses(&order, &masses, self.config.max_pool_size)
     }
 
+    /// Select all pools of one look-ahead stage on the **engine-sharded
+    /// fused path**: each greedy step is one read-only
+    /// `lookahead:select` aggregate stage accumulating every outcome
+    /// branch's prefix-mass histogram in a single traversal of the shards
+    /// — no branch posterior is ever materialized, on the driver or on any
+    /// task. Selects bit-for-bit the same pools as the serial
+    /// clone-per-branch rule (pinned by the chaos-equivalence suite, with
+    /// and without injected faults).
+    ///
+    /// Returns an empty stage when the cohort is already classified.
+    pub fn select_stage(
+        &self,
+        engine: &Engine,
+        cfg: &LookaheadConfig,
+    ) -> Result<Vec<Selection>, SelectError> {
+        cfg.validate()?;
+        let order = self.eligible_order();
+        if order.is_empty() {
+            return Ok(Vec::new());
+        }
+        let kernel = Arc::new(LookaheadKernel::new(self.n_subjects(), &order));
+        drive_lookahead(&self.model, &order, cfg, |pools| {
+            self.posterior
+                .lookahead_histograms(engine, &kernel, pools.to_vec())
+        })
+    }
+
     /// Ingest one observed pooled test as a single fused in-place stage;
     /// returns the model evidence. Refreshes the marginals and banks the
     /// prefix masses for the next round's pipelined selection.
     pub fn observe(
+        &mut self,
+        engine: &Engine,
+        pool: State,
+        outcome: bool,
+    ) -> Result<f64, BayesError> {
+        let z = self.observe_inner(engine, pool, outcome)?;
+        self.stages += 1;
+        Ok(z)
+    }
+
+    /// Ingest all observed outcomes of one look-ahead stage under a single
+    /// stage count (the pools ran concurrently on the bench; posterior
+    /// updates are sequential multiplies, so order does not matter).
+    /// Returns the joint model evidence. On an impossible observation the
+    /// error is returned after the preceding observations of the stage
+    /// have been applied — matching a wet lab that cannot un-run tests.
+    pub fn observe_stage(
+        &mut self,
+        engine: &Engine,
+        observations: &[(State, bool)],
+    ) -> Result<f64, BayesError> {
+        let mut joint = 1.0f64;
+        let mut any = false;
+        for &(pool, outcome) in observations {
+            let z = self.observe_inner(engine, pool, outcome);
+            match z {
+                Ok(z) => joint *= z,
+                Err(e) => {
+                    if any {
+                        self.stages += 1;
+                    }
+                    return Err(e);
+                }
+            }
+            any = true;
+        }
+        if any {
+            self.stages += 1;
+        }
+        Ok(joint)
+    }
+
+    fn observe_inner(
         &mut self,
         engine: &Engine,
         pool: State,
@@ -140,11 +220,36 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
     /// real task failures with an identical outcome: every stage recovers
     /// bit-for-bit, so pool selection — which feeds on posterior bits —
     /// never diverges from a fault-free run.
+    /// With `config.stage_width > 1` each round is a look-ahead stage on
+    /// the sharded fused path: [`Self::select_stage`] picks all the
+    /// stage's pools up front, the lab runs them together, and
+    /// [`Self::observe_stage`] ingests every outcome under one stage
+    /// count.
     pub fn run_to_classification(
         &mut self,
         engine: &Engine,
         mut lab: impl FnMut(State) -> bool,
     ) -> SessionOutcome {
+        if self.config.stage_width > 1 {
+            let cfg = self.config.lookahead();
+            loop {
+                let classification = self.classify();
+                if classification.is_terminal() || self.stages() >= self.config.max_stages {
+                    return self.outcome(classification);
+                }
+                let stage = self
+                    .select_stage(engine, &cfg)
+                    .expect("stage width validated by SbgtConfig");
+                if stage.is_empty() {
+                    return self.outcome(classification);
+                }
+                let observations: Vec<(State, bool)> =
+                    stage.iter().map(|s| (s.pool, lab(s.pool))).collect();
+                if self.observe_stage(engine, &observations).is_err() {
+                    return self.outcome(self.classify());
+                }
+            }
+        }
         loop {
             let classification = self.classify();
             if classification.is_terminal() || self.stages() >= self.config.max_stages {
@@ -292,6 +397,56 @@ mod tests {
         let b = dense.select_next().unwrap();
         assert_eq!(a.pool, b.pool);
         assert!(close(a.negative_mass, b.negative_mass));
+    }
+
+    #[test]
+    fn select_stage_matches_dense_fused_selection() {
+        let e = engine();
+        let prior = distinct_risks();
+        let model = BinaryDilutionModel::pcr_like();
+        let mut s = ShardedSession::new(&e, prior.clone(), model, SbgtConfig::default(), 4);
+        s.observe(&e, State::from_subjects([0, 3, 5]), false)
+            .unwrap();
+        let cfg = LookaheadConfig {
+            width: 3,
+            max_pool_size: 8,
+        };
+        let sharded_stage = s.select_stage(&e, &cfg).unwrap();
+        // Dense ground truth from the same posterior and ordering.
+        let dense = s.posterior().to_dense(&e);
+        let order = s.eligible_order();
+        let dense_stage =
+            sbgt_select::select_stage_lookahead_fused(&dense, &model, &order, &cfg).unwrap();
+        assert_eq!(sharded_stage.len(), dense_stage.len());
+        for (a, b) in sharded_stage.iter().zip(&dense_stage) {
+            assert_eq!(a.pool, b.pool);
+            assert!(close(a.negative_mass, b.negative_mass));
+            assert!(close(a.distance, b.distance));
+        }
+    }
+
+    #[test]
+    fn wide_stage_loop_counts_stages_not_tests() {
+        let e = engine();
+        let truth = State::from_subjects([1, 6]);
+        let mut s = ShardedSession::new(
+            &e,
+            distinct_risks(),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default().with_stage_width(3),
+            4,
+        );
+        let outcome = s.run_to_classification(&e, |pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        assert!(
+            outcome.stages < outcome.tests,
+            "width-3 stages must bank several tests per stage ({} stages, {} tests)",
+            outcome.stages,
+            outcome.tests
+        );
+        // The selection stages ran on the sharded fused path.
+        let jobs = e.metrics().jobs();
+        assert!(jobs.iter().any(|j| j.name == "lookahead:select"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use sbgt_bayes::Prior;
 use sbgt_engine::{ChaosConfig, Engine, EngineConfig, FaultPlan, RetryPolicy, SpeculationConfig};
 use sbgt_lattice::State;
 use sbgt_response::BinaryDilutionModel;
+use sbgt_select::{select_stage_lookahead, LookaheadConfig, Selection};
 
 /// Fault-free reference engine.
 fn clean_engine() -> Engine {
@@ -269,8 +270,159 @@ fn sharded_session_survives_seeded_campaign_identically() {
     );
 }
 
+/// Build a sharded session over `parts` partitions and shape its posterior
+/// with a few scripted observations so selection runs on a non-trivial
+/// distribution.
+fn warmed_session(e: &Engine, risks: &[f64], parts: usize) -> ShardedSession<BinaryDilutionModel> {
+    let model = BinaryDilutionModel::pcr_like();
+    let mut session = ShardedSession::new(
+        e,
+        Prior::from_risks(risks),
+        model,
+        SbgtConfig::default(),
+        parts,
+    );
+    let n = risks.len();
+    for (i, seed) in [13u64, 29, 71].into_iter().enumerate() {
+        session
+            .observe(e, pool_from_seed(seed, n), i % 2 == 0)
+            .unwrap();
+    }
+    session
+}
+
+/// Pools must match bit-for-bit; masses/distances to 1e-9 (the sharded
+/// aggregate and the serial baseline group their float sums differently).
+fn assert_selections_match_serial(sharded: &[Selection], serial: &[Selection]) {
+    assert_eq!(sharded.len(), serial.len(), "stage width mismatch");
+    for (a, b) in sharded.iter().zip(serial) {
+        assert_eq!(a.pool, b.pool, "different pool selected");
+        assert!(
+            (a.negative_mass - b.negative_mass).abs() < 1e-9,
+            "negative mass drifted: {} vs {}",
+            a.negative_mass,
+            b.negative_mass
+        );
+        assert!(
+            (a.distance - b.distance).abs() < 1e-9,
+            "distance drifted: {} vs {}",
+            a.distance,
+            b.distance
+        );
+    }
+}
+
+/// The engine-sharded branch-fused stage selection picks exactly the pools
+/// the serial clone-per-branch rule picks, on a clean engine.
+#[test]
+fn sharded_lookahead_selection_matches_serial_rule() {
+    let e = clean_engine();
+    let risks = [0.04, 0.12, 0.07, 0.2, 0.09, 0.16, 0.03];
+    let session = warmed_session(&e, &risks, 4);
+    let order = session.eligible_order();
+    let dense = session.posterior().to_dense(&e);
+
+    for width in 1..=4usize {
+        let cfg = LookaheadConfig {
+            width,
+            max_pool_size: 4,
+        };
+        let sharded = session.select_stage(&e, &cfg).unwrap();
+        let serial =
+            select_stage_lookahead(&dense, &BinaryDilutionModel::pcr_like(), &order, &cfg).unwrap();
+        assert_selections_match_serial(&sharded, &serial);
+    }
+}
+
+/// Injected panics and stragglers on the `lookahead:select` stage never
+/// change a selection: every retried attempt re-runs the same pure
+/// histogram closure against pristine shard input, so the recovered stage
+/// is **bit-for-bit** the fault-free stage.
+#[test]
+fn lookahead_selection_survives_panic_and_straggler_bit_for_bit() {
+    let risks = [0.04, 0.12, 0.07, 0.2, 0.09, 0.16, 0.03];
+    let cfg = LookaheadConfig {
+        width: 3,
+        max_pool_size: 4,
+    };
+
+    let clean_e = clean_engine();
+    let clean = warmed_session(&clean_e, &risks, 4)
+        .select_stage(&clean_e, &cfg)
+        .unwrap();
+
+    let e = ft_engine(4);
+    // A width-3 stage runs 3 greedy steps → 3 `lookahead:select` jobs;
+    // scheduled faults match every occurrence of the stage name.
+    e.set_fault_plan(
+        FaultPlan::new()
+            .panic_at("lookahead:select", 0, 0)
+            .delay_at("lookahead:select", 2, 0, Duration::from_millis(20))
+            .panic_at("lookahead:select", 3, 0),
+    );
+    let chaotic = warmed_session(&e, &risks, 4)
+        .select_stage(&e, &cfg)
+        .unwrap();
+
+    assert_eq!(clean.len(), chaotic.len(), "stage width mismatch");
+    for (a, b) in clean.iter().zip(&chaotic) {
+        assert_eq!(a.pool, b.pool, "fault recovery changed the pool");
+        assert_eq!(a.negative_mass.to_bits(), b.negative_mass.to_bits());
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+    }
+
+    let totals = e.metrics().fault_totals();
+    assert_eq!(totals.injected_panics, 6, "{totals:?}"); // 3 steps × 2 scheduled panics
+    assert_eq!(totals.retries, totals.injected_panics);
+    assert!(totals.injected_delays >= 1, "{totals:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random cohorts, widths, and partitionings: the engine-sharded
+    /// look-ahead stage under a seeded chaos campaign selects the same
+    /// pools as both its own fault-free run (bit-for-bit) and the serial
+    /// clone-per-branch rule (pools exact, masses to 1e-9).
+    #[test]
+    fn lookahead_selection_immune_to_seeded_campaign(
+        risks in prop::collection::vec(0.01f64..0.4, 2..=7),
+        width in 1usize..=4,
+        parts in 1usize..=4,
+        campaign_seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let cfg = LookaheadConfig { width, max_pool_size: 4 };
+
+        let clean_e = clean_engine();
+        let clean_session = warmed_session(&clean_e, &risks, parts);
+        let clean = clean_session.select_stage(&clean_e, &cfg).unwrap();
+
+        let chaos_e = ft_engine(2);
+        chaos_e.set_fault_plan(FaultPlan::seeded(
+            ChaosConfig::new(campaign_seed)
+                .with_panic_rate(0.25)
+                .with_delay_rate(0.1, Duration::from_millis(1))
+                .with_poison_rate(0.1),
+        ));
+        let chaos = warmed_session(&chaos_e, &risks, parts)
+            .select_stage(&chaos_e, &cfg)
+            .unwrap();
+
+        prop_assert_eq!(clean.len(), chaos.len());
+        for (a, b) in clean.iter().zip(&chaos) {
+            prop_assert_eq!(a.pool, b.pool);
+            prop_assert_eq!(a.negative_mass.to_bits(), b.negative_mass.to_bits());
+            prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+
+        let serial = select_stage_lookahead(
+            &clean_session.posterior().to_dense(&clean_e),
+            &BinaryDilutionModel::pcr_like(),
+            &clean_session.eligible_order(),
+            &cfg,
+        ).unwrap();
+        assert_selections_match_serial(&clean, &serial);
+    }
 
     /// Random seeded campaigns over random cohorts: panics, stragglers,
     /// and poisons at every stage variant never change a single bit of the

@@ -34,6 +34,14 @@ pub enum StageVariant {
         /// Partitions that had to be cloned before mutation.
         cow: usize,
     },
+    /// Branch-fused look-ahead selection stage: tasks read shared
+    /// partitions and emit per-partition branch histograms — no partition
+    /// is written and nothing posterior-sized is allocated.
+    Lookahead {
+        /// Outcome branches scored by the stage (`2^j` after `j` committed
+        /// pools).
+        branches: usize,
+    },
 }
 
 impl StageVariant {
@@ -49,6 +57,9 @@ impl std::fmt::Display for StageVariant {
             StageVariant::Immutable => write!(f, "immutable"),
             StageVariant::InPlace { unique, cow } => {
                 write!(f, "in-place {unique}u/{cow}c")
+            }
+            StageVariant::Lookahead { branches } => {
+                write!(f, "lookahead {branches}b")
             }
         }
     }
@@ -294,6 +305,19 @@ mod tests {
         reg.clear();
         reg.annotate_last_job(StageVariant::Immutable);
         assert_eq!(reg.job_count(), 0);
+    }
+
+    #[test]
+    fn lookahead_variant_renders_branch_count() {
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("lookahead:select", &[4, 4], 4));
+        reg.annotate_last_job(StageVariant::Lookahead { branches: 8 });
+        let jobs = reg.jobs();
+        assert_eq!(jobs[0].variant, StageVariant::Lookahead { branches: 8 });
+        assert_eq!(jobs[0].variant.to_string(), "lookahead 8b");
+        // A read-only selection stage is not an in-place stage.
+        assert!(!jobs[0].variant.is_in_place());
+        assert_eq!(reg.in_place_job_count(), 0);
     }
 
     #[test]

@@ -128,6 +128,10 @@ mod tests {
         j.variant = StageVariant::InPlace { unique: 2, cow: 0 };
         let in_place = render_job(1, &j);
         assert!(in_place.contains("[in-place 2u/0c]"));
+        let mut k = job("lookahead:select", &[3, 3]);
+        k.variant = StageVariant::Lookahead { branches: 4 };
+        let lookahead = render_job(2, &k);
+        assert!(lookahead.contains("[lookahead 4b]"));
     }
 
     /// Golden header line: exact format of a job with fault activity,

@@ -238,6 +238,40 @@ pub fn par_prefix_negative_masses(
     masses
 }
 
+/// Parallel branch-fused look-ahead histograms, matching
+/// [`crate::LookaheadKernel::histograms`] over the whole posterior.
+///
+/// Each rayon chunk runs the fused kernel on its contiguous state range;
+/// the `(m + 1) × 2^j` partial histograms are reduced elementwise. This is
+/// the single-node parallel path behind `select_stage_lookahead_par`; the
+/// engine-sharded path runs the same kernel per partition instead.
+pub fn par_lookahead_histograms(
+    posterior: &DensePosterior,
+    kernel: &crate::LookaheadKernel,
+    pools: &[crate::BranchPool],
+    cfg: ParConfig,
+) -> Vec<f64> {
+    if posterior.len() < cfg.threshold {
+        return kernel.histograms(posterior.probs(), 0, pools);
+    }
+    let chunk = cfg.chunk_len.max(1);
+    let nb = crate::branch::num_branches(pools);
+    posterior
+        .probs()
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, probs)| kernel.histograms(probs, (ci * chunk) as u64, pools))
+        .reduce(
+            || vec![0.0f64; kernel.num_prefixes() * nb],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
 /// Parallel entropy (nats), matching [`DensePosterior::entropy`].
 pub fn par_entropy(posterior: &DensePosterior, cfg: ParConfig) -> f64 {
     if posterior.len() < cfg.threshold {
@@ -431,6 +465,36 @@ mod tests {
         let parallel = par_prefix_negative_masses(&d, &order, CFG);
         for (a, b) in serial.iter().zip(&parallel) {
             assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn lookahead_histograms_match_serial_kernel() {
+        use crate::branch::{num_branches, BranchPool, LookaheadKernel};
+        let d = example(10);
+        let order = [4usize, 9, 0, 2, 7, 1];
+        let kernel = LookaheadKernel::new(10, &order);
+        let make_pool = |mask: u64| {
+            let r = mask.count_ones() as usize;
+            let pos: Vec<f64> = (0..=r).map(|k| 0.1 + 0.8 * k as f64 / r as f64).collect();
+            let neg: Vec<f64> = pos.iter().map(|p| 1.0 - p).collect();
+            BranchPool {
+                mask,
+                tables: [neg, pos],
+            }
+        };
+        for pools in [
+            vec![],
+            vec![make_pool(0b10_0101_0001)],
+            vec![make_pool(0b10_0101_0001), make_pool(0b01_0010_1010)],
+        ] {
+            let serial = kernel.histograms(d.probs(), 0, &pools);
+            let parallel = par_lookahead_histograms(&d, &kernel, &pools, CFG);
+            assert_eq!(serial.len(), parallel.len());
+            assert_eq!(serial.len(), kernel.num_prefixes() * num_branches(&pools));
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_close(*a, *b);
+            }
         }
     }
 

@@ -22,12 +22,17 @@
 //! * [`SparsePosterior`] — the pruned representation (HiBGT-style) that
 //!   drops negligible-mass states;
 //! * [`kernels`] — the data-parallel versions of every dense kernel, chunked
-//!   with rayon; these are what SBGT's distributed operators lower to.
+//!   with rayon; these are what SBGT's distributed operators lower to;
+//! * [`branch`] — the branch-fused look-ahead selection kernel
+//!   ([`LookaheadKernel`]) that accumulates all `2^j` outcome-branch
+//!   prefix-mass histograms in one traversal, shared by the serial, rayon,
+//!   and engine-sharded selection paths.
 //!
 //! Throughout, the state integer doubles as the array index, so dense
 //! kernels are gather-free linear passes — the layout property that lets the
 //! partition-parallel engine shard the lattice by contiguous index ranges.
 
+pub mod branch;
 pub mod chains;
 pub mod dense;
 pub mod iter;
@@ -38,6 +43,7 @@ pub mod sparse;
 pub mod state;
 pub mod transform;
 
+pub use branch::{BranchPool, LookaheadKernel};
 pub use chains::{ChainPosterior, ChainShape};
 pub use dense::DensePosterior;
 pub use logdomain::LogPosterior;

@@ -15,6 +15,18 @@ use sbgt_lattice::{DensePosterior, State};
 
 use crate::halving::Selection;
 
+/// State count above which [`select_halving_global_par`] runs its zeta
+/// levels in parallel.
+///
+/// Each zeta level is a `Θ(2^N)` in-place butterfly pass; below ~4096
+/// states (`N ≲ 12`) the pass is microseconds and rayon's fork/join
+/// overhead dominates, while at `2^16` states and beyond the parallel
+/// levels win clearly. `2^12` is the measured crossover neighborhood on
+/// the bench boxes — close enough that either side of it is cheap, so a
+/// compile-time constant (rather than a config knob threaded through every
+/// caller) keeps the API surface flat.
+pub const GLOBAL_PAR_THRESHOLD: usize = 1 << 12;
+
 /// Exact global BHA: the best pool among **all** subsets of `eligible`
 /// with `1 <= |pool| <= max_pool_size`, in `Θ(N · 2^N)`.
 ///
@@ -52,7 +64,7 @@ fn select_impl(
         return None;
     }
     let masses = if parallel {
-        all_pool_negative_masses_par(posterior, 1 << 12)
+        all_pool_negative_masses_par(posterior, GLOBAL_PAR_THRESHOLD)
     } else {
         all_pool_negative_masses(posterior)
     };

@@ -22,7 +22,11 @@
 //! * [`lookahead`] — the multi-pool look-ahead rules: select `L` pools to
 //!   run in one stage (before any outcome is known) by greedily minimizing
 //!   the *expected* halving distance over outcome branches. Trades more
-//!   tests per stage for fewer stages — experiment E8.
+//!   tests per stage for fewer stages — experiment E8. Besides the
+//!   clone-per-branch baseline this now carries the **branch-fused** paths
+//!   (serial and rayon) that score all `2^j` outcome branches in one
+//!   lattice traversal per greedy step, plus the shared greedy driver the
+//!   engine-sharded session path plugs into.
 
 pub mod candidates;
 pub mod global;
@@ -31,10 +35,13 @@ pub mod information;
 pub mod lookahead;
 
 pub use candidates::CandidateStrategy;
-pub use global::{select_halving_global, select_halving_global_par};
+pub use global::{select_halving_global, select_halving_global_par, GLOBAL_PAR_THRESHOLD};
 pub use halving::{
     select_halving_exhaustive, select_halving_from_masses, select_halving_prefix,
     select_halving_prefix_par, select_halving_prefix_sparse, Selection,
 };
 pub use information::{select_information_gain, InfoSelection};
-pub use lookahead::{select_stage_lookahead, LookaheadConfig};
+pub use lookahead::{
+    drive_lookahead, select_stage_lookahead, select_stage_lookahead_fused,
+    select_stage_lookahead_par, LookaheadConfig, SelectError,
+};

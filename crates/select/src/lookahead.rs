@@ -7,14 +7,55 @@
 //! outcome branches of the pools already committed to the stage. More pools
 //! per stage means fewer serial stages (lower turnaround time) at the cost
 //! of more total tests — the trade-off of experiment E8.
+//!
+//! Three implementations share one greedy driver ([`drive_lookahead`]):
+//!
+//! * [`select_stage_lookahead`] — the clone-per-branch baseline: `2^j`
+//!   materialized branch posteriors after `j` committed pools, each
+//!   re-scored with a full prefix-mass pass. Kept as the reference the
+//!   fused paths are pinned against (and as the bench baseline). Width 1
+//!   fast-paths to plain prefix halving with **zero** posterior clones.
+//! * [`select_stage_lookahead_fused`] — the branch-fused kernel
+//!   ([`sbgt_lattice::LookaheadKernel`]): one traversal per greedy step
+//!   accumulates every branch's prefix histogram at once; no branch
+//!   posterior ever exists. `O(2^N · 2^j)` multiplies but `O(N · 2^j)`
+//!   memory, and no allocation proportional to the lattice.
+//! * [`select_stage_lookahead_par`] — the fused kernel over rayon chunks
+//!   ([`sbgt_lattice::kernels::par_lookahead_histograms`]).
+//!
+//! The engine-sharded variant (`ShardedSession::select_stage` in the core
+//! crate) reuses the same driver with a histogram closure that runs the
+//! kernel as an aggregate stage over posterior partitions.
 
 use std::collections::HashSet;
 
 use sbgt_bayes::{update_dense, Observation};
-use sbgt_lattice::{DensePosterior, State};
+use sbgt_lattice::branch::suffix_sum_rows;
+use sbgt_lattice::kernels::{par_lookahead_histograms, ParConfig};
+use sbgt_lattice::{BranchPool, DensePosterior, LookaheadKernel, State};
 use sbgt_response::BinaryOutcomeModel;
 
-use crate::halving::Selection;
+use crate::halving::{select_halving_from_masses, Selection};
+
+/// Errors from selection-rule configuration, mirroring the engine crate's
+/// `EngineError::InvalidArgument` convention: invalid configs are rejected
+/// with a typed error at the API boundary instead of panicking mid-stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// A selection config failed validation (zero stage width, zero pool
+    /// size cap, ...).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
 
 /// Configuration for a look-ahead stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,31 +76,208 @@ impl Default for LookaheadConfig {
     }
 }
 
+impl LookaheadConfig {
+    /// Validate the config. A zero `width` or `max_pool_size` cannot select
+    /// anything and is a caller bug, rejected with
+    /// [`SelectError::InvalidArgument`] (the pre-PR-3 behaviour was an
+    /// `assert!` panic inside the selection loop).
+    pub fn validate(&self) -> Result<(), SelectError> {
+        if self.width == 0 {
+            return Err(SelectError::InvalidArgument(
+                "stage width must be at least 1".to_string(),
+            ));
+        }
+        if self.max_pool_size == 0 {
+            return Err(SelectError::InvalidArgument(
+                "pool size cap must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Build the fused-kernel form of a committed pool: its mask plus both
+/// outcome likelihood tables.
+fn branch_pool<M: BinaryOutcomeModel>(model: &M, pool: State) -> BranchPool {
+    BranchPool {
+        mask: pool.bits(),
+        tables: [
+            model.likelihood_table(false, pool.rank()),
+            model.likelihood_table(true, pool.rank()),
+        ],
+    }
+}
+
+/// The greedy look-ahead driver shared by the fused, rayon, and
+/// engine-sharded paths.
+///
+/// `histograms(pools)` must return the `(order.len() + 1) × 2^j`
+/// branch-weighted first-positive histogram of the **initial, unnormalized**
+/// posterior under the `j` committed `pools` (layout of
+/// [`LookaheadKernel::histograms`]). The driver suffix-sums it into
+/// per-branch prefix masses, normalizes each branch by its own total,
+/// weights branches by their predictive probability (`branch total / step-0
+/// total` — exactly the chained evidences of the clone-per-branch baseline),
+/// and picks the prefix minimizing expected halving distance. Dead branches
+/// (non-finite or zero total — impossible outcomes under a degenerate
+/// model) are skipped, matching the baseline dropping failed updates.
+pub fn drive_lookahead<M: BinaryOutcomeModel>(
+    model: &M,
+    order: &[usize],
+    cfg: &LookaheadConfig,
+    mut histograms: impl FnMut(&[BranchPool]) -> Vec<f64>,
+) -> Result<Vec<Selection>, SelectError> {
+    cfg.validate()?;
+    let cap = cfg.max_pool_size.min(order.len());
+    if cap == 0 {
+        return Ok(Vec::new());
+    }
+
+    let mut pools: Vec<BranchPool> = Vec::new();
+    let mut chosen: Vec<Selection> = Vec::with_capacity(cfg.width);
+    let mut used: HashSet<u64> = HashSet::new();
+    let mut z0 = 0.0f64;
+
+    for step in 0..cfg.width {
+        let nb = 1usize << pools.len();
+        let hist = histograms(&pools);
+        debug_assert_eq!(hist.len(), (order.len() + 1) * nb);
+        let masses = suffix_sum_rows(&hist, nb);
+        if step == 0 {
+            z0 = masses[0];
+            if !(z0.is_finite() && z0 > 0.0) {
+                return Ok(Vec::new());
+            }
+        }
+
+        let mut expected_mass = vec![0.0f64; cap + 1];
+        let mut expected_dist = vec![0.0f64; cap + 1];
+        let mut live = 0usize;
+        for b in 0..nb {
+            let total = masses[b];
+            if !(total.is_finite() && total > 0.0) {
+                continue;
+            }
+            live += 1;
+            let w = total / z0;
+            for k in 1..=cap {
+                let m = masses[k * nb + b] / total;
+                expected_mass[k] += w * m;
+                expected_dist[k] += w * (m - 0.5).abs();
+            }
+        }
+        if live == 0 {
+            break;
+        }
+
+        let mut best: Option<(usize, State)> = None;
+        for k in 1..=cap {
+            let pool = State::from_subjects(order[..k].iter().copied());
+            if used.contains(&pool.bits()) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bk, _)) => expected_dist[k] + Selection::DISTANCE_EPS < expected_dist[bk],
+            };
+            if better {
+                best = Some((k, pool));
+            }
+        }
+        let Some((k, pool)) = best else { break };
+        used.insert(pool.bits());
+        chosen.push(Selection {
+            pool,
+            negative_mass: expected_mass[k],
+            distance: expected_dist[k],
+        });
+
+        if chosen.len() == cfg.width {
+            break;
+        }
+        pools.push(branch_pool(model, pool));
+    }
+    Ok(chosen)
+}
+
+/// Branch-fused look-ahead selection over the dense posterior, serial.
+///
+/// Selects the same pools as [`select_stage_lookahead`] (pinned bit-for-bit
+/// by property tests) without ever materializing a branch posterior: each
+/// greedy step is one fused traversal of the *initial* posterior
+/// accumulating all `2^j` branch histograms at once.
+pub fn select_stage_lookahead_fused<M: BinaryOutcomeModel>(
+    posterior: &DensePosterior,
+    model: &M,
+    order: &[usize],
+    cfg: &LookaheadConfig,
+) -> Result<Vec<Selection>, SelectError> {
+    cfg.validate()?;
+    let kernel = LookaheadKernel::new(posterior.n_subjects(), order);
+    drive_lookahead(model, order, cfg, |pools| {
+        kernel.histograms(posterior.probs(), 0, pools)
+    })
+}
+
+/// Parallel variant of [`select_stage_lookahead_fused`]: the fused kernel
+/// runs over rayon chunks and the partial histograms are reduced
+/// elementwise.
+pub fn select_stage_lookahead_par<M: BinaryOutcomeModel>(
+    posterior: &DensePosterior,
+    model: &M,
+    order: &[usize],
+    cfg: &LookaheadConfig,
+    par: ParConfig,
+) -> Result<Vec<Selection>, SelectError> {
+    cfg.validate()?;
+    let kernel = LookaheadKernel::new(posterior.n_subjects(), order);
+    drive_lookahead(model, order, cfg, |pools| {
+        par_lookahead_histograms(posterior, &kernel, pools, par)
+    })
+}
+
 /// Select the pools of one stage by greedy expected-halving search over
-/// prefix candidates of `order` (subjects by ascending marginal).
+/// prefix candidates of `order` (subjects by ascending marginal) — the
+/// clone-per-branch baseline.
 ///
 /// Returns up to `cfg.width` selections; each [`Selection`]'s
 /// `negative_mass`/`distance` are the **expected** values over the outcome
 /// branches of the previously committed pools (for the first pool they
 /// coincide with the plain halving quantities). Fewer pools are returned
 /// when candidates run out or every branch dies (impossible outcomes under
-/// a degenerate model).
+/// a degenerate model). An invalid config is rejected with
+/// [`SelectError::InvalidArgument`].
+///
+/// `width == 1` fast-paths to plain prefix halving with zero posterior
+/// clones. For `width > 1` prefer [`select_stage_lookahead_fused`] /
+/// [`select_stage_lookahead_par`]: they select identical pools without the
+/// `O(2^j · 2^N)` branch materialization.
 pub fn select_stage_lookahead<M: BinaryOutcomeModel>(
     posterior: &DensePosterior,
     model: &M,
     order: &[usize],
     cfg: &LookaheadConfig,
-) -> Vec<Selection> {
-    assert!(cfg.width >= 1, "stage width must be at least 1");
+) -> Result<Vec<Selection>, SelectError> {
+    cfg.validate()?;
     let cap = cfg.max_pool_size.min(order.len());
     if cap == 0 {
-        return Vec::with_capacity(0);
+        return Ok(Vec::new());
+    }
+
+    if cfg.width == 1 {
+        // Degenerate stage: the expected halving distance over zero
+        // committed pools IS the plain halving distance — reuse the
+        // all-prefix kernel directly instead of cloning into a branch.
+        let masses = posterior.prefix_negative_masses(order);
+        return Ok(select_halving_from_masses(order, &masses, cap)
+            .into_iter()
+            .collect());
     }
 
     // Outcome branches: (normalized posterior, probability weight).
     let mut branches: Vec<(DensePosterior, f64)> = vec![(posterior.clone(), 1.0)];
     if branches[0].0.try_normalize().is_none() {
-        return Vec::with_capacity(0);
+        return Ok(Vec::new());
     }
 
     let mut chosen: Vec<Selection> = Vec::with_capacity(cfg.width);
@@ -90,7 +308,7 @@ pub fn select_stage_lookahead<M: BinaryOutcomeModel>(
             }
             let better = match best {
                 None => true,
-                Some((bk, _)) => expected_dist[k] + 1e-12 < expected_dist[bk],
+                Some((bk, _)) => expected_dist[k] + Selection::DISTANCE_EPS < expected_dist[bk],
             };
             if better {
                 best = Some((k, pool));
@@ -125,7 +343,7 @@ pub fn select_stage_lookahead<M: BinaryOutcomeModel>(
         }
         branches = next;
     }
-    chosen
+    Ok(chosen)
 }
 
 #[cfg(test)]
@@ -150,7 +368,7 @@ mod tests {
             width: 1,
             max_pool_size: 5,
         };
-        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg).unwrap();
         let plain = select_halving_prefix(&post, &order, 5).unwrap();
         assert_eq!(stage.len(), 1);
         assert_eq!(stage[0].pool, plain.pool);
@@ -167,7 +385,7 @@ mod tests {
             width: 3,
             max_pool_size: 8,
         };
-        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg).unwrap();
         assert_eq!(stage.len(), 3);
         let mut seen = std::collections::HashSet::new();
         for s in &stage {
@@ -186,7 +404,7 @@ mod tests {
             width: 2,
             max_pool_size: 4,
         };
-        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg).unwrap();
         for s in &stage {
             assert!(s.distance >= -1e-12 && s.distance <= 0.5 + 1e-12);
             assert!(s.negative_mass >= -1e-12 && s.negative_mass <= 1.0 + 1e-12);
@@ -198,7 +416,12 @@ mod tests {
         let post = DensePosterior::from_risks(&[0.1, 0.1]);
         let model = BinaryDilutionModel::pcr_like();
         let cfg = LookaheadConfig::default();
-        assert!(select_stage_lookahead(&post, &model, &[], &cfg).is_empty());
+        assert!(select_stage_lookahead(&post, &model, &[], &cfg)
+            .unwrap()
+            .is_empty());
+        assert!(select_stage_lookahead_fused(&post, &model, &[], &cfg)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -206,18 +429,114 @@ mod tests {
         let post = DensePosterior::from_probs(2, vec![0.0; 4]);
         let model = BinaryDilutionModel::pcr_like();
         let cfg = LookaheadConfig::default();
-        assert!(select_stage_lookahead(&post, &model, &[0, 1], &cfg).is_empty());
+        assert!(select_stage_lookahead(&post, &model, &[0, 1], &cfg)
+            .unwrap()
+            .is_empty());
+        assert!(select_stage_lookahead_fused(&post, &model, &[0, 1], &cfg)
+            .unwrap()
+            .is_empty());
+        let wide = LookaheadConfig {
+            width: 3,
+            max_pool_size: 2,
+        };
+        assert!(select_stage_lookahead(&post, &model, &[0, 1], &wide)
+            .unwrap()
+            .is_empty());
+        assert!(select_stage_lookahead_fused(&post, &model, &[0, 1], &wide)
+            .unwrap()
+            .is_empty());
     }
 
+    /// Regression: a zero-width (or zero-cap) config used to `assert!`-panic
+    /// inside the selection loop; it is now rejected with a typed error,
+    /// matching the engine crate's `RetryPolicy::new(0)` convention.
     #[test]
-    #[should_panic(expected = "stage width")]
-    fn zero_width_panics() {
+    fn invalid_config_rejected_without_panicking() {
         let post = DensePosterior::from_risks(&[0.1]);
         let model = BinaryDilutionModel::pcr_like();
-        let cfg = LookaheadConfig {
+        let zero_width = LookaheadConfig {
             width: 0,
             max_pool_size: 1,
         };
-        let _ = select_stage_lookahead(&post, &model, &[0], &cfg);
+        match select_stage_lookahead(&post, &model, &[0], &zero_width) {
+            Err(SelectError::InvalidArgument(msg)) => {
+                assert!(msg.contains("stage width"), "{msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        let zero_cap = LookaheadConfig {
+            width: 1,
+            max_pool_size: 0,
+        };
+        match select_stage_lookahead_fused(&post, &model, &[0], &zero_cap) {
+            Err(SelectError::InvalidArgument(msg)) => {
+                assert!(msg.contains("pool size cap"), "{msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        assert!(zero_width.validate().is_err());
+        assert!(zero_cap.validate().is_err());
+        assert!(LookaheadConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn fused_selects_identical_pools_to_baseline() {
+        let risks = [0.03, 0.07, 0.12, 0.2, 0.04, 0.09, 0.15, 0.25, 0.02];
+        let post = DensePosterior::from_risks(&risks);
+        let order = ascending_order(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        for width in 1..=4 {
+            let cfg = LookaheadConfig {
+                width,
+                max_pool_size: 6,
+            };
+            let base = select_stage_lookahead(&post, &model, &order, &cfg).unwrap();
+            let fused = select_stage_lookahead_fused(&post, &model, &order, &cfg).unwrap();
+            let par = select_stage_lookahead_par(
+                &post,
+                &model,
+                &order,
+                &cfg,
+                ParConfig {
+                    chunk_len: 64,
+                    threshold: 0,
+                },
+            )
+            .unwrap();
+            assert_eq!(base.len(), fused.len(), "width {width}");
+            for (b, f) in base.iter().zip(&fused) {
+                assert_eq!(b.pool, f.pool, "width {width}");
+                assert!((b.negative_mass - f.negative_mass).abs() < 1e-9);
+                assert!((b.distance - f.distance).abs() < 1e-9);
+            }
+            for (f, p) in fused.iter().zip(&par) {
+                assert_eq!(f.pool, p.pool, "width {width}");
+                assert!((f.negative_mass - p.negative_mass).abs() < 1e-12);
+                assert!((f.distance - p.distance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_works_on_unnormalized_posterior() {
+        // The fused path never normalizes; scale invariance must hold.
+        let risks = [0.05, 0.11, 0.3, 0.08];
+        let mut post = DensePosterior::from_risks(&risks);
+        for p in post.probs_mut() {
+            *p *= 7.25;
+        }
+        let order = ascending_order(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig {
+            width: 2,
+            max_pool_size: 4,
+        };
+        let base = select_stage_lookahead(&post, &model, &order, &cfg).unwrap();
+        let fused = select_stage_lookahead_fused(&post, &model, &order, &cfg).unwrap();
+        assert_eq!(base.len(), fused.len());
+        for (b, f) in base.iter().zip(&fused) {
+            assert_eq!(b.pool, f.pool);
+            assert!((b.negative_mass - f.negative_mass).abs() < 1e-9);
+        }
     }
 }

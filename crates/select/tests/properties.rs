@@ -4,11 +4,13 @@
 
 use proptest::prelude::*;
 
+use sbgt_lattice::kernels::ParConfig;
 use sbgt_lattice::{DensePosterior, State};
 use sbgt_response::{BinaryDilutionModel, Dilution};
 use sbgt_select::{
     select_halving_exhaustive, select_halving_global, select_halving_prefix,
-    select_information_gain, select_stage_lookahead, CandidateStrategy, LookaheadConfig,
+    select_information_gain, select_stage_lookahead, select_stage_lookahead_fused,
+    select_stage_lookahead_par, CandidateStrategy, LookaheadConfig,
 };
 
 fn risks_strategy(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -81,13 +83,59 @@ proptest! {
             width,
             max_pool_size: cap,
         };
-        let stage = select_stage_lookahead(&post, &model, &order, &cfg);
+        let stage = select_stage_lookahead(&post, &model, &order, &cfg).unwrap();
         prop_assert!(stage.len() <= width);
         let mut seen = std::collections::HashSet::new();
         for s in &stage {
             prop_assert!(seen.insert(s.pool.bits()), "duplicate pool");
             prop_assert!(s.pool.rank() as usize <= cap);
             prop_assert!(s.distance >= -1e-12 && s.distance <= 0.5 + 1e-12);
+        }
+    }
+
+    /// The branch-fused look-ahead paths select bit-for-bit identical pools
+    /// to the clone-per-branch baseline across random priors, dilution
+    /// strengths, widths, and pool caps — the contract that lets the fast
+    /// paths replace the baseline everywhere.
+    #[test]
+    fn lookahead_fused_matches_baseline(
+        risks in risks_strategy(7),
+        width in 1usize..5,
+        cap in 1usize..8,
+        dilution_alpha in 1.0f64..8.0,
+    ) {
+        let post = DensePosterior::from_risks(&risks);
+        let model = BinaryDilutionModel::new(
+            0.95,
+            0.99,
+            Dilution::Exponential { alpha: dilution_alpha },
+        );
+        let order = ascending(&risks);
+        let cfg = LookaheadConfig {
+            width,
+            max_pool_size: cap,
+        };
+        let base = select_stage_lookahead(&post, &model, &order, &cfg).unwrap();
+        let fused = select_stage_lookahead_fused(&post, &model, &order, &cfg).unwrap();
+        let par = select_stage_lookahead_par(
+            &post,
+            &model,
+            &order,
+            &cfg,
+            ParConfig { chunk_len: 32, threshold: 0 },
+        ).unwrap();
+
+        prop_assert_eq!(base.len(), fused.len());
+        prop_assert_eq!(fused.len(), par.len());
+        for (b, f) in base.iter().zip(&fused) {
+            prop_assert_eq!(b.pool, f.pool);
+            prop_assert!((b.negative_mass - f.negative_mass).abs() < 1e-9);
+            prop_assert!((b.distance - f.distance).abs() < 1e-9);
+        }
+        for (f, p) in fused.iter().zip(&par) {
+            prop_assert_eq!(f.pool, p.pool);
+            prop_assert!((f.negative_mass - p.negative_mass).abs() < 1e-12);
+            prop_assert!((f.distance - p.distance).abs() < 1e-12);
         }
     }
 

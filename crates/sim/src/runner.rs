@@ -19,7 +19,7 @@ use sbgt_lattice::{DensePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 use sbgt_select::{
     select_halving_exhaustive, select_halving_global, select_halving_prefix,
-    select_information_gain, select_stage_lookahead, CandidateStrategy, LookaheadConfig,
+    select_information_gain, select_stage_lookahead_fused, CandidateStrategy, LookaheadConfig,
 };
 
 use crate::metrics::{ConfusionMatrix, EpisodeStats};
@@ -221,7 +221,10 @@ fn select_stage<M: BinaryOutcomeModel>(
                 width,
                 max_pool_size: cfg.max_pool_size,
             };
-            select_stage_lookahead(posterior, model, eligible, &la)
+            // Branch-fused fast path: identical pools to the
+            // clone-per-branch rule without materializing branches.
+            select_stage_lookahead_fused(posterior, model, eligible, &la)
+                .expect("episode config guarantees a positive width")
                 .into_iter()
                 .map(|s| s.pool)
                 .collect()

@@ -42,7 +42,7 @@ fn main() {
         u < p_pos
     };
 
-    let outcome = session.run_to_classification(1, &mut lab);
+    let outcome = session.run_to_classification(&mut lab);
 
     println!();
     println!("{}", outcome.to_table());

@@ -86,7 +86,7 @@ fn sbgt_and_baseline_classify_identically() {
         model,
         SbgtConfig::default().serial(),
     );
-    let fast_out = fast.run_to_classification(1, |pool| truth.intersects(pool));
+    let fast_out = fast.run_to_classification(|pool| truth.intersects(pool));
 
     let mut base = BaselineSession::new(
         Prior::from_risks(&risks),

@@ -89,7 +89,7 @@ fn credible_set_resolves_with_session() {
         SbgtConfig::default().serial(),
     );
     let before = credible_set(session.posterior(), 0.95);
-    session.run_to_classification(1, |pool| truth.intersects(pool));
+    session.run_to_classification(|pool| truth.intersects(pool));
     let after = credible_set(session.posterior(), 0.95);
     assert!(after.size() < before.size());
     assert_eq!(after.size(), 1);
