@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos bench bench-smoke
+.PHONY: verify fmt fmt-check clippy build test chaos service-smoke bench bench-smoke
 
-verify: fmt-check clippy build test chaos bench-smoke
+verify: fmt-check clippy build test chaos service-smoke bench-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -31,6 +31,12 @@ chaos:
 	$(CARGO) test -p sbgt --test chaos_equivalence -q
 	$(CARGO) test -p sbgt-engine -q -- stage:: chaos:: retry::
 
+# Surveillance-service smoke: a short seeded load through the full service
+# stack (bounded ingress -> batcher -> round-robin workers -> shared
+# engine) must drain with every cohort classified and nothing shed.
+service-smoke:
+	$(CARGO) test -p sbgt-service --test smoke -q
+
 # Criterion benches (plain-text report; pass FILTER=<substring> to select).
 bench:
 	$(CARGO) bench -p sbgt-bench $(if $(FILTER),--bench $(FILTER),)
@@ -41,3 +47,4 @@ bench:
 # `verify` to keep the bench harness compiling and running.
 bench-smoke:
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench lookahead -- --test
+	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench service -- --test

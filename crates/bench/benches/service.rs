@@ -1,0 +1,80 @@
+//! Surveillance-service throughput: specimens/second through the full
+//! stack (bounded ingress → batcher → round-robin workers → shared
+//! engine) as the worker count grows.
+//!
+//! One iteration starts a fresh service, submits a fixed seeded Poisson
+//! workload, and drains it to completion, so the measurement covers
+//! batching, scheduling, and every session round — not just the hot
+//! kernels. The committed reference numbers live in `BENCH_service.json`.
+//!
+//! `SBGT_BENCH_SMOKE=1` shrinks the workload and the worker sweep so
+//! `make bench-smoke` (criterion `--test` mode) finishes in seconds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbgt_engine::{EngineConfig, SharedEngine};
+use sbgt_service::{ServiceConfig, Specimen, SurveillanceService};
+use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
+
+const BATCH: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var("SBGT_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn workload(cohorts: usize) -> Vec<Specimen> {
+    generate_arrivals(&TrafficConfig::mixed(1000.0, cohorts * BATCH, 42))
+        .into_iter()
+        .map(|a| Specimen {
+            risk: a.risk,
+            infected: a.infected,
+        })
+        .collect()
+}
+
+fn run_once(specimens: &[Specimen], workers: usize) -> usize {
+    let engine = SharedEngine::new(EngineConfig::default().with_threads(2));
+    let config = ServiceConfig {
+        workers,
+        queue_capacity: specimens.len(),
+        batch_size: BATCH,
+        dense_threshold: 7,
+        parts: 4,
+        base_seed: 42,
+        ..ServiceConfig::default()
+    };
+    let service = SurveillanceService::start(engine, config).expect("service starts");
+    for s in specimens {
+        service.submit(*s).expect("bench queue never fills");
+    }
+    let reports = service.drain();
+    assert_eq!(reports.len(), specimens.len() / BATCH);
+    reports.iter().map(|r| r.outcome.tests).sum()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let (cohorts, worker_counts): (usize, &[usize]) = if smoke() {
+        (6, &[1, 2])
+    } else {
+        (32, &[1, 2, 4, 8])
+    };
+    let specimens = workload(cohorts);
+
+    let mut group = c.benchmark_group(format!("service/cohorts{cohorts}"));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for &workers in worker_counts {
+        group.bench_function(format!("workers{workers}"), |b| {
+            b.iter(|| run_once(&specimens, workers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Regenerate every reconstructed SBGT table/figure (E1–E12).
+//! Regenerate every reconstructed SBGT table/figure (E1–E13).
 //!
 //! Usage:
 //!   experiments [--exp e1[,e2,...]] [--quick]
@@ -86,6 +86,123 @@ fn main() {
     if want("e12") {
         e12_selection_rules(quick);
     }
+    if want("e13") {
+        e13_service_throughput(quick);
+    }
+}
+
+/// E13 — surveillance-service throughput and bit-for-bit equivalence.
+///
+/// Drives one fixed seeded Poisson workload through the full service
+/// stack (bounded ingress → batcher → fair round-robin workers → shared
+/// engine) at several worker counts, checks every run classifies
+/// identically to a serial per-cohort reference, and reports end-to-end
+/// throughput.
+fn e13_service_throughput(quick: bool) {
+    use sbgt_service::{batch_specimens, run_cohort_serial, Specimen, SurveillanceService};
+    use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
+
+    println!("## E13 — surveillance service throughput (extension)\n");
+    let cohorts = if quick { 8 } else { 32 };
+    let batch = 8usize;
+    let config = sbgt_service::ServiceConfig {
+        queue_capacity: cohorts * batch,
+        batch_size: batch,
+        dense_threshold: 7,
+        parts: 4,
+        base_seed: 0xE13,
+        ..sbgt_service::ServiceConfig::default()
+    };
+    let specimens: Vec<Specimen> =
+        generate_arrivals(&TrafficConfig::mixed(1000.0, cohorts * batch, 2026))
+            .into_iter()
+            .map(|a| Specimen {
+                risk: a.risk,
+                infected: a.infected,
+            })
+            .collect();
+
+    let engine = sbgt_engine::SharedEngine::new(EngineConfig::default().with_threads(2));
+    let serial: Vec<_> = batch_specimens(&specimens, batch, config.base_seed)
+        .iter()
+        .map(|spec| {
+            run_cohort_serial(
+                &engine,
+                spec,
+                config.model,
+                config.session,
+                config.dense_threshold,
+                config.parts,
+            )
+        })
+        .collect();
+    let total_tests: usize = serial.iter().map(|o| o.tests).sum();
+
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = sbgt_engine::SharedEngine::new(EngineConfig::default().with_threads(2));
+        let cfg = sbgt_service::ServiceConfig {
+            workers,
+            ..config.clone()
+        };
+        let (reports, wall) = timed(|| {
+            let service = SurveillanceService::start(engine.clone(), cfg).expect("service starts");
+            for s in &specimens {
+                service.submit(*s).expect("queue sized for the workload");
+            }
+            service.drain()
+        });
+        let identical = reports.len() == serial.len()
+            && reports.iter().zip(&serial).all(|(r, e)| {
+                r.outcome == *e
+                    && r.outcome
+                        .marginals
+                        .iter()
+                        .zip(&e.marginals)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            });
+        let stats = engine.metrics().service_stats();
+        let throughput = specimens.len() as f64 / wall.as_secs_f64();
+        rows.push(vec![
+            workers.to_string(),
+            fmt_duration(wall),
+            format!("{throughput:.0}"),
+            stats
+                .round_latency_percentile(0.5)
+                .map(fmt_duration)
+                .unwrap_or_else(|| "—".into()),
+            stats
+                .round_latency_percentile(0.99)
+                .map(fmt_duration)
+                .unwrap_or_else(|| "—".into()),
+            if identical {
+                "✓ bit-for-bit"
+            } else {
+                "✗ DIVERGED"
+            }
+            .into(),
+        ]);
+    }
+    println!(
+        "({} specimens in {cohorts} cohorts of {batch}, mixed two-class risk \
+         traffic, {total_tests} assays in the serial reference; engine fixed \
+         at 2 threads while service workers sweep)\n",
+        specimens.len()
+    );
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "workers",
+                "wall",
+                "specimens/s",
+                "round p50",
+                "round p99",
+                "vs serial reference"
+            ],
+            &rows
+        )
+    );
 }
 
 /// Classification thresholds adapted to the scenario prevalence: the

@@ -3,6 +3,24 @@
 use sbgt_bayes::ClassificationRule;
 use sbgt_lattice::kernels::ParConfig;
 
+/// Typed configuration error — the validated-construction convention shared
+/// with `RetryPolicy::new(0)` and `LookaheadConfig::validate`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter is outside its valid range; the message names it.
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidArgument(msg) => write!(f, "invalid SBGT configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// How the `Θ(2^N)` kernels execute.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecMode {
@@ -57,6 +75,38 @@ impl Default for SbgtConfig {
 }
 
 impl SbgtConfig {
+    /// Check every parameter; [`ConfigError::InvalidArgument`] names the
+    /// first violation. Callers that assemble a config from untrusted input
+    /// (e.g. a service configuration) get a typed error instead of the
+    /// builder panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.stage_width == 0 {
+            return Err(ConfigError::InvalidArgument(
+                "stage width must be at least 1".into(),
+            ));
+        }
+        if self.max_pool_size == 0 {
+            return Err(ConfigError::InvalidArgument(
+                "pool size cap must be at least 1".into(),
+            ));
+        }
+        if self.max_stages == 0 {
+            return Err(ConfigError::InvalidArgument(
+                "stage cap must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder terminal: panic (with the [`Self::validate`] message) on an
+    /// invalid combination, keeping the fluent builders infallible.
+    fn validated(self) -> Self {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+        self
+    }
+
     /// Force serial kernels.
     pub fn serial(mut self) -> Self {
         self.exec = ExecMode::Serial;
@@ -65,9 +115,8 @@ impl SbgtConfig {
 
     /// Set the assay's pool-size cap.
     pub fn with_max_pool_size(mut self, cap: usize) -> Self {
-        assert!(cap >= 1, "pool size cap must be at least 1");
         self.max_pool_size = cap;
-        self
+        self.validated()
     }
 
     /// Set the classification rule.
@@ -78,9 +127,8 @@ impl SbgtConfig {
 
     /// Set the number of pools selected per stage.
     pub fn with_stage_width(mut self, width: usize) -> Self {
-        assert!(width >= 1, "stage width must be at least 1");
         self.stage_width = width;
-        self
+        self.validated()
     }
 
     /// The [`LookaheadConfig`](sbgt_select::LookaheadConfig) equivalent of
@@ -136,5 +184,37 @@ mod tests {
     #[should_panic(expected = "stage width")]
     fn zero_stage_width_rejected() {
         let _ = SbgtConfig::default().with_stage_width(0);
+    }
+
+    #[test]
+    fn validate_returns_typed_errors() {
+        assert!(SbgtConfig::default().validate().is_ok());
+        let zero_width = SbgtConfig {
+            stage_width: 0,
+            ..SbgtConfig::default()
+        };
+        match zero_width.validate() {
+            Err(ConfigError::InvalidArgument(msg)) => assert!(msg.contains("stage width")),
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        let zero_pool = SbgtConfig {
+            max_pool_size: 0,
+            ..SbgtConfig::default()
+        };
+        match zero_pool.validate() {
+            Err(ConfigError::InvalidArgument(msg)) => assert!(msg.contains("pool size cap")),
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        let zero_stages = SbgtConfig {
+            max_stages: 0,
+            ..SbgtConfig::default()
+        };
+        match zero_stages.validate() {
+            Err(ConfigError::InvalidArgument(msg)) => assert!(msg.contains("stage cap")),
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        // The error renders its message (service logs shed typed reasons).
+        let rendered = zero_width.validate().unwrap_err().to_string();
+        assert!(rendered.contains("invalid SBGT configuration"));
     }
 }

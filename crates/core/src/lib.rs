@@ -52,21 +52,23 @@ pub mod parallel;
 pub mod report;
 pub mod session;
 pub mod sharded_session;
+pub mod snapshot;
 pub mod sparse_session;
 
 pub use baseline::BaselineSession;
-pub use config::{ExecMode, SbgtConfig};
+pub use config::{ConfigError, ExecMode, SbgtConfig};
 pub use parallel::{FusedRound, ShardedPosterior};
 pub use report::SessionOutcome;
-pub use session::SbgtSession;
+pub use session::{RoundStep, SbgtSession};
 pub use sharded_session::ShardedSession;
+pub use snapshot::{SessionSnapshot, SnapshotError};
 pub use sparse_session::SparseSession;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
-        BaselineSession, ExecMode, SbgtConfig, SbgtSession, SessionOutcome, ShardedSession,
-        SparseSession,
+        BaselineSession, ConfigError, ExecMode, RoundStep, SbgtConfig, SbgtSession, SessionOutcome,
+        SessionSnapshot, ShardedSession, SnapshotError, SparseSession,
     };
     pub use sbgt_bayes::{ClassificationRule, CohortClassification, Prior, SubjectStatus};
     pub use sbgt_lattice::State;

@@ -109,6 +109,57 @@ impl ShardedPosterior {
         self.total
     }
 
+    /// Exact unnormalized shard values, one vector per partition — the
+    /// checkpoint payload. Together with [`Self::total`] this is the full
+    /// posterior state; [`Self::from_shards`] rebuilds it bit-for-bit.
+    pub fn shard_values(&self) -> Vec<Vec<f64>> {
+        self.shards
+            .partition_handles()
+            .iter()
+            .map(|h| h.as_ref().clone())
+            .collect()
+    }
+
+    /// Rebuild a posterior from checkpointed shards. Partition boundaries
+    /// are preserved exactly as captured, so every subsequent per-partition
+    /// reduction — and therefore every downstream float — matches the
+    /// pre-checkpoint posterior bit-for-bit.
+    pub fn from_shards(
+        n_subjects: usize,
+        shards: Vec<Vec<f64>>,
+        total: f64,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let want = 1usize
+            .checked_shl(n_subjects as u32)
+            .filter(|_| n_subjects <= 63)
+            .ok_or_else(|| {
+                SnapshotError::Corrupt(format!("cohort size {n_subjects} overflows u64"))
+            })?;
+        let got: usize = shards.iter().map(|s| s.len()).sum();
+        if got != want {
+            return Err(SnapshotError::Corrupt(format!(
+                "shards hold {got} values, lattice needs {want}"
+            )));
+        }
+        if shards.iter().any(|s| s.is_empty()) {
+            return Err(SnapshotError::Corrupt("empty shard".into()));
+        }
+        if !(total.is_finite() && total > 0.0) {
+            return Err(SnapshotError::Corrupt(format!(
+                "non-positive total {total}"
+            )));
+        }
+        let shards = Dataset::from_partitions(shards);
+        let offsets = Self::offsets_of(&shards);
+        Ok(ShardedPosterior {
+            n_subjects,
+            shards,
+            offsets: Arc::new(offsets),
+            total,
+        })
+    }
+
     /// Collect back into a dense, **normalized** posterior.
     pub fn to_dense(&self, _engine: &Engine) -> DensePosterior {
         let mut probs = self.shards.collect();

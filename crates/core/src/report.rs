@@ -1,9 +1,11 @@
 //! Session outcome reporting.
 
+use serde::{Deserialize, Serialize};
+
 use sbgt_bayes::{CohortClassification, SubjectStatus};
 
 /// Final result of driving a session to classification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionOutcome {
     /// Total assays consumed.
     pub tests: usize,
@@ -55,6 +57,53 @@ impl SessionOutcome {
         }
         out
     }
+
+    /// Render the outcome as a single JSON object — the machine-readable
+    /// counterpart of [`Self::to_table`], used by the service egress and the
+    /// `experiments` binary. Hand-emitted (the vendored `serde` is marker
+    /// traits only); floats use Rust's shortest round-trip formatting, and
+    /// non-finite values become `null`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"subjects\":{},\"tests\":{},\"stages\":{},\"tests_per_subject\":{},\"terminal\":{},\"positives\":{},\"negatives\":{},\"statuses\":[",
+            self.subjects,
+            self.tests,
+            self.stages,
+            json_f64(self.tests_per_subject()),
+            self.classification.is_terminal(),
+            self.classification.positives(),
+            self.classification.negatives(),
+        );
+        for (i, s) in self.classification.statuses.iter().enumerate() {
+            let label = match s {
+                SubjectStatus::Positive => "positive",
+                SubjectStatus::Negative => "negative",
+                SubjectStatus::Undetermined => "undetermined",
+            };
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\"{label}\"");
+        }
+        out.push_str("],\"marginals\":[");
+        for (i, m) in self.marginals.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}{}", json_f64(*m));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON-safe float rendering: shortest round-trip decimal, `null` for
+/// non-finite values (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +131,50 @@ mod tests {
         assert!(table.contains("???"));
         assert!(table.contains("tests/subject: 1.667"));
         assert!((outcome.tests_per_subject() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_emits_every_field() {
+        let outcome = SessionOutcome {
+            tests: 5,
+            stages: 3,
+            subjects: 3,
+            classification: CohortClassification {
+                statuses: vec![
+                    SubjectStatus::Positive,
+                    SubjectStatus::Negative,
+                    SubjectStatus::Undetermined,
+                ],
+            },
+            marginals: vec![0.999, 0.001, 0.4],
+        };
+        let json = outcome.to_json();
+        assert_eq!(
+            json,
+            "{\"subjects\":3,\"tests\":5,\"stages\":3,\
+             \"tests_per_subject\":1.6666666666666667,\"terminal\":false,\
+             \"positives\":1,\"negatives\":1,\
+             \"statuses\":[\"positive\",\"negative\",\"undetermined\"],\
+             \"marginals\":[0.999,0.001,0.4]}"
+        );
+        // Shortest round-trip formatting: parsing the marginal back yields
+        // the exact bits.
+        assert_eq!("1.6666666666666667".parse::<f64>().unwrap(), 5.0 / 3.0);
+    }
+
+    #[test]
+    fn json_maps_non_finite_to_null() {
+        let outcome = SessionOutcome {
+            tests: 0,
+            stages: 0,
+            subjects: 1,
+            classification: CohortClassification {
+                statuses: vec![SubjectStatus::Undetermined],
+            },
+            marginals: vec![f64::NAN],
+        };
+        let json = outcome.to_json();
+        assert!(json.contains("\"marginals\":[null]"));
     }
 
     #[test]

@@ -15,6 +15,32 @@ use sbgt_select::{
 
 use crate::config::{ExecMode, SbgtConfig};
 use crate::report::SessionOutcome;
+use crate::snapshot::{SessionSnapshot, SnapshotError};
+
+/// Result of driving one BHA round (select → lab → observe).
+///
+/// Both session types implement `run_to_classification` as a loop over
+/// `run_round`, so a service that steps cohorts one round at a time — to
+/// interleave many cohorts fairly on one engine — reproduces the batch
+/// loop's trajectory **by construction**.
+#[derive(Debug)]
+pub enum RoundStep {
+    /// The session advanced one stage and is still unclassified.
+    Progressed,
+    /// The run ended: classified, stage cap hit, no admissible pool, or an
+    /// impossible observation.
+    Finished(SessionOutcome),
+}
+
+impl RoundStep {
+    /// The final outcome, if this step ended the run.
+    pub fn finished(self) -> Option<SessionOutcome> {
+        match self {
+            RoundStep::Progressed => None,
+            RoundStep::Finished(outcome) => Some(outcome),
+        }
+    }
+}
 
 /// A live Bayesian group-testing session over one cohort.
 ///
@@ -227,33 +253,79 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// BHA loop; wider stages run look-ahead selection on the branch-fused
     /// fast path.
     pub fn run_to_classification(&mut self, mut lab: impl FnMut(State) -> bool) -> SessionOutcome {
-        let stage_width = self.config.stage_width;
         loop {
-            // One marginals pass feeds classification, the candidate
-            // ordering, and selection for the whole round.
-            let marginals = self.marginals();
-            let classification = classify_marginals(&marginals, self.config.rule);
-            if classification.is_terminal() || self.stages >= self.config.max_stages {
-                return self.outcome(classification);
-            }
-            let order = Self::order_from(&marginals, &classification);
-            let selections = if stage_width <= 1 {
-                self.select_next_with_order(&order)
-                    .map(|s| vec![s])
-                    .unwrap_or_default()
-            } else {
-                self.select_stage_with_order(stage_width, &order)
-                    .expect("stage width validated by SbgtConfig")
-            };
-            if selections.is_empty() {
-                return self.outcome(classification);
-            }
-            let observations: Vec<(State, bool)> =
-                selections.iter().map(|s| (s.pool, lab(s.pool))).collect();
-            if self.observe_stage(&observations).is_err() {
-                return self.outcome(self.classify());
+            if let RoundStep::Finished(outcome) = self.run_round(&mut lab) {
+                return outcome;
             }
         }
+    }
+
+    /// Drive exactly one round: classify, select the stage's pools, run
+    /// them through `lab`, and ingest the outcomes. The unit a multi-cohort
+    /// service schedules — [`Self::run_to_classification`] is a loop over
+    /// this, so round-stepped and batch trajectories are identical.
+    pub fn run_round(&mut self, mut lab: impl FnMut(State) -> bool) -> RoundStep {
+        let stage_width = self.config.stage_width;
+        // One marginals pass feeds classification, the candidate
+        // ordering, and selection for the whole round.
+        let marginals = self.marginals();
+        let classification = classify_marginals(&marginals, self.config.rule);
+        if classification.is_terminal() || self.stages >= self.config.max_stages {
+            return RoundStep::Finished(self.outcome(classification));
+        }
+        let order = Self::order_from(&marginals, &classification);
+        let selections = if stage_width <= 1 {
+            self.select_next_with_order(&order)
+                .map(|s| vec![s])
+                .unwrap_or_default()
+        } else {
+            self.select_stage_with_order(stage_width, &order)
+                .expect("stage width validated by SbgtConfig")
+        };
+        if selections.is_empty() {
+            return RoundStep::Finished(self.outcome(classification));
+        }
+        let observations: Vec<(State, bool)> =
+            selections.iter().map(|s| (s.pool, lab(s.pool))).collect();
+        if self.observe_stage(&observations).is_err() {
+            return RoundStep::Finished(self.outcome(self.classify()));
+        }
+        RoundStep::Progressed
+    }
+
+    /// Capture the full session state for checkpoint/restore. The dense
+    /// posterior is stored as one shard of exact (normalized) values;
+    /// [`Self::restore`] reproduces the session bit-for-bit.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            n_subjects: self.n_subjects(),
+            shards: vec![self.posterior.probs().to_vec()],
+            total: 1.0,
+            history: self.history.clone(),
+            stages: self.stages,
+            marginals: Vec::new(),
+            pending_selection: None,
+        }
+    }
+
+    /// Rehydrate a session from a snapshot. The model and config are not
+    /// part of the snapshot (they are the cohort's static spec) and are
+    /// supplied by the caller; posterior values are restored exactly, so
+    /// selections and classifications continue bit-for-bit.
+    pub fn restore(
+        snapshot: &SessionSnapshot,
+        model: M,
+        config: SbgtConfig,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.validate()?;
+        let probs: Vec<f64> = snapshot.shards.iter().flatten().copied().collect();
+        Ok(SbgtSession {
+            posterior: DensePosterior::from_probs(snapshot.n_subjects, probs),
+            model,
+            config,
+            history: snapshot.history.clone(),
+            stages: snapshot.stages,
+        })
     }
 
     fn outcome(&self, classification: CohortClassification) -> SessionOutcome {
@@ -366,6 +438,84 @@ mod tests {
             o2.stages,
             o1.stages
         );
+    }
+
+    #[test]
+    fn round_stepping_matches_batch_run() {
+        let truth = State::from_subjects([4, 9]);
+        let mk = || {
+            SbgtSession::new(
+                Prior::from_risks(&[0.03, 0.07, 0.02, 0.09, 0.05, 0.04, 0.08, 0.06, 0.025, 0.045]),
+                BinaryDilutionModel::perfect(),
+                SbgtConfig::default().serial(),
+            )
+        };
+        let mut batch = mk();
+        let batch_outcome = batch.run_to_classification(|pool| truth.intersects(pool));
+        let mut stepped = mk();
+        let stepped_outcome = loop {
+            if let Some(o) = stepped.run_round(|pool| truth.intersects(pool)).finished() {
+                break o;
+            }
+        };
+        assert_eq!(stepped_outcome.tests, batch_outcome.tests);
+        assert_eq!(stepped.history(), batch.history());
+        assert_eq!(
+            stepped_outcome.classification.statuses,
+            batch_outcome.classification.statuses
+        );
+        for (a, b) in stepped_outcome
+            .marginals
+            .iter()
+            .zip(&batch_outcome.marginals)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_exact_mid_run() {
+        let truth = State::from_subjects([1, 6]);
+        let mut s = SbgtSession::new(
+            Prior::from_risks(&[0.02, 0.05, 0.01, 0.1, 0.03, 0.08, 0.02, 0.04]),
+            BinaryDilutionModel::pcr_like(),
+            SbgtConfig::default().serial(),
+        );
+        // Advance a few rounds, snapshot, then drive both copies to the end.
+        for _ in 0..3 {
+            if s.run_round(|pool| truth.intersects(pool))
+                .finished()
+                .is_some()
+            {
+                break;
+            }
+        }
+        let snap = s.snapshot();
+        let mut restored =
+            SbgtSession::restore(&snap, BinaryDilutionModel::pcr_like(), *s.config()).unwrap();
+        assert_eq!(restored.history(), s.history());
+        assert_eq!(restored.stages(), s.stages());
+        for (a, b) in restored
+            .posterior()
+            .probs()
+            .iter()
+            .zip(s.posterior().probs())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let original = s.run_to_classification(|pool| truth.intersects(pool));
+        let resumed = restored.run_to_classification(|pool| truth.intersects(pool));
+        assert_eq!(resumed.tests, original.tests);
+        assert_eq!(
+            resumed.classification.statuses,
+            original.classification.statuses
+        );
+        for (a, b) in resumed.marginals.iter().zip(&original.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The byte codec preserves the trajectory too.
+        let decoded = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap);
     }
 
     #[test]

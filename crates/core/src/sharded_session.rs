@@ -34,6 +34,8 @@ use sbgt_select::{
 use crate::config::SbgtConfig;
 use crate::parallel::ShardedPosterior;
 use crate::report::SessionOutcome;
+use crate::session::RoundStep;
+use crate::snapshot::{SessionSnapshot, SnapshotError};
 
 /// A live group-testing session whose posterior lives as engine shards.
 pub struct ShardedSession<M> {
@@ -230,48 +232,105 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         engine: &Engine,
         mut lab: impl FnMut(State) -> bool,
     ) -> SessionOutcome {
+        loop {
+            if let RoundStep::Finished(outcome) = self.run_round(engine, &mut lab) {
+                return outcome;
+            }
+        }
+    }
+
+    /// Drive exactly one round (classify → select → lab → observe) — the
+    /// unit a multi-cohort service schedules onto a shared engine.
+    /// [`Self::run_to_classification`] is a loop over this, so round-stepped
+    /// and batch trajectories are identical by construction.
+    pub fn run_round(&mut self, engine: &Engine, mut lab: impl FnMut(State) -> bool) -> RoundStep {
+        let classification = self.classify();
+        if classification.is_terminal() || self.stages() >= self.config.max_stages {
+            return RoundStep::Finished(self.outcome(classification));
+        }
         if self.config.stage_width > 1 {
             let cfg = self.config.lookahead();
-            loop {
-                let classification = self.classify();
-                if classification.is_terminal() || self.stages() >= self.config.max_stages {
-                    return self.outcome(classification);
-                }
-                let stage = self
-                    .select_stage(engine, &cfg)
-                    .expect("stage width validated by SbgtConfig");
-                if stage.is_empty() {
-                    return self.outcome(classification);
-                }
-                let observations: Vec<(State, bool)> =
-                    stage.iter().map(|s| (s.pool, lab(s.pool))).collect();
-                if self.observe_stage(engine, &observations).is_err() {
-                    return self.outcome(self.classify());
-                }
+            let stage = self
+                .select_stage(engine, &cfg)
+                .expect("stage width validated by SbgtConfig");
+            if stage.is_empty() {
+                return RoundStep::Finished(self.outcome(classification));
             }
+            let observations: Vec<(State, bool)> =
+                stage.iter().map(|s| (s.pool, lab(s.pool))).collect();
+            if self.observe_stage(engine, &observations).is_err() {
+                return RoundStep::Finished(self.outcome(self.classify()));
+            }
+            return RoundStep::Progressed;
         }
-        loop {
-            let classification = self.classify();
-            if classification.is_terminal() || self.stages() >= self.config.max_stages {
-                return self.outcome(classification);
-            }
-            // Pipelined fast path: masses banked by the previous fused
-            // round. First round (or after a miss) pays one extra stage.
-            let selection = self
-                .pending_selection
-                .take()
-                .and_then(|(order, masses)| {
-                    select_halving_from_masses(&order, &masses, self.config.max_pool_size)
-                })
-                .or_else(|| self.select_next(engine));
-            let Some(selection) = selection else {
-                return self.outcome(classification);
-            };
-            let outcome = lab(selection.pool);
-            if self.observe(engine, selection.pool, outcome).is_err() {
-                return self.outcome(self.classify());
-            }
+        // Pipelined fast path: masses banked by the previous fused
+        // round. First round (or after a miss) pays one extra stage.
+        let selection = self
+            .pending_selection
+            .take()
+            .and_then(|(order, masses)| {
+                select_halving_from_masses(&order, &masses, self.config.max_pool_size)
+            })
+            .or_else(|| self.select_next(engine));
+        let Some(selection) = selection else {
+            return RoundStep::Finished(self.outcome(classification));
+        };
+        let outcome = lab(selection.pool);
+        if self.observe(engine, selection.pool, outcome).is_err() {
+            return RoundStep::Finished(self.outcome(self.classify()));
         }
+        RoundStep::Progressed
+    }
+
+    /// Capture the full session state — posterior shards (exact bits,
+    /// partition boundaries preserved), normalization constant, committed
+    /// pools, round counter, fresh marginals, and the pipelined selection
+    /// bank. Cheap relative to a running session: shard storage is captured
+    /// by value so the snapshot stays valid across later in-place rounds.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            n_subjects: self.n_subjects(),
+            shards: self.posterior.shard_values(),
+            total: self.posterior.total(),
+            history: self.history.clone(),
+            stages: self.stages,
+            marginals: self.marginals.clone(),
+            pending_selection: self.pending_selection.clone(),
+        }
+    }
+
+    /// Rehydrate a session from a snapshot, without touching the engine
+    /// (the marginals were snapshotted fresh, so no bootstrap stage runs).
+    /// The model and config are the cohort's static spec, supplied by the
+    /// caller. Posterior values, marginals, and the selection bank are
+    /// restored exactly, so the session continues bit-for-bit.
+    pub fn restore(
+        snapshot: &SessionSnapshot,
+        model: M,
+        config: SbgtConfig,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.validate()?;
+        if snapshot.marginals.len() != snapshot.n_subjects {
+            return Err(SnapshotError::Corrupt(format!(
+                "sharded restore needs {} marginals, snapshot holds {}",
+                snapshot.n_subjects,
+                snapshot.marginals.len()
+            )));
+        }
+        let posterior = ShardedPosterior::from_shards(
+            snapshot.n_subjects,
+            snapshot.shards.clone(),
+            snapshot.total,
+        )?;
+        Ok(ShardedSession {
+            posterior,
+            model,
+            config,
+            history: snapshot.history.clone(),
+            stages: snapshot.stages,
+            marginals: snapshot.marginals.clone(),
+            pending_selection: snapshot.pending_selection.clone(),
+        })
     }
 
     fn outcome(&self, classification: CohortClassification) -> SessionOutcome {
@@ -465,5 +524,70 @@ mod tests {
             s.observe(&e, pool, true).unwrap_err(),
             BayesError::ImpossibleObservation
         );
+    }
+
+    #[test]
+    fn round_stepping_matches_batch_run() {
+        let e = engine();
+        let truth = State::from_subjects([3, 7]);
+        let model = BinaryDilutionModel::perfect();
+        for width in [1usize, 3] {
+            let config = SbgtConfig::default().with_stage_width(width);
+            let mut batch = ShardedSession::new(&e, distinct_risks(), model, config, 4);
+            let expected = batch.run_to_classification(&e, |pool| truth.intersects(pool));
+            let mut stepped = ShardedSession::new(&e, distinct_risks(), model, config, 4);
+            let outcome = loop {
+                if let RoundStep::Finished(o) = stepped.run_round(&e, |pool| truth.intersects(pool))
+                {
+                    break o;
+                }
+            };
+            assert_eq!(outcome, expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_exact_mid_run() {
+        let e = engine();
+        let truth = State::from_subjects([1, 8]);
+        let model = BinaryDilutionModel::pcr_like();
+        let config = SbgtConfig::default();
+        // Reference: run uninterrupted, recording every selection.
+        let mut reference = ShardedSession::new(&e, distinct_risks(), model, config, 4);
+        let mut ref_pools = Vec::new();
+        let expected = reference.run_to_classification(&e, |pool| {
+            ref_pools.push(pool);
+            truth.intersects(pool)
+        });
+        // Candidate: snapshot after three rounds (pending_selection banked),
+        // round-trip the byte codec, restore, and finish.
+        let mut live = ShardedSession::new(&e, distinct_risks(), model, config, 4);
+        for _ in 0..3 {
+            assert!(matches!(
+                live.run_round(&e, |pool| truth.intersects(pool)),
+                RoundStep::Progressed
+            ));
+        }
+        let snap = live.snapshot();
+        assert!(snap.pending_selection.is_some(), "fused rounds bank masses");
+        let bytes = snap.to_bytes();
+        let decoded = SessionSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        drop(live);
+        let mut restored = ShardedSession::restore(&decoded, model, config).unwrap();
+        let mut pools = restored
+            .history()
+            .iter()
+            .map(|(p, _)| *p)
+            .collect::<Vec<_>>();
+        let outcome = restored.run_to_classification(&e, |pool| {
+            pools.push(pool);
+            truth.intersects(pool)
+        });
+        assert_eq!(pools, ref_pools, "selection trajectory must be identical");
+        assert_eq!(outcome, expected);
+        for (a, b) in outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact marginals");
+        }
     }
 }

@@ -1,0 +1,343 @@
+//! Session checkpoint/restore — the eviction and recovery format.
+//!
+//! A [`SessionSnapshot`] captures the full state of a live session —
+//! posterior shards (exact unnormalized values), normalization constant,
+//! committed pools, round counter, fresh marginals, and the pipelined
+//! selection bank — so a cohort can be evicted under memory pressure and
+//! later rehydrated, or rolled back after a chaos fault kills a round,
+//! **bit-for-bit**: every float is preserved exactly, so the restored
+//! session selects the same pools and reaches the same classification as
+//! one that never stopped.
+//!
+//! The struct derives the workspace's `serde` marker traits; durable
+//! persistence goes through the explicit binary codec
+//! ([`SessionSnapshot::to_bytes`] / [`SessionSnapshot::from_bytes`]), which
+//! round-trips floats via their IEEE-754 bit patterns.
+
+use serde::{Deserialize, Serialize};
+
+use sbgt_lattice::State;
+
+/// Error restoring or decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The payload is inconsistent (wrong magic, truncated buffer, shard
+    /// lengths that do not tile the lattice, ...); the message says how.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt session snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Full state of a session at a round boundary (or mid-stage: any point
+/// between observations is a valid snapshot point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Cohort size.
+    pub n_subjects: usize,
+    /// Posterior values per shard, exact bits. Dense sessions store one
+    /// shard of normalized probabilities; sharded sessions store one vector
+    /// per partition (unnormalized), preserving partition boundaries so the
+    /// restored reduction order — and therefore every downstream float —
+    /// is identical.
+    pub shards: Vec<Vec<f64>>,
+    /// Normalization constant of the sharded posterior (dense sessions
+    /// store `1.0`; their posterior is kept normalized).
+    pub total: f64,
+    /// Committed pools: every `(pool, outcome)` observed so far, in order.
+    pub history: Vec<(State, bool)>,
+    /// Round counter (completed stages).
+    pub stages: usize,
+    /// Current marginals (sharded sessions keep them fresh; dense sessions
+    /// store them for inspection but recompute on demand).
+    pub marginals: Vec<f64>,
+    /// Sharded sessions: the `(order, masses)` selection bank pipelined
+    /// from the last fused round, if any.
+    pub pending_selection: Option<(Vec<usize>, Vec<f64>)>,
+}
+
+const MAGIC: &[u8; 8] = b"SBGTSNAP";
+const VERSION: u32 = 1;
+
+impl SessionSnapshot {
+    /// Number of posterior values across all shards.
+    pub fn state_count(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Check internal consistency: shard lengths must tile the `2^N`
+    /// lattice and the marginals (when present) must match the cohort size.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let want = 1usize
+            .checked_shl(self.n_subjects as u32)
+            .filter(|_| self.n_subjects <= 63)
+            .ok_or_else(|| {
+                SnapshotError::Corrupt(format!("cohort size {} overflows u64", self.n_subjects))
+            })?;
+        if self.state_count() != want {
+            return Err(SnapshotError::Corrupt(format!(
+                "shards hold {} values, lattice needs {want}",
+                self.state_count()
+            )));
+        }
+        if !self.marginals.is_empty() && self.marginals.len() != self.n_subjects {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} marginals for {} subjects",
+                self.marginals.len(),
+                self.n_subjects
+            )));
+        }
+        if let Some((order, masses)) = &self.pending_selection {
+            if masses.len() != order.len() + 1 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "pending selection holds {} masses for {} ordered subjects",
+                    masses.len(),
+                    order.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the versioned binary format. Floats are written as
+    /// little-endian IEEE-754 bit patterns, so decode is bit-exact.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.state_count() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.n_subjects as u64).to_le_bytes());
+        out.extend_from_slice(&(self.stages as u64).to_le_bytes());
+        out.extend_from_slice(&self.total.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.shards.len() as u64).to_le_bytes());
+        for shard in &self.shards {
+            out.extend_from_slice(&(shard.len() as u64).to_le_bytes());
+            for v in shard {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.history.len() as u64).to_le_bytes());
+        for (pool, outcome) in &self.history {
+            out.extend_from_slice(&pool.bits().to_le_bytes());
+            out.push(u8::from(*outcome));
+        }
+        out.extend_from_slice(&(self.marginals.len() as u64).to_le_bytes());
+        for m in &self.marginals {
+            out.extend_from_slice(&m.to_bits().to_le_bytes());
+        }
+        match &self.pending_selection {
+            None => out.push(0),
+            Some((order, masses)) => {
+                out.push(1);
+                out.extend_from_slice(&(order.len() as u64).to_le_bytes());
+                for &i in order {
+                    out.extend_from_slice(&(i as u64).to_le_bytes());
+                }
+                out.extend_from_slice(&(masses.len() as u64).to_le_bytes());
+                for v in masses {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode the binary format; every structural violation is a typed
+    /// [`SnapshotError::Corrupt`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { bytes, at: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::Corrupt(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let n_subjects = r.u64()? as usize;
+        let stages = r.u64()? as usize;
+        let total = f64::from_bits(r.u64()?);
+        let shard_count = r.len_prefix()?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let len = r.len_prefix()?;
+            let mut shard = Vec::with_capacity(len);
+            for _ in 0..len {
+                shard.push(f64::from_bits(r.u64()?));
+            }
+            shards.push(shard);
+        }
+        let history_len = r.len_prefix()?;
+        let mut history = Vec::with_capacity(history_len);
+        for _ in 0..history_len {
+            let pool = State(r.u64()?);
+            let outcome = r.take(1)?[0] != 0;
+            history.push((pool, outcome));
+        }
+        let marginals_len = r.len_prefix()?;
+        let mut marginals = Vec::with_capacity(marginals_len);
+        for _ in 0..marginals_len {
+            marginals.push(f64::from_bits(r.u64()?));
+        }
+        let pending_selection = match r.take(1)?[0] {
+            0 => None,
+            1 => {
+                let order_len = r.len_prefix()?;
+                let mut order = Vec::with_capacity(order_len);
+                for _ in 0..order_len {
+                    order.push(r.u64()? as usize);
+                }
+                let masses_len = r.len_prefix()?;
+                let mut masses = Vec::with_capacity(masses_len);
+                for _ in 0..masses_len {
+                    masses.push(f64::from_bits(r.u64()?));
+                }
+                Some((order, masses))
+            }
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "bad pending-selection tag {other}"
+                )))
+            }
+        };
+        if r.at != bytes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing byte(s)",
+                bytes.len() - r.at
+            )));
+        }
+        let snapshot = SessionSnapshot {
+            n_subjects,
+            shards,
+            total,
+            history,
+            stages,
+            marginals,
+            pending_selection,
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.at + n > self.bytes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "truncated at byte {} (wanted {n} more)",
+                self.at
+            )));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length prefix, sanity-capped so a corrupt buffer cannot request an
+    /// absurd allocation.
+    fn len_prefix(&mut self) -> Result<usize, SnapshotError> {
+        let len = self.u64()?;
+        let remaining = (self.bytes.len() - self.at) as u64;
+        if len > remaining {
+            return Err(SnapshotError::Corrupt(format!(
+                "length prefix {len} exceeds remaining {remaining} byte(s)"
+            )));
+        }
+        Ok(len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionSnapshot {
+        SessionSnapshot {
+            n_subjects: 2,
+            shards: vec![vec![0.25, 0.5], vec![0.125, 0.0625]],
+            total: 0.9375,
+            history: vec![(State::from_subjects([0, 1]), true), (State(1), false)],
+            stages: 2,
+            marginals: vec![0.4, 0.6],
+            pending_selection: Some((vec![1, 0], vec![0.9375, 0.5, 0.25])),
+        }
+    }
+
+    #[test]
+    fn byte_codec_round_trips_bit_for_bit() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = SessionSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        for (a, b) in snap
+            .shards
+            .iter()
+            .flatten()
+            .zip(back.shards.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // No pending selection round-trips too.
+        let mut bare = snap;
+        bare.pending_selection = None;
+        bare.marginals.clear();
+        assert_eq!(SessionSnapshot::from_bytes(&bare.to_bytes()).unwrap(), bare);
+    }
+
+    #[test]
+    fn corrupt_buffers_are_typed_errors() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            SessionSnapshot::from_bytes(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Truncation at every prefix is an error, never a panic.
+        for cut in [0, 7, 11, 20, 40, bytes.len() - 1] {
+            assert!(SessionSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SessionSnapshot::from_bytes(&long).is_err());
+        // Unsupported version.
+        let mut vers = bytes;
+        vers[8] = 99;
+        let err = SessionSnapshot::from_bytes(&vers).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_shapes() {
+        let mut snap = sample();
+        assert!(snap.validate().is_ok());
+        snap.shards[0].pop();
+        assert!(snap.validate().is_err());
+        let mut bad_marginals = sample();
+        bad_marginals.marginals.push(0.5);
+        assert!(bad_marginals.validate().is_err());
+        let mut bad_pending = sample();
+        bad_pending.pending_selection = Some((vec![0], vec![1.0]));
+        assert!(bad_pending.validate().is_err());
+    }
+}

@@ -107,8 +107,20 @@ impl ChaosConfig {
         h.write_u64(seq);
         h.write_usize(task);
         h.write_usize(attempt);
+        // FxHasher's last step is one multiply, so adjacent attempt
+        // ordinals leave final states exactly ±K apart and their [0, 1)
+        // draws offset by a constant ~0.319 — a retry of a faulted attempt
+        // could then never fault itself whenever the combined rate is
+        // below that offset. Avalanche (splitmix64 finalizer) so every
+        // coordinate draws independently.
+        let mut x = h.finish();
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
         // Top 53 bits -> uniform in [0, 1).
-        let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
         if u < self.panic_rate {
             Some(Fault::Panic)
         } else if u < self.panic_rate + self.delay_rate {

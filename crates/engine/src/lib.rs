@@ -116,7 +116,9 @@ pub use chaos::{ChaosConfig, Fault, FaultPlan, SpeculationConfig};
 pub use config::EngineConfig;
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
-pub use metrics::{FaultStats, JobMetrics, MetricsRegistry, StageVariant, TaskMetrics};
+pub use metrics::{
+    FaultStats, JobMetrics, MetricsRegistry, ServiceStats, StageVariant, TaskMetrics,
+};
 pub use partitioner::{partition_ranges, HashPartitioner, Partitioner, RangePartitioner};
 pub use pool::ThreadPool;
 pub use retry::RetryPolicy;
@@ -281,6 +283,41 @@ impl Engine {
     }
 }
 
+/// A clonable handle to a shared [`Engine`].
+///
+/// The engine itself is `!Clone` (it owns the executor pool); services that
+/// multiplex many concurrent workloads over one pool — `sbgt-service`'s
+/// cohort workers, the batcher, the driver — each hold a `SharedEngine`.
+/// Dereferences to [`Engine`], so every `&Engine` API works unchanged.
+#[derive(Clone, Debug)]
+pub struct SharedEngine(Arc<Engine>);
+
+impl SharedEngine {
+    /// Spawn an engine with the given configuration and wrap it for sharing.
+    pub fn new(config: EngineConfig) -> Self {
+        SharedEngine(Arc::new(Engine::new(config)))
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.0
+    }
+}
+
+impl From<Engine> for SharedEngine {
+    fn from(engine: Engine) -> Self {
+        SharedEngine(Arc::new(engine))
+    }
+}
+
+impl std::ops::Deref for SharedEngine {
+    type Target = Engine;
+
+    fn deref(&self) -> &Engine {
+        &self.0
+    }
+}
+
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
@@ -332,6 +369,23 @@ mod tests {
         // Pool must stay usable after a panic.
         let ok = engine.run_job("after", vec![|| 42]).unwrap();
         assert_eq!(ok, vec![42]);
+    }
+
+    #[test]
+    fn shared_engine_clones_share_pool_and_metrics() {
+        let shared = SharedEngine::new(EngineConfig::default().with_threads(2));
+        let other = shared.clone();
+        shared
+            .run_job("a", (0..2).map(|i| move || i).collect::<Vec<_>>())
+            .unwrap();
+        other
+            .run_job("b", (0..2).map(|i| move || i).collect::<Vec<_>>())
+            .unwrap();
+        // Both handles drive the same engine: one registry sees both jobs.
+        assert_eq!(shared.metrics().job_count(), 2);
+        assert_eq!(other.engine().metrics().job_count(), 2);
+        let wrapped: SharedEngine = Engine::new(EngineConfig::default().with_threads(1)).into();
+        assert_eq!(wrapped.threads(), 1);
     }
 
     #[test]

@@ -150,11 +150,75 @@ impl JobMetrics {
     }
 }
 
+/// Service-level counters — what the surveillance layer above the engine
+/// did with its traffic. Lives next to the job metrics so one registry
+/// snapshot (and one timeline render) covers both the stage view and the
+/// queueing view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Specimens offered to the ingress queue (admitted or shed).
+    pub submitted: u64,
+    /// Specimens rejected by admission control (typed load-shedding).
+    pub shed: u64,
+    /// Cohort batches closed (size- or deadline-triggered).
+    pub batches: u64,
+    /// Cohort sessions opened.
+    pub cohorts_opened: u64,
+    /// Cohort sessions driven to a final report.
+    pub cohorts_completed: u64,
+    /// BHA rounds executed across all cohorts.
+    pub rounds: u64,
+    /// Rounds killed by a fault and re-run from a checkpoint.
+    pub recovered_rounds: u64,
+    /// Session checkpoints taken.
+    pub checkpoints: u64,
+    /// Sessions restored from a checkpoint.
+    pub restores: u64,
+    /// High-water mark of the ingress queue depth.
+    pub queue_peak: u64,
+    /// Per-round wall-clock latencies, in microseconds.
+    round_latency_us: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// Record one completed round's wall-clock latency.
+    pub fn record_round(&mut self, latency: Duration) {
+        self.rounds += 1;
+        self.round_latency_us.push(latency.as_micros() as u64);
+    }
+
+    /// Raise the queue-depth high-water mark.
+    pub fn observe_queue_depth(&mut self, depth: usize) {
+        self.queue_peak = self.queue_peak.max(depth as u64);
+    }
+
+    /// Round-latency percentile (`p` in `[0, 1]`, nearest-rank). `None`
+    /// before any round has completed.
+    pub fn round_latency_percentile(&self, p: f64) -> Option<Duration> {
+        if self.round_latency_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.round_latency_us.clone();
+        sorted.sort_unstable();
+        let rank =
+            ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        Some(Duration::from_micros(sorted[rank]))
+    }
+
+    /// Whether no service activity has been recorded (the common case for
+    /// engines not driven through `sbgt-service`; quiet stats render no
+    /// service section in the timeline).
+    pub fn is_quiet(&self) -> bool {
+        *self == ServiceStats::default()
+    }
+}
+
 /// Registry of all jobs an engine has run.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     jobs: Mutex<Vec<JobMetrics>>,
     broadcasts: std::sync::atomic::AtomicU64,
+    service: Mutex<ServiceStats>,
 }
 
 impl MetricsRegistry {
@@ -227,11 +291,22 @@ impl MetricsRegistry {
         self.jobs.lock().len()
     }
 
+    /// Mutate the service-level counters under the registry lock.
+    pub fn update_service(&self, f: impl FnOnce(&mut ServiceStats)) {
+        f(&mut self.service.lock());
+    }
+
+    /// Snapshot of the service-level counters.
+    pub fn service_stats(&self) -> ServiceStats {
+        self.service.lock().clone()
+    }
+
     /// Drop all recorded jobs (between benchmark phases).
     pub fn clear(&self) {
         self.jobs.lock().clear();
         self.broadcasts
             .store(0, std::sync::atomic::Ordering::Relaxed);
+        *self.service.lock() = ServiceStats::default();
     }
 }
 
@@ -344,6 +419,50 @@ mod tests {
         assert_eq!(totals.speculative_wins, 1);
         assert!(!totals.is_quiet());
         assert!(reg.jobs()[2].faults.is_quiet());
+    }
+
+    #[test]
+    fn service_stats_percentiles_and_quiet() {
+        let mut s = ServiceStats::default();
+        assert!(s.is_quiet());
+        assert_eq!(s.round_latency_percentile(0.5), None);
+        for ms in [10u64, 20, 30, 40] {
+            s.record_round(Duration::from_millis(ms));
+        }
+        s.observe_queue_depth(7);
+        s.observe_queue_depth(3);
+        assert!(!s.is_quiet());
+        assert_eq!(s.rounds, 4);
+        assert_eq!(s.queue_peak, 7);
+        assert_eq!(
+            s.round_latency_percentile(0.5),
+            Some(Duration::from_millis(20))
+        );
+        assert_eq!(
+            s.round_latency_percentile(0.99),
+            Some(Duration::from_millis(40))
+        );
+        assert_eq!(
+            s.round_latency_percentile(0.0),
+            Some(Duration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn registry_tracks_and_clears_service_stats() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.service_stats().is_quiet());
+        reg.update_service(|s| {
+            s.submitted = 10;
+            s.shed = 2;
+            s.record_round(Duration::from_millis(5));
+        });
+        let snap = reg.service_stats();
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.rounds, 1);
+        reg.clear();
+        assert!(reg.service_stats().is_quiet());
     }
 
     #[test]

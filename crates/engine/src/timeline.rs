@@ -24,6 +24,44 @@ pub fn render_timeline(registry: &MetricsRegistry) -> String {
     for (i, job) in jobs.iter().enumerate() {
         out.push_str(&render_job(i, job));
     }
+    let service = registry.service_stats();
+    if !service.is_quiet() {
+        out.push_str(&render_service_summary(&service));
+    }
+    out
+}
+
+/// Render the service-level counters (queueing, batching, round latency) as
+/// a two-line summary — the timeline's view above the stage table. Quiet
+/// stats (no service traffic) render nothing.
+pub fn render_service_summary(stats: &crate::metrics::ServiceStats) -> String {
+    if stats.is_quiet() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "service: {} submitted, {} shed, {} batch(es), {}/{} cohort(s) done, queue peak {}",
+        stats.submitted,
+        stats.shed,
+        stats.batches,
+        stats.cohorts_completed,
+        stats.cohorts_opened,
+        stats.queue_peak,
+    );
+    let p50 = stats
+        .round_latency_percentile(0.50)
+        .map(|d| format!("{d:?}"))
+        .unwrap_or_else(|| "-".into());
+    let p99 = stats
+        .round_latency_percentile(0.99)
+        .map(|d| format!("{d:?}"))
+        .unwrap_or_else(|| "-".into());
+    let _ = writeln!(
+        out,
+        "service: {} round(s) (p50 {p50}, p99 {p99}, {} recovered), {} checkpoint(s), {} restore(s)",
+        stats.rounds, stats.recovered_rounds, stats.checkpoints, stats.restores,
+    );
     out
 }
 
@@ -188,6 +226,55 @@ mod tests {
         assert!(text.starts_with("2 job(s), 1 broadcast(s)"));
         assert!(text.contains("[0] a"));
         assert!(text.contains("[1] b"));
+    }
+
+    /// Golden service summary: exact two-line format of a registry with
+    /// service traffic, appended after the job table.
+    #[test]
+    fn service_summary_golden() {
+        use crate::metrics::ServiceStats;
+        let mut stats = ServiceStats::default();
+        stats.observe_queue_depth(12);
+        stats.submitted = 640;
+        stats.shed = 3;
+        stats.batches = 64;
+        stats.cohorts_opened = 64;
+        stats.cohorts_completed = 64;
+        stats.recovered_rounds = 2;
+        stats.checkpoints = 5;
+        stats.restores = 5;
+        for ms in [1u64, 2, 3, 4] {
+            stats.record_round(Duration::from_millis(ms));
+        }
+        let text = render_service_summary(&stats);
+        assert_eq!(
+            text,
+            "service: 640 submitted, 3 shed, 64 batch(es), 64/64 cohort(s) done, queue peak 12\n\
+             service: 4 round(s) (p50 2ms, p99 4ms, 2 recovered), 5 checkpoint(s), 5 restore(s)\n"
+        );
+    }
+
+    #[test]
+    fn quiet_service_stats_render_nothing() {
+        use crate::metrics::ServiceStats;
+        assert_eq!(render_service_summary(&ServiceStats::default()), "");
+        // And the full timeline omits the section entirely.
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("a", &[1]));
+        assert!(!render_timeline(&reg).contains("service:"));
+    }
+
+    #[test]
+    fn timeline_appends_service_section() {
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("a", &[1]));
+        reg.update_service(|s| {
+            s.submitted = 8;
+            s.record_round(Duration::from_millis(2));
+        });
+        let text = render_timeline(&reg);
+        assert!(text.contains("[0] a"));
+        assert!(text.contains("service: 8 submitted"));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Cohort checkpoint format: the session snapshot plus the cohort's
+//! static identity, with a versioned byte codec so a cohort can be evicted
+//! to disk (or shipped between service instances) and resumed bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+use sbgt::{SessionSnapshot, SnapshotError};
+use sbgt_lattice::State;
+
+use crate::cohort::CohortSpec;
+
+const MAGIC: &[u8; 8] = b"SBGTCKPT";
+const VERSION: u32 = 1;
+
+/// A frozen cohort: everything needed to rebuild its actor and continue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortCheckpoint {
+    /// The cohort's static identity (id, seed, risks, ground truth).
+    pub spec: CohortSpec,
+    /// Whether the cohort ran the dense session (restores to the same
+    /// kind, keeping the arithmetic path identical).
+    pub dense: bool,
+    /// Rollback-and-replay cycles consumed before the checkpoint.
+    pub recoveries: u64,
+    /// Full session state.
+    pub snapshot: SessionSnapshot,
+}
+
+impl CohortCheckpoint {
+    /// Serialize: header, spec, flags, then the embedded session snapshot
+    /// (length-prefixed, delegating to its own versioned codec).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let snapshot = self.snapshot.to_bytes();
+        let mut out = Vec::with_capacity(64 + self.spec.risks.len() * 8 + snapshot.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.spec.id.to_le_bytes());
+        out.extend_from_slice(&self.spec.seed.to_le_bytes());
+        out.extend_from_slice(&(self.spec.risks.len() as u64).to_le_bytes());
+        for r in &self.spec.risks {
+            out.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.spec.truth.bits().to_le_bytes());
+        out.push(u8::from(self.dense));
+        out.extend_from_slice(&self.recoveries.to_le_bytes());
+        out.extend_from_slice(&(snapshot.len() as u64).to_le_bytes());
+        out.extend_from_slice(&snapshot);
+        out
+    }
+
+    /// Decode; every structural violation (including one inside the
+    /// embedded snapshot) is a typed [`SnapshotError::Corrupt`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(SnapshotError::Corrupt("bad checkpoint magic".into()));
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::Corrupt(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let id = r.u64()?;
+        let seed = r.u64()?;
+        let n_risks = r.u64()? as usize;
+        if n_risks > bytes.len() / 8 {
+            return Err(SnapshotError::Corrupt("risk count exceeds payload".into()));
+        }
+        let mut risks = Vec::with_capacity(n_risks);
+        for _ in 0..n_risks {
+            risks.push(f64::from_bits(r.u64()?));
+        }
+        let truth = State(r.u64()?);
+        let dense = r.take(1)?[0] != 0;
+        let recoveries = r.u64()?;
+        let snap_len = r.u64()? as usize;
+        if snap_len > bytes.len() - r.at {
+            return Err(SnapshotError::Corrupt(
+                "snapshot length exceeds payload".into(),
+            ));
+        }
+        let snapshot = SessionSnapshot::from_bytes(r.take(snap_len)?)?;
+        if r.at != bytes.len() {
+            return Err(SnapshotError::Corrupt(
+                "trailing bytes after checkpoint".into(),
+            ));
+        }
+        if snapshot.n_subjects != risks.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "spec holds {} risks but snapshot covers {} subjects",
+                risks.len(),
+                snapshot.n_subjects
+            )));
+        }
+        Ok(CohortCheckpoint {
+            spec: CohortSpec {
+                id,
+                seed,
+                risks,
+                truth,
+            },
+            dense,
+            recoveries,
+            snapshot,
+        })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.at + n > self.bytes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "checkpoint truncated at byte {} (wanted {n} more)",
+                self.at
+            )));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CohortCheckpoint {
+        CohortCheckpoint {
+            spec: CohortSpec {
+                id: 12,
+                seed: 0xDEAD_BEEF,
+                risks: vec![0.02, 0.05, 0.11],
+                truth: State::from_subjects([1]),
+            },
+            dense: true,
+            recoveries: 2,
+            snapshot: SessionSnapshot {
+                n_subjects: 3,
+                shards: vec![vec![0.1; 8]],
+                total: 0.8,
+                history: vec![(State(3), false)],
+                stages: 1,
+                marginals: vec![],
+                pending_selection: None,
+            },
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let ckpt = sample();
+        let back = CohortCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+        for (a, b) in ckpt.spec.risks.iter().zip(&back.spec.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_and_tampering_are_typed_errors() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 5, 13, 30, bytes.len() - 1] {
+            assert!(CohortCheckpoint::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'Z';
+        assert!(CohortCheckpoint::from_bytes(&bad).is_err());
+        let mut long = bytes;
+        long.push(7);
+        assert!(CohortCheckpoint::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn subject_count_mismatch_is_rejected() {
+        let mut ckpt = sample();
+        ckpt.spec.risks.push(0.2);
+        assert!(CohortCheckpoint::from_bytes(&ckpt.to_bytes()).is_err());
+    }
+}

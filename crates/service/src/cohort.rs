@@ -1,0 +1,500 @@
+//! Cohort actors: one Bayesian session per batch of specimens, driven
+//! round-by-round so a scheduler can interleave many cohorts fairly on one
+//! shared engine.
+//!
+//! Determinism is the backbone of the service's correctness story: the
+//! virtual lab outcome is a pure function of `(cohort seed, test index,
+//! pool, ground truth, model)`, and each session round is a pure function
+//! of session state. A cohort therefore classifies **bit-for-bit**
+//! identically whether it runs serially, interleaved with 63 other cohorts,
+//! after a checkpoint/restore cycle, or replayed from a pre-round snapshot
+//! when a chaos fault kills the round.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sbgt::{RoundStep, SbgtConfig, SbgtSession, SessionOutcome, SessionSnapshot, ShardedSession};
+use sbgt_bayes::Prior;
+use sbgt_engine::Engine;
+use sbgt_lattice::State;
+use sbgt_response::{BinaryDilutionModel, BinaryOutcomeModel};
+
+/// One submitted specimen: its prior risk and (for the virtual lab) its
+/// ground-truth infection status.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Specimen {
+    /// Prior infection risk used to build the cohort prior.
+    pub risk: f64,
+    /// Ground truth consumed only by the deterministic virtual lab.
+    pub infected: bool,
+}
+
+/// Static identity of a cohort: everything needed to (re)build its session
+/// and replay its lab outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortSpec {
+    /// Service-assigned cohort id (batch sequence number).
+    pub id: u64,
+    /// Per-cohort seed derived from the service base seed and the id.
+    pub seed: u64,
+    /// Prior risk per subject, in submission order.
+    pub risks: Vec<f64>,
+    /// Ground-truth infected set (subject indices within the cohort).
+    pub truth: State,
+}
+
+impl CohortSpec {
+    /// Build the spec for batch `id` from its specimens, in arrival order.
+    pub fn from_specimens(id: u64, base_seed: u64, specimens: &[Specimen]) -> Self {
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id);
+        let risks = specimens.iter().map(|s| s.risk).collect();
+        let truth = State::from_subjects(
+            specimens
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.infected)
+                .map(|(i, _)| i),
+        );
+        CohortSpec {
+            id,
+            seed,
+            risks,
+            truth,
+        }
+    }
+
+    /// Cohort size.
+    pub fn n_subjects(&self) -> usize {
+        self.risks.len()
+    }
+}
+
+/// Deterministic virtual lab: the outcome of test number `test_index` on
+/// `pool` is a pure function of the cohort seed and the query — no shared
+/// RNG stream — so replaying a round after a rollback, or resuming from a
+/// checkpoint, reproduces the exact same assay results.
+pub fn lab_outcome(
+    spec: &CohortSpec,
+    test_index: usize,
+    pool: State,
+    model: &BinaryDilutionModel,
+) -> bool {
+    let mut rng = StdRng::seed_from_u64(
+        spec.seed ^ (test_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let u: f64 = rng.random();
+    u < model.positive_prob(spec.truth.positives_in(pool), pool.rank())
+}
+
+/// Chunk specimens into cohorts in arrival order — the same rule the
+/// service batcher applies when every specimen is already queued (no
+/// deadline fires), so a serial reference run can reconstruct the exact
+/// cohorts a service run forms.
+pub fn batch_specimens(
+    specimens: &[Specimen],
+    batch_size: usize,
+    base_seed: u64,
+) -> Vec<CohortSpec> {
+    specimens
+        .chunks(batch_size.max(1))
+        .enumerate()
+        .map(|(id, chunk)| CohortSpec::from_specimens(id as u64, base_seed, chunk))
+        .collect()
+}
+
+/// The session behind a cohort: dense in-memory below the size threshold,
+/// engine-sharded above it.
+enum SessionKind {
+    Dense(SbgtSession<BinaryDilutionModel>),
+    Sharded(ShardedSession<BinaryDilutionModel>),
+}
+
+/// Outcome of one recovering round.
+pub(crate) struct RoundRun {
+    pub step: RoundStep,
+    /// Rollback-and-replay cycles this round consumed.
+    pub recovered: u64,
+}
+
+/// A live cohort: spec + session + test cursor, advanced one round at a
+/// time by the service workers.
+pub struct CohortActor {
+    spec: CohortSpec,
+    model: BinaryDilutionModel,
+    session_config: SbgtConfig,
+    kind: SessionKind,
+    tests_done: usize,
+    recoveries: u64,
+}
+
+impl CohortActor {
+    /// Open a cohort: dense session when `n < dense_threshold`, sharded
+    /// otherwise.
+    pub fn new(
+        engine: &Engine,
+        spec: CohortSpec,
+        model: BinaryDilutionModel,
+        session_config: SbgtConfig,
+        dense_threshold: usize,
+        parts: usize,
+    ) -> Self {
+        let prior = Prior::from_risks(&spec.risks);
+        let kind = if spec.n_subjects() < dense_threshold {
+            SessionKind::Dense(SbgtSession::new(prior, model, session_config))
+        } else {
+            SessionKind::Sharded(ShardedSession::new(
+                engine,
+                prior,
+                model,
+                session_config,
+                parts,
+            ))
+        };
+        CohortActor {
+            spec,
+            model,
+            session_config,
+            kind,
+            tests_done: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Open a cohort with the same rollback-and-replay recovery as a
+    /// round: the initial posterior scatter runs engine stages, so a chaos
+    /// fault can kill creation too. Creation is a pure function of the
+    /// spec, so a replay just rebuilds from scratch — under a fresh stage
+    /// sequence, hence a fresh fault schedule.
+    pub(crate) fn new_recovering(
+        engine: &Engine,
+        spec: CohortSpec,
+        model: BinaryDilutionModel,
+        session_config: SbgtConfig,
+        dense_threshold: usize,
+        parts: usize,
+        max_recoveries: u64,
+    ) -> Self {
+        let mut recovered = 0;
+        loop {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                CohortActor::new(
+                    engine,
+                    spec.clone(),
+                    model,
+                    session_config,
+                    dense_threshold,
+                    parts,
+                )
+            }));
+            match attempt {
+                Ok(mut actor) => {
+                    actor.recoveries = recovered;
+                    return actor;
+                }
+                Err(payload) => {
+                    if recovered >= max_recoveries || !engine.fault_tolerance_active() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    recovered += 1;
+                }
+            }
+        }
+    }
+
+    /// The cohort's static identity.
+    pub fn spec(&self) -> &CohortSpec {
+        &self.spec
+    }
+
+    /// Whether the cohort runs the dense session.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.kind, SessionKind::Dense(_))
+    }
+
+    /// Total rollback-and-replay cycles over the cohort's lifetime.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    fn history_len(&self) -> usize {
+        match &self.kind {
+            SessionKind::Dense(s) => s.history().len(),
+            SessionKind::Sharded(s) => s.history().len(),
+        }
+    }
+
+    /// Advance the session by exactly one round against the deterministic
+    /// virtual lab.
+    pub fn run_round(&mut self, engine: &Engine) -> RoundStep {
+        let spec = &self.spec;
+        let model = self.model;
+        let mut idx = self.tests_done;
+        let lab = |pool: State| {
+            let outcome = lab_outcome(spec, idx, pool, &model);
+            idx += 1;
+            outcome
+        };
+        let step = match &mut self.kind {
+            SessionKind::Dense(s) => s.run_round(lab),
+            SessionKind::Sharded(s) => s.run_round(engine, lab),
+        };
+        self.tests_done = self.history_len();
+        step
+    }
+
+    /// Advance one round with rollback-and-replay recovery: when the engine
+    /// exhausts its retry budget mid-round (a chaos fault), the session
+    /// state is rolled back to the pre-round snapshot and the round
+    /// replayed — the engine's stage sequence has moved on, so the replay
+    /// draws a fresh fault schedule. After `max_recoveries` rollbacks the
+    /// original failure is re-raised.
+    ///
+    /// Snapshots are only taken while the engine has fault tolerance
+    /// enabled; a fault-free service pays nothing for this path.
+    pub(crate) fn run_round_recovering(
+        &mut self,
+        engine: &Engine,
+        max_recoveries: u64,
+    ) -> RoundRun {
+        if !engine.fault_tolerance_active() {
+            return RoundRun {
+                step: self.run_round(engine),
+                recovered: 0,
+            };
+        }
+        let mut recovered = 0;
+        loop {
+            let snapshot = self.snapshot_session();
+            let attempt =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_round(engine)));
+            match attempt {
+                Ok(step) => return RoundRun { step, recovered },
+                Err(payload) => {
+                    if recovered >= max_recoveries {
+                        std::panic::resume_unwind(payload);
+                    }
+                    recovered += 1;
+                    self.recoveries += 1;
+                    self.restore_session(&snapshot);
+                }
+            }
+        }
+    }
+
+    /// Snapshot the underlying session state.
+    pub fn snapshot_session(&self) -> SessionSnapshot {
+        match &self.kind {
+            SessionKind::Dense(s) => s.snapshot(),
+            SessionKind::Sharded(s) => s.snapshot(),
+        }
+    }
+
+    fn restore_session(&mut self, snapshot: &SessionSnapshot) {
+        self.kind = match &self.kind {
+            SessionKind::Dense(_) => SessionKind::Dense(
+                SbgtSession::restore(snapshot, self.model, self.session_config)
+                    .expect("own snapshot restores"),
+            ),
+            SessionKind::Sharded(_) => SessionKind::Sharded(
+                ShardedSession::restore(snapshot, self.model, self.session_config)
+                    .expect("own snapshot restores"),
+            ),
+        };
+        self.tests_done = self.history_len();
+    }
+
+    /// Freeze the cohort into a checkpoint (eviction / suspend format).
+    pub fn checkpoint(&self) -> crate::checkpoint::CohortCheckpoint {
+        crate::checkpoint::CohortCheckpoint {
+            spec: self.spec.clone(),
+            dense: self.is_dense(),
+            recoveries: self.recoveries,
+            snapshot: self.snapshot_session(),
+        }
+    }
+
+    /// Rehydrate a cohort from a checkpoint. The sharded restore rebuilds
+    /// the exact partition boundaries recorded in the snapshot, so no
+    /// partition count (and no engine) is needed here.
+    pub fn restore(
+        checkpoint: &crate::checkpoint::CohortCheckpoint,
+        model: BinaryDilutionModel,
+        session_config: SbgtConfig,
+    ) -> Result<Self, sbgt::SnapshotError> {
+        let kind = if checkpoint.dense {
+            SessionKind::Dense(SbgtSession::restore(
+                &checkpoint.snapshot,
+                model,
+                session_config,
+            )?)
+        } else {
+            SessionKind::Sharded(ShardedSession::restore(
+                &checkpoint.snapshot,
+                model,
+                session_config,
+            )?)
+        };
+        let mut actor = CohortActor {
+            spec: checkpoint.spec.clone(),
+            model,
+            session_config,
+            kind,
+            tests_done: 0,
+            recoveries: checkpoint.recoveries,
+        };
+        actor.tests_done = actor.history_len();
+        Ok(actor)
+    }
+}
+
+/// Run one cohort to classification, serially, with the same deterministic
+/// lab the service uses — the ground-truth reference every service run is
+/// compared against.
+pub fn run_cohort_serial(
+    engine: &Engine,
+    spec: &CohortSpec,
+    model: BinaryDilutionModel,
+    session_config: SbgtConfig,
+    dense_threshold: usize,
+    parts: usize,
+) -> SessionOutcome {
+    let mut actor = CohortActor::new(
+        engine,
+        spec.clone(),
+        model,
+        session_config,
+        dense_threshold,
+        parts,
+    );
+    loop {
+        if let RoundStep::Finished(outcome) = actor.run_round(engine) {
+            return outcome;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_engine::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default().with_threads(2))
+    }
+
+    fn specimens(n: usize, seed: u64) -> Vec<Specimen> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let risk = 0.02 + rng.random::<f64>() * 0.1;
+                Specimen {
+                    risk,
+                    infected: rng.random_bool(risk),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lab_is_a_pure_function() {
+        let spec = CohortSpec {
+            id: 3,
+            seed: 42,
+            risks: vec![0.05; 8],
+            truth: State::from_subjects([0]),
+        };
+        let model = BinaryDilutionModel::pcr_like();
+        // One positive diluted across the full cohort: the positive
+        // probability is strictly between 0 and 1, so outcomes vary with
+        // the test index while staying a pure function of it.
+        let pool = State::from_subjects(0..8);
+        assert_eq!(
+            lab_outcome(&spec, 4, pool, &model),
+            lab_outcome(&spec, 4, pool, &model)
+        );
+        let hits = (0..400)
+            .filter(|&i| lab_outcome(&spec, i, pool, &model))
+            .count();
+        assert!(
+            hits > 0 && hits < 400,
+            "diluted assay must produce both outcomes ({hits}/400 positive)"
+        );
+        let p = model.positive_prob(1, 8);
+        let freq = hits as f64 / 400.0;
+        assert!(
+            (freq - p).abs() < 0.1,
+            "empirical rate {freq} should track model probability {p}"
+        );
+    }
+
+    #[test]
+    fn batching_is_deterministic_and_ordered() {
+        let sp = specimens(23, 9);
+        let batches = batch_specimens(&sp, 10, 7);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].n_subjects(), 10);
+        assert_eq!(batches[2].n_subjects(), 3, "final partial batch flushes");
+        assert_eq!(batches[1].id, 1);
+        assert_ne!(batches[0].seed, batches[1].seed);
+        assert_eq!(batches, batch_specimens(&sp, 10, 7));
+    }
+
+    #[test]
+    fn dense_threshold_picks_the_session_kind() {
+        let e = engine();
+        let spec = CohortSpec::from_specimens(0, 5, &specimens(8, 3));
+        let model = BinaryDilutionModel::perfect();
+        let cfg = SbgtConfig::default();
+        let dense_actor = CohortActor::new(&e, spec.clone(), model, cfg, 100, 3);
+        let sharded_actor = CohortActor::new(&e, spec.clone(), model, cfg, 0, 3);
+        assert!(dense_actor.is_dense());
+        assert!(!sharded_actor.is_dense());
+        // With a perfect assay both kinds must recover the exact ground
+        // truth, even though their float trajectories may differ in the
+        // last ulp (dense renormalizes each round; sharded does not).
+        for threshold in [100usize, 0] {
+            let outcome = run_cohort_serial(&e, &spec, model, cfg, threshold, 3);
+            assert!(outcome.classification.is_terminal());
+            let positives = State::from_subjects(
+                outcome
+                    .classification
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == sbgt_bayes::SubjectStatus::Positive)
+                    .map(|(i, _)| i),
+            );
+            assert_eq!(positives, spec.truth, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_for_bit() {
+        let e = engine();
+        let spec = CohortSpec::from_specimens(1, 11, &specimens(9, 4));
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = SbgtConfig::default();
+        let expected = run_cohort_serial(&e, &spec, model, cfg, 0, 4);
+
+        let mut actor = CohortActor::new(&e, spec, model, cfg, 0, 4);
+        for _ in 0..2 {
+            assert!(matches!(actor.run_round(&e), RoundStep::Progressed));
+        }
+        let bytes = actor.checkpoint().to_bytes();
+        drop(actor);
+        let checkpoint = crate::checkpoint::CohortCheckpoint::from_bytes(&bytes).unwrap();
+        let mut restored = CohortActor::restore(&checkpoint, model, cfg).unwrap();
+        let outcome = loop {
+            if let RoundStep::Finished(o) = restored.run_round(&e) {
+                break o;
+            }
+        };
+        assert_eq!(outcome, expected);
+        for (a, b) in outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

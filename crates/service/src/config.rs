@@ -1,0 +1,160 @@
+//! Service configuration and validation.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use sbgt::SbgtConfig;
+use sbgt_response::BinaryDilutionModel;
+
+use crate::error::ServiceError;
+
+/// Configuration of a [`crate::SurveillanceService`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Worker threads driving cohort rounds (the engine has its own pool;
+    /// workers only orchestrate, so a small number suffices).
+    pub workers: usize,
+    /// Capacity of the bounded ingress queue — the admission-control knob:
+    /// [`crate::SurveillanceService::try_submit`] sheds when it is full.
+    pub queue_capacity: usize,
+    /// Cohort size: a batch closes when it holds this many specimens. The
+    /// `2^N` lattice bounds this hard (≤ 16 here; the sharded sessions keep
+    /// memory linear in `2^N / parts` but the service targets interactive
+    /// cohorts).
+    pub batch_size: usize,
+    /// A partially-filled batch closes this long after its first specimen
+    /// arrives, so low-traffic cohorts are not starved.
+    pub batch_deadline: Duration,
+    /// Cap on live (opened, not yet classified) cohorts; the batcher holds
+    /// new cohorts while at the cap, back-pressuring the ingress queue.
+    pub max_live_cohorts: usize,
+    /// Cohorts smaller than this run a dense in-memory session; larger ones
+    /// run the engine-sharded session.
+    pub dense_threshold: usize,
+    /// Partition count for sharded cohort sessions.
+    pub parts: usize,
+    /// Per-cohort session parameters (halving vs look-ahead, pool caps...).
+    pub session: SbgtConfig,
+    /// Assay model shared by all cohorts.
+    pub model: BinaryDilutionModel,
+    /// Base RNG seed; per-cohort seeds derive from it and the cohort id.
+    pub base_seed: u64,
+    /// How many times a cohort round may be rolled back and replayed after
+    /// an engine failure before the fault is considered fatal.
+    pub max_recoveries: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 256,
+            batch_size: 10,
+            batch_deadline: Duration::from_millis(50),
+            max_live_cohorts: 64,
+            dense_threshold: 9,
+            parts: 4,
+            session: SbgtConfig::default(),
+            model: BinaryDilutionModel::pcr_like(),
+            base_seed: 0,
+            max_recoveries: 4,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Check the configuration, mirroring [`SbgtConfig::validate`]: every
+    /// inconsistency is a typed [`ServiceError::InvalidConfig`], never a
+    /// panic inside the service.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.workers == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "worker count must be at least 1".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "ingress queue capacity must be at least 1".into(),
+            ));
+        }
+        if self.batch_size == 0 || self.batch_size > 16 {
+            return Err(ServiceError::InvalidConfig(format!(
+                "batch size {} outside 1..=16 (the 2^N lattice bounds cohort size)",
+                self.batch_size
+            )));
+        }
+        if self.max_live_cohorts == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "live-cohort cap must be at least 1".into(),
+            ));
+        }
+        if self.parts == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "sharded sessions need at least 1 partition".into(),
+            ));
+        }
+        self.session
+            .validate()
+            .map_err(|e| ServiceError::InvalidConfig(e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServiceConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn every_knob_is_checked() {
+        let base = ServiceConfig::default();
+        for (label, cfg) in [
+            (
+                "workers",
+                ServiceConfig {
+                    workers: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "queue",
+                ServiceConfig {
+                    queue_capacity: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch",
+                ServiceConfig {
+                    batch_size: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch-cap",
+                ServiceConfig {
+                    batch_size: 17,
+                    ..base.clone()
+                },
+            ),
+            (
+                "live-cap",
+                ServiceConfig {
+                    max_live_cohorts: 0,
+                    ..base.clone()
+                },
+            ),
+            ("parts", ServiceConfig { parts: 0, ..base }),
+        ] {
+            assert!(
+                matches!(cfg.validate(), Err(ServiceError::InvalidConfig(_))),
+                "{label} should be rejected"
+            );
+        }
+    }
+}

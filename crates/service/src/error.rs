@@ -1,0 +1,62 @@
+//! Typed service errors — every refusal the service can hand a caller.
+
+/// Why a submission was shed instead of accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded ingress queue is at capacity; the caller should back
+    /// off or route the specimen elsewhere.
+    QueueFull,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "ingress queue full"),
+        }
+    }
+}
+
+/// Error surface of the surveillance service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service configuration is inconsistent; the message says how.
+    InvalidConfig(String),
+    /// The submission was rejected by admission control (typed load shed,
+    /// not a failure: the service is protecting its latency).
+    Shed(ShedReason),
+    /// The service has stopped accepting submissions (drained or
+    /// suspended).
+    Closed,
+    /// A checkpoint could not be restored.
+    Restore(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::InvalidConfig(msg) => {
+                write!(f, "invalid service configuration: {msg}")
+            }
+            ServiceError::Shed(reason) => write!(f, "submission shed: {reason}"),
+            ServiceError::Closed => write!(f, "service is closed to submissions"),
+            ServiceError::Restore(msg) => write!(f, "checkpoint restore failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        assert!(ServiceError::Shed(ShedReason::QueueFull)
+            .to_string()
+            .contains("queue full"));
+        assert!(ServiceError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid"));
+    }
+}

@@ -1,0 +1,648 @@
+//! The surveillance service: bounded ingestion → deadline/size batching →
+//! fair round-robin round scheduling on one shared engine.
+//!
+//! Threading model (no async runtime; plain threads and channels):
+//!
+//! ```text
+//!  submit/try_submit ──► bounded ingress ──► batcher thread
+//!                        (admission ctl)       │ size or deadline trigger
+//!                                              ▼
+//!                                    ready queue (FIFO = round-robin)
+//!                                      │               ▲
+//!                                      ▼               │ re-enqueue
+//!                                  worker × N ── one round per pickup
+//!                                      │
+//!                   finished ──► completed reports (parking_lot mutex)
+//!                   suspended ─► parked channel ──► checkpoints
+//! ```
+//!
+//! One pickup = one session round, and a progressed cohort goes to the
+//! *back* of the FIFO, so cohorts share the engine fairly regardless of
+//! how many rounds each needs. All correctness-relevant state advances in
+//! deterministic per-cohort steps; the scheduler only decides *when* a
+//! round runs, never *what* it computes — which is why a service run is
+//! bit-for-bit identical to a serial one.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use sbgt::{RoundStep, SessionOutcome};
+use sbgt_engine::SharedEngine;
+
+use crate::checkpoint::CohortCheckpoint;
+use crate::cohort::{CohortActor, CohortSpec, Specimen};
+use crate::config::ServiceConfig;
+use crate::error::{ServiceError, ShedReason};
+
+/// Final classification of one cohort, as emitted by the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortReport {
+    /// Cohort id (batch sequence number).
+    pub cohort: u64,
+    /// Cohort size.
+    pub subjects: usize,
+    /// Rollback-and-replay cycles the cohort consumed (0 on a clean run).
+    pub recovered_rounds: u64,
+    /// The session's terminal outcome.
+    pub outcome: SessionOutcome,
+}
+
+/// Everything a suspended service hands back: completed work plus one
+/// checkpoint per still-live cohort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceCheckpoint {
+    /// Cohorts classified before the suspension.
+    pub completed: Vec<CohortReport>,
+    /// Frozen live cohorts, restorable bit-for-bit.
+    pub cohorts: Vec<CohortCheckpoint>,
+}
+
+enum WorkItem {
+    Round(Box<CohortActor>),
+    Stop,
+}
+
+/// Shared counters the batcher, workers, and control plane coordinate on.
+struct Shared {
+    /// Set during suspension: workers park actors instead of running them.
+    suspended: AtomicBool,
+    /// Cohorts opened (batch sequence counter).
+    opened: AtomicU64,
+    /// Reports of classified cohorts.
+    reports: Mutex<Vec<CohortReport>>,
+}
+
+impl Shared {
+    fn completed(&self) -> u64 {
+        self.reports.lock().len() as u64
+    }
+}
+
+/// A running multi-cohort surveillance service.
+pub struct SurveillanceService {
+    engine: SharedEngine,
+    config: ServiceConfig,
+    ingress_tx: Option<Sender<Specimen>>,
+    ready_tx: Sender<WorkItem>,
+    parked_rx: Receiver<CohortActor>,
+    shared: Arc<Shared>,
+    batcher: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl SurveillanceService {
+    /// Start the service: spawns the batcher and `config.workers` round
+    /// workers against the shared engine.
+    pub fn start(engine: SharedEngine, config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let (ingress_tx, ingress_rx) = bounded::<Specimen>(config.queue_capacity);
+        let (ready_tx, ready_rx) = unbounded::<WorkItem>();
+        let (parked_tx, parked_rx) = unbounded::<CohortActor>();
+        let shared = Arc::new(Shared {
+            suspended: AtomicBool::new(false),
+            opened: AtomicU64::new(0),
+            reports: Mutex::new(Vec::new()),
+        });
+
+        let batcher = {
+            let engine = engine.clone();
+            let config = config.clone();
+            let ready_tx = ready_tx.clone();
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || batcher_loop(engine, config, ingress_rx, ready_tx, shared))
+        };
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let engine = engine.clone();
+                let config = config.clone();
+                let ready_rx = ready_rx.clone();
+                let ready_tx = ready_tx.clone();
+                let parked_tx = parked_tx.clone();
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    worker_loop(engine, config, ready_rx, ready_tx, parked_tx, shared)
+                })
+            })
+            .collect();
+
+        Ok(SurveillanceService {
+            engine,
+            config,
+            ingress_tx: Some(ingress_tx),
+            ready_tx,
+            parked_rx,
+            shared,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+
+    /// Start a service and rehydrate the cohorts of a [`ServiceCheckpoint`]:
+    /// completed reports are carried over and live cohorts re-enter the
+    /// round-robin exactly where they stopped.
+    pub fn resume(
+        engine: SharedEngine,
+        config: ServiceConfig,
+        checkpoint: ServiceCheckpoint,
+    ) -> Result<Self, ServiceError> {
+        let service = SurveillanceService::start(engine, config)?;
+        let restored = checkpoint.cohorts.len() as u64;
+        for ckpt in &checkpoint.cohorts {
+            let actor = CohortActor::restore(ckpt, service.config.model, service.config.session)
+                .map_err(|e| ServiceError::Restore(e.to_string()))?;
+            service.shared.opened.fetch_add(1, Ordering::SeqCst);
+            assert!(
+                service
+                    .ready_tx
+                    .send(WorkItem::Round(Box::new(actor)))
+                    .is_ok(),
+                "workers hold the ready receiver"
+            );
+        }
+        {
+            let mut reports = service.shared.reports.lock();
+            let carried = checkpoint.completed.len() as u64;
+            reports.extend(checkpoint.completed);
+            // Carried reports count as opened too, so drain's ledger of
+            // opened == reported stays balanced.
+            service.shared.opened.fetch_add(carried, Ordering::SeqCst);
+        }
+        service.engine.metrics().update_service(|s| {
+            s.restores += restored;
+        });
+        Ok(service)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Non-blocking submission with admission control: a full ingress
+    /// queue sheds the specimen with a typed reason instead of stalling
+    /// the caller or buffering without bound.
+    pub fn try_submit(&self, specimen: Specimen) -> Result<(), ServiceError> {
+        let Some(tx) = &self.ingress_tx else {
+            return Err(ServiceError::Closed);
+        };
+        match tx.try_send(specimen) {
+            Ok(()) => {
+                let depth = tx.len();
+                self.engine.metrics().update_service(|s| {
+                    s.submitted += 1;
+                    s.observe_queue_depth(depth);
+                });
+                Ok(())
+            }
+            Err(e) if e.is_full() => {
+                self.engine.metrics().update_service(|s| s.shed += 1);
+                Err(ServiceError::Shed(ShedReason::QueueFull))
+            }
+            Err(_) => Err(ServiceError::Closed),
+        }
+    }
+
+    /// Blocking submission: waits for queue space instead of shedding.
+    pub fn submit(&self, specimen: Specimen) -> Result<(), ServiceError> {
+        let Some(tx) = &self.ingress_tx else {
+            return Err(ServiceError::Closed);
+        };
+        tx.send(specimen).map_err(|_| ServiceError::Closed)?;
+        let depth = tx.len();
+        self.engine.metrics().update_service(|s| {
+            s.submitted += 1;
+            s.observe_queue_depth(depth);
+        });
+        Ok(())
+    }
+
+    /// Close ingress, flush the batcher, run every cohort to
+    /// classification, stop the workers, and return all reports sorted by
+    /// cohort id.
+    pub fn drain(mut self) -> Vec<CohortReport> {
+        self.close_ingress_and_flush();
+        let expected = self.shared.opened.load(Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while self.shared.completed() < expected {
+            assert!(
+                Instant::now() < deadline,
+                "drain stalled: {}/{expected} cohorts classified",
+                self.shared.completed()
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        self.stop_workers();
+        let mut reports = std::mem::take(&mut *self.shared.reports.lock());
+        reports.sort_by_key(|r| r.cohort);
+        reports
+    }
+
+    /// Stop at the next round boundary: flush ingress into cohorts, park
+    /// every live cohort, and freeze each into a checkpoint. The result
+    /// (with the already-completed reports) restores via
+    /// [`SurveillanceService::resume`] with bit-for-bit continuation.
+    pub fn suspend(mut self) -> ServiceCheckpoint {
+        self.close_ingress_and_flush();
+        self.shared.suspended.store(true, Ordering::SeqCst);
+        let expected = self.shared.opened.load(Ordering::SeqCst);
+        let mut parked: Vec<CohortActor> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while self.shared.completed() + (parked.len() as u64) < expected {
+            assert!(
+                Instant::now() < deadline,
+                "suspend stalled: {} done + {} parked of {expected}",
+                self.shared.completed(),
+                parked.len()
+            );
+            match self.parked_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(actor) => parked.push(actor),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.stop_workers();
+        parked.sort_by_key(|a| a.spec().id);
+        let cohorts: Vec<CohortCheckpoint> = parked.iter().map(CohortActor::checkpoint).collect();
+        self.engine.metrics().update_service(|s| {
+            s.checkpoints += cohorts.len() as u64;
+        });
+        let mut completed = std::mem::take(&mut *self.shared.reports.lock());
+        completed.sort_by_key(|r| r.cohort);
+        ServiceCheckpoint { completed, cohorts }
+    }
+
+    fn close_ingress_and_flush(&mut self) {
+        drop(self.ingress_tx.take());
+        if let Some(batcher) = self.batcher.take() {
+            batcher.join().expect("batcher thread panicked");
+        }
+    }
+
+    fn stop_workers(&mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.ready_tx.send(WorkItem::Stop);
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for SurveillanceService {
+    fn drop(&mut self) {
+        // Abandoned without drain/suspend (e.g. a test assertion failed):
+        // shut the threads down instead of leaking them.
+        drop(self.ingress_tx.take());
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        if !self.workers.is_empty() {
+            self.shared.suspended.store(true, Ordering::SeqCst);
+            for _ in 0..self.workers.len() {
+                let _ = self.ready_tx.send(WorkItem::Stop);
+            }
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// Batcher: group ingress specimens into cohorts, closing a batch on size
+/// or on `batch_deadline` after its first specimen. Holds new cohorts
+/// while the live count is at `max_live_cohorts`, back-pressuring the
+/// bounded ingress queue (which then sheds at `try_submit`).
+fn batcher_loop(
+    engine: SharedEngine,
+    config: ServiceConfig,
+    ingress_rx: Receiver<Specimen>,
+    ready_tx: Sender<WorkItem>,
+    shared: Arc<Shared>,
+) {
+    let mut batch: Vec<Specimen> = Vec::new();
+    let mut deadline: Option<Instant> = None;
+    loop {
+        let message = match deadline {
+            None => ingress_rx
+                .recv()
+                .map_err(|_| RecvTimeoutError::Disconnected),
+            Some(d) => ingress_rx.recv_timeout(d.saturating_duration_since(Instant::now())),
+        };
+        match message {
+            Ok(specimen) => {
+                if batch.is_empty() {
+                    deadline = Some(Instant::now() + config.batch_deadline);
+                }
+                batch.push(specimen);
+                if batch.len() >= config.batch_size {
+                    flush_batch(&engine, &config, &mut batch, &ready_tx, &shared);
+                    deadline = None;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared);
+                deadline = None;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared);
+                return;
+            }
+        }
+    }
+}
+
+fn flush_batch(
+    engine: &SharedEngine,
+    config: &ServiceConfig,
+    batch: &mut Vec<Specimen>,
+    ready_tx: &Sender<WorkItem>,
+    shared: &Shared,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    // Admission control, stage two: cap concurrently-live cohorts so the
+    // engine's working set stays bounded; ingress backs up (and sheds)
+    // while we wait. A suspension lifts the wait — the cohort opens and is
+    // immediately parked, so its specimens survive in the checkpoint.
+    while shared.opened.load(Ordering::SeqCst) - shared.completed()
+        >= config.max_live_cohorts as u64
+        && !shared.suspended.load(Ordering::SeqCst)
+    {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let id = shared.opened.fetch_add(1, Ordering::SeqCst);
+    let spec = CohortSpec::from_specimens(id, config.base_seed, batch);
+    batch.clear();
+    let actor = CohortActor::new_recovering(
+        engine,
+        spec,
+        config.model,
+        config.session,
+        config.dense_threshold,
+        config.parts,
+        config.max_recoveries,
+    );
+    let creation_recoveries = actor.recoveries();
+    engine.metrics().update_service(|s| {
+        s.batches += 1;
+        s.cohorts_opened += 1;
+        s.recovered_rounds += creation_recoveries;
+    });
+    assert!(
+        ready_tx.send(WorkItem::Round(Box::new(actor))).is_ok(),
+        "workers hold the ready receiver"
+    );
+}
+
+/// Worker: pull one cohort, run one round, requeue or report. FIFO order
+/// makes this fair round-robin across all live cohorts.
+fn worker_loop(
+    engine: SharedEngine,
+    config: ServiceConfig,
+    ready_rx: Receiver<WorkItem>,
+    ready_tx: Sender<WorkItem>,
+    parked_tx: Sender<CohortActor>,
+    shared: Arc<Shared>,
+) {
+    loop {
+        match ready_rx.recv() {
+            Err(_) | Ok(WorkItem::Stop) => return,
+            Ok(WorkItem::Round(mut actor)) => {
+                if shared.suspended.load(Ordering::SeqCst) {
+                    let _ = parked_tx.send(*actor);
+                    continue;
+                }
+                let start = Instant::now();
+                let run = actor.run_round_recovering(&engine, config.max_recoveries);
+                let elapsed = start.elapsed();
+                engine.metrics().update_service(|s| {
+                    s.record_round(elapsed);
+                    s.recovered_rounds += run.recovered;
+                });
+                match run.step {
+                    RoundStep::Finished(outcome) => {
+                        engine
+                            .metrics()
+                            .update_service(|s| s.cohorts_completed += 1);
+                        shared.reports.lock().push(CohortReport {
+                            cohort: actor.spec().id,
+                            subjects: actor.spec().n_subjects(),
+                            recovered_rounds: actor.recoveries(),
+                            outcome,
+                        });
+                    }
+                    RoundStep::Progressed => {
+                        let _ = ready_tx.send(WorkItem::Round(actor));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::{batch_specimens, run_cohort_serial};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use sbgt_engine::EngineConfig;
+
+    fn shared_engine() -> SharedEngine {
+        SharedEngine::new(EngineConfig::default().with_threads(2))
+    }
+
+    fn specimens(n: usize, seed: u64) -> Vec<Specimen> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let risk = 0.01 + rng.random::<f64>() * 0.12;
+                Specimen {
+                    risk,
+                    infected: rng.random_bool(risk),
+                }
+            })
+            .collect()
+    }
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 3,
+            batch_size: 6,
+            // Long deadline: only the size trigger and the close-time
+            // flush form batches, so boundaries match `batch_specimens`
+            // regardless of scheduler timing.
+            batch_deadline: Duration::from_secs(5),
+            dense_threshold: 5,
+            parts: 3,
+            base_seed: 77,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn service_matches_serial_reference_bit_for_bit() {
+        let engine = shared_engine();
+        let config = quick_config();
+        let sp = specimens(64, 5);
+
+        let service = SurveillanceService::start(engine.clone(), config.clone()).unwrap();
+        for s in &sp {
+            service.submit(*s).unwrap();
+        }
+        let reports = service.drain();
+
+        let specs = batch_specimens(&sp, config.batch_size, config.base_seed);
+        assert_eq!(reports.len(), specs.len());
+        for (report, spec) in reports.iter().zip(&specs) {
+            let serial = run_cohort_serial(
+                &engine,
+                spec,
+                config.model,
+                config.session,
+                config.dense_threshold,
+                config.parts,
+            );
+            assert_eq!(report.cohort, spec.id);
+            assert_eq!(report.outcome, serial);
+            for (a, b) in report.outcome.marginals.iter().zip(&serial.marginals) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = engine.metrics().service_stats();
+        assert_eq!(stats.submitted, 64);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.cohorts_completed, stats.cohorts_opened);
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_reason() {
+        let engine = shared_engine();
+        // One worker, tiny queue, and a live-cohort cap of one: the
+        // batcher back-pressures, so the queue genuinely fills.
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            batch_size: 4,
+            max_live_cohorts: 1,
+            dense_threshold: 0,
+            parts: 2,
+            base_seed: 3,
+            ..ServiceConfig::default()
+        };
+        let service = SurveillanceService::start(engine.clone(), config).unwrap();
+        let sp = specimens(64, 8);
+        let mut shed = 0usize;
+        for s in &sp {
+            match service.try_submit(*s) {
+                Ok(()) => {}
+                Err(ServiceError::Shed(ShedReason::QueueFull)) => shed += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let reports = service.drain();
+        let stats = engine.metrics().service_stats();
+        assert_eq!(stats.shed as usize, shed);
+        assert_eq!(stats.submitted as usize, 64 - shed);
+        // Everything accepted was classified; nothing leaked.
+        let classified: usize = reports.iter().map(|r| r.subjects).sum();
+        assert_eq!(classified, 64 - shed);
+        assert!(shed > 0, "tiny queue under burst load must shed");
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batches() {
+        let engine = shared_engine();
+        let config = ServiceConfig {
+            batch_size: 16,
+            batch_deadline: Duration::from_millis(10),
+            dense_threshold: 32,
+            base_seed: 1,
+            ..ServiceConfig::default()
+        };
+        let service = SurveillanceService::start(engine.clone(), config).unwrap();
+        for s in specimens(3, 2) {
+            service.submit(s).unwrap();
+        }
+        // Far below batch_size: only the deadline can open this cohort.
+        // Wait for the deadline flush *before* closing ingress, so drain's
+        // own flush-on-close cannot be what formed the batch.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.metrics().service_stats().cohorts_opened == 0 {
+            assert!(Instant::now() < deadline, "deadline flush never fired");
+            thread::sleep(Duration::from_millis(2));
+        }
+        let reports = service.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].subjects, 3);
+    }
+
+    #[test]
+    fn suspend_resume_continues_bit_for_bit() {
+        let engine = shared_engine();
+        let config = quick_config();
+        let sp = specimens(48, 21);
+
+        // Reference: uninterrupted serial run over the same batches.
+        let specs = batch_specimens(&sp, config.batch_size, config.base_seed);
+        let serial: Vec<SessionOutcome> = specs
+            .iter()
+            .map(|spec| {
+                run_cohort_serial(
+                    &engine,
+                    spec,
+                    config.model,
+                    config.session,
+                    config.dense_threshold,
+                    config.parts,
+                )
+            })
+            .collect();
+
+        let service = SurveillanceService::start(engine.clone(), config.clone()).unwrap();
+        for s in &sp {
+            service.submit(*s).unwrap();
+        }
+        // Let some rounds happen, then freeze mid-run.
+        thread::sleep(Duration::from_millis(5));
+        let checkpoint = service.suspend();
+        assert_eq!(
+            checkpoint.completed.len() + checkpoint.cohorts.len(),
+            specs.len(),
+            "every cohort is either completed or checkpointed"
+        );
+
+        // Round-trip each cohort checkpoint through its byte codec, as an
+        // eviction to cold storage would.
+        let rehydrated = ServiceCheckpoint {
+            completed: checkpoint.completed.clone(),
+            cohorts: checkpoint
+                .cohorts
+                .iter()
+                .map(|c| CohortCheckpoint::from_bytes(&c.to_bytes()).unwrap())
+                .collect(),
+        };
+
+        let resumed =
+            SurveillanceService::resume(engine.clone(), config.clone(), rehydrated).unwrap();
+        let reports = resumed.drain();
+        assert_eq!(reports.len(), specs.len());
+        for (report, expected) in reports.iter().zip(&serial) {
+            assert_eq!(&report.outcome, expected);
+            for (a, b) in report.outcome.marginals.iter().zip(&expected.marginals) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = engine.metrics().service_stats();
+        assert_eq!(stats.checkpoints, checkpoint.cohorts.len() as u64);
+        assert_eq!(stats.restores, checkpoint.cohorts.len() as u64);
+    }
+}

@@ -1,0 +1,165 @@
+//! Chaos at the service layer: a seeded fault campaign aggressive enough
+//! to exhaust the engine's retry budget and kill cohort rounds mid-flight.
+//! The service's rollback-and-replay recovery (pre-round snapshot +
+//! deterministic virtual lab) must make every cohort's final report equal
+//! the fault-free serial run — bit-for-bit — including across a mid-run
+//! suspend/resume under the same campaign.
+
+use std::thread;
+use std::time::Duration;
+
+use sbgt_engine::{ChaosConfig, EngineConfig, FaultPlan, RetryPolicy, SharedEngine};
+use sbgt_service::{
+    batch_specimens, run_cohort_serial, ServiceConfig, Specimen, SurveillanceService,
+};
+use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
+
+fn clean_engine() -> SharedEngine {
+    SharedEngine::new(EngineConfig::default().with_threads(2))
+}
+
+/// Fault-tolerant engine under a campaign that *can* kill a job: faults
+/// may hit both attempt ordinals while the retry policy allows only two
+/// attempts, so a task double-faulting fails its stage and the round dies
+/// — exactly what the service's rollback recovery exists for.
+fn chaotic_engine(campaign_seed: u64) -> SharedEngine {
+    let engine = SharedEngine::new(
+        EngineConfig::default()
+            .with_threads(2)
+            .with_retry(RetryPolicy::clamped(2)),
+    );
+    let mut chaos = ChaosConfig::new(campaign_seed)
+        .with_panic_rate(0.12)
+        .with_delay_rate(0.03, Duration::from_millis(1))
+        .with_poison_rate(0.08);
+    chaos.max_faulted_attempts = 2;
+    engine.set_fault_plan(FaultPlan::seeded(chaos));
+    engine
+}
+
+fn workload(specimens: usize, seed: u64) -> Vec<Specimen> {
+    generate_arrivals(&TrafficConfig::mixed(500.0, specimens, seed))
+        .into_iter()
+        .map(|a| Specimen {
+            risk: a.risk,
+            infected: a.infected,
+        })
+        .collect()
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 3,
+        queue_capacity: 512,
+        batch_size: 7,
+        batch_deadline: Duration::from_secs(30),
+        // All cohorts sharded: dense sessions never touch the engine, so
+        // they would dodge the campaign.
+        dense_threshold: 0,
+        parts: 4,
+        base_seed: 0xC4A05,
+        max_recoveries: 16,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Fault-free serial reference for the same batches.
+fn serial_reference(cfg: &ServiceConfig, specimens: &[Specimen]) -> Vec<sbgt::SessionOutcome> {
+    let engine = clean_engine();
+    batch_specimens(specimens, cfg.batch_size, cfg.base_seed)
+        .iter()
+        .map(|spec| {
+            run_cohort_serial(
+                &engine,
+                spec,
+                cfg.model,
+                cfg.session,
+                cfg.dense_threshold,
+                cfg.parts,
+            )
+        })
+        .collect()
+}
+
+fn assert_reports_match(reports: &[sbgt_service::CohortReport], serial: &[sbgt::SessionOutcome]) {
+    assert_eq!(reports.len(), serial.len());
+    for (report, expected) in reports.iter().zip(serial) {
+        assert_eq!(
+            &report.outcome, expected,
+            "cohort {} diverged under chaos",
+            report.cohort
+        );
+        for (a, b) in report.outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "marginal bits diverged");
+        }
+    }
+}
+
+#[test]
+fn seeded_campaign_cannot_change_any_report() {
+    let cfg = config();
+    let specimens = workload(84, 31);
+    let serial = serial_reference(&cfg, &specimens);
+
+    let engine = chaotic_engine(2024);
+    let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+    for s in &specimens {
+        service.submit(*s).unwrap();
+    }
+    let reports = service.drain();
+    assert_reports_match(&reports, &serial);
+
+    // The campaign must actually have fired, and with these rates it is
+    // overwhelmingly likely at least one round needed a rollback.
+    let faults = engine.metrics().fault_totals();
+    assert!(faults.injected_total() > 0, "campaign never fired");
+    let stats = engine.metrics().service_stats();
+    let recovered: u64 = reports.iter().map(|r| r.recovered_rounds).sum();
+    assert_eq!(stats.recovered_rounds, recovered);
+}
+
+#[test]
+fn rounds_killed_by_chaos_are_rolled_back_and_replayed() {
+    // Hunt a campaign seed that provably kills at least one round, then
+    // assert the run still matches the fault-free reference exactly.
+    let cfg = config();
+    let specimens = workload(49, 9);
+    let serial = serial_reference(&cfg, &specimens);
+
+    let mut any_recovered = false;
+    for campaign_seed in 0..8u64 {
+        let engine = chaotic_engine(campaign_seed);
+        let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+        for s in &specimens {
+            service.submit(*s).unwrap();
+        }
+        let reports = service.drain();
+        assert_reports_match(&reports, &serial);
+        if engine.metrics().service_stats().recovered_rounds > 0 {
+            any_recovered = true;
+            break;
+        }
+    }
+    assert!(
+        any_recovered,
+        "no campaign in the sweep killed a round; rates too low to test recovery"
+    );
+}
+
+#[test]
+fn chaos_with_mid_run_suspend_resume_still_matches() {
+    let cfg = config();
+    let specimens = workload(70, 77);
+    let serial = serial_reference(&cfg, &specimens);
+
+    let engine = chaotic_engine(404);
+    let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+    for s in &specimens {
+        service.submit(*s).unwrap();
+    }
+    thread::sleep(Duration::from_millis(8));
+    let checkpoint = service.suspend();
+    let resumed = SurveillanceService::resume(engine.clone(), cfg, checkpoint).unwrap();
+    let reports = resumed.drain();
+    assert_reports_match(&reports, &serial);
+}

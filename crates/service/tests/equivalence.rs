@@ -1,0 +1,142 @@
+//! Acceptance: a seeded 64-cohort mixed-workload run through the service
+//! produces classifications **bit-for-bit identical** to serial per-cohort
+//! runs — clean, and across a mid-run suspend/resume cycle with every
+//! checkpoint round-tripped through its byte codec.
+
+use std::thread;
+use std::time::Duration;
+
+use sbgt_engine::{EngineConfig, SharedEngine};
+use sbgt_service::{
+    batch_specimens, run_cohort_serial, CohortCheckpoint, ServiceCheckpoint, ServiceConfig,
+    Specimen, SurveillanceService,
+};
+use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
+
+const COHORTS: usize = 64;
+const BATCH: usize = 8;
+
+fn engine() -> SharedEngine {
+    SharedEngine::new(EngineConfig::default().with_threads(2))
+}
+
+/// Mixed workload: specimens drawn from the open-loop Poisson generator's
+/// two-class risk mix, in arrival order.
+fn workload(seed: u64) -> Vec<Specimen> {
+    generate_arrivals(&TrafficConfig::mixed(1000.0, COHORTS * BATCH, seed))
+        .into_iter()
+        .map(|a| Specimen {
+            risk: a.risk,
+            infected: a.infected,
+        })
+        .collect()
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        queue_capacity: COHORTS * BATCH,
+        batch_size: BATCH,
+        // Only the size trigger and close-time flush may form batches, so
+        // service batching matches `batch_specimens` exactly.
+        batch_deadline: Duration::from_secs(30),
+        max_live_cohorts: COHORTS,
+        dense_threshold: 5,
+        parts: 4,
+        base_seed: 0xE13,
+        ..ServiceConfig::default()
+    }
+}
+
+fn serial_reference(
+    engine: &SharedEngine,
+    cfg: &ServiceConfig,
+    specimens: &[Specimen],
+) -> Vec<sbgt::SessionOutcome> {
+    batch_specimens(specimens, cfg.batch_size, cfg.base_seed)
+        .iter()
+        .map(|spec| {
+            run_cohort_serial(
+                engine,
+                spec,
+                cfg.model,
+                cfg.session,
+                cfg.dense_threshold,
+                cfg.parts,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sixty_four_cohorts_match_serial_bit_for_bit() {
+    let engine = engine();
+    let cfg = config();
+    let specimens = workload(42);
+    let serial = serial_reference(&engine, &cfg, &specimens);
+    assert_eq!(serial.len(), COHORTS);
+
+    let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+    for s in &specimens {
+        service.submit(*s).unwrap();
+    }
+    let reports = service.drain();
+
+    assert_eq!(reports.len(), COHORTS);
+    for (report, expected) in reports.iter().zip(&serial) {
+        assert_eq!(report.outcome.classification, expected.classification);
+        assert_eq!(report.outcome.tests, expected.tests);
+        assert_eq!(report.outcome.stages, expected.stages);
+        for (a, b) in report.outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "marginal bits diverged");
+        }
+    }
+
+    let stats = engine.metrics().service_stats();
+    assert_eq!(stats.submitted as usize, COHORTS * BATCH);
+    assert_eq!(stats.shed, 0, "nominal load must not shed");
+    assert_eq!(stats.cohorts_opened as usize, COHORTS);
+    assert_eq!(stats.cohorts_completed as usize, COHORTS);
+    assert!(stats.queue_peak > 0);
+}
+
+#[test]
+fn mid_run_suspend_resume_is_invisible() {
+    let engine = engine();
+    let cfg = config();
+    let specimens = workload(7);
+    let serial = serial_reference(&engine, &cfg, &specimens);
+
+    let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+    for s in &specimens {
+        service.submit(*s).unwrap();
+    }
+    // Freeze mid-run: some cohorts done, many mid-session.
+    thread::sleep(Duration::from_millis(10));
+    let checkpoint = service.suspend();
+    assert_eq!(
+        checkpoint.completed.len() + checkpoint.cohorts.len(),
+        COHORTS,
+        "no cohort may leak at suspension"
+    );
+
+    // Evict to bytes and back, as cold storage would.
+    let rehydrated = ServiceCheckpoint {
+        completed: checkpoint.completed.clone(),
+        cohorts: checkpoint
+            .cohorts
+            .iter()
+            .map(|c| CohortCheckpoint::from_bytes(&c.to_bytes()).unwrap())
+            .collect(),
+    };
+
+    let resumed = SurveillanceService::resume(engine.clone(), cfg, rehydrated).unwrap();
+    let reports = resumed.drain();
+    assert_eq!(reports.len(), COHORTS);
+    for (report, expected) in reports.iter().zip(&serial) {
+        assert_eq!(&report.outcome, expected);
+        for (a, b) in report.outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "marginal bits diverged");
+        }
+    }
+}

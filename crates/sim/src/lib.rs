@@ -19,7 +19,9 @@
 //!   the [`sbgt_engine`] (the framework's Spark-style outer loop);
 //! * [`metrics`] — confusion matrices, tests-per-subject, stage counts, and
 //!   aggregation across replicates;
-//! * [`scenario`] — named workload configurations (the E1 table).
+//! * [`scenario`] — named workload configurations (the E1 table);
+//! * [`traffic`] — open-loop Poisson specimen arrivals driving the
+//!   surveillance service experiments (E13).
 
 pub mod array_testing;
 pub mod dorfman;
@@ -32,6 +34,7 @@ pub mod runner;
 pub mod scenario;
 pub mod stream;
 pub mod surveillance;
+pub mod traffic;
 
 pub use array_testing::{run_array_testing, square_grid};
 pub use dorfman::{dorfman_expected_tests_per_subject, optimal_dorfman_pool};
@@ -44,3 +47,4 @@ pub use runner::{
 pub use scenario::Scenario;
 pub use stream::{run_stream, Drift, StreamConfig, WaveReport};
 pub use surveillance::{run_surveillance, SurveillanceConfig, SurveillanceReport};
+pub use traffic::{generate_arrivals, Arrival, TrafficClass, TrafficConfig};

@@ -1,0 +1,161 @@
+//! Open-loop traffic generation for the surveillance service.
+//!
+//! The service experiments (E13) need specimen *arrivals*, not pre-built
+//! cohorts: an open-loop Poisson process whose rate is independent of how
+//! fast the service drains its queue, so overload actually sheds instead of
+//! silently back-pressuring the generator. Each arrival carries a risk
+//! class (sampled from a weighted mix) and a ground-truth infection flag,
+//! both seeded and reproducible.
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// One risk class in the arrival mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficClass {
+    /// Relative weight of this class in the mix (need not be normalized).
+    pub weight: f64,
+    /// Prior infection risk assigned to specimens of this class.
+    pub risk: f64,
+}
+
+/// Configuration of an open-loop Poisson arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Mean arrival rate in specimens per second.
+    pub rate_per_sec: f64,
+    /// Total specimens to generate.
+    pub specimens: usize,
+    /// Risk-class mix; must be non-empty with positive total weight.
+    pub classes: Vec<TrafficClass>,
+    /// RNG seed; the whole trace is a pure function of the config.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A screening-like default: 2% baseline risk with a small high-risk
+    /// tail, matching the mixed-risk scenario used across the experiments.
+    pub fn mixed(rate_per_sec: f64, specimens: usize, seed: u64) -> Self {
+        TrafficConfig {
+            rate_per_sec,
+            specimens,
+            classes: vec![
+                TrafficClass {
+                    weight: 0.85,
+                    risk: 0.02,
+                },
+                TrafficClass {
+                    weight: 0.15,
+                    risk: 0.12,
+                },
+            ],
+            seed,
+        }
+    }
+}
+
+/// One specimen arrival.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Offset from the start of the trace.
+    pub at: Duration,
+    /// Prior risk from the specimen's class.
+    pub risk: f64,
+    /// Ground-truth infection status (Bernoulli draw at `risk`).
+    pub infected: bool,
+}
+
+/// Generate the full arrival trace: exponential inter-arrival gaps
+/// (inverse-CDF sampling, so the trace is a deterministic function of the
+/// seed), class sampled by weight, truth sampled at the class risk.
+///
+/// Panics if the rate is not positive or the class mix is empty/weightless
+/// — both are programming errors in experiment setup, not runtime inputs.
+pub fn generate_arrivals(cfg: &TrafficConfig) -> Vec<Arrival> {
+    assert!(
+        cfg.rate_per_sec > 0.0 && cfg.rate_per_sec.is_finite(),
+        "arrival rate must be positive and finite"
+    );
+    let total_weight: f64 = cfg.classes.iter().map(|c| c.weight).sum();
+    assert!(
+        !cfg.classes.is_empty() && total_weight > 0.0,
+        "traffic mix needs at least one positively-weighted class"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut clock = 0.0f64;
+    let mut out = Vec::with_capacity(cfg.specimens);
+    for _ in 0..cfg.specimens {
+        // Exponential gap via inverse CDF; 1 - u keeps ln's argument in
+        // (0, 1] so the gap is finite.
+        let u: f64 = rng.random();
+        clock += -(1.0 - u).ln() / cfg.rate_per_sec;
+        let mut pick = rng.random::<f64>() * total_weight;
+        let mut risk = cfg.classes[cfg.classes.len() - 1].risk;
+        for class in &cfg.classes {
+            pick -= class.weight;
+            if pick <= 0.0 {
+                risk = class.risk;
+                break;
+            }
+        }
+        let infected = rng.random_bool(risk);
+        out.push(Arrival {
+            at: Duration::from_secs_f64(clock),
+            risk,
+            infected,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_ordered() {
+        let cfg = TrafficConfig::mixed(50.0, 500, 7);
+        let a = generate_arrivals(&cfg);
+        let b = generate_arrivals(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        for pair in a.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "arrivals must be time-ordered");
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_rate() {
+        let cfg = TrafficConfig::mixed(100.0, 4000, 11);
+        let arrivals = generate_arrivals(&cfg);
+        let span = arrivals.last().unwrap().at.as_secs_f64();
+        let empirical_rate = arrivals.len() as f64 / span;
+        assert!(
+            (empirical_rate - 100.0).abs() < 10.0,
+            "empirical rate {empirical_rate} should be near 100/s"
+        );
+    }
+
+    #[test]
+    fn class_mix_and_prevalence_are_respected() {
+        let cfg = TrafficConfig::mixed(10.0, 8000, 3);
+        let arrivals = generate_arrivals(&cfg);
+        let high = arrivals.iter().filter(|a| a.risk > 0.1).count() as f64;
+        let frac = high / arrivals.len() as f64;
+        assert!((frac - 0.15).abs() < 0.03, "high-risk fraction {frac}");
+        let infected = arrivals.iter().filter(|a| a.infected).count() as f64;
+        let prevalence = infected / arrivals.len() as f64;
+        // Mix prevalence = 0.85*0.02 + 0.15*0.12 = 0.035.
+        assert!((prevalence - 0.035).abs() < 0.01, "prevalence {prevalence}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn zero_rate_rejected() {
+        let cfg = TrafficConfig::mixed(0.0, 10, 1);
+        generate_arrivals(&cfg);
+    }
+}

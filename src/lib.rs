@@ -12,6 +12,8 @@
 //! * [`sbgt_bayes`] — priors, updates, classification, analyses.
 //! * [`sbgt_select`] — Bayesian Halving Algorithm and look-ahead rules.
 //! * [`sbgt_sim`] — synthetic cohorts and the sequential-testing runner.
+//! * [`sbgt_service`] — the multi-cohort surveillance service (batched
+//!   ingestion, admission control, checkpoint/restore).
 
 pub use sbgt;
 pub use sbgt_bayes;
@@ -19,4 +21,5 @@ pub use sbgt_engine;
 pub use sbgt_lattice;
 pub use sbgt_response;
 pub use sbgt_select;
+pub use sbgt_service;
 pub use sbgt_sim;

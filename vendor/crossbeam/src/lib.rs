@@ -1,11 +1,14 @@
 //! Offline vendored subset of the `crossbeam` crate.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` — an
-//! unbounded multi-producer **multi-consumer** channel (std's `mpsc` is
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}` —
+//! multi-producer **multi-consumer** channels (std's `mpsc` is
 //! single-consumer, which is why the engine's executor pool cannot use it).
-//! Implemented as a `Mutex<VecDeque>` + `Condvar`; throughput is far below
+//! Implemented as a `Mutex<VecDeque>` + `Condvar`s; throughput is far below
 //! real crossbeam's lock-free queue but the engine sends one boxed job per
-//! partition per stage, so channel cost is noise next to task bodies.
+//! partition per stage, so channel cost is noise next to task bodies. The
+//! bounded variant adds a capacity and a `try_send` that fails fast when the
+//! queue is full — the admission-control primitive `sbgt-service` builds its
+//! ingress queue on.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -15,13 +18,51 @@ pub mod channel {
 
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Wakes receivers blocked on an empty queue.
         ready: Condvar,
+        /// Wakes senders blocked on a full bounded queue.
+        space: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
     }
 
     /// Error returned by [`Sender::send`] when every receiver is gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; the value is handed back.
+        Full(T),
+        /// Every receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full queue (backpressure) rather than a
+        /// dead channel.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
 
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every sender is gone.
@@ -101,13 +142,44 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueue `value`, waking one blocked receiver.
+        /// Enqueue `value`, waking one blocked receiver. On a bounded
+        /// channel, blocks while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            if let Some(cap) = self.inner.capacity {
+                while queue.len() >= cap {
+                    queue = self.inner.space.wait(queue).expect("channel poisoned");
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Non-blocking enqueue: [`TrySendError::Full`] when a bounded
+        /// channel is at capacity — the load-shedding primitive.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            if let Some(cap) = self.inner.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -118,6 +190,8 @@ pub mod channel {
             let mut queue = self.inner.queue.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.space.notify_one();
                     return Ok(value);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
@@ -133,6 +207,8 @@ pub mod channel {
             let mut queue = self.inner.queue.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.space.notify_one();
                     return Ok(value);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
@@ -153,19 +229,35 @@ pub mod channel {
 
         /// Non-blocking receive: `None` when currently empty.
         pub fn try_recv(&self) -> Option<T> {
-            self.inner
+            let value = self
+                .inner
                 .queue
                 .lock()
                 .expect("channel poisoned")
-                .pop_front()
+                .pop_front();
+            if value.is_some() {
+                self.inner.space.notify_one();
+            }
+            value
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
         });
         (
@@ -174,6 +266,18 @@ pub mod channel {
             },
             Receiver { inner },
         )
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` values
+    /// (`cap >= 1`). `send` blocks at capacity; `try_send` fails fast.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be at least 1");
+        with_capacity(Some(cap))
     }
 
     #[cfg(test)]
@@ -225,6 +329,42 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_sheds_at_capacity() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            let err = tx.try_send(3).unwrap_err();
+            assert!(err.is_full());
+            assert_eq!(err.into_inner(), 3);
+            assert_eq!(tx.len(), 2);
+            // Draining one slot re-admits.
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_recv(), Some(2));
+            assert_eq!(rx.try_recv(), Some(3));
+            assert!(rx.is_empty() && tx.is_empty());
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let writer = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the reader drains.
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            writer.join().unwrap();
+        }
+
+        #[test]
+        #[should_panic(expected = "capacity must be at least 1")]
+        fn zero_capacity_rejected() {
+            let _ = bounded::<u8>(0);
         }
     }
 }
