@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos service-smoke bench bench-smoke
+.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke
 
-verify: fmt-check clippy build test chaos service-smoke bench-smoke
+verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -37,6 +37,13 @@ chaos:
 service-smoke:
 	$(CARGO) test -p sbgt-service --test smoke -q
 
+# Telemetry smoke: a fully-traced service run must export a Chrome trace
+# and a Prometheus scrape that both pass the in-repo validators (the
+# example asserts this and exits nonzero otherwise), writing the
+# artifacts to target/obs/ for inspection.
+obs-smoke:
+	$(CARGO) run --release --example trace
+
 # Criterion benches (plain-text report; pass FILTER=<substring> to select).
 bench:
 	$(CARGO) bench -p sbgt-bench $(if $(FILTER),--bench $(FILTER),)
@@ -48,3 +55,4 @@ bench:
 bench-smoke:
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench lookahead -- --test
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench service -- --test
+	SBGT_BENCH_SMOKE=1 $(CARGO) test -p sbgt --release --test obs_overhead -q

@@ -1,5 +1,9 @@
 //! The SBGT session: the framework's public driving surface.
 
+use std::sync::Arc;
+
+use sbgt_engine::obs::{SpanKind, SpanMeta, SpanRecorder, TraceLevel};
+
 use sbgt_bayes::{
     analyze, analyze_par, classify_marginals, update_dense, update_dense_par, BayesError,
     CohortClassification, Observation, PosteriorReport, Prior,
@@ -55,6 +59,9 @@ pub struct SbgtSession<M> {
     config: SbgtConfig,
     history: Vec<(State, bool)>,
     stages: usize,
+    /// Telemetry sink and the cohort id stamped on every span. `None`
+    /// (the default) records nothing; [`Self::attach_obs`] opts in.
+    obs: Option<(Arc<SpanRecorder>, u64)>,
 }
 
 impl<M: BinaryOutcomeModel> SbgtSession<M> {
@@ -66,6 +73,29 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             config,
             history: Vec::new(),
             stages: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach a telemetry recorder; every subsequent round emits
+    /// `session:*` spans tagged with `cohort`. Sessions driven by an
+    /// engine-backed service share the engine's recorder so all lanes
+    /// land in one trace.
+    pub fn attach_obs(&mut self, recorder: Arc<SpanRecorder>, cohort: u64) {
+        self.obs = Some((recorder, cohort));
+    }
+
+    /// Whether a telemetry recorder is attached (used for lazy attach).
+    pub fn has_obs(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The attached recorder and cohort id when recording is live at
+    /// `min`, cloned so span guards never borrow `self`.
+    fn obs_at(&self, min: TraceLevel) -> Option<(Arc<SpanRecorder>, u64)> {
+        match &self.obs {
+            Some((rec, cohort)) if rec.enabled_at(min) => Some((Arc::clone(rec), *cohort)),
+            _ => None,
         }
     }
 
@@ -265,14 +295,45 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// service schedules — [`Self::run_to_classification`] is a loop over
     /// this, so round-stepped and batch trajectories are identical.
     pub fn run_round(&mut self, mut lab: impl FnMut(State) -> bool) -> RoundStep {
+        let Some((rec, cohort)) = self.obs_at(TraceLevel::Spans) else {
+            return self.run_round_inner(&mut lab);
+        };
+        let start = rec.now_ns();
+        let step = self.run_round_inner(&mut lab);
+        let name = rec.intern("session:round");
+        let mut meta = SpanMeta::for_cohort(cohort);
+        meta.failed = matches!(&step, RoundStep::Finished(o) if !o.classification.is_terminal());
+        rec.record_span_ending_now(SpanKind::Round, name, start, meta);
+        step
+    }
+
+    /// Record `name` as a `Phase` span covering `start..now` when phase
+    /// tracing ([`TraceLevel::Full`]) is live.
+    fn obs_phase(&self, name: &str, start: Option<u64>) {
+        if let (Some((rec, cohort)), Some(start)) = (self.obs_at(TraceLevel::Full), start) {
+            let name = rec.intern(name);
+            rec.record_span_ending_now(SpanKind::Phase, name, start, SpanMeta::for_cohort(cohort));
+        }
+    }
+
+    /// Timestamp for the next [`Self::obs_phase`] call, `None` when phase
+    /// tracing is off (so untraced rounds never read the clock).
+    fn obs_phase_start(&self) -> Option<u64> {
+        self.obs_at(TraceLevel::Full).map(|(rec, _)| rec.now_ns())
+    }
+
+    fn run_round_inner(&mut self, lab: &mut impl FnMut(State) -> bool) -> RoundStep {
         let stage_width = self.config.stage_width;
         // One marginals pass feeds classification, the candidate
         // ordering, and selection for the whole round.
+        let t = self.obs_phase_start();
         let marginals = self.marginals();
         let classification = classify_marginals(&marginals, self.config.rule);
+        self.obs_phase("session:marginals", t);
         if classification.is_terminal() || self.stages >= self.config.max_stages {
             return RoundStep::Finished(self.outcome(classification));
         }
+        let t = self.obs_phase_start();
         let order = Self::order_from(&marginals, &classification);
         let selections = if stage_width <= 1 {
             self.select_next_with_order(&order)
@@ -282,14 +343,18 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             self.select_stage_with_order(stage_width, &order)
                 .expect("stage width validated by SbgtConfig")
         };
+        self.obs_phase("session:select", t);
         if selections.is_empty() {
             return RoundStep::Finished(self.outcome(classification));
         }
+        let t = self.obs_phase_start();
         let observations: Vec<(State, bool)> =
             selections.iter().map(|s| (s.pool, lab(s.pool))).collect();
         if self.observe_stage(&observations).is_err() {
+            self.obs_phase("session:observe", t);
             return RoundStep::Finished(self.outcome(self.classify()));
         }
+        self.obs_phase("session:observe", t);
         RoundStep::Progressed
     }
 
@@ -325,6 +390,7 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             config,
             history: snapshot.history.clone(),
             stages: snapshot.stages,
+            obs: None,
         })
     }
 
@@ -581,6 +647,38 @@ mod tests {
             a.select_stage(0),
             Err(SelectError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn attached_recorder_captures_round_and_phase_spans() {
+        use sbgt_engine::obs::{ObsConfig, SpanKind, SpanRecorder};
+        let truth = State::from_subjects([1, 3]);
+        let mut s = SbgtSession::new(
+            Prior::flat(6, 0.1),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default().serial(),
+        );
+        assert!(!s.has_obs());
+        let rec = Arc::new(SpanRecorder::new(ObsConfig::full()));
+        s.attach_obs(Arc::clone(&rec), 7);
+        assert!(s.has_obs());
+        let outcome = s.run_to_classification(|pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        let snap = rec.snapshot();
+        let events: Vec<_> = snap.all_events().collect();
+        let rounds = events.iter().filter(|e| e.kind == SpanKind::Round).count();
+        assert!(rounds >= 1, "each round must emit a Round span");
+        // Every span carries the attached cohort id, and Full level also
+        // captured the per-phase breakdown.
+        assert!(events.iter().all(|e| e.meta.cohort == 7));
+        for phase in ["session:marginals", "session:select", "session:observe"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind == SpanKind::Phase && rec.name_of(e.name) == phase),
+                "missing phase span {phase}"
+            );
+        }
     }
 
     #[test]

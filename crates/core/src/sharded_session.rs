@@ -24,6 +24,7 @@
 use std::sync::Arc;
 
 use sbgt_bayes::{classify_marginals, BayesError, CohortClassification, Prior};
+use sbgt_engine::obs::{SpanKind, SpanMeta, SpanRecorder, TraceLevel, NO_COHORT};
 use sbgt_engine::Engine;
 use sbgt_lattice::{LookaheadKernel, State};
 use sbgt_response::BinaryOutcomeModel;
@@ -51,6 +52,10 @@ pub struct ShardedSession<M> {
     /// `(order, masses)` carried over from the last fused round: all-prefix
     /// negative masses of the *current* posterior under `order`.
     pending_selection: Option<(Vec<usize>, Vec<f64>)>,
+    /// Cohort id stamped on the session's telemetry spans (the engine's
+    /// recorder is the sink, so no recorder handle is stored here).
+    /// `None` leaves spans tagged [`NO_COHORT`].
+    cohort: Option<u64>,
 }
 
 impl<M: BinaryOutcomeModel> ShardedSession<M> {
@@ -67,7 +72,19 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
             stages: 0,
             marginals,
             pending_selection: None,
+            cohort: None,
         }
+    }
+
+    /// Tag this session's telemetry spans with a cohort id (the sink is
+    /// the engine's own [`SpanRecorder`], shared with stage/task spans).
+    pub fn set_cohort(&mut self, cohort: u64) {
+        self.cohort = Some(cohort);
+    }
+
+    /// The cohort id stamped on telemetry spans, if one was set.
+    pub fn cohort(&self) -> Option<u64> {
+        self.cohort
     }
 
     /// Cohort size.
@@ -244,27 +261,77 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
     /// [`Self::run_to_classification`] is a loop over this, so round-stepped
     /// and batch trajectories are identical by construction.
     pub fn run_round(&mut self, engine: &Engine, mut lab: impl FnMut(State) -> bool) -> RoundStep {
+        let rec = engine.obs();
+        if !rec.enabled_at(TraceLevel::Spans) {
+            return self.run_round_inner(engine, &mut lab, None);
+        }
+        let rec = Arc::clone(rec);
+        let start = rec.now_ns();
+        let step = self.run_round_inner(engine, &mut lab, Some(&rec));
+        let name = rec.intern("session:round");
+        rec.record_span_ending_now(
+            SpanKind::Round,
+            name,
+            start,
+            SpanMeta::for_cohort(self.cohort.unwrap_or(NO_COHORT)),
+        );
+        step
+    }
+
+    /// Record `name` as a `Phase` span covering `start..now` on `rec`,
+    /// tagged with this session's cohort. Phase detail is
+    /// [`TraceLevel::Full`] only; the caller passes `start: None` below
+    /// that level so untraced rounds never read the clock.
+    fn obs_phase(&self, rec: Option<&SpanRecorder>, name: &str, start: Option<u64>) {
+        if let (Some(rec), Some(start)) = (rec, start) {
+            let name = rec.intern(name);
+            rec.record_span_ending_now(
+                SpanKind::Phase,
+                name,
+                start,
+                SpanMeta::for_cohort(self.cohort.unwrap_or(NO_COHORT)),
+            );
+        }
+    }
+
+    fn obs_phase_start(rec: Option<&SpanRecorder>) -> Option<u64> {
+        rec.filter(|r| r.enabled_at(TraceLevel::Full))
+            .map(|r| r.now_ns())
+    }
+
+    fn run_round_inner(
+        &mut self,
+        engine: &Engine,
+        lab: &mut impl FnMut(State) -> bool,
+        rec: Option<&SpanRecorder>,
+    ) -> RoundStep {
         let classification = self.classify();
         if classification.is_terminal() || self.stages() >= self.config.max_stages {
             return RoundStep::Finished(self.outcome(classification));
         }
         if self.config.stage_width > 1 {
             let cfg = self.config.lookahead();
+            let t = Self::obs_phase_start(rec);
             let stage = self
                 .select_stage(engine, &cfg)
                 .expect("stage width validated by SbgtConfig");
+            self.obs_phase(rec, "session:select", t);
             if stage.is_empty() {
                 return RoundStep::Finished(self.outcome(classification));
             }
+            let t = Self::obs_phase_start(rec);
             let observations: Vec<(State, bool)> =
                 stage.iter().map(|s| (s.pool, lab(s.pool))).collect();
-            if self.observe_stage(engine, &observations).is_err() {
+            let observed = self.observe_stage(engine, &observations);
+            self.obs_phase(rec, "session:observe", t);
+            if observed.is_err() {
                 return RoundStep::Finished(self.outcome(self.classify()));
             }
             return RoundStep::Progressed;
         }
         // Pipelined fast path: masses banked by the previous fused
         // round. First round (or after a miss) pays one extra stage.
+        let t = Self::obs_phase_start(rec);
         let selection = self
             .pending_selection
             .take()
@@ -272,11 +339,15 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
                 select_halving_from_masses(&order, &masses, self.config.max_pool_size)
             })
             .or_else(|| self.select_next(engine));
+        self.obs_phase(rec, "session:select", t);
         let Some(selection) = selection else {
             return RoundStep::Finished(self.outcome(classification));
         };
+        let t = Self::obs_phase_start(rec);
         let outcome = lab(selection.pool);
-        if self.observe(engine, selection.pool, outcome).is_err() {
+        let observed = self.observe(engine, selection.pool, outcome);
+        self.obs_phase(rec, "session:observe", t);
+        if observed.is_err() {
             return RoundStep::Finished(self.outcome(self.classify()));
         }
         RoundStep::Progressed
@@ -330,6 +401,7 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
             stages: snapshot.stages,
             marginals: snapshot.marginals.clone(),
             pending_selection: snapshot.pending_selection.clone(),
+            cohort: None,
         })
     }
 
@@ -544,6 +616,43 @@ mod tests {
             };
             assert_eq!(outcome, expected, "width {width}");
         }
+    }
+
+    #[test]
+    fn engine_recorder_captures_cohort_tagged_round_spans() {
+        use sbgt_engine::obs::ObsConfig;
+        let e = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_obs(ObsConfig::full()),
+        );
+        let truth = State::from_subjects([3, 7]);
+        let mut s = ShardedSession::new(
+            &e,
+            distinct_risks(),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default(),
+            4,
+        );
+        assert_eq!(s.cohort(), None);
+        s.set_cohort(42);
+        assert_eq!(s.cohort(), Some(42));
+        let outcome = s.run_to_classification(&e, |pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        let snap = e.obs().snapshot();
+        let events: Vec<_> = snap.all_events().collect();
+        let rec = e.obs();
+        // Round and phase spans carry the cohort tag; the engine's own
+        // stage spans (the fused rounds) share the same recorder.
+        assert!(events
+            .iter()
+            .any(|ev| ev.kind == SpanKind::Round && ev.meta.cohort == 42));
+        assert!(events.iter().any(|ev| ev.kind == SpanKind::Phase
+            && ev.meta.cohort == 42
+            && rec.name_of(ev.name) == "session:observe"));
+        assert!(events
+            .iter()
+            .any(|ev| ev.kind == SpanKind::Stage && rec.name_of(ev.name).contains("fused-round")));
     }
 
     #[test]

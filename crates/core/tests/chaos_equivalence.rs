@@ -218,6 +218,62 @@ fn permanent_panic_surfaces_stage_name_and_leaks_nothing() {
     assert_eq!(job.faults.retries, 1);
 }
 
+/// Tracing must not perturb the chaos schedule: fault draws are keyed by
+/// the stage sequence, so a fully-traced chaotic run must inject the
+/// exact same faults and land on the exact same bits as an untraced
+/// chaotic run with the same campaign.
+#[test]
+fn full_tracing_never_shifts_the_fault_schedule() {
+    use sbgt_engine::ObsConfig;
+    let campaign = || {
+        FaultPlan::seeded(
+            ChaosConfig::new(7177)
+                .with_panic_rate(0.2)
+                .with_delay_rate(0.05, Duration::from_millis(1))
+                .with_poison_rate(0.1),
+        )
+    };
+    let run = |obs: ObsConfig| {
+        let e = Engine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_retry(RetryPolicy::clamped(2))
+                .with_obs(obs),
+        );
+        e.set_fault_plan(campaign());
+        let out = run_stage_variant_sequence(&e);
+        (out, e.metrics().fault_totals(), e)
+    };
+    let (untraced, untraced_faults, _e1) = run(ObsConfig::off());
+    let (traced, traced_faults, e2) = run(ObsConfig::full());
+
+    assert_eq!(untraced_faults, traced_faults, "fault schedule shifted");
+    assert!(
+        untraced_faults.injected_total() > 0,
+        "campaign never fired: {untraced_faults:?}"
+    );
+    assert_bitwise_eq(&untraced.evidences, &traced.evidences, "evidences");
+    assert_bitwise_eq(
+        &untraced.final_dense,
+        &traced.final_dense,
+        "final posterior",
+    );
+    assert_bitwise_eq(
+        &untraced.fused_marginals,
+        &traced.fused_marginals,
+        "fused marginals",
+    );
+    // The traced run must have captured the injected faults as marks and
+    // the failed attempts as failed task spans.
+    let rec = e2.obs();
+    let snap = rec.snapshot();
+    let events: Vec<_> = snap.all_events().collect();
+    assert!(events
+        .iter()
+        .any(|ev| rec.name_of(ev.name).starts_with("fault:")));
+    assert!(events.iter().any(|ev| ev.meta.failed));
+}
+
 /// A full sharded session driven to classification under a seeded random
 /// campaign produces the identical outcome to a fault-free session:
 /// same pools tested, same stage count, same classification, bitwise-equal

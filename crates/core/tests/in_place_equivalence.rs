@@ -33,6 +33,45 @@ fn assert_bitwise_eq(a: &[f64], b: &[f64], what: &str) {
     }
 }
 
+/// Full-level tracing is observation only: a traced engine produces the
+/// exact bits of an untraced one through every stage variant (and it
+/// actually recorded spans while doing so).
+#[test]
+fn full_tracing_never_changes_posterior_bits() {
+    use sbgt_engine::ObsConfig;
+    let off = engine();
+    let full = Engine::new(
+        EngineConfig::default()
+            .with_threads(2)
+            .with_obs(ObsConfig::full()),
+    );
+    let risks = [0.02, 0.08, 0.15, 0.05, 0.3, 0.11, 0.07, 0.22];
+    let n = risks.len();
+    let dense0 = Prior::from_risks(&risks).to_dense();
+    let model = BinaryDilutionModel::pcr_like();
+    let mut a = ShardedPosterior::from_dense(&dense0, 4);
+    let mut b = ShardedPosterior::from_dense(&dense0, 4);
+    for (i, seed) in [13u64, 29, 71, 97].into_iter().enumerate() {
+        let pool = pool_from_seed(seed, n);
+        let za = a.update(&off, &model, pool, i % 2 == 0).unwrap();
+        let zb = b.update(&full, &model, pool, i % 2 == 0).unwrap();
+        assert_eq!(za.to_bits(), zb.to_bits());
+    }
+    assert_bitwise_eq(
+        a.to_dense(&off).probs(),
+        b.to_dense(&full).probs(),
+        "traced vs untraced",
+    );
+    assert!(
+        off.obs().snapshot().total_events() == 0,
+        "off records nothing"
+    );
+    assert!(
+        full.obs().snapshot().total_events() > 0,
+        "full must have recorded stage/task spans"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

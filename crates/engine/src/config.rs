@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::chaos::SpeculationConfig;
+use crate::obs::ObsConfig;
 use crate::retry::RetryPolicy;
 
 /// Configuration for an [`crate::Engine`].
@@ -29,6 +30,11 @@ pub struct EngineConfig {
     /// Speculative re-execution of stragglers; `None` (default) disables
     /// it. Enabling it also activates the fault-tolerant stage path.
     pub speculation: Option<SpeculationConfig>,
+    /// Telemetry recording ([`ObsConfig`]). Defaults to the `SBGT_TRACE`
+    /// environment variable (unset meaning off), so any binary can be
+    /// traced without code changes; recording off is a branch on one
+    /// atomic per instrumentation site.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +44,7 @@ impl Default for EngineConfig {
             partitions_per_thread: 4,
             retry: RetryPolicy::none(),
             speculation: None,
+            obs: ObsConfig::from_env(),
         }
     }
 }
@@ -65,6 +72,13 @@ impl EngineConfig {
     /// Enable speculative straggler re-execution.
     pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
         self.speculation = Some(speculation);
+        self
+    }
+
+    /// Set the telemetry configuration explicitly (overriding the
+    /// `SBGT_TRACE` environment default).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -96,6 +110,17 @@ mod tests {
             .with_partitions_per_thread(0);
         assert_eq!(c.threads, 1);
         assert_eq!(c.partitions_per_thread, 1);
+    }
+
+    #[test]
+    fn obs_builder_overrides_env_default() {
+        use crate::obs::TraceLevel;
+        let c = EngineConfig::default().with_obs(ObsConfig::full());
+        assert_eq!(c.obs.level, TraceLevel::Full);
+        assert_eq!(
+            EngineConfig::default().with_obs(ObsConfig::off()).obs.level,
+            TraceLevel::Off
+        );
     }
 
     #[test]

@@ -103,6 +103,7 @@ pub mod dataset;
 pub mod error;
 pub mod keyed;
 pub mod metrics;
+pub mod obs;
 pub mod partitioner;
 pub mod pool;
 pub mod retry;
@@ -117,8 +118,9 @@ pub use config::EngineConfig;
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use metrics::{
-    FaultStats, JobMetrics, MetricsRegistry, ServiceStats, StageVariant, TaskMetrics,
+    FaultStats, JobMetrics, MetricsRegistry, ServiceStats, StageAgg, StageVariant, TaskMetrics,
 };
+pub use obs::{LogHistogram, ObsConfig, SpanKind, SpanMeta, SpanRecorder, TraceLevel};
 pub use partitioner::{partition_ranges, HashPartitioner, Partitioner, RangePartitioner};
 pub use pool::ThreadPool;
 pub use retry::RetryPolicy;
@@ -141,6 +143,10 @@ pub struct Engine {
     pool: ThreadPool,
     config: EngineConfig,
     metrics: Arc<MetricsRegistry>,
+    /// Telemetry recorder (spans, marks, counter tracks); shared with
+    /// sessions and the service layer. Recording is gated by
+    /// `config.obs` — one atomic load per site when off.
+    obs: Arc<SpanRecorder>,
     /// Installed fault-injection plan, if any (chaos testing).
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
     /// Count of stages launched; feeds the fault plan so repeated runs of
@@ -153,10 +159,12 @@ impl Engine {
     /// `config.threads` executor threads immediately.
     pub fn new(config: EngineConfig) -> Self {
         let pool = ThreadPool::new(config.threads, "sbgt-exec");
+        let obs = Arc::new(SpanRecorder::new(config.obs));
         Engine {
             pool,
             config,
             metrics: Arc::new(MetricsRegistry::new()),
+            obs,
             fault_plan: Mutex::new(None),
             stage_seq: AtomicU64::new(0),
         }
@@ -186,6 +194,20 @@ impl Engine {
     /// The metrics registry recording job/task timings.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The telemetry recorder. Instrumentation sites gate on
+    /// [`SpanRecorder::enabled_at`] before recording; exporters snapshot
+    /// it ([`obs::render_chrome_trace`],
+    /// [`MetricsRegistry::render_prometheus`]).
+    pub fn obs(&self) -> &Arc<SpanRecorder> {
+        &self.obs
+    }
+
+    /// Render the ASCII timeline of everything this engine recorded,
+    /// including the `obs:` summary segment when tracing was on.
+    pub fn render_timeline(&self) -> String {
+        timeline::render_timeline_with_obs(&self.metrics, &self.obs)
     }
 
     /// The underlying executor pool.
@@ -237,10 +259,22 @@ impl Engine {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        let obs_start = self
+            .obs
+            .enabled_at(TraceLevel::Spans)
+            .then(|| (self.obs.intern(name), self.obs.now_ns()));
         let start = std::time::Instant::now();
         let n_tasks = tasks.len();
         let outcome = self.pool.run_tasks(tasks);
         let elapsed = start.elapsed();
+        if let Some((name_id, start_ns)) = obs_start {
+            let meta = SpanMeta {
+                failed: outcome.is_err(),
+                ..SpanMeta::default()
+            };
+            self.obs
+                .record_span_ending_now(SpanKind::Stage, name_id, start_ns, meta);
+        }
         match outcome {
             Ok(results) => {
                 let task_metrics = results

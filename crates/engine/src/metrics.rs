@@ -4,9 +4,12 @@
 //! breakdown tables (experiment E9) and to verify that work is actually
 //! distributed across tasks rather than serialized on the driver.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use parking_lot::Mutex;
+
+use crate::obs::hist::LogHistogram;
 
 /// Timing of one task within a job.
 #[derive(Debug, Clone)]
@@ -176,15 +179,18 @@ pub struct ServiceStats {
     pub restores: u64,
     /// High-water mark of the ingress queue depth.
     pub queue_peak: u64,
-    /// Per-round wall-clock latencies, in microseconds.
-    round_latency_us: Vec<u64>,
+    /// Streaming histogram of per-round wall-clock latencies, in
+    /// microseconds. Fixed ~2 KB regardless of round count — the stats
+    /// stay O(1) in rounds for a service running for days (previously an
+    /// unbounded `Vec<u64>` growing one entry per round).
+    round_latency: LogHistogram,
 }
 
 impl ServiceStats {
     /// Record one completed round's wall-clock latency.
     pub fn record_round(&mut self, latency: Duration) {
         self.rounds += 1;
-        self.round_latency_us.push(latency.as_micros() as u64);
+        self.round_latency.record(latency.as_micros() as u64);
     }
 
     /// Raise the queue-depth high-water mark.
@@ -194,15 +200,18 @@ impl ServiceStats {
 
     /// Round-latency percentile (`p` in `[0, 1]`, nearest-rank). `None`
     /// before any round has completed.
+    ///
+    /// Answered from the streaming histogram in O(buckets) — no clone,
+    /// no sort — with at most 12.5% relative error (exact at the tracked
+    /// min/max; see [`LogHistogram::quantile`]).
     pub fn round_latency_percentile(&self, p: f64) -> Option<Duration> {
-        if self.round_latency_us.is_empty() {
-            return None;
-        }
-        let mut sorted = self.round_latency_us.clone();
-        sorted.sort_unstable();
-        let rank =
-            ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-        Some(Duration::from_micros(sorted[rank]))
+        self.round_latency.quantile(p).map(Duration::from_micros)
+    }
+
+    /// The round-latency histogram itself (microsecond samples) — what
+    /// the Prometheus exporter renders as bucketed series.
+    pub fn round_latency_histogram(&self) -> &LogHistogram {
+        &self.round_latency
     }
 
     /// Whether no service activity has been recorded (the common case for
@@ -213,51 +222,146 @@ impl ServiceStats {
     }
 }
 
+/// Default number of per-job records retained by a registry. Older jobs
+/// are evicted FIFO; the per-stage-name aggregates ([`StageAgg`]), fault
+/// totals, and broadcast counter are maintained incrementally at record
+/// time, so everything except the per-task detail of evicted jobs
+/// survives eviction. This caps registry memory at O(retention) for an
+/// engine running for days (previously the job vector grew forever).
+pub const DEFAULT_JOB_RETENTION: usize = 4096;
+
+/// Running aggregate of every job that ever ran under one stage name —
+/// the eviction-proof view behind [`MetricsRegistry::wall_time_for`] and
+/// the Prometheus exporter.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageAgg {
+    /// Stage/job name.
+    pub name: String,
+    /// Jobs recorded under this name (succeeded or failed).
+    pub jobs: u64,
+    /// Jobs that failed.
+    pub failed_jobs: u64,
+    /// Task completions across all jobs.
+    pub tasks: u64,
+    /// Summed job wall time.
+    pub wall: Duration,
+    /// Summed per-task executor time.
+    pub task_time: Duration,
+    /// Jobs whose final variant was in-place.
+    pub in_place_jobs: u64,
+}
+
+/// Per-name accumulator (name lives in the map key).
+#[derive(Debug, Clone, Default)]
+struct StageAggCore {
+    jobs: u64,
+    failed_jobs: u64,
+    tasks: u64,
+    wall: Duration,
+    task_time: Duration,
+    in_place_jobs: u64,
+}
+
 /// Registry of all jobs an engine has run.
-#[derive(Debug, Default)]
+///
+/// Holds the last [`DEFAULT_JOB_RETENTION`] jobs in full per-task detail
+/// plus incremental aggregates (per-stage-name totals, fault totals)
+/// covering every job ever recorded.
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    jobs: Mutex<Vec<JobMetrics>>,
+    jobs: Mutex<VecDeque<JobMetrics>>,
+    retention: usize,
+    aggs: Mutex<BTreeMap<String, StageAggCore>>,
+    faults: Mutex<FaultStats>,
     broadcasts: std::sync::atomic::AtomicU64,
     service: Mutex<ServiceStats>,
 }
 
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::with_retention(DEFAULT_JOB_RETENTION)
+    }
+}
+
 impl MetricsRegistry {
-    /// Empty registry.
+    /// Empty registry with the default job retention.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Empty registry retaining the last `retention` jobs in full detail
+    /// (clamped to at least 1; aggregates always cover everything).
+    pub fn with_retention(retention: usize) -> Self {
+        MetricsRegistry {
+            jobs: Mutex::new(VecDeque::new()),
+            retention: retention.max(1),
+            aggs: Mutex::new(BTreeMap::new()),
+            faults: Mutex::new(FaultStats::default()),
+            broadcasts: std::sync::atomic::AtomicU64::new(0),
+            service: Mutex::new(ServiceStats::default()),
+        }
+    }
+
     /// Record a completed (or failed) job.
     pub fn record_job(&self, metrics: JobMetrics) {
-        self.jobs.lock().push(metrics);
+        {
+            let mut aggs = self.aggs.lock();
+            let agg = aggs.entry(metrics.name.clone()).or_default();
+            agg.jobs += 1;
+            if !metrics.succeeded {
+                agg.failed_jobs += 1;
+            }
+            agg.tasks += metrics.tasks.len() as u64;
+            agg.wall += metrics.wall;
+            agg.task_time += metrics.total_task_time();
+            if metrics.variant.is_in_place() {
+                agg.in_place_jobs += 1;
+            }
+        }
+        self.faults.lock().absorb(&metrics.faults);
+        let mut jobs = self.jobs.lock();
+        if jobs.len() >= self.retention {
+            jobs.pop_front();
+        }
+        jobs.push_back(metrics);
     }
 
     /// Re-tag the most recently recorded job's [`StageVariant`]. Used by
     /// in-place dataset stages: partition uniqueness is only known after the
     /// tasks have run, so the stage annotates its job post hoc.
     pub fn annotate_last_job(&self, variant: StageVariant) {
-        if let Some(last) = self.jobs.lock().last_mut() {
+        let mut jobs = self.jobs.lock();
+        if let Some(last) = jobs.back_mut() {
+            // Keep the aggregate's in-place count consistent with the
+            // re-tag.
+            if last.variant.is_in_place() != variant.is_in_place() {
+                let mut aggs = self.aggs.lock();
+                let agg = aggs.entry(last.name.clone()).or_default();
+                if variant.is_in_place() {
+                    agg.in_place_jobs += 1;
+                } else {
+                    agg.in_place_jobs = agg.in_place_jobs.saturating_sub(1);
+                }
+            }
             last.variant = variant;
         }
     }
 
-    /// Jobs recorded with an in-place variant (any uniqueness mix).
+    /// Jobs ever recorded with an in-place variant (any uniqueness mix);
+    /// maintained incrementally, so eviction does not lower it.
     pub fn in_place_job_count(&self) -> usize {
-        self.jobs
+        self.aggs
             .lock()
-            .iter()
-            .filter(|j| j.variant.is_in_place())
-            .count()
+            .values()
+            .map(|a| a.in_place_jobs as usize)
+            .sum()
     }
 
     /// Sum of all jobs' fault counters — the campaign-level view a chaos
     /// test asserts against (nonzero retries, speculative wins, ...).
+    /// Maintained incrementally at record time, covering evicted jobs.
     pub fn fault_totals(&self) -> FaultStats {
-        let mut totals = FaultStats::default();
-        for job in self.jobs.lock().iter() {
-            totals.absorb(&job.faults);
-        }
-        totals
+        *self.faults.lock()
     }
 
     /// Record a broadcast creation.
@@ -271,22 +375,43 @@ impl MetricsRegistry {
         self.broadcasts.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Snapshot of all recorded jobs, in completion order.
+    /// Snapshot of the retained jobs (the newest
+    /// [`DEFAULT_JOB_RETENTION`] unless configured otherwise), in
+    /// completion order.
     pub fn jobs(&self) -> Vec<JobMetrics> {
-        self.jobs.lock().clone()
+        self.jobs.lock().iter().cloned().collect()
     }
 
-    /// Total wall time of jobs whose name starts with `prefix`.
-    pub fn wall_time_for(&self, prefix: &str) -> Duration {
-        self.jobs
+    /// Per-stage-name aggregates over every job ever recorded, sorted by
+    /// name.
+    pub fn stage_aggregates(&self) -> Vec<StageAgg> {
+        self.aggs
             .lock()
             .iter()
-            .filter(|j| j.name.starts_with(prefix))
-            .map(|j| j.wall)
+            .map(|(name, core)| StageAgg {
+                name: name.clone(),
+                jobs: core.jobs,
+                failed_jobs: core.failed_jobs,
+                tasks: core.tasks,
+                wall: core.wall,
+                task_time: core.task_time,
+                in_place_jobs: core.in_place_jobs,
+            })
+            .collect()
+    }
+
+    /// Total wall time of jobs whose name starts with `prefix`, over
+    /// every job ever recorded (aggregate-backed, eviction-proof).
+    pub fn wall_time_for(&self, prefix: &str) -> Duration {
+        self.aggs
+            .lock()
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, core)| core.wall)
             .sum()
     }
 
-    /// Number of recorded jobs.
+    /// Number of retained jobs (see [`DEFAULT_JOB_RETENTION`]).
     pub fn job_count(&self) -> usize {
         self.jobs.lock().len()
     }
@@ -301,9 +426,11 @@ impl MetricsRegistry {
         self.service.lock().clone()
     }
 
-    /// Drop all recorded jobs (between benchmark phases).
+    /// Drop all recorded jobs and aggregates (between benchmark phases).
     pub fn clear(&self) {
         self.jobs.lock().clear();
+        self.aggs.lock().clear();
+        *self.faults.lock() = FaultStats::default();
         self.broadcasts
             .store(0, std::sync::atomic::Ordering::Relaxed);
         *self.service.lock() = ServiceStats::default();
@@ -434,9 +561,11 @@ mod tests {
         assert!(!s.is_quiet());
         assert_eq!(s.rounds, 4);
         assert_eq!(s.queue_peak, 7);
+        // Histogram quantiles: within one sub-bucket (12.5%) of the exact
+        // order statistic, exact at the tracked extremes.
         assert_eq!(
             s.round_latency_percentile(0.5),
-            Some(Duration::from_millis(20))
+            Some(Duration::from_micros(20_479))
         );
         assert_eq!(
             s.round_latency_percentile(0.99),
@@ -444,8 +573,67 @@ mod tests {
         );
         assert_eq!(
             s.round_latency_percentile(0.0),
-            Some(Duration::from_millis(10))
+            Some(Duration::from_micros(10_239))
         );
+        assert_eq!(s.round_latency_histogram().count(), 4);
+        assert_eq!(s.round_latency_histogram().max(), Some(40_000));
+    }
+
+    #[test]
+    fn service_stats_memory_is_constant_in_rounds() {
+        // The histogram replaces the per-round Vec: size_of the stats is
+        // the whole footprint apart from one fixed bucket array.
+        let mut s = ServiceStats::default();
+        for i in 0..50_000u64 {
+            s.record_round(Duration::from_micros(i % 9_000 + 1));
+        }
+        assert_eq!(s.rounds, 50_000);
+        assert_eq!(s.round_latency_histogram().count(), 50_000);
+        assert!(s.round_latency_percentile(0.99).is_some());
+    }
+
+    #[test]
+    fn retention_evicts_detail_but_keeps_aggregates() {
+        let reg = MetricsRegistry::with_retention(4);
+        for i in 0..6 {
+            let mut j = job(if i % 2 == 0 { "update" } else { "select" }, &[10], 10);
+            j.faults.retries = 1;
+            reg.record_job(j);
+        }
+        // Only the newest 4 jobs keep per-task detail...
+        assert_eq!(reg.job_count(), 4);
+        assert_eq!(reg.jobs().len(), 4);
+        // ...but the aggregate view still covers all 6.
+        assert_eq!(reg.wall_time_for("update"), Duration::from_millis(30));
+        assert_eq!(reg.wall_time_for("select"), Duration::from_millis(30));
+        assert_eq!(reg.fault_totals().retries, 6);
+        let aggs = reg.stage_aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].name, "select");
+        assert_eq!(aggs[0].jobs, 3);
+        assert_eq!(aggs[1].name, "update");
+        assert_eq!(aggs[1].tasks, 3);
+        assert_eq!(aggs[1].wall, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn annotate_keeps_in_place_aggregate_consistent() {
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("update", &[5], 5));
+        reg.annotate_last_job(StageVariant::InPlace { unique: 1, cow: 0 });
+        assert_eq!(reg.in_place_job_count(), 1);
+        // Re-tagging back and forth cannot drift the counter.
+        reg.annotate_last_job(StageVariant::InPlace { unique: 0, cow: 1 });
+        assert_eq!(reg.in_place_job_count(), 1);
+        reg.annotate_last_job(StageVariant::Immutable);
+        assert_eq!(reg.in_place_job_count(), 0);
+        reg.annotate_last_job(StageVariant::Lookahead { branches: 2 });
+        assert_eq!(reg.in_place_job_count(), 0);
+        let aggs = reg.stage_aggregates();
+        assert_eq!(aggs[0].in_place_jobs, 0);
+        reg.clear();
+        assert!(reg.stage_aggregates().is_empty());
+        assert_eq!(reg.in_place_job_count(), 0);
     }
 
     #[test]

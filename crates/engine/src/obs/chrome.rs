@@ -1,0 +1,596 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! [`render_chrome_trace`] turns a [`SpanRecorder`] snapshot into the
+//! Trace Event Format's JSON-object form: one timeline lane per recorded
+//! thread (named via `M`etadata events), duration spans as properly
+//! nested `B`/`E` pairs, instantaneous marks as `i` events, and counter
+//! samples as `C` events (Perfetto draws those as counter tracks —
+//! queue depth, live cohorts). Timestamps are microseconds with
+//! nanosecond decimals, all measured against the recorder's shared
+//! epoch, so spans from different threads line up.
+//!
+//! The vendored `serde` is a no-op facade (no `serde_json`), so both the
+//! emitter and the parser here are hand-rolled. [`parse_json`] is a
+//! small strict recursive-descent JSON reader and
+//! [`validate_chrome_trace`] replays a rendered trace against the
+//! format's nesting rules (`B`/`E` balance per lane, monotonic
+//! timestamps); the exporter tests and the self-checking
+//! `examples/trace.rs` both go through it.
+
+use std::cmp::Reverse;
+use std::fmt::Write as _;
+
+use super::span::{SpanEvent, SpanKind, SpanRecorder, NO_COHORT, NO_SEQ, NO_TASK};
+
+/// Render the recorder's current contents as Chrome trace-event JSON.
+pub fn render_chrome_trace(recorder: &SpanRecorder) -> String {
+    let snap = recorder.snapshot();
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let emit = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&s);
+    };
+
+    for (tid, lane) in snap.lanes.iter().enumerate() {
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(&lane.name)
+            ),
+            &mut out,
+            &mut first,
+        );
+
+        let mut spans: Vec<&SpanEvent> = lane.events.iter().filter(|e| e.kind.is_span()).collect();
+        spans.sort_by_key(|e| (e.start_ns, Reverse(e.end_ns)));
+        // Emit B/E pairs with an explicit stack so the output is properly
+        // nested per lane even if sibling spans touch.
+        let mut stack: Vec<(u32, u64)> = Vec::new();
+        for span in &spans {
+            while let Some(&(name, end_ns)) = stack.last() {
+                if end_ns <= span.start_ns {
+                    emit(end_event(recorder, name, end_ns, tid), &mut out, &mut first);
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            // A child must not outlive its enclosing span; clamp
+            // defensively so the file always validates.
+            let end_ns = match stack.last() {
+                Some(&(_, parent_end)) => span.end_ns.min(parent_end),
+                None => span.end_ns,
+            };
+            emit(begin_event(recorder, span, tid), &mut out, &mut first);
+            stack.push((span.name, end_ns));
+        }
+        while let Some((name, end_ns)) = stack.pop() {
+            emit(end_event(recorder, name, end_ns, tid), &mut out, &mut first);
+        }
+
+        for ev in lane.events.iter().filter(|e| !e.kind.is_span()) {
+            let line = match ev.kind {
+                SpanKind::Counter => format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
+                     \"args\":{{\"value\":{}}}}}",
+                    json_string(&recorder.name_of(ev.name)),
+                    ts(ev.start_ns),
+                    ev.value
+                ),
+                _ => format!(
+                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{}{}}}",
+                    json_string(&recorder.name_of(ev.name)),
+                    ts(ev.start_ns),
+                    args_object(ev)
+                ),
+            };
+            emit(line, &mut out, &mut first);
+        }
+    }
+    out.push_str("\n]}");
+    out
+}
+
+/// Microsecond timestamp with nanosecond decimals.
+fn ts(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn begin_event(recorder: &SpanRecorder, span: &SpanEvent, tid: usize) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{}{}}}",
+        json_string(&recorder.name_of(span.name)),
+        ts(span.start_ns),
+        args_object(span)
+    )
+}
+
+fn end_event(recorder: &SpanRecorder, name: u32, end_ns: u64, tid: usize) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+        json_string(&recorder.name_of(name)),
+        ts(end_ns)
+    )
+}
+
+/// `,"args":{...}` with only the applicable identity fields, or nothing.
+fn args_object(ev: &SpanEvent) -> String {
+    let mut fields = Vec::new();
+    let m = &ev.meta;
+    if m.task != NO_TASK {
+        fields.push(format!("\"task\":{}", m.task));
+        fields.push(format!("\"attempt\":{}", m.attempt));
+    }
+    if m.cohort != NO_COHORT {
+        fields.push(format!("\"cohort\":{}", m.cohort));
+    }
+    if m.seq != NO_SEQ {
+        fields.push(format!("\"seq\":{}", m.seq));
+    }
+    if m.speculative {
+        fields.push("\"speculative\":true".to_string());
+    }
+    if m.failed {
+        fields.push("\"failed\":true".to_string());
+    }
+    if fields.is_empty() {
+        String::new()
+    } else {
+        format!(",\"args\":{{{}}}", fields.join(","))
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value ([`parse_json`]). Object member order is kept.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, members in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (strict: one value, no trailing junk).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => {
+            let start = *pos;
+            if bytes[*pos] == b'-' {
+                *pos += 1;
+            }
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| format!("invalid number at byte {start}"))?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        }
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // byte stream is valid UTF-8).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).unwrap());
+            }
+        }
+    }
+}
+
+/// What [`validate_chrome_trace`] verified about a trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Complete `B`/`E` span pairs.
+    pub spans: usize,
+    /// Counter (`C`) samples.
+    pub counters: usize,
+    /// Instant (`i`) marks.
+    pub marks: usize,
+    /// Distinct lanes named by metadata events.
+    pub lanes: usize,
+    /// Deepest `B` nesting observed on any lane.
+    pub max_depth: usize,
+}
+
+/// Parse a rendered trace document and check the trace-event invariants:
+/// the JSON shape, per-lane `B`/`E` balance with matching names,
+/// monotonic non-negative timestamps per lane, and counter/instant
+/// well-formedness. Returns counts on success.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing traceEvents array")?;
+    let mut summary = ChromeSummary {
+        spans: 0,
+        counters: 0,
+        marks: 0,
+        lanes: 0,
+        max_depth: 0,
+    };
+    // Per-tid open-span stack and last-seen timestamp.
+    let mut stacks: HashMapLite = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = ev.get("tid").and_then(|v| v.as_num()).unwrap_or(0.0) as i64;
+        let name = ev
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing name"))?
+            .to_string();
+        if ph == "M" {
+            summary.lanes += 1;
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts"));
+        }
+        let entry = lane_entry(&mut stacks, tid);
+        // Duration events must be time-ordered per lane; counters and
+        // marks are sorted by the viewer and may interleave freely.
+        if matches!(ph, "B" | "E") {
+            if ts + 1e-9 < entry.1 {
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards on tid {tid} (last {})",
+                    entry.1
+                ));
+            }
+            entry.1 = ts;
+        }
+        match ph {
+            "B" => {
+                entry.0.push(name);
+                summary.max_depth = summary.max_depth.max(entry.0.len());
+            }
+            "E" => match entry.0.pop() {
+                Some(open) if open == name => summary.spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E '{name}' does not match open span '{open}'"
+                    ))
+                }
+                None => return Err(format!("event {i}: E '{name}' with no open span")),
+            },
+            "C" => {
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_num())
+                    .ok_or_else(|| format!("event {i}: counter without numeric value"))?;
+                summary.counters += 1;
+            }
+            "i" => summary.marks += 1,
+            other => return Err(format!("event {i}: unsupported ph '{other}'")),
+        }
+    }
+    for (tid, (stack, _)) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: span '{open}' never closed"));
+        }
+    }
+    Ok(summary)
+}
+
+/// `(tid, (open-span stack, last ts))` pairs; traces have a handful of
+/// lanes, so a vec beats a map.
+type HashMapLite = Vec<(i64, (Vec<String>, f64))>;
+
+fn lane_entry(stacks: &mut HashMapLite, tid: i64) -> &mut (Vec<String>, f64) {
+    if let Some(idx) = stacks.iter().position(|(t, _)| *t == tid) {
+        return &mut stacks[idx].1;
+    }
+    stacks.push((tid, (Vec::new(), 0.0)));
+    &mut stacks.last_mut().unwrap().1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::config::ObsConfig;
+    use super::super::span::SpanMeta;
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        let doc = r#" {"a": [1, -2.5e2, "x\n\"yA", true, false, null], "b": {}} "#;
+        let v = parse_json(doc).unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0].as_num(), Some(1.0));
+        assert_eq!(a[1].as_num(), Some(-250.0));
+        assert_eq!(a[2].as_str(), Some("x\n\"yA"));
+        assert_eq!(a[3], JsonValue::Bool(true));
+        assert_eq!(a[4], JsonValue::Bool(false));
+        assert_eq!(a[5], JsonValue::Null);
+        assert_eq!(v.get("b"), Some(&JsonValue::Obj(vec![])));
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_input() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("{{\"k\":{}}}", json_string(nasty));
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rendered_trace_validates_with_nesting() {
+        let rec = SpanRecorder::new(ObsConfig::full());
+        let outer = rec.intern("outer");
+        let inner = rec.intern("inner");
+        let sibling = rec.intern("sibling");
+        // outer [100, 900] contains inner [200, 400] and sibling [400, 600].
+        rec.record_span(SpanKind::Stage, outer, 100, 900, SpanMeta::for_seq(1));
+        rec.record_span(SpanKind::Task, inner, 200, 400, SpanMeta::default());
+        rec.record_span(SpanKind::Task, sibling, 400, 600, SpanMeta::default());
+        rec.counter(rec.intern("queue_depth"), 5);
+        rec.mark(rec.intern("shed"), SpanMeta::for_cohort(9));
+        let text = render_chrome_trace(&rec);
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.counters, 1);
+        assert_eq!(summary.marks, 1);
+        assert_eq!(summary.lanes, 1);
+        assert_eq!(summary.max_depth, 2, "inner must nest under outer");
+    }
+
+    #[test]
+    fn overlapping_spans_are_clamped_not_invalid() {
+        // A child erroneously outliving its parent still renders a valid
+        // nested trace (defensive clamp).
+        let rec = SpanRecorder::new(ObsConfig::full());
+        let a = rec.intern("parent");
+        let b = rec.intern("child-overruns");
+        rec.record_span(SpanKind::Stage, a, 100, 500, SpanMeta::default());
+        rec.record_span(SpanKind::Task, b, 200, 700, SpanMeta::default());
+        let text = render_chrome_trace(&rec);
+        validate_chrome_trace(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_traces() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":1,"tid":0,"ts":1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("never closed"));
+        let mismatched = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":1,"tid":0,"ts":1.0},
+            {"name":"b","ph":"E","pid":1,"tid":0,"ts":2.0}
+        ]}"#;
+        assert!(validate_chrome_trace(mismatched)
+            .unwrap_err()
+            .contains("does not match"));
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":1,"tid":0,"ts":5.0},
+            {"name":"a","ph":"E","pid":1,"tid":0,"ts":2.0}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards)
+            .unwrap_err()
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_nanosecond_decimals() {
+        assert_eq!(ts(0), "0.000");
+        assert_eq!(ts(1_234_567), "1234.567");
+        assert_eq!(ts(999), "0.999");
+    }
+}

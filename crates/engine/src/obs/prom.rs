@@ -1,0 +1,598 @@
+//! Prometheus text exposition — `MetricsRegistry::render_prometheus`.
+//!
+//! Renders a point-in-time scrape of everything the registry aggregates:
+//! per-stage-name job/task counters and wall/task seconds, fault and
+//! recovery counters, broadcast count, every service counter (submitted,
+//! shed, batches, cohorts, rounds, checkpoints, restores), the queue
+//! high-water gauge, and the round-latency histogram as cumulative
+//! `_bucket{le=...}` series with `_sum`/`_count`. The format is the
+//! standard text exposition (version 0.0.4), so the output can be served
+//! to a real Prometheus scraper byte-for-byte.
+//!
+//! No external serializer exists in this workspace, so the renderer is
+//! hand-rolled and [`parse_prometheus`] — a strict little line-format
+//! parser — round-trips it in tests and in the self-validating
+//! `examples/trace.rs`.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+
+impl MetricsRegistry {
+    /// Render the registry as Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let aggs = self.stage_aggregates();
+        family(
+            &mut out,
+            "sbgt_stage_jobs_total",
+            "counter",
+            "Jobs run, by stage name.",
+        );
+        for a in &aggs {
+            sample_u64(&mut out, "sbgt_stage_jobs_total", &a.name, a.jobs);
+        }
+        family(
+            &mut out,
+            "sbgt_stage_failed_jobs_total",
+            "counter",
+            "Jobs that failed after exhausting retries, by stage name.",
+        );
+        for a in &aggs {
+            sample_u64(
+                &mut out,
+                "sbgt_stage_failed_jobs_total",
+                &a.name,
+                a.failed_jobs,
+            );
+        }
+        family(
+            &mut out,
+            "sbgt_stage_tasks_total",
+            "counter",
+            "Task completions, by stage name.",
+        );
+        for a in &aggs {
+            sample_u64(&mut out, "sbgt_stage_tasks_total", &a.name, a.tasks);
+        }
+        family(
+            &mut out,
+            "sbgt_stage_wall_seconds_total",
+            "counter",
+            "Summed job wall-clock seconds, by stage name.",
+        );
+        for a in &aggs {
+            sample_f64(
+                &mut out,
+                "sbgt_stage_wall_seconds_total",
+                Some(("stage", &a.name)),
+                a.wall.as_secs_f64(),
+            );
+        }
+        family(
+            &mut out,
+            "sbgt_stage_task_seconds_total",
+            "counter",
+            "Summed per-task executor seconds, by stage name.",
+        );
+        for a in &aggs {
+            sample_f64(
+                &mut out,
+                "sbgt_stage_task_seconds_total",
+                Some(("stage", &a.name)),
+                a.task_time.as_secs_f64(),
+            );
+        }
+
+        family(
+            &mut out,
+            "sbgt_broadcasts_total",
+            "counter",
+            "Broadcast variables created.",
+        );
+        sample_f64(
+            &mut out,
+            "sbgt_broadcasts_total",
+            None,
+            self.broadcast_count() as f64,
+        );
+
+        let faults = self.fault_totals();
+        family(
+            &mut out,
+            "sbgt_faults_injected_total",
+            "counter",
+            "Faults injected by the chaos layer, by kind.",
+        );
+        for (kind, count) in [
+            ("panic", faults.injected_panics),
+            ("delay", faults.injected_delays),
+            ("poison", faults.injected_poisons),
+        ] {
+            let _ = writeln!(out, "sbgt_faults_injected_total{{kind=\"{kind}\"}} {count}");
+        }
+        for (name, help, value) in [
+            (
+                "sbgt_task_retries_total",
+                "Failed attempts re-submitted under the retry policy.",
+                faults.retries,
+            ),
+            (
+                "sbgt_speculative_launched_total",
+                "Speculative duplicates launched for stragglers.",
+                faults.speculative_launched,
+            ),
+            (
+                "sbgt_speculative_wins_total",
+                "Tasks whose speculative duplicate finished first.",
+                faults.speculative_wins,
+            ),
+        ] {
+            family(&mut out, name, "counter", help);
+            sample_f64(&mut out, name, None, value as f64);
+        }
+
+        let service = self.service_stats();
+        for (name, help, value) in [
+            (
+                "sbgt_service_specimens_submitted_total",
+                "Specimens offered to the ingress queue (admitted or shed).",
+                service.submitted,
+            ),
+            (
+                "sbgt_service_specimens_shed_total",
+                "Specimens rejected by admission control.",
+                service.shed,
+            ),
+            (
+                "sbgt_service_batches_total",
+                "Cohort batches sealed (size- or deadline-triggered).",
+                service.batches,
+            ),
+            (
+                "sbgt_service_cohorts_opened_total",
+                "Cohort sessions opened.",
+                service.cohorts_opened,
+            ),
+            (
+                "sbgt_service_cohorts_completed_total",
+                "Cohort sessions driven to a final report.",
+                service.cohorts_completed,
+            ),
+            (
+                "sbgt_service_rounds_total",
+                "BHA rounds executed across all cohorts.",
+                service.rounds,
+            ),
+            (
+                "sbgt_service_recovered_rounds_total",
+                "Rounds killed by a fault and re-run from a checkpoint.",
+                service.recovered_rounds,
+            ),
+            (
+                "sbgt_service_checkpoints_total",
+                "Session checkpoints taken.",
+                service.checkpoints,
+            ),
+            (
+                "sbgt_service_restores_total",
+                "Sessions restored from a checkpoint.",
+                service.restores,
+            ),
+        ] {
+            family(&mut out, name, "counter", help);
+            sample_f64(&mut out, name, None, value as f64);
+        }
+        family(
+            &mut out,
+            "sbgt_service_queue_depth_peak",
+            "gauge",
+            "High-water mark of the ingress queue depth.",
+        );
+        sample_f64(
+            &mut out,
+            "sbgt_service_queue_depth_peak",
+            None,
+            service.queue_peak as f64,
+        );
+
+        let hist = service.round_latency_histogram();
+        family(
+            &mut out,
+            "sbgt_round_latency_seconds",
+            "histogram",
+            "Per-round wall-clock latency.",
+        );
+        for (upper_us, cumulative) in hist.cumulative_buckets() {
+            let _ = writeln!(
+                out,
+                "sbgt_round_latency_seconds_bucket{{le=\"{}\"}} {cumulative}",
+                format_f64(upper_us as f64 / 1e6)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "sbgt_round_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+            hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "sbgt_round_latency_seconds_sum {}",
+            format_f64(hist.sum() as f64 / 1e6)
+        );
+        let _ = writeln!(out, "sbgt_round_latency_seconds_count {}", hist.count());
+
+        out
+    }
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn sample_u64(out: &mut String, name: &str, stage: &str, value: u64) {
+    let _ = writeln!(out, "{name}{{stage=\"{}\"}} {value}", escape_label(stage));
+}
+
+fn sample_f64(out: &mut String, name: &str, label: Option<(&str, &str)>, value: f64) {
+    match label {
+        Some((k, v)) => {
+            let _ = writeln!(
+                out,
+                "{name}{{{k}=\"{}\"}} {}",
+                escape_label(v),
+                format_f64(value)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "{name} {}", format_f64(value));
+        }
+    }
+}
+
+/// Label-value escaping per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-roundtrip-ish float formatting: plain decimal, trailing
+/// zeros trimmed, integers without a decimal point.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{v:.9}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    trimmed.to_string()
+}
+
+/// One parsed sample line of a text-exposition document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name.
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a Prometheus text-exposition document into its sample lines
+/// (comments and blank lines are skipped; malformed lines are errors).
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, rest) = match line.find(['{', ' ']) {
+            Some(i) => (&line[..i], &line[i..]),
+            None => return Err(format!("line {}: no value: {raw}", lineno + 1)),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: bad metric name '{name}'", lineno + 1));
+        }
+        let (labels, value_text) = if let Some(stripped) = rest.strip_prefix('{') {
+            let close = find_label_close(stripped)
+                .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+            let labels = parse_labels(&stripped[..close], lineno + 1)?;
+            (labels, stripped[close + 1..].trim())
+        } else {
+            (Vec::new(), rest.trim())
+        };
+        if value_text.is_empty() {
+            return Err(format!("line {}: missing value", lineno + 1));
+        }
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: bad value '{v}'", lineno + 1))?,
+        };
+        samples.push(PromSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Index of the closing `}` of a label block, honoring quoted strings.
+fn find_label_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_quotes = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_labels(block: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let bytes = block.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // key
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(format!("line {lineno}: label without '='"));
+        }
+        let key = block[key_start..i].trim().to_string();
+        i += 1; // '='
+        if bytes.get(i) != Some(&b'"') {
+            return Err(format!("line {lineno}: label value not quoted"));
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("line {lineno}: unterminated label value")),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("line {lineno}: bad label escape")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i] & 0xC0 == 0x80 {
+                        i += 1;
+                    }
+                    value.push_str(&block[start..i]);
+                }
+            }
+        }
+        labels.push((key, value));
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{FaultStats, JobMetrics, StageVariant, TaskMetrics};
+    use std::time::Duration;
+
+    fn job(name: &str, task_ms: &[u64], wall_ms: u64) -> JobMetrics {
+        JobMetrics {
+            name: name.into(),
+            tasks: task_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| TaskMetrics {
+                    index: i,
+                    duration: Duration::from_millis(ms),
+                })
+                .collect(),
+            wall: Duration::from_millis(wall_ms),
+            succeeded: true,
+            variant: StageVariant::default(),
+            faults: FaultStats::default(),
+        }
+    }
+
+    #[test]
+    fn parser_handles_labels_and_escapes() {
+        let doc = "\
+# HELP x_total docs\n\
+# TYPE x_total counter\n\
+x_total{stage=\"fused-round:in-place\",extra=\"a\\\"b\\\\c\"} 42\n\
+y_gauge 1.5\n\
+z_bucket{le=\"+Inf\"} 7\n";
+        let samples = parse_prometheus(doc).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "x_total");
+        assert_eq!(samples[0].label("stage"), Some("fused-round:in-place"));
+        assert_eq!(samples[0].label("extra"), Some("a\"b\\c"));
+        assert_eq!(samples[0].value, 42.0);
+        assert_eq!(samples[1].name, "y_gauge");
+        assert!(samples[1].labels.is_empty());
+        assert_eq!(samples[1].value, 1.5);
+        assert_eq!(samples[2].label("le"), Some("+Inf"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "no_value",
+            "bad name 1",
+            "x{unterminated=\"v 1",
+            "x{key} 1",
+            "x notanumber",
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn render_round_trips_through_parser() {
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("fused-round:in-place", &[3, 4], 5));
+        reg.record_job(job("lookahead:select", &[2], 2));
+        let mut failed = job("fused-round:in-place", &[], 9);
+        failed.succeeded = false;
+        failed.faults.injected_panics = 2;
+        failed.faults.retries = 1;
+        reg.record_job(failed);
+        reg.record_broadcast();
+        reg.update_service(|s| {
+            s.submitted = 100;
+            s.shed = 3;
+            s.cohorts_opened = 8;
+            s.observe_queue_depth(12);
+            for ms in [1u64, 2, 3, 4, 100] {
+                s.record_round(Duration::from_millis(ms));
+            }
+        });
+
+        let text = reg.render_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        let get = |name: &str| -> Vec<&PromSample> {
+            samples.iter().filter(|s| s.name == name).collect()
+        };
+
+        let jobs = get("sbgt_stage_jobs_total");
+        assert_eq!(jobs.len(), 2);
+        let fused = jobs
+            .iter()
+            .find(|s| s.label("stage") == Some("fused-round:in-place"))
+            .unwrap();
+        assert_eq!(fused.value, 2.0);
+        let failed = get("sbgt_stage_failed_jobs_total");
+        assert!(failed
+            .iter()
+            .any(|s| s.label("stage") == Some("fused-round:in-place") && s.value == 1.0));
+        assert_eq!(get("sbgt_stage_tasks_total").len(), 2);
+
+        let panics = get("sbgt_faults_injected_total");
+        assert!(panics
+            .iter()
+            .any(|s| s.label("kind") == Some("panic") && s.value == 2.0));
+        assert_eq!(get("sbgt_task_retries_total")[0].value, 1.0);
+        assert_eq!(get("sbgt_broadcasts_total")[0].value, 1.0);
+        assert_eq!(
+            get("sbgt_service_specimens_submitted_total")[0].value,
+            100.0
+        );
+        assert_eq!(get("sbgt_service_specimens_shed_total")[0].value, 3.0);
+        assert_eq!(get("sbgt_service_queue_depth_peak")[0].value, 12.0);
+        assert_eq!(get("sbgt_service_rounds_total")[0].value, 5.0);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_count() {
+        let reg = MetricsRegistry::new();
+        reg.update_service(|s| {
+            for us in [500u64, 1_500, 1_500, 80_000, 2_000_000] {
+                s.record_round(Duration::from_micros(us));
+            }
+        });
+        let text = reg.render_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        let buckets: Vec<&PromSample> = samples
+            .iter()
+            .filter(|s| s.name == "sbgt_round_latency_seconds_bucket")
+            .collect();
+        let count = samples
+            .iter()
+            .find(|s| s.name == "sbgt_round_latency_seconds_count")
+            .unwrap()
+            .value;
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "sbgt_round_latency_seconds_sum")
+            .unwrap()
+            .value;
+        assert_eq!(count, 5.0);
+        assert!((sum - 2.0835).abs() < 1e-9);
+        // Cumulative buckets are non-decreasing in le order and the +Inf
+        // bucket equals _count.
+        let inf = buckets.last().unwrap();
+        assert_eq!(inf.label("le"), Some("+Inf"));
+        assert_eq!(inf.value, count);
+        let mut last = 0.0;
+        for b in &buckets {
+            assert!(b.value >= last, "bucket counts must be cumulative");
+            last = b.value;
+        }
+        // le boundaries themselves are ascending.
+        let les: Vec<f64> = buckets
+            .iter()
+            .filter_map(|b| b.label("le"))
+            .map(|le| {
+                if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                }
+            })
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_registry_renders_a_valid_scrape() {
+        let reg = MetricsRegistry::new();
+        let text = reg.render_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        // No stage series yet, but the service block and an empty
+        // histogram (+Inf bucket 0) are present and well-formed.
+        assert!(samples.iter().all(|s| s.value == 0.0));
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "sbgt_round_latency_seconds_bucket")
+            .unwrap();
+        assert_eq!(inf.label("le"), Some("+Inf"));
+        assert_eq!(inf.value, 0.0);
+    }
+}

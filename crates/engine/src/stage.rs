@@ -31,9 +31,21 @@ use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use crate::chaos::{Fault, FaultPlan, SpeculationConfig};
 use crate::error::{panic_message, EngineError, Result};
 use crate::metrics::{FaultStats, JobMetrics, StageVariant, TaskMetrics};
+use crate::obs::{SpanKind, SpanMeta, SpanRecorder, TraceLevel};
 use crate::pool::ThreadPool;
 use crate::retry::RetryPolicy;
 use crate::Engine;
+
+/// Telemetry context threaded from the driver into task attempts when
+/// recording at [`TraceLevel::Full`]: every attempt records a
+/// [`SpanKind::Task`] span on its executor thread's lane, linked back to
+/// its stage span by the stage sequence number.
+#[derive(Clone)]
+struct ObsCtx {
+    rec: Arc<SpanRecorder>,
+    name: u32,
+    seq: u64,
+}
 
 /// How often the supervision loop wakes to check for stragglers when
 /// speculation is enabled (with speculation off it blocks indefinitely).
@@ -88,6 +100,7 @@ fn submit_attempt<T, F>(
     body: &Arc<F>,
     tx: &Sender<Completion<T>>,
     stats: &mut FaultStats,
+    obs: Option<&ObsCtx>,
 ) -> Result<()>
 where
     T: Send + 'static,
@@ -130,9 +143,27 @@ where
         None => {}
     }
 
+    // Injected faults show up as instant marks in the trace, at the
+    // coordinates where they will fire.
+    if let (Some(ctx), Some(f)) = (obs, fault) {
+        let mark_name = match f {
+            Fault::Panic => "fault:panic",
+            Fault::Delay(_) => "fault:delay",
+            Fault::Poison => "fault:poison",
+        };
+        let id = ctx.rec.intern(mark_name);
+        let mut meta = SpanMeta::for_seq(ctx.seq);
+        meta.task = task as u32;
+        meta.attempt = attempt as u16;
+        meta.speculative = speculative;
+        ctx.rec.mark(id, meta);
+    }
+
     let body = Arc::clone(body);
     let tx = tx.clone();
+    let obs = obs.cloned();
     pool.spawn(move || {
+        let obs_start = obs.as_ref().map(|ctx| ctx.rec.now_ns());
         let started = Instant::now();
         if let Some(d) = delay {
             std::thread::sleep(d);
@@ -150,6 +181,18 @@ where
                 Err(payload) => Err(panic_message(payload.as_ref())),
             }
         };
+        if let (Some(ctx), Some(start_ns)) = (&obs, obs_start) {
+            let meta = SpanMeta {
+                task: task as u32,
+                attempt: attempt as u16,
+                speculative,
+                failed: outcome.is_err(),
+                cohort: crate::obs::NO_COHORT,
+                seq: ctx.seq,
+            };
+            ctx.rec
+                .record_span_ending_now(SpanKind::Task, ctx.name, start_ns, meta);
+        }
         // The stage may have already failed and dropped the receiver.
         let _ = tx.send(Completion {
             task,
@@ -163,13 +206,16 @@ where
 /// The supervision loop. Returns per-task `(value, winning attempt
 /// duration)` in task order. `stats` is filled in even on failure so the
 /// caller can record what happened before the stage died.
+#[allow(clippy::too_many_arguments)]
 fn execute_stage<T, F>(
     engine: &Engine,
     name: &str,
+    seq: u64,
     tasks: Vec<F>,
     policy: RetryPolicy,
     speculation: Option<SpeculationConfig>,
     stats: &mut FaultStats,
+    obs: Option<&ObsCtx>,
 ) -> Result<Vec<(T, Duration)>>
 where
     T: Send + 'static,
@@ -180,7 +226,6 @@ where
         return Ok(Vec::with_capacity(0));
     }
     let plan = engine.fault_plan();
-    let seq = engine.next_stage_seq();
     let pool = engine.pool();
     let tasks: Vec<Arc<F>> = tasks.into_iter().map(Arc::new).collect();
     let (tx, rx) = unbounded::<Completion<T>>();
@@ -202,6 +247,7 @@ where
             &tasks[task],
             &tx,
             stats,
+            obs,
         )?;
     }
 
@@ -248,6 +294,7 @@ where
                                     &tasks[c.task],
                                     &tx,
                                     stats,
+                                    obs,
                                 )?;
                             } else {
                                 return Err(EngineError::TaskPanicked {
@@ -293,6 +340,7 @@ where
                                 &tasks[task],
                                 &tx,
                                 stats,
+                                obs,
                             )?;
                         }
                     }
@@ -348,10 +396,37 @@ impl Engine {
                 "retry policy needs at least one attempt".to_string(),
             ));
         }
+        let seq = self.next_stage_seq();
+        let obs = self.obs();
+        // Driver-side stage span at `Spans`; per-attempt task spans (and
+        // fault marks) only at `Full`, since those record from executor
+        // threads on the hot path.
+        let stage_obs = obs
+            .enabled_at(TraceLevel::Spans)
+            .then(|| (obs.intern(name), obs.now_ns()));
+        let task_obs = obs.enabled_at(TraceLevel::Full).then(|| ObsCtx {
+            rec: Arc::clone(obs),
+            name: stage_obs.expect("Full implies Spans").0,
+            seq,
+        });
         let start = Instant::now();
         let mut stats = FaultStats::default();
-        let outcome = execute_stage(self, name, tasks, policy, speculation, &mut stats);
+        let outcome = execute_stage(
+            self,
+            name,
+            seq,
+            tasks,
+            policy,
+            speculation,
+            &mut stats,
+            task_obs.as_ref(),
+        );
         let wall = start.elapsed();
+        if let Some((name_id, start_ns)) = stage_obs {
+            let mut meta = SpanMeta::for_seq(seq);
+            meta.failed = outcome.is_err();
+            obs.record_span_ending_now(SpanKind::Stage, name_id, start_ns, meta);
+        }
         match outcome {
             Ok(pairs) => {
                 let task_metrics = pairs

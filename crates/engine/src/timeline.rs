@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::metrics::{JobMetrics, MetricsRegistry};
+use crate::obs::SpanRecorder;
 
 /// Render every recorded job as a compact text timeline.
 pub fn render_timeline(registry: &MetricsRegistry) -> String {
@@ -28,6 +29,16 @@ pub fn render_timeline(registry: &MetricsRegistry) -> String {
     if !service.is_quiet() {
         out.push_str(&render_service_summary(&service));
     }
+    out
+}
+
+/// [`render_timeline`] plus the span recorder's one-line summary (`obs:`
+/// segment) — what [`crate::Engine::render_timeline`] serves. The obs line
+/// is empty when tracing is off or nothing was recorded, so untraced runs
+/// render identically to [`render_timeline`].
+pub fn render_timeline_with_obs(registry: &MetricsRegistry, recorder: &SpanRecorder) -> String {
+    let mut out = render_timeline(registry);
+    out.push_str(&recorder.summary_line());
     out
 }
 
@@ -250,8 +261,33 @@ mod tests {
         assert_eq!(
             text,
             "service: 640 submitted, 3 shed, 64 batch(es), 64/64 cohort(s) done, queue peak 12\n\
-             service: 4 round(s) (p50 2ms, p99 4ms, 2 recovered), 5 checkpoint(s), 5 restore(s)\n"
+             service: 4 round(s) (p50 2.047ms, p99 4ms, 2 recovered), 5 checkpoint(s), 5 restore(s)\n"
         );
+    }
+
+    /// Golden `obs:` segment: a recorder with one recorded span appends
+    /// exactly one summary line; an idle recorder appends nothing.
+    #[test]
+    fn obs_segment_golden() {
+        use crate::obs::{ObsConfig, SpanKind, SpanMeta, SpanRecorder, TraceLevel};
+        let reg = MetricsRegistry::new();
+        reg.record_job(job("a", &[1]));
+
+        let idle = SpanRecorder::new(ObsConfig::spans());
+        let text = render_timeline_with_obs(&reg, &idle);
+        assert!(!text.contains("obs:"), "idle recorder must add nothing");
+
+        let rec = SpanRecorder::new(ObsConfig::spans());
+        let name = rec.intern("update");
+        let start = rec.now_ns();
+        rec.record_span_ending_now(SpanKind::Stage, name, start, SpanMeta::default());
+        let text = render_timeline_with_obs(&reg, &rec);
+        let obs_line = text.lines().last().unwrap();
+        assert_eq!(
+            obs_line,
+            "obs: level spans, 1 event(s) across 1 lane(s), 0 overwritten"
+        );
+        assert_eq!(rec.level(), TraceLevel::Spans);
     }
 
     #[test]

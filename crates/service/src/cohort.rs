@@ -229,6 +229,7 @@ impl CohortActor {
     /// Advance the session by exactly one round against the deterministic
     /// virtual lab.
     pub fn run_round(&mut self, engine: &Engine) -> RoundStep {
+        self.attach_obs(engine);
         let spec = &self.spec;
         let model = self.model;
         let mut idx = self.tests_done;
@@ -279,6 +280,36 @@ impl CohortActor {
                     recovered += 1;
                     self.recoveries += 1;
                     self.restore_session(&snapshot);
+                    let rec = engine.obs();
+                    if rec.enabled_at(sbgt_engine::obs::TraceLevel::Spans) {
+                        rec.mark(
+                            rec.intern("service:recovery"),
+                            sbgt_engine::obs::SpanMeta::for_cohort(self.spec.id),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lazily wire the session's telemetry to the engine's recorder,
+    /// tagging every span with this cohort's id. Lazy (per round, not at
+    /// construction) because restore paths build sessions without an
+    /// engine in reach; a no-op when tracing is off or already attached.
+    fn attach_obs(&mut self, engine: &Engine) {
+        use sbgt_engine::obs::TraceLevel;
+        if !engine.obs().enabled_at(TraceLevel::Spans) {
+            return;
+        }
+        match &mut self.kind {
+            SessionKind::Dense(s) => {
+                if !s.has_obs() {
+                    s.attach_obs(std::sync::Arc::clone(engine.obs()), self.spec.id);
+                }
+            }
+            SessionKind::Sharded(s) => {
+                if s.cohort().is_none() {
+                    s.set_cohort(self.spec.id);
                 }
             }
         }

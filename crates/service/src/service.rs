@@ -32,6 +32,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use parking_lot::Mutex;
 
 use sbgt::{RoundStep, SessionOutcome};
+use sbgt_engine::obs::{SpanKind, SpanMeta, TraceLevel};
 use sbgt_engine::SharedEngine;
 
 use crate::checkpoint::CohortCheckpoint;
@@ -109,25 +110,33 @@ impl SurveillanceService {
             reports: Mutex::new(Vec::new()),
         });
 
+        // Threads are named so each telemetry lane (and its Chrome-trace
+        // row) identifies its role without cross-referencing thread ids.
         let batcher = {
             let engine = engine.clone();
             let config = config.clone();
             let ready_tx = ready_tx.clone();
             let shared = Arc::clone(&shared);
-            thread::spawn(move || batcher_loop(engine, config, ingress_rx, ready_tx, shared))
+            thread::Builder::new()
+                .name("svc-batcher".to_string())
+                .spawn(move || batcher_loop(engine, config, ingress_rx, ready_tx, shared))
+                .expect("spawn batcher thread")
         };
 
         let workers = (0..config.workers)
-            .map(|_| {
+            .map(|i| {
                 let engine = engine.clone();
                 let config = config.clone();
                 let ready_rx = ready_rx.clone();
                 let ready_tx = ready_tx.clone();
                 let parked_tx = parked_tx.clone();
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || {
-                    worker_loop(engine, config, ready_rx, ready_tx, parked_tx, shared)
-                })
+                thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(engine, config, ready_rx, ready_tx, parked_tx, shared)
+                    })
+                    .expect("spawn worker thread")
             })
             .collect();
 
@@ -153,6 +162,10 @@ impl SurveillanceService {
     ) -> Result<Self, ServiceError> {
         let service = SurveillanceService::start(engine, config)?;
         let restored = checkpoint.cohorts.len() as u64;
+        let rec = service.engine.obs();
+        let obs_start = rec
+            .enabled_at(TraceLevel::Spans)
+            .then(|| (rec.intern("service:restore"), rec.now_ns()));
         for ckpt in &checkpoint.cohorts {
             let actor = CohortActor::restore(ckpt, service.config.model, service.config.session)
                 .map_err(|e| ServiceError::Restore(e.to_string()))?;
@@ -176,6 +189,10 @@ impl SurveillanceService {
         service.engine.metrics().update_service(|s| {
             s.restores += restored;
         });
+        if let Some((name, start)) = obs_start {
+            let rec = service.engine.obs();
+            rec.record_span_ending_now(SpanKind::Service, name, start, SpanMeta::default());
+        }
         Ok(service)
     }
 
@@ -198,13 +215,27 @@ impl SurveillanceService {
                     s.submitted += 1;
                     s.observe_queue_depth(depth);
                 });
+                self.obs_queue_depth(depth);
                 Ok(())
             }
             Err(e) if e.is_full() => {
                 self.engine.metrics().update_service(|s| s.shed += 1);
+                let rec = self.engine.obs();
+                if rec.enabled_at(TraceLevel::Full) {
+                    rec.mark(rec.intern("service:shed"), SpanMeta::default());
+                }
                 Err(ServiceError::Shed(ShedReason::QueueFull))
             }
             Err(_) => Err(ServiceError::Closed),
+        }
+    }
+
+    /// Emit the ingress depth as a counter track ([`TraceLevel::Full`]):
+    /// the Chrome trace then plots queue pressure against the round lanes.
+    fn obs_queue_depth(&self, depth: usize) {
+        let rec = self.engine.obs();
+        if rec.enabled_at(TraceLevel::Full) {
+            rec.counter(rec.intern("queue_depth"), depth as u64);
         }
     }
 
@@ -219,6 +250,7 @@ impl SurveillanceService {
             s.submitted += 1;
             s.observe_queue_depth(depth);
         });
+        self.obs_queue_depth(depth);
         Ok(())
     }
 
@@ -248,6 +280,10 @@ impl SurveillanceService {
     /// (with the already-completed reports) restores via
     /// [`SurveillanceService::resume`] with bit-for-bit continuation.
     pub fn suspend(mut self) -> ServiceCheckpoint {
+        let rec = Arc::clone(self.engine.obs());
+        let obs_start = rec
+            .enabled_at(TraceLevel::Spans)
+            .then(|| (rec.intern("service:checkpoint"), rec.now_ns()));
         self.close_ingress_and_flush();
         self.shared.suspended.store(true, Ordering::SeqCst);
         let expected = self.shared.opened.load(Ordering::SeqCst);
@@ -274,6 +310,9 @@ impl SurveillanceService {
         });
         let mut completed = std::mem::take(&mut *self.shared.reports.lock());
         completed.sort_by_key(|r| r.cohort);
+        if let Some((name, start)) = obs_start {
+            rec.record_span_ending_now(SpanKind::Service, name, start, SpanMeta::default());
+        }
         ServiceCheckpoint { completed, cohorts }
     }
 
@@ -378,6 +417,10 @@ fn flush_batch(
         thread::sleep(Duration::from_millis(1));
     }
     let id = shared.opened.fetch_add(1, Ordering::SeqCst);
+    let rec = engine.obs();
+    let obs_start = rec
+        .enabled_at(TraceLevel::Spans)
+        .then(|| (rec.intern("service:batch-seal"), rec.now_ns()));
     let spec = CohortSpec::from_specimens(id, config.base_seed, batch);
     batch.clear();
     let actor = CohortActor::new_recovering(
@@ -395,6 +438,15 @@ fn flush_batch(
         s.cohorts_opened += 1;
         s.recovered_rounds += creation_recoveries;
     });
+    // The seal span covers prior construction too (it may itself run
+    // engine stages), so cohort startup cost is visible per cohort.
+    if let Some((name, start)) = obs_start {
+        rec.record_span_ending_now(SpanKind::Service, name, start, SpanMeta::for_cohort(id));
+    }
+    if rec.enabled_at(TraceLevel::Full) {
+        let live = shared.opened.load(Ordering::SeqCst) - shared.completed();
+        rec.counter(rec.intern("live_cohorts"), live);
+    }
     assert!(
         ready_tx.send(WorkItem::Round(Box::new(actor))).is_ok(),
         "workers hold the ready receiver"
@@ -419,9 +471,21 @@ fn worker_loop(
                     let _ = parked_tx.send(*actor);
                     continue;
                 }
+                let rec = engine.obs();
+                let obs_start = rec
+                    .enabled_at(TraceLevel::Spans)
+                    .then(|| (rec.intern("service:round"), rec.now_ns()));
                 let start = Instant::now();
                 let run = actor.run_round_recovering(&engine, config.max_recoveries);
                 let elapsed = start.elapsed();
+                if let Some((name, start_ns)) = obs_start {
+                    rec.record_span_ending_now(
+                        SpanKind::Service,
+                        name,
+                        start_ns,
+                        SpanMeta::for_cohort(actor.spec().id),
+                    );
+                }
                 engine.metrics().update_service(|s| {
                     s.record_round(elapsed);
                     s.recovered_rounds += run.recovered;
@@ -431,6 +495,11 @@ fn worker_loop(
                         engine
                             .metrics()
                             .update_service(|s| s.cohorts_completed += 1);
+                        if rec.enabled_at(TraceLevel::Full) {
+                            let live =
+                                shared.opened.load(Ordering::SeqCst) - shared.completed() - 1;
+                            rec.counter(rec.intern("live_cohorts"), live);
+                        }
                         shared.reports.lock().push(CohortReport {
                             cohort: actor.spec().id,
                             subjects: actor.spec().n_subjects(),
@@ -583,6 +652,60 @@ mod tests {
         let reports = service.drain();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].subjects, 3);
+    }
+
+    #[test]
+    fn traced_service_run_exports_a_valid_chrome_trace() {
+        use sbgt_engine::obs::{render_chrome_trace, validate_chrome_trace, ObsConfig};
+        let engine = SharedEngine::new(
+            EngineConfig::default()
+                .with_threads(2)
+                .with_obs(ObsConfig::full()),
+        );
+        let config = quick_config();
+        let service = SurveillanceService::start(engine.clone(), config).unwrap();
+        for s in specimens(24, 13) {
+            service.submit(s).unwrap();
+        }
+        let reports = service.drain();
+        assert!(!reports.is_empty());
+
+        let rec = engine.obs();
+        let snap = rec.snapshot();
+        let events: Vec<_> = snap.all_events().collect();
+        // The whole service pipeline shows up: batch seals and rounds
+        // (service layer), session rounds, and engine stage spans — all
+        // tagged with real cohort ids where applicable.
+        for name in ["service:batch-seal", "service:round", "session:round"] {
+            assert!(
+                events.iter().any(|e| rec.name_of(e.name) == name),
+                "missing {name} span"
+            );
+        }
+        let round_cohorts: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| rec.name_of(e.name) == "service:round")
+            .map(|e| e.meta.cohort)
+            .collect();
+        assert_eq!(
+            round_cohorts.len(),
+            reports.len(),
+            "every cohort's rounds are tagged with its id"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| rec.name_of(e.name) == "queue_depth" && e.kind == SpanKind::Counter),
+            "Full level plots ingress depth"
+        );
+        // Lanes carry the service thread names into the trace.
+        assert!(snap.lanes.iter().any(|l| l.name == "svc-batcher"));
+        assert!(snap.lanes.iter().any(|l| l.name.starts_with("svc-worker-")));
+        // And the export is a valid, loadable Chrome trace.
+        let trace = render_chrome_trace(rec);
+        let summary = validate_chrome_trace(&trace).expect("trace must validate");
+        assert!(summary.spans > 0);
+        assert!(summary.counters > 0);
     }
 
     #[test]
