@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke
+.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke
 
-verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke
+verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -56,3 +56,12 @@ bench-smoke:
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench lookahead -- --test
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench service -- --test
 	SBGT_BENCH_SMOKE=1 $(CARGO) test -p sbgt --release --test obs_overhead -q
+
+# SIMD/sparse kernel smoke: run the per-round kernels bench once in smoke
+# mode, then replay the SIMD-vs-scalar and sparse-equivalence suites with
+# the dispatcher forced to the scalar path (SBGT_FORCE_SCALAR=1), so a CI
+# machine without AVX2/AVX-512 still validates both sides of the dispatch.
+kernels-smoke:
+	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench kernels -- --test
+	SBGT_FORCE_SCALAR=1 $(CARGO) test -p sbgt-lattice --test properties -q
+	SBGT_FORCE_SCALAR=1 $(CARGO) test -p sbgt --test sparse_equivalence -q

@@ -26,4 +26,7 @@ pub use classify::{classify_marginals, ClassificationRule, CohortClassification,
 pub use credible::{credible_set, CredibleSet};
 pub use predictive::{predictive_cost, PredictiveCost, RolloutConfig};
 pub use prior::Prior;
-pub use update::{update_dense, update_dense_par, update_sparse, BayesError, Observation};
+pub use update::{
+    update_dense, update_dense_par, update_sparse, update_sparse_with_table, BayesError,
+    Observation,
+};

@@ -101,9 +101,20 @@ pub fn update_dense_par<M: ResponseModel>(
     Ok(z)
 }
 
-/// Sparse update with optional re-pruning: after the multiply+normalize,
-/// states whose mass dropped below `prune_epsilon` of the retained total are
+/// Sparse update with optional re-pruning: after the multiply, the retained
+/// vector is rescaled so that `total() + pruned_mass() == 1`, then states
+/// whose mass dropped below `prune_epsilon` of the retained total are
 /// discarded (pass `0.0` to keep everything).
+///
+/// The rescale targets `1 - pruned_mass`, not `1`: renormalizing the
+/// retained vector alone to 1 after every prune (the pre-fix behavior)
+/// silently re-inflates the discarded share back into the retained states
+/// while `pruned_mass` keeps growing in stale units, so
+/// `total() + pruned_mass()` drifts above 1 without bound over long
+/// sessions. With the conservation rescale the pruned record stays in the
+/// same units as the live vector and the invariant holds exactly after
+/// every round; at `prune_epsilon = 0` nothing is ever pruned and this
+/// degenerates to the plain normalize-to-1 of the dense path.
 pub fn update_sparse<M: ResponseModel>(
     posterior: &mut SparsePosterior,
     model: &M,
@@ -111,18 +122,37 @@ pub fn update_sparse<M: ResponseModel>(
     prune_epsilon: f64,
 ) -> Result<f64, BayesError> {
     let table = likelihood_table(model, obs)?;
-    let z = posterior.mul_likelihood_fused(obs.pool, &table);
+    update_sparse_with_table(posterior, obs.pool, &table, prune_epsilon)
+}
+
+/// [`update_sparse`] with the likelihood table already materialized. The
+/// engine-backed sparse round builds the table driver-side (it only depends
+/// on the outcome and pool size) so the retried stage closure captures plain
+/// `Send + Sync` data instead of the response model.
+pub fn update_sparse_with_table(
+    posterior: &mut SparsePosterior,
+    pool: State,
+    table: &[f64],
+    prune_epsilon: f64,
+) -> Result<f64, BayesError> {
+    if pool.rank() == 0 {
+        return Err(BayesError::EmptyPool);
+    }
+    let z = posterior.mul_likelihood_fused(pool, table);
     if !(z.is_finite() && z > 0.0) {
         return Err(BayesError::ImpossibleObservation);
     }
     posterior
-        .try_normalize()
-        .expect("positive total guaranteed above");
+        .renormalize_retained()
+        .ok_or(BayesError::ImpossibleObservation)?;
     if prune_epsilon > 0.0 {
+        // Pruning moves mass from the retained vector into `pruned_mass`
+        // one-for-one, so the conservation invariant survives with no
+        // further rescale.
         posterior.prune(prune_epsilon);
-        posterior
-            .try_normalize()
-            .ok_or(BayesError::ImpossibleObservation)?;
+        if posterior.support() == 0 {
+            return Err(BayesError::ImpossibleObservation);
+        }
     }
     Ok(z)
 }
@@ -243,7 +273,39 @@ mod tests {
         let obs = Observation::new(State::from_subjects([0, 1, 2, 3, 4, 5]), false);
         update_sparse(&mut sparse, &model, &obs, 1e-9).unwrap();
         assert!(sparse.support() < before);
-        assert!(close(sparse.total(), 1.0));
+        // Conservation, not normalization-to-1: what pruning discarded is
+        // still accounted for in pruned_mass.
+        assert!(close(sparse.total() + sparse.pruned_mass(), 1.0));
+        assert!(sparse.pruned_mass() > 0.0);
+    }
+
+    #[test]
+    fn sparse_mass_is_conserved_across_many_prune_cycles() {
+        // Regression: the pre-fix flow (normalize-to-1, prune, normalize-
+        // to-1 again) let total() + pruned_mass() drift above 1 by the
+        // accumulated pruned share every round.
+        let risks = vec![0.03; 10];
+        let model = BinaryDilutionModel::pcr_like();
+        let mut sparse = SparsePosterior::from_dense(&prior(&risks), 0.0);
+        for t in 0..120u64 {
+            let a = (t % 10) as usize;
+            let b = ((t * 7 + 3) % 10) as usize;
+            let pool = if a == b {
+                State::from_subjects([a])
+            } else {
+                State::from_subjects([a, b])
+            };
+            let outcome = t % 5 == 0;
+            if update_sparse(&mut sparse, &model, &Observation::new(pool, outcome), 1e-6).is_err() {
+                break;
+            }
+            let conserved = sparse.total() + sparse.pruned_mass();
+            assert!(
+                (conserved - 1.0).abs() < 1e-12,
+                "round {t}: total+pruned = {conserved}"
+            );
+        }
+        assert!(sparse.pruned_mass() > 0.0, "campaign never pruned");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Per-round posterior kernels: today's fused dense path vs the
+//! runtime-dispatched SIMD kernels vs the adaptive sparse representation.
+//!
+//! Times one Bayesian update round at N = 22 (4M states) five ways:
+//!
+//! * `fused_baseline` — today's fused path: `mul_likelihood_fused`
+//!   (single scalar traversal, multiply + evidence sum) plus the
+//!   normalize pass. This is the pre-SIMD per-round cost.
+//! * `simd_update` — the same round through the runtime-dispatched
+//!   blocked-popcount kernel (`simd::mul_table_block`, AVX2/AVX-512
+//!   with scalar fallback), bit-for-bit with the baseline.
+//! * `separate_stats` — the full round with statistics the way the
+//!   pre-superstage code paid for it: fused update + normalize, then a
+//!   marginals traversal, then a prefix-negative-mass traversal.
+//! * `simd_superstage` — `simd::fused_update_block`: update, evidence,
+//!   marginals, and the look-ahead prefix histogram in ONE dispatched
+//!   traversal, plus the normalize pass.
+//! * `sparse_round` — the per-round update after the adaptive dense→
+//!   sparse switch has fired on a concentrated late-session posterior
+//!   (`update_sparse_with_table`, ε = 1e-9): cost is O(support · rank)
+//!   instead of O(2^N).
+//!
+//! The acceptance target is ≥ 4x per-round over `fused_baseline` at
+//! N = 22 for SIMD + sparse combined; the sparse round alone clears it
+//! by orders of magnitude once the posterior has concentrated, which is
+//! exactly the regime the `SparseSwitch` crossover targets.
+//!
+//! `SBGT_BENCH_SMOKE=1` shrinks to N = 12 so `make kernels-smoke`
+//! (criterion `--test` mode) finishes in seconds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbgt_bayes::update_sparse_with_table;
+use sbgt_bench::{bench_prior, observation_script, warmed_posterior};
+use sbgt_lattice::simd::{fused_update_block, mul_table_block};
+use sbgt_lattice::{DensePosterior, LookaheadKernel, SparsePosterior, State};
+use sbgt_response::{BinaryDilutionModel, ResponseModel};
+
+const SPARSE_EPSILON: f64 = 1e-9;
+
+fn smoke() -> bool {
+    std::env::var("SBGT_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// A rank-8 pool valid for any `n >= 8`.
+fn round_pool(n: usize) -> State {
+    let step = (n / 8).max(1);
+    State::from_subjects((0..8).map(|j| j * step))
+}
+
+fn scale(probs: &mut [f64], inv: f64) {
+    for p in probs {
+        *p *= inv;
+    }
+}
+
+/// A late-session posterior: the same warmed prior driven through a long
+/// scripted observation sequence so mass has concentrated onto a small
+/// support — the regime where the adaptive switch goes sparse.
+fn concentrated_sparse(n: usize) -> SparsePosterior {
+    let model = BinaryDilutionModel::pcr_like();
+    let mut dense = bench_prior(n, 7).to_dense();
+    for (pool, outcome) in observation_script(n, 40) {
+        let table = model.likelihood_table(outcome, pool.rank());
+        let z = dense.mul_likelihood_fused(pool, &table);
+        if z > 0.0 {
+            scale(dense.probs_mut(), 1.0 / z);
+        }
+    }
+    SparsePosterior::from_dense(&dense, SPARSE_EPSILON)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = if smoke() { 12 } else { 22 };
+    let model = BinaryDilutionModel::pcr_like();
+    let dense: DensePosterior = warmed_posterior(n);
+    let pool = round_pool(n);
+    let mask = pool.bits();
+    let tables = [
+        model.likelihood_table(false, pool.rank()),
+        model.likelihood_table(true, pool.rank()),
+    ];
+    let order: Vec<usize> = (0..n).collect();
+    let kernel = LookaheadKernel::new(n, &order);
+
+    let mut group = c.benchmark_group(format!("kernels_round/N{n}"));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    // Alternating outcomes keep the posterior well-conditioned while the
+    // same instance is updated round after round, like a real session.
+    group.bench_function("fused_baseline", |b| {
+        let mut post = dense.clone();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let z = post.mul_likelihood_fused(pool, &tables[flip as usize]);
+            scale(post.probs_mut(), 1.0 / z);
+            z
+        })
+    });
+
+    group.bench_function("simd_update", |b| {
+        let mut post = dense.clone();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let z = mul_table_block(post.probs_mut(), 0, mask, &tables[flip as usize]);
+            scale(post.probs_mut(), 1.0 / z);
+            z
+        })
+    });
+
+    group.bench_function("separate_stats", |b| {
+        let mut post = dense.clone();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let z = post.mul_likelihood_fused(pool, &tables[flip as usize]);
+            scale(post.probs_mut(), 1.0 / z);
+            let marginals = post.marginals();
+            let masses = post.prefix_negative_masses(&order);
+            (z, marginals, masses)
+        })
+    });
+
+    group.bench_function("simd_superstage", |b| {
+        let mut post = dense.clone();
+        let mut flip = false;
+        let mut marginals = vec![0.0f64; n];
+        let mut hist = vec![0.0f64; kernel.num_prefixes()];
+        b.iter(|| {
+            flip = !flip;
+            marginals.fill(0.0);
+            hist.fill(0.0);
+            let z = fused_update_block(
+                post.probs_mut(),
+                0,
+                mask,
+                &tables[flip as usize],
+                &kernel,
+                &mut marginals,
+                &mut hist,
+            );
+            scale(post.probs_mut(), 1.0 / z);
+            z
+        })
+    });
+
+    let sparse = concentrated_sparse(n);
+    group.bench_function("sparse_round", |b| {
+        let mut post = sparse.clone();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            update_sparse_with_table(&mut post, pool, &tables[flip as usize], SPARSE_EPSILON)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    eprintln!(
+        "kernels_round/N{n}: simd level = {:?}, sparse support = {} of {} states \
+         (pruned mass {:.3e})",
+        sbgt_lattice::simd::active(),
+        sparse.support(),
+        1usize << n,
+        sparse.pruned_mass(),
+    );
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -125,16 +125,7 @@ fn e13_service_throughput(quick: bool) {
     let engine = sbgt_engine::SharedEngine::new(EngineConfig::default().with_threads(2));
     let serial: Vec<_> = batch_specimens(&specimens, batch, config.base_seed)
         .iter()
-        .map(|spec| {
-            run_cohort_serial(
-                &engine,
-                spec,
-                config.model,
-                config.session,
-                config.dense_threshold,
-                config.parts,
-            )
-        })
+        .map(|spec| run_cohort_serial(&engine, spec, config.model, config.session, config.policy()))
         .collect();
     let total_tests: usize = serial.iter().map(|o| o.tests).sum();
 

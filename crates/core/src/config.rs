@@ -2,6 +2,7 @@
 
 use sbgt_bayes::ClassificationRule;
 use sbgt_lattice::kernels::ParConfig;
+use sbgt_lattice::SparseSwitch;
 
 /// Typed configuration error — the validated-construction convention shared
 /// with `RetryPolicy::new(0)` and `LookaheadConfig::validate`.
@@ -60,6 +61,11 @@ pub struct SbgtConfig {
     /// serial stages for more total tests (experiment E8) — on the
     /// branch-fused fast path.
     pub stage_width: usize,
+    /// Adaptive dense→sparse switching policy. `None` (the default) keeps
+    /// the posterior dense for the whole session; `Some` switches to the
+    /// pruned sparse representation once the retained support falls below
+    /// the configured fraction of `2^N` (one-way, per session).
+    pub sparse_switch: Option<SparseSwitch>,
 }
 
 impl Default for SbgtConfig {
@@ -70,6 +76,7 @@ impl Default for SbgtConfig {
             max_pool_size: 16,
             max_stages: 200,
             stage_width: 1,
+            sparse_switch: None,
         }
     }
 }
@@ -94,6 +101,9 @@ impl SbgtConfig {
             return Err(ConfigError::InvalidArgument(
                 "stage cap must be at least 1".into(),
             ));
+        }
+        if let Some(switch) = &self.sparse_switch {
+            switch.validate().map_err(ConfigError::InvalidArgument)?;
         }
         Ok(())
     }
@@ -128,6 +138,12 @@ impl SbgtConfig {
     /// Set the number of pools selected per stage.
     pub fn with_stage_width(mut self, width: usize) -> Self {
         self.stage_width = width;
+        self.validated()
+    }
+
+    /// Enable adaptive dense→sparse switching with the given policy.
+    pub fn with_sparse_switch(mut self, switch: SparseSwitch) -> Self {
+        self.sparse_switch = Some(switch);
         self.validated()
     }
 
@@ -216,5 +232,35 @@ mod tests {
         // The error renders its message (service logs shed typed reasons).
         let rendered = zero_width.validate().unwrap_err().to_string();
         assert!(rendered.contains("invalid SBGT configuration"));
+    }
+
+    #[test]
+    fn sparse_switch_builder_and_validation() {
+        assert_eq!(SbgtConfig::default().sparse_switch, None);
+        let cfg = SbgtConfig::default().with_sparse_switch(SparseSwitch::default());
+        assert!(cfg.sparse_switch.is_some());
+        assert!(cfg.validate().is_ok());
+        let bad = SbgtConfig {
+            sparse_switch: Some(SparseSwitch {
+                max_support_fraction: 0.0,
+                prune_epsilon: 1e-12,
+            }),
+            ..SbgtConfig::default()
+        };
+        match bad.validate() {
+            Err(ConfigError::InvalidArgument(msg)) => {
+                assert!(msg.contains("max_support_fraction"), "message: {msg}")
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prune_epsilon")]
+    fn bad_sparse_switch_rejected_by_builder() {
+        let _ = SbgtConfig::default().with_sparse_switch(SparseSwitch {
+            max_support_fraction: 0.5,
+            prune_epsilon: 1.0,
+        });
     }
 }

@@ -61,14 +61,18 @@ pub use parallel::{FusedRound, ShardedPosterior};
 pub use report::SessionOutcome;
 pub use session::{RoundStep, SbgtSession};
 pub use sharded_session::ShardedSession;
-pub use snapshot::{SessionSnapshot, SnapshotError};
+pub use snapshot::{SessionSnapshot, SnapshotError, SparseSnapshot};
 pub use sparse_session::SparseSession;
+
+// The adaptive-switch types are lattice-level but configured through
+// [`SbgtConfig::sparse_switch`], so re-export them at the session surface.
+pub use sbgt_lattice::{HybridPosterior, SparsePosterior, SparseSwitch};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
         BaselineSession, ConfigError, ExecMode, RoundStep, SbgtConfig, SbgtSession, SessionOutcome,
-        SessionSnapshot, ShardedSession, SnapshotError, SparseSession,
+        SessionSnapshot, ShardedSession, SnapshotError, SparseSession, SparseSwitch,
     };
     pub use sbgt_bayes::{ClassificationRule, CohortClassification, Prior, SubjectStatus};
     pub use sbgt_lattice::State;

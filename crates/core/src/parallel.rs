@@ -33,8 +33,7 @@ use std::sync::Arc;
 
 use sbgt_bayes::BayesError;
 use sbgt_engine::{Dataset, Engine, StageVariant};
-use sbgt_lattice::branch::low_byte_popcounts;
-use sbgt_lattice::{BranchPool, DensePosterior, LookaheadKernel, State};
+use sbgt_lattice::{simd, BranchPool, DensePosterior, LookaheadKernel, SparsePosterior, State};
 use sbgt_response::ResponseModel;
 
 /// Everything one fused BHA round produces: the Bayesian update applied
@@ -158,6 +157,66 @@ impl ShardedPosterior {
             offsets: Arc::new(offsets),
             total,
         })
+    }
+
+    /// Count states above the relative prune cut (`p > ε · total`, `p > 0`)
+    /// as one read-only aggregate stage — the sharded equivalent of
+    /// [`sbgt_lattice::hybrid::retained_support`] on the collected dense
+    /// posterior, at shard-traversal cost instead of a materialization.
+    pub fn retained_support(&self, engine: &Engine, epsilon: f64) -> usize {
+        let cut = if self.total > 0.0 {
+            epsilon * self.total
+        } else {
+            0.0
+        };
+        let partials: Vec<usize> = self
+            .shards
+            .try_aggregate_partitions(engine, "sparse:support", move |_pidx, probs| {
+                probs.iter().filter(|&&p| p > cut && p > 0.0).count()
+            })
+            .unwrap_or_else(|e| panic!("dataset job failed: {e}"));
+        partials.iter().sum()
+    }
+
+    /// Materialize the pruned, **normalized** sparse equivalent as one
+    /// read-only aggregate stage: each partition ships its retained
+    /// `(state, mass)` entries, the driver concatenates (partitions are
+    /// contiguous state ranges, so the result is sorted), scales by
+    /// `1/total`, and books the dropped share as pruned mass — exactly
+    /// what [`SparsePosterior::from_dense`] produces on
+    /// [`Self::to_dense`]'s output, modulo the normalization that
+    /// `to_dense` applies up front.
+    pub fn to_sparse(&self, engine: &Engine, epsilon: f64) -> SparsePosterior {
+        let total = self.total;
+        let cut = if total > 0.0 { epsilon * total } else { 0.0 };
+        let offsets = Arc::clone(&self.offsets);
+        let partials: Vec<Vec<(State, f64)>> = self
+            .shards
+            .try_aggregate_partitions(engine, "sparse:collect", move |pidx, probs| {
+                let base = offsets[pidx];
+                probs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p > cut && p > 0.0)
+                    .map(|(off, &p)| (State(base + off as u64), p))
+                    .collect()
+            })
+            .unwrap_or_else(|e| panic!("dataset job failed: {e}"));
+        let mut entries: Vec<(State, f64)> = partials.into_iter().flatten().collect();
+        let mut retained = 0.0;
+        if total > 0.0 {
+            let inv = 1.0 / total;
+            for (_, p) in &mut entries {
+                retained += *p;
+                *p *= inv;
+            }
+        }
+        let pruned = if total > 0.0 {
+            ((total - retained) / total).max(0.0)
+        } else {
+            0.0
+        };
+        SparsePosterior::from_parts(self.n_subjects, entries, pruned)
     }
 
     /// Collect back into a dense, **normalized** posterior.
@@ -292,37 +351,25 @@ impl ShardedPosterior {
         let table = engine.broadcast(model.likelihood_table(outcome, pool.rank()));
         let mask = pool.bits();
         let offsets = Arc::clone(&self.offsets);
-        let pos_of = Arc::new(Self::positions_of(n, order));
+        let kernel = Arc::new(LookaheadKernel::new(n, order));
 
         let partials = self
             .shards
             .try_map_partitions_in_place(engine, "fused-round:in-place", move |pidx, probs| {
-                let base = offsets[pidx];
-                let table = table.value();
-                let mut sum = 0.0;
+                // Update + marginal accumulation + first-positive histogram
+                // on the post-update values, one SIMD-dispatched
+                // cache-resident pass per partition.
                 let mut acc = vec![0.0f64; n];
                 let mut hist = vec![0.0f64; m + 1];
-                for (off, p) in probs.iter_mut().enumerate() {
-                    let state = base + off as u64;
-                    let k = (state & mask).count_ones() as usize;
-                    let v = *p * table[k];
-                    *p = v;
-                    sum += v;
-                    // Marginal accumulation and first-positive histogram on
-                    // the post-update value, in the same cache-resident pass.
-                    let mut first = m as u32;
-                    let mut bits = state;
-                    while bits != 0 {
-                        let b = bits.trailing_zeros() as usize;
-                        acc[b] += v;
-                        let pos = pos_of[b];
-                        if pos < first {
-                            first = pos;
-                        }
-                        bits &= bits - 1;
-                    }
-                    hist[first as usize] += v;
-                }
+                let sum = simd::fused_update_block(
+                    probs,
+                    offsets[pidx],
+                    mask,
+                    table.value(),
+                    &kernel,
+                    &mut acc,
+                    &mut hist,
+                );
                 (sum, acc, hist)
             })
             .unwrap_or_else(|e| panic!("dataset job failed: {e}"));
@@ -521,57 +568,21 @@ impl ShardedPosterior {
 }
 
 /// `probs[off] *= table[popcount((base + off) & mask)]` for every element,
-/// returning the partial sum — the update's per-partition kernel.
-///
-/// Blocked: within a 256-aligned run of global state indices the high bits
-/// are constant, so their popcount is hoisted out and the low byte comes
-/// from a 256-entry table. Four accumulator lanes (lane of element `off` =
-/// `off % 4`) break the floating-point add dependency chain; the reduction
-/// order is a pure function of the partition layout, so this kernel and
-/// [`mul_table_collect`] stay bit-for-bit identical.
+/// returning the partial sum — the update's per-partition kernel, now
+/// delegated to the runtime-dispatched SIMD block kernel
+/// ([`sbgt_lattice::simd::mul_table_block`]). The blocked popcount and the
+/// four accumulator lanes (lane of element `off` = `off % 4`) live there;
+/// the reduction order is a pure function of the partition layout, so this
+/// kernel and [`mul_table_collect`] stay bit-for-bit identical across
+/// dispatch levels.
 fn mul_table_in_place(probs: &mut [f64], base: u64, mask: u64, table: &[f64]) -> f64 {
-    let lo = low_byte_popcounts(mask);
-    let hi_mask = mask & !0xFF;
-    let mut lanes = [0.0f64; 4];
-    let len = probs.len();
-    let mut off = 0usize;
-    while off < len {
-        let state = base + off as u64;
-        let k_hi = (state & hi_mask).count_ones() as usize;
-        let run = ((256 - (state & 0xFF)) as usize).min(len - off);
-        for o in off..off + run {
-            let b = ((base + o as u64) & 0xFF) as usize;
-            let v = probs[o] * table[k_hi + lo[b] as usize];
-            probs[o] = v;
-            lanes[o & 3] += v;
-        }
-        off += run;
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    simd::mul_table_block(probs, base, mask, table)
 }
 
 /// The materializing twin of [`mul_table_in_place`]: identical arithmetic
 /// in identical order, but writing into a freshly allocated vector.
 fn mul_table_collect(src: &[f64], base: u64, mask: u64, table: &[f64]) -> (Vec<f64>, f64) {
-    let lo = low_byte_popcounts(mask);
-    let hi_mask = mask & !0xFF;
-    let mut out = Vec::with_capacity(src.len());
-    let mut lanes = [0.0f64; 4];
-    let len = src.len();
-    let mut off = 0usize;
-    while off < len {
-        let state = base + off as u64;
-        let k_hi = (state & hi_mask).count_ones() as usize;
-        let run = ((256 - (state & 0xFF)) as usize).min(len - off);
-        for o in off..off + run {
-            let b = ((base + o as u64) & 0xFF) as usize;
-            let v = src[o] * table[k_hi + lo[b] as usize];
-            out.push(v);
-            lanes[o & 3] += v;
-        }
-        off += run;
-    }
-    (out, (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+    simd::mul_table_collect_block(src, base, mask, table)
 }
 
 #[cfg(test)]

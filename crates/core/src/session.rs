@@ -5,21 +5,22 @@ use std::sync::Arc;
 use sbgt_engine::obs::{SpanKind, SpanMeta, SpanRecorder, TraceLevel};
 
 use sbgt_bayes::{
-    analyze, analyze_par, classify_marginals, update_dense, update_dense_par, BayesError,
-    CohortClassification, Observation, PosteriorReport, Prior,
+    analyze, analyze_par, classify_marginals, update_dense, update_dense_par, update_sparse,
+    BayesError, CohortClassification, Observation, PosteriorReport, Prior,
 };
 use sbgt_lattice::kernels::par_marginals;
-use sbgt_lattice::{DensePosterior, State};
+use sbgt_lattice::{DensePosterior, HybridPosterior, SparsePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 use sbgt_select::{
     select_halving_global, select_halving_global_par, select_halving_prefix,
-    select_halving_prefix_par, select_information_gain, select_stage_lookahead_fused,
-    select_stage_lookahead_par, InfoSelection, LookaheadConfig, SelectError, Selection,
+    select_halving_prefix_par, select_halving_prefix_sparse, select_information_gain,
+    select_stage_lookahead_fused, select_stage_lookahead_par, select_stage_lookahead_sparse,
+    InfoSelection, LookaheadConfig, SelectError, Selection,
 };
 
 use crate::config::{ExecMode, SbgtConfig};
 use crate::report::SessionOutcome;
-use crate::snapshot::{SessionSnapshot, SnapshotError};
+use crate::snapshot::{SessionSnapshot, SnapshotError, SparseSnapshot};
 
 /// Result of driving one BHA round (select → lab → observe).
 ///
@@ -48,13 +49,19 @@ impl RoundStep {
 
 /// A live Bayesian group-testing session over one cohort.
 ///
-/// The session owns the dense lattice posterior and exposes the paper's
+/// The session owns the lattice posterior and exposes the paper's
 /// three operation classes (`observe` = lattice manipulation,
 /// `select_next`/`select_stage` = test selection, `report` = statistical
 /// analysis), each dispatching to serial or parallel kernels per the
 /// configured [`ExecMode`].
+///
+/// The posterior starts dense; when [`SbgtConfig::sparse_switch`] is
+/// configured, the session converts it to the pruned sparse representation
+/// once evidence concentrates the retained support below the configured
+/// fraction of `2^N`, and every subsequent round runs the `O(support)`
+/// sparse kernels instead of the `Θ(2^N)` dense ones.
 pub struct SbgtSession<M> {
-    posterior: DensePosterior,
+    posterior: HybridPosterior,
     model: M,
     config: SbgtConfig,
     history: Vec<(State, bool)>,
@@ -68,7 +75,7 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// Open a session from a prior and an assay model.
     pub fn new(prior: Prior, model: M, config: SbgtConfig) -> Self {
         SbgtSession {
-            posterior: prior.to_dense(),
+            posterior: HybridPosterior::new_dense(prior.to_dense()),
             model,
             config,
             history: Vec::new(),
@@ -109,9 +116,27 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
         &self.config
     }
 
-    /// Borrow the current posterior (normalized after every observation).
+    /// Borrow the current dense posterior (normalized after every
+    /// observation).
+    ///
+    /// # Panics
+    /// Panics once the session has taken the adaptive dense→sparse switch
+    /// (only possible when [`SbgtConfig::sparse_switch`] is configured);
+    /// check [`Self::is_sparse`] or use [`Self::sparse_posterior`] then.
     pub fn posterior(&self) -> &DensePosterior {
-        &self.posterior
+        self.posterior
+            .as_dense()
+            .expect("posterior has switched to sparse; use sparse_posterior()")
+    }
+
+    /// Whether the adaptive dense→sparse switch has happened.
+    pub fn is_sparse(&self) -> bool {
+        self.posterior.is_sparse()
+    }
+
+    /// The sparse posterior, once the session has switched.
+    pub fn sparse_posterior(&self) -> Option<&SparsePosterior> {
+        self.posterior.as_sparse()
     }
 
     /// Every `(pool, outcome)` observed so far, in order.
@@ -127,9 +152,12 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
 
     /// Current posterior marginals.
     pub fn marginals(&self) -> Vec<f64> {
-        match self.config.exec {
-            ExecMode::Serial => self.posterior.marginals(),
-            ExecMode::Parallel(cfg) => par_marginals(&self.posterior, cfg),
+        match &self.posterior {
+            HybridPosterior::Dense(d) => match self.config.exec {
+                ExecMode::Serial => d.marginals(),
+                ExecMode::Parallel(cfg) => par_marginals(d, cfg),
+            },
+            HybridPosterior::Sparse(s) => s.marginals(),
         }
     }
 
@@ -138,18 +166,45 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
         classify_marginals(&self.marginals(), self.config.rule)
     }
 
-    /// Ingest one observed pooled test (one stage).
-    /// Returns the model evidence of the observation.
-    pub fn observe(&mut self, pool: State, outcome: bool) -> Result<f64, BayesError> {
+    /// One posterior update through whichever representation is live, plus
+    /// the history append. Shared by [`Self::observe`] and
+    /// [`Self::observe_stage`].
+    fn apply_observation(&mut self, pool: State, outcome: bool) -> Result<f64, BayesError> {
         let obs = Observation::new(pool, outcome);
-        let z = match self.config.exec {
-            ExecMode::Serial => update_dense(&mut self.posterior, &self.model, &obs)?,
-            ExecMode::Parallel(cfg) => {
-                update_dense_par(&mut self.posterior, &self.model, &obs, cfg)?
+        let SbgtSession {
+            posterior,
+            model,
+            config,
+            ..
+        } = self;
+        let z = match posterior {
+            HybridPosterior::Dense(d) => match config.exec {
+                ExecMode::Serial => update_dense(d, model, &obs)?,
+                ExecMode::Parallel(cfg) => update_dense_par(d, model, &obs, cfg)?,
+            },
+            HybridPosterior::Sparse(s) => {
+                let eps = config.sparse_switch.map(|w| w.prune_epsilon).unwrap_or(0.0);
+                update_sparse(s, model, &obs, eps)?
             }
         };
         self.history.push((pool, outcome));
+        Ok(z)
+    }
+
+    /// Take the dense→sparse switch if configured and the support now
+    /// qualifies (checked once per stage, after its updates land).
+    fn maybe_switch(&mut self) {
+        if let Some(switch) = self.config.sparse_switch {
+            self.posterior.maybe_switch(&switch);
+        }
+    }
+
+    /// Ingest one observed pooled test (one stage).
+    /// Returns the model evidence of the observation.
+    pub fn observe(&mut self, pool: State, outcome: bool) -> Result<f64, BayesError> {
+        let z = self.apply_observation(pool, outcome)?;
         self.stages += 1;
+        self.maybe_switch();
         Ok(z)
     }
 
@@ -157,17 +212,11 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// several pools per lab round). Counts as one stage.
     pub fn observe_stage(&mut self, observations: &[(State, bool)]) -> Result<(), BayesError> {
         for &(pool, outcome) in observations {
-            let obs = Observation::new(pool, outcome);
-            match self.config.exec {
-                ExecMode::Serial => update_dense(&mut self.posterior, &self.model, &obs)?,
-                ExecMode::Parallel(cfg) => {
-                    update_dense_par(&mut self.posterior, &self.model, &obs, cfg)?
-                }
-            };
-            self.history.push((pool, outcome));
+            self.apply_observation(pool, outcome)?;
         }
         if !observations.is_empty() {
             self.stages += 1;
+            self.maybe_switch();
         }
         Ok(())
     }
@@ -196,12 +245,15 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     }
 
     fn select_next_with_order(&self, order: &[usize]) -> Option<Selection> {
-        match self.config.exec {
-            ExecMode::Serial => {
-                select_halving_prefix(&self.posterior, order, self.config.max_pool_size)
-            }
-            ExecMode::Parallel(cfg) => {
-                select_halving_prefix_par(&self.posterior, order, self.config.max_pool_size, cfg)
+        match &self.posterior {
+            HybridPosterior::Dense(d) => match self.config.exec {
+                ExecMode::Serial => select_halving_prefix(d, order, self.config.max_pool_size),
+                ExecMode::Parallel(cfg) => {
+                    select_halving_prefix_par(d, order, self.config.max_pool_size, cfg)
+                }
+            },
+            HybridPosterior::Sparse(s) => {
+                select_halving_prefix_sparse(s, order, self.config.max_pool_size)
             }
         }
     }
@@ -212,13 +264,22 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// of near-optimal). `None` when every subject is classified.
     pub fn select_next_global(&self) -> Option<Selection> {
         let order = self.eligible_order();
+        let dense = self.dense_view();
         match self.config.exec {
-            ExecMode::Serial => {
-                select_halving_global(&self.posterior, &order, self.config.max_pool_size)
-            }
+            ExecMode::Serial => select_halving_global(&dense, &order, self.config.max_pool_size),
             ExecMode::Parallel(_) => {
-                select_halving_global_par(&self.posterior, &order, self.config.max_pool_size)
+                select_halving_global_par(&dense, &order, self.config.max_pool_size)
             }
+        }
+    }
+
+    /// The dense posterior, materialized from the sparse entries when the
+    /// session has switched — for the zeta-transform and exact-information
+    /// rules, which have no sparse counterpart.
+    fn dense_view(&self) -> std::borrow::Cow<'_, DensePosterior> {
+        match &self.posterior {
+            HybridPosterior::Dense(d) => std::borrow::Cow::Borrowed(d),
+            HybridPosterior::Sparse(s) => std::borrow::Cow::Owned(s.to_dense()),
         }
     }
 
@@ -229,7 +290,7 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     pub fn select_next_informative(&self, shortlist: usize) -> Option<InfoSelection> {
         let order = self.eligible_order();
         select_information_gain(
-            &self.posterior,
+            &self.dense_view(),
             &self.model,
             &order,
             self.config.max_pool_size,
@@ -254,12 +315,15 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             width,
             max_pool_size: self.config.max_pool_size,
         };
-        match self.config.exec {
-            ExecMode::Serial => {
-                select_stage_lookahead_fused(&self.posterior, &self.model, order, &cfg)
-            }
-            ExecMode::Parallel(pc) => {
-                select_stage_lookahead_par(&self.posterior, &self.model, order, &cfg, pc)
+        match &self.posterior {
+            HybridPosterior::Dense(d) => match self.config.exec {
+                ExecMode::Serial => select_stage_lookahead_fused(d, &self.model, order, &cfg),
+                ExecMode::Parallel(pc) => {
+                    select_stage_lookahead_par(d, &self.model, order, &cfg, pc)
+                }
+            },
+            HybridPosterior::Sparse(s) => {
+                select_stage_lookahead_sparse(s, &self.model, order, &cfg)
             }
         }
     }
@@ -267,9 +331,10 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// Full statistical readout (marginals, entropy, MAP, top-k, rank
     /// distribution) using the configured kernels.
     pub fn report(&self, top_k: usize) -> PosteriorReport {
+        let dense = self.dense_view();
         match self.config.exec {
-            ExecMode::Serial => analyze(&self.posterior, top_k),
-            ExecMode::Parallel(cfg) => analyze_par(&self.posterior, top_k, cfg),
+            ExecMode::Serial => analyze(&dense, top_k),
+            ExecMode::Parallel(cfg) => analyze_par(&dense, top_k, cfg),
         }
     }
 
@@ -358,18 +423,32 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
         RoundStep::Progressed
     }
 
-    /// Capture the full session state for checkpoint/restore. The dense
-    /// posterior is stored as one shard of exact (normalized) values;
-    /// [`Self::restore`] reproduces the session bit-for-bit.
+    /// Capture the full session state for checkpoint/restore. A dense
+    /// posterior is stored as one shard of exact (normalized) values; a
+    /// post-switch sparse posterior stores its retained entries and pruned
+    /// mass instead. [`Self::restore`] reproduces the session bit-for-bit
+    /// either way.
     pub fn snapshot(&self) -> SessionSnapshot {
+        let (shards, total, sparse) = match &self.posterior {
+            HybridPosterior::Dense(d) => (vec![d.probs().to_vec()], 1.0, None),
+            HybridPosterior::Sparse(s) => (
+                Vec::new(),
+                s.total(),
+                Some(SparseSnapshot {
+                    entries: s.entries().to_vec(),
+                    pruned_mass: s.pruned_mass(),
+                }),
+            ),
+        };
         SessionSnapshot {
             n_subjects: self.n_subjects(),
-            shards: vec![self.posterior.probs().to_vec()],
-            total: 1.0,
+            shards,
+            total,
             history: self.history.clone(),
             stages: self.stages,
             marginals: Vec::new(),
             pending_selection: None,
+            sparse,
         }
     }
 
@@ -383,9 +462,19 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
         config: SbgtConfig,
     ) -> Result<Self, SnapshotError> {
         snapshot.validate()?;
-        let probs: Vec<f64> = snapshot.shards.iter().flatten().copied().collect();
+        let posterior = match &snapshot.sparse {
+            Some(sp) => HybridPosterior::Sparse(SparsePosterior::from_parts(
+                snapshot.n_subjects,
+                sp.entries.clone(),
+                sp.pruned_mass,
+            )),
+            None => {
+                let probs: Vec<f64> = snapshot.shards.iter().flatten().copied().collect();
+                HybridPosterior::Dense(DensePosterior::from_probs(snapshot.n_subjects, probs))
+            }
+        };
         Ok(SbgtSession {
-            posterior: DensePosterior::from_probs(snapshot.n_subjects, probs),
+            posterior,
             model,
             config,
             history: snapshot.history.clone(),
@@ -679,6 +768,116 @@ mod tests {
                 "missing phase span {phase}"
             );
         }
+    }
+
+    #[test]
+    fn adaptive_switch_happens_mid_run_and_still_classifies() {
+        use sbgt_lattice::SparseSwitch;
+        let truth = State::from_subjects([2, 7]);
+        let mut s = SbgtSession::new(
+            Prior::flat(10, 0.05),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default()
+                .serial()
+                .with_sparse_switch(SparseSwitch {
+                    max_support_fraction: 0.5,
+                    prune_epsilon: 1e-9,
+                }),
+        );
+        assert!(!s.is_sparse());
+        let outcome = s.run_to_classification(|pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        assert_eq!(outcome.classification.positives(), 2);
+        // A perfect-model run collapses support fast; the switch must have
+        // fired well before classification at a 50% threshold.
+        assert!(s.is_sparse(), "session never switched to sparse");
+        let sp = s.sparse_posterior().unwrap();
+        assert!(sp.support() < 1 << 10);
+        // Conservation holds on the live sparse posterior.
+        assert!((sp.total() + sp.pruned_mass() - 1.0).abs() < 1e-9);
+        // Dense-only views still work by materializing.
+        let report = s.report(2);
+        assert!(report.entropy >= 0.0);
+    }
+
+    #[test]
+    fn sparse_snapshot_restore_is_bit_exact() {
+        use sbgt_lattice::SparseSwitch;
+        let truth = State::from_subjects([1, 6]);
+        let mk = || {
+            SbgtSession::new(
+                Prior::flat(9, 0.06),
+                BinaryDilutionModel::pcr_like(),
+                SbgtConfig::default()
+                    .serial()
+                    .with_sparse_switch(SparseSwitch {
+                        max_support_fraction: 0.5,
+                        prune_epsilon: 1e-9,
+                    }),
+            )
+        };
+        let mut s = mk();
+        // Drive until the switch fires (or the run ends, which would be a
+        // test bug at these thresholds).
+        while !s.is_sparse() {
+            assert!(
+                s.run_round(|pool| truth.intersects(pool))
+                    .finished()
+                    .is_none(),
+                "classified before switching"
+            );
+        }
+        let snap = s.snapshot();
+        assert!(snap.sparse.is_some());
+        // Byte codec round-trips the sparse section bit-for-bit.
+        let decoded = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap);
+        let mut restored =
+            SbgtSession::restore(&decoded, BinaryDilutionModel::pcr_like(), *s.config()).unwrap();
+        assert!(restored.is_sparse());
+        let (a, b) = (
+            s.sparse_posterior().unwrap(),
+            restored.sparse_posterior().unwrap(),
+        );
+        assert_eq!(a.pruned_mass().to_bits(), b.pruned_mass().to_bits());
+        assert_eq!(a.entries().len(), b.entries().len());
+        for ((sa, pa), (sb, pb)) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(sa, sb);
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+        // Both copies finish identically.
+        let original = s.run_to_classification(|pool| truth.intersects(pool));
+        let resumed = restored.run_to_classification(|pool| truth.intersects(pool));
+        assert_eq!(resumed.tests, original.tests);
+        assert_eq!(
+            resumed.classification.statuses,
+            original.classification.statuses
+        );
+        for (x, y) in resumed.marginals.iter().zip(&original.marginals) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "switched to sparse")]
+    fn dense_accessor_panics_after_switch() {
+        use sbgt_lattice::SparseSwitch;
+        let truth = State::from_subjects([0]);
+        let mut s = SbgtSession::new(
+            Prior::flat(6, 0.05),
+            BinaryDilutionModel::perfect(),
+            SbgtConfig::default()
+                .serial()
+                .with_sparse_switch(SparseSwitch {
+                    max_support_fraction: 1.0,
+                    prune_epsilon: 1e-9,
+                }),
+        );
+        // With the threshold at the whole lattice, the first informative
+        // observation triggers the switch.
+        let _ = s.run_round(|pool| truth.intersects(pool));
+        assert!(s.is_sparse());
+        let _ = s.posterior();
     }
 
     #[test]

@@ -23,24 +23,36 @@
 
 use std::sync::Arc;
 
-use sbgt_bayes::{classify_marginals, BayesError, CohortClassification, Prior};
+use sbgt_bayes::{
+    classify_marginals, update_sparse_with_table, BayesError, CohortClassification, Prior,
+};
 use sbgt_engine::obs::{SpanKind, SpanMeta, SpanRecorder, TraceLevel, NO_COHORT};
-use sbgt_engine::Engine;
-use sbgt_lattice::{LookaheadKernel, State};
+use sbgt_engine::{Engine, StageVariant};
+use sbgt_lattice::{num_states, LookaheadKernel, SparsePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 use sbgt_select::{
-    drive_lookahead, select_halving_from_masses, LookaheadConfig, SelectError, Selection,
+    drive_lookahead, select_halving_from_masses, select_halving_prefix_sparse,
+    select_stage_lookahead_sparse, LookaheadConfig, SelectError, Selection,
 };
 
 use crate::config::SbgtConfig;
 use crate::parallel::ShardedPosterior;
 use crate::report::SessionOutcome;
 use crate::session::RoundStep;
-use crate::snapshot::{SessionSnapshot, SnapshotError};
+use crate::snapshot::{SessionSnapshot, SnapshotError, SparseSnapshot};
+
+/// The session's posterior in whichever representation is currently live:
+/// engine shards before the adaptive switch, a driver-held pruned sparse
+/// posterior after. Sparse rounds still run as engine stages (cloned,
+/// updated, committed on success) so fault injection and retry cover them.
+enum ShardedState {
+    Dense(ShardedPosterior),
+    Sparse(SparsePosterior),
+}
 
 /// A live group-testing session whose posterior lives as engine shards.
 pub struct ShardedSession<M> {
-    posterior: ShardedPosterior,
+    state: ShardedState,
     model: M,
     config: SbgtConfig,
     history: Vec<(State, bool)>,
@@ -65,7 +77,7 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         let posterior = ShardedPosterior::from_dense(&prior.to_dense(), parts);
         let marginals = posterior.marginals(engine);
         ShardedSession {
-            posterior,
+            state: ShardedState::Dense(posterior),
             model,
             config,
             history: Vec::new(),
@@ -89,12 +101,38 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
 
     /// Cohort size.
     pub fn n_subjects(&self) -> usize {
-        self.posterior.n_subjects()
+        match &self.state {
+            ShardedState::Dense(p) => p.n_subjects(),
+            ShardedState::Sparse(s) => s.n_subjects(),
+        }
     }
 
     /// The sharded posterior.
+    ///
+    /// # Panics
+    /// Panics once the session has taken the adaptive dense→sparse switch
+    /// (only possible when [`SbgtConfig::sparse_switch`] is configured);
+    /// check [`Self::is_sparse`] or use [`Self::sparse_posterior`] then.
     pub fn posterior(&self) -> &ShardedPosterior {
-        &self.posterior
+        match &self.state {
+            ShardedState::Dense(p) => p,
+            ShardedState::Sparse(_) => {
+                panic!("posterior has switched to sparse; use sparse_posterior()")
+            }
+        }
+    }
+
+    /// Whether the adaptive dense→sparse switch has happened.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.state, ShardedState::Sparse(_))
+    }
+
+    /// The sparse posterior, once the session has switched.
+    pub fn sparse_posterior(&self) -> Option<&SparsePosterior> {
+        match &self.state {
+            ShardedState::Sparse(s) => Some(s),
+            ShardedState::Dense(_) => None,
+        }
     }
 
     /// Every `(pool, outcome)` observed so far, in order.
@@ -138,8 +176,17 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         if order.is_empty() {
             return None;
         }
-        let masses = self.posterior.prefix_negative_masses(engine, &order);
-        select_halving_from_masses(&order, &masses, self.config.max_pool_size)
+        match &self.state {
+            ShardedState::Dense(p) => {
+                let masses = p.prefix_negative_masses(engine, &order);
+                select_halving_from_masses(&order, &masses, self.config.max_pool_size)
+            }
+            // Post-switch the support fits the driver: selection is a plain
+            // O(support) scan, no stage.
+            ShardedState::Sparse(s) => {
+                select_halving_prefix_sparse(s, &order, self.config.max_pool_size)
+            }
+        }
     }
 
     /// Select all pools of one look-ahead stage on the **engine-sharded
@@ -162,11 +209,15 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         if order.is_empty() {
             return Ok(Vec::new());
         }
-        let kernel = Arc::new(LookaheadKernel::new(self.n_subjects(), &order));
-        drive_lookahead(&self.model, &order, cfg, |pools| {
-            self.posterior
-                .lookahead_histograms(engine, &kernel, pools.to_vec())
-        })
+        match &self.state {
+            ShardedState::Dense(p) => {
+                let kernel = Arc::new(LookaheadKernel::new(self.n_subjects(), &order));
+                drive_lookahead(&self.model, &order, cfg, |pools| {
+                    p.lookahead_histograms(engine, &kernel, pools.to_vec())
+                })
+            }
+            ShardedState::Sparse(s) => select_stage_lookahead_sparse(s, &self.model, &order, cfg),
+        }
     }
 
     /// Ingest one observed pooled test as a single fused in-place stage;
@@ -180,6 +231,7 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
     ) -> Result<f64, BayesError> {
         let z = self.observe_inner(engine, pool, outcome)?;
         self.stages += 1;
+        self.maybe_switch(engine);
         Ok(z)
     }
 
@@ -211,6 +263,7 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         }
         if any {
             self.stages += 1;
+            self.maybe_switch(engine);
         }
         Ok(joint)
     }
@@ -222,13 +275,88 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         outcome: bool,
     ) -> Result<f64, BayesError> {
         let order = self.eligible_order();
-        let round = self
-            .posterior
-            .fused_round(engine, &self.model, pool, outcome, &order)?;
-        self.marginals = round.marginals;
-        self.pending_selection = Some((order, round.prefix_negative_masses));
-        self.history.push((pool, outcome));
-        Ok(round.evidence)
+        let eps = self
+            .config
+            .sparse_switch
+            .map(|w| w.prune_epsilon)
+            .unwrap_or(0.0);
+        let ShardedSession {
+            state,
+            model,
+            marginals,
+            pending_selection,
+            history,
+            ..
+        } = self;
+        match state {
+            ShardedState::Dense(p) => {
+                let round = p.fused_round(engine, model, pool, outcome, &order)?;
+                *marginals = round.marginals;
+                *pending_selection = Some((order, round.prefix_negative_masses));
+                history.push((pool, outcome));
+                Ok(round.evidence)
+            }
+            // Sparse rounds stay on the engine: the update runs as a
+            // single-task `fused-round:sparse` stage against a clone of the
+            // posterior, so the installed fault plan can kill or retry it
+            // (the closure is pure — a retry re-clones pristine input) and
+            // the commit below happens only on stage success. A permanently
+            // failed stage panics, which the service's catch_unwind recovery
+            // converts into a snapshot rollback, exactly like dense stages.
+            ShardedState::Sparse(sparse) => {
+                if pool.rank() == 0 {
+                    return Err(BayesError::EmptyPool);
+                }
+                let table = model.likelihood_table(outcome, pool.rank());
+                let base = Arc::new(sparse.clone());
+                let task = {
+                    let base = Arc::clone(&base);
+                    move || {
+                        let mut p = (*base).clone();
+                        update_sparse_with_table(&mut p, pool, &table, eps).map(|z| (p, z))
+                    }
+                };
+                let results = engine
+                    .run_stage("fused-round:sparse", vec![task])
+                    .unwrap_or_else(|e| panic!("sparse round stage failed: {e}"));
+                let (p, z) = results.into_iter().next().expect("one sparse task")?;
+                engine.metrics().annotate_last_job(StageVariant::Sparse {
+                    support: p.support(),
+                });
+                *marginals = p.marginals();
+                *pending_selection = None;
+                history.push((pool, outcome));
+                *sparse = p;
+                Ok(z)
+            }
+        }
+    }
+
+    /// After a dense stage, take the dense→sparse switch if configured and
+    /// the retained support now qualifies: one read-only `sparse:support`
+    /// counting stage per round while dense, plus a final `sparse:collect`
+    /// stage that materializes the pruned posterior on the driver. Matches
+    /// [`sbgt_lattice::HybridPosterior::maybe_switch`]'s predicate exactly.
+    fn maybe_switch(&mut self, engine: &Engine) {
+        let Some(switch) = self.config.sparse_switch else {
+            return;
+        };
+        let ShardedState::Dense(p) = &self.state else {
+            return;
+        };
+        let support = p.retained_support(engine, switch.prune_epsilon);
+        let limit = switch.max_support_fraction * num_states(p.n_subjects()) as f64;
+        if support as f64 > limit {
+            return;
+        }
+        let sparse = p.to_sparse(engine, switch.prune_epsilon);
+        engine.metrics().annotate_last_job(StageVariant::Sparse {
+            support: sparse.support(),
+        });
+        // The banked selection masses are unnormalized dense-total units;
+        // drop them so the next round selects from the sparse posterior.
+        self.pending_selection = None;
+        self.state = ShardedState::Sparse(sparse);
     }
 
     /// Drive the session to classification against a lab oracle, one fused
@@ -359,14 +487,26 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
     /// bank. Cheap relative to a running session: shard storage is captured
     /// by value so the snapshot stays valid across later in-place rounds.
     pub fn snapshot(&self) -> SessionSnapshot {
+        let (shards, total, sparse) = match &self.state {
+            ShardedState::Dense(p) => (p.shard_values(), p.total(), None),
+            ShardedState::Sparse(s) => (
+                Vec::new(),
+                s.total(),
+                Some(SparseSnapshot {
+                    entries: s.entries().to_vec(),
+                    pruned_mass: s.pruned_mass(),
+                }),
+            ),
+        };
         SessionSnapshot {
             n_subjects: self.n_subjects(),
-            shards: self.posterior.shard_values(),
-            total: self.posterior.total(),
+            shards,
+            total,
             history: self.history.clone(),
             stages: self.stages,
             marginals: self.marginals.clone(),
             pending_selection: self.pending_selection.clone(),
+            sparse,
         }
     }
 
@@ -388,13 +528,20 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
                 snapshot.marginals.len()
             )));
         }
-        let posterior = ShardedPosterior::from_shards(
-            snapshot.n_subjects,
-            snapshot.shards.clone(),
-            snapshot.total,
-        )?;
+        let state = match &snapshot.sparse {
+            Some(sp) => ShardedState::Sparse(SparsePosterior::from_parts(
+                snapshot.n_subjects,
+                sp.entries.clone(),
+                sp.pruned_mass,
+            )),
+            None => ShardedState::Dense(ShardedPosterior::from_shards(
+                snapshot.n_subjects,
+                snapshot.shards.clone(),
+                snapshot.total,
+            )?),
+        };
         Ok(ShardedSession {
-            posterior,
+            state,
             model,
             config,
             history: snapshot.history.clone(),
@@ -653,6 +800,124 @@ mod tests {
         assert!(events
             .iter()
             .any(|ev| ev.kind == SpanKind::Stage && rec.name_of(ev.name).contains("fused-round")));
+    }
+
+    #[test]
+    fn adaptive_switch_runs_sparse_rounds_on_the_engine() {
+        use sbgt_lattice::SparseSwitch;
+        let e = engine();
+        let truth = State::from_subjects([3, 7]);
+        let config = SbgtConfig::default().with_sparse_switch(SparseSwitch {
+            max_support_fraction: 0.5,
+            prune_epsilon: 1e-9,
+        });
+        let mut s = ShardedSession::new(
+            &e,
+            distinct_risks(),
+            BinaryDilutionModel::perfect(),
+            config,
+            4,
+        );
+        e.metrics().clear();
+        let outcome = s.run_to_classification(&e, |pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        assert_eq!(outcome.classification.positives(), 2);
+        assert!(s.is_sparse(), "session never switched to sparse");
+        assert!(s.sparse_posterior().unwrap().support() < 1 << 10);
+        // Post-switch rounds ran as engine stages, tagged with the sparse
+        // variant so the timeline shows the representation change.
+        let jobs = e.metrics().jobs();
+        let sparse_rounds = jobs
+            .iter()
+            .filter(|j| j.name == "fused-round:sparse")
+            .count();
+        assert!(sparse_rounds >= 1, "no sparse round ran on the engine");
+        assert!(jobs
+            .iter()
+            .any(|j| matches!(j.variant, StageVariant::Sparse { .. })));
+        // The switch itself ran the support-count and collect stages.
+        assert!(jobs.iter().any(|j| j.name == "sparse:support"));
+        assert!(jobs.iter().any(|j| j.name == "sparse:collect"));
+    }
+
+    #[test]
+    fn hybrid_sharded_matches_hybrid_dense_session() {
+        use sbgt_lattice::SparseSwitch;
+        let e = engine();
+        let truth = State::from_subjects([1, 8]);
+        let switch = SparseSwitch {
+            max_support_fraction: 0.5,
+            prune_epsilon: 1e-9,
+        };
+        let model = BinaryDilutionModel::perfect();
+        let mut sharded = ShardedSession::new(
+            &e,
+            distinct_risks(),
+            model,
+            SbgtConfig::default().with_sparse_switch(switch),
+            4,
+        );
+        let so = sharded.run_to_classification(&e, |pool| truth.intersects(pool));
+        let mut dense = crate::SbgtSession::new(
+            distinct_risks(),
+            model,
+            SbgtConfig::default().serial().with_sparse_switch(switch),
+        );
+        let do_ = dense.run_to_classification(|pool| truth.intersects(pool));
+        assert_eq!(
+            so.classification.statuses, do_.classification.statuses,
+            "hybrid sharded and hybrid dense must classify identically"
+        );
+        assert!(sharded.is_sparse() && dense.is_sparse());
+        for (a, b) in so.marginals.iter().zip(&do_.marginals) {
+            assert!(close(*a, *b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_snapshot_restore_is_bit_exact() {
+        use sbgt_lattice::SparseSwitch;
+        let e = engine();
+        let truth = State::from_subjects([2, 6]);
+        let config = SbgtConfig::default().with_sparse_switch(SparseSwitch {
+            max_support_fraction: 0.5,
+            prune_epsilon: 1e-9,
+        });
+        let model = BinaryDilutionModel::pcr_like();
+        let mut live = ShardedSession::new(&e, distinct_risks(), model, config, 4);
+        while !live.is_sparse() {
+            assert!(
+                matches!(
+                    live.run_round(&e, |pool| truth.intersects(pool)),
+                    RoundStep::Progressed
+                ),
+                "classified before switching"
+            );
+        }
+        let snap = live.snapshot();
+        assert!(snap.sparse.is_some());
+        assert!(snap.shards.is_empty());
+        let decoded = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap);
+        let mut restored = ShardedSession::restore(&decoded, model, config).unwrap();
+        assert!(restored.is_sparse());
+        {
+            let (a, b) = (
+                live.sparse_posterior().unwrap(),
+                restored.sparse_posterior().unwrap(),
+            );
+            assert_eq!(a.pruned_mass().to_bits(), b.pruned_mass().to_bits());
+            for ((sa, pa), (sb, pb)) in a.entries().iter().zip(b.entries()) {
+                assert_eq!(sa, sb);
+                assert_eq!(pa.to_bits(), pb.to_bits());
+            }
+        }
+        let expected = live.run_to_classification(&e, |pool| truth.intersects(pool));
+        let outcome = restored.run_to_classification(&e, |pool| truth.intersects(pool));
+        assert_eq!(outcome, expected);
+        for (a, b) in outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

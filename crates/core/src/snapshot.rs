@@ -36,6 +36,18 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// Post-switch sparse posterior state: the retained entries (exact bits,
+/// sorted by state index) plus the pruned-mass record, enough to rebuild
+/// the live [`sbgt_lattice::SparsePosterior`] via
+/// [`sbgt_lattice::SparsePosterior::from_parts`] bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseSnapshot {
+    /// Retained `(state, mass)` entries, sorted by state index.
+    pub entries: Vec<(State, f64)>,
+    /// Mass discarded by pruning so far (the conservation record).
+    pub pruned_mass: f64,
+}
+
 /// Full state of a session at a round boundary (or mid-stage: any point
 /// between observations is a valid snapshot point).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,10 +73,20 @@ pub struct SessionSnapshot {
     /// Sharded sessions: the `(order, masses)` selection bank pipelined
     /// from the last fused round, if any.
     pub pending_selection: Option<(Vec<usize>, Vec<f64>)>,
+    /// Post-switch sparse posterior, for sessions that have crossed the
+    /// adaptive dense→sparse threshold (or always-sparse sessions). When
+    /// set, `shards` is empty — the sparse entries *are* the posterior.
+    pub sparse: Option<SparseSnapshot>,
 }
 
 const MAGIC: &[u8; 8] = b"SBGTSNAP";
-const VERSION: u32 = 1;
+/// Format written for dense/sharded snapshots — unchanged from the first
+/// release, so pre-sparse archives decode and dense snapshots stay
+/// byte-identical to what older readers expect.
+const VERSION_DENSE: u32 = 1;
+/// Format written when the sparse section is present (appended after the
+/// pending-selection section).
+const VERSION_SPARSE: u32 = 2;
 
 impl SessionSnapshot {
     /// Number of posterior values across all shards.
@@ -81,11 +103,51 @@ impl SessionSnapshot {
             .ok_or_else(|| {
                 SnapshotError::Corrupt(format!("cohort size {} overflows u64", self.n_subjects))
             })?;
-        if self.state_count() != want {
-            return Err(SnapshotError::Corrupt(format!(
-                "shards hold {} values, lattice needs {want}",
-                self.state_count()
-            )));
+        match &self.sparse {
+            None => {
+                if self.state_count() != want {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "shards hold {} values, lattice needs {want}",
+                        self.state_count()
+                    )));
+                }
+            }
+            Some(sp) => {
+                if self.state_count() != 0 {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "sparse snapshot also holds {} dense values",
+                        self.state_count()
+                    )));
+                }
+                if sp.entries.len() > want {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "sparse support {} exceeds lattice size {want}",
+                        sp.entries.len()
+                    )));
+                }
+                for w in sp.entries.windows(2) {
+                    if w[0].0.bits() >= w[1].0.bits() {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "sparse entries unsorted or duplicated at state {}",
+                            w[1].0
+                        )));
+                    }
+                }
+                if let Some((s, _)) = sp.entries.last() {
+                    if s.bits() >= want as u64 {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "sparse state {s} out of range for n={}",
+                            self.n_subjects
+                        )));
+                    }
+                }
+                if !sp.pruned_mass.is_finite() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "non-finite pruned mass {}",
+                        sp.pruned_mass
+                    )));
+                }
+            }
         }
         if !self.marginals.is_empty() && self.marginals.len() != self.n_subjects {
             return Err(SnapshotError::Corrupt(format!(
@@ -110,8 +172,13 @@ impl SessionSnapshot {
     /// little-endian IEEE-754 bit patterns, so decode is bit-exact.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.state_count() * 8);
+        let version = if self.sparse.is_some() {
+            VERSION_SPARSE
+        } else {
+            VERSION_DENSE
+        };
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(self.n_subjects as u64).to_le_bytes());
         out.extend_from_slice(&(self.stages as u64).to_le_bytes());
         out.extend_from_slice(&self.total.to_bits().to_le_bytes());
@@ -145,6 +212,14 @@ impl SessionSnapshot {
                 }
             }
         }
+        if let Some(sp) = &self.sparse {
+            out.extend_from_slice(&(sp.entries.len() as u64).to_le_bytes());
+            for (s, p) in &sp.entries {
+                out.extend_from_slice(&s.bits().to_le_bytes());
+                out.extend_from_slice(&p.to_bits().to_le_bytes());
+            }
+            out.extend_from_slice(&sp.pruned_mass.to_bits().to_le_bytes());
+        }
         out
     }
 
@@ -157,7 +232,7 @@ impl SessionSnapshot {
             return Err(SnapshotError::Corrupt("bad magic".into()));
         }
         let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
-        if version != VERSION {
+        if version != VERSION_DENSE && version != VERSION_SPARSE {
             return Err(SnapshotError::Corrupt(format!(
                 "unsupported version {version}"
             )));
@@ -208,6 +283,22 @@ impl SessionSnapshot {
                 )))
             }
         };
+        let sparse = if version == VERSION_SPARSE {
+            let entries_len = r.len_prefix()?;
+            let mut entries = Vec::with_capacity(entries_len);
+            for _ in 0..entries_len {
+                let s = State(r.u64()?);
+                let p = f64::from_bits(r.u64()?);
+                entries.push((s, p));
+            }
+            let pruned_mass = f64::from_bits(r.u64()?);
+            Some(SparseSnapshot {
+                entries,
+                pruned_mass,
+            })
+        } else {
+            None
+        };
         if r.at != bytes.len() {
             return Err(SnapshotError::Corrupt(format!(
                 "{} trailing byte(s)",
@@ -222,6 +313,7 @@ impl SessionSnapshot {
             stages,
             marginals,
             pending_selection,
+            sparse,
         };
         snapshot.validate()?;
         Ok(snapshot)
@@ -277,6 +369,23 @@ mod tests {
             stages: 2,
             marginals: vec![0.4, 0.6],
             pending_selection: Some((vec![1, 0], vec![0.9375, 0.5, 0.25])),
+            sparse: None,
+        }
+    }
+
+    fn sample_sparse() -> SessionSnapshot {
+        SessionSnapshot {
+            n_subjects: 3,
+            shards: vec![],
+            total: 0.875,
+            history: vec![(State(5), true)],
+            stages: 4,
+            marginals: vec![],
+            pending_selection: None,
+            sparse: Some(SparseSnapshot {
+                entries: vec![(State(1), 0.5), (State(5), 0.375)],
+                pruned_mass: 0.125,
+            }),
         }
     }
 
@@ -325,6 +434,51 @@ mod tests {
         vers[8] = 99;
         let err = SessionSnapshot::from_bytes(&vers).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn sparse_codec_round_trips_bit_for_bit() {
+        let snap = sample_sparse();
+        assert!(snap.validate().is_ok());
+        let bytes = snap.to_bytes();
+        // Sparse snapshots carry the bumped version; dense ones keep v1, so
+        // pre-sparse archives stay byte-identical.
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        assert_eq!(
+            u32::from_le_bytes(sample().to_bytes()[8..12].try_into().unwrap()),
+            1
+        );
+        let back = SessionSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        let (a, b) = (snap.sparse.as_ref().unwrap(), back.sparse.as_ref().unwrap());
+        assert_eq!(a.pruned_mass.to_bits(), b.pruned_mass.to_bits());
+        for ((sa, pa), (sb, pb)) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(sa, sb);
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+        // Truncations inside the sparse section are typed errors.
+        for cut in [bytes.len() - 1, bytes.len() - 9, bytes.len() - 20] {
+            assert!(SessionSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_sparse_sections() {
+        let mut both = sample_sparse();
+        both.shards = vec![vec![0.0; 8]];
+        assert!(both.validate().is_err());
+        let mut dup = sample_sparse();
+        dup.sparse.as_mut().unwrap().entries = vec![(State(1), 0.5), (State(1), 0.5)];
+        assert!(dup.validate().is_err());
+        let mut unsorted = sample_sparse();
+        unsorted.sparse.as_mut().unwrap().entries = vec![(State(5), 0.5), (State(1), 0.5)];
+        assert!(unsorted.validate().is_err());
+        let mut out_of_range = sample_sparse();
+        out_of_range.sparse.as_mut().unwrap().entries = vec![(State(9), 0.5)];
+        assert!(out_of_range.validate().is_err());
+        let mut bad_mass = sample_sparse();
+        bad_mass.sparse.as_mut().unwrap().pruned_mass = f64::NAN;
+        assert!(bad_mass.validate().is_err());
     }
 
     #[test]

@@ -8,18 +8,32 @@
 //! it trades a bounded marginal error (`≲ ε · support` per step) for
 //! order-of-magnitude cheaper updates.
 //!
-//! The surface mirrors [`crate::SbgtSession`]; tests pin the `ε = 0` case
-//! to the dense session bit-for-bit (modulo float reduction order).
+//! The surface mirrors [`crate::SbgtSession`] — including the
+//! [`RoundStep`] stepping API a multi-cohort service schedules, telemetry
+//! attachment, and bit-exact snapshot/restore — plus
+//! [`SparseSession::run_round_on`], which runs each round's update as a
+//! fault-injectable engine stage so chaos campaigns cover sparse cohorts
+//! exactly like sharded ones. Tests pin the `ε = 0` case to the dense
+//! session bit-for-bit (modulo float reduction order).
+
+use std::sync::Arc;
 
 use sbgt_bayes::{
-    classify_marginals, update_sparse, BayesError, CohortClassification, Observation, Prior,
+    classify_marginals, update_sparse, update_sparse_with_table, BayesError, CohortClassification,
+    Observation, Prior,
 };
+use sbgt_engine::obs::{SpanKind, SpanMeta, SpanRecorder, TraceLevel};
+use sbgt_engine::{Engine, StageVariant};
 use sbgt_lattice::{SparsePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
-use sbgt_select::{select_halving_prefix_sparse, Selection};
+use sbgt_select::{
+    select_halving_prefix_sparse, select_stage_lookahead_sparse, SelectError, Selection,
+};
 
-use crate::config::SbgtConfig;
+use crate::config::{ConfigError, SbgtConfig};
 use crate::report::SessionOutcome;
+use crate::session::RoundStep;
+use crate::snapshot::{SessionSnapshot, SnapshotError, SparseSnapshot};
 
 /// A session whose posterior lives in the pruned sparse representation.
 pub struct SparseSession<M> {
@@ -30,30 +44,67 @@ pub struct SparseSession<M> {
     prune_epsilon: f64,
     history: Vec<(State, bool)>,
     stages: usize,
+    /// Telemetry sink and the cohort id stamped on every span. `None`
+    /// (the default) records nothing; [`Self::attach_obs`] opts in.
+    obs: Option<(Arc<SpanRecorder>, u64)>,
 }
 
 impl<M: BinaryOutcomeModel> SparseSession<M> {
     /// Open a sparse session. `prune_epsilon` is the per-update relative
     /// mass threshold below which states are dropped (`1e-9` is a good
-    /// default per E10; `0.0` keeps everything).
-    pub fn new(prior: Prior, model: M, config: SbgtConfig, prune_epsilon: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&prune_epsilon),
-            "prune epsilon {prune_epsilon} outside [0, 1)"
-        );
-        SparseSession {
+    /// default per E10; `0.0` keeps everything). An out-of-range epsilon is
+    /// a typed [`ConfigError::InvalidArgument`] — the validated-construction
+    /// convention the rest of the workspace follows — so a service
+    /// assembling sessions from untrusted configuration can shed the cohort
+    /// instead of crashing.
+    pub fn new(
+        prior: Prior,
+        model: M,
+        config: SbgtConfig,
+        prune_epsilon: f64,
+    ) -> Result<Self, ConfigError> {
+        if !(0.0..1.0).contains(&prune_epsilon) {
+            return Err(ConfigError::InvalidArgument(format!(
+                "prune epsilon {prune_epsilon} outside [0, 1)"
+            )));
+        }
+        Ok(SparseSession {
             posterior: prior.to_sparse(prune_epsilon),
             model,
             config,
             prune_epsilon,
             history: Vec::new(),
             stages: 0,
-        }
+            obs: None,
+        })
+    }
+
+    /// Attach a telemetry recorder; every subsequent round emits a
+    /// `session:round` span tagged with `cohort`. Sessions driven by an
+    /// engine-backed service share the engine's recorder so all lanes land
+    /// in one trace.
+    pub fn attach_obs(&mut self, recorder: Arc<SpanRecorder>, cohort: u64) {
+        self.obs = Some((recorder, cohort));
+    }
+
+    /// Whether a telemetry recorder is attached (used for lazy attach).
+    pub fn has_obs(&self) -> bool {
+        self.obs.is_some()
     }
 
     /// Cohort size.
     pub fn n_subjects(&self) -> usize {
         self.posterior.n_subjects()
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SbgtConfig {
+        &self.config
+    }
+
+    /// The per-update prune threshold this session was opened with.
+    pub fn prune_epsilon(&self) -> f64 {
+        self.prune_epsilon
     }
 
     /// Current working-set size (retained states).
@@ -104,30 +155,221 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
         Ok(z)
     }
 
-    /// Halving selection over the retained states (sparse prefix masses).
-    pub fn select_next(&self) -> Option<Selection> {
+    /// [`Self::observe`] as a single-task engine stage named
+    /// `fused-round:sparse`: the update runs against a clone of the
+    /// posterior inside the stage, so the engine's installed fault plan can
+    /// kill or retry it (the closure is pure — a retry re-clones pristine
+    /// input) and the posterior commits only on stage success. The job is
+    /// annotated [`StageVariant::Sparse`] with the post-update support.
+    ///
+    /// # Panics
+    /// Panics when the stage fails permanently (retry budget exhausted) —
+    /// the same contract as the sharded session's fused rounds, which a
+    /// supervising service converts into a snapshot rollback.
+    pub fn observe_on(
+        &mut self,
+        engine: &Engine,
+        pool: State,
+        outcome: bool,
+    ) -> Result<f64, BayesError> {
+        if pool.rank() == 0 {
+            return Err(BayesError::EmptyPool);
+        }
+        let table = self.model.likelihood_table(outcome, pool.rank());
+        let eps = self.prune_epsilon;
+        let base = Arc::new(self.posterior.clone());
+        let task = {
+            let base = Arc::clone(&base);
+            move || {
+                let mut p = (*base).clone();
+                update_sparse_with_table(&mut p, pool, &table, eps).map(|z| (p, z))
+            }
+        };
+        let results = engine
+            .run_stage("fused-round:sparse", vec![task])
+            .unwrap_or_else(|e| panic!("sparse round stage failed: {e}"));
+        let (p, z) = results.into_iter().next().expect("one sparse task")?;
+        engine.metrics().annotate_last_job(StageVariant::Sparse {
+            support: p.support(),
+        });
+        self.posterior = p;
+        self.history.push((pool, outcome));
+        self.stages += 1;
+        Ok(z)
+    }
+
+    /// Unclassified subjects by ascending marginal (ties by index) — the
+    /// candidate ordering for the halving search.
+    pub fn eligible_order(&self) -> Vec<usize> {
         let marginals = self.marginals();
         let mut eligible = classify_marginals(&marginals, self.config.rule).undetermined();
         eligible.sort_by(|&a, &b| marginals[a].total_cmp(&marginals[b]).then(a.cmp(&b)));
-        select_halving_prefix_sparse(&self.posterior, &eligible, self.config.max_pool_size)
+        eligible
     }
 
-    /// Drive to classification against a lab oracle (single pool per
-    /// stage).
+    /// Halving selection over the retained states (sparse prefix masses).
+    pub fn select_next(&self) -> Option<Selection> {
+        select_halving_prefix_sparse(
+            &self.posterior,
+            &self.eligible_order(),
+            self.config.max_pool_size,
+        )
+    }
+
+    /// Look-ahead stage selection over the retained states: up to `width`
+    /// pools for one lab round on the sparse branch-fused path.
+    pub fn select_stage(&self, width: usize) -> Result<Vec<Selection>, SelectError> {
+        let cfg = sbgt_select::LookaheadConfig {
+            width,
+            max_pool_size: self.config.max_pool_size,
+        };
+        select_stage_lookahead_sparse(&self.posterior, &self.model, &self.eligible_order(), &cfg)
+    }
+
+    /// Drive to classification against a lab oracle — a loop over
+    /// [`Self::run_round`], so round-stepped and batch trajectories are
+    /// identical by construction.
     pub fn run_to_classification(&mut self, mut lab: impl FnMut(State) -> bool) -> SessionOutcome {
         loop {
-            let classification = self.classify();
-            if classification.is_terminal() || self.stages >= self.config.max_stages {
-                return self.outcome(classification);
-            }
-            let Some(selection) = self.select_next() else {
-                return self.outcome(classification);
-            };
-            let outcome = lab(selection.pool);
-            if self.observe(selection.pool, outcome).is_err() {
-                return self.outcome(self.classify());
+            if let RoundStep::Finished(outcome) = self.run_round(&mut lab) {
+                return outcome;
             }
         }
+    }
+
+    /// Drive exactly one round (classify → select → lab → observe) with the
+    /// update applied on the driver — the unit a multi-cohort service
+    /// schedules.
+    pub fn run_round(&mut self, mut lab: impl FnMut(State) -> bool) -> RoundStep {
+        self.run_round_impl(None, &mut lab)
+    }
+
+    /// [`Self::run_round`] with the posterior update running as a
+    /// fault-injectable engine stage ([`Self::observe_on`]) — how an
+    /// engine-backed service steps sparse cohorts so chaos campaigns reach
+    /// them. Selection stays on the driver: post-prune the support is tiny,
+    /// so only the update is worth a stage.
+    pub fn run_round_on(
+        &mut self,
+        engine: &Engine,
+        mut lab: impl FnMut(State) -> bool,
+    ) -> RoundStep {
+        self.run_round_impl(Some(engine), &mut lab)
+    }
+
+    fn run_round_impl(
+        &mut self,
+        engine: Option<&Engine>,
+        lab: &mut impl FnMut(State) -> bool,
+    ) -> RoundStep {
+        let obs = match &self.obs {
+            Some((rec, cohort)) if rec.enabled_at(TraceLevel::Spans) => {
+                Some((Arc::clone(rec), *cohort, rec.now_ns()))
+            }
+            _ => None,
+        };
+        let step = self.round_inner(engine, lab);
+        if let Some((rec, cohort, start)) = obs {
+            let name = rec.intern("session:round");
+            let mut meta = SpanMeta::for_cohort(cohort);
+            meta.failed =
+                matches!(&step, RoundStep::Finished(o) if !o.classification.is_terminal());
+            rec.record_span_ending_now(SpanKind::Round, name, start, meta);
+        }
+        step
+    }
+
+    fn round_inner(
+        &mut self,
+        engine: Option<&Engine>,
+        lab: &mut impl FnMut(State) -> bool,
+    ) -> RoundStep {
+        let classification = self.classify();
+        if classification.is_terminal() || self.stages >= self.config.max_stages {
+            return RoundStep::Finished(self.outcome(classification));
+        }
+        let selections = if self.config.stage_width <= 1 {
+            self.select_next().map(|s| vec![s]).unwrap_or_default()
+        } else {
+            self.select_stage(self.config.stage_width)
+                .expect("stage width validated by SbgtConfig")
+        };
+        if selections.is_empty() {
+            return RoundStep::Finished(self.outcome(classification));
+        }
+        // A multi-pool stage counts once, like the dense sessions: observe
+        // each pool, then fold the extra per-observation stage increments
+        // back into a single count.
+        let before = self.stages;
+        for sel in &selections {
+            let outcome = lab(sel.pool);
+            let observed = match engine {
+                Some(engine) => self.observe_on(engine, sel.pool, outcome),
+                None => self.observe(sel.pool, outcome),
+            };
+            if observed.is_err() {
+                self.stages = before + 1;
+                return RoundStep::Finished(self.outcome(self.classify()));
+            }
+        }
+        self.stages = before + 1;
+        RoundStep::Progressed
+    }
+
+    /// Capture the full session state — retained entries (exact bits),
+    /// pruned-mass record, committed pools, and round counter — for
+    /// checkpoint/restore. [`Self::restore`] reproduces the session
+    /// bit-for-bit.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            n_subjects: self.n_subjects(),
+            shards: Vec::new(),
+            total: self.posterior.total(),
+            history: self.history.clone(),
+            stages: self.stages,
+            marginals: Vec::new(),
+            pending_selection: None,
+            sparse: Some(SparseSnapshot {
+                entries: self.posterior.entries().to_vec(),
+                pruned_mass: self.posterior.pruned_mass(),
+            }),
+        }
+    }
+
+    /// Rehydrate a session from a snapshot. The model, config, and prune
+    /// epsilon are the cohort's static spec, supplied by the caller;
+    /// posterior entries and the pruned-mass record are restored exactly,
+    /// so selections and classifications continue bit-for-bit.
+    pub fn restore(
+        snapshot: &SessionSnapshot,
+        model: M,
+        config: SbgtConfig,
+        prune_epsilon: f64,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.validate()?;
+        let Some(sp) = &snapshot.sparse else {
+            return Err(SnapshotError::Corrupt(
+                "sparse restore needs a sparse section".into(),
+            ));
+        };
+        if !(0.0..1.0).contains(&prune_epsilon) {
+            return Err(SnapshotError::Corrupt(format!(
+                "prune epsilon {prune_epsilon} outside [0, 1)"
+            )));
+        }
+        Ok(SparseSession {
+            posterior: SparsePosterior::from_parts(
+                snapshot.n_subjects,
+                sp.entries.clone(),
+                sp.pruned_mass,
+            ),
+            model,
+            config,
+            prune_epsilon,
+            history: snapshot.history.clone(),
+            stages: snapshot.stages,
+            obs: None,
+        })
     }
 
     fn outcome(&self, classification: CohortClassification) -> SessionOutcome {
@@ -144,7 +386,9 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ConfigError;
     use crate::session::SbgtSession;
+    use sbgt_engine::EngineConfig;
     use sbgt_response::BinaryDilutionModel;
 
     fn close(a: f64, b: f64) -> bool {
@@ -160,7 +404,7 @@ mod tests {
         let model = BinaryDilutionModel::pcr_like();
         let cfg = SbgtConfig::default().serial();
         let mut dense = SbgtSession::new(Prior::from_risks(&risks()), model, cfg);
-        let mut sparse = SparseSession::new(Prior::from_risks(&risks()), model, cfg, 0.0);
+        let mut sparse = SparseSession::new(Prior::from_risks(&risks()), model, cfg, 0.0).unwrap();
         for (pool, outcome) in [
             (State::from_subjects([0, 1, 2]), false),
             (State::from_subjects([3, 4]), true),
@@ -182,7 +426,7 @@ mod tests {
     fn pruning_shrinks_support_during_episode() {
         let model = BinaryDilutionModel::pcr_like();
         let cfg = SbgtConfig::default().serial();
-        let mut s = SparseSession::new(Prior::from_risks(&risks()), model, cfg, 1e-9);
+        let mut s = SparseSession::new(Prior::from_risks(&risks()), model, cfg, 1e-9).unwrap();
         let initial = s.support();
         s.observe(State::from_subjects([0, 1, 2, 3]), false)
             .unwrap();
@@ -196,7 +440,7 @@ mod tests {
         let truth = State::from_subjects([2, 5]);
         let model = BinaryDilutionModel::perfect();
         let cfg = SbgtConfig::default().serial();
-        let mut s = SparseSession::new(Prior::flat(8, 0.1), model, cfg, 1e-9);
+        let mut s = SparseSession::new(Prior::flat(8, 0.1), model, cfg, 1e-9).unwrap();
         let out = s.run_to_classification(|pool| truth.intersects(pool));
         assert!(out.classification.is_terminal());
         assert_eq!(out.classification.positives(), 2);
@@ -212,16 +456,180 @@ mod tests {
         let truth = State::from_subjects([1]);
         let model = BinaryDilutionModel::perfect();
         let cfg = SbgtConfig::default().serial();
-        let mut s = SparseSession::new(Prior::flat(8, 0.05), model, cfg, 1e-3);
+        let mut s = SparseSession::new(Prior::flat(8, 0.05), model, cfg, 1e-3).unwrap();
         let out = s.run_to_classification(|pool| truth.intersects(pool));
         assert!(out.classification.is_terminal());
         assert_eq!(out.classification.positives(), 1);
     }
 
+    /// Regression: an out-of-range epsilon used to `assert!`-panic inside
+    /// the constructor, taking down the whole process when a service opened
+    /// a cohort from bad configuration. It is now the workspace-standard
+    /// typed error.
     #[test]
-    #[should_panic(expected = "prune epsilon")]
-    fn epsilon_validated() {
+    fn epsilon_out_of_range_is_typed_error_not_panic() {
         let model = BinaryDilutionModel::pcr_like();
-        let _ = SparseSession::new(Prior::flat(3, 0.1), model, SbgtConfig::default(), 1.0);
+        for bad in [1.0, 1.5, -0.1, f64::NAN] {
+            let result = SparseSession::new(Prior::flat(3, 0.1), model, SbgtConfig::default(), bad);
+            match result {
+                Err(ConfigError::InvalidArgument(msg)) => {
+                    assert!(msg.contains("prune epsilon"), "message: {msg}")
+                }
+                Ok(_) => panic!("epsilon {bad} must be rejected"),
+            }
+        }
+        // And the boundary values are accepted.
+        assert!(SparseSession::new(Prior::flat(3, 0.1), model, SbgtConfig::default(), 0.0).is_ok());
+    }
+
+    #[test]
+    fn round_stepping_matches_batch_run() {
+        let truth = State::from_subjects([2, 5]);
+        let model = BinaryDilutionModel::perfect();
+        let cfg = SbgtConfig::default().serial();
+        let mk = || SparseSession::new(Prior::flat(8, 0.1), model, cfg, 1e-9).unwrap();
+        let mut batch = mk();
+        let expected = batch.run_to_classification(|pool| truth.intersects(pool));
+        let mut stepped = mk();
+        let outcome = loop {
+            if let Some(o) = stepped.run_round(|pool| truth.intersects(pool)).finished() {
+                break o;
+            }
+        };
+        assert_eq!(outcome.tests, expected.tests);
+        assert_eq!(stepped.history(), batch.history());
+        assert_eq!(
+            outcome.classification.statuses,
+            expected.classification.statuses
+        );
+        for (a, b) in outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn engine_backed_rounds_match_driver_rounds_bit_for_bit() {
+        let e = Engine::new(EngineConfig::default().with_threads(2));
+        let truth = State::from_subjects([1, 6]);
+        let model = BinaryDilutionModel::perfect();
+        let cfg = SbgtConfig::default().serial();
+        let mk = || SparseSession::new(Prior::flat(8, 0.07), model, cfg, 1e-9).unwrap();
+        let mut driver = mk();
+        let expected = driver.run_to_classification(|pool| truth.intersects(pool));
+        let mut staged = mk();
+        e.metrics().clear();
+        let outcome = loop {
+            if let Some(o) = staged
+                .run_round_on(&e, |pool| truth.intersects(pool))
+                .finished()
+            {
+                break o;
+            }
+        };
+        assert_eq!(outcome, expected);
+        assert_eq!(staged.history(), driver.history());
+        for (a, b) in staged
+            .posterior()
+            .entries()
+            .iter()
+            .zip(driver.posterior().entries())
+        {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Every observation ran as a sparse-tagged engine stage.
+        let jobs = e.metrics().jobs();
+        let sparse_jobs: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.name == "fused-round:sparse")
+            .collect();
+        assert_eq!(sparse_jobs.len(), outcome.tests);
+        assert!(sparse_jobs
+            .iter()
+            .all(|j| matches!(j.variant, StageVariant::Sparse { .. })));
+    }
+
+    #[test]
+    fn wide_stages_bank_several_tests_per_stage() {
+        let truth = State::from_subjects([1, 6]);
+        let model = BinaryDilutionModel::perfect();
+        let cfg = SbgtConfig::default().serial().with_stage_width(3);
+        let mut s = SparseSession::new(Prior::flat(8, 0.08), model, cfg, 1e-9).unwrap();
+        let out = s.run_to_classification(|pool| truth.intersects(pool));
+        assert!(out.classification.is_terminal());
+        assert!(
+            out.stages < out.tests,
+            "width-3 stages must bank several tests per stage ({} stages, {} tests)",
+            out.stages,
+            out.tests
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_exact_mid_run() {
+        let truth = State::from_subjects([2, 5]);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = SbgtConfig::default().serial();
+        let mut live = SparseSession::new(Prior::flat(8, 0.1), model, cfg, 1e-9).unwrap();
+        for _ in 0..3 {
+            assert!(live
+                .run_round(|pool| truth.intersects(pool))
+                .finished()
+                .is_none());
+        }
+        let snap = live.snapshot();
+        assert!(snap.sparse.is_some());
+        // Byte codec round-trips the session bit-for-bit.
+        let decoded = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap);
+        let mut restored = SparseSession::restore(&decoded, model, cfg, 1e-9).unwrap();
+        assert_eq!(restored.history(), live.history());
+        assert_eq!(restored.stages(), live.stages());
+        assert_eq!(
+            restored.pruned_mass().to_bits(),
+            live.pruned_mass().to_bits()
+        );
+        let expected = live.run_to_classification(|pool| truth.intersects(pool));
+        let outcome = restored.run_to_classification(|pool| truth.intersects(pool));
+        assert_eq!(outcome.tests, expected.tests);
+        assert_eq!(
+            outcome.classification.statuses,
+            expected.classification.statuses
+        );
+        for (a, b) in outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A dense snapshot is rejected by the sparse restore, typed.
+        let dense_snap = SbgtSession::new(Prior::flat(4, 0.1), model, cfg).snapshot();
+        assert!(matches!(
+            SparseSession::restore(&dense_snap, model, cfg, 1e-9),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn attached_recorder_captures_round_spans() {
+        use sbgt_engine::obs::ObsConfig;
+        let truth = State::from_subjects([1, 3]);
+        let model = BinaryDilutionModel::perfect();
+        let mut s = SparseSession::new(
+            Prior::flat(6, 0.1),
+            model,
+            SbgtConfig::default().serial(),
+            1e-9,
+        )
+        .unwrap();
+        assert!(!s.has_obs());
+        let rec = Arc::new(SpanRecorder::new(ObsConfig::spans()));
+        s.attach_obs(Arc::clone(&rec), 11);
+        assert!(s.has_obs());
+        let out = s.run_to_classification(|pool| truth.intersects(pool));
+        assert!(out.classification.is_terminal());
+        let snap = rec.snapshot();
+        let rounds = snap
+            .all_events()
+            .filter(|e| e.kind == SpanKind::Round && e.meta.cohort == 11)
+            .count();
+        assert!(rounds >= 1, "each round must emit a cohort-tagged span");
     }
 }

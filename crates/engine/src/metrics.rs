@@ -45,6 +45,13 @@ pub enum StageVariant {
         /// pools).
         branches: usize,
     },
+    /// Sparse-mode round: the posterior has switched to the pruned
+    /// representation and the whole round ran over its retained support
+    /// instead of sharded `2^N` partitions.
+    Sparse {
+        /// Retained support (states with mass) at the end of the round.
+        support: usize,
+    },
 }
 
 impl StageVariant {
@@ -63,6 +70,9 @@ impl std::fmt::Display for StageVariant {
             }
             StageVariant::Lookahead { branches } => {
                 write!(f, "lookahead {branches}b")
+            }
+            StageVariant::Sparse { support } => {
+                write!(f, "sparse {support}s")
             }
         }
     }

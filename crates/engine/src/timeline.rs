@@ -181,6 +181,10 @@ mod tests {
         k.variant = StageVariant::Lookahead { branches: 4 };
         let lookahead = render_job(2, &k);
         assert!(lookahead.contains("[lookahead 4b]"));
+        let mut s = job("fused-round:sparse", &[2]);
+        s.variant = StageVariant::Sparse { support: 37 };
+        let sparse = render_job(3, &s);
+        assert!(sparse.contains("[sparse 37s]"));
     }
 
     /// Golden header line: exact format of a job with fault activity,

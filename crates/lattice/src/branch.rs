@@ -97,6 +97,12 @@ impl LookaheadKernel {
         self.m + 1
     }
 
+    /// Borrow the first-positive byte-lane tables (shared with the fused
+    /// SIMD superstage in [`crate::simd`]).
+    pub(crate) fn first_tables(&self) -> &[[u32; 256]] {
+        &self.first_tables
+    }
+
     /// Accumulate the branch-weighted first-positive histograms of one
     /// contiguous slice of posterior mass.
     ///
@@ -138,18 +144,11 @@ impl LookaheadKernel {
                     let k = k_hi[i] + lo[i][byte] as usize;
                     let neg = pool.tables[0][k];
                     let pos = pool.tables[1][k];
-                    // Doubling in reverse keeps reads ahead of writes.
-                    for b in (0..cur).rev() {
-                        let w = prod[b];
-                        prod[2 * b + 1] = w * pos;
-                        prod[2 * b] = w * neg;
-                    }
+                    crate::simd::lookahead_double_block(&mut prod, cur, neg, pos);
                     cur <<= 1;
                 }
                 let row = first_pos(&self.first_tables, s) as usize * nb;
-                for (slot, &v) in hist[row..row + nb].iter_mut().zip(prod.iter()) {
-                    *slot += v;
-                }
+                crate::simd::add_assign_block(&mut hist[row..row + nb], &prod);
             }
             off += run;
         }

@@ -1,0 +1,196 @@
+//! Adaptive dense→sparse posterior switching.
+//!
+//! Posterior mass concentrates onto a tiny support after a few informative
+//! rounds (HiBGT's pruned-lattice observation), at which point the `Θ(2^N)`
+//! dense traversal wastes almost all of its work on states carrying no
+//! mass. [`HybridPosterior`] starts dense — where the SIMD kernels and the
+//! sharded engine path are fastest — and switches to [`SparsePosterior`]
+//! once the retained support falls below a configurable fraction of the
+//! lattice ([`SparseSwitch`]). The switch is one-way: a posterior never
+//! re-densifies (support only shrinks under further evidence, and the
+//! pruned-mass record would be lost).
+
+use crate::dense::DensePosterior;
+use crate::sparse::SparsePosterior;
+
+/// When (and how aggressively) a dense posterior converts to sparse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseSwitch {
+    /// Switch when the retained support (states with mass above the prune
+    /// cut) is at most this fraction of `2^N`. Must lie in `(0, 1]`.
+    pub max_support_fraction: f64,
+    /// Relative prune threshold applied at the switch and after every
+    /// subsequent sparse update (`0.0` = keep all positive-mass states).
+    /// Must lie in `[0, 1)`.
+    pub prune_epsilon: f64,
+}
+
+impl Default for SparseSwitch {
+    fn default() -> Self {
+        // 1/64th of the lattice: late enough that the dense SIMD path has
+        // done the heavy early rounds, early enough that the sparse tail of
+        // a session runs in cache.
+        SparseSwitch {
+            max_support_fraction: 1.0 / 64.0,
+            prune_epsilon: 1e-12,
+        }
+    }
+}
+
+impl SparseSwitch {
+    /// `Err(reason)` when a field is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.max_support_fraction > 0.0 && self.max_support_fraction <= 1.0) {
+            return Err(format!(
+                "max_support_fraction must lie in (0, 1], got {}",
+                self.max_support_fraction
+            ));
+        }
+        if !(0.0..1.0).contains(&self.prune_epsilon) {
+            return Err(format!(
+                "prune_epsilon must lie in [0, 1), got {}",
+                self.prune_epsilon
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Number of states of `dense` whose mass exceeds the relative prune cut —
+/// the support the posterior would retain if converted to sparse now.
+pub fn retained_support(dense: &DensePosterior, epsilon: f64) -> usize {
+    let total = dense.total();
+    let cut = if total > 0.0 { epsilon * total } else { 0.0 };
+    dense
+        .probs()
+        .iter()
+        .filter(|&&p| p > cut && p > 0.0)
+        .count()
+}
+
+/// A posterior that is dense until evidence concentrates it, sparse after.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HybridPosterior {
+    /// Early-session exhaustive representation.
+    Dense(DensePosterior),
+    /// Post-switch pruned representation.
+    Sparse(SparsePosterior),
+}
+
+impl HybridPosterior {
+    /// Start dense (the only entry point — switching is evidence-driven).
+    pub fn new_dense(dense: DensePosterior) -> Self {
+        HybridPosterior::Dense(dense)
+    }
+
+    /// Cohort size `N`.
+    pub fn n_subjects(&self) -> usize {
+        match self {
+            HybridPosterior::Dense(d) => d.n_subjects(),
+            HybridPosterior::Sparse(s) => s.n_subjects(),
+        }
+    }
+
+    /// Whether the switch has happened.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, HybridPosterior::Sparse(_))
+    }
+
+    /// The sparse representation, when switched.
+    pub fn as_sparse(&self) -> Option<&SparsePosterior> {
+        match self {
+            HybridPosterior::Sparse(s) => Some(s),
+            HybridPosterior::Dense(_) => None,
+        }
+    }
+
+    /// The dense representation, while unswitched.
+    pub fn as_dense(&self) -> Option<&DensePosterior> {
+        match self {
+            HybridPosterior::Dense(d) => Some(d),
+            HybridPosterior::Sparse(_) => None,
+        }
+    }
+
+    /// Convert to sparse now if the retained support qualifies under
+    /// `switch`; returns the retained support when the switch happens.
+    /// No-op (returning `None`) when already sparse or still too spread.
+    pub fn maybe_switch(&mut self, switch: &SparseSwitch) -> Option<usize> {
+        let HybridPosterior::Dense(dense) = self else {
+            return None;
+        };
+        let support = retained_support(dense, switch.prune_epsilon);
+        let limit = switch.max_support_fraction * dense.len() as f64;
+        if support as f64 > limit {
+            return None;
+        }
+        *self = HybridPosterior::Sparse(SparsePosterior::from_dense(dense, switch.prune_epsilon));
+        Some(support)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::State;
+
+    #[test]
+    fn switch_config_is_validated() {
+        assert!(SparseSwitch::default().validate().is_ok());
+        for bad in [
+            SparseSwitch {
+                max_support_fraction: 0.0,
+                ..SparseSwitch::default()
+            },
+            SparseSwitch {
+                max_support_fraction: 1.5,
+                ..SparseSwitch::default()
+            },
+            SparseSwitch {
+                prune_epsilon: 1.0,
+                ..SparseSwitch::default()
+            },
+            SparseSwitch {
+                prune_epsilon: -0.1,
+                ..SparseSwitch::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn stays_dense_while_spread_then_switches() {
+        // Uniform posterior: full support, no switch.
+        let mut h = HybridPosterior::new_dense(DensePosterior::new_uniform(6));
+        let switch = SparseSwitch {
+            max_support_fraction: 0.25,
+            prune_epsilon: 1e-9,
+        };
+        assert_eq!(h.maybe_switch(&switch), None);
+        assert!(!h.is_sparse());
+
+        // Concentrate the mass onto a handful of states.
+        let mut probs = vec![0.0f64; 64];
+        probs[3] = 0.7;
+        probs[12] = 0.2;
+        probs[40] = 0.1;
+        let mut h = HybridPosterior::new_dense(DensePosterior::from_probs(6, probs));
+        assert_eq!(h.maybe_switch(&switch), Some(3));
+        assert!(h.is_sparse());
+        let s = h.as_sparse().unwrap();
+        assert_eq!(s.support(), 3);
+        assert_eq!(s.get(State(3)), 0.7);
+        // Switching is one-way and idempotent.
+        assert_eq!(h.maybe_switch(&switch), None);
+    }
+
+    #[test]
+    fn retained_support_respects_epsilon() {
+        let mut probs = vec![1e-15f64; 16];
+        probs[5] = 1.0;
+        let d = DensePosterior::from_probs(4, probs);
+        assert_eq!(retained_support(&d, 1e-9), 1);
+        assert_eq!(retained_support(&d, 0.0), 16);
+    }
+}

@@ -71,13 +71,7 @@ pub fn par_mul_likelihood_fused(
         .enumerate()
         .map(|(ci, probs)| {
             let base = (ci * chunk) as u64;
-            let mut local = 0.0;
-            for (off, p) in probs.iter_mut().enumerate() {
-                let k = ((base + off as u64) & mask).count_ones() as usize;
-                *p *= table[k];
-                local += *p;
-            }
-            local
+            crate::simd::mul_table_block(probs, base, mask, table)
         })
         .sum()
 }

@@ -35,10 +35,12 @@
 pub mod branch;
 pub mod chains;
 pub mod dense;
+pub mod hybrid;
 pub mod iter;
 pub mod kernels;
 pub mod logdomain;
 pub mod order;
+pub mod simd;
 pub mod sparse;
 pub mod state;
 pub mod transform;
@@ -46,6 +48,7 @@ pub mod transform;
 pub use branch::{BranchPool, LookaheadKernel};
 pub use chains::{ChainPosterior, ChainShape};
 pub use dense::DensePosterior;
+pub use hybrid::{HybridPosterior, SparseSwitch};
 pub use logdomain::LogPosterior;
 pub use sparse::SparsePosterior;
 pub use state::{State, MAX_SUBJECTS};

@@ -45,6 +45,20 @@ impl SparsePosterior {
         }
     }
 
+    /// Rebuild from checkpointed parts: retained entries (validated and
+    /// sorted exactly like [`Self::from_entries`]) plus the recorded pruned
+    /// mass, so a snapshot restore reproduces the live posterior bit for
+    /// bit — including the conservation invariant
+    /// `total() + pruned_mass() == 1` a long-running session maintains.
+    ///
+    /// # Panics
+    /// Panics on duplicate states or states out of range for `n`.
+    pub fn from_parts(n: usize, entries: Vec<(State, f64)>, pruned_mass: f64) -> Self {
+        let mut s = Self::from_entries(n, entries);
+        s.pruned_mass = pruned_mass;
+        s
+    }
+
     /// Convert from dense, dropping states whose share of the total mass is
     /// `< epsilon`. `epsilon = 0.0` keeps every state with positive mass.
     pub fn from_dense(dense: &DensePosterior, epsilon: f64) -> Self {
@@ -121,6 +135,28 @@ impl SparsePosterior {
         let inv = 1.0 / z;
         for (_, p) in &mut self.entries {
             *p *= inv;
+        }
+        Some(z)
+    }
+
+    /// Rescale the retained entries so `total() + pruned_mass() == 1` — the
+    /// conservation invariant a long-running pruned session maintains
+    /// between rounds. Unlike [`Self::try_normalize`], which forces the
+    /// retained mass alone to 1 (and thereby silently inflates the pruned
+    /// share back into the retained states), this keeps the pruned record in
+    /// the *same units* as the retained vector across arbitrarily many
+    /// update→prune cycles. Returns the retained mass before scaling, or
+    /// `None` when degenerate (empty/zero/non-finite retained mass, or
+    /// `pruned_mass >= 1`).
+    pub fn renormalize_retained(&mut self) -> Option<f64> {
+        let z = self.total();
+        let target = 1.0 - self.pruned_mass;
+        if !(z.is_finite() && z > 0.0) || target <= 0.0 {
+            return None;
+        }
+        let scale = target / z;
+        for (_, p) in &mut self.entries {
+            *p *= scale;
         }
         Some(z)
     }
@@ -368,6 +404,16 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_entries_rejects_out_of_range() {
         let _ = SparsePosterior::from_entries(2, vec![(State(7), 0.5)]);
+    }
+
+    #[test]
+    fn from_parts_restores_pruned_mass_bit_exact() {
+        let d = example_dense();
+        let mut s = SparsePosterior::from_dense(&d, 0.0);
+        s.prune(0.02);
+        let restored =
+            SparsePosterior::from_parts(s.n_subjects(), s.entries().to_vec(), s.pruned_mass());
+        assert_eq!(restored, s);
     }
 
     #[test]

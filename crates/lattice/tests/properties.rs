@@ -177,6 +177,124 @@ proptest! {
     }
 }
 
+// --- SIMD kernels: dispatched vs scalar reference, bit-for-bit ---
+
+use sbgt_lattice::simd::{
+    add_assign_block, add_assign_block_scalar, fused_update_block, fused_update_block_scalar,
+    lookahead_double_block, lookahead_double_block_scalar, mul_table_block, mul_table_block_scalar,
+};
+use sbgt_lattice::LookaheadKernel;
+
+/// A likelihood-like table for a pool of `rank` bits, parameterized so
+/// proptest explores different value profiles.
+fn sim_table(rank: u32, scale: f64) -> Vec<f64> {
+    (0..=rank as usize)
+        .map(|k| scale * (k as f64 + 0.5) / (rank as f64 + 1.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The runtime-dispatched update kernel is bit-for-bit the scalar
+    /// reference over arbitrary partition slices (ragged length, misaligned
+    /// base) — the SIMD contract the sharded engine relies on.
+    #[test]
+    fn simd_mul_table_block_is_bit_identical_to_scalar(
+        probs in prop::collection::vec(0.0f64..1.0, 1..700),
+        base in 0u64..4096,
+        mask_bits in any::<u64>(),
+        scale in 0.01f64..1.0,
+    ) {
+        let mask = mask_bits & 0xFFF;
+        let table = sim_table(mask.count_ones(), scale);
+        let mut a = probs.clone();
+        let mut b = probs;
+        let za = mul_table_block(&mut a, base, mask, &table);
+        let zb = mul_table_block_scalar(&mut b, base, mask, &table);
+        prop_assert_eq!(za.to_bits(), zb.to_bits());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The fused update+marginals+histogram superstage is bit-for-bit the
+    /// scalar reference in every output (posterior, total, marginal masses,
+    /// first-positive histogram).
+    #[test]
+    fn simd_fused_update_block_is_bit_identical_to_scalar(
+        probs in prop::collection::vec(0.0f64..1.0, 1..600),
+        base in 0u64..2048,
+        mask_bits in any::<u64>(),
+        n in 1usize..12,
+        order_seed in any::<u64>(),
+    ) {
+        let mask = mask_bits & ((1u64 << n) - 1);
+        let table = sim_table(mask.count_ones(), 0.9);
+        // Pseudo-random candidate ordering over a subset of subjects.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = order_seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        order.truncate(1 + (order_seed as usize % n));
+        let kernel = LookaheadKernel::new(n, &order);
+
+        let mut pa = probs.clone();
+        let mut pb = probs;
+        let mut ma = vec![0.0f64; n];
+        let mut mb = vec![0.0f64; n];
+        let mut ha = vec![0.0f64; kernel.num_prefixes()];
+        let mut hb = vec![0.0f64; kernel.num_prefixes()];
+        let sa = fused_update_block(&mut pa, base, mask, &table, &kernel, &mut ma, &mut ha);
+        let sb = fused_update_block_scalar(&mut pb, base, mask, &table, &kernel, &mut mb, &mut hb);
+        prop_assert_eq!(sa.to_bits(), sb.to_bits());
+        for (x, y) in pa.iter().zip(&pb) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in ma.iter().zip(&mb) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in ha.iter().zip(&hb) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The look-ahead branch-product primitives are bit-for-bit the scalar
+    /// reference for every doubling width and accumulate length.
+    #[test]
+    fn simd_lookahead_primitives_are_bit_identical_to_scalar(
+        weights in prop::collection::vec(0.0f64..1.0, 1..65),
+        neg in 0.0f64..1.0,
+        pos in 0.0f64..1.0,
+        src in prop::collection::vec(0.0f64..1.0, 1..65),
+    ) {
+        // Doubling: prod must hold 2*cur slots. Real callers grow the
+        // product table by doubling from 1, so `cur` is always a power of
+        // two — the AVX path's alignment contract. Mirror that here.
+        let cur = (weights.len().div_ceil(2).max(1)).next_power_of_two();
+        let mut a = weights.clone();
+        a.resize(2 * cur, 0.0);
+        let mut b = a.clone();
+        lookahead_double_block(&mut a, cur, neg, pos);
+        lookahead_double_block_scalar(&mut b, cur, neg, pos);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let mut da = weights.iter().map(|w| 1.0 - w).collect::<Vec<_>>();
+        da.resize(src.len(), 0.25);
+        let mut db = da.clone();
+        let src = &src[..da.len().min(src.len())];
+        add_assign_block(&mut da[..src.len()], src);
+        add_assign_block_scalar(&mut db[..src.len()], src);
+        for (x, y) in da.iter().zip(&db) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
 // --- extension modules: transforms, log domain, product-of-chains ---
 
 use sbgt_lattice::logdomain::LogPosterior;

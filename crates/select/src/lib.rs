@@ -43,5 +43,5 @@ pub use halving::{
 pub use information::{select_information_gain, InfoSelection};
 pub use lookahead::{
     drive_lookahead, select_stage_lookahead, select_stage_lookahead_fused,
-    select_stage_lookahead_par, LookaheadConfig, SelectError,
+    select_stage_lookahead_par, select_stage_lookahead_sparse, LookaheadConfig, SelectError,
 };

@@ -32,7 +32,7 @@ use std::collections::HashSet;
 use sbgt_bayes::{update_dense, Observation};
 use sbgt_lattice::branch::suffix_sum_rows;
 use sbgt_lattice::kernels::{par_lookahead_histograms, ParConfig};
-use sbgt_lattice::{BranchPool, DensePosterior, LookaheadKernel, State};
+use sbgt_lattice::{simd, BranchPool, DensePosterior, LookaheadKernel, SparsePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 
 use crate::halving::{select_halving_from_masses, Selection};
@@ -233,6 +233,68 @@ pub fn select_stage_lookahead_par<M: BinaryOutcomeModel>(
     let kernel = LookaheadKernel::new(posterior.n_subjects(), order);
     drive_lookahead(model, order, cfg, |pools| {
         par_lookahead_histograms(posterior, &kernel, pools, par)
+    })
+}
+
+/// Branch-fused look-ahead selection over a **sparse** (pruned) posterior —
+/// the counterpart of [`select_stage_lookahead_fused`] that
+/// [`crate::halving::select_halving_prefix_sparse`] was missing for
+/// width > 1 stages.
+///
+/// Reuses the same greedy driver with a histogram closure that traverses
+/// the retained entries only: per entry the committed pools' branch
+/// products are built by the shared iterative-doubling primitive and
+/// scattered into the entry's first-positive row. Cost per greedy step is
+/// `O(support · 2^j)` instead of `O(2^N · 2^j)`. At ε = 0 (nothing pruned)
+/// this selects exactly the pools of the dense fused path.
+///
+/// # Panics
+/// Panics if `order` contains a duplicate or an index `>= n`, matching
+/// [`LookaheadKernel::new`].
+pub fn select_stage_lookahead_sparse<M: BinaryOutcomeModel>(
+    posterior: &SparsePosterior,
+    model: &M,
+    order: &[usize],
+    cfg: &LookaheadConfig,
+) -> Result<Vec<Selection>, SelectError> {
+    cfg.validate()?;
+    let n = posterior.n_subjects();
+    let m = order.len();
+    let mut pos_of = vec![u32::MAX; n];
+    for (k, &subj) in order.iter().enumerate() {
+        assert!(subj < n, "subject {subj} out of range");
+        assert!(
+            pos_of[subj] == u32::MAX,
+            "duplicate subject {subj} in order"
+        );
+        pos_of[subj] = k as u32;
+    }
+    drive_lookahead(model, order, cfg, |pools| {
+        let nb = 1usize << pools.len();
+        let mut hist = vec![0.0f64; (m + 1) * nb];
+        let mut prod = vec![0.0f64; nb];
+        for &(s, p) in posterior.entries() {
+            prod[0] = p;
+            let mut cur = 1usize;
+            for pool in pools {
+                let k = (s.bits() & pool.mask).count_ones() as usize;
+                simd::lookahead_double_block(&mut prod, cur, pool.tables[0][k], pool.tables[1][k]);
+                cur <<= 1;
+            }
+            let mut first = m as u32;
+            for b in s.subjects() {
+                let pos = pos_of[b];
+                if pos < first {
+                    first = pos;
+                    if first == 0 {
+                        break;
+                    }
+                }
+            }
+            let row = first as usize * nb;
+            simd::add_assign_block(&mut hist[row..row + nb], &prod);
+        }
+        hist
     })
 }
 
@@ -514,6 +576,52 @@ mod tests {
                 assert!((f.negative_mass - p.negative_mass).abs() < 1e-12);
                 assert!((f.distance - p.distance).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn sparse_unpruned_selects_identical_pools_to_fused() {
+        let risks = [0.03, 0.07, 0.12, 0.2, 0.04, 0.09, 0.15, 0.25];
+        let post = DensePosterior::from_risks(&risks);
+        let sparse = SparsePosterior::from_dense(&post, 0.0);
+        let order = ascending_order(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        for width in 1..=4 {
+            let cfg = LookaheadConfig {
+                width,
+                max_pool_size: 6,
+            };
+            let fused = select_stage_lookahead_fused(&post, &model, &order, &cfg).unwrap();
+            let sp = select_stage_lookahead_sparse(&sparse, &model, &order, &cfg).unwrap();
+            assert_eq!(fused.len(), sp.len(), "width {width}");
+            for (f, s) in fused.iter().zip(&sp) {
+                assert_eq!(f.pool, s.pool, "width {width}");
+                assert!((f.negative_mass - s.negative_mass).abs() < 1e-12);
+                assert!((f.distance - s.distance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_pruned_posterior_still_selects() {
+        // A heavily pruned posterior must keep producing valid, distinct
+        // pools (scores reflect the retained mass only).
+        let risks = [0.02, 0.05, 0.3, 0.08, 0.12, 0.07];
+        let dense = DensePosterior::from_risks(&risks);
+        let sparse = SparsePosterior::from_dense(&dense, 0.01);
+        assert!(sparse.support() < dense.len());
+        let order = ascending_order(&risks);
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = LookaheadConfig {
+            width: 3,
+            max_pool_size: 4,
+        };
+        let stage = select_stage_lookahead_sparse(&sparse, &model, &order, &cfg).unwrap();
+        assert_eq!(stage.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for s in &stage {
+            assert!(seen.insert(s.pool.bits()));
+            assert!(s.distance >= -1e-12 && s.distance <= 0.5 + 1e-12);
         }
     }
 

@@ -12,14 +12,52 @@ use crate::cohort::CohortSpec;
 const MAGIC: &[u8; 8] = b"SBGTCKPT";
 const VERSION: u32 = 1;
 
+/// Which session kind the cohort was running when frozen. A checkpoint
+/// restores to the **same** kind regardless of the live placement policy,
+/// keeping the arithmetic path (and hence the bit-exact trajectory)
+/// identical across the freeze.
+///
+/// The wire encoding is one byte: `Sharded = 0`, `Dense = 1` — exactly the
+/// `u8::from(dense)` flag older checkpoints wrote, so they decode
+/// unchanged — and `Sparse = 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CohortKind {
+    /// Engine-sharded dense session.
+    Sharded,
+    /// Dense in-memory session.
+    Dense,
+    /// Pruned sparse session.
+    Sparse,
+}
+
+impl CohortKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            CohortKind::Sharded => 0,
+            CohortKind::Dense => 1,
+            CohortKind::Sparse => 2,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Result<Self, SnapshotError> {
+        match byte {
+            0 => Ok(CohortKind::Sharded),
+            1 => Ok(CohortKind::Dense),
+            2 => Ok(CohortKind::Sparse),
+            other => Err(SnapshotError::Corrupt(format!(
+                "unknown cohort kind byte {other}"
+            ))),
+        }
+    }
+}
+
 /// A frozen cohort: everything needed to rebuild its actor and continue.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CohortCheckpoint {
     /// The cohort's static identity (id, seed, risks, ground truth).
     pub spec: CohortSpec,
-    /// Whether the cohort ran the dense session (restores to the same
-    /// kind, keeping the arithmetic path identical).
-    pub dense: bool,
+    /// The session kind the cohort ran (restores to the same kind).
+    pub kind: CohortKind,
     /// Rollback-and-replay cycles consumed before the checkpoint.
     pub recoveries: u64,
     /// Full session state.
@@ -41,7 +79,7 @@ impl CohortCheckpoint {
             out.extend_from_slice(&r.to_bits().to_le_bytes());
         }
         out.extend_from_slice(&self.spec.truth.bits().to_le_bytes());
-        out.push(u8::from(self.dense));
+        out.push(self.kind.to_byte());
         out.extend_from_slice(&self.recoveries.to_le_bytes());
         out.extend_from_slice(&(snapshot.len() as u64).to_le_bytes());
         out.extend_from_slice(&snapshot);
@@ -72,7 +110,7 @@ impl CohortCheckpoint {
             risks.push(f64::from_bits(r.u64()?));
         }
         let truth = State(r.u64()?);
-        let dense = r.take(1)?[0] != 0;
+        let kind = CohortKind::from_byte(r.take(1)?[0])?;
         let recoveries = r.u64()?;
         let snap_len = r.u64()? as usize;
         if snap_len > bytes.len() - r.at {
@@ -100,7 +138,7 @@ impl CohortCheckpoint {
                 risks,
                 truth,
             },
-            dense,
+            kind,
             recoveries,
             snapshot,
         })
@@ -142,7 +180,7 @@ mod tests {
                 risks: vec![0.02, 0.05, 0.11],
                 truth: State::from_subjects([1]),
             },
-            dense: true,
+            kind: CohortKind::Dense,
             recoveries: 2,
             snapshot: SessionSnapshot {
                 n_subjects: 3,
@@ -152,6 +190,7 @@ mod tests {
                 stages: 1,
                 marginals: vec![],
                 pending_selection: None,
+                sparse: None,
             },
         }
     }
@@ -185,5 +224,58 @@ mod tests {
         let mut ckpt = sample();
         ckpt.spec.risks.push(0.2);
         assert!(CohortCheckpoint::from_bytes(&ckpt.to_bytes()).is_err());
+    }
+
+    /// Byte offset of the kind flag: header + spec fields + risks + truth.
+    fn kind_offset(ckpt: &CohortCheckpoint) -> usize {
+        8 + 4 + 8 + 8 + 8 + ckpt.spec.risks.len() * 8 + 8
+    }
+
+    #[test]
+    fn kind_byte_is_wire_compatible_with_the_old_dense_flag() {
+        // Sharded/Dense encode to the exact bytes the old `bool` wrote;
+        // Sparse claims the next value; anything else is typed corruption.
+        for (kind, byte) in [
+            (CohortKind::Sharded, 0u8),
+            (CohortKind::Dense, 1),
+            (CohortKind::Sparse, 2),
+        ] {
+            let mut ckpt = sample();
+            ckpt.kind = kind;
+            let bytes = ckpt.to_bytes();
+            assert_eq!(bytes[kind_offset(&ckpt)], byte);
+            assert_eq!(CohortCheckpoint::from_bytes(&bytes).unwrap().kind, kind);
+        }
+        let ckpt = sample();
+        let mut bad = ckpt.to_bytes();
+        bad[kind_offset(&ckpt)] = 3;
+        assert!(matches!(
+            CohortCheckpoint::from_bytes(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn sparse_checkpoint_round_trips_bit_for_bit() {
+        use sbgt::SparseSnapshot;
+        let mut ckpt = sample();
+        ckpt.kind = CohortKind::Sparse;
+        ckpt.snapshot.shards = vec![];
+        ckpt.snapshot.total = 0.75;
+        ckpt.snapshot.sparse = Some(SparseSnapshot {
+            entries: vec![(State(1), 0.5), (State(5), 0.25)],
+            pruned_mass: 0.25,
+        });
+        let back = CohortCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+        let (a, b) = (
+            ckpt.snapshot.sparse.as_ref().unwrap(),
+            back.snapshot.sparse.as_ref().unwrap(),
+        );
+        assert_eq!(a.pruned_mass.to_bits(), b.pruned_mass.to_bits());
+        for ((sa, pa), (sb, pb)) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(sa, sb);
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
     }
 }

@@ -14,11 +14,17 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use sbgt::{RoundStep, SbgtConfig, SbgtSession, SessionOutcome, SessionSnapshot, ShardedSession};
+use sbgt::{
+    RoundStep, SbgtConfig, SbgtSession, SessionOutcome, SessionSnapshot, ShardedSession,
+    SparseSession,
+};
 use sbgt_bayes::Prior;
 use sbgt_engine::Engine;
 use sbgt_lattice::State;
 use sbgt_response::{BinaryDilutionModel, BinaryOutcomeModel};
+
+use crate::checkpoint::CohortKind;
+use crate::config::SessionPolicy;
 
 /// One submitted specimen: its prior risk and (for the virtual lab) its
 /// ground-truth infection status.
@@ -105,11 +111,23 @@ pub fn batch_specimens(
         .collect()
 }
 
-/// The session behind a cohort: dense in-memory below the size threshold,
-/// engine-sharded above it.
+/// The session behind a cohort, picked by the [`SessionPolicy`]: dense
+/// in-memory below the size threshold, pruned-sparse at or above the
+/// sparse threshold when the policy enables it, engine-sharded otherwise.
 enum SessionKind {
     Dense(SbgtSession<BinaryDilutionModel>),
     Sharded(ShardedSession<BinaryDilutionModel>),
+    Sparse(SparseSession<BinaryDilutionModel>),
+}
+
+impl SessionKind {
+    fn kind(&self) -> CohortKind {
+        match self {
+            SessionKind::Dense(_) => CohortKind::Dense,
+            SessionKind::Sharded(_) => CohortKind::Sharded,
+            SessionKind::Sparse(_) => CohortKind::Sparse,
+        }
+    }
 }
 
 /// Outcome of one recovering round.
@@ -125,38 +143,46 @@ pub struct CohortActor {
     spec: CohortSpec,
     model: BinaryDilutionModel,
     session_config: SbgtConfig,
+    policy: SessionPolicy,
     kind: SessionKind,
     tests_done: usize,
     recoveries: u64,
 }
 
 impl CohortActor {
-    /// Open a cohort: dense session when `n < dense_threshold`, sharded
-    /// otherwise.
+    /// Open a cohort per the placement policy: dense session when
+    /// `n < dense_threshold`; pruned-sparse when the policy's epsilon is
+    /// positive and `n >= sparse_threshold`; sharded otherwise.
     pub fn new(
         engine: &Engine,
         spec: CohortSpec,
         model: BinaryDilutionModel,
         session_config: SbgtConfig,
-        dense_threshold: usize,
-        parts: usize,
+        policy: SessionPolicy,
     ) -> Self {
         let prior = Prior::from_risks(&spec.risks);
-        let kind = if spec.n_subjects() < dense_threshold {
+        let n = spec.n_subjects();
+        let kind = if n < policy.dense_threshold {
             SessionKind::Dense(SbgtSession::new(prior, model, session_config))
+        } else if policy.sparse_epsilon > 0.0 && n >= policy.sparse_threshold {
+            SessionKind::Sparse(
+                SparseSession::new(prior, model, session_config, policy.sparse_epsilon)
+                    .expect("policy epsilon validated by ServiceConfig"),
+            )
         } else {
             SessionKind::Sharded(ShardedSession::new(
                 engine,
                 prior,
                 model,
                 session_config,
-                parts,
+                policy.parts,
             ))
         };
         CohortActor {
             spec,
             model,
             session_config,
+            policy,
             kind,
             tests_done: 0,
             recoveries: 0,
@@ -173,21 +199,13 @@ impl CohortActor {
         spec: CohortSpec,
         model: BinaryDilutionModel,
         session_config: SbgtConfig,
-        dense_threshold: usize,
-        parts: usize,
+        policy: SessionPolicy,
         max_recoveries: u64,
     ) -> Self {
         let mut recovered = 0;
         loop {
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                CohortActor::new(
-                    engine,
-                    spec.clone(),
-                    model,
-                    session_config,
-                    dense_threshold,
-                    parts,
-                )
+                CohortActor::new(engine, spec.clone(), model, session_config, policy)
             }));
             match attempt {
                 Ok(mut actor) => {
@@ -214,6 +232,11 @@ impl CohortActor {
         matches!(self.kind, SessionKind::Dense(_))
     }
 
+    /// The session kind the cohort is running.
+    pub fn kind(&self) -> CohortKind {
+        self.kind.kind()
+    }
+
     /// Total rollback-and-replay cycles over the cohort's lifetime.
     pub fn recoveries(&self) -> u64 {
         self.recoveries
@@ -223,6 +246,7 @@ impl CohortActor {
         match &self.kind {
             SessionKind::Dense(s) => s.history().len(),
             SessionKind::Sharded(s) => s.history().len(),
+            SessionKind::Sparse(s) => s.history().len(),
         }
     }
 
@@ -241,6 +265,9 @@ impl CohortActor {
         let step = match &mut self.kind {
             SessionKind::Dense(s) => s.run_round(lab),
             SessionKind::Sharded(s) => s.run_round(engine, lab),
+            // The sparse update runs as a fault-injectable engine stage,
+            // so chaos campaigns cover sparse cohorts like sharded ones.
+            SessionKind::Sparse(s) => s.run_round_on(engine, lab),
         };
         self.tests_done = self.history_len();
         step
@@ -312,6 +339,11 @@ impl CohortActor {
                     s.set_cohort(self.spec.id);
                 }
             }
+            SessionKind::Sparse(s) => {
+                if !s.has_obs() {
+                    s.attach_obs(std::sync::Arc::clone(engine.obs()), self.spec.id);
+                }
+            }
         }
     }
 
@@ -320,6 +352,7 @@ impl CohortActor {
         match &self.kind {
             SessionKind::Dense(s) => s.snapshot(),
             SessionKind::Sharded(s) => s.snapshot(),
+            SessionKind::Sparse(s) => s.snapshot(),
         }
     }
 
@@ -333,6 +366,15 @@ impl CohortActor {
                 ShardedSession::restore(snapshot, self.model, self.session_config)
                     .expect("own snapshot restores"),
             ),
+            SessionKind::Sparse(_) => SessionKind::Sparse(
+                SparseSession::restore(
+                    snapshot,
+                    self.model,
+                    self.session_config,
+                    self.policy.sparse_epsilon,
+                )
+                .expect("own snapshot restores"),
+            ),
         };
         self.tests_done = self.history_len();
     }
@@ -341,37 +383,46 @@ impl CohortActor {
     pub fn checkpoint(&self) -> crate::checkpoint::CohortCheckpoint {
         crate::checkpoint::CohortCheckpoint {
             spec: self.spec.clone(),
-            dense: self.is_dense(),
+            kind: self.kind(),
             recoveries: self.recoveries,
             snapshot: self.snapshot_session(),
         }
     }
 
-    /// Rehydrate a cohort from a checkpoint. The sharded restore rebuilds
-    /// the exact partition boundaries recorded in the snapshot, so no
-    /// partition count (and no engine) is needed here.
+    /// Rehydrate a cohort from a checkpoint, to the **recorded** kind (not
+    /// the policy rule), so the arithmetic path stays identical across the
+    /// freeze. The sharded restore rebuilds the exact partition boundaries
+    /// recorded in the snapshot, so no engine is needed here; the sparse
+    /// restore takes its prune epsilon from the policy.
     pub fn restore(
         checkpoint: &crate::checkpoint::CohortCheckpoint,
         model: BinaryDilutionModel,
         session_config: SbgtConfig,
+        policy: SessionPolicy,
     ) -> Result<Self, sbgt::SnapshotError> {
-        let kind = if checkpoint.dense {
-            SessionKind::Dense(SbgtSession::restore(
+        let kind = match checkpoint.kind {
+            CohortKind::Dense => SessionKind::Dense(SbgtSession::restore(
                 &checkpoint.snapshot,
                 model,
                 session_config,
-            )?)
-        } else {
-            SessionKind::Sharded(ShardedSession::restore(
+            )?),
+            CohortKind::Sharded => SessionKind::Sharded(ShardedSession::restore(
                 &checkpoint.snapshot,
                 model,
                 session_config,
-            )?)
+            )?),
+            CohortKind::Sparse => SessionKind::Sparse(SparseSession::restore(
+                &checkpoint.snapshot,
+                model,
+                session_config,
+                policy.sparse_epsilon,
+            )?),
         };
         let mut actor = CohortActor {
             spec: checkpoint.spec.clone(),
             model,
             session_config,
+            policy,
             kind,
             tests_done: 0,
             recoveries: checkpoint.recoveries,
@@ -389,17 +440,9 @@ pub fn run_cohort_serial(
     spec: &CohortSpec,
     model: BinaryDilutionModel,
     session_config: SbgtConfig,
-    dense_threshold: usize,
-    parts: usize,
+    policy: SessionPolicy,
 ) -> SessionOutcome {
-    let mut actor = CohortActor::new(
-        engine,
-        spec.clone(),
-        model,
-        session_config,
-        dense_threshold,
-        parts,
-    );
+    let mut actor = CohortActor::new(engine, spec.clone(), model, session_config, policy);
     loop {
         if let RoundStep::Finished(outcome) = actor.run_round(engine) {
             return outcome;
@@ -473,21 +516,51 @@ mod tests {
         assert_eq!(batches, batch_specimens(&sp, 10, 7));
     }
 
+    fn policy(dense_threshold: usize, parts: usize) -> SessionPolicy {
+        SessionPolicy {
+            dense_threshold,
+            parts,
+            sparse_epsilon: 0.0,
+            sparse_threshold: 0,
+        }
+    }
+
     #[test]
-    fn dense_threshold_picks_the_session_kind() {
+    fn policy_picks_the_session_kind() {
         let e = engine();
         let spec = CohortSpec::from_specimens(0, 5, &specimens(8, 3));
         let model = BinaryDilutionModel::perfect();
         let cfg = SbgtConfig::default();
-        let dense_actor = CohortActor::new(&e, spec.clone(), model, cfg, 100, 3);
-        let sharded_actor = CohortActor::new(&e, spec.clone(), model, cfg, 0, 3);
+        let dense_actor = CohortActor::new(&e, spec.clone(), model, cfg, policy(100, 3));
+        let sharded_actor = CohortActor::new(&e, spec.clone(), model, cfg, policy(0, 3));
+        let sparse_policy = SessionPolicy {
+            sparse_epsilon: 1e-9,
+            ..policy(0, 3)
+        };
+        let sparse_actor = CohortActor::new(&e, spec.clone(), model, cfg, sparse_policy);
+        assert_eq!(dense_actor.kind(), CohortKind::Dense);
         assert!(dense_actor.is_dense());
-        assert!(!sharded_actor.is_dense());
-        // With a perfect assay both kinds must recover the exact ground
+        assert_eq!(sharded_actor.kind(), CohortKind::Sharded);
+        assert_eq!(sparse_actor.kind(), CohortKind::Sparse);
+        // Below the sparse size floor the cohort stays sharded even with a
+        // positive epsilon.
+        let undersized = SessionPolicy {
+            sparse_threshold: spec.n_subjects() + 1,
+            ..sparse_policy
+        };
+        assert_eq!(
+            CohortActor::new(&e, spec.clone(), model, cfg, undersized).kind(),
+            CohortKind::Sharded
+        );
+        // With a perfect assay every kind must recover the exact ground
         // truth, even though their float trajectories may differ in the
         // last ulp (dense renormalizes each round; sharded does not).
-        for threshold in [100usize, 0] {
-            let outcome = run_cohort_serial(&e, &spec, model, cfg, threshold, 3);
+        for (label, p) in [
+            ("dense", policy(100, 3)),
+            ("sharded", policy(0, 3)),
+            ("sparse", sparse_policy),
+        ] {
+            let outcome = run_cohort_serial(&e, &spec, model, cfg, p);
             assert!(outcome.classification.is_terminal());
             let positives = State::from_subjects(
                 outcome
@@ -498,7 +571,7 @@ mod tests {
                     .filter(|(_, s)| **s == sbgt_bayes::SubjectStatus::Positive)
                     .map(|(i, _)| i),
             );
-            assert_eq!(positives, spec.truth, "threshold {threshold}");
+            assert_eq!(positives, spec.truth, "{label}");
         }
     }
 
@@ -508,16 +581,51 @@ mod tests {
         let spec = CohortSpec::from_specimens(1, 11, &specimens(9, 4));
         let model = BinaryDilutionModel::pcr_like();
         let cfg = SbgtConfig::default();
-        let expected = run_cohort_serial(&e, &spec, model, cfg, 0, 4);
+        let expected = run_cohort_serial(&e, &spec, model, cfg, policy(0, 4));
 
-        let mut actor = CohortActor::new(&e, spec, model, cfg, 0, 4);
+        let mut actor = CohortActor::new(&e, spec, model, cfg, policy(0, 4));
         for _ in 0..2 {
             assert!(matches!(actor.run_round(&e), RoundStep::Progressed));
         }
         let bytes = actor.checkpoint().to_bytes();
         drop(actor);
         let checkpoint = crate::checkpoint::CohortCheckpoint::from_bytes(&bytes).unwrap();
-        let mut restored = CohortActor::restore(&checkpoint, model, cfg).unwrap();
+        let mut restored = CohortActor::restore(&checkpoint, model, cfg, policy(0, 4)).unwrap();
+        let outcome = loop {
+            if let RoundStep::Finished(o) = restored.run_round(&e) {
+                break o;
+            }
+        };
+        assert_eq!(outcome, expected);
+        for (a, b) in outcome.marginals.iter().zip(&expected.marginals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_checkpoint_restore_resumes_bit_for_bit() {
+        let e = engine();
+        let spec = CohortSpec::from_specimens(2, 19, &specimens(8, 6));
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = SbgtConfig::default();
+        let p = SessionPolicy {
+            sparse_epsilon: 1e-9,
+            ..policy(0, 4)
+        };
+        let expected = run_cohort_serial(&e, &spec, model, cfg, p);
+
+        let mut actor = CohortActor::new(&e, spec, model, cfg, p);
+        assert_eq!(actor.kind(), CohortKind::Sparse);
+        for _ in 0..2 {
+            assert!(matches!(actor.run_round(&e), RoundStep::Progressed));
+        }
+        let bytes = actor.checkpoint().to_bytes();
+        drop(actor);
+        let checkpoint = crate::checkpoint::CohortCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(checkpoint.kind, CohortKind::Sparse);
+        assert!(checkpoint.snapshot.sparse.is_some());
+        let mut restored = CohortActor::restore(&checkpoint, model, cfg, p).unwrap();
+        assert_eq!(restored.kind(), CohortKind::Sparse);
         let outcome = loop {
             if let RoundStep::Finished(o) = restored.run_round(&e) {
                 break o;

@@ -34,6 +34,15 @@ pub struct ServiceConfig {
     pub dense_threshold: usize,
     /// Partition count for sharded cohort sessions.
     pub parts: usize,
+    /// Per-update prune threshold for sparse cohort sessions, in `[0, 1)`.
+    /// `0.0` (the default) disables the sparse mode entirely; a positive
+    /// value routes cohorts of at least [`Self::sparse_threshold`] subjects
+    /// to a pruned [`sbgt::SparseSession`] instead of the sharded one.
+    pub sparse_epsilon: f64,
+    /// Minimum cohort size for the sparse session (only consulted when
+    /// [`Self::sparse_epsilon`] is positive). Cohorts between
+    /// `dense_threshold` and this size stay sharded.
+    pub sparse_threshold: usize,
     /// Per-cohort session parameters (halving vs look-ahead, pool caps...).
     pub session: SbgtConfig,
     /// Assay model shared by all cohorts.
@@ -55,6 +64,8 @@ impl Default for ServiceConfig {
             max_live_cohorts: 64,
             dense_threshold: 9,
             parts: 4,
+            sparse_epsilon: 0.0,
+            sparse_threshold: 12,
             session: SbgtConfig::default(),
             model: BinaryDilutionModel::pcr_like(),
             base_seed: 0,
@@ -94,11 +105,44 @@ impl ServiceConfig {
                 "sharded sessions need at least 1 partition".into(),
             ));
         }
+        if !(0.0..1.0).contains(&self.sparse_epsilon) {
+            return Err(ServiceError::InvalidConfig(format!(
+                "sparse epsilon {} outside [0, 1)",
+                self.sparse_epsilon
+            )));
+        }
         self.session
             .validate()
             .map_err(|e| ServiceError::InvalidConfig(e.to_string()))?;
         Ok(())
     }
+
+    /// The session-placement slice of the configuration: everything a
+    /// cohort actor needs to pick and build its session kind, as one value
+    /// instead of a trail of positional scalars.
+    pub fn policy(&self) -> SessionPolicy {
+        SessionPolicy {
+            dense_threshold: self.dense_threshold,
+            parts: self.parts,
+            sparse_epsilon: self.sparse_epsilon,
+            sparse_threshold: self.sparse_threshold,
+        }
+    }
+}
+
+/// How a cohort of a given size maps onto a session kind: dense in-memory
+/// below `dense_threshold`, pruned-sparse at or above `sparse_threshold`
+/// when `sparse_epsilon` enables it, engine-sharded otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionPolicy {
+    /// Cohorts smaller than this run the dense in-memory session.
+    pub dense_threshold: usize,
+    /// Partition count for sharded sessions.
+    pub parts: usize,
+    /// Prune threshold for sparse sessions; `0.0` disables the sparse mode.
+    pub sparse_epsilon: f64,
+    /// Minimum cohort size for the sparse session.
+    pub sparse_threshold: usize,
 }
 
 #[cfg(test)]
@@ -149,12 +193,53 @@ mod tests {
                     ..base.clone()
                 },
             ),
-            ("parts", ServiceConfig { parts: 0, ..base }),
+            (
+                "parts",
+                ServiceConfig {
+                    parts: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "sparse-eps-high",
+                ServiceConfig {
+                    sparse_epsilon: 1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "sparse-eps-negative",
+                ServiceConfig {
+                    sparse_epsilon: -0.25,
+                    ..base
+                },
+            ),
         ] {
             assert!(
                 matches!(cfg.validate(), Err(ServiceError::InvalidConfig(_))),
                 "{label} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn policy_mirrors_the_placement_knobs() {
+        let cfg = ServiceConfig {
+            dense_threshold: 3,
+            parts: 5,
+            sparse_epsilon: 1e-6,
+            sparse_threshold: 7,
+            ..ServiceConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            cfg.policy(),
+            SessionPolicy {
+                dense_threshold: 3,
+                parts: 5,
+                sparse_epsilon: 1e-6,
+                sparse_threshold: 7,
+            }
+        );
     }
 }

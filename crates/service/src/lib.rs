@@ -45,10 +45,10 @@ pub mod config;
 pub mod error;
 pub mod service;
 
-pub use checkpoint::CohortCheckpoint;
+pub use checkpoint::{CohortCheckpoint, CohortKind};
 pub use cohort::{
     batch_specimens, lab_outcome, run_cohort_serial, CohortActor, CohortSpec, Specimen,
 };
-pub use config::ServiceConfig;
+pub use config::{ServiceConfig, SessionPolicy};
 pub use error::{ServiceError, ShedReason};
 pub use service::{CohortReport, ServiceCheckpoint, SurveillanceService};

@@ -167,8 +167,13 @@ impl SurveillanceService {
             .enabled_at(TraceLevel::Spans)
             .then(|| (rec.intern("service:restore"), rec.now_ns()));
         for ckpt in &checkpoint.cohorts {
-            let actor = CohortActor::restore(ckpt, service.config.model, service.config.session)
-                .map_err(|e| ServiceError::Restore(e.to_string()))?;
+            let actor = CohortActor::restore(
+                ckpt,
+                service.config.model,
+                service.config.session,
+                service.config.policy(),
+            )
+            .map_err(|e| ServiceError::Restore(e.to_string()))?;
             service.shared.opened.fetch_add(1, Ordering::SeqCst);
             assert!(
                 service
@@ -428,8 +433,7 @@ fn flush_batch(
         spec,
         config.model,
         config.session,
-        config.dense_threshold,
-        config.parts,
+        config.policy(),
         config.max_recoveries,
     );
     let creation_recoveries = actor.recoveries();
@@ -571,14 +575,8 @@ mod tests {
         let specs = batch_specimens(&sp, config.batch_size, config.base_seed);
         assert_eq!(reports.len(), specs.len());
         for (report, spec) in reports.iter().zip(&specs) {
-            let serial = run_cohort_serial(
-                &engine,
-                spec,
-                config.model,
-                config.session,
-                config.dense_threshold,
-                config.parts,
-            );
+            let serial =
+                run_cohort_serial(&engine, spec, config.model, config.session, config.policy());
             assert_eq!(report.cohort, spec.id);
             assert_eq!(report.outcome, serial);
             for (a, b) in report.outcome.marginals.iter().zip(&serial.marginals) {
@@ -719,14 +717,7 @@ mod tests {
         let serial: Vec<SessionOutcome> = specs
             .iter()
             .map(|spec| {
-                run_cohort_serial(
-                    &engine,
-                    spec,
-                    config.model,
-                    config.session,
-                    config.dense_threshold,
-                    config.parts,
-                )
+                run_cohort_serial(&engine, spec, config.model, config.session, config.policy())
             })
             .collect();
 

@@ -68,16 +68,7 @@ fn serial_reference(cfg: &ServiceConfig, specimens: &[Specimen]) -> Vec<sbgt::Se
     let engine = clean_engine();
     batch_specimens(specimens, cfg.batch_size, cfg.base_seed)
         .iter()
-        .map(|spec| {
-            run_cohort_serial(
-                &engine,
-                spec,
-                cfg.model,
-                cfg.session,
-                cfg.dense_threshold,
-                cfg.parts,
-            )
-        })
+        .map(|spec| run_cohort_serial(&engine, spec, cfg.model, cfg.session, cfg.policy()))
         .collect()
 }
 
@@ -143,6 +134,40 @@ fn rounds_killed_by_chaos_are_rolled_back_and_replayed() {
     assert!(
         any_recovered,
         "no campaign in the sweep killed a round; rates too low to test recovery"
+    );
+}
+
+#[test]
+fn sparse_rounds_killed_by_chaos_are_rolled_back_and_replayed() {
+    // Route every cohort to the pruned sparse session (epsilon on, size
+    // floor at zero, dense off) so the campaign targets the sparse engine
+    // stages, then hunt a campaign seed that provably kills at least one
+    // round and assert the run still matches the fault-free reference.
+    let cfg = ServiceConfig {
+        sparse_epsilon: 1e-9,
+        sparse_threshold: 0,
+        ..config()
+    };
+    let specimens = workload(49, 9);
+    let serial = serial_reference(&cfg, &specimens);
+
+    let mut any_recovered = false;
+    for campaign_seed in 100..116u64 {
+        let engine = chaotic_engine(campaign_seed);
+        let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+        for s in &specimens {
+            service.submit(*s).unwrap();
+        }
+        let reports = service.drain();
+        assert_reports_match(&reports, &serial);
+        if engine.metrics().service_stats().recovered_rounds > 0 {
+            any_recovered = true;
+            break;
+        }
+    }
+    assert!(
+        any_recovered,
+        "no campaign in the sweep killed a sparse round; rates too low to test recovery"
     );
 }
 

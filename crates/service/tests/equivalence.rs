@@ -55,16 +55,7 @@ fn serial_reference(
 ) -> Vec<sbgt::SessionOutcome> {
     batch_specimens(specimens, cfg.batch_size, cfg.base_seed)
         .iter()
-        .map(|spec| {
-            run_cohort_serial(
-                engine,
-                spec,
-                cfg.model,
-                cfg.session,
-                cfg.dense_threshold,
-                cfg.parts,
-            )
-        })
+        .map(|spec| run_cohort_serial(engine, spec, cfg.model, cfg.session, cfg.policy()))
         .collect()
 }
 

@@ -149,7 +149,8 @@ fn sparse_session_holds_small_support() {
         BinaryDilutionModel::perfect(),
         SbgtConfig::default().serial(),
         1e-9,
-    );
+    )
+    .unwrap();
     let out = s.run_to_classification(|pool| truth.intersects(pool));
     assert!(out.classification.is_terminal());
     assert_eq!(out.classification.positives(), 2);
