@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke
+.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke plancache-smoke
 
-verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke
+verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke plancache-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -56,6 +56,14 @@ bench-smoke:
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench lookahead -- --test
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench service -- --test
 	SBGT_BENCH_SMOKE=1 $(CARGO) test -p sbgt --release --test obs_overhead -q
+
+# Plan-cache smoke: the cached≡live equivalence harness (dense, sharded,
+# hybrid-sparse, mid-session eviction, quantization collisions) plus one
+# smoke pass of the warm/cold service bench, so the memoized decision
+# trees stay bit-for-bit honest in `verify`.
+plancache-smoke:
+	$(CARGO) test -p sbgt-select --test plancache_equivalence -q
+	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench plancache -- --test
 
 # SIMD/sparse kernel smoke: run the per-round kernels bench once in smoke
 # mode, then replay the SIMD-vs-scalar and sparse-equivalence suites with

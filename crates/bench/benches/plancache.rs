@@ -1,0 +1,123 @@
+//! Plan-cache warm/cold service throughput: the headline number for the
+//! memoized BHA decision trees (`sbgt-select::plancache`).
+//!
+//! The workload is 64 shared-config cohorts — identical risk band, so
+//! quantization collapses every cohort onto ONE `PlanKey` — of dense
+//! width-8 look-ahead sessions, the costliest selection path. `cold`
+//! starts every iteration with a fresh cache (every select step is a live
+//! `drive_lookahead` miss that extends the tree); `warm` retains one
+//! process-wide cache across iterations, so steady-state select steps
+//! replay memoized branches. Same specimens, same service, same engine —
+//! the gap is exactly the look-ahead work the cache removes.
+//!
+//! Bit-for-bit equivalence of cached vs live runs is asserted here
+//! coarsely (identical test totals) and exhaustively by
+//! `crates/select/tests/plancache_equivalence.rs` and the service/chaos
+//! suites. The committed reference numbers live in `BENCH_plancache.json`.
+//!
+//! `SBGT_BENCH_SMOKE=1` shrinks the workload so `make plancache-smoke`
+//! (criterion `--test` mode) finishes in seconds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbgt::SbgtConfig;
+use sbgt_engine::{EngineConfig, SharedEngine};
+use sbgt_service::{PlanCache, ServiceConfig, Specimen, SurveillanceService};
+use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
+
+const BATCH: usize = 12;
+const SHARED_RISK: f64 = 0.05;
+
+fn smoke() -> bool {
+    std::env::var("SBGT_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// One shared risk band: every cohort quantizes to the same `PlanKey`;
+/// only the seeded ground truths differ, which is what grows (and then
+/// replays) the outcome-indexed branches of the single shared tree.
+fn workload(cohorts: usize) -> Vec<Specimen> {
+    generate_arrivals(&TrafficConfig::mixed(1000.0, cohorts * BATCH, 42))
+        .into_iter()
+        .map(|a| Specimen {
+            risk: SHARED_RISK,
+            infected: a.infected,
+        })
+        .collect()
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 1024,
+        batch_size: BATCH,
+        // Above the batch size: every cohort runs the dense session with
+        // width-8 look-ahead — the selection path worth memoizing.
+        dense_threshold: BATCH + 1,
+        session: SbgtConfig::default().serial().with_stage_width(8),
+        plan_cache_nodes: 1 << 14,
+        plan_risk_buckets: 16,
+        base_seed: 42,
+        ..ServiceConfig::default()
+    }
+}
+
+fn run_once(engine: &SharedEngine, specimens: &[Specimen], cache: &Arc<PlanCache>) -> usize {
+    let service =
+        SurveillanceService::start_with_cache(engine.clone(), config(), Some(Arc::clone(cache)))
+            .expect("service starts");
+    for s in specimens {
+        service.submit(*s).expect("bench queue never fills");
+    }
+    let reports = service.drain();
+    assert_eq!(reports.len(), specimens.len() / BATCH);
+    reports.iter().map(|r| r.outcome.tests).sum()
+}
+
+fn bench_plancache(c: &mut Criterion) {
+    let cohorts = if smoke() { 8 } else { 64 };
+    let specimens = workload(cohorts);
+    let budget = config().plan_cache_nodes;
+    // One engine across iterations: dense cohorts never touch it, and
+    // re-spawning its pool would just add identical noise to both sides.
+    let engine = SharedEngine::new(EngineConfig::default().with_threads(2));
+
+    // Reference totals: cached runs must do exactly the same tests as a
+    // cold run — the cache may only remove selection work, never change it.
+    let cold_tests = run_once(&engine, &specimens, &PlanCache::new(budget));
+    let warm_cache = PlanCache::new(budget);
+    let warm_tests = run_once(&engine, &specimens, &warm_cache);
+    assert_eq!(cold_tests, warm_tests, "cached ≡ live violated");
+
+    let mut group = c.benchmark_group(format!("plancache/cohorts{cohorts}"));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("cold", |b| {
+        b.iter(|| run_once(&engine, &specimens, &PlanCache::new(budget)))
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let tests = run_once(&engine, &specimens, &warm_cache);
+            assert_eq!(tests, cold_tests, "warm replay diverged");
+            tests
+        })
+    });
+    group.finish();
+
+    let stats = warm_cache.stats();
+    assert!(stats.hits > 0, "warm runs must hit the shared tree");
+    eprintln!(
+        "plancache: {} tree(s), {} node(s), stats {:?}",
+        warm_cache.tree_count(),
+        warm_cache.total_nodes(),
+        stats
+    );
+}
+
+criterion_group!(benches, bench_plancache);
+criterion_main!(benches);

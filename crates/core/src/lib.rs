@@ -68,6 +68,12 @@ pub use sparse_session::SparseSession;
 // [`SbgtConfig::sparse_switch`], so re-export them at the session surface.
 pub use sbgt_lattice::{HybridPosterior, SparsePosterior, SparseSwitch};
 
+// The plan cache is select-level but attached through the sessions
+// (`attach_plan`), so re-export the service-facing types here too.
+pub use sbgt_select::{
+    PlanCache, PlanCacheStats, PlanCodecError, PlanHandle, PlanKey, PlanLineage, RiskQuantizer,
+};
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{

@@ -15,7 +15,7 @@ use sbgt_select::{
     select_halving_global, select_halving_global_par, select_halving_prefix,
     select_halving_prefix_par, select_halving_prefix_sparse, select_information_gain,
     select_stage_lookahead_fused, select_stage_lookahead_par, select_stage_lookahead_sparse,
-    InfoSelection, LookaheadConfig, SelectError, Selection,
+    InfoSelection, LookaheadConfig, PlanHandle, SelectError, Selection,
 };
 
 use crate::config::{ExecMode, SbgtConfig};
@@ -69,6 +69,9 @@ pub struct SbgtSession<M> {
     /// Telemetry sink and the cohort id stamped on every span. `None`
     /// (the default) records nothing; [`Self::attach_obs`] opts in.
     obs: Option<(Arc<SpanRecorder>, u64)>,
+    /// Memoized selection plan. `None` (the default) selects live every
+    /// round; [`Self::attach_plan`] opts in.
+    plan: Option<PlanHandle>,
 }
 
 impl<M: BinaryOutcomeModel> SbgtSession<M> {
@@ -81,6 +84,7 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             history: Vec::new(),
             stages: 0,
             obs: None,
+            plan: None,
         }
     }
 
@@ -95,6 +99,23 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
     /// Whether a telemetry recorder is attached (used for lazy attach).
     pub fn has_obs(&self) -> bool {
         self.obs.is_some()
+    }
+
+    /// Attach a memoized selection plan (see `sbgt_select::plancache`).
+    /// Rounds whose observation history the plan covers replay the cached
+    /// pool selections with zero search work; rounds that fall off the
+    /// tree select live and extend it in place. The caller is responsible
+    /// for the key discipline: the handle's [`sbgt_select::PlanKey`] must
+    /// have been built from this session's exact prior risks, model,
+    /// classification rule, stage width, pool cap, and execution lineage —
+    /// then cached and live selections are bit-for-bit identical.
+    pub fn attach_plan(&mut self, plan: PlanHandle) {
+        self.plan = Some(plan);
+    }
+
+    /// Whether a selection plan is attached.
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
     }
 
     /// The attached recorder and cohort id when recording is live at
@@ -399,14 +420,25 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             return RoundStep::Finished(self.outcome(classification));
         }
         let t = self.obs_phase_start();
-        let order = Self::order_from(&marginals, &classification);
-        let selections = if stage_width <= 1 {
-            self.select_next_with_order(&order)
-                .map(|s| vec![s])
-                .unwrap_or_default()
-        } else {
-            self.select_stage_with_order(stage_width, &order)
-                .expect("stage width validated by SbgtConfig")
+        // A plan hit replays the memoized selections for this exact
+        // observation history; a miss selects live and extends the tree.
+        let selections = match self.plan.as_ref().and_then(|p| p.lookup(&self.history)) {
+            Some(cached) => cached,
+            None => {
+                let order = Self::order_from(&marginals, &classification);
+                let live = if stage_width <= 1 {
+                    self.select_next_with_order(&order)
+                        .map(|s| vec![s])
+                        .unwrap_or_default()
+                } else {
+                    self.select_stage_with_order(stage_width, &order)
+                        .expect("stage width validated by SbgtConfig")
+                };
+                if let Some(plan) = &self.plan {
+                    plan.extend(&self.history, &live);
+                }
+                live
+            }
         };
         self.obs_phase("session:select", t);
         if selections.is_empty() {
@@ -480,6 +512,7 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             history: snapshot.history.clone(),
             stages: snapshot.stages,
             obs: None,
+            plan: None,
         })
     }
 
@@ -878,6 +911,68 @@ mod tests {
         let _ = s.run_round(|pool| truth.intersects(pool));
         assert!(s.is_sparse());
         let _ = s.posterior();
+    }
+
+    #[test]
+    fn plan_cache_replay_is_bit_exact() {
+        use sbgt_select::{PlanCache, PlanKey, PlanLineage};
+        let risks = [0.03, 0.07, 0.02, 0.09, 0.05, 0.04, 0.08, 0.06];
+        let truth = State::from_subjects([1, 6]);
+        let config = SbgtConfig::default().serial().with_stage_width(2);
+        let mk = || {
+            SbgtSession::new(
+                Prior::from_risks(&risks),
+                BinaryDilutionModel::pcr_like(),
+                config,
+            )
+        };
+        let key = || {
+            PlanKey::new(
+                &risks,
+                &BinaryDilutionModel::pcr_like(),
+                &config.rule,
+                config.stage_width,
+                config.max_pool_size,
+                None,
+                PlanLineage::DenseSerial,
+            )
+        };
+        let mut live = mk();
+        let reference = live.run_to_classification(|pool| truth.intersects(pool));
+
+        let cache = PlanCache::new(1024);
+        let mut warming = mk();
+        warming.attach_plan(cache.handle(key()));
+        assert!(warming.has_plan());
+        let warmed = warming.run_to_classification(|pool| truth.intersects(pool));
+        assert_eq!(warming.history(), live.history(), "warming run ≡ live");
+        let after_warm = cache.stats();
+        assert!(after_warm.extends > 0, "warming run must extend the tree");
+
+        // Same config replayed: every select step hits the tree, and the
+        // whole trajectory is bit-for-bit the live one.
+        let mut replay = mk();
+        replay.attach_plan(cache.handle(key()));
+        let replayed = replay.run_to_classification(|pool| truth.intersects(pool));
+        assert_eq!(replay.history(), live.history(), "replay ≡ live");
+        assert_eq!(
+            cache.stats().misses,
+            after_warm.misses,
+            "replay never misses"
+        );
+        assert!(cache.stats().hits > after_warm.hits);
+        for (a, b) in replayed
+            .marginals
+            .iter()
+            .chain(&warmed.marginals)
+            .zip(reference.marginals.iter().chain(&reference.marginals))
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            replayed.classification.statuses,
+            reference.classification.statuses
+        );
     }
 
     #[test]

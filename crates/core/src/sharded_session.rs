@@ -32,7 +32,7 @@ use sbgt_lattice::{num_states, LookaheadKernel, SparsePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 use sbgt_select::{
     drive_lookahead, select_halving_from_masses, select_halving_prefix_sparse,
-    select_stage_lookahead_sparse, LookaheadConfig, SelectError, Selection,
+    select_stage_lookahead_sparse, LookaheadConfig, PlanHandle, SelectError, Selection,
 };
 
 use crate::config::SbgtConfig;
@@ -68,6 +68,9 @@ pub struct ShardedSession<M> {
     /// recorder is the sink, so no recorder handle is stored here).
     /// `None` leaves spans tagged [`NO_COHORT`].
     cohort: Option<u64>,
+    /// Memoized selection plan. `None` (the default) selects live every
+    /// round; [`Self::attach_plan`] opts in.
+    plan: Option<PlanHandle>,
 }
 
 impl<M: BinaryOutcomeModel> ShardedSession<M> {
@@ -85,7 +88,24 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
             marginals,
             pending_selection: None,
             cohort: None,
+            plan: None,
         }
+    }
+
+    /// Attach a memoized selection plan (see `sbgt_select::plancache`).
+    /// Rounds covered by the plan replay cached pool selections; rounds
+    /// that fall off the tree select live and extend it. The handle's
+    /// [`sbgt_select::PlanKey`] must carry this session's exact risks,
+    /// model, rule, widths, and the `Sharded { parts }` lineage — the
+    /// sharded summation order differs from the dense one in the last ulp,
+    /// which a shared key would surface as a near-tie selection flip.
+    pub fn attach_plan(&mut self, plan: PlanHandle) {
+        self.plan = Some(plan);
+    }
+
+    /// Whether a selection plan is attached.
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
     }
 
     /// Tag this session's telemetry spans with a cohort id (the sink is
@@ -440,9 +460,20 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         if self.config.stage_width > 1 {
             let cfg = self.config.lookahead();
             let t = Self::obs_phase_start(rec);
-            let stage = self
-                .select_stage(engine, &cfg)
-                .expect("stage width validated by SbgtConfig");
+            // A plan hit replays the memoized stage for this exact
+            // observation history; a miss selects live and extends the tree.
+            let stage = match self.plan.as_ref().and_then(|p| p.lookup(&self.history)) {
+                Some(cached) => cached,
+                None => {
+                    let live = self
+                        .select_stage(engine, &cfg)
+                        .expect("stage width validated by SbgtConfig");
+                    if let Some(plan) = &self.plan {
+                        plan.extend(&self.history, &live);
+                    }
+                    live
+                }
+            };
             self.obs_phase(rec, "session:select", t);
             if stage.is_empty() {
                 return RoundStep::Finished(self.outcome(classification));
@@ -459,14 +490,25 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         }
         // Pipelined fast path: masses banked by the previous fused
         // round. First round (or after a miss) pays one extra stage.
+        // Plan hits leave the bank alone — observe re-banks it every
+        // round, so a later live miss sees the same masses either way.
         let t = Self::obs_phase_start(rec);
-        let selection = self
-            .pending_selection
-            .take()
-            .and_then(|(order, masses)| {
-                select_halving_from_masses(&order, &masses, self.config.max_pool_size)
-            })
-            .or_else(|| self.select_next(engine));
+        let selection = match self.plan.as_ref().and_then(|p| p.lookup(&self.history)) {
+            Some(cached) => cached.into_iter().next(),
+            None => {
+                let live = self
+                    .pending_selection
+                    .take()
+                    .and_then(|(order, masses)| {
+                        select_halving_from_masses(&order, &masses, self.config.max_pool_size)
+                    })
+                    .or_else(|| self.select_next(engine));
+                if let (Some(plan), Some(sel)) = (&self.plan, &live) {
+                    plan.extend(&self.history, std::slice::from_ref(sel));
+                }
+                live
+            }
+        };
         self.obs_phase(rec, "session:select", t);
         let Some(selection) = selection else {
             return RoundStep::Finished(self.outcome(classification));
@@ -549,6 +591,7 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
             marginals: snapshot.marginals.clone(),
             pending_selection: snapshot.pending_selection.clone(),
             cohort: None,
+            plan: None,
         })
     }
 

@@ -27,7 +27,7 @@ use sbgt_engine::{Engine, StageVariant};
 use sbgt_lattice::{SparsePosterior, State};
 use sbgt_response::BinaryOutcomeModel;
 use sbgt_select::{
-    select_halving_prefix_sparse, select_stage_lookahead_sparse, SelectError, Selection,
+    select_halving_prefix_sparse, select_stage_lookahead_sparse, PlanHandle, SelectError, Selection,
 };
 
 use crate::config::{ConfigError, SbgtConfig};
@@ -47,6 +47,9 @@ pub struct SparseSession<M> {
     /// Telemetry sink and the cohort id stamped on every span. `None`
     /// (the default) records nothing; [`Self::attach_obs`] opts in.
     obs: Option<(Arc<SpanRecorder>, u64)>,
+    /// Memoized selection plan. `None` (the default) selects live every
+    /// round; [`Self::attach_plan`] opts in.
+    plan: Option<PlanHandle>,
 }
 
 impl<M: BinaryOutcomeModel> SparseSession<M> {
@@ -76,6 +79,7 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
             history: Vec::new(),
             stages: 0,
             obs: None,
+            plan: None,
         })
     }
 
@@ -90,6 +94,22 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
     /// Whether a telemetry recorder is attached (used for lazy attach).
     pub fn has_obs(&self) -> bool {
         self.obs.is_some()
+    }
+
+    /// Attach a memoized selection plan (see `sbgt_select::plancache`).
+    /// Rounds covered by the plan replay cached pool selections; rounds
+    /// that fall off the tree select live and extend it. The handle's
+    /// [`sbgt_select::PlanKey`] must carry this session's exact risks,
+    /// model, rule, widths, and the `Sparse { epsilon }` lineage — pruning
+    /// perturbs marginals, so sparse trajectories must not share a tree
+    /// with dense ones.
+    pub fn attach_plan(&mut self, plan: PlanHandle) {
+        self.plan = Some(plan);
+    }
+
+    /// Whether a selection plan is attached.
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
     }
 
     /// Cohort size.
@@ -288,11 +308,22 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
         if classification.is_terminal() || self.stages >= self.config.max_stages {
             return RoundStep::Finished(self.outcome(classification));
         }
-        let selections = if self.config.stage_width <= 1 {
-            self.select_next().map(|s| vec![s]).unwrap_or_default()
-        } else {
-            self.select_stage(self.config.stage_width)
-                .expect("stage width validated by SbgtConfig")
+        // A plan hit replays the memoized selections for this exact
+        // observation history; a miss selects live and extends the tree.
+        let selections = match self.plan.as_ref().and_then(|p| p.lookup(&self.history)) {
+            Some(cached) => cached,
+            None => {
+                let live = if self.config.stage_width <= 1 {
+                    self.select_next().map(|s| vec![s]).unwrap_or_default()
+                } else {
+                    self.select_stage(self.config.stage_width)
+                        .expect("stage width validated by SbgtConfig")
+                };
+                if let Some(plan) = &self.plan {
+                    plan.extend(&self.history, &live);
+                }
+                live
+            }
         };
         if selections.is_empty() {
             return RoundStep::Finished(self.outcome(classification));
@@ -369,6 +400,7 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
             history: snapshot.history.clone(),
             stages: snapshot.stages,
             obs: None,
+            plan: None,
         })
     }
 

@@ -169,7 +169,9 @@ impl JobMetrics {
 /// queueing view.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
-    /// Specimens offered to the ingress queue (admitted or shed).
+    /// Specimens admitted past the ingress queue's admission control
+    /// (shed specimens are counted in [`Self::shed`] instead, so offered
+    /// traffic is `submitted + shed`).
     pub submitted: u64,
     /// Specimens rejected by admission control (typed load-shedding).
     pub shed: u64,
@@ -189,6 +191,17 @@ pub struct ServiceStats {
     pub restores: u64,
     /// High-water mark of the ingress queue depth.
     pub queue_peak: u64,
+    /// Plan-cache replays: select steps answered from a memoized decision
+    /// tree instead of running live look-ahead.
+    pub plan_hits: u64,
+    /// Plan-cache misses: select steps that fell off the tree and ran live.
+    pub plan_misses: u64,
+    /// Tree extensions recorded after a miss (a miss whose history was
+    /// detached from the tree, or whose stage was uncacheably wide,
+    /// extends nothing).
+    pub plan_extends: u64,
+    /// Memoized select steps evicted by the per-tree LRU node budget.
+    pub plan_evictions: u64,
     /// Streaming histogram of per-round wall-clock latencies, in
     /// microseconds. Fixed ~2 KB regardless of round count — the stats
     /// stay O(1) in rounds for a service running for days (previously an

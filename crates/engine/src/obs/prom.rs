@@ -137,7 +137,7 @@ impl MetricsRegistry {
         for (name, help, value) in [
             (
                 "sbgt_service_specimens_submitted_total",
-                "Specimens offered to the ingress queue (admitted or shed).",
+                "Specimens admitted past the ingress queue's admission control.",
                 service.submitted,
             ),
             (
@@ -179,6 +179,26 @@ impl MetricsRegistry {
                 "sbgt_service_restores_total",
                 "Sessions restored from a checkpoint.",
                 service.restores,
+            ),
+            (
+                "sbgt_service_plan_hits_total",
+                "Select steps replayed from a memoized plan-cache tree.",
+                service.plan_hits,
+            ),
+            (
+                "sbgt_service_plan_misses_total",
+                "Select steps that fell off the plan tree and ran live.",
+                service.plan_misses,
+            ),
+            (
+                "sbgt_service_plan_extends_total",
+                "Plan-tree extensions recorded after cache misses.",
+                service.plan_extends,
+            ),
+            (
+                "sbgt_service_plan_evictions_total",
+                "Memoized select steps evicted by the per-tree LRU budget.",
+                service.plan_evictions,
             ),
         ] {
             family(&mut out, name, "counter", help);

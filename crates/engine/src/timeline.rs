@@ -44,7 +44,9 @@ pub fn render_timeline_with_obs(registry: &MetricsRegistry, recorder: &SpanRecor
 
 /// Render the service-level counters (queueing, batching, round latency) as
 /// a two-line summary — the timeline's view above the stage table. Quiet
-/// stats (no service traffic) render nothing.
+/// stats (no service traffic) render nothing; a third `plan:` line appears
+/// only when the plan cache saw traffic, so cacheless runs render the
+/// pinned two-line form.
 pub fn render_service_summary(stats: &crate::metrics::ServiceStats) -> String {
     if stats.is_quiet() {
         return String::new();
@@ -73,6 +75,21 @@ pub fn render_service_summary(stats: &crate::metrics::ServiceStats) -> String {
         "service: {} round(s) (p50 {p50}, p99 {p99}, {} recovered), {} checkpoint(s), {} restore(s)",
         stats.rounds, stats.recovered_rounds, stats.checkpoints, stats.restores,
     );
+    let plan_total =
+        stats.plan_hits + stats.plan_misses + stats.plan_extends + stats.plan_evictions;
+    if plan_total > 0 {
+        let looked_up = stats.plan_hits + stats.plan_misses;
+        let rate = if looked_up > 0 {
+            stats.plan_hits as f64 / looked_up as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "service: plan cache {} hit(s) / {} miss(es) ({rate:.0}% hit), {} extension(s), {} evicted",
+            stats.plan_hits, stats.plan_misses, stats.plan_extends, stats.plan_evictions,
+        );
+    }
     out
 }
 
@@ -266,6 +283,19 @@ mod tests {
             text,
             "service: 640 submitted, 3 shed, 64 batch(es), 64/64 cohort(s) done, queue peak 12\n\
              service: 4 round(s) (p50 2.047ms, p99 4ms, 2 recovered), 5 checkpoint(s), 5 restore(s)\n"
+        );
+        // Plan-cache traffic appends exactly one more line; cacheless runs
+        // keep the pinned two-line form above.
+        stats.plan_hits = 30;
+        stats.plan_misses = 10;
+        stats.plan_extends = 9;
+        stats.plan_evictions = 1;
+        let text = render_service_summary(&stats);
+        assert_eq!(
+            text,
+            "service: 640 submitted, 3 shed, 64 batch(es), 64/64 cohort(s) done, queue peak 12\n\
+             service: 4 round(s) (p50 2.047ms, p99 4ms, 2 recovered), 5 checkpoint(s), 5 restore(s)\n\
+             service: plan cache 30 hit(s) / 10 miss(es) (75% hit), 9 extension(s), 1 evicted\n"
         );
     }
 

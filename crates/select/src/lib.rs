@@ -27,12 +27,18 @@
 //!   (serial and rayon) that score all `2^j` outcome branches in one
 //!   lattice traversal per greedy step, plus the shared greedy driver the
 //!   engine-sharded session path plugs into.
+//! * [`plancache`] — memoized BHA decision plans: outcome-indexed selection
+//!   trees keyed by a quantized [`PlanKey`], shared across cohorts so a
+//!   config that hits the cache replays precomputed pool selections with
+//!   zero search work, falling back to live selection (and extending the
+//!   tree in place, under an LRU node budget) when it walks off the tree.
 
 pub mod candidates;
 pub mod global;
 pub mod halving;
 pub mod information;
 pub mod lookahead;
+pub mod plancache;
 
 pub use candidates::CandidateStrategy;
 pub use global::{select_halving_global, select_halving_global_par, GLOBAL_PAR_THRESHOLD};
@@ -44,4 +50,8 @@ pub use information::{select_information_gain, InfoSelection};
 pub use lookahead::{
     drive_lookahead, select_stage_lookahead, select_stage_lookahead_fused,
     select_stage_lookahead_par, select_stage_lookahead_sparse, LookaheadConfig, SelectError,
+};
+pub use plancache::{
+    PlanCache, PlanCacheStats, PlanCodecError, PlanHandle, PlanKey, PlanLineage, PlanTree,
+    RiskQuantizer, PLAN_MAX_STAGE_POOLS,
 };

@@ -14,9 +14,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use sbgt::{
-    RoundStep, SbgtConfig, SbgtSession, SessionOutcome, SessionSnapshot, ShardedSession,
-    SparseSession,
+    ExecMode, PlanCache, PlanKey, PlanLineage, RiskQuantizer, RoundStep, SbgtConfig, SbgtSession,
+    SessionOutcome, SessionSnapshot, ShardedSession, SparseSession,
 };
 use sbgt_bayes::Prior;
 use sbgt_engine::Engine;
@@ -147,6 +149,9 @@ pub struct CohortActor {
     kind: SessionKind,
     tests_done: usize,
     recoveries: u64,
+    /// The shared plan cache, kept so rollback-and-replay recovery can
+    /// re-attach the plan to the rebuilt session.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl CohortActor {
@@ -160,7 +165,11 @@ impl CohortActor {
         session_config: SbgtConfig,
         policy: SessionPolicy,
     ) -> Self {
-        let prior = Prior::from_risks(&spec.risks);
+        // Quantization runs before the prior is built, so the session's
+        // arithmetic — and the plan key derived from the same risks —
+        // agree on the exact prior bits. Identity when buckets == 0.
+        let risks = RiskQuantizer::new(policy.plan_risk_buckets).snap_all(&spec.risks);
+        let prior = Prior::from_risks(&risks);
         let n = spec.n_subjects();
         let kind = if n < policy.dense_threshold {
             SessionKind::Dense(SbgtSession::new(prior, model, session_config))
@@ -186,6 +195,7 @@ impl CohortActor {
             kind,
             tests_done: 0,
             recoveries: 0,
+            plan_cache: None,
         }
     }
 
@@ -240,6 +250,51 @@ impl CohortActor {
     /// Total rollback-and-replay cycles over the cohort's lifetime.
     pub fn recoveries(&self) -> u64 {
         self.recoveries
+    }
+
+    /// Attach the process-wide plan cache: derive this cohort's [`PlanKey`]
+    /// — the quantized risks the session actually runs on, the exact model
+    /// and rule bits, and a lineage tag for the session kind's summation
+    /// order — and hand the session its memoized decision tree. Cohorts
+    /// sharing a key replay each other's selections; a cohort without a
+    /// cache selects live every round.
+    pub fn attach_plan_cache(&mut self, cache: &Arc<PlanCache>) {
+        self.plan_cache = Some(Arc::clone(cache));
+        let risks = RiskQuantizer::new(self.policy.plan_risk_buckets).snap_all(&self.spec.risks);
+        let cfg = &self.session_config;
+        let sparse_switch = cfg
+            .sparse_switch
+            .map(|s| (s.max_support_fraction, s.prune_epsilon));
+        let lineage = match &self.kind {
+            SessionKind::Dense(_) => match cfg.exec {
+                ExecMode::Serial => PlanLineage::DenseSerial,
+                ExecMode::Parallel(p) => PlanLineage::DenseParallel {
+                    chunk_len: p.chunk_len as u64,
+                    threshold: p.threshold as u64,
+                },
+            },
+            SessionKind::Sharded(_) => PlanLineage::Sharded {
+                parts: self.policy.parts as u32,
+            },
+            SessionKind::Sparse(_) => PlanLineage::Sparse {
+                epsilon_bits: self.policy.sparse_epsilon.to_bits(),
+            },
+        };
+        let key = PlanKey::new(
+            &risks,
+            &self.model,
+            &cfg.rule,
+            cfg.stage_width,
+            cfg.max_pool_size,
+            sparse_switch,
+            lineage,
+        );
+        let handle = cache.handle(key);
+        match &mut self.kind {
+            SessionKind::Dense(s) => s.attach_plan(handle),
+            SessionKind::Sharded(s) => s.attach_plan(handle),
+            SessionKind::Sparse(s) => s.attach_plan(handle),
+        }
     }
 
     fn history_len(&self) -> usize {
@@ -377,6 +432,11 @@ impl CohortActor {
             ),
         };
         self.tests_done = self.history_len();
+        // The rebuilt session lost its plan handle; re-derive it so
+        // recovered cohorts keep replaying (and extending) the tree.
+        if let Some(cache) = self.plan_cache.clone() {
+            self.attach_plan_cache(&cache);
+        }
     }
 
     /// Freeze the cohort into a checkpoint (eviction / suspend format).
@@ -426,6 +486,7 @@ impl CohortActor {
             kind,
             tests_done: 0,
             recoveries: checkpoint.recoveries,
+            plan_cache: None,
         };
         actor.tests_done = actor.history_len();
         Ok(actor)
@@ -522,6 +583,7 @@ mod tests {
             parts,
             sparse_epsilon: 0.0,
             sparse_threshold: 0,
+            plan_risk_buckets: 0,
         }
     }
 

@@ -43,6 +43,18 @@ pub struct ServiceConfig {
     /// [`Self::sparse_epsilon`] is positive). Cohorts between
     /// `dense_threshold` and this size stay sharded.
     pub sparse_threshold: usize,
+    /// Per-tree node budget of the process-wide plan cache: memoized BHA
+    /// decision trees shared by every cohort whose quantized configuration
+    /// maps to the same `PlanKey`. `0` (the default) disables the cache;
+    /// a positive value must be at least 8 (smaller trees thrash their LRU
+    /// budget on the very first session).
+    pub plan_cache_nodes: usize,
+    /// Risk-quantization resolution for plan-cache keys: cohort risks are
+    /// snapped to `1/buckets`-wide cells **before** the prior is built, so
+    /// cohorts in the same risk band share one decision tree. `0` (the
+    /// default) keeps exact risks — cache sharing then requires identical
+    /// risk vectors. Requires [`Self::plan_cache_nodes`] > 0 when set.
+    pub plan_risk_buckets: u32,
     /// Per-cohort session parameters (halving vs look-ahead, pool caps...).
     pub session: SbgtConfig,
     /// Assay model shared by all cohorts.
@@ -66,6 +78,8 @@ impl Default for ServiceConfig {
             parts: 4,
             sparse_epsilon: 0.0,
             sparse_threshold: 12,
+            plan_cache_nodes: 0,
+            plan_risk_buckets: 0,
             session: SbgtConfig::default(),
             model: BinaryDilutionModel::pcr_like(),
             base_seed: 0,
@@ -111,6 +125,19 @@ impl ServiceConfig {
                 self.sparse_epsilon
             )));
         }
+        if self.plan_cache_nodes > 0 && self.plan_cache_nodes < 8 {
+            return Err(ServiceError::InvalidConfig(format!(
+                "plan cache node budget {} must be 0 (disabled) or at least 8",
+                self.plan_cache_nodes
+            )));
+        }
+        if self.plan_risk_buckets > 0 && self.plan_cache_nodes == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "risk quantization (plan_risk_buckets > 0) without a plan cache \
+                 perturbs priors for no benefit; set plan_cache_nodes too"
+                    .into(),
+            ));
+        }
         self.session
             .validate()
             .map_err(|e| ServiceError::InvalidConfig(e.to_string()))?;
@@ -126,6 +153,7 @@ impl ServiceConfig {
             parts: self.parts,
             sparse_epsilon: self.sparse_epsilon,
             sparse_threshold: self.sparse_threshold,
+            plan_risk_buckets: self.plan_risk_buckets,
         }
     }
 }
@@ -143,6 +171,10 @@ pub struct SessionPolicy {
     pub sparse_epsilon: f64,
     /// Minimum cohort size for the sparse session.
     pub sparse_threshold: usize,
+    /// Risk-quantization resolution for plan-cache keys (`0` = exact
+    /// risks). Applied to cohort risks before the prior is built, so the
+    /// quantized risks are what the session — and its `PlanKey` — see.
+    pub plan_risk_buckets: u32,
 }
 
 #[cfg(test)]
@@ -211,6 +243,21 @@ mod tests {
                 "sparse-eps-negative",
                 ServiceConfig {
                     sparse_epsilon: -0.25,
+                    ..base.clone()
+                },
+            ),
+            (
+                "plan-nodes-tiny",
+                ServiceConfig {
+                    plan_cache_nodes: 7,
+                    ..base.clone()
+                },
+            ),
+            (
+                "plan-buckets-without-cache",
+                ServiceConfig {
+                    plan_risk_buckets: 32,
+                    plan_cache_nodes: 0,
                     ..base
                 },
             ),
@@ -229,6 +276,8 @@ mod tests {
             parts: 5,
             sparse_epsilon: 1e-6,
             sparse_threshold: 7,
+            plan_cache_nodes: 64,
+            plan_risk_buckets: 16,
             ..ServiceConfig::default()
         };
         assert!(cfg.validate().is_ok());
@@ -239,6 +288,7 @@ mod tests {
                 parts: 5,
                 sparse_epsilon: 1e-6,
                 sparse_threshold: 7,
+                plan_risk_buckets: 16,
             }
         );
     }

@@ -17,7 +17,13 @@
 //!   and rollback-and-replay recovery when an engine fault kills a round;
 //! * feeds service metrics (queue depth, shed count, round latency
 //!   percentiles, throughput) into the engine's [`MetricsRegistry`] and
-//!   ASCII timeline.
+//!   ASCII timeline;
+//! * shares one process-wide **plan cache** ([`PlanCache`]) of memoized
+//!   BHA decision trees across cohorts whose quantized configuration maps
+//!   to the same key, replaying selections instead of re-searching —
+//!   enabled by [`ServiceConfig::plan_cache_nodes`] and warmed trees
+//!   survive suspension via the `SBGTPLAN` section of
+//!   [`ServiceCheckpoint`].
 //!
 //! The correctness contract, enforced by the test suite: a seeded workload
 //! classified through the service — interleaved, under chaos faults, or
@@ -52,3 +58,6 @@ pub use cohort::{
 pub use config::{ServiceConfig, SessionPolicy};
 pub use error::{ServiceError, ShedReason};
 pub use service::{CohortReport, ServiceCheckpoint, SurveillanceService};
+
+// Plan-cache types a service embedder needs to own a shared cache.
+pub use sbgt::{PlanCache, PlanCacheStats, PlanCodecError, RiskQuantizer};

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use sbgt::{RoundStep, SessionOutcome};
+use sbgt::{PlanCache, PlanCacheStats, RoundStep, SessionOutcome};
 use sbgt_engine::obs::{SpanKind, SpanMeta, TraceLevel};
 use sbgt_engine::SharedEngine;
 
@@ -61,6 +61,10 @@ pub struct ServiceCheckpoint {
     pub completed: Vec<CohortReport>,
     /// Frozen live cohorts, restorable bit-for-bit.
     pub cohorts: Vec<CohortCheckpoint>,
+    /// The warmed plan cache in the `SBGTPLAN` byte format (empty when the
+    /// service ran without a cache). [`SurveillanceService::resume`] merges
+    /// it back, so memoized decision trees survive the freeze.
+    pub plans: Vec<u8>,
 }
 
 enum WorkItem {
@@ -94,12 +98,33 @@ pub struct SurveillanceService {
     shared: Arc<Shared>,
     batcher: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
+    /// Shared memoized-selection cache (`None` when disabled by config).
+    plan_cache: Option<Arc<PlanCache>>,
+    /// Cache counters at service start: the cache may be shared across
+    /// service incarnations, so this incarnation's contribution to
+    /// `ServiceStats` is the delta against this baseline.
+    plan_baseline: PlanCacheStats,
 }
 
 impl SurveillanceService {
     /// Start the service: spawns the batcher and `config.workers` round
-    /// workers against the shared engine.
+    /// workers against the shared engine. A positive
+    /// `config.plan_cache_nodes` opens a fresh process-wide plan cache.
     pub fn start(engine: SharedEngine, config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let cache = (config.plan_cache_nodes > 0).then(|| PlanCache::new(config.plan_cache_nodes));
+        SurveillanceService::start_with_cache(engine, config, cache)
+    }
+
+    /// [`SurveillanceService::start`] against a caller-owned plan cache —
+    /// how successive service incarnations (or a warm/cold benchmark)
+    /// share one set of memoized decision trees. `None` disables the cache
+    /// regardless of `config.plan_cache_nodes`.
+    pub fn start_with_cache(
+        engine: SharedEngine,
+        config: ServiceConfig,
+        cache: Option<Arc<PlanCache>>,
+    ) -> Result<Self, ServiceError> {
         config.validate()?;
         let (ingress_tx, ingress_rx) = bounded::<Specimen>(config.queue_capacity);
         let (ready_tx, ready_rx) = unbounded::<WorkItem>();
@@ -117,9 +142,10 @@ impl SurveillanceService {
             let config = config.clone();
             let ready_tx = ready_tx.clone();
             let shared = Arc::clone(&shared);
+            let cache = cache.clone();
             thread::Builder::new()
                 .name("svc-batcher".to_string())
-                .spawn(move || batcher_loop(engine, config, ingress_rx, ready_tx, shared))
+                .spawn(move || batcher_loop(engine, config, ingress_rx, ready_tx, shared, cache))
                 .expect("spawn batcher thread")
         };
 
@@ -140,6 +166,7 @@ impl SurveillanceService {
             })
             .collect();
 
+        let plan_baseline = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         Ok(SurveillanceService {
             engine,
             config,
@@ -149,6 +176,8 @@ impl SurveillanceService {
             shared,
             batcher: Some(batcher),
             workers,
+            plan_cache: cache,
+            plan_baseline,
         })
     }
 
@@ -161,19 +190,31 @@ impl SurveillanceService {
         checkpoint: ServiceCheckpoint,
     ) -> Result<Self, ServiceError> {
         let service = SurveillanceService::start(engine, config)?;
+        // A tampered plan blob is a typed restore error, never a panic;
+        // without a cache the warmed trees are simply dropped.
+        if let Some(cache) = &service.plan_cache {
+            if !checkpoint.plans.is_empty() {
+                cache
+                    .import(&checkpoint.plans)
+                    .map_err(|e| ServiceError::Restore(e.to_string()))?;
+            }
+        }
         let restored = checkpoint.cohorts.len() as u64;
         let rec = service.engine.obs();
         let obs_start = rec
             .enabled_at(TraceLevel::Spans)
             .then(|| (rec.intern("service:restore"), rec.now_ns()));
         for ckpt in &checkpoint.cohorts {
-            let actor = CohortActor::restore(
+            let mut actor = CohortActor::restore(
                 ckpt,
                 service.config.model,
                 service.config.session,
                 service.config.policy(),
             )
             .map_err(|e| ServiceError::Restore(e.to_string()))?;
+            if let Some(cache) = &service.plan_cache {
+                actor.attach_plan_cache(cache);
+            }
             service.shared.opened.fetch_add(1, Ordering::SeqCst);
             assert!(
                 service
@@ -275,8 +316,17 @@ impl SurveillanceService {
             thread::sleep(Duration::from_millis(1));
         }
         self.stop_workers();
+        self.flush_plan_stats();
         let mut reports = std::mem::take(&mut *self.shared.reports.lock());
         reports.sort_by_key(|r| r.cohort);
+        // Counter-consistency ledger: with ingress closed and the wait
+        // above done, live == 0, so completed must equal opened — every
+        // admitted specimen is in exactly one report.
+        debug_assert_eq!(
+            reports.len() as u64,
+            expected,
+            "drain ledger: completed + live != opened"
+        );
         reports
     }
 
@@ -308,17 +358,43 @@ impl SurveillanceService {
             }
         }
         self.stop_workers();
+        self.flush_plan_stats();
         parked.sort_by_key(|a| a.spec().id);
         let cohorts: Vec<CohortCheckpoint> = parked.iter().map(CohortActor::checkpoint).collect();
         self.engine.metrics().update_service(|s| {
             s.checkpoints += cohorts.len() as u64;
         });
+        let plans = self
+            .plan_cache
+            .as_ref()
+            .map(|c| c.export())
+            .unwrap_or_default();
         let mut completed = std::mem::take(&mut *self.shared.reports.lock());
         completed.sort_by_key(|r| r.cohort);
         if let Some((name, start)) = obs_start {
             rec.record_span_ending_now(SpanKind::Service, name, start, SpanMeta::default());
         }
-        ServiceCheckpoint { completed, cohorts }
+        ServiceCheckpoint {
+            completed,
+            cohorts,
+            plans,
+        }
+    }
+
+    /// Fold this incarnation's plan-cache activity (delta against the
+    /// start-time baseline; the cache may be shared) into `ServiceStats`.
+    fn flush_plan_stats(&self) {
+        let Some(cache) = &self.plan_cache else {
+            return;
+        };
+        let now = cache.stats();
+        let base = self.plan_baseline;
+        self.engine.metrics().update_service(|s| {
+            s.plan_hits += now.hits - base.hits;
+            s.plan_misses += now.misses - base.misses;
+            s.plan_extends += now.extends - base.extends;
+            s.plan_evictions += now.evictions - base.evictions;
+        });
     }
 
     fn close_ingress_and_flush(&mut self) {
@@ -368,6 +444,7 @@ fn batcher_loop(
     ingress_rx: Receiver<Specimen>,
     ready_tx: Sender<WorkItem>,
     shared: Arc<Shared>,
+    cache: Option<Arc<PlanCache>>,
 ) {
     let mut batch: Vec<Specimen> = Vec::new();
     let mut deadline: Option<Instant> = None;
@@ -385,16 +462,16 @@ fn batcher_loop(
                 }
                 batch.push(specimen);
                 if batch.len() >= config.batch_size {
-                    flush_batch(&engine, &config, &mut batch, &ready_tx, &shared);
+                    flush_batch(&engine, &config, &mut batch, &ready_tx, &shared, &cache);
                     deadline = None;
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared);
+                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared, &cache);
                 deadline = None;
             }
             Err(RecvTimeoutError::Disconnected) => {
-                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared);
+                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared, &cache);
                 return;
             }
         }
@@ -407,6 +484,7 @@ fn flush_batch(
     batch: &mut Vec<Specimen>,
     ready_tx: &Sender<WorkItem>,
     shared: &Shared,
+    cache: &Option<Arc<PlanCache>>,
 ) {
     if batch.is_empty() {
         return;
@@ -428,7 +506,7 @@ fn flush_batch(
         .then(|| (rec.intern("service:batch-seal"), rec.now_ns()));
     let spec = CohortSpec::from_specimens(id, config.base_seed, batch);
     batch.clear();
-    let actor = CohortActor::new_recovering(
+    let mut actor = CohortActor::new_recovering(
         engine,
         spec,
         config.model,
@@ -436,6 +514,9 @@ fn flush_batch(
         config.policy(),
         config.max_recoveries,
     );
+    if let Some(cache) = cache {
+        actor.attach_plan_cache(cache);
+    }
     let creation_recoveries = actor.recoveries();
     engine.metrics().update_service(|s| {
         s.batches += 1;
@@ -707,6 +788,58 @@ mod tests {
     }
 
     #[test]
+    fn shared_plan_cache_replays_across_cohorts_bit_for_bit() {
+        let engine = shared_engine();
+        // One shared risk band: every cohort quantizes to the same risk
+        // vector, so all of them share a single memoized decision tree.
+        let config = ServiceConfig {
+            workers: 3,
+            batch_size: 8,
+            batch_deadline: Duration::from_secs(5),
+            dense_threshold: 9,
+            plan_cache_nodes: 512,
+            plan_risk_buckets: 16,
+            session: sbgt::SbgtConfig::default().with_stage_width(2),
+            base_seed: 4242,
+            ..ServiceConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let sp: Vec<Specimen> = (0..64)
+            .map(|_| Specimen {
+                risk: 0.05,
+                infected: rng.random_bool(0.05),
+            })
+            .collect();
+
+        let service = SurveillanceService::start(engine.clone(), config.clone()).unwrap();
+        assert!(service.plan_cache.is_some());
+        for s in &sp {
+            service.submit(*s).unwrap();
+        }
+        let reports = service.drain();
+
+        // Replayed selections must be indistinguishable from live ones:
+        // the serial reference runs the same policy (same quantized
+        // priors) with no cache attached.
+        let specs = batch_specimens(&sp, config.batch_size, config.base_seed);
+        assert_eq!(reports.len(), specs.len());
+        for (report, spec) in reports.iter().zip(&specs) {
+            let serial =
+                run_cohort_serial(&engine, spec, config.model, config.session, config.policy());
+            assert_eq!(report.outcome, serial);
+            for (a, b) in report.outcome.marginals.iter().zip(&serial.marginals) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = engine.metrics().service_stats();
+        assert!(
+            stats.plan_hits > 0,
+            "shared-key cohorts must replay memoized selections"
+        );
+        assert!(stats.plan_extends > 0, "misses must extend the tree");
+    }
+
+    #[test]
     fn suspend_resume_continues_bit_for_bit() {
         let engine = shared_engine();
         let config = quick_config();
@@ -743,6 +876,7 @@ mod tests {
                 .iter()
                 .map(|c| CohortCheckpoint::from_bytes(&c.to_bytes()).unwrap())
                 .collect(),
+            plans: checkpoint.plans.clone(),
         };
 
         let resumed =

@@ -172,6 +172,122 @@ fn sparse_rounds_killed_by_chaos_are_rolled_back_and_replayed() {
 }
 
 #[test]
+fn chaos_during_cache_extension_leaves_reports_and_tree_intact() {
+    // Plan cache on, all cohorts sharded over one shared risk band: every
+    // round's select step either replays the shared tree or extends it, so
+    // round-killing faults land while extensions are in flight. Reports
+    // must still match the fault-free serial reference (which quantizes
+    // identically but selects live), and the tree must stay walkable —
+    // a torn node would surface as a divergent replayed selection.
+    let cfg = ServiceConfig {
+        plan_cache_nodes: 512,
+        plan_risk_buckets: 8,
+        ..config()
+    };
+    let specimens: Vec<Specimen> = workload(84, 31)
+        .into_iter()
+        .map(|s| Specimen { risk: 0.06, ..s })
+        .collect();
+    let serial = serial_reference(&cfg, &specimens);
+
+    let mut any_recovered = false;
+    for campaign_seed in 300..308u64 {
+        let engine = chaotic_engine(campaign_seed);
+        let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+        for s in &specimens {
+            service.submit(*s).unwrap();
+        }
+        let reports = service.drain();
+        assert_reports_match(&reports, &serial);
+        let stats = engine.metrics().service_stats();
+        assert!(stats.plan_extends > 0, "misses must extend the shared tree");
+        assert!(
+            stats.plan_hits > 0,
+            "shared-key cohorts must replay memoized selections under chaos"
+        );
+        if stats.recovered_rounds > 0 {
+            any_recovered = true;
+            break;
+        }
+    }
+    assert!(
+        any_recovered,
+        "no campaign in the sweep killed a round while the cache was live"
+    );
+}
+
+#[test]
+fn tampered_plan_blob_is_rejected_with_typed_error_not_panic() {
+    // Warm a cache through a real run, suspend, then corrupt the SBGTPLAN
+    // section every way a torn checkpoint could: truncation, bit flips in
+    // the header, counts, and payload. Every corruption must surface as a
+    // typed ServiceError::Restore from resume — never a panic or abort.
+    let cfg = ServiceConfig {
+        plan_cache_nodes: 512,
+        plan_risk_buckets: 8,
+        ..config()
+    };
+    let specimens: Vec<Specimen> = workload(21, 5)
+        .into_iter()
+        .map(|s| Specimen { risk: 0.06, ..s })
+        .collect();
+    let engine = clean_engine();
+    let service = SurveillanceService::start(engine.clone(), cfg.clone()).unwrap();
+    for s in &specimens {
+        service.submit(*s).unwrap();
+    }
+    thread::sleep(Duration::from_millis(4));
+    let checkpoint = service.suspend();
+    assert!(
+        !checkpoint.plans.is_empty(),
+        "a cache-enabled run must checkpoint its plans"
+    );
+
+    let mut rejected = 0usize;
+    for tamper in 0..checkpoint.plans.len().min(64) {
+        let mut bad = checkpoint.clone();
+        bad.plans[tamper] ^= 0xA5;
+        match SurveillanceService::resume(engine.clone(), cfg.clone(), bad) {
+            Err(sbgt_service::ServiceError::Restore(msg)) => {
+                assert!(
+                    msg.contains("SBGTPLAN") || msg.contains("plan"),
+                    "error must name the plan codec: {msg}"
+                );
+                rejected += 1;
+            }
+            // Some single-byte flips (e.g. inside a float payload) decode
+            // to a structurally valid tree; those must simply resume.
+            Ok(service) => drop(service.drain()),
+            Err(other) => panic!("tampered plans must be Restore errors, got {other}"),
+        }
+    }
+    assert!(rejected > 0, "header corruption must be caught");
+
+    // Truncations of the plan section are always structural corruption.
+    for cut in [0, 1, 7, 11, checkpoint.plans.len() - 1] {
+        let mut bad = checkpoint.clone();
+        bad.plans.truncate(cut);
+        if bad.plans.is_empty() {
+            // An empty section means "no plans" by contract: resume works.
+            let service = SurveillanceService::resume(engine.clone(), cfg.clone(), bad).unwrap();
+            drop(service.drain());
+            continue;
+        }
+        match SurveillanceService::resume(engine.clone(), cfg.clone(), bad) {
+            Err(sbgt_service::ServiceError::Restore(_)) => {}
+            Ok(_) => panic!("truncated plan blob (cut at {cut}) must be rejected"),
+            Err(other) => panic!("truncated plans must be Restore errors, got {other}"),
+        }
+    }
+
+    // The untampered checkpoint still resumes and finishes cleanly.
+    let resumed = SurveillanceService::resume(engine, cfg, checkpoint).unwrap();
+    let reports = resumed.drain();
+    let classified: usize = reports.iter().map(|r| r.subjects).sum();
+    assert_eq!(classified, specimens.len());
+}
+
+#[test]
 fn chaos_with_mid_run_suspend_resume_still_matches() {
     let cfg = config();
     let specimens = workload(70, 77);

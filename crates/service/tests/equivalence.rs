@@ -119,6 +119,7 @@ fn mid_run_suspend_resume_is_invisible() {
             .iter()
             .map(|c| CohortCheckpoint::from_bytes(&c.to_bytes()).unwrap())
             .collect(),
+        plans: checkpoint.plans.clone(),
     };
 
     let resumed = SurveillanceService::resume(engine.clone(), cfg, rehydrated).unwrap();

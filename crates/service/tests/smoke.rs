@@ -52,6 +52,29 @@ fn seeded_load_drains_cleanly() {
     assert!(stats.rounds >= 12, "every cohort runs at least one round");
     assert!(stats.round_latency_percentile(0.5).is_some());
 
+    // Counter-consistency ledger. Specimen granularity: everything offered
+    // was either admitted (`submitted`) or shed, and after a drain every
+    // admitted specimen sits in exactly one report — live count is zero,
+    // so shed + classified == offered. Cohort granularity: opened ==
+    // completed + live, with live == 0.
+    let offered = arrivals.len() as u64;
+    assert_eq!(stats.submitted + stats.shed, offered, "admission ledger");
+    assert_eq!(
+        subjects as u64 + stats.shed,
+        offered,
+        "shed + classified + live(0) must equal offered specimens"
+    );
+    assert_eq!(
+        stats.cohorts_opened,
+        reports.len() as u64,
+        "live cohorts after drain must be zero: opened == reported"
+    );
+    assert_eq!(
+        stats.plan_hits + stats.plan_misses,
+        0,
+        "cacheless config must record no plan traffic"
+    );
+
     // The timeline gains a service section once service stats exist.
     let timeline = sbgt_engine::timeline::render_timeline(engine.metrics());
     assert!(timeline.contains("service:"), "timeline shows the service");
