@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke plancache-smoke
+.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke plancache-smoke soak-smoke
 
-verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke plancache-smoke
+verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke plancache-smoke soak-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -64,6 +64,15 @@ bench-smoke:
 plancache-smoke:
 	$(CARGO) test -p sbgt-select --test plancache_equivalence -q
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench plancache -- --test
+
+# Shard-fabric smoke: a short seeded soak through the real wire path —
+# 2 shard processes behind the binary protocol, client-side cohort
+# formation on the consistent-hash ring, one mid-run drain whose live
+# cohorts relocate by checkpoint handoff. The binary itself asserts the
+# specimen ledger balances (zero lost, including across the drain) and
+# bounds the shed rate, exiting nonzero otherwise.
+soak-smoke:
+	$(CARGO) run --release -p sbgt-bench --bin soak -- --smoke
 
 # SIMD/sparse kernel smoke: run the per-round kernels bench once in smoke
 # mode, then replay the SIMD-vs-scalar and sparse-equivalence suites with

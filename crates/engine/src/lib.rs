@@ -119,6 +119,7 @@ pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use metrics::{
     FaultStats, JobMetrics, MetricsRegistry, ServiceStats, StageAgg, StageVariant, TaskMetrics,
+    TenantStats,
 };
 pub use obs::{LogHistogram, ObsConfig, SpanKind, SpanMeta, SpanRecorder, TraceLevel};
 pub use partitioner::{partition_ranges, HashPartitioner, Partitioner, RangePartitioner};

@@ -173,8 +173,15 @@ pub struct ServiceStats {
     /// (shed specimens are counted in [`Self::shed`] instead, so offered
     /// traffic is `submitted + shed`).
     pub submitted: u64,
-    /// Specimens rejected by admission control (typed load-shedding).
+    /// Specimens rejected by admission control (typed load-shedding),
+    /// all reasons combined.
     pub shed: u64,
+    /// Sheds caused by a breached per-tenant latency SLO (a subset of
+    /// [`Self::shed`]).
+    pub shed_slo: u64,
+    /// Sheds refused because the service is draining for shard handoff
+    /// (a subset of [`Self::shed`]).
+    pub shed_draining: u64,
     /// Cohort batches closed (size- or deadline-triggered).
     pub batches: u64,
     /// Cohort sessions opened.
@@ -207,6 +214,22 @@ pub struct ServiceStats {
     /// stay O(1) in rounds for a service running for days (previously an
     /// unbounded `Vec<u64>` growing one entry per round).
     round_latency: LogHistogram,
+    /// Per-tenant lane stats (rounds + latency histogram), keyed by lab
+    /// tenant id. Only tenants that actually ran rounds appear, so an
+    /// untagged single-tenant service carries exactly one lane (tenant 0)
+    /// and pre-tenant deployments render unchanged when quiet.
+    tenants: BTreeMap<u32, TenantStats>,
+}
+
+/// One tenant's service lane: how many engine rounds its cohorts consumed
+/// and the streaming latency histogram behind its SLO check.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Engine rounds run for this tenant's cohorts.
+    pub rounds: u64,
+    /// Per-round wall-clock latency, microseconds (same log-bucket layout
+    /// as the global round histogram).
+    pub latency: LogHistogram,
 }
 
 impl ServiceStats {
@@ -214,6 +237,30 @@ impl ServiceStats {
     pub fn record_round(&mut self, latency: Duration) {
         self.rounds += 1;
         self.round_latency.record(latency.as_micros() as u64);
+    }
+
+    /// Record one completed round against a tenant's lane (in addition to
+    /// [`Self::record_round`], which aggregates across tenants).
+    pub fn record_tenant_round(&mut self, tenant: u32, latency: Duration) {
+        let lane = self.tenants.entry(tenant).or_default();
+        lane.rounds += 1;
+        lane.latency.record(latency.as_micros() as u64);
+    }
+
+    /// Per-tenant lanes, keyed by tenant id (empty until a tenant-tagged
+    /// round completes).
+    pub fn tenants(&self) -> &BTreeMap<u32, TenantStats> {
+        &self.tenants
+    }
+
+    /// One tenant's round-latency percentile (`p` in `[0, 1]`). `None`
+    /// before that tenant has completed a round.
+    pub fn tenant_latency_percentile(&self, tenant: u32, p: f64) -> Option<Duration> {
+        self.tenants
+            .get(&tenant)?
+            .latency
+            .quantile(p)
+            .map(Duration::from_micros)
     }
 
     /// Raise the queue-depth high-water mark.
@@ -447,6 +494,13 @@ impl MetricsRegistry {
     /// Snapshot of the service-level counters.
     pub fn service_stats(&self) -> ServiceStats {
         self.service.lock().clone()
+    }
+
+    /// One tenant's round-latency percentile, read under the lock without
+    /// cloning the whole stats block — this sits on the admission-control
+    /// fast path, where an SLO check runs per submission.
+    pub fn tenant_latency_percentile(&self, tenant: u32, p: f64) -> Option<Duration> {
+        self.service.lock().tenant_latency_percentile(tenant, p)
     }
 
     /// Drop all recorded jobs and aggregates (between benchmark phases).

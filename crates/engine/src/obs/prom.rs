@@ -146,6 +146,16 @@ impl MetricsRegistry {
                 service.shed,
             ),
             (
+                "sbgt_service_specimens_shed_slo_total",
+                "Specimens shed because a tenant's latency SLO was breached.",
+                service.shed_slo,
+            ),
+            (
+                "sbgt_service_specimens_shed_draining_total",
+                "Specimens refused while the service drained for handoff.",
+                service.shed_draining,
+            ),
+            (
                 "sbgt_service_batches_total",
                 "Cohort batches sealed (size- or deadline-triggered).",
                 service.batches,
@@ -242,6 +252,56 @@ impl MetricsRegistry {
             format_f64(hist.sum() as f64 / 1e6)
         );
         let _ = writeln!(out, "sbgt_round_latency_seconds_count {}", hist.count());
+
+        // Per-tenant lanes: rounds counter plus a latency histogram per
+        // tenant label — the QoS scheduler's fairness and each tenant's
+        // SLO headroom, scrapeable side by side.
+        let tenants = service.tenants();
+        if !tenants.is_empty() {
+            family(
+                &mut out,
+                "sbgt_tenant_rounds_total",
+                "counter",
+                "Engine rounds run, by lab tenant.",
+            );
+            for (tenant, lane) in tenants {
+                let _ = writeln!(
+                    out,
+                    "sbgt_tenant_rounds_total{{tenant=\"{tenant}\"}} {}",
+                    lane.rounds
+                );
+            }
+            family(
+                &mut out,
+                "sbgt_tenant_round_latency_seconds",
+                "histogram",
+                "Per-round wall-clock latency, by lab tenant.",
+            );
+            for (tenant, lane) in tenants {
+                for (upper_us, cumulative) in lane.latency.cumulative_buckets() {
+                    let _ = writeln!(
+                        out,
+                        "sbgt_tenant_round_latency_seconds_bucket{{tenant=\"{tenant}\",le=\"{}\"}} {cumulative}",
+                        format_f64(upper_us as f64 / 1e6)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "sbgt_tenant_round_latency_seconds_bucket{{tenant=\"{tenant}\",le=\"+Inf\"}} {}",
+                    lane.latency.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "sbgt_tenant_round_latency_seconds_sum{{tenant=\"{tenant}\"}} {}",
+                    format_f64(lane.latency.sum() as f64 / 1e6)
+                );
+                let _ = writeln!(
+                    out,
+                    "sbgt_tenant_round_latency_seconds_count{{tenant=\"{tenant}\"}} {}",
+                    lane.latency.count()
+                );
+            }
+        }
 
         out
     }

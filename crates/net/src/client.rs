@@ -1,0 +1,114 @@
+//! A blocking shard client: one request frame out, one response frame
+//! back, over a plain `TcpStream`.
+//!
+//! The client is deliberately synchronous — the async machinery lives on
+//! the server side, where one reactor multiplexes many of these. Routers,
+//! tests, and the soak harness call it like a function.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::frame::{DecodeError, Request, Response, HEADER_LEN, MAX_PAYLOAD};
+
+/// A connected shard client.
+pub struct ShardClient {
+    stream: TcpStream,
+    /// Reassembly buffer for responses that arrive across several reads.
+    buf: Vec<u8>,
+}
+
+impl ShardClient {
+    /// Connect to a shard server.
+    pub fn connect(addr: SocketAddr) -> io::Result<ShardClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ShardClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// [`ShardClient::connect`] with retry — shard processes need a moment
+    /// between `exec` and `bind`, so fabric startup polls.
+    pub fn connect_retry(addr: SocketAddr, timeout: Duration) -> io::Result<ShardClient> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match ShardClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Send one request and block for its response. Wire-level decode
+    /// failures surface as `InvalidData` errors carrying the typed
+    /// [`DecodeError`] message.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.stream.write_all(&request.encode())?;
+        loop {
+            match Response::decode(&self.buf) {
+                Ok((response, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(response);
+                }
+                Err(DecodeError::Torn { .. }) => {
+                    let mut chunk = [0u8; 64 * 1024];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "shard closed mid-response",
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if self.buf.len() > HEADER_LEN + MAX_PAYLOAD as usize {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "response exceeds frame bounds",
+                        ));
+                    }
+                }
+                Err(error) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        error.to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Send raw bytes (not necessarily a valid frame) and read one
+    /// response — the malformed-input tests use this to poke the server
+    /// with garbage without the typed encoder getting in the way.
+    pub fn call_raw(&mut self, bytes: &[u8]) -> io::Result<Response> {
+        self.stream.write_all(bytes)?;
+        loop {
+            match Response::decode(&self.buf) {
+                Ok((response, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(response);
+                }
+                Err(DecodeError::Torn { .. }) => {
+                    let mut chunk = [0u8; 64 * 1024];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "shard closed mid-response",
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(error) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        error.to_string(),
+                    ))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The shard fabric router: consistent-hash placement of cohorts across
+//! shard servers, with drain/rebalance by checkpoint handoff.
+//!
+//! The router owns the global cohort-id sequence and forms cohorts
+//! client-side (per tenant, fixed batch size), so ids stay unique across
+//! shards no matter how many processes serve them — each shard's internal
+//! batcher is bypassed via [`Request::PlaceCohort`]. Placement is
+//! `ring.shard_for(cohort_id)`: deterministic given membership, and
+//! minimally disturbed when membership changes.
+//!
+//! Draining a shard is a first-class rebalance: the shard freezes its live
+//! cohorts at round boundaries into `SBGTCKPT` blobs, the router removes
+//! it from the ring, and every blob is handed to the shard the ring now
+//! assigns its cohort id — where it resumes **bit-for-bit** (the codec's
+//! contract, pinned by `tests/loopback.rs`). Nothing about a cohort's
+//! report depends on which shard(s) it ran on.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use sbgt_service::{CohortCheckpoint, CohortReport, CohortSpec, ShedReason, Specimen};
+
+use crate::client::ShardClient;
+use crate::frame::{Request, Response};
+use crate::ring::{HashRing, RingError};
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Specimens per cohort formed by the router.
+    pub batch_size: usize,
+    /// Base seed for cohort seed derivation (same formula as the
+    /// in-process batcher, so a cohort's identity is shard-independent).
+    pub base_seed: u64,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: u32,
+    /// How long to keep retrying each shard connection at startup.
+    pub connect_timeout: Duration,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            batch_size: 8,
+            base_seed: 0x5B67,
+            vnodes: crate::ring::DEFAULT_VNODES,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Running tallies of what the router pushed into the fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricCounters {
+    /// Cohorts successfully placed on a shard.
+    pub placed_cohorts: u64,
+    /// Specimens inside successfully placed cohorts.
+    pub accepted_specimens: u64,
+    /// Specimens inside cohorts a shard shed at admission.
+    pub shed_specimens: u64,
+    /// Cohorts relocated by drain/handoff so far.
+    pub relocated_cohorts: u64,
+}
+
+/// A client-side router over a set of shard servers.
+pub struct FabricRouter {
+    ring: HashRing,
+    clients: BTreeMap<u32, ShardClient>,
+    /// Drained shards kept connected for stats/shutdown.
+    retired: BTreeMap<u32, ShardClient>,
+    next_cohort: u64,
+    batch_size: usize,
+    base_seed: u64,
+    pending: BTreeMap<u32, Vec<Specimen>>,
+    counters: FabricCounters,
+    last_shed_reason: Option<ShedReason>,
+}
+
+impl FabricRouter {
+    /// Connect to every `(shard id, address)` pair, retrying each until
+    /// `config.connect_timeout` — shard processes bind asynchronously.
+    pub fn connect(
+        shards: &[(u32, SocketAddr)],
+        config: &FabricConfig,
+    ) -> io::Result<FabricRouter> {
+        assert!(config.batch_size > 0, "fabric batch size must be positive");
+        let mut ring = HashRing::new(config.vnodes);
+        let mut clients = BTreeMap::new();
+        for &(id, addr) in shards {
+            let client = ShardClient::connect_retry(addr, config.connect_timeout)?;
+            ring.add_shard(id);
+            clients.insert(id, client);
+        }
+        Ok(FabricRouter {
+            ring,
+            clients,
+            retired: BTreeMap::new(),
+            next_cohort: 0,
+            batch_size: config.batch_size,
+            base_seed: config.base_seed,
+            pending: BTreeMap::new(),
+            counters: FabricCounters::default(),
+            last_shed_reason: None,
+        })
+    }
+
+    /// Tallies so far.
+    pub fn counters(&self) -> FabricCounters {
+        self.counters
+    }
+
+    /// Reason of the most recent shed, if any occurred.
+    pub fn last_shed_reason(&self) -> Option<ShedReason> {
+        self.last_shed_reason
+    }
+
+    /// Live (non-drained) shard ids.
+    pub fn live_shards(&self) -> Vec<u32> {
+        self.ring.shards()
+    }
+
+    /// Buffer one specimen on its tenant's client-side batch, placing the
+    /// cohort once the batch is full.
+    pub fn submit(&mut self, tenant: u32, specimen: Specimen) -> io::Result<()> {
+        let batch = self.pending.entry(tenant).or_default();
+        batch.push(specimen);
+        if batch.len() >= self.batch_size {
+            self.flush_tenant(tenant)?;
+        }
+        Ok(())
+    }
+
+    /// Seal and place `tenant`'s open batch, if any.
+    pub fn flush_tenant(&mut self, tenant: u32) -> io::Result<()> {
+        let Some(batch) = self.pending.remove(&tenant) else {
+            return Ok(());
+        };
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let id = self.next_cohort;
+        self.next_cohort += 1;
+        let spec = CohortSpec::from_specimens(id, self.base_seed, &batch).with_tenant(tenant);
+        self.place(spec)
+    }
+
+    /// Seal and place every open batch.
+    pub fn flush_all(&mut self) -> io::Result<()> {
+        let tenants: Vec<u32> = self.pending.keys().copied().collect();
+        for tenant in tenants {
+            self.flush_tenant(tenant)?;
+        }
+        Ok(())
+    }
+
+    /// Place one fully-formed cohort on the shard the ring assigns it.
+    pub fn place(&mut self, spec: CohortSpec) -> io::Result<()> {
+        let subjects = spec.n_subjects() as u64;
+        let shard = self
+            .ring
+            .shard_for(spec.id)
+            .map_err(|e: RingError| io::Error::other(e.to_string()))?;
+        let client = self
+            .clients
+            .get_mut(&shard)
+            .ok_or_else(|| io::Error::other(format!("no client for shard {shard}")))?;
+        match client.call(&Request::PlaceCohort { spec })? {
+            Response::Accepted { accepted: 1, .. } => {
+                self.counters.placed_cohorts += 1;
+                self.counters.accepted_specimens += subjects;
+                Ok(())
+            }
+            Response::Accepted { reason, .. } => {
+                self.counters.shed_specimens += subjects;
+                if reason.is_some() {
+                    self.last_shed_reason = reason;
+                }
+                Ok(())
+            }
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Collect (and clear) completed reports from every live and retired
+    /// shard.
+    pub fn poll_reports(&mut self) -> io::Result<Vec<CohortReport>> {
+        let mut all = Vec::new();
+        for client in self.clients.values_mut().chain(self.retired.values_mut()) {
+            match client.call(&Request::PollReports)? {
+                Response::Reports { reports } => all.extend(reports),
+                Response::Error { message } => return Err(io::Error::other(message)),
+                other => return Err(unexpected(&other)),
+            }
+        }
+        all.sort_by_key(|r| r.cohort);
+        Ok(all)
+    }
+
+    /// Scrape one shard's Prometheus text exposition.
+    pub fn stats(&mut self, shard: u32) -> io::Result<String> {
+        let client = self
+            .clients
+            .get_mut(&shard)
+            .or_else(|| self.retired.get_mut(&shard))
+            .ok_or_else(|| io::Error::other(format!("no client for shard {shard}")))?;
+        match client.call(&Request::Stats)? {
+            Response::Stats { prometheus } => Ok(prometheus),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drain `shard` out of the fabric: freeze its live cohorts, remove it
+    /// from the ring, and hand each frozen cohort to the shard the
+    /// shrunken ring now assigns it. Returns the reports the shard had
+    /// already completed; the relocated cohorts finish on their new homes
+    /// with identical results.
+    pub fn drain_shard(&mut self, shard: u32) -> io::Result<Vec<CohortReport>> {
+        let mut client = self
+            .clients
+            .remove(&shard)
+            .ok_or_else(|| io::Error::other(format!("no client for shard {shard}")))?;
+        let (reports, checkpoints) = match client.call(&Request::Drain)? {
+            Response::Drained {
+                reports,
+                checkpoints,
+            } => (reports, checkpoints),
+            Response::Error { message } => return Err(io::Error::other(message)),
+            other => return Err(unexpected(&other)),
+        };
+        self.ring.remove_shard(shard);
+        self.retired.insert(shard, client);
+
+        // Re-place every frozen cohort where the shrunken ring points. The
+        // blobs travel untouched — the byte-exactness of the handoff is
+        // exactly the checkpoint codec's round-trip guarantee.
+        let mut by_target: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
+        for blob in checkpoints {
+            let id = CohortCheckpoint::from_bytes(&blob)
+                .map_err(|e| io::Error::other(format!("drained checkpoint rejected: {e}")))?
+                .spec
+                .id;
+            let target = self
+                .ring
+                .shard_for(id)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            by_target.entry(target).or_default().push(blob);
+        }
+        for (target, blobs) in by_target {
+            let n = blobs.len() as u32;
+            let client = self
+                .clients
+                .get_mut(&target)
+                .ok_or_else(|| io::Error::other(format!("no client for shard {target}")))?;
+            match client.call(&Request::Handoff { checkpoints: blobs })? {
+                Response::Accepted { accepted, shed: 0, .. } if accepted == n => {
+                    self.counters.relocated_cohorts += u64::from(n);
+                }
+                Response::Accepted { accepted, shed, .. } => {
+                    return Err(io::Error::other(format!(
+                        "handoff to shard {target} lost cohorts: {accepted} adopted, {shed} shed of {n}"
+                    )))
+                }
+                Response::Error { message } => return Err(io::Error::other(message)),
+                other => return Err(unexpected(&other)),
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Stop every shard server (live and retired) and consume the router.
+    pub fn shutdown_all(mut self) -> io::Result<()> {
+        for (_, mut client) in std::mem::take(&mut self.clients)
+            .into_iter()
+            .chain(std::mem::take(&mut self.retired))
+        {
+            let _ = client.call(&Request::Shutdown)?;
+        }
+        Ok(())
+    }
+}
+
+fn unexpected(response: &Response) -> io::Error {
+    io::Error::other(format!("unexpected response kind: {response:?}"))
+}

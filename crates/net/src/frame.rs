@@ -1,0 +1,817 @@
+//! The SBGT wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! ┌─────────┬─────────┬────────┬──────────────┬───────────────┐
+//! │ "SB"    │ version │ kind   │ payload len  │ payload       │
+//! │ 2 bytes │ u8 = 1  │ u8     │ u32 LE       │ `len` bytes   │
+//! └─────────┴─────────┴────────┴──────────────┴───────────────┘
+//! ```
+//!
+//! Request kinds live in `0x01..=0x7F`, response kinds in `0x80..=0xFF`,
+//! so a frame's direction is visible from its header. All integers are
+//! little-endian; floats travel as raw IEEE-754 bits (never text), which
+//! is what makes a report read over the wire **bit-for-bit** comparable
+//! to one taken in-process.
+//!
+//! Decoding is total: every malformed input maps to a typed
+//! [`DecodeError`], never a panic and never a truncated-but-accepted
+//! message. A frame shorter than its header claims is [`DecodeError::Torn`]
+//! — on a live stream the reader waits for more bytes; at EOF or in a
+//! fixed buffer it is an error. A length field beyond [`MAX_PAYLOAD`] is
+//! rejected as [`DecodeError::Oversized`] *before* any allocation, so a
+//! hostile header cannot balloon memory.
+
+use sbgt::SessionOutcome;
+use sbgt_bayes::{CohortClassification, SubjectStatus};
+use sbgt_lattice::State;
+use sbgt_service::{CohortReport, CohortSpec, ShedReason, Specimen};
+
+/// Wire protocol version carried in every frame header.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame magic: the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"SB";
+
+/// Header size in bytes (magic + version + kind + payload length).
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on a frame's payload, enforced before allocation. Sized for a
+/// drain response carrying every live cohort's checkpoint on a loaded
+/// shard, with an order of magnitude of headroom.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// A typed wire decoding failure. Every way an input byte stream can be
+/// malformed maps to exactly one variant — the server answers with an
+/// error frame (or closes) instead of panicking, and tests assert the
+/// variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ends before the frame does. On a live stream this means
+    /// "read more"; at EOF it means the peer hung up mid-frame.
+    Torn {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the frame needs (header + declared payload).
+        need: usize,
+    },
+    /// The header declares a payload larger than [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+    },
+    /// The first two bytes are not [`MAGIC`] — not an SBGT stream.
+    BadMagic([u8; 2]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// A kind byte no message maps to.
+    UnknownKind(u8),
+    /// The payload is self-inconsistent (short fields, trailing bytes,
+    /// invalid enum byte, non-UTF-8 text).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Torn { have, need } => {
+                write!(f, "torn frame: have {have} bytes, need {need}")
+            }
+            DecodeError::Oversized { len } => {
+                write!(f, "oversized frame: payload {len} exceeds {MAX_PAYLOAD}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A client-to-shard request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Submit raw specimens onto a tenant's lane; the shard batches them
+    /// itself. Single-shard path — a fabric router uses
+    /// [`Request::PlaceCohort`] instead so cohort ids stay globally unique.
+    Submit {
+        /// Tenant (QoS lane) the specimens belong to.
+        tenant: u32,
+        /// The specimens, in submission order.
+        specimens: Vec<Specimen>,
+    },
+    /// Open a fully-formed cohort (id, seed, and tenant pre-assigned by
+    /// the router) on this shard.
+    PlaceCohort {
+        /// The cohort's static identity.
+        spec: CohortSpec,
+    },
+    /// Collect (and clear) the reports completed since the last poll.
+    PollReports,
+    /// Scrape the shard's metrics as Prometheus text exposition.
+    Stats,
+    /// Stop admitting, run live cohorts to the next round boundary, and
+    /// return completed reports plus one `SBGTCKPT` blob per live cohort.
+    /// Terminal: the shard refuses further work afterwards.
+    Drain,
+    /// Adopt cohorts drained from another shard, each an `SBGTCKPT` blob.
+    Handoff {
+        /// One serialized [`sbgt_service::CohortCheckpoint`] per cohort.
+        checkpoints: Vec<Vec<u8>>,
+    },
+    /// Stop the shard server once the response is flushed.
+    Shutdown,
+}
+
+/// A shard-to-client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Outcome of a submit/place/handoff: how many specimens (or cohorts,
+    /// for handoff) were admitted and how many shed, with the typed reason
+    /// for the first shed.
+    Accepted {
+        /// Units admitted.
+        accepted: u32,
+        /// Units shed by admission control.
+        shed: u32,
+        /// Reason for the first shed, when any occurred.
+        reason: Option<ShedReason>,
+    },
+    /// Completed cohort reports, sorted by cohort id.
+    Reports {
+        /// The reports, bit-for-bit as the shard computed them.
+        reports: Vec<CohortReport>,
+    },
+    /// Prometheus text exposition of the shard's metrics registry.
+    Stats {
+        /// The scrape body.
+        prometheus: String,
+    },
+    /// Result of [`Request::Drain`]: everything the shard had.
+    Drained {
+        /// Cohorts already classified, sorted by cohort id.
+        reports: Vec<CohortReport>,
+        /// One `SBGTCKPT` blob per still-live cohort, sorted by cohort id.
+        checkpoints: Vec<Vec<u8>>,
+    },
+    /// The request could not be served (decode failure, closed service,
+    /// restore error). The connection stays usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+const KIND_PING: u8 = 0x01;
+const KIND_SUBMIT: u8 = 0x02;
+const KIND_PLACE: u8 = 0x03;
+const KIND_POLL: u8 = 0x04;
+const KIND_STATS: u8 = 0x05;
+const KIND_DRAIN: u8 = 0x06;
+const KIND_HANDOFF: u8 = 0x07;
+const KIND_SHUTDOWN: u8 = 0x08;
+
+const KIND_PONG: u8 = 0x81;
+const KIND_ACCEPTED: u8 = 0x82;
+const KIND_REPORTS: u8 = 0x83;
+const KIND_STATS_RESP: u8 = 0x84;
+const KIND_DRAINED: u8 = 0x85;
+const KIND_ERROR: u8 = 0x86;
+
+/// No-shed-reason sentinel on the wire (reasons encode as `0..=2`).
+const NO_REASON: u8 = 0xFF;
+
+// ---------------------------------------------------------------------------
+// Payload writer/reader
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64_bits(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked payload cursor; every short read is
+/// [`DecodeError::Corrupt`] (within a complete frame the header's length
+/// is authoritative, so running out of payload is corruption, not a torn
+/// stream).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(DecodeError::Corrupt("field past end of payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// A `u32` count about to drive a loop of items at least `min_item`
+    /// bytes each — bounded by the remaining payload so a hostile count
+    /// cannot pre-allocate unbounded memory.
+    fn count(&mut self, min_item: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item.max(1)) > self.buf.len() - self.pos {
+            return Err(DecodeError::Corrupt("count exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Corrupt("trailing bytes after message"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs
+// ---------------------------------------------------------------------------
+
+fn put_spec(out: &mut Vec<u8>, spec: &CohortSpec) {
+    put_u64(out, spec.id);
+    put_u64(out, spec.seed);
+    put_u32(out, spec.tenant);
+    put_u32(out, spec.risks.len() as u32);
+    for r in &spec.risks {
+        put_f64_bits(out, *r);
+    }
+    put_u64(out, spec.truth.bits());
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<CohortSpec, DecodeError> {
+    let id = r.u64()?;
+    let seed = r.u64()?;
+    let tenant = r.u32()?;
+    let n = r.count(8)?;
+    let risks = (0..n).map(|_| r.f64_bits()).collect::<Result<_, _>>()?;
+    let truth = State(r.u64()?);
+    Ok(CohortSpec {
+        id,
+        seed,
+        tenant,
+        risks,
+        truth,
+    })
+}
+
+fn status_byte(s: SubjectStatus) -> u8 {
+    match s {
+        SubjectStatus::Negative => 0,
+        SubjectStatus::Positive => 1,
+        SubjectStatus::Undetermined => 2,
+    }
+}
+
+fn status_from_byte(b: u8) -> Result<SubjectStatus, DecodeError> {
+    match b {
+        0 => Ok(SubjectStatus::Negative),
+        1 => Ok(SubjectStatus::Positive),
+        2 => Ok(SubjectStatus::Undetermined),
+        _ => Err(DecodeError::Corrupt("invalid subject status byte")),
+    }
+}
+
+fn put_report(out: &mut Vec<u8>, report: &CohortReport) {
+    put_u64(out, report.cohort);
+    put_u32(out, report.tenant);
+    put_u32(out, report.subjects as u32);
+    put_u64(out, report.recovered_rounds);
+    put_u64(out, report.outcome.tests as u64);
+    put_u64(out, report.outcome.stages as u64);
+    put_u32(out, report.outcome.classification.statuses.len() as u32);
+    for &s in &report.outcome.classification.statuses {
+        out.push(status_byte(s));
+    }
+    put_u32(out, report.outcome.marginals.len() as u32);
+    for &m in &report.outcome.marginals {
+        put_f64_bits(out, m);
+    }
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<CohortReport, DecodeError> {
+    let cohort = r.u64()?;
+    let tenant = r.u32()?;
+    let subjects = r.u32()? as usize;
+    let recovered_rounds = r.u64()?;
+    let tests = r.u64()? as usize;
+    let stages = r.u64()? as usize;
+    let n_statuses = r.count(1)?;
+    let statuses = (0..n_statuses)
+        .map(|_| status_from_byte(r.u8()?))
+        .collect::<Result<_, _>>()?;
+    let n_marginals = r.count(8)?;
+    let marginals = (0..n_marginals)
+        .map(|_| r.f64_bits())
+        .collect::<Result<_, _>>()?;
+    Ok(CohortReport {
+        cohort,
+        tenant,
+        subjects,
+        recovered_rounds,
+        outcome: SessionOutcome {
+            tests,
+            stages,
+            subjects,
+            classification: CohortClassification { statuses },
+            marginals,
+        },
+    })
+}
+
+fn put_reports(out: &mut Vec<u8>, reports: &[CohortReport]) {
+    put_u32(out, reports.len() as u32);
+    for report in reports {
+        put_report(out, report);
+    }
+}
+
+fn read_reports(r: &mut Reader<'_>) -> Result<Vec<CohortReport>, DecodeError> {
+    // Smallest report: fixed fields + two empty vectors.
+    let n = r.count(40)?;
+    (0..n).map(|_| read_report(r)).collect()
+}
+
+fn put_blobs(out: &mut Vec<u8>, blobs: &[Vec<u8>]) {
+    put_u32(out, blobs.len() as u32);
+    for blob in blobs {
+        put_bytes(out, blob);
+    }
+}
+
+fn read_blobs(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, DecodeError> {
+    let n = r.count(4)?;
+    (0..n).map(|_| r.bytes()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode
+// ---------------------------------------------------------------------------
+
+fn frame(kind: u8, payload: Vec<u8>) -> Vec<u8> {
+    debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Split `buf` into a validated `(kind, payload)` plus the total bytes the
+/// frame occupies. Shared by both directions; the caller matches the kind.
+fn decode_header(buf: &[u8]) -> Result<(u8, &[u8], usize), DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Torn {
+            have: buf.len(),
+            need: HEADER_LEN,
+        });
+    }
+    let magic = [buf[0], buf[1]];
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    if buf[2] != WIRE_VERSION {
+        return Err(DecodeError::BadVersion(buf[2]));
+    }
+    let kind = buf[3];
+    let len = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized { len });
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Err(DecodeError::Torn {
+            have: buf.len(),
+            need: total,
+        });
+    }
+    Ok((kind, &buf[HEADER_LEN..total], total))
+}
+
+impl Request {
+    /// Encode into one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, mut payload) = (self.kind(), Vec::new());
+        match self {
+            Request::Ping
+            | Request::PollReports
+            | Request::Stats
+            | Request::Drain
+            | Request::Shutdown => {}
+            Request::Submit { tenant, specimens } => {
+                put_u32(&mut payload, *tenant);
+                put_u32(&mut payload, specimens.len() as u32);
+                for s in specimens {
+                    put_f64_bits(&mut payload, s.risk);
+                    payload.push(u8::from(s.infected));
+                }
+            }
+            Request::PlaceCohort { spec } => put_spec(&mut payload, spec),
+            Request::Handoff { checkpoints } => put_blobs(&mut payload, checkpoints),
+        }
+        frame(kind, payload)
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            Request::Ping => KIND_PING,
+            Request::Submit { .. } => KIND_SUBMIT,
+            Request::PlaceCohort { .. } => KIND_PLACE,
+            Request::PollReports => KIND_POLL,
+            Request::Stats => KIND_STATS,
+            Request::Drain => KIND_DRAIN,
+            Request::Handoff { .. } => KIND_HANDOFF,
+            Request::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    /// Decode one request frame from the front of `buf`, returning it and
+    /// the bytes consumed. [`DecodeError::Torn`] means "read more first".
+    pub fn decode(buf: &[u8]) -> Result<(Request, usize), DecodeError> {
+        let (kind, payload, total) = decode_header(buf)?;
+        let mut r = Reader::new(payload);
+        let request = match kind {
+            KIND_PING => Request::Ping,
+            KIND_SUBMIT => {
+                let tenant = r.u32()?;
+                let n = r.count(9)?;
+                let specimens = (0..n)
+                    .map(|_| {
+                        let risk = r.f64_bits()?;
+                        let infected = match r.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(DecodeError::Corrupt("invalid infected byte")),
+                        };
+                        Ok(Specimen { risk, infected })
+                    })
+                    .collect::<Result<_, _>>()?;
+                Request::Submit { tenant, specimens }
+            }
+            KIND_PLACE => Request::PlaceCohort {
+                spec: read_spec(&mut r)?,
+            },
+            KIND_POLL => Request::PollReports,
+            KIND_STATS => Request::Stats,
+            KIND_DRAIN => Request::Drain,
+            KIND_HANDOFF => Request::Handoff {
+                checkpoints: read_blobs(&mut r)?,
+            },
+            KIND_SHUTDOWN => Request::Shutdown,
+            other => return Err(DecodeError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok((request, total))
+    }
+}
+
+impl Response {
+    /// Encode into one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, mut payload) = (self.kind(), Vec::new());
+        match self {
+            Response::Pong => {}
+            Response::Accepted {
+                accepted,
+                shed,
+                reason,
+            } => {
+                put_u32(&mut payload, *accepted);
+                put_u32(&mut payload, *shed);
+                payload.push(reason.map_or(NO_REASON, ShedReason::to_byte));
+            }
+            Response::Reports { reports } => put_reports(&mut payload, reports),
+            Response::Stats { prometheus } => put_bytes(&mut payload, prometheus.as_bytes()),
+            Response::Drained {
+                reports,
+                checkpoints,
+            } => {
+                put_reports(&mut payload, reports);
+                put_blobs(&mut payload, checkpoints);
+            }
+            Response::Error { message } => put_bytes(&mut payload, message.as_bytes()),
+        }
+        frame(kind, payload)
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            Response::Pong => KIND_PONG,
+            Response::Accepted { .. } => KIND_ACCEPTED,
+            Response::Reports { .. } => KIND_REPORTS,
+            Response::Stats { .. } => KIND_STATS_RESP,
+            Response::Drained { .. } => KIND_DRAINED,
+            Response::Error { .. } => KIND_ERROR,
+        }
+    }
+
+    /// Decode one response frame from the front of `buf`, returning it and
+    /// the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Response, usize), DecodeError> {
+        let (kind, payload, total) = decode_header(buf)?;
+        let mut r = Reader::new(payload);
+        let response = match kind {
+            KIND_PONG => Response::Pong,
+            KIND_ACCEPTED => {
+                let accepted = r.u32()?;
+                let shed = r.u32()?;
+                let reason = match r.u8()? {
+                    NO_REASON => None,
+                    byte => Some(
+                        ShedReason::from_byte(byte)
+                            .ok_or(DecodeError::Corrupt("invalid shed reason byte"))?,
+                    ),
+                };
+                Response::Accepted {
+                    accepted,
+                    shed,
+                    reason,
+                }
+            }
+            KIND_REPORTS => Response::Reports {
+                reports: read_reports(&mut r)?,
+            },
+            KIND_STATS_RESP => Response::Stats {
+                prometheus: String::from_utf8(r.bytes()?)
+                    .map_err(|_| DecodeError::Corrupt("stats body is not UTF-8"))?,
+            },
+            KIND_DRAINED => Response::Drained {
+                reports: read_reports(&mut r)?,
+                checkpoints: read_blobs(&mut r)?,
+            },
+            KIND_ERROR => Response::Error {
+                message: String::from_utf8(r.bytes()?)
+                    .map_err(|_| DecodeError::Corrupt("error body is not UTF-8"))?,
+            },
+            other => return Err(DecodeError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok((response, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CohortReport {
+        CohortReport {
+            cohort: 42,
+            tenant: 7,
+            subjects: 3,
+            recovered_rounds: 1,
+            outcome: SessionOutcome {
+                tests: 9,
+                stages: 4,
+                subjects: 3,
+                classification: CohortClassification {
+                    statuses: vec![
+                        SubjectStatus::Negative,
+                        SubjectStatus::Positive,
+                        SubjectStatus::Undetermined,
+                    ],
+                },
+                marginals: vec![0.001, 0.997, 0.5],
+            },
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let spec = CohortSpec::from_specimens(
+            5,
+            99,
+            &[
+                Specimen {
+                    risk: 0.02,
+                    infected: false,
+                },
+                Specimen {
+                    risk: 0.12,
+                    infected: true,
+                },
+            ],
+        )
+        .with_tenant(3);
+        let requests = [
+            Request::Ping,
+            Request::Submit {
+                tenant: 2,
+                specimens: vec![Specimen {
+                    risk: 0.05,
+                    infected: true,
+                }],
+            },
+            Request::PlaceCohort { spec },
+            Request::PollReports,
+            Request::Stats,
+            Request::Drain,
+            Request::Handoff {
+                checkpoints: vec![vec![1, 2, 3], vec![]],
+            },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let bytes = request.encode();
+            let (decoded, used) = Request::decode(&bytes).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Pong,
+            Response::Accepted {
+                accepted: 10,
+                shed: 2,
+                reason: Some(ShedReason::SloExceeded),
+            },
+            Response::Accepted {
+                accepted: 1,
+                shed: 0,
+                reason: None,
+            },
+            Response::Reports {
+                reports: vec![sample_report()],
+            },
+            Response::Stats {
+                prometheus: "sbgt_service_rounds_total 5\n".to_string(),
+            },
+            Response::Drained {
+                reports: vec![sample_report()],
+                checkpoints: vec![vec![9; 32]],
+            },
+            Response::Error {
+                message: "no such cohort".to_string(),
+            },
+        ];
+        for response in responses {
+            let bytes = response.encode();
+            let (decoded, used) = Response::decode(&bytes).unwrap();
+            assert_eq!(decoded, response);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn marginals_survive_bit_for_bit() {
+        let mut report = sample_report();
+        // Values with no short decimal representation: only raw bit
+        // transport preserves them.
+        report.outcome.marginals = vec![0.1 + 0.2, f64::MIN_POSITIVE, 1.0 - 1e-16];
+        let bytes = Response::Reports {
+            reports: vec![report.clone()],
+        }
+        .encode();
+        let (decoded, _) = Response::decode(&bytes).unwrap();
+        let Response::Reports { reports } = decoded else {
+            panic!("wrong response kind");
+        };
+        for (a, b) in reports[0]
+            .outcome
+            .marginals
+            .iter()
+            .zip(&report.outcome.marginals)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn torn_frames_are_typed_not_panics() {
+        let bytes = Request::Submit {
+            tenant: 0,
+            specimens: vec![Specimen {
+                risk: 0.1,
+                infected: false,
+            }],
+        }
+        .encode();
+        // Every strict prefix is Torn — never a panic, never a success.
+        for cut in 0..bytes.len() {
+            match Request::decode(&bytes[..cut]) {
+                Err(DecodeError::Torn { have, need }) => {
+                    assert_eq!(have, cut);
+                    assert!(need > cut);
+                }
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_rejected_before_allocation() {
+        let mut bytes = Request::Ping.encode();
+        bytes[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&bytes),
+            Err(DecodeError::Oversized {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+    }
+
+    #[test]
+    fn garbage_headers_are_typed() {
+        assert_eq!(
+            Request::decode(b"XX\x01\x01\x00\x00\x00\x00"),
+            Err(DecodeError::BadMagic(*b"XX"))
+        );
+        assert_eq!(
+            Request::decode(b"SB\x63\x01\x00\x00\x00\x00"),
+            Err(DecodeError::BadVersion(0x63))
+        );
+        assert_eq!(
+            Request::decode(b"SB\x01\x7e\x00\x00\x00\x00"),
+            Err(DecodeError::UnknownKind(0x7e))
+        );
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed() {
+        // Submit frame whose count promises more specimens than the
+        // payload holds.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 1000);
+        let bytes = frame(KIND_SUBMIT, payload);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+        // Trailing bytes after a complete message.
+        let mut bytes = Request::Ping.encode();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        bytes.push(0);
+        assert_eq!(
+            Request::decode(&bytes),
+            Err(DecodeError::Corrupt("trailing bytes after message"))
+        );
+        // A shed-reason byte outside the known range.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, 1);
+        payload.push(7);
+        let bytes = frame(KIND_ACCEPTED, payload);
+        assert_eq!(
+            Response::decode(&bytes),
+            Err(DecodeError::Corrupt("invalid shed reason byte"))
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # sbgt-net — the network front door and shard fabric for `sbgt-service`
+//!
+//! PR 4 made SBGT a multi-cohort *service*; this crate makes it a
+//! multi-process *system*. Four layers, bottom up:
+//!
+//! * [`frame`] — a length-prefixed, versioned binary wire protocol.
+//!   Floats travel as raw IEEE-754 bits, so a report read over TCP is
+//!   **bit-for-bit** the report the shard computed. Every malformed input
+//!   is a typed [`frame::DecodeError`] (torn, oversized, unknown kind,
+//!   bad magic/version, corrupt payload) — never a panic.
+//! * [`reactor`] — a non-blocking epoll event loop with no async runtime
+//!   and no libc: the three epoll syscalls are issued via inline assembly
+//!   on Linux/x86_64, with a portable polling fallback elsewhere.
+//! * [`server`] / [`client`] — one [`server::ShardServer`] wraps one
+//!   [`sbgt_service::SurveillanceService`] behind the wire verbs (submit,
+//!   place-cohort, poll-reports, stats, drain, handoff, shutdown); the
+//!   blocking [`client::ShardClient`] is the caller side.
+//! * [`ring`] / [`fabric`] — consistent-hash placement of cohorts onto
+//!   shards, and a [`fabric::FabricRouter`] that forms cohorts
+//!   client-side, places them by cohort id, and **rebalances by
+//!   checkpoint handoff**: draining a shard freezes its live cohorts into
+//!   `SBGTCKPT` blobs that resume byte-exactly on whichever shard the
+//!   shrunken ring assigns them.
+//!
+//! The paper's determinism contract survives the network: scheduling,
+//! sharding, and migration decide *where and when* a cohort's rounds run,
+//! never *what* they compute.
+
+pub mod client;
+pub mod fabric;
+pub mod frame;
+pub mod reactor;
+pub mod ring;
+pub mod server;
+
+pub use client::ShardClient;
+pub use fabric::{FabricConfig, FabricCounters, FabricRouter};
+pub use frame::{DecodeError, Request, Response, MAX_PAYLOAD, WIRE_VERSION};
+pub use reactor::{Event, Interest, Reactor};
+pub use ring::{HashRing, RingError, DEFAULT_VNODES};
+pub use server::ShardServer;

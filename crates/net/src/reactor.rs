@@ -1,0 +1,345 @@
+//! A minimal non-blocking I/O reactor — epoll without libc or an async
+//! runtime.
+//!
+//! The workspace vendors no FFI bindings, so on Linux/x86_64 the three
+//! epoll calls (`epoll_create1`, `epoll_ctl`, `epoll_wait`) are issued as
+//! raw syscalls via inline assembly; sockets themselves stay ordinary
+//! `std::net` types in non-blocking mode, and the reactor only deals in
+//! raw file descriptors and caller-chosen tokens. One thread calls
+//! [`Reactor::wait`] in a loop and multiplexes every connection — the
+//! shard server's whole event loop.
+//!
+//! On other targets the same API is backed by a portable readiness
+//! *poller*: every registered descriptor is reported ready after a short
+//! sleep, and the non-blocking socket's `WouldBlock` is the actual
+//! readiness test. Strictly worse latency/CPU than epoll, but correct —
+//! the server code is identical on both backends.
+
+/// Which readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor is readable.
+    pub readable: bool,
+    /// Wake when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — while a response is partially flushed.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// Readable (or the peer closed — a read will then return 0).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup condition; the connection should be torn down.
+    pub closed: bool,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod backend {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const SYS_CLOSE: usize = 3;
+    const SYS_EPOLL_WAIT: usize = 232;
+    const SYS_EPOLL_CTL: usize = 233;
+    const SYS_EPOLL_CREATE1: usize = 291;
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EINTR: i32 = 4;
+
+    /// The x86_64 kernel ABI lays `epoll_event` out packed (u32 events
+    /// immediately followed by the u64 payload).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// One raw syscall; returns the kernel's raw result (negative errno on
+    /// failure).
+    unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<isize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut events = EPOLLRDHUP;
+        if interest.readable {
+            events |= EPOLLIN;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    /// Level-triggered epoll instance.
+    pub struct Reactor {
+        epfd: RawFd,
+    }
+
+    impl Reactor {
+        pub fn new() -> io::Result<Reactor> {
+            let epfd = check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })?;
+            Ok(Reactor {
+                epfd: epfd as RawFd,
+            })
+        }
+
+        fn ctl(&self, op: usize, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = event
+                .as_ref()
+                .map_or(std::ptr::null(), |e| e as *const EpollEvent);
+            check(unsafe {
+                syscall4(
+                    SYS_EPOLL_CTL,
+                    self.epfd as usize,
+                    op,
+                    fd as usize,
+                    ptr as usize,
+                )
+            })
+            .map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                Some(EpollEvent {
+                    events: mask(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        pub fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                Some(EpollEvent {
+                    events: mask(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn wait(&self, timeout: Option<Duration>) -> io::Result<Vec<Event>> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let timeout_ms: isize =
+                timeout.map_or(-1, |d| d.as_millis().min(i32::MAX as u128) as isize);
+            let n = loop {
+                let ret = unsafe {
+                    syscall4(
+                        SYS_EPOLL_WAIT,
+                        self.epfd as usize,
+                        buf.as_mut_ptr() as usize,
+                        buf.len(),
+                        timeout_ms as usize,
+                    )
+                };
+                match check(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.raw_os_error() == Some(EINTR) => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            Ok(buf[..n]
+                .iter()
+                .map(|e| {
+                    let events = e.events;
+                    Event {
+                        token: e.data,
+                        readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                        writable: events & EPOLLOUT != 0,
+                        closed: events & (EPOLLERR | EPOLLHUP) != 0,
+                    }
+                })
+                .collect())
+        }
+    }
+
+    impl Drop for Reactor {
+        fn drop(&mut self) {
+            unsafe {
+                syscall4(SYS_CLOSE, self.epfd as usize, 0, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod backend {
+    use super::{Event, Interest};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Portable fallback: no kernel readiness at all — every registered
+    /// descriptor is reported ready after a short sleep, and the caller's
+    /// non-blocking `WouldBlock` handling does the real filtering.
+    pub struct Reactor {
+        registered: Mutex<BTreeMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl Reactor {
+        pub fn new() -> io::Result<Reactor> {
+            Ok(Reactor {
+                registered: Mutex::new(BTreeMap::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("reactor lock")
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().expect("reactor lock").remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, timeout: Option<Duration>) -> io::Result<Vec<Event>> {
+            let pause = timeout
+                .unwrap_or(Duration::from_millis(5))
+                .min(Duration::from_millis(5));
+            std::thread::sleep(pause);
+            Ok(self
+                .registered
+                .lock()
+                .expect("reactor lock")
+                .values()
+                .map(|&(token, interest)| Event {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    closed: false,
+                })
+                .collect())
+        }
+    }
+}
+
+pub use backend::Reactor;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn readiness_flows_through_the_reactor() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+
+        let reactor = Reactor::new().unwrap();
+        reactor
+            .register(listener.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        // The listener must become readable (accept-ready).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let accepted = loop {
+            assert!(std::time::Instant::now() < deadline, "accept never ready");
+            let events = reactor.wait(Some(Duration::from_millis(100))).unwrap();
+            if events.iter().any(|e| e.token == 1 && e.readable) {
+                match listener.accept() {
+                    Ok((stream, _)) => break stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                    Err(e) => panic!("accept failed: {e}"),
+                }
+            }
+        };
+        accepted.set_nonblocking(true).unwrap();
+        reactor
+            .register(accepted.as_raw_fd(), 2, Interest::READ)
+            .unwrap();
+
+        // Data from the client must surface as readability on token 2.
+        client.write_all(b"hello").unwrap();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 5 {
+            assert!(std::time::Instant::now() < deadline, "data never ready");
+            let events = reactor.wait(Some(Duration::from_millis(100))).unwrap();
+            if events.iter().any(|e| e.token == 2 && e.readable) {
+                let mut chunk = [0u8; 16];
+                match (&accepted).read(&mut chunk) {
+                    Ok(n) => got.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                    Err(e) => panic!("read failed: {e}"),
+                }
+            }
+        }
+        assert_eq!(&got, b"hello");
+        reactor.deregister(accepted.as_raw_fd()).unwrap();
+        reactor.deregister(listener.as_raw_fd()).unwrap();
+    }
+}

@@ -1,0 +1,394 @@
+//! The shard server: one [`SurveillanceService`] behind a TCP front door.
+//!
+//! A single event-loop thread drives every connection through the
+//! [`Reactor`](crate::reactor::Reactor): non-blocking accept, per-connection
+//! read buffers, frame decode, dispatch, and buffered writes (write
+//! interest is armed only while a response is partially flushed). There is
+//! no per-connection thread and no async runtime — the service's own
+//! batcher/worker threads do the heavy lifting, and every front-door verb
+//! is either non-blocking or terminal.
+//!
+//! Malformed input never kills the server: torn frames wait for more
+//! bytes, anything else typed by [`DecodeError`] gets an error frame and
+//! the connection is closed (a desynced length-prefixed stream cannot be
+//! re-synchronized safely).
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::thread;
+use std::time::Duration;
+
+use sbgt_engine::SharedEngine;
+use sbgt_service::{
+    CohortCheckpoint, ServiceConfig, ServiceError, ShedReason, SurveillanceService,
+};
+
+use crate::frame::{DecodeError, Request, Response};
+use crate::reactor::{Interest, Reactor};
+
+const LISTENER_TOKEN: u64 = 0;
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One live connection's buffers.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Close once the out-buffer is flushed (protocol error or EOF).
+    closing: bool,
+}
+
+/// A running shard server. Owns the service and the event-loop thread;
+/// dropping the handle does **not** stop the server — send
+/// [`Request::Shutdown`] (or call [`ShardServer::shutdown`]) and then
+/// [`ShardServer::join`].
+pub struct ShardServer {
+    addr: SocketAddr,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ShardServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`), start the service, and spawn
+    /// the event loop.
+    pub fn bind(
+        addr: &str,
+        engine: SharedEngine,
+        config: ServiceConfig,
+    ) -> io::Result<ShardServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let service = SurveillanceService::start(engine.clone(), config)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let thread = thread::Builder::new()
+            .name("sbgt-shard".to_string())
+            .spawn(move || {
+                let mut state = ServerState {
+                    engine,
+                    service: Some(service),
+                };
+                if let Err(e) = serve(listener, &mut state) {
+                    eprintln!("sbgt-shard event loop error: {e}");
+                }
+            })?;
+        Ok(ShardServer {
+            addr: local,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the event loop to stop by sending [`Request::Shutdown`] over a
+    /// fresh connection, then wait for it to exit.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        let mut client = crate::client::ShardClient::connect(self.addr)?;
+        let _ = client.call(&Request::Shutdown)?;
+        if let Some(thread) = self.thread.take() {
+            thread
+                .join()
+                .map_err(|_| io::Error::other("shard event loop panicked"))?;
+        }
+        Ok(())
+    }
+
+    /// Wait for the event loop to exit (after a wire-side `Shutdown`).
+    pub fn join(mut self) -> io::Result<()> {
+        if let Some(thread) = self.thread.take() {
+            thread
+                .join()
+                .map_err(|_| io::Error::other("shard event loop panicked"))?;
+        }
+        Ok(())
+    }
+}
+
+struct ServerState {
+    engine: SharedEngine,
+    /// `None` once drained — the shard then refuses work.
+    service: Option<SurveillanceService>,
+}
+
+/// Dispatch one decoded request. Blocking verbs (`Drain`) are terminal,
+/// so stalling the event loop on them is acceptable by design.
+fn handle(state: &mut ServerState, request: Request) -> (Response, bool) {
+    let mut shutdown = false;
+    let response = match request {
+        Request::Ping => Response::Pong,
+        Request::Submit { tenant, specimens } => match &state.service {
+            None => drained_error(),
+            Some(service) => {
+                let mut accepted = 0u32;
+                let mut shed = 0u32;
+                let mut reason = None;
+                for specimen in specimens {
+                    match service.try_submit_tagged(tenant, specimen) {
+                        Ok(()) => accepted += 1,
+                        Err(ServiceError::Shed(r)) => {
+                            shed += 1;
+                            reason.get_or_insert(r);
+                        }
+                        Err(other) => {
+                            return (
+                                Response::Error {
+                                    message: other.to_string(),
+                                },
+                                false,
+                            )
+                        }
+                    }
+                }
+                Response::Accepted {
+                    accepted,
+                    shed,
+                    reason,
+                }
+            }
+        },
+        Request::PlaceCohort { spec } => match &state.service {
+            None => drained_error(),
+            Some(service) => match service.place_cohort(spec) {
+                Ok(()) => Response::Accepted {
+                    accepted: 1,
+                    shed: 0,
+                    reason: None,
+                },
+                Err(ServiceError::Shed(reason)) => Response::Accepted {
+                    accepted: 0,
+                    shed: 1,
+                    reason: Some(reason),
+                },
+                Err(other) => Response::Error {
+                    message: other.to_string(),
+                },
+            },
+        },
+        Request::PollReports => match &state.service {
+            None => Response::Reports {
+                reports: Vec::new(),
+            },
+            Some(service) => Response::Reports {
+                reports: service.take_completed(),
+            },
+        },
+        Request::Stats => Response::Stats {
+            prometheus: state.engine.metrics().render_prometheus(),
+        },
+        Request::Drain => match state.service.take() {
+            None => drained_error(),
+            Some(service) => {
+                service.begin_drain();
+                let checkpoint = service.suspend();
+                Response::Drained {
+                    reports: checkpoint.completed,
+                    checkpoints: checkpoint
+                        .cohorts
+                        .iter()
+                        .map(CohortCheckpoint::to_bytes)
+                        .collect(),
+                }
+            }
+        },
+        Request::Handoff { checkpoints } => match &state.service {
+            None => drained_error(),
+            Some(service) => {
+                let mut accepted = 0u32;
+                let mut shed = 0u32;
+                let mut reason: Option<ShedReason> = None;
+                for blob in &checkpoints {
+                    let ckpt = match CohortCheckpoint::from_bytes(blob) {
+                        Ok(ckpt) => ckpt,
+                        Err(e) => {
+                            return (
+                                Response::Error {
+                                    message: format!("handoff checkpoint rejected: {e}"),
+                                },
+                                false,
+                            )
+                        }
+                    };
+                    match service.adopt_cohort(&ckpt) {
+                        Ok(()) => accepted += 1,
+                        Err(ServiceError::Shed(r)) => {
+                            shed += 1;
+                            reason.get_or_insert(r);
+                        }
+                        Err(other) => {
+                            return (
+                                Response::Error {
+                                    message: other.to_string(),
+                                },
+                                false,
+                            )
+                        }
+                    }
+                }
+                Response::Accepted {
+                    accepted,
+                    shed,
+                    reason,
+                }
+            }
+        },
+        Request::Shutdown => {
+            shutdown = true;
+            Response::Pong
+        }
+    };
+    (response, shutdown)
+}
+
+fn drained_error() -> Response {
+    Response::Error {
+        message: "shard drained: no service attached".to_string(),
+    }
+}
+
+fn serve(listener: TcpListener, state: &mut ServerState) -> io::Result<()> {
+    let reactor = Reactor::new()?;
+    reactor.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_token: u64 = 1;
+    let mut shutdown = false;
+
+    loop {
+        // Exit once asked to shut down and every response has drained.
+        if shutdown && conns.values().all(|c| c.outbuf.is_empty()) {
+            return Ok(());
+        }
+        let events = reactor.wait(Some(Duration::from_millis(100)))?;
+        for event in events {
+            if event.token == LISTENER_TOKEN {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(true)?;
+                            stream.set_nodelay(true)?;
+                            let token = next_token;
+                            next_token += 1;
+                            reactor.register(stream.as_raw_fd(), token, Interest::READ)?;
+                            conns.insert(
+                                token,
+                                Conn {
+                                    stream,
+                                    inbuf: Vec::new(),
+                                    outbuf: Vec::new(),
+                                    closing: false,
+                                },
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&event.token) else {
+                continue;
+            };
+            let mut drop_conn = event.closed;
+            if event.readable && !drop_conn {
+                drop_conn = read_and_dispatch(conn, state, &mut shutdown);
+            }
+            if !conn.outbuf.is_empty() {
+                drop_conn |= flush(conn);
+            }
+            let want_write = !conn.outbuf.is_empty();
+            if drop_conn || (conn.closing && !want_write) {
+                let fd = conn.stream.as_raw_fd();
+                let _ = reactor.deregister(fd);
+                conns.remove(&event.token);
+            } else {
+                let interest = if want_write {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                let _ = reactor.rearm(conn.stream.as_raw_fd(), event.token, interest);
+            }
+        }
+    }
+}
+
+/// Read everything available, decode complete frames, dispatch them, and
+/// queue responses. Returns `true` when the connection should be dropped.
+fn read_and_dispatch(conn: &mut Conn, state: &mut ServerState, shutdown: &mut bool) -> bool {
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut eof = false;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    let mut consumed = 0usize;
+    while consumed < conn.inbuf.len() {
+        match Request::decode(&conn.inbuf[consumed..]) {
+            Ok((request, used)) => {
+                consumed += used;
+                let (response, stop) = handle(state, request);
+                conn.outbuf.extend_from_slice(&response.encode());
+                if stop {
+                    *shutdown = true;
+                    conn.closing = true;
+                }
+            }
+            Err(DecodeError::Torn { .. }) => break,
+            Err(error) => {
+                // A desynced stream cannot be re-framed: answer with the
+                // typed error and close after flushing.
+                conn.outbuf.extend_from_slice(
+                    &Response::Error {
+                        message: error.to_string(),
+                    }
+                    .encode(),
+                );
+                conn.closing = true;
+                conn.inbuf.clear();
+                consumed = 0;
+                break;
+            }
+        }
+    }
+    conn.inbuf.drain(..consumed);
+    // EOF with a torn frame left over is a peer that hung up mid-message;
+    // either way the connection is done once responses flush.
+    if eof {
+        conn.closing = true;
+        if conn.outbuf.is_empty() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Flush as much of the out-buffer as the socket accepts. Returns `true`
+/// when the connection broke.
+fn flush(conn: &mut Conn) -> bool {
+    let mut written = 0usize;
+    let result = loop {
+        if written == conn.outbuf.len() {
+            break false;
+        }
+        match conn.stream.write(&conn.outbuf[written..]) {
+            Ok(0) => break true,
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break true,
+        }
+    };
+    conn.outbuf.drain(..written);
+    result
+}

@@ -1,0 +1,125 @@
+//! Property tests for the consistent-hash ring: membership changes move
+//! the minimum set of keys, lookups are stable, and the empty ring is a
+//! typed error.
+
+use proptest::prelude::*;
+
+use sbgt_net::{HashRing, RingError};
+
+fn shard_set() -> impl Strategy<Value = Vec<u32>> {
+    // Distinct shard ids, 2..=8 of them, drawn from a roomy id space.
+    prop::collection::vec(0u32..1000, 2..=8).prop_map(|ids| {
+        let mut ids: Vec<u32> = ids
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if ids.len() < 2 {
+            ids.push(ids[0] + 1);
+        }
+        ids
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding a shard only pulls keys onto the new shard: every key either
+    /// keeps its previous owner or moves to the newcomer — never to a
+    /// third shard. This is the defining property of consistent hashing.
+    #[test]
+    fn adding_a_shard_moves_keys_only_onto_it(
+        shards in shard_set(),
+        new_shard in 1000u32..2000,
+        keys in prop::collection::vec(any::<u64>(), 256),
+    ) {
+        let before = HashRing::with_shards(shards.iter().copied());
+        let mut after = before.clone();
+        after.add_shard(new_shard);
+        for &key in &keys {
+            let old = before.shard_for(key).unwrap();
+            let new = after.shard_for(key).unwrap();
+            prop_assert!(
+                new == old || new == new_shard,
+                "key {key} moved {old} -> {new}, not to the new shard {new_shard}"
+            );
+        }
+    }
+
+    /// Removing a shard only moves the keys it owned; everything else
+    /// keeps its placement (what makes drain/rebalance cheap).
+    #[test]
+    fn removing_a_shard_strands_no_other_keys(
+        shards in shard_set(),
+        victim_idx in 0usize..8,
+        keys in prop::collection::vec(any::<u64>(), 256),
+    ) {
+        let victim = shards[victim_idx % shards.len()];
+        let before = HashRing::with_shards(shards.iter().copied());
+        let mut after = before.clone();
+        after.remove_shard(victim);
+        for &key in &keys {
+            let old = before.shard_for(key).unwrap();
+            let new = after.shard_for(key).unwrap();
+            if old == victim {
+                prop_assert!(new != victim, "key {key} still on the removed shard");
+            } else {
+                prop_assert_eq!(old, new, "key {} relocated needlessly", key);
+            }
+        }
+    }
+
+    /// Relocation volume on a membership change is ~K/M, not a reshuffle:
+    /// the moved fraction stays within a loose multiple of the ideal.
+    #[test]
+    fn relocation_stays_near_k_over_m(
+        shards in shard_set(),
+        new_shard in 1000u32..2000,
+    ) {
+        let m = shards.len();
+        let before = HashRing::with_shards(shards.iter().copied());
+        let mut after = before.clone();
+        after.add_shard(new_shard);
+        let keys: u64 = 4096;
+        let moved = (0..keys)
+            .filter(|&k| before.shard_for(k).unwrap() != after.shard_for(k).unwrap())
+            .count();
+        let ideal = keys as f64 / (m as f64 + 1.0);
+        prop_assert!(
+            (moved as f64) < 3.0 * ideal + 64.0,
+            "{moved} of {keys} keys moved; ideal ≈ {ideal:.0} across {m}+1 shards"
+        );
+    }
+
+    /// Lookups are pure: same ring, same key, same shard — across clones
+    /// and repeated queries — and always a current member.
+    #[test]
+    fn lookups_are_stable_and_land_on_members(
+        shards in shard_set(),
+        keys in prop::collection::vec(any::<u64>(), 64),
+    ) {
+        let ring = HashRing::with_shards(shards.iter().copied());
+        let clone = ring.clone();
+        for &key in &keys {
+            let a = ring.shard_for(key).unwrap();
+            prop_assert_eq!(a, ring.shard_for(key).unwrap());
+            prop_assert_eq!(a, clone.shard_for(key).unwrap());
+            prop_assert!(shards.contains(&a), "lookup returned non-member {}", a);
+        }
+    }
+
+    /// Draining every shard ends at the typed empty-ring error, never a
+    /// panic — the router's terminal state.
+    #[test]
+    fn removing_every_shard_yields_the_typed_error(
+        shards in shard_set(),
+        key in any::<u64>(),
+    ) {
+        let mut ring = HashRing::with_shards(shards.iter().copied());
+        for &shard in &shards {
+            ring.remove_shard(shard);
+        }
+        prop_assert!(ring.is_empty());
+        prop_assert_eq!(ring.shard_for(key), Err(RingError::Empty));
+    }
+}

@@ -10,7 +10,11 @@ use sbgt_lattice::State;
 use crate::cohort::CohortSpec;
 
 const MAGIC: &[u8; 8] = b"SBGTCKPT";
-const VERSION: u32 = 1;
+/// Current write version. v2 added the tenant id after the cohort seed;
+/// v1 checkpoints (pre-tenant) still decode, landing on tenant 0 — the
+/// same lane untagged traffic uses, so a pre-QoS checkpoint resumes with
+/// identical scheduling semantics.
+const VERSION: u32 = 2;
 
 /// Which session kind the cohort was running when frozen. A checkpoint
 /// restores to the **same** kind regardless of the live placement policy,
@@ -74,6 +78,7 @@ impl CohortCheckpoint {
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&self.spec.id.to_le_bytes());
         out.extend_from_slice(&self.spec.seed.to_le_bytes());
+        out.extend_from_slice(&self.spec.tenant.to_le_bytes());
         out.extend_from_slice(&(self.spec.risks.len() as u64).to_le_bytes());
         for r in &self.spec.risks {
             out.extend_from_slice(&r.to_bits().to_le_bytes());
@@ -94,13 +99,18 @@ impl CohortCheckpoint {
             return Err(SnapshotError::Corrupt("bad checkpoint magic".into()));
         }
         let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(SnapshotError::Corrupt(format!(
                 "unsupported checkpoint version {version}"
             )));
         }
         let id = r.u64()?;
         let seed = r.u64()?;
+        let tenant = if version >= 2 {
+            u32::from_le_bytes(r.take(4)?.try_into().unwrap())
+        } else {
+            0
+        };
         let n_risks = r.u64()? as usize;
         if n_risks > bytes.len() / 8 {
             return Err(SnapshotError::Corrupt("risk count exceeds payload".into()));
@@ -135,6 +145,7 @@ impl CohortCheckpoint {
             spec: CohortSpec {
                 id,
                 seed,
+                tenant,
                 risks,
                 truth,
             },
@@ -177,6 +188,7 @@ mod tests {
             spec: CohortSpec {
                 id: 12,
                 seed: 0xDEAD_BEEF,
+                tenant: 3,
                 risks: vec![0.02, 0.05, 0.11],
                 truth: State::from_subjects([1]),
             },
@@ -226,9 +238,40 @@ mod tests {
         assert!(CohortCheckpoint::from_bytes(&ckpt.to_bytes()).is_err());
     }
 
-    /// Byte offset of the kind flag: header + spec fields + risks + truth.
+    /// Byte offset of the kind flag: header + spec fields (id, seed,
+    /// tenant, risk count) + risks + truth.
     fn kind_offset(ckpt: &CohortCheckpoint) -> usize {
-        8 + 4 + 8 + 8 + 8 + ckpt.spec.risks.len() * 8 + 8
+        8 + 4 + 8 + 8 + 4 + 8 + ckpt.spec.risks.len() * 8 + 8
+    }
+
+    /// Hand-encode the v1 layout (no tenant field) for a sample and check
+    /// it still decodes, with the tenant defaulting to lane 0.
+    #[test]
+    fn v1_checkpoints_decode_with_tenant_zero() {
+        let ckpt = sample();
+        let snapshot = ckpt.snapshot.to_bytes();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&ckpt.spec.id.to_le_bytes());
+        v1.extend_from_slice(&ckpt.spec.seed.to_le_bytes());
+        v1.extend_from_slice(&(ckpt.spec.risks.len() as u64).to_le_bytes());
+        for r in &ckpt.spec.risks {
+            v1.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        v1.extend_from_slice(&ckpt.spec.truth.bits().to_le_bytes());
+        v1.push(ckpt.kind.to_byte());
+        v1.extend_from_slice(&ckpt.recoveries.to_le_bytes());
+        v1.extend_from_slice(&(snapshot.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&snapshot);
+
+        let back = CohortCheckpoint::from_bytes(&v1).unwrap();
+        assert_eq!(back.spec.tenant, 0, "v1 lands on the default lane");
+        assert_eq!(back.spec.id, ckpt.spec.id);
+        assert_eq!(back.snapshot, ckpt.snapshot);
+        for (a, b) in ckpt.spec.risks.iter().zip(&back.spec.risks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct CohortSpec {
     pub id: u64,
     /// Per-cohort seed derived from the service base seed and the id.
     pub seed: u64,
+    /// Lab tenant the cohort belongs to (QoS lane). Scheduling metadata
+    /// only: the tenant never enters the seed or any session arithmetic,
+    /// so re-tagging a cohort cannot change its report.
+    pub tenant: u32,
     /// Prior risk per subject, in submission order.
     pub risks: Vec<f64>,
     /// Ground-truth infected set (subject indices within the cohort).
@@ -53,7 +57,8 @@ pub struct CohortSpec {
 }
 
 impl CohortSpec {
-    /// Build the spec for batch `id` from its specimens, in arrival order.
+    /// Build the spec for batch `id` from its specimens, in arrival order,
+    /// for the default tenant 0.
     pub fn from_specimens(id: u64, base_seed: u64, specimens: &[Specimen]) -> Self {
         let seed = base_seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -69,9 +74,16 @@ impl CohortSpec {
         CohortSpec {
             id,
             seed,
+            tenant: 0,
             risks,
             truth,
         }
+    }
+
+    /// Tag the cohort with a tenant id (builder-style; scheduling only).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Cohort size.
@@ -538,6 +550,7 @@ mod tests {
         let spec = CohortSpec {
             id: 3,
             seed: 42,
+            tenant: 0,
             risks: vec![0.05; 8],
             truth: State::from_subjects([0]),
         };

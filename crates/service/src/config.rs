@@ -55,6 +55,13 @@ pub struct ServiceConfig {
     /// default) keeps exact risks — cache sharing then requires identical
     /// risk vectors. Requires [`Self::plan_cache_nodes`] > 0 when set.
     pub plan_risk_buckets: u32,
+    /// Per-lab tenant lanes for the weighted-fair scheduler. Empty (the
+    /// default) means every tenant id seen in traffic shares one implicit
+    /// lane of weight 1 — which makes WFQ degenerate to the original
+    /// round-robin, so pre-tenant deployments behave identically. A tenant
+    /// submitting under an id not listed here also gets weight 1 and no
+    /// SLO.
+    pub tenants: Vec<TenantSpec>,
     /// Per-cohort session parameters (halving vs look-ahead, pool caps...).
     pub session: SbgtConfig,
     /// Assay model shared by all cohorts.
@@ -80,6 +87,7 @@ impl Default for ServiceConfig {
             sparse_threshold: 12,
             plan_cache_nodes: 0,
             plan_risk_buckets: 0,
+            tenants: Vec::new(),
             session: SbgtConfig::default(),
             model: BinaryDilutionModel::pcr_like(),
             base_seed: 0,
@@ -138,10 +146,53 @@ impl ServiceConfig {
                     .into(),
             ));
         }
+        let mut seen = std::collections::BTreeSet::new();
+        for t in &self.tenants {
+            if t.weight == 0 {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "tenant {} has weight 0; a weightless lane would starve \
+                     (omit the tenant instead)",
+                    t.tenant
+                )));
+            }
+            if let Some(slo) = t.slo {
+                if slo.is_zero() {
+                    return Err(ServiceError::InvalidConfig(format!(
+                        "tenant {} has a zero latency SLO, which sheds all \
+                         its traffic unconditionally",
+                        t.tenant
+                    )));
+                }
+            }
+            if !seen.insert(t.tenant) {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "tenant {} configured twice",
+                    t.tenant
+                )));
+            }
+        }
         self.session
             .validate()
             .map_err(|e| ServiceError::InvalidConfig(e.to_string()))?;
         Ok(())
+    }
+
+    /// Scheduler weight of a tenant: its configured lane weight, or 1 for
+    /// any tenant id not explicitly listed.
+    pub fn tenant_weight(&self, tenant: u32) -> u32 {
+        self.tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map(|t| t.weight)
+            .unwrap_or(1)
+    }
+
+    /// Latency SLO of a tenant, if one is configured.
+    pub fn tenant_slo(&self, tenant: u32) -> Option<Duration> {
+        self.tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .and_then(|t| t.slo)
     }
 
     /// The session-placement slice of the configuration: everything a
@@ -154,6 +205,32 @@ impl ServiceConfig {
             sparse_epsilon: self.sparse_epsilon,
             sparse_threshold: self.sparse_threshold,
             plan_risk_buckets: self.plan_risk_buckets,
+        }
+    }
+}
+
+/// One lab tenant's QoS lane: its share of the engine under contention
+/// and an optional latency target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant id carried by tagged submissions.
+    pub tenant: u32,
+    /// Weighted-fair-queueing weight (must be ≥ 1): under saturation, a
+    /// weight-2 tenant receives twice the engine rounds of a weight-1 one.
+    pub weight: u32,
+    /// Optional p99 round-latency SLO. While the tenant's observed p99
+    /// exceeds it, new submissions for this tenant shed with
+    /// [`crate::ShedReason::SloExceeded`].
+    pub slo: Option<Duration>,
+}
+
+impl TenantSpec {
+    /// A weight-only lane with no SLO.
+    pub fn weighted(tenant: u32, weight: u32) -> Self {
+        TenantSpec {
+            tenant,
+            weight,
+            slo: None,
         }
     }
 }
@@ -258,6 +335,31 @@ mod tests {
                 ServiceConfig {
                     plan_risk_buckets: 32,
                     plan_cache_nodes: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "tenant-weight-zero",
+                ServiceConfig {
+                    tenants: vec![TenantSpec::weighted(1, 0)],
+                    ..base.clone()
+                },
+            ),
+            (
+                "tenant-duplicate",
+                ServiceConfig {
+                    tenants: vec![TenantSpec::weighted(1, 2), TenantSpec::weighted(1, 3)],
+                    ..base.clone()
+                },
+            ),
+            (
+                "tenant-zero-slo",
+                ServiceConfig {
+                    tenants: vec![TenantSpec {
+                        tenant: 1,
+                        weight: 1,
+                        slo: Some(Duration::ZERO),
+                    }],
                     ..base
                 },
             ),
@@ -267,6 +369,27 @@ mod tests {
                 "{label} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn tenant_lookup_defaults_to_weight_one_no_slo() {
+        let cfg = ServiceConfig {
+            tenants: vec![
+                TenantSpec::weighted(7, 3),
+                TenantSpec {
+                    tenant: 9,
+                    weight: 1,
+                    slo: Some(Duration::from_millis(20)),
+                },
+            ],
+            ..ServiceConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.tenant_weight(7), 3);
+        assert_eq!(cfg.tenant_weight(42), 1, "unlisted tenants get weight 1");
+        assert_eq!(cfg.tenant_slo(9), Some(Duration::from_millis(20)));
+        assert_eq!(cfg.tenant_slo(7), None);
+        assert_eq!(cfg.tenant_slo(42), None);
     }
 
     #[test]

@@ -1,17 +1,55 @@
 //! Typed service errors — every refusal the service can hand a caller.
 
 /// Why a submission was shed instead of accepted.
+///
+/// Marked `#[non_exhaustive]`: shedding is the service's pressure-relief
+/// valve and new causes will keep appearing (the enum started life with
+/// only [`ShedReason::QueueFull`]), so downstream matches must carry a
+/// wildcard arm and a new variant is not a breaking change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ShedReason {
     /// The bounded ingress queue is at capacity; the caller should back
     /// off or route the specimen elsewhere.
     QueueFull,
+    /// The tenant's latency SLO is currently breached; its traffic is shed
+    /// until the lane's round latency drops back under the target, so one
+    /// overloaded lab cannot silently degrade every other tenant.
+    SloExceeded,
+    /// The service is draining for shard handoff and no longer opens
+    /// cohorts; route the specimen to another shard.
+    Draining,
+}
+
+impl ShedReason {
+    /// Stable wire byte for the reason (the `sbgt-net` protocol ships shed
+    /// reasons to remote clients). Room is left for future variants; the
+    /// decoder treats unknown bytes as a typed error, not a panic.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ShedReason::QueueFull => 0,
+            ShedReason::SloExceeded => 1,
+            ShedReason::Draining => 2,
+        }
+    }
+
+    /// Inverse of [`ShedReason::to_byte`].
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(ShedReason::QueueFull),
+            1 => Some(ShedReason::SloExceeded),
+            2 => Some(ShedReason::Draining),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ShedReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ShedReason::QueueFull => write!(f, "ingress queue full"),
+            ShedReason::SloExceeded => write!(f, "tenant latency SLO exceeded"),
+            ShedReason::Draining => write!(f, "service draining for handoff"),
         }
     }
 }
@@ -55,8 +93,26 @@ mod tests {
         assert!(ServiceError::Shed(ShedReason::QueueFull)
             .to_string()
             .contains("queue full"));
+        assert!(ServiceError::Shed(ShedReason::SloExceeded)
+            .to_string()
+            .contains("SLO"));
+        assert!(ServiceError::Shed(ShedReason::Draining)
+            .to_string()
+            .contains("draining"));
         assert!(ServiceError::InvalidConfig("x".into())
             .to_string()
             .contains("invalid"));
+    }
+
+    #[test]
+    fn shed_reason_wire_bytes_round_trip() {
+        for reason in [
+            ShedReason::QueueFull,
+            ShedReason::SloExceeded,
+            ShedReason::Draining,
+        ] {
+            assert_eq!(ShedReason::from_byte(reason.to_byte()), Some(reason));
+        }
+        assert_eq!(ShedReason::from_byte(250), None);
     }
 }

@@ -10,8 +10,11 @@
 //!   [`ServiceError::Shed`] instead of unbounded buffering;
 //! * groups specimens into per-cohort batches, closed by **size or
 //!   deadline**, with a second admission stage capping live cohorts;
-//! * drives every cohort's Bayesian session **round by round, fair
-//!   round-robin**, on one shared [`sbgt_engine`] executor;
+//! * drives every cohort's Bayesian session **round by round under
+//!   weighted fair queueing** over per-lab tenant lanes ([`WfqScheduler`];
+//!   uniform weights degenerate to the original round-robin) on one
+//!   shared [`sbgt_engine`] executor, with optional per-tenant latency
+//!   SLOs that shed at admission when breached;
 //! * **checkpoints and restores** full session state bit-for-bit
 //!   ([`CohortCheckpoint`], [`ServiceCheckpoint`]) for eviction, migration,
 //!   and rollback-and-replay recovery when an engine fault kills a round;
@@ -50,14 +53,16 @@ pub mod cohort;
 pub mod config;
 pub mod error;
 pub mod service;
+pub mod wfq;
 
 pub use checkpoint::{CohortCheckpoint, CohortKind};
 pub use cohort::{
     batch_specimens, lab_outcome, run_cohort_serial, CohortActor, CohortSpec, Specimen,
 };
-pub use config::{ServiceConfig, SessionPolicy};
+pub use config::{ServiceConfig, SessionPolicy, TenantSpec};
 pub use error::{ServiceError, ShedReason};
 pub use service::{CohortReport, ServiceCheckpoint, SurveillanceService};
+pub use wfq::WfqScheduler;
 
 // Plan-cache types a service embedder needs to own a shared cache.
 pub use sbgt::{PlanCache, PlanCacheStats, PlanCodecError, RiskQuantizer};

@@ -1,13 +1,13 @@
 //! The surveillance service: bounded ingestion → deadline/size batching →
-//! fair round-robin round scheduling on one shared engine.
+//! weighted-fair round scheduling on one shared engine.
 //!
 //! Threading model (no async runtime; plain threads and channels):
 //!
 //! ```text
 //!  submit/try_submit ──► bounded ingress ──► batcher thread
-//!                        (admission ctl)       │ size or deadline trigger
+//!  (tenant-tagged)        (admission ctl)      │ per-tenant size/deadline
 //!                                              ▼
-//!                                    ready queue (FIFO = round-robin)
+//!                                 WFQ ready queue (per-tenant lanes)
 //!                                      │               ▲
 //!                                      ▼               │ re-enqueue
 //!                                  worker × N ── one round per pickup
@@ -17,11 +17,13 @@
 //! ```
 //!
 //! One pickup = one session round, and a progressed cohort goes to the
-//! *back* of the FIFO, so cohorts share the engine fairly regardless of
-//! how many rounds each needs. All correctness-relevant state advances in
+//! back of its tenant's lane, so cohorts share the engine in proportion
+//! to their tenant's weight regardless of how many rounds each needs
+//! (uniform weights reproduce the original round-robin; see
+//! [`crate::wfq`]). All correctness-relevant state advances in
 //! deterministic per-cohort steps; the scheduler only decides *when* a
 //! round runs, never *what* it computes — which is why a service run is
-//! bit-for-bit identical to a serial one.
+//! bit-for-bit identical to a serial one under any weight assignment.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,12 +41,15 @@ use crate::checkpoint::CohortCheckpoint;
 use crate::cohort::{CohortActor, CohortSpec, Specimen};
 use crate::config::ServiceConfig;
 use crate::error::{ServiceError, ShedReason};
+use crate::wfq::WfqScheduler;
 
 /// Final classification of one cohort, as emitted by the service.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CohortReport {
     /// Cohort id (batch sequence number).
     pub cohort: u64,
+    /// Lab tenant the cohort belonged to.
+    pub tenant: u32,
     /// Cohort size.
     pub subjects: usize,
     /// Rollback-and-replay cycles the cohort consumed (0 on a clean run).
@@ -67,24 +72,33 @@ pub struct ServiceCheckpoint {
     pub plans: Vec<u8>,
 }
 
-enum WorkItem {
-    Round(Box<CohortActor>),
-    Stop,
+/// One tenant-tagged ingress entry.
+struct Tagged {
+    tenant: u32,
+    specimen: Specimen,
 }
 
 /// Shared counters the batcher, workers, and control plane coordinate on.
 struct Shared {
     /// Set during suspension: workers park actors instead of running them.
     suspended: AtomicBool,
-    /// Cohorts opened (batch sequence counter).
+    /// Set while draining for handoff: new submissions shed with
+    /// [`ShedReason::Draining`]; queued work still runs to completion.
+    draining: AtomicBool,
+    /// Cohorts opened (batch sequence counter — also the id allocator for
+    /// batcher-formed cohorts; fabric placement assigns ids externally).
     opened: AtomicU64,
-    /// Reports of classified cohorts.
+    /// Cohorts classified. Kept as its own counter (not `reports.len()`)
+    /// so [`SurveillanceService::take_completed`] can hand reports out
+    /// incrementally without unbalancing the drain/suspend ledgers.
+    completed: AtomicU64,
+    /// Reports of classified cohorts not yet taken by the embedder.
     reports: Mutex<Vec<CohortReport>>,
 }
 
 impl Shared {
     fn completed(&self) -> u64 {
-        self.reports.lock().len() as u64
+        self.completed.load(Ordering::SeqCst)
     }
 }
 
@@ -92,8 +106,8 @@ impl Shared {
 pub struct SurveillanceService {
     engine: SharedEngine,
     config: ServiceConfig,
-    ingress_tx: Option<Sender<Specimen>>,
-    ready_tx: Sender<WorkItem>,
+    ingress_tx: Option<Sender<Tagged>>,
+    sched: Arc<WfqScheduler<Box<CohortActor>>>,
     parked_rx: Receiver<CohortActor>,
     shared: Arc<Shared>,
     batcher: Option<thread::JoinHandle<()>>,
@@ -126,12 +140,16 @@ impl SurveillanceService {
         cache: Option<Arc<PlanCache>>,
     ) -> Result<Self, ServiceError> {
         config.validate()?;
-        let (ingress_tx, ingress_rx) = bounded::<Specimen>(config.queue_capacity);
-        let (ready_tx, ready_rx) = unbounded::<WorkItem>();
+        let (ingress_tx, ingress_rx) = bounded::<Tagged>(config.queue_capacity);
+        let sched = Arc::new(WfqScheduler::new(
+            config.tenants.iter().map(|t| (t.tenant, t.weight)),
+        ));
         let (parked_tx, parked_rx) = unbounded::<CohortActor>();
         let shared = Arc::new(Shared {
             suspended: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             opened: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
             reports: Mutex::new(Vec::new()),
         });
 
@@ -140,12 +158,12 @@ impl SurveillanceService {
         let batcher = {
             let engine = engine.clone();
             let config = config.clone();
-            let ready_tx = ready_tx.clone();
+            let sched = Arc::clone(&sched);
             let shared = Arc::clone(&shared);
             let cache = cache.clone();
             thread::Builder::new()
                 .name("svc-batcher".to_string())
-                .spawn(move || batcher_loop(engine, config, ingress_rx, ready_tx, shared, cache))
+                .spawn(move || batcher_loop(engine, config, ingress_rx, sched, shared, cache))
                 .expect("spawn batcher thread")
         };
 
@@ -153,15 +171,12 @@ impl SurveillanceService {
             .map(|i| {
                 let engine = engine.clone();
                 let config = config.clone();
-                let ready_rx = ready_rx.clone();
-                let ready_tx = ready_tx.clone();
+                let sched = Arc::clone(&sched);
                 let parked_tx = parked_tx.clone();
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("svc-worker-{i}"))
-                    .spawn(move || {
-                        worker_loop(engine, config, ready_rx, ready_tx, parked_tx, shared)
-                    })
+                    .spawn(move || worker_loop(engine, config, sched, parked_tx, shared))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -171,7 +186,7 @@ impl SurveillanceService {
             engine,
             config,
             ingress_tx: Some(ingress_tx),
-            ready_tx,
+            sched,
             parked_rx,
             shared,
             batcher: Some(batcher),
@@ -205,36 +220,21 @@ impl SurveillanceService {
             .enabled_at(TraceLevel::Spans)
             .then(|| (rec.intern("service:restore"), rec.now_ns()));
         for ckpt in &checkpoint.cohorts {
-            let mut actor = CohortActor::restore(
-                ckpt,
-                service.config.model,
-                service.config.session,
-                service.config.policy(),
-            )
-            .map_err(|e| ServiceError::Restore(e.to_string()))?;
-            if let Some(cache) = &service.plan_cache {
-                actor.attach_plan_cache(cache);
-            }
-            service.shared.opened.fetch_add(1, Ordering::SeqCst);
-            assert!(
-                service
-                    .ready_tx
-                    .send(WorkItem::Round(Box::new(actor)))
-                    .is_ok(),
-                "workers hold the ready receiver"
-            );
+            service.adopt_cohort(ckpt)?;
         }
         {
             let mut reports = service.shared.reports.lock();
             let carried = checkpoint.completed.len() as u64;
             reports.extend(checkpoint.completed);
-            // Carried reports count as opened too, so drain's ledger of
-            // opened == reported stays balanced.
+            // Carried reports count as opened (and completed) too, so
+            // drain's ledger of opened == reported stays balanced.
             service.shared.opened.fetch_add(carried, Ordering::SeqCst);
+            service
+                .shared
+                .completed
+                .fetch_add(carried, Ordering::SeqCst);
         }
-        service.engine.metrics().update_service(|s| {
-            s.restores += restored;
-        });
+        debug_assert_eq!(restored, checkpoint.cohorts.len() as u64);
         if let Some((name, start)) = obs_start {
             let rec = service.engine.obs();
             rec.record_span_ending_now(SpanKind::Service, name, start, SpanMeta::default());
@@ -249,12 +249,35 @@ impl SurveillanceService {
 
     /// Non-blocking submission with admission control: a full ingress
     /// queue sheds the specimen with a typed reason instead of stalling
-    /// the caller or buffering without bound.
+    /// the caller or buffering without bound. Submits on the default
+    /// tenant lane (0); see [`SurveillanceService::try_submit_tagged`].
     pub fn try_submit(&self, specimen: Specimen) -> Result<(), ServiceError> {
+        self.try_submit_tagged(0, specimen)
+    }
+
+    /// [`SurveillanceService::try_submit`] on a tenant's QoS lane.
+    /// Admission control runs three gates, each a typed shed: the service
+    /// is draining for handoff ([`ShedReason::Draining`]), the tenant's
+    /// p99 round latency exceeds its configured SLO
+    /// ([`ShedReason::SloExceeded`]), or the bounded ingress queue is full
+    /// ([`ShedReason::QueueFull`]).
+    pub fn try_submit_tagged(&self, tenant: u32, specimen: Specimen) -> Result<(), ServiceError> {
         let Some(tx) = &self.ingress_tx else {
             return Err(ServiceError::Closed);
         };
-        match tx.try_send(specimen) {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(self.shed(ShedReason::Draining));
+        }
+        if let Some(slo) = self.config.tenant_slo(tenant) {
+            let p99 = self
+                .engine
+                .metrics()
+                .tenant_latency_percentile(tenant, 0.99);
+            if p99.is_some_and(|p| p > slo) {
+                return Err(self.shed(ShedReason::SloExceeded));
+            }
+        }
+        match tx.try_send(Tagged { tenant, specimen }) {
             Ok(()) => {
                 let depth = tx.len();
                 self.engine.metrics().update_service(|s| {
@@ -264,16 +287,27 @@ impl SurveillanceService {
                 self.obs_queue_depth(depth);
                 Ok(())
             }
-            Err(e) if e.is_full() => {
-                self.engine.metrics().update_service(|s| s.shed += 1);
-                let rec = self.engine.obs();
-                if rec.enabled_at(TraceLevel::Full) {
-                    rec.mark(rec.intern("service:shed"), SpanMeta::default());
-                }
-                Err(ServiceError::Shed(ShedReason::QueueFull))
-            }
+            Err(e) if e.is_full() => Err(self.shed(ShedReason::QueueFull)),
             Err(_) => Err(ServiceError::Closed),
         }
+    }
+
+    /// Count and mark a shed, returning the typed error to hand the
+    /// caller.
+    fn shed(&self, reason: ShedReason) -> ServiceError {
+        self.engine.metrics().update_service(|s| {
+            s.shed += 1;
+            match reason {
+                ShedReason::SloExceeded => s.shed_slo += 1,
+                ShedReason::Draining => s.shed_draining += 1,
+                _ => {}
+            }
+        });
+        let rec = self.engine.obs();
+        if rec.enabled_at(TraceLevel::Full) {
+            rec.mark(rec.intern("service:shed"), SpanMeta::default());
+        }
+        ServiceError::Shed(reason)
     }
 
     /// Emit the ingress depth as a counter track ([`TraceLevel::Full`]):
@@ -285,12 +319,23 @@ impl SurveillanceService {
         }
     }
 
-    /// Blocking submission: waits for queue space instead of shedding.
+    /// Blocking submission: waits for queue space instead of shedding
+    /// (draining still sheds — handoff must converge, so it is never
+    /// waited out). Submits on the default tenant lane (0).
     pub fn submit(&self, specimen: Specimen) -> Result<(), ServiceError> {
+        self.submit_tagged(0, specimen)
+    }
+
+    /// [`SurveillanceService::submit`] on a tenant's QoS lane.
+    pub fn submit_tagged(&self, tenant: u32, specimen: Specimen) -> Result<(), ServiceError> {
         let Some(tx) = &self.ingress_tx else {
             return Err(ServiceError::Closed);
         };
-        tx.send(specimen).map_err(|_| ServiceError::Closed)?;
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(self.shed(ShedReason::Draining));
+        }
+        tx.send(Tagged { tenant, specimen })
+            .map_err(|_| ServiceError::Closed)?;
         let depth = tx.len();
         self.engine.metrics().update_service(|s| {
             s.submitted += 1;
@@ -298,6 +343,101 @@ impl SurveillanceService {
         });
         self.obs_queue_depth(depth);
         Ok(())
+    }
+
+    /// Open a pre-batched cohort directly, bypassing the ingress batcher —
+    /// the shard-fabric placement path, where a router assigns globally
+    /// unique cohort ids and consistent-hashes them onto shards. Subject
+    /// to the same admission control as batched traffic: sheds typed when
+    /// draining or when the live-cohort cap is reached. Do not mix with
+    /// specimen-level submission on the same service: the batcher
+    /// allocates ids from its own sequence and they would collide.
+    pub fn place_cohort(&self, spec: CohortSpec) -> Result<(), ServiceError> {
+        if self.ingress_tx.is_none() {
+            return Err(ServiceError::Closed);
+        }
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(self.shed(ShedReason::Draining));
+        }
+        if self.shared.opened.load(Ordering::SeqCst) - self.shared.completed()
+            >= self.config.max_live_cohorts as u64
+        {
+            return Err(self.shed(ShedReason::QueueFull));
+        }
+        let subjects = spec.n_subjects() as u64;
+        let tenant = spec.tenant;
+        let mut actor = CohortActor::new_recovering(
+            &self.engine,
+            spec,
+            self.config.model,
+            self.config.session,
+            self.config.policy(),
+            self.config.max_recoveries,
+        );
+        if let Some(cache) = &self.plan_cache {
+            actor.attach_plan_cache(cache);
+        }
+        let creation_recoveries = actor.recoveries();
+        self.shared.opened.fetch_add(1, Ordering::SeqCst);
+        self.engine.metrics().update_service(|s| {
+            s.submitted += subjects;
+            s.batches += 1;
+            s.cohorts_opened += 1;
+            s.recovered_rounds += creation_recoveries;
+        });
+        self.sched.push(tenant, Box::new(actor));
+        Ok(())
+    }
+
+    /// Adopt a frozen cohort from another shard (the receiving side of a
+    /// drain/handoff): restore its actor bit-for-bit and enqueue it on its
+    /// tenant's lane. The checkpoint codec guarantees the migrated cohort
+    /// continues exactly where it stopped, so migration cannot change any
+    /// report.
+    pub fn adopt_cohort(&self, checkpoint: &CohortCheckpoint) -> Result<(), ServiceError> {
+        let mut actor = CohortActor::restore(
+            checkpoint,
+            self.config.model,
+            self.config.session,
+            self.config.policy(),
+        )
+        .map_err(|e| ServiceError::Restore(e.to_string()))?;
+        if let Some(cache) = &self.plan_cache {
+            actor.attach_plan_cache(cache);
+        }
+        let tenant = actor.spec().tenant;
+        self.shared.opened.fetch_add(1, Ordering::SeqCst);
+        self.engine.metrics().update_service(|s| s.restores += 1);
+        self.sched.push(tenant, Box::new(actor));
+        Ok(())
+    }
+
+    /// Stop admitting traffic (subsequent submissions shed with
+    /// [`ShedReason::Draining`]) while queued work keeps running — the
+    /// first step of a shard handoff, ahead of
+    /// [`SurveillanceService::suspend`].
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`SurveillanceService::begin_drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Hand out the reports completed so far and clear the buffer — the
+    /// long-running server's poll path, where nobody ever calls
+    /// [`SurveillanceService::drain`]. Reports are sorted by cohort id;
+    /// the drain/suspend ledgers are unaffected.
+    pub fn take_completed(&self) -> Vec<CohortReport> {
+        let mut reports = std::mem::take(&mut *self.shared.reports.lock());
+        reports.sort_by_key(|r| r.cohort);
+        reports
+    }
+
+    /// Cohorts opened but not yet classified.
+    pub fn live_cohorts(&self) -> u64 {
+        self.shared.opened.load(Ordering::SeqCst) - self.shared.completed()
     }
 
     /// Close ingress, flush the batcher, run every cohort to
@@ -321,9 +461,10 @@ impl SurveillanceService {
         reports.sort_by_key(|r| r.cohort);
         // Counter-consistency ledger: with ingress closed and the wait
         // above done, live == 0, so completed must equal opened — every
-        // admitted specimen is in exactly one report.
+        // admitted specimen is in exactly one report (some of which the
+        // embedder may already hold via `take_completed`).
         debug_assert_eq!(
-            reports.len() as u64,
+            self.shared.completed(),
             expected,
             "drain ledger: completed + live != opened"
         );
@@ -405,9 +546,7 @@ impl SurveillanceService {
     }
 
     fn stop_workers(&mut self) {
-        for _ in 0..self.workers.len() {
-            let _ = self.ready_tx.send(WorkItem::Stop);
-        }
+        self.sched.close();
         for worker in self.workers.drain(..) {
             worker.join().expect("worker thread panicked");
         }
@@ -424,9 +563,7 @@ impl Drop for SurveillanceService {
         }
         if !self.workers.is_empty() {
             self.shared.suspended.store(true, Ordering::SeqCst);
-            for _ in 0..self.workers.len() {
-                let _ = self.ready_tx.send(WorkItem::Stop);
-            }
+            self.sched.close();
             for worker in self.workers.drain(..) {
                 let _ = worker.join();
             }
@@ -434,55 +571,106 @@ impl Drop for SurveillanceService {
     }
 }
 
-/// Batcher: group ingress specimens into cohorts, closing a batch on size
-/// or on `batch_deadline` after its first specimen. Holds new cohorts
-/// while the live count is at `max_live_cohorts`, back-pressuring the
-/// bounded ingress queue (which then sheds at `try_submit`).
+/// One tenant's open (not yet sealed) batch in the batcher.
+struct OpenBatch {
+    specimens: Vec<Specimen>,
+    /// Seal-by time: `batch_deadline` after the first specimen arrived.
+    deadline: Instant,
+}
+
+/// Batcher: group ingress specimens into per-tenant cohorts, closing a
+/// batch on size or on `batch_deadline` after its first specimen. Each
+/// tenant accumulates independently — a trickle from lab A never delays
+/// a burst from lab B, and a cohort only ever contains one tenant's
+/// specimens (the unit the WFQ lanes schedule). Holds new cohorts while
+/// the live count is at `max_live_cohorts`, back-pressuring the bounded
+/// ingress queue (which then sheds at `try_submit`).
 fn batcher_loop(
     engine: SharedEngine,
     config: ServiceConfig,
-    ingress_rx: Receiver<Specimen>,
-    ready_tx: Sender<WorkItem>,
+    ingress_rx: Receiver<Tagged>,
+    sched: Arc<WfqScheduler<Box<CohortActor>>>,
     shared: Arc<Shared>,
     cache: Option<Arc<PlanCache>>,
 ) {
-    let mut batch: Vec<Specimen> = Vec::new();
-    let mut deadline: Option<Instant> = None;
+    let mut open: std::collections::BTreeMap<u32, OpenBatch> = std::collections::BTreeMap::new();
     loop {
-        let message = match deadline {
+        // Sleep until the next message or the earliest open deadline.
+        let next_deadline = open.values().map(|b| b.deadline).min();
+        let message = match next_deadline {
             None => ingress_rx
                 .recv()
                 .map_err(|_| RecvTimeoutError::Disconnected),
             Some(d) => ingress_rx.recv_timeout(d.saturating_duration_since(Instant::now())),
         };
         match message {
-            Ok(specimen) => {
-                if batch.is_empty() {
-                    deadline = Some(Instant::now() + config.batch_deadline);
-                }
-                batch.push(specimen);
-                if batch.len() >= config.batch_size {
-                    flush_batch(&engine, &config, &mut batch, &ready_tx, &shared, &cache);
-                    deadline = None;
+            Ok(Tagged { tenant, specimen }) => {
+                let batch = open.entry(tenant).or_insert_with(|| OpenBatch {
+                    specimens: Vec::new(),
+                    deadline: Instant::now() + config.batch_deadline,
+                });
+                batch.specimens.push(specimen);
+                if batch.specimens.len() >= config.batch_size {
+                    let mut batch = open.remove(&tenant).expect("batch just inserted");
+                    flush_batch(
+                        &engine,
+                        &config,
+                        tenant,
+                        &mut batch.specimens,
+                        &sched,
+                        &shared,
+                        &cache,
+                    );
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared, &cache);
-                deadline = None;
+                // Seal every batch whose deadline has passed (clock reads
+                // can land slightly before the stored deadline).
+                let now = Instant::now();
+                let due: Vec<u32> = open
+                    .iter()
+                    .filter(|(_, b)| b.deadline <= now)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for tenant in due {
+                    let mut batch = open.remove(&tenant).expect("due batch exists");
+                    flush_batch(
+                        &engine,
+                        &config,
+                        tenant,
+                        &mut batch.specimens,
+                        &sched,
+                        &shared,
+                        &cache,
+                    );
+                }
             }
             Err(RecvTimeoutError::Disconnected) => {
-                flush_batch(&engine, &config, &mut batch, &ready_tx, &shared, &cache);
+                // Ingress closed: seal everything still open and exit.
+                for (tenant, mut batch) in std::mem::take(&mut open) {
+                    flush_batch(
+                        &engine,
+                        &config,
+                        tenant,
+                        &mut batch.specimens,
+                        &sched,
+                        &shared,
+                        &cache,
+                    );
+                }
                 return;
             }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn flush_batch(
     engine: &SharedEngine,
     config: &ServiceConfig,
+    tenant: u32,
     batch: &mut Vec<Specimen>,
-    ready_tx: &Sender<WorkItem>,
+    sched: &WfqScheduler<Box<CohortActor>>,
     shared: &Shared,
     cache: &Option<Arc<PlanCache>>,
 ) {
@@ -504,7 +692,7 @@ fn flush_batch(
     let obs_start = rec
         .enabled_at(TraceLevel::Spans)
         .then(|| (rec.intern("service:batch-seal"), rec.now_ns()));
-    let spec = CohortSpec::from_specimens(id, config.base_seed, batch);
+    let spec = CohortSpec::from_specimens(id, config.base_seed, batch).with_tenant(tenant);
     batch.clear();
     let mut actor = CohortActor::new_recovering(
         engine,
@@ -532,70 +720,67 @@ fn flush_batch(
         let live = shared.opened.load(Ordering::SeqCst) - shared.completed();
         rec.counter(rec.intern("live_cohorts"), live);
     }
-    assert!(
-        ready_tx.send(WorkItem::Round(Box::new(actor))).is_ok(),
-        "workers hold the ready receiver"
-    );
+    sched.push(tenant, Box::new(actor));
 }
 
-/// Worker: pull one cohort, run one round, requeue or report. FIFO order
-/// makes this fair round-robin across all live cohorts.
+/// Worker: pull the next cohort from the weighted-fair ready queue, run
+/// one round, requeue or report. The scheduler hands out rounds in
+/// proportion to tenant weights; within a lane cohorts round-robin.
 fn worker_loop(
     engine: SharedEngine,
     config: ServiceConfig,
-    ready_rx: Receiver<WorkItem>,
-    ready_tx: Sender<WorkItem>,
+    sched: Arc<WfqScheduler<Box<CohortActor>>>,
     parked_tx: Sender<CohortActor>,
     shared: Arc<Shared>,
 ) {
-    loop {
-        match ready_rx.recv() {
-            Err(_) | Ok(WorkItem::Stop) => return,
-            Ok(WorkItem::Round(mut actor)) => {
-                if shared.suspended.load(Ordering::SeqCst) {
-                    let _ = parked_tx.send(*actor);
-                    continue;
-                }
-                let rec = engine.obs();
-                let obs_start = rec
-                    .enabled_at(TraceLevel::Spans)
-                    .then(|| (rec.intern("service:round"), rec.now_ns()));
-                let start = Instant::now();
-                let run = actor.run_round_recovering(&engine, config.max_recoveries);
-                let elapsed = start.elapsed();
-                if let Some((name, start_ns)) = obs_start {
-                    rec.record_span_ending_now(
-                        SpanKind::Service,
-                        name,
-                        start_ns,
-                        SpanMeta::for_cohort(actor.spec().id),
-                    );
-                }
-                engine.metrics().update_service(|s| {
-                    s.record_round(elapsed);
-                    s.recovered_rounds += run.recovered;
+    while let Some(mut actor) = sched.pop() {
+        if shared.suspended.load(Ordering::SeqCst) {
+            let _ = parked_tx.send(*actor);
+            continue;
+        }
+        let tenant = actor.spec().tenant;
+        let rec = engine.obs();
+        let obs_start = rec
+            .enabled_at(TraceLevel::Spans)
+            .then(|| (rec.intern("service:round"), rec.now_ns()));
+        let start = Instant::now();
+        let run = actor.run_round_recovering(&engine, config.max_recoveries);
+        let elapsed = start.elapsed();
+        if let Some((name, start_ns)) = obs_start {
+            rec.record_span_ending_now(
+                SpanKind::Service,
+                name,
+                start_ns,
+                SpanMeta::for_cohort(actor.spec().id),
+            );
+        }
+        engine.metrics().update_service(|s| {
+            s.record_round(elapsed);
+            s.record_tenant_round(tenant, elapsed);
+            s.recovered_rounds += run.recovered;
+        });
+        match run.step {
+            RoundStep::Finished(outcome) => {
+                engine
+                    .metrics()
+                    .update_service(|s| s.cohorts_completed += 1);
+                // Report before the counter bump: drain treats
+                // `completed == opened` as "all reports present".
+                shared.reports.lock().push(CohortReport {
+                    cohort: actor.spec().id,
+                    tenant,
+                    subjects: actor.spec().n_subjects(),
+                    recovered_rounds: actor.recoveries(),
+                    outcome,
                 });
-                match run.step {
-                    RoundStep::Finished(outcome) => {
-                        engine
-                            .metrics()
-                            .update_service(|s| s.cohorts_completed += 1);
-                        if rec.enabled_at(TraceLevel::Full) {
-                            let live =
-                                shared.opened.load(Ordering::SeqCst) - shared.completed() - 1;
-                            rec.counter(rec.intern("live_cohorts"), live);
-                        }
-                        shared.reports.lock().push(CohortReport {
-                            cohort: actor.spec().id,
-                            subjects: actor.spec().n_subjects(),
-                            recovered_rounds: actor.recoveries(),
-                            outcome,
-                        });
-                    }
-                    RoundStep::Progressed => {
-                        let _ = ready_tx.send(WorkItem::Round(actor));
-                    }
+                shared.completed.fetch_add(1, Ordering::SeqCst);
+                if rec.enabled_at(TraceLevel::Full) {
+                    let live = shared.opened.load(Ordering::SeqCst) - shared.completed();
+                    rec.counter(rec.intern("live_cohorts"), live);
                 }
+            }
+            RoundStep::Progressed => {
+                sched.push(tenant, actor);
             }
         }
     }

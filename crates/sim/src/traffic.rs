@@ -20,6 +20,10 @@ pub struct TrafficClass {
     pub weight: f64,
     /// Prior infection risk assigned to specimens of this class.
     pub risk: f64,
+    /// Lab tenant submitting specimens of this class (QoS lane). The
+    /// service's WFQ scheduler and per-tenant SLOs key on this; single-lab
+    /// scenarios leave it 0.
+    pub tenant: u32,
 }
 
 /// Configuration of an open-loop Poisson arrival process.
@@ -46,10 +50,40 @@ impl TrafficConfig {
                 TrafficClass {
                     weight: 0.85,
                     risk: 0.02,
+                    tenant: 0,
                 },
                 TrafficClass {
                     weight: 0.15,
                     risk: 0.12,
+                    tenant: 0,
+                },
+            ],
+            seed,
+        }
+    }
+
+    /// A two-lab QoS scenario: both tenants submit the same screening-like
+    /// mix, tenant 0 at `share` of the arrival mass and tenant 1 at the
+    /// rest. Used by the WFQ fairness experiments, where the service gives
+    /// the tenants different weights and the traffic must not.
+    pub fn two_tenant(rate_per_sec: f64, specimens: usize, share: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&share),
+            "tenant-0 share must be in [0, 1]"
+        );
+        TrafficConfig {
+            rate_per_sec,
+            specimens,
+            classes: vec![
+                TrafficClass {
+                    weight: share,
+                    risk: 0.02,
+                    tenant: 0,
+                },
+                TrafficClass {
+                    weight: 1.0 - share,
+                    risk: 0.02,
+                    tenant: 1,
                 },
             ],
             seed,
@@ -66,6 +100,8 @@ pub struct Arrival {
     pub risk: f64,
     /// Ground-truth infection status (Bernoulli draw at `risk`).
     pub infected: bool,
+    /// Lab tenant from the specimen's class (QoS lane).
+    pub tenant: u32,
 }
 
 /// Generate the full arrival trace: exponential inter-arrival gaps
@@ -93,19 +129,20 @@ pub fn generate_arrivals(cfg: &TrafficConfig) -> Vec<Arrival> {
         let u: f64 = rng.random();
         clock += -(1.0 - u).ln() / cfg.rate_per_sec;
         let mut pick = rng.random::<f64>() * total_weight;
-        let mut risk = cfg.classes[cfg.classes.len() - 1].risk;
+        let mut chosen = &cfg.classes[cfg.classes.len() - 1];
         for class in &cfg.classes {
             pick -= class.weight;
             if pick <= 0.0 {
-                risk = class.risk;
+                chosen = class;
                 break;
             }
         }
-        let infected = rng.random_bool(risk);
+        let infected = rng.random_bool(chosen.risk);
         out.push(Arrival {
             at: Duration::from_secs_f64(clock),
-            risk,
+            risk: chosen.risk,
             infected,
+            tenant: chosen.tenant,
         });
     }
     out
@@ -157,5 +194,15 @@ mod tests {
     fn zero_rate_rejected() {
         let cfg = TrafficConfig::mixed(0.0, 10, 1);
         generate_arrivals(&cfg);
+    }
+
+    #[test]
+    fn two_tenant_mix_splits_by_share() {
+        let cfg = TrafficConfig::two_tenant(100.0, 6000, 0.5, 9);
+        let arrivals = generate_arrivals(&cfg);
+        let t0 = arrivals.iter().filter(|a| a.tenant == 0).count() as f64;
+        let frac = t0 / arrivals.len() as f64;
+        assert!((frac - 0.5).abs() < 0.03, "tenant-0 share {frac}");
+        assert!(arrivals.iter().all(|a| a.tenant <= 1));
     }
 }
