@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke plancache-smoke soak-smoke
+.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke plancache-smoke soak-smoke approx-smoke
 
-verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke plancache-smoke soak-smoke
+verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke plancache-smoke soak-smoke approx-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -82,3 +82,12 @@ kernels-smoke:
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench kernels -- --test
 	SBGT_FORCE_SCALAR=1 $(CARGO) test -p sbgt-lattice --test properties -q
 	SBGT_FORCE_SCALAR=1 $(CARGO) test -p sbgt --test sparse_equivalence -q
+
+# Approximate-backend smoke: the exact-vs-approx accuracy harness (>=99%
+# per-specimen agreement with the dense reference, assay budget within 5%,
+# BP marginals on top of the exact posterior, seeded particle
+# reproducibility across snapshot/restore) plus one smoke pass of the
+# large-cohort bench so the past-the-2^N-wall service path stays green.
+approx-smoke:
+	$(CARGO) test -p sbgt-approx --test accuracy -q
+	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench approx -- --test

@@ -1,0 +1,843 @@
+//! Loopy belief propagation on the specimen↔pool factor graph.
+//!
+//! Variables are specimen infection bits; every observed pooled test is a
+//! [`Factor`] whose likelihood depends on the state only through the pool's
+//! positive count. Messages are per-edge log-likelihood ratios
+//! `llr[a][j] = ln f_a(x_j = 1 | rest) / f_a(x_j = 0 | rest)`; a variable's
+//! belief is its prior logit plus the sum of incoming LLRs, and the factor→
+//! variable update marginalizes the leave-one-out Poisson-binomial count
+//! distribution of the other members against the factor's likelihood table.
+//! The schedule is asynchronous in factor order with damping, stopping when
+//! the largest per-sweep message change falls under the residual tolerance.
+//!
+//! The relaxation is a **pure function of (prior, observation history)**:
+//! every read-out restarts the messages from zero. That makes the session
+//! path-independent — observing tests one at a time or as one stage lands
+//! on identical marginals — and makes checkpoint/restore trivially
+//! bit-exact: an `SBGTSNAP` approx snapshot carries only the history, and
+//! [`BpSession::restore`] re-runs the identical deterministic relaxation.
+
+use std::sync::Arc;
+
+use sbgt_bayes::{classify_marginals, BayesError, CohortClassification};
+use sbgt_engine::obs::{SpanKind, SpanMeta, SpanRecorder, TraceLevel};
+use sbgt_engine::{Engine, StageVariant};
+use sbgt_lattice::BigState;
+use sbgt_response::BinaryOutcomeModel;
+
+use sbgt::{
+    ApproxKind, ApproxSnapshot, ConfigError, RoundStep, SbgtConfig, SessionOutcome,
+    SessionSnapshot, SnapshotError,
+};
+
+use crate::factor::{count_distribution, Factor};
+use crate::select::select_stage_marginals;
+
+/// Cap on message magnitude: |LLR| ≤ 40 keeps `exp` comfortably finite
+/// while representing odds beyond anything a floored likelihood table
+/// (`MIN_LIKELIHOOD = 1e-12`) can justify.
+pub const LLR_CAP: f64 = 40.0;
+
+/// Tuning for the message schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpConfig {
+    /// Sweep cap (each sweep updates every factor's outgoing messages).
+    pub max_iters: u32,
+    /// Weight on the *old* message in the damped update, in `[0, 1)`.
+    /// `0.0` is undamped; higher values slow oscillations on short cycles.
+    pub damping: f64,
+    /// Convergence threshold on the largest per-sweep message change.
+    pub tol: f64,
+}
+
+impl Default for BpConfig {
+    fn default() -> Self {
+        BpConfig {
+            max_iters: 100,
+            damping: 0.5,
+            tol: 1e-8,
+        }
+    }
+}
+
+impl BpConfig {
+    /// Validate every knob; [`ConfigError::InvalidArgument`] names the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_iters == 0 {
+            return Err(ConfigError::InvalidArgument(
+                "BP sweep cap must be at least 1".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.damping) {
+            return Err(ConfigError::InvalidArgument(format!(
+                "BP damping {} must be in [0, 1)",
+                self.damping
+            )));
+        }
+        if self.tol.is_nan() || self.tol <= 0.0 {
+            return Err(ConfigError::InvalidArgument(format!(
+                "BP tolerance {} must be positive",
+                self.tol
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// `ln(p / (1 − p))`.
+pub(crate) fn logit(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+/// `1 / (1 + e^{−x})`.
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Validate cohort risks for the approximate backends, which take raw
+/// per-specimen risks (the exact [`sbgt_bayes::Prior`] caps cohorts at the
+/// lattice's 48-subject `State` width — the wall this crate removes).
+pub(crate) fn validate_risks(risks: &[f64]) -> Result<(), ConfigError> {
+    if risks.is_empty() {
+        return Err(ConfigError::InvalidArgument(
+            "cohort must have at least one specimen".into(),
+        ));
+    }
+    for (i, &r) in risks.iter().enumerate() {
+        if !(r > 0.0 && r < 1.0) {
+            return Err(ConfigError::InvalidArgument(format!(
+                "risk {r} for specimen {i} must be in (0, 1)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Run the damped LLR relaxation from a cold start and return the
+/// per-specimen marginals. Pure: same `(prior_logit, factors, cfg)` →
+/// bit-identical output, which is what the snapshot contract and the
+/// engine-stage retry path both lean on.
+pub fn relax_marginals(prior_logit: &[f64], factors: &[Factor], cfg: &BpConfig) -> Vec<f64> {
+    let n = prior_logit.len();
+    // llr[a][j]: message from factor a to its j-th member; llr_sum[i] keeps
+    // the running total per variable so a cavity read is O(1).
+    let mut llr: Vec<Vec<f64>> = factors.iter().map(|f| vec![0.0; f.size()]).collect();
+    let mut llr_sum = vec![0.0; n];
+    for _ in 0..cfg.max_iters {
+        let mut residual = 0.0f64;
+        for (a, f) in factors.iter().enumerate() {
+            let m = f.size();
+            // Cavity probabilities: each member's belief minus this
+            // factor's own previous message.
+            let mus: Vec<f64> = f
+                .members
+                .iter()
+                .enumerate()
+                .map(|(j, &i)| sigmoid(prior_logit[i as usize] + llr_sum[i as usize] - llr[a][j]))
+                .collect();
+            // Prefix/suffix Poisson-binomial tables over the cavity
+            // probabilities; prefix[j] covers members < j, suffix[j]
+            // covers members ≥ j.
+            let mut prefix: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+            prefix.push(vec![1.0]);
+            for &mu in &mus {
+                prefix.push(convolve_bernoulli(prefix.last().unwrap(), mu));
+            }
+            let mut suffix: Vec<Vec<f64>> = vec![Vec::new(); m + 1];
+            suffix[m] = vec![1.0];
+            for j in (0..m).rev() {
+                suffix[j] = convolve_bernoulli(&suffix[j + 1], mus[j]);
+            }
+            for (j, &i) in f.members.iter().enumerate() {
+                let i = i as usize;
+                // Leave-one-out count distribution of the other members.
+                let d = convolve(&prefix[j], &suffix[j + 1]);
+                let mut like0 = 0.0;
+                let mut like1 = 0.0;
+                for (k, &dk) in d.iter().enumerate() {
+                    like0 += f.table[k] * dk;
+                    like1 += f.table[k + 1] * dk;
+                }
+                let fresh = (like1 / like0).ln().clamp(-LLR_CAP, LLR_CAP);
+                let damped = cfg.damping * llr[a][j] + (1.0 - cfg.damping) * fresh;
+                let delta = damped - llr[a][j];
+                residual = residual.max(delta.abs());
+                llr_sum[i] += delta;
+                llr[a][j] = damped;
+            }
+        }
+        if residual < cfg.tol {
+            break;
+        }
+    }
+    (0..n)
+        .map(|i| sigmoid(prior_logit[i] + llr_sum[i]))
+        .collect()
+}
+
+/// Convolve a count distribution with one Bernoulli(`p`) bit.
+fn convolve_bernoulli(d: &[f64], p: f64) -> Vec<f64> {
+    let mut out = vec![0.0; d.len() + 1];
+    for (k, &dk) in d.iter().enumerate() {
+        out[k] += dk * (1.0 - p);
+        out[k + 1] += dk * p;
+    }
+    out
+}
+
+/// Convolve two count distributions.
+fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// A surveillance session whose posterior is the loopy-BP fixed point over
+/// the observed factors. Memory is O(specimens + Σ pool sizes): nothing
+/// `2^N`-sized exists at any point.
+pub struct BpSession<M> {
+    risks: Vec<f64>,
+    prior_logit: Vec<f64>,
+    model: M,
+    config: SbgtConfig,
+    bp: BpConfig,
+    factors: Arc<Vec<Factor>>,
+    stages: usize,
+    /// Marginals at the current factor set; `None` after an observation
+    /// until the next relaxation.
+    cached: Option<Vec<f64>>,
+    /// Telemetry sink and the cohort id stamped on every span. `None`
+    /// (the default) records nothing; [`Self::attach_obs`] opts in.
+    obs: Option<(Arc<SpanRecorder>, u64)>,
+}
+
+impl<M: BinaryOutcomeModel> BpSession<M> {
+    /// Open a session from per-specimen prior risks. Cohort size is bounded
+    /// by memory in specimens and pools, not `2^N`.
+    pub fn new(
+        risks: &[f64],
+        model: M,
+        config: SbgtConfig,
+        bp: BpConfig,
+    ) -> Result<Self, ConfigError> {
+        validate_risks(risks)?;
+        config.validate()?;
+        bp.validate()?;
+        Ok(BpSession {
+            prior_logit: risks.iter().map(|&r| logit(r)).collect(),
+            risks: risks.to_vec(),
+            model,
+            config,
+            bp,
+            factors: Arc::new(Vec::new()),
+            stages: 0,
+            cached: Some(risks.to_vec()),
+            obs: None,
+        })
+    }
+
+    /// Attach a telemetry recorder; every subsequent round emits
+    /// `session:*` spans tagged with `cohort`.
+    pub fn attach_obs(&mut self, recorder: Arc<SpanRecorder>, cohort: u64) {
+        self.obs = Some((recorder, cohort));
+    }
+
+    /// Whether a telemetry recorder is attached (used for lazy attach).
+    pub fn has_obs(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    fn obs_at(&self, min: TraceLevel) -> Option<(Arc<SpanRecorder>, u64)> {
+        match &self.obs {
+            Some((rec, cohort)) if rec.enabled_at(min) => Some((Arc::clone(rec), *cohort)),
+            _ => None,
+        }
+    }
+
+    /// Cohort size.
+    pub fn n_subjects(&self) -> usize {
+        self.risks.len()
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SbgtConfig {
+        &self.config
+    }
+
+    /// The BP tuning.
+    pub fn bp_config(&self) -> &BpConfig {
+        &self.bp
+    }
+
+    /// Completed stages (lab rounds).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Observed factors, in observation order.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Total pooled tests observed.
+    pub fn tests_performed(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Per-specimen posterior marginals (the BP fixed point at the current
+    /// history). Relaxes on demand when an observation invalidated the
+    /// cache.
+    pub fn marginals(&mut self) -> Vec<f64> {
+        if self.cached.is_none() {
+            self.cached = Some(relax_marginals(&self.prior_logit, &self.factors, &self.bp));
+        }
+        self.cached.clone().unwrap()
+    }
+
+    /// Marginals without refreshing the cache: relaxes transiently when the
+    /// cache is stale (used by the `&self` trait surface).
+    pub fn marginals_now(&self) -> Vec<f64> {
+        match &self.cached {
+            Some(m) => m.clone(),
+            None => relax_marginals(&self.prior_logit, &self.factors, &self.bp),
+        }
+    }
+
+    /// Classification under the configured rule.
+    pub fn classify(&self) -> CohortClassification {
+        classify_marginals(&self.marginals_now(), self.config.rule)
+    }
+
+    /// Ingest one observed pooled test (counted as one stage). Returns the
+    /// predictive probability of the outcome under the pre-update
+    /// marginals — the approximate model evidence.
+    pub fn observe(&mut self, pool: &BigState, outcome: bool) -> Result<f64, BayesError> {
+        let z = self.push_observation(pool, outcome)?;
+        self.stages += 1;
+        Ok(z)
+    }
+
+    /// Ingest one stage of observed pools (counted as one stage).
+    pub fn observe_stage(&mut self, observations: &[(BigState, bool)]) -> Result<f64, BayesError> {
+        let mut z = 1.0;
+        for (pool, outcome) in observations {
+            z *= self.push_observation(pool, *outcome)?;
+        }
+        if !observations.is_empty() {
+            self.stages += 1;
+        }
+        Ok(z)
+    }
+
+    fn push_observation(&mut self, pool: &BigState, outcome: bool) -> Result<f64, BayesError> {
+        if pool.is_empty() {
+            return Err(BayesError::EmptyPool);
+        }
+        assert!(
+            pool.subjects().all(|i| i < self.n_subjects()),
+            "pool subject out of range for cohort of {}",
+            self.n_subjects()
+        );
+        let factor = Factor::new(pool, outcome, &self.model);
+        // Predictive evidence under the pre-update marginals.
+        let marginals = self.marginals_now();
+        let member_probs: Vec<f64> = factor
+            .members
+            .iter()
+            .map(|&i| marginals[i as usize])
+            .collect();
+        let d = count_distribution(&member_probs);
+        let z: f64 = d
+            .iter()
+            .enumerate()
+            .map(|(k, &dk)| factor.table[k] * dk)
+            .sum();
+        Arc::make_mut(&mut self.factors).push(factor);
+        self.cached = None;
+        Ok(z)
+    }
+
+    /// Drive the session to classification against a lab oracle.
+    pub fn run_to_classification(
+        &mut self,
+        mut lab: impl FnMut(&BigState) -> bool,
+    ) -> SessionOutcome {
+        loop {
+            if let RoundStep::Finished(outcome) = self.run_round(&mut lab) {
+                return outcome;
+            }
+        }
+    }
+
+    /// Drive exactly one round: classify, select the stage's pools via the
+    /// marginal halving search, run them through `lab`, ingest the
+    /// outcomes. The unit a multi-cohort service schedules.
+    pub fn run_round(&mut self, mut lab: impl FnMut(&BigState) -> bool) -> RoundStep {
+        self.run_round_impl(None, &mut lab)
+    }
+
+    /// [`Self::run_round`] with the relaxation running as a
+    /// fault-injectable engine stage: the sweep is a pure closure over the
+    /// (shared) factor list, so the engine's installed fault plan can kill
+    /// or retry it and a retry recomputes the identical fixed point. The
+    /// job is annotated [`StageVariant::Approx`] with the factor count.
+    ///
+    /// # Panics
+    /// Panics when the stage fails permanently (retry budget exhausted) —
+    /// the same contract as the other engine-staged rounds, which a
+    /// supervising service converts into a snapshot rollback.
+    pub fn run_round_on(
+        &mut self,
+        engine: &Engine,
+        mut lab: impl FnMut(&BigState) -> bool,
+    ) -> RoundStep {
+        self.run_round_impl(Some(engine), &mut lab)
+    }
+
+    fn run_round_impl(
+        &mut self,
+        engine: Option<&Engine>,
+        lab: &mut impl FnMut(&BigState) -> bool,
+    ) -> RoundStep {
+        let obs = self
+            .obs_at(TraceLevel::Spans)
+            .map(|(rec, cohort)| (Arc::clone(&rec), cohort, rec.now_ns()));
+        let step = self.round_inner(engine, lab);
+        if let Some((rec, cohort, start)) = obs {
+            let name = rec.intern("session:round");
+            let mut meta = SpanMeta::for_cohort(cohort);
+            meta.failed =
+                matches!(&step, RoundStep::Finished(o) if !o.classification.is_terminal());
+            rec.record_span_ending_now(SpanKind::Round, name, start, meta);
+        }
+        step
+    }
+
+    /// Record `name` as a `Phase` span covering `start..now` when phase
+    /// tracing ([`TraceLevel::Full`]) is live.
+    fn obs_phase(&self, name: &str, start: Option<u64>) {
+        if let (Some((rec, cohort)), Some(start)) = (self.obs_at(TraceLevel::Full), start) {
+            let name = rec.intern(name);
+            rec.record_span_ending_now(SpanKind::Phase, name, start, SpanMeta::for_cohort(cohort));
+        }
+    }
+
+    /// Timestamp for the next [`Self::obs_phase`] call, `None` when phase
+    /// tracing is off (so untraced rounds never read the clock).
+    fn obs_phase_start(&self) -> Option<u64> {
+        self.obs_at(TraceLevel::Full).map(|(rec, _)| rec.now_ns())
+    }
+
+    /// Refresh the marginal cache, optionally running the relaxation as an
+    /// engine stage.
+    fn refresh_marginals(&mut self, engine: Option<&Engine>) {
+        if self.cached.is_some() {
+            return;
+        }
+        let Some(engine) = engine else {
+            self.cached = Some(relax_marginals(&self.prior_logit, &self.factors, &self.bp));
+            return;
+        };
+        let prior = Arc::new(self.prior_logit.clone());
+        let factors = Arc::clone(&self.factors);
+        let bp = self.bp;
+        let task =
+            move || -> Result<Vec<f64>, BayesError> { Ok(relax_marginals(&prior, &factors, &bp)) };
+        let results = engine
+            .run_stage("fused-round:bp", vec![task])
+            .unwrap_or_else(|e| panic!("BP relaxation stage failed: {e}"));
+        let marginals = results
+            .into_iter()
+            .next()
+            .expect("one BP task")
+            .expect("pure relaxation cannot fail");
+        engine.metrics().annotate_last_job(StageVariant::Approx {
+            factors: self.factors.len(),
+        });
+        self.cached = Some(marginals);
+    }
+
+    fn round_inner(
+        &mut self,
+        engine: Option<&Engine>,
+        lab: &mut impl FnMut(&BigState) -> bool,
+    ) -> RoundStep {
+        // One marginals pass (the relaxation) feeds classification, the
+        // candidate ordering, and selection for the whole round.
+        let t = self.obs_phase_start();
+        self.refresh_marginals(engine);
+        let marginals = self.cached.clone().unwrap();
+        let classification = classify_marginals(&marginals, self.config.rule);
+        self.obs_phase("session:marginals", t);
+        if classification.is_terminal() || self.stages >= self.config.max_stages {
+            return RoundStep::Finished(self.outcome(classification, &marginals));
+        }
+        let t = self.obs_phase_start();
+        let mut order = classification.undetermined();
+        order.sort_by(|&a, &b| marginals[a].total_cmp(&marginals[b]).then(a.cmp(&b)));
+        let selections = select_stage_marginals(
+            &order,
+            &marginals,
+            self.config.max_pool_size,
+            self.config.stage_width,
+        );
+        self.obs_phase("session:select", t);
+        if selections.is_empty() {
+            return RoundStep::Finished(self.outcome(classification, &marginals));
+        }
+        let t = self.obs_phase_start();
+        let observations: Vec<(BigState, bool)> = selections
+            .into_iter()
+            .map(|s| {
+                let outcome = lab(&s.pool);
+                (s.pool, outcome)
+            })
+            .collect();
+        if self.observe_stage(&observations).is_err() {
+            self.obs_phase("session:observe", t);
+            let classification = self.classify();
+            let marginals = self.marginals_now();
+            return RoundStep::Finished(self.outcome(classification, &marginals));
+        }
+        self.obs_phase("session:observe", t);
+        RoundStep::Progressed
+    }
+
+    fn outcome(&self, classification: CohortClassification, marginals: &[f64]) -> SessionOutcome {
+        SessionOutcome {
+            tests: self.factors.len(),
+            stages: self.stages,
+            subjects: self.n_subjects(),
+            classification,
+            marginals: marginals.to_vec(),
+        }
+    }
+
+    /// Capture the session for checkpoint/restore. A BP posterior is a
+    /// pure function of (prior, history), so the snapshot carries only the
+    /// observation history: [`Self::restore`] re-runs the identical
+    /// relaxation and lands bit-for-bit on the same marginals.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            n_subjects: self.n_subjects(),
+            shards: Vec::new(),
+            total: 1.0,
+            history: Vec::new(),
+            stages: self.stages,
+            marginals: Vec::new(),
+            pending_selection: None,
+            sparse: None,
+            approx: Some(ApproxSnapshot {
+                kind: ApproxKind::Bp,
+                history: self
+                    .factors
+                    .iter()
+                    .map(|f| (f.members.clone(), f.outcome))
+                    .collect(),
+                particles: None,
+            }),
+        }
+    }
+
+    /// Rehydrate from a snapshot. The risks, model, and configs are not
+    /// part of the snapshot (they are the cohort's static spec) and are
+    /// supplied by the caller.
+    pub fn restore(
+        snapshot: &SessionSnapshot,
+        risks: &[f64],
+        model: M,
+        config: SbgtConfig,
+        bp: BpConfig,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.validate()?;
+        let Some(ap) = &snapshot.approx else {
+            return Err(SnapshotError::Corrupt(
+                "exact snapshot cannot restore a BP session".into(),
+            ));
+        };
+        if ap.kind != ApproxKind::Bp {
+            return Err(SnapshotError::Corrupt(
+                "particle snapshot cannot restore a BP session".into(),
+            ));
+        }
+        if snapshot.n_subjects != risks.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot holds {} subjects, caller supplied {} risks",
+                snapshot.n_subjects,
+                risks.len()
+            )));
+        }
+        let mut session = BpSession::new(risks, model, config, bp)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let factors = ap
+            .history
+            .iter()
+            .map(|(members, outcome)| {
+                let pool = BigState::from_subjects(members.iter().map(|&i| i as usize));
+                Factor::new(&pool, *outcome, &session.model)
+            })
+            .collect();
+        session.factors = Arc::new(factors);
+        session.stages = snapshot.stages;
+        session.cached = None;
+        Ok(session)
+    }
+}
+
+impl<M: BinaryOutcomeModel> sbgt::SurveillanceSession for BpSession<M> {
+    type Pool = BigState;
+    type Ctx = ();
+
+    fn n_subjects(&self) -> usize {
+        BpSession::n_subjects(self)
+    }
+
+    fn stages(&self) -> usize {
+        self.stages
+    }
+
+    fn tests_performed(&self) -> usize {
+        self.factors.len()
+    }
+
+    fn marginals(&self) -> Vec<f64> {
+        self.marginals_now()
+    }
+
+    fn classify(&self) -> CohortClassification {
+        BpSession::classify(self)
+    }
+
+    fn observe_in(&mut self, _ctx: &(), pool: BigState, outcome: bool) -> Result<f64, BayesError> {
+        self.observe(&pool, outcome)
+    }
+
+    fn run_round_in(&mut self, _ctx: &(), lab: &mut dyn FnMut(&BigState) -> bool) -> RoundStep {
+        self.run_round(lab)
+    }
+
+    fn snapshot(&self) -> SessionSnapshot {
+        BpSession::snapshot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_response::{BinaryDilutionModel, ResponseModel};
+
+    fn risks(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.02 + 0.01 * (i % 7) as f64).collect()
+    }
+
+    fn session(n: usize) -> BpSession<BinaryDilutionModel> {
+        BpSession::new(
+            &risks(n),
+            BinaryDilutionModel::pcr_like(),
+            SbgtConfig::default().serial(),
+            BpConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_risks_and_config() {
+        let model = BinaryDilutionModel::pcr_like();
+        let cfg = SbgtConfig::default().serial();
+        assert!(BpSession::new(&[], model, cfg, BpConfig::default()).is_err());
+        assert!(BpSession::new(&[0.5, 1.0], model, cfg, BpConfig::default()).is_err());
+        assert!(BpSession::new(&[0.0], model, cfg, BpConfig::default()).is_err());
+        let bad_bp = BpConfig {
+            damping: 1.0,
+            ..BpConfig::default()
+        };
+        assert!(BpSession::new(&[0.1], model, cfg, bad_bp).is_err());
+        let bad_iters = BpConfig {
+            max_iters: 0,
+            ..BpConfig::default()
+        };
+        assert!(BpSession::new(&[0.1], model, cfg, bad_iters).is_err());
+    }
+
+    #[test]
+    fn no_observations_returns_the_prior() {
+        let mut s = session(6);
+        let m = s.marginals();
+        for (got, want) in m.iter().zip(risks(6)) {
+            assert!((got - want).abs() < 1e-9, "prior marginal {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn single_subject_pool_matches_exact_bayes() {
+        // One pool {i}: BP on a tree is exact, so the posterior must match
+        // the two-hypothesis Bayes update.
+        let mut s = session(5);
+        let model = BinaryDilutionModel::pcr_like();
+        let pool = BigState::from_subjects([2]);
+        s.observe(&pool, true).unwrap();
+        let m = s.marginals();
+        let p = risks(5)[2];
+        let l1 = model.likelihood(true, 1, 1).max(crate::MIN_LIKELIHOOD);
+        let l0 = model.likelihood(true, 0, 1).max(crate::MIN_LIKELIHOOD);
+        let want = p * l1 / (p * l1 + (1.0 - p) * l0);
+        assert!(
+            (m[2] - want).abs() < 1e-6,
+            "exact single-subject update: {} vs {want}",
+            m[2]
+        );
+        // Untouched subjects keep their priors.
+        assert!((m[0] - risks(5)[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_pool_pushes_members_down() {
+        let mut s = session(8);
+        let pool = BigState::from_subjects([0, 1, 2, 3]);
+        s.observe(&pool, false).unwrap();
+        let m = s.marginals();
+        let r = risks(8);
+        for i in 0..4 {
+            assert!(m[i] < r[i], "negative test must lower marginal {i}");
+        }
+        for i in 4..8 {
+            assert!((m[i] - r[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn observation_order_does_not_change_the_fixed_point() {
+        // Cold-start relaxation makes the posterior a pure function of the
+        // factor *set* — stage-batched and one-at-a-time paths agree
+        // bit-for-bit.
+        let a_pool = BigState::from_subjects([0, 1, 2]);
+        let b_pool = BigState::from_subjects([2, 3, 4]);
+        let mut one = session(6);
+        one.observe(&a_pool, true).unwrap();
+        one.observe(&b_pool, false).unwrap();
+        let mut batch = session(6);
+        batch
+            .observe_stage(&[(a_pool, true), (b_pool, false)])
+            .unwrap();
+        assert_eq!(one.marginals(), batch.marginals());
+        assert_eq!(one.stages(), 2);
+        assert_eq!(batch.stages(), 1);
+        assert_eq!(one.tests_performed(), 2);
+    }
+
+    #[test]
+    fn run_to_classification_finds_the_positives() {
+        let n = 32;
+        // Undiluted noisy assay: pooled negatives are crisply informative,
+        // so the adaptive design must beat individual testing outright.
+        // (Under heavy dilution — e.g. `pcr_like`'s α = 4 — large-pool
+        // negatives carry little evidence and even the exact design
+        // approaches one test per subject.)
+        let model = BinaryDilutionModel::new(0.99, 0.995, sbgt_response::Dilution::None);
+        let mut s = BpSession::new(
+            &vec![0.03; n],
+            model,
+            SbgtConfig::default().serial(),
+            BpConfig::default(),
+        )
+        .unwrap();
+        let truth = BigState::from_subjects([5, 20]);
+        let outcome = s.run_to_classification(|pool| truth.intersects(pool));
+        assert!(outcome.classification.is_terminal());
+        assert_eq!(outcome.subjects, n);
+        assert!(outcome.tests < n, "pooling must beat individual testing");
+        for i in 0..n {
+            let positive = truth.contains(i);
+            assert_eq!(
+                outcome.marginals[i] >= 0.5,
+                positive,
+                "subject {i} misclassified (marginal {})",
+                outcome.marginals[i]
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_exact() {
+        let mut s = session(12);
+        let truth = BigState::from_subjects([3, 7]);
+        // Run a few rounds, snapshot mid-flight.
+        for _ in 0..3 {
+            s.run_round(|pool| truth.intersects(pool));
+        }
+        let snap = s.snapshot();
+        let bytes = snap.to_bytes();
+        let decoded = SessionSnapshot::from_bytes(&bytes).unwrap();
+        let mut restored = BpSession::restore(
+            &decoded,
+            &risks(12),
+            BinaryDilutionModel::pcr_like(),
+            SbgtConfig::default().serial(),
+            BpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(restored.marginals(), s.marginals());
+        assert_eq!(restored.stages(), s.stages());
+        assert_eq!(restored.tests_performed(), s.tests_performed());
+        // Continue both: identical trajectories.
+        let a = s.run_to_classification(|pool| truth.intersects(pool));
+        let b = restored.run_to_classification(|pool| truth.intersects(pool));
+        assert_eq!(a.marginals, b.marginals);
+        assert_eq!(a.tests, b.tests);
+        assert_eq!(a.classification, b.classification);
+    }
+
+    #[test]
+    fn wrong_snapshot_kinds_are_rejected() {
+        let s = session(4);
+        let snap = s.snapshot();
+        // Wrong cohort size.
+        assert!(BpSession::restore(
+            &snap,
+            &risks(5),
+            BinaryDilutionModel::pcr_like(),
+            SbgtConfig::default().serial(),
+            BpConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_pool_is_a_typed_error() {
+        let mut s = session(4);
+        assert!(matches!(
+            s.observe(&BigState::empty(), true),
+            Err(BayesError::EmptyPool)
+        ));
+    }
+
+    #[test]
+    fn engine_staged_rounds_match_plain_rounds() {
+        use sbgt_engine::EngineConfig;
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let truth = BigState::from_subjects([3, 9]);
+        let mut plain = session(10);
+        let mut staged = session(10);
+        // The relaxation is pure, so the engine-staged variant must land on
+        // the identical trajectory.
+        loop {
+            let a = plain.run_round(|p| truth.intersects(p));
+            let b = staged.run_round_on(&engine, |p| truth.intersects(p));
+            match (a, b) {
+                (RoundStep::Progressed, RoundStep::Progressed) => continue,
+                (RoundStep::Finished(x), RoundStep::Finished(y)) => {
+                    assert_eq!(x.marginals, y.marginals);
+                    assert_eq!(x.tests, y.tests);
+                    assert_eq!(x.classification, y.classification);
+                    break;
+                }
+                _ => panic!("staged and plain rounds diverged"),
+            }
+        }
+    }
+}

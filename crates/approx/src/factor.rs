@@ -1,0 +1,122 @@
+//! Observed-test factors on the specimen↔pool graph.
+//!
+//! Both approximate backends exploit the same structure the exact lattice
+//! update does: a pooled test's outcome distribution depends on the state
+//! hypothesis only through `k = |s ∩ A|`, so one observed outcome induces a
+//! likelihood table of `|A| + 1` values. A [`Factor`] is that table plus
+//! the pool membership — the entire footprint of one observation, O(|A|)
+//! instead of one multiply per `2^N` state.
+
+use sbgt_lattice::BigState;
+use sbgt_response::ResponseModel;
+
+/// Floor applied to likelihood-table entries. Perfect (0/1-probability)
+/// response models produce exact zeros, which would drive BP messages to
+/// infinite log-likelihood ratios and particle log-weights to `-∞` with no
+/// way back; the floor keeps both backends numerically alive while leaving
+/// realistic (noisy) models untouched.
+pub const MIN_LIKELIHOOD: f64 = 1e-12;
+
+/// One observed pooled test: the pool's members, the outcome, and the
+/// floored likelihood table `table[k] = max(f(y | k, |A|), MIN_LIKELIHOOD)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    /// Sorted subject indices of the pool.
+    pub members: Vec<u32>,
+    /// Observed outcome.
+    pub outcome: bool,
+    /// Floored likelihood of `outcome` given `k` positives, `k = 0..=|A|`.
+    pub table: Vec<f64>,
+    /// The pool as bit-words, cached so particle↔pool intersection counts
+    /// are word-parallel without rebuilding the mask per use.
+    words: Vec<u64>,
+}
+
+impl Factor {
+    /// Build the factor for `pool` observed as `outcome` under `model`.
+    pub fn new<M: ResponseModel<Outcome = bool>>(
+        pool: &BigState,
+        outcome: bool,
+        model: &M,
+    ) -> Factor {
+        let members: Vec<u32> = pool.subjects().map(|i| i as u32).collect();
+        let n = members.len() as u32;
+        let table = (0..=n)
+            .map(|k| model.likelihood(outcome, k, n).max(MIN_LIKELIHOOD))
+            .collect();
+        Factor {
+            members,
+            outcome,
+            table,
+            words: pool.words().to_vec(),
+        }
+    }
+
+    /// The pool as a [`BigState`].
+    pub fn pool(&self) -> BigState {
+        BigState::from_words(self.words.clone())
+    }
+
+    /// The pool's bit-words.
+    pub fn pool_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Pool size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// The Poisson-binomial count distribution of independent Bernoulli bits
+/// `probs`: returns `d` with `d[k] = P(k of them are 1)`. The sequential
+/// convolution every BP message pass builds its prefix/suffix tables from.
+pub fn count_distribution(probs: &[f64]) -> Vec<f64> {
+    let mut d = vec![0.0; probs.len() + 1];
+    d[0] = 1.0;
+    for (t, &p) in probs.iter().enumerate() {
+        // In-place backward update keeps one allocation for the whole pass.
+        for k in (0..=t).rev() {
+            let stay = d[k] * (1.0 - p);
+            d[k + 1] += d[k] * p;
+            d[k] = stay;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_response::BinaryDilutionModel;
+
+    #[test]
+    fn factor_tables_are_floored_and_sized() {
+        let pool = BigState::from_subjects([0, 70, 130]);
+        let model = BinaryDilutionModel::pcr_like();
+        let f = Factor::new(&pool, true, &model);
+        assert_eq!(f.members, vec![0, 70, 130]);
+        assert_eq!(f.table.len(), 4);
+        assert!(f.table.iter().all(|&v| v >= MIN_LIKELIHOOD));
+        assert_eq!(f.pool(), pool);
+        assert_eq!(f.size(), 3);
+    }
+
+    #[test]
+    fn count_distribution_matches_hand_rolled_cases() {
+        let d = count_distribution(&[]);
+        assert_eq!(d, vec![1.0]);
+        let d = count_distribution(&[0.5, 0.5]);
+        for (got, want) in d.iter().zip([0.25, 0.5, 0.25]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        // Sums to one for arbitrary probabilities.
+        let probs = [0.1, 0.7, 0.3, 0.9, 0.02];
+        let d = count_distribution(&probs);
+        assert_eq!(d.len(), 6);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Mean equals the sum of probabilities.
+        let mean: f64 = d.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!((mean - probs.iter().sum::<f64>()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! A seeded, snapshotable RNG for the particle backend.
+//!
+//! The vendored `rand` crate's `StdRng` does not expose its internal state,
+//! so a session using it could not checkpoint mid-stream and resume the
+//! exact sample path. The particle posterior's determinism contract —
+//! bit-for-bit reproducible from `(seed, config)`, including across
+//! snapshot/restore — therefore rides on this small in-crate generator:
+//! xoshiro256** (Blackman & Vigna), seeded through SplitMix64, with its
+//! four state words exposed for the `SBGTSNAP` particle block.
+
+/// xoshiro256** with snapshotable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRng {
+    s: [u64; 4],
+}
+
+impl SessionRng {
+    /// Seed via SplitMix64, the recommended initializer (never produces the
+    /// all-zero state).
+    pub fn seed_from(seed: u64) -> SessionRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SessionRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Rehydrate from snapshotted state words. The all-zero state is the
+    /// generator's unique fixed point and cannot arise from
+    /// [`Self::seed_from`]; `None` flags it as corrupt.
+    pub fn from_state(s: [u64; 4]) -> Option<SessionRng> {
+        if s == [0; 4] {
+            return None;
+        }
+        Some(SessionRng { s })
+    }
+
+    /// The state words, for snapshots.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SessionRng::seed_from(42);
+        let mut b = SessionRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SessionRng::seed_from(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = SessionRng::seed_from(7);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SessionRng::from_state(a.state()).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_state_is_rejected() {
+        assert!(SessionRng::from_state([0; 4]).is_none());
+        assert_ne!(SessionRng::seed_from(0).state(), [0; 4]);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_is_not_degenerate() {
+        let mut rng = SessionRng::seed_from(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

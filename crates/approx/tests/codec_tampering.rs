@@ -1,0 +1,150 @@
+//! Property tests: the `SBGTSNAP` approx section round-trips bit-for-bit
+//! and rejects tampering with typed errors — truncation anywhere, flipped
+//! bytes (including the approx kind byte), and cross-backend restores all
+//! fail closed, never panic, never corrupt a session.
+
+use proptest::prelude::*;
+
+use sbgt::SessionSnapshot;
+use sbgt_approx::{BpConfig, BpSession, ParticleConfig, ParticleSession};
+use sbgt_lattice::BigState;
+use sbgt_response::BinaryDilutionModel;
+
+fn risks_from_seed(seed: u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 + 1)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            0.01 + (h >> 11) as f64 / (1u64 << 53) as f64 * 0.15
+        })
+        .collect()
+}
+
+/// A session of each backend with a couple of observed pools, so the
+/// snapshot exercises history (and, for particles, the cloud block).
+fn observed_sessions(
+    seed: u64,
+    n: usize,
+) -> (
+    BpSession<BinaryDilutionModel>,
+    ParticleSession<BinaryDilutionModel>,
+) {
+    let risks = risks_from_seed(seed, n);
+    let model = BinaryDilutionModel::pcr_like();
+    let config = sbgt::SbgtConfig::default();
+    let mut bp = BpSession::new(&risks, model, config, BpConfig::default()).unwrap();
+    let pcfg = ParticleConfig {
+        particles: 64,
+        seed,
+        ..ParticleConfig::default()
+    };
+    let mut particle = ParticleSession::new(&risks, model, config, pcfg).unwrap();
+    let pools = [
+        BigState::from_subjects(0..n / 2),
+        BigState::from_subjects(n / 2..n),
+    ];
+    for (i, pool) in pools.iter().enumerate() {
+        bp.observe(pool, i % 2 == 0).unwrap();
+        particle.observe(pool, i % 2 == 0).unwrap();
+    }
+    (bp, particle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both approx snapshot kinds survive the byte codec bit-for-bit, and
+    /// truncation at any point is a typed error.
+    #[test]
+    fn approx_snapshots_round_trip_and_reject_truncation(
+        seed in proptest::arbitrary::any::<u64>(),
+        n in 18usize..=40,
+        cut_seed in proptest::arbitrary::any::<usize>(),
+    ) {
+        let (bp, particle) = observed_sessions(seed, n);
+        for snap in [bp.snapshot(), particle.snapshot()] {
+            let bytes = snap.to_bytes();
+            prop_assert_eq!(&SessionSnapshot::from_bytes(&bytes).unwrap(), &snap);
+            let cut = cut_seed % bytes.len();
+            prop_assert!(SessionSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Flipping any single byte of an approx snapshot either decodes to a
+    /// still-structurally-valid snapshot or fails with a typed error —
+    /// and whatever decodes must restore cleanly or be rejected, never
+    /// panic. This covers the approx kind byte too: a kind flipped to the
+    /// other backend is caught by the restore-side kind check.
+    #[test]
+    fn flipped_bytes_never_panic_the_approx_codec(
+        seed in proptest::arbitrary::any::<u64>(),
+        n in 18usize..=32,
+        at_seed in proptest::arbitrary::any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let (bp, particle) = observed_sessions(seed, n);
+        let risks = risks_from_seed(seed, n);
+        let model = BinaryDilutionModel::pcr_like();
+        let config = sbgt::SbgtConfig::default();
+        for (snap, is_bp) in [(bp.snapshot(), true), (particle.snapshot(), false)] {
+            let mut bytes = snap.to_bytes();
+            let at = at_seed % bytes.len();
+            bytes[at] ^= xor;
+            let Ok(decoded) = SessionSnapshot::from_bytes(&bytes) else {
+                continue; // typed rejection is a pass
+            };
+            // Whatever survived decoding must hit the restore-side
+            // validation walls without panicking; a clean restore is only
+            // acceptable for flips that landed in don't-care bits.
+            if is_bp {
+                let _ = BpSession::restore(
+                    &decoded, &risks, model, config, BpConfig::default(),
+                );
+            } else {
+                let pcfg = ParticleConfig {
+                    particles: 64,
+                    seed,
+                    ..ParticleConfig::default()
+                };
+                let _ = ParticleSession::restore(&decoded, &risks, model, config, pcfg);
+            }
+        }
+    }
+
+    /// Cross-backend restores are rejected outright: a BP snapshot cannot
+    /// rebuild a particle session and vice versa, whatever the payload.
+    #[test]
+    fn cross_backend_restores_are_rejected(
+        seed in proptest::arbitrary::any::<u64>(),
+        n in 18usize..=32,
+    ) {
+        let (bp, particle) = observed_sessions(seed, n);
+        let risks = risks_from_seed(seed, n);
+        let model = BinaryDilutionModel::pcr_like();
+        let config = sbgt::SbgtConfig::default();
+        let pcfg = ParticleConfig { particles: 64, seed, ..ParticleConfig::default() };
+        prop_assert!(ParticleSession::restore(
+            &bp.snapshot(), &risks, model, config, pcfg
+        ).is_err());
+        prop_assert!(BpSession::restore(
+            &particle.snapshot(), &risks, model, config, BpConfig::default()
+        ).is_err());
+        // And both reject an exact (approx-less) snapshot.
+        let exact = SessionSnapshot {
+            n_subjects: n,
+            shards: vec![vec![0.5; 1 << 4]],
+            total: 1.0,
+            history: vec![],
+            stages: 0,
+            marginals: vec![],
+            pending_selection: None,
+            sparse: None,
+            approx: None,
+        };
+        prop_assert!(BpSession::restore(
+            &exact, &risks, model, config, BpConfig::default()
+        ).is_err());
+    }
+}

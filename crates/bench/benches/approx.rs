@@ -1,0 +1,150 @@
+//! Large-cohort approximate backends: cohorts past the exact `2^N` wall
+//! through the full service stack, plus whole-campaign classification
+//! cost for each backend as the cohort size grows.
+//!
+//! One service iteration starts a fresh `SurveillanceService` with an
+//! oversized batch (cohort = 256 specimens), routes every cohort to the
+//! configured approximate backend via `approx_threshold`, and drains the
+//! seeded large-cohort workload to classification. A dense session at
+//! this size would need a `2^256`-entry lattice; the approx sessions keep
+//! `O(specimens + pools [+ particles])` state, which the committed
+//! reference numbers in `BENCH_approx.json` pin via final checkpoint
+//! sizes. `SBGT_BENCH_SMOKE=1` shrinks cohorts and sweeps so
+//! `make approx-smoke` (criterion `--test` mode) finishes in seconds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbgt::SbgtConfig;
+use sbgt_approx::{BpConfig, BpSession, ParticleConfig, ParticleSession};
+use sbgt_engine::{EngineConfig, SharedEngine};
+use sbgt_lattice::BigState;
+use sbgt_response::{BinaryDilutionModel, Dilution};
+use sbgt_service::{ApproxBackend, ServiceConfig, Specimen, SurveillanceService};
+use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
+
+fn smoke() -> bool {
+    std::env::var("SBGT_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn workload(n: usize, cohorts: usize) -> Vec<Specimen> {
+    generate_arrivals(&TrafficConfig::large_cohort(n, cohorts, 0.05, 42))
+        .into_iter()
+        .map(|a| Specimen {
+            risk: a.risk,
+            infected: a.infected,
+        })
+        .collect()
+}
+
+fn run_service(specimens: &[Specimen], n: usize, backend: ApproxBackend) -> usize {
+    let engine = SharedEngine::new(EngineConfig::default().with_threads(2));
+    let config = ServiceConfig {
+        queue_capacity: specimens.len(),
+        batch_size: n,
+        approx_threshold: 17,
+        approx_backend: backend,
+        approx_particles: 1024,
+        base_seed: 42,
+        // Undiluted assay and a stage cap sized for ~13 positives per
+        // 256-specimen cohort: the measurement is inference scaling past
+        // the 2^N wall, not dilution physics (E17 quantifies the dilution
+        // cost separately).
+        model: model(),
+        session: SbgtConfig {
+            max_stages: 2000,
+            ..SbgtConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = SurveillanceService::start(engine, config).expect("service starts");
+    for s in specimens {
+        service.submit(*s).expect("bench queue never fills");
+    }
+    let reports = service.drain();
+    assert_eq!(
+        reports.len(),
+        specimens.len() / n,
+        "every cohort classified"
+    );
+    assert!(
+        reports
+            .iter()
+            .all(|r| r.outcome.classification.is_terminal()),
+        "large cohorts must reach terminal classifications"
+    );
+    reports.iter().map(|r| r.outcome.tests).sum()
+}
+
+fn bench_service_large_cohorts(c: &mut Criterion) {
+    let (n, cohorts) = if smoke() { (64, 1) } else { (256, 4) };
+    let specimens = workload(n, cohorts);
+
+    let mut group = c.benchmark_group(format!("approx/service-n{n}"));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for (label, backend) in [
+        ("bp", ApproxBackend::Bp),
+        ("particle", ApproxBackend::Particle),
+    ] {
+        group.bench_function(label, |b| b.iter(|| run_service(&specimens, n, backend)));
+    }
+    group.finish();
+}
+
+/// Undiluted assay so classification cost reflects the inference scaling,
+/// not dilution physics (pool sizes are capped at 16 either way).
+fn model() -> BinaryDilutionModel {
+    BinaryDilutionModel::new(0.99, 0.995, Dilution::None)
+}
+
+fn planted(n: usize) -> (Vec<f64>, BigState) {
+    let infected = [n / 7, n / 2, n - 3];
+    (vec![0.05; n], BigState::from_subjects(infected))
+}
+
+fn bench_classification_scaling(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() { &[64] } else { &[64, 128, 256] };
+    let config = SbgtConfig::default();
+
+    let mut group = c.benchmark_group("approx/classify");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for &n in sizes {
+        let (risks, truth) = planted(n);
+        group.bench_function(format!("bp-n{n}"), |b| {
+            b.iter(|| {
+                let mut s = BpSession::new(&risks, model(), config, BpConfig::default()).unwrap();
+                let out = s.run_to_classification(|pool| truth.intersects(pool));
+                assert!(out.classification.is_terminal());
+                out.tests
+            })
+        });
+        group.bench_function(format!("particle-n{n}"), |b| {
+            b.iter(|| {
+                let pcfg = ParticleConfig {
+                    particles: 1024,
+                    seed: 42,
+                    ..ParticleConfig::default()
+                };
+                let mut s = ParticleSession::new(&risks, model(), config, pcfg).unwrap();
+                let out = s.run_to_classification(|pool| truth.intersects(pool));
+                assert!(out.classification.is_terminal());
+                out.tests
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_service_large_cohorts,
+    bench_classification_scaling
+);
+criterion_main!(benches);

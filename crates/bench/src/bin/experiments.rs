@@ -89,6 +89,180 @@ fn main() {
     if want("e13") {
         e13_service_throughput(quick);
     }
+    if want("e17") {
+        e17_large_cohorts(quick);
+    }
+}
+
+/// E17 — large-cohort surveillance on the approximate backends.
+///
+/// Runs cohorts far past the exact `2^N` wall (256 specimens each)
+/// through the full service stack on each approximate backend, checks the
+/// service classifies bit-for-bit with the serial per-cohort reference,
+/// scores the classifications against the planted ground truth, and
+/// reports the terminal checkpoint size — the whole cohort state in
+/// kilobytes, where a dense posterior would need `8·2^256` bytes.
+fn e17_large_cohorts(quick: bool) {
+    use sbgt_service::{
+        batch_specimens, run_cohort_serial, ApproxBackend, CohortActor, Specimen,
+        SurveillanceService,
+    };
+    use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
+
+    println!("## E17 — large-cohort approximate surveillance (extension)\n");
+    let n = if quick { 64 } else { 256 };
+    let cohorts = if quick { 2 } else { 4 };
+    let specimens: Vec<Specimen> =
+        generate_arrivals(&TrafficConfig::large_cohort(n, cohorts, 0.05, 2026))
+            .into_iter()
+            .map(|a| Specimen {
+                risk: a.risk,
+                infected: a.infected,
+            })
+            .collect();
+
+    // Undiluted assay for the backend comparison (the halving pools are
+    // capped at 16 either way); one extra full-mode row keeps the default
+    // PCR-like dilution model to quantify what dilution costs at scale.
+    let undiluted = BinaryDilutionModel::new(0.99, 0.995, Dilution::None);
+    let mut variants = vec![
+        ("bp", ApproxBackend::Bp, undiluted),
+        ("particle", ApproxBackend::Particle, undiluted),
+    ];
+    if !quick {
+        variants.push((
+            "bp + PCR dilution",
+            ApproxBackend::Bp,
+            BinaryDilutionModel::pcr_like(),
+        ));
+    }
+
+    let mut rows = Vec::new();
+    for (label, backend, model) in variants {
+        let config = sbgt_service::ServiceConfig {
+            queue_capacity: specimens.len(),
+            batch_size: n,
+            approx_threshold: 17,
+            approx_backend: backend,
+            approx_particles: 1024,
+            base_seed: 0xE17,
+            model,
+            session: SbgtConfig {
+                max_stages: 2000,
+                ..SbgtConfig::default()
+            },
+            ..sbgt_service::ServiceConfig::default()
+        };
+        let engine = sbgt_engine::SharedEngine::new(EngineConfig::default().with_threads(2));
+        let specs = batch_specimens(&specimens, n, config.base_seed);
+        let serial: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                run_cohort_serial(&engine, spec, config.model, config.session, config.policy())
+            })
+            .collect();
+
+        let engine = sbgt_engine::SharedEngine::new(EngineConfig::default().with_threads(2));
+        let (reports, wall) = timed(|| {
+            let service =
+                SurveillanceService::start(engine, config.clone()).expect("service starts");
+            for s in &specimens {
+                service.submit(*s).expect("queue sized for the workload");
+            }
+            service.drain()
+        });
+        let identical = reports.len() == serial.len()
+            && reports.iter().zip(&serial).all(|(r, e)| {
+                r.outcome == *e
+                    && r.outcome
+                        .marginals
+                        .iter()
+                        .zip(&e.marginals)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            });
+
+        // Score classifications against the planted truth.
+        let mut tp = 0usize;
+        let mut fn_ = 0usize;
+        let mut tn = 0usize;
+        let mut fp = 0usize;
+        for (spec, out) in specs.iter().zip(&serial) {
+            for (i, status) in out.classification.statuses.iter().enumerate() {
+                let infected = spec.truth.contains(i);
+                match (infected, status) {
+                    (true, SubjectStatus::Positive) => tp += 1,
+                    (true, _) => fn_ += 1,
+                    (false, SubjectStatus::Positive) => fp += 1,
+                    (false, _) => tn += 1,
+                }
+            }
+        }
+        let total_tests: usize = serial.iter().map(|o| o.tests).sum();
+
+        // Terminal per-cohort state: replay one cohort to completion and
+        // measure its checkpoint — history-sized, never 2^N.
+        let engine2 = Engine::new(EngineConfig::default().with_threads(2));
+        let mut actor = CohortActor::new(
+            &engine2,
+            specs[0].clone(),
+            config.model,
+            config.session,
+            config.policy(),
+        );
+        while !matches!(actor.run_round(&engine2), RoundStep::Finished(_)) {}
+        let ckpt_bytes = actor.checkpoint().to_bytes().len();
+
+        rows.push(vec![
+            label.to_string(),
+            fmt_duration(wall),
+            format!("{:.0}", specimens.len() as f64 / wall.as_secs_f64()),
+            format!("{:.3}", total_tests as f64 / specimens.len() as f64),
+            format!(
+                "{:.3}",
+                if tp + fn_ == 0 {
+                    1.0
+                } else {
+                    tp as f64 / (tp + fn_) as f64
+                }
+            ),
+            format!(
+                "{:.3}",
+                if tn + fp == 0 {
+                    1.0
+                } else {
+                    tn as f64 / (tn + fp) as f64
+                }
+            ),
+            format!("{:.1} KiB", ckpt_bytes as f64 / 1024.0),
+            if identical {
+                "✓ bit-for-bit"
+            } else {
+                "✗ DIVERGED"
+            }
+            .into(),
+        ]);
+    }
+    println!(
+        "({cohorts} cohorts of {n} specimens at 5% prevalence — a dense \
+         posterior at this size would need 8·2^{n} bytes; both backends \
+         keep per-cohort state history-sized)\n"
+    );
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "backend",
+                "wall",
+                "specimens/s",
+                "tests/specimen",
+                "sensitivity",
+                "specificity",
+                "cohort ckpt",
+                "vs serial reference"
+            ],
+            &rows
+        )
+    );
 }
 
 /// E13 — surveillance-service throughput and bit-for-bit equivalence.

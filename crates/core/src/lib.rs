@@ -54,6 +54,7 @@ pub mod session;
 pub mod sharded_session;
 pub mod snapshot;
 pub mod sparse_session;
+pub mod surveillance;
 
 pub use baseline::BaselineSession;
 pub use config::{ConfigError, ExecMode, SbgtConfig};
@@ -61,8 +62,11 @@ pub use parallel::{FusedRound, ShardedPosterior};
 pub use report::SessionOutcome;
 pub use session::{RoundStep, SbgtSession};
 pub use sharded_session::ShardedSession;
-pub use snapshot::{SessionSnapshot, SnapshotError, SparseSnapshot};
+pub use snapshot::{
+    ApproxKind, ApproxSnapshot, ParticleBlock, SessionSnapshot, SnapshotError, SparseSnapshot,
+};
 pub use sparse_session::SparseSession;
+pub use surveillance::SurveillanceSession;
 
 // The adaptive-switch types are lattice-level but configured through
 // [`SbgtConfig::sparse_switch`], so re-export them at the session surface.
@@ -77,8 +81,9 @@ pub use sbgt_select::{
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
-        BaselineSession, ConfigError, ExecMode, RoundStep, SbgtConfig, SbgtSession, SessionOutcome,
-        SessionSnapshot, ShardedSession, SnapshotError, SparseSession, SparseSwitch,
+        ApproxKind, ApproxSnapshot, BaselineSession, ConfigError, ExecMode, ParticleBlock,
+        RoundStep, SbgtConfig, SbgtSession, SessionOutcome, SessionSnapshot, ShardedSession,
+        SnapshotError, SparseSession, SparseSwitch, SurveillanceSession,
     };
     pub use sbgt_bayes::{ClassificationRule, CohortClassification, Prior, SubjectStatus};
     pub use sbgt_lattice::State;

@@ -481,6 +481,7 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
             marginals: Vec::new(),
             pending_selection: None,
             sparse,
+            approx: None,
         }
     }
 
@@ -494,6 +495,11 @@ impl<M: BinaryOutcomeModel> SbgtSession<M> {
         config: SbgtConfig,
     ) -> Result<Self, SnapshotError> {
         snapshot.validate()?;
+        if snapshot.approx.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "approx snapshot cannot restore an exact session".into(),
+            ));
+        }
         let posterior = match &snapshot.sparse {
             Some(sp) => HybridPosterior::Sparse(SparsePosterior::from_parts(
                 snapshot.n_subjects,

@@ -549,6 +549,7 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
             marginals: self.marginals.clone(),
             pending_selection: self.pending_selection.clone(),
             sparse,
+            approx: None,
         }
     }
 
@@ -563,6 +564,11 @@ impl<M: BinaryOutcomeModel> ShardedSession<M> {
         config: SbgtConfig,
     ) -> Result<Self, SnapshotError> {
         snapshot.validate()?;
+        if snapshot.approx.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "approx snapshot cannot restore an exact session".into(),
+            ));
+        }
         if snapshot.marginals.len() != snapshot.n_subjects {
             return Err(SnapshotError::Corrupt(format!(
                 "sharded restore needs {} marginals, snapshot holds {}",

@@ -364,6 +364,7 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
                 entries: self.posterior.entries().to_vec(),
                 pruned_mass: self.posterior.pruned_mass(),
             }),
+            approx: None,
         }
     }
 
@@ -378,6 +379,11 @@ impl<M: BinaryOutcomeModel> SparseSession<M> {
         prune_epsilon: f64,
     ) -> Result<Self, SnapshotError> {
         snapshot.validate()?;
+        if snapshot.approx.is_some() {
+            return Err(SnapshotError::Corrupt(
+                "approx snapshot cannot restore an exact session".into(),
+            ));
+        }
         let Some(sp) = &snapshot.sparse else {
             return Err(SnapshotError::Corrupt(
                 "sparse restore needs a sparse section".into(),

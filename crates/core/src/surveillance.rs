@@ -1,0 +1,270 @@
+//! The shared session surface.
+//!
+//! Four session families drive the same surveillance loop — exact dense
+//! ([`SbgtSession`]), engine-sharded ([`ShardedSession`]), pruned-sparse
+//! ([`SparseSession`]), and the approximate backends in `sbgt-approx` — and
+//! before this trait each re-implemented the `run_round`/`observe`/
+//! `snapshot` surface ad hoc. [`SurveillanceSession`] names that surface
+//! once, so harnesses (accuracy comparisons, generic drivers, soak rigs)
+//! can be written against *a* session instead of one concrete family.
+//!
+//! Two associated types absorb the real differences between families:
+//!
+//! * [`Pool`](SurveillanceSession::Pool) — what a lab is handed. Exact
+//!   sessions pool with one-word [`State`] masks; the approximate backends
+//!   test cohorts beyond 48 subjects and pool with
+//!   [`sbgt_lattice::BigState`].
+//! * [`Ctx`](SurveillanceSession::Ctx) — what a round needs threaded
+//!   through it. Self-contained sessions take `()`; [`ShardedSession`]
+//!   runs its stages on a caller-supplied [`Engine`].
+//!
+//! The per-family inherent methods remain the primary API (they keep their
+//! richer signatures — `impl FnMut` labs, engine-specific entry points);
+//! the trait impls forward to them, so behavior is identical either way.
+
+use sbgt_bayes::{BayesError, CohortClassification};
+use sbgt_engine::Engine;
+use sbgt_lattice::State;
+use sbgt_response::BinaryOutcomeModel;
+
+use crate::session::{RoundStep, SbgtSession};
+use crate::sharded_session::ShardedSession;
+use crate::snapshot::SessionSnapshot;
+use crate::sparse_session::SparseSession;
+use crate::SessionOutcome;
+
+/// One Bayesian group-testing session, abstracted over posterior
+/// representation: the select → observe → classify round loop plus the
+/// snapshot boundary every supervisor (service, checkpointing, harnesses)
+/// drives.
+pub trait SurveillanceSession {
+    /// The pool representation a lab closure receives.
+    type Pool;
+    /// Execution context a round borrows: `()` for self-contained sessions,
+    /// [`Engine`] for engine-sharded ones.
+    type Ctx: ?Sized;
+
+    /// Cohort size.
+    fn n_subjects(&self) -> usize;
+
+    /// Completed stages (lab rounds).
+    fn stages(&self) -> usize;
+
+    /// Total pooled tests performed so far.
+    fn tests_performed(&self) -> usize;
+
+    /// Current per-subject posterior marginals.
+    fn marginals(&self) -> Vec<f64>;
+
+    /// Classify every subject under the session's rule at the current
+    /// marginals.
+    fn classify(&self) -> CohortClassification;
+
+    /// Ingest one observed pooled test (counted as one stage). Returns the
+    /// model evidence of the observation — approximate backends report the
+    /// per-observation likelihood normalizer under their posterior
+    /// representation.
+    fn observe_in(
+        &mut self,
+        ctx: &Self::Ctx,
+        pool: Self::Pool,
+        outcome: bool,
+    ) -> Result<f64, BayesError>;
+
+    /// Run one full round: classify, select the next stage, run the lab on
+    /// each selected pool, ingest the outcomes.
+    fn run_round_in(
+        &mut self,
+        ctx: &Self::Ctx,
+        lab: &mut dyn FnMut(&Self::Pool) -> bool,
+    ) -> RoundStep;
+
+    /// Capture full session state at a round boundary, bit-for-bit
+    /// restorable via the family's `restore`.
+    fn snapshot(&self) -> SessionSnapshot;
+
+    /// Drive rounds to a terminal classification.
+    fn run_to_classification_in(
+        &mut self,
+        ctx: &Self::Ctx,
+        lab: &mut dyn FnMut(&Self::Pool) -> bool,
+    ) -> SessionOutcome {
+        loop {
+            if let RoundStep::Finished(outcome) = self.run_round_in(ctx, lab) {
+                return outcome;
+            }
+        }
+    }
+}
+
+impl<M: BinaryOutcomeModel> SurveillanceSession for SbgtSession<M> {
+    type Pool = State;
+    type Ctx = ();
+
+    fn n_subjects(&self) -> usize {
+        SbgtSession::n_subjects(self)
+    }
+
+    fn stages(&self) -> usize {
+        SbgtSession::stages(self)
+    }
+
+    fn tests_performed(&self) -> usize {
+        self.history().len()
+    }
+
+    fn marginals(&self) -> Vec<f64> {
+        SbgtSession::marginals(self)
+    }
+
+    fn classify(&self) -> CohortClassification {
+        SbgtSession::classify(self)
+    }
+
+    fn observe_in(&mut self, _ctx: &(), pool: State, outcome: bool) -> Result<f64, BayesError> {
+        self.observe(pool, outcome)
+    }
+
+    fn run_round_in(&mut self, _ctx: &(), lab: &mut dyn FnMut(&State) -> bool) -> RoundStep {
+        self.run_round(|pool| lab(&pool))
+    }
+
+    fn snapshot(&self) -> SessionSnapshot {
+        SbgtSession::snapshot(self)
+    }
+}
+
+impl<M: BinaryOutcomeModel> SurveillanceSession for SparseSession<M> {
+    type Pool = State;
+    type Ctx = ();
+
+    fn n_subjects(&self) -> usize {
+        SparseSession::n_subjects(self)
+    }
+
+    fn stages(&self) -> usize {
+        SparseSession::stages(self)
+    }
+
+    fn tests_performed(&self) -> usize {
+        self.history().len()
+    }
+
+    fn marginals(&self) -> Vec<f64> {
+        SparseSession::marginals(self)
+    }
+
+    fn classify(&self) -> CohortClassification {
+        SparseSession::classify(self)
+    }
+
+    fn observe_in(&mut self, _ctx: &(), pool: State, outcome: bool) -> Result<f64, BayesError> {
+        self.observe(pool, outcome)
+    }
+
+    fn run_round_in(&mut self, _ctx: &(), lab: &mut dyn FnMut(&State) -> bool) -> RoundStep {
+        self.run_round(|pool| lab(&pool))
+    }
+
+    fn snapshot(&self) -> SessionSnapshot {
+        SparseSession::snapshot(self)
+    }
+}
+
+impl<M: BinaryOutcomeModel> SurveillanceSession for ShardedSession<M> {
+    type Pool = State;
+    type Ctx = Engine;
+
+    fn n_subjects(&self) -> usize {
+        ShardedSession::n_subjects(self)
+    }
+
+    fn stages(&self) -> usize {
+        ShardedSession::stages(self)
+    }
+
+    fn tests_performed(&self) -> usize {
+        self.history().len()
+    }
+
+    fn marginals(&self) -> Vec<f64> {
+        ShardedSession::marginals(self).to_vec()
+    }
+
+    fn classify(&self) -> CohortClassification {
+        ShardedSession::classify(self)
+    }
+
+    fn observe_in(
+        &mut self,
+        engine: &Engine,
+        pool: State,
+        outcome: bool,
+    ) -> Result<f64, BayesError> {
+        self.observe(engine, pool, outcome)
+    }
+
+    fn run_round_in(&mut self, engine: &Engine, lab: &mut dyn FnMut(&State) -> bool) -> RoundStep {
+        self.run_round(engine, |pool| lab(&pool))
+    }
+
+    fn snapshot(&self) -> SessionSnapshot {
+        ShardedSession::snapshot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgt_bayes::Prior;
+    use sbgt_engine::EngineConfig;
+    use sbgt_response::BinaryDilutionModel;
+
+    use crate::SbgtConfig;
+
+    fn risks(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.02 + 0.015 * i as f64).collect()
+    }
+
+    /// A driver written once against the trait, handed each family.
+    fn drive<S: SurveillanceSession>(
+        session: &mut S,
+        ctx: &S::Ctx,
+        truth: impl Fn(&S::Pool) -> bool,
+    ) -> SessionOutcome {
+        session.run_to_classification_in(ctx, &mut |pool| truth(pool))
+    }
+
+    #[test]
+    fn one_generic_driver_runs_all_exact_families() {
+        let n = 6;
+        let truth = State::from_subjects([1, 4]);
+        let model = BinaryDilutionModel::pcr_like();
+        let config = SbgtConfig::default().serial();
+
+        let mut dense = SbgtSession::new(Prior::from_risks(&risks(n)), model, config);
+        let dense_out = drive(&mut dense, &(), |p| truth.intersects(*p));
+
+        let mut sparse =
+            SparseSession::new(Prior::from_risks(&risks(n)), model, config, 0.0).unwrap();
+        let sparse_out = drive(&mut sparse, &(), |p| truth.intersects(*p));
+
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let mut sharded =
+            ShardedSession::new(&engine, Prior::from_risks(&risks(n)), model, config, 2);
+        let sharded_out = drive(&mut sharded, &engine, |p| truth.intersects(*p));
+
+        // ε = 0 sparse and the sharded reduction agree with dense on the
+        // classification (bit-level posterior agreement for sparse is pinned
+        // elsewhere; here we pin that the *trait* surface reaches the same
+        // decisions).
+        assert_eq!(dense_out.classification, sparse_out.classification);
+        assert_eq!(dense_out.classification, sharded_out.classification);
+        assert!(SurveillanceSession::tests_performed(&dense) > 0);
+        assert_eq!(SurveillanceSession::n_subjects(&dense), n);
+        assert!(SurveillanceSession::classify(&dense).is_terminal());
+        assert_eq!(SurveillanceSession::marginals(&dense).len(), n);
+        let snap = SurveillanceSession::snapshot(&dense);
+        assert_eq!(snap.n_subjects, n);
+    }
+}

@@ -52,6 +52,12 @@ pub enum StageVariant {
         /// Retained support (states with mass) at the end of the round.
         support: usize,
     },
+    /// Approximate-backend stage (`sbgt-approx`): the marginal read-out ran
+    /// over the specimen↔pool factor graph — nothing `2^N`-sized exists.
+    Approx {
+        /// Observed-test factors in the graph when the stage ran.
+        factors: usize,
+    },
 }
 
 impl StageVariant {
@@ -70,6 +76,9 @@ impl std::fmt::Display for StageVariant {
             }
             StageVariant::Lookahead { branches } => {
                 write!(f, "lookahead {branches}b")
+            }
+            StageVariant::Approx { factors } => {
+                write!(f, "approx {factors}f")
             }
             StageVariant::Sparse { support } => {
                 write!(f, "sparse {support}s")

@@ -196,6 +196,29 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_samples_answer_zero_at_every_quantile() {
+        // Zero is a real sample (bucket 0, upper bound 1): the nearest-rank
+        // walk computes `1 - 1 = 0` and the [min, max] clamp keeps it there
+        // — no underflow, no phantom positive latency.
+        let mut h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record(0);
+        }
+        assert!(!h.is_empty());
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), Some(0), "p={p}");
+        }
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+        assert_eq!(h.sum(), 0);
+        // Out-of-range and pathological p values clamp instead of
+        // panicking; NaN degrades to the lowest rank.
+        assert_eq!(h.quantile(-3.0), Some(0));
+        assert_eq!(h.quantile(7.0), Some(0));
+        assert_eq!(h.quantile(f64::NAN), Some(0));
+    }
+
+    #[test]
     fn small_values_are_exact() {
         let mut h = LogHistogram::new();
         for v in 0..SUB_BUCKETS as u64 {

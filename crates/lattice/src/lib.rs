@@ -32,6 +32,7 @@
 //! kernels are gather-free linear passes — the layout property that lets the
 //! partition-parallel engine shard the lattice by contiguous index ranges.
 
+pub mod bigstate;
 pub mod branch;
 pub mod chains;
 pub mod dense;
@@ -45,6 +46,7 @@ pub mod sparse;
 pub mod state;
 pub mod transform;
 
+pub use bigstate::BigState;
 pub use branch::{BranchPool, LookaheadKernel};
 pub use chains::{ChainPosterior, ChainShape};
 pub use dense::DensePosterior;

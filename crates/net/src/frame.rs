@@ -25,11 +25,14 @@
 
 use sbgt::SessionOutcome;
 use sbgt_bayes::{CohortClassification, SubjectStatus};
-use sbgt_lattice::State;
+use sbgt_lattice::BigState;
 use sbgt_service::{CohortReport, CohortSpec, ShedReason, Specimen};
 
-/// Wire protocol version carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire protocol version carried in every frame header. v2 widened the
+/// cohort ground truth from one u64 to a length-prefixed word list so
+/// approximate cohorts (more than 64 subjects) ship between shards; v1
+/// peers are rejected with [`DecodeError::BadVersion`] at the header.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"SB";
@@ -288,7 +291,11 @@ fn put_spec(out: &mut Vec<u8>, spec: &CohortSpec) {
     for r in &spec.risks {
         put_f64_bits(out, *r);
     }
-    put_u64(out, spec.truth.bits());
+    let words = spec.truth.words();
+    put_u32(out, words.len() as u32);
+    for w in words {
+        put_u64(out, *w);
+    }
 }
 
 fn read_spec(r: &mut Reader<'_>) -> Result<CohortSpec, DecodeError> {
@@ -297,7 +304,9 @@ fn read_spec(r: &mut Reader<'_>) -> Result<CohortSpec, DecodeError> {
     let tenant = r.u32()?;
     let n = r.count(8)?;
     let risks = (0..n).map(|_| r.f64_bits()).collect::<Result<_, _>>()?;
-    let truth = State(r.u64()?);
+    let n_words = r.count(8)?;
+    let words = (0..n_words).map(|_| r.u64()).collect::<Result<_, _>>()?;
+    let truth = BigState::from_words(words);
     Ok(CohortSpec {
         id,
         seed,
@@ -779,6 +788,11 @@ mod tests {
         );
         assert_eq!(
             Request::decode(b"SB\x01\x7e\x00\x00\x00\x00"),
+            Err(DecodeError::BadVersion(0x01)),
+            "v1 (single-word truth) is rejected at the header"
+        );
+        assert_eq!(
+            Request::decode(b"SB\x02\x7e\x00\x00\x00\x00"),
             Err(DecodeError::UnknownKind(0x7e))
         );
     }

@@ -149,15 +149,22 @@ fn malformed_frames_get_typed_errors_and_never_kill_the_server() {
         other => panic!("unexpected response: {other:?}"),
     }
 
+    // Stale protocol version (v1, pre word-list truth).
+    let mut client = ShardClient::connect(addr).unwrap();
+    match client.call_raw(b"SB\x01\x01\x00\x00\x00\x00").unwrap() {
+        Response::Error { message } => assert!(message.contains("version"), "{message}"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
     // Unknown frame kind.
     let mut client = ShardClient::connect(addr).unwrap();
-    match client.call_raw(b"SB\x01\x7e\x00\x00\x00\x00").unwrap() {
+    match client.call_raw(b"SB\x02\x7e\x00\x00\x00\x00").unwrap() {
         Response::Error { message } => assert!(message.contains("unknown"), "{message}"),
         other => panic!("unexpected response: {other:?}"),
     }
 
     // Oversized length prefix: rejected before any allocation.
-    let mut header = Vec::from(*b"SB\x01\x01");
+    let mut header = Vec::from(*b"SB\x02\x01");
     header.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
     let mut client = ShardClient::connect(addr).unwrap();
     match client.call_raw(&header).unwrap() {
@@ -167,7 +174,7 @@ fn malformed_frames_get_typed_errors_and_never_kill_the_server() {
 
     // Corrupt payload: a Submit frame promising more specimens than it
     // carries.
-    let mut corrupt = Vec::from(*b"SB\x01\x02");
+    let mut corrupt = Vec::from(*b"SB\x02\x02");
     corrupt.extend_from_slice(&8u32.to_le_bytes());
     corrupt.extend_from_slice(&0u32.to_le_bytes());
     corrupt.extend_from_slice(&1000u32.to_le_bytes());
@@ -210,8 +217,15 @@ fn decode_error_variants_match_the_wire_cases() {
         Request::decode(b"SB\x09\x01\x00\x00\x00\x00"),
         Err(DecodeError::BadVersion(9))
     ));
+    assert!(
+        matches!(
+            Request::decode(b"SB\x01\x7e\x00\x00\x00\x00"),
+            Err(DecodeError::BadVersion(1)),
+        ),
+        "v1 frames are rejected at the header since the truth widened"
+    );
     assert!(matches!(
-        Request::decode(b"SB\x01\x7e\x00\x00\x00\x00"),
+        Request::decode(b"SB\x02\x7e\x00\x00\x00\x00"),
         Err(DecodeError::UnknownKind(0x7e))
     ));
     let ping = Request::Ping.encode();

@@ -84,6 +84,24 @@ pub enum PlanLineage {
         /// `f64::to_bits` of the prune epsilon.
         epsilon_bits: u64,
     },
+    /// Loopy-BP approximate session (`sbgt-approx`). Approx sessions never
+    /// attach cached plans — their pools exceed the one-word `State` a
+    /// `PlanTree` stores — but the discriminant exists so a shared cache
+    /// can never serve a dense-derived tree to a BP session or vice versa.
+    Bp {
+        /// Message-passing iteration cap of the session.
+        max_iters: u32,
+        /// `f64::to_bits` of the message damping factor.
+        damping_bits: u64,
+    },
+    /// SMC particle approximate session (`sbgt-approx`); same rationale as
+    /// [`PlanLineage::Bp`].
+    Particle {
+        /// Particle count of the session.
+        particles: u32,
+        /// `f64::to_bits` of the ESS resampling fraction.
+        ess_bits: u64,
+    },
 }
 
 impl PlanLineage {
@@ -93,6 +111,8 @@ impl PlanLineage {
             PlanLineage::DenseParallel { .. } => 1,
             PlanLineage::Sharded { .. } => 2,
             PlanLineage::Sparse { .. } => 3,
+            PlanLineage::Bp { .. } => 4,
+            PlanLineage::Particle { .. } => 5,
         }
     }
 }
@@ -767,6 +787,20 @@ fn write_key(out: &mut Vec<u8>, key: &PlanKey) {
         }
         PlanLineage::Sharded { parts } => out.extend_from_slice(&parts.to_le_bytes()),
         PlanLineage::Sparse { epsilon_bits } => out.extend_from_slice(&epsilon_bits.to_le_bytes()),
+        PlanLineage::Bp {
+            max_iters,
+            damping_bits,
+        } => {
+            out.extend_from_slice(&max_iters.to_le_bytes());
+            out.extend_from_slice(&damping_bits.to_le_bytes());
+        }
+        PlanLineage::Particle {
+            particles,
+            ess_bits,
+        } => {
+            out.extend_from_slice(&particles.to_le_bytes());
+            out.extend_from_slice(&ess_bits.to_le_bytes());
+        }
     }
 }
 
@@ -803,6 +837,14 @@ fn read_key(r: &mut Reader<'_>) -> Result<PlanKey, PlanCodecError> {
         2 => PlanLineage::Sharded { parts: r.u32()? },
         3 => PlanLineage::Sparse {
             epsilon_bits: r.u64()?,
+        },
+        4 => PlanLineage::Bp {
+            max_iters: r.u32()?,
+            damping_bits: r.u64()?,
+        },
+        5 => PlanLineage::Particle {
+            particles: r.u32()?,
+            ess_bits: r.u64()?,
         },
         other => {
             return Err(PlanCodecError::Corrupt(format!(
@@ -1023,6 +1065,51 @@ mod tests {
         d.lineage = PlanLineage::Sharded { parts: 4 };
         assert_eq!(a.diff(&d), Some("lineage"));
         assert_eq!(a == b, a.diff(&b).is_none());
+    }
+
+    /// Regression: a shared cache can never serve a dense-derived tree to
+    /// an approx (BP/particle) session or vice versa — the lineage
+    /// discriminant forces a key mismatch even when every other field
+    /// (risks, model, rule, widths) is identical.
+    #[test]
+    fn approx_lineages_never_collide_with_exact_keys() {
+        let dense = key(&[0.05, 0.15]);
+        let mut bp = key(&[0.05, 0.15]);
+        bp.lineage = PlanLineage::Bp {
+            max_iters: 50,
+            damping_bits: 0.5f64.to_bits(),
+        };
+        let mut particle = key(&[0.05, 0.15]);
+        particle.lineage = PlanLineage::Particle {
+            particles: 4096,
+            ess_bits: 0.5f64.to_bits(),
+        };
+        assert_ne!(dense, bp);
+        assert_ne!(dense, particle);
+        assert_ne!(bp, particle);
+        assert_eq!(dense.diff(&bp), Some("lineage"));
+        assert_eq!(dense.diff(&particle), Some("lineage"));
+        assert_eq!(bp.diff(&particle), Some("lineage"));
+        // Differently-tuned approx sessions are distinct keys too.
+        let mut fewer = bp.clone();
+        fewer.lineage = PlanLineage::Bp {
+            max_iters: 25,
+            damping_bits: 0.5f64.to_bits(),
+        };
+        assert_eq!(bp.diff(&fewer), Some("lineage"));
+
+        // The new lineage tags survive the SBGTPLAN codec: a cache holding
+        // trees under all three lineages exports and re-imports them as
+        // three separate entries.
+        let cache = PlanCache::new(64);
+        for k in [dense.clone(), bp.clone(), particle.clone()] {
+            cache.handle(k).extend(&[], &[sel(0b1, 0.5)]);
+        }
+        let fresh = PlanCache::new(64);
+        assert_eq!(fresh.import(&cache.export()).unwrap(), 3);
+        assert!(fresh.handle(bp).lookup(&[]).is_some());
+        assert!(fresh.handle(particle).lookup(&[]).is_some());
+        assert!(fresh.handle(dense).lookup(&[]).is_some());
     }
 
     #[test]

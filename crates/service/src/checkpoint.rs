@@ -5,16 +5,19 @@
 use serde::{Deserialize, Serialize};
 
 use sbgt::{SessionSnapshot, SnapshotError};
-use sbgt_lattice::State;
+use sbgt_lattice::BigState;
 
 use crate::cohort::CohortSpec;
 
 const MAGIC: &[u8; 8] = b"SBGTCKPT";
-/// Current write version. v2 added the tenant id after the cohort seed;
-/// v1 checkpoints (pre-tenant) still decode, landing on tenant 0 — the
-/// same lane untagged traffic uses, so a pre-QoS checkpoint resumes with
-/// identical scheduling semantics.
-const VERSION: u32 = 2;
+/// Current write version. v3 widened the ground truth from one u64 to a
+/// length-prefixed word list, since approximate cohorts hold more than 64
+/// subjects; v1/v2 checkpoints decode their single truth word into word 0.
+/// v2 added the tenant id after the cohort seed; v1 checkpoints
+/// (pre-tenant) still decode, landing on tenant 0 — the same lane untagged
+/// traffic uses, so a pre-QoS checkpoint resumes with identical scheduling
+/// semantics.
+const VERSION: u32 = 3;
 
 /// Which session kind the cohort was running when frozen. A checkpoint
 /// restores to the **same** kind regardless of the live placement policy,
@@ -23,7 +26,8 @@ const VERSION: u32 = 2;
 ///
 /// The wire encoding is one byte: `Sharded = 0`, `Dense = 1` — exactly the
 /// `u8::from(dense)` flag older checkpoints wrote, so they decode
-/// unchanged — and `Sparse = 2`.
+/// unchanged — `Sparse = 2`, and the approximate backends `Bp = 3`,
+/// `Particle = 4`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CohortKind {
     /// Engine-sharded dense session.
@@ -32,14 +36,21 @@ pub enum CohortKind {
     Dense,
     /// Pruned sparse session.
     Sparse,
+    /// Loopy-BP approximate session.
+    Bp,
+    /// SMC particle approximate session.
+    Particle,
 }
 
 impl CohortKind {
-    fn to_byte(self) -> u8 {
+    /// Stable wire byte.
+    pub fn to_byte(self) -> u8 {
         match self {
             CohortKind::Sharded => 0,
             CohortKind::Dense => 1,
             CohortKind::Sparse => 2,
+            CohortKind::Bp => 3,
+            CohortKind::Particle => 4,
         }
     }
 
@@ -48,6 +59,8 @@ impl CohortKind {
             0 => Ok(CohortKind::Sharded),
             1 => Ok(CohortKind::Dense),
             2 => Ok(CohortKind::Sparse),
+            3 => Ok(CohortKind::Bp),
+            4 => Ok(CohortKind::Particle),
             other => Err(SnapshotError::Corrupt(format!(
                 "unknown cohort kind byte {other}"
             ))),
@@ -83,7 +96,11 @@ impl CohortCheckpoint {
         for r in &self.spec.risks {
             out.extend_from_slice(&r.to_bits().to_le_bytes());
         }
-        out.extend_from_slice(&self.spec.truth.bits().to_le_bytes());
+        let truth_words = self.spec.truth.words();
+        out.extend_from_slice(&(truth_words.len() as u32).to_le_bytes());
+        for w in truth_words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
         out.push(self.kind.to_byte());
         out.extend_from_slice(&self.recoveries.to_le_bytes());
         out.extend_from_slice(&(snapshot.len() as u64).to_le_bytes());
@@ -119,7 +136,22 @@ impl CohortCheckpoint {
         for _ in 0..n_risks {
             risks.push(f64::from_bits(r.u64()?));
         }
-        let truth = State(r.u64()?);
+        let truth = if version >= 3 {
+            let n_words = u32::from_le_bytes(r.take(4)?.try_into().unwrap()) as usize;
+            if n_words > bytes.len() / 8 {
+                return Err(SnapshotError::Corrupt(
+                    "truth word count exceeds payload".into(),
+                ));
+            }
+            let mut words = Vec::with_capacity(n_words);
+            for _ in 0..n_words {
+                words.push(r.u64()?);
+            }
+            BigState::from_words(words)
+        } else {
+            // v1/v2 wrote the 16-subject lattice state as one word.
+            BigState::from_words(vec![r.u64()?])
+        };
         let kind = CohortKind::from_byte(r.take(1)?[0])?;
         let recoveries = r.u64()?;
         let snap_len = r.u64()? as usize;
@@ -182,6 +214,7 @@ impl<'a> Reader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbgt_lattice::State;
 
     fn sample() -> CohortCheckpoint {
         CohortCheckpoint {
@@ -190,7 +223,7 @@ mod tests {
                 seed: 0xDEAD_BEEF,
                 tenant: 3,
                 risks: vec![0.02, 0.05, 0.11],
-                truth: State::from_subjects([1]),
+                truth: BigState::from_subjects([1]),
             },
             kind: CohortKind::Dense,
             recoveries: 2,
@@ -203,6 +236,7 @@ mod tests {
                 marginals: vec![],
                 pending_selection: None,
                 sparse: None,
+                approx: None,
             },
         }
     }
@@ -239,13 +273,14 @@ mod tests {
     }
 
     /// Byte offset of the kind flag: header + spec fields (id, seed,
-    /// tenant, risk count) + risks + truth.
+    /// tenant, risk count) + risks + truth word count + truth words.
     fn kind_offset(ckpt: &CohortCheckpoint) -> usize {
-        8 + 4 + 8 + 8 + 4 + 8 + ckpt.spec.risks.len() * 8 + 8
+        8 + 4 + 8 + 8 + 4 + 8 + ckpt.spec.risks.len() * 8 + 4 + ckpt.spec.truth.words().len() * 8
     }
 
-    /// Hand-encode the v1 layout (no tenant field) for a sample and check
-    /// it still decodes, with the tenant defaulting to lane 0.
+    /// Hand-encode the v1 layout (no tenant field, one-word truth) for a
+    /// sample and check it still decodes, with the tenant defaulting to
+    /// lane 0.
     #[test]
     fn v1_checkpoints_decode_with_tenant_zero() {
         let ckpt = sample();
@@ -259,7 +294,8 @@ mod tests {
         for r in &ckpt.spec.risks {
             v1.extend_from_slice(&r.to_bits().to_le_bytes());
         }
-        v1.extend_from_slice(&ckpt.spec.truth.bits().to_le_bytes());
+        let truth_word = ckpt.spec.truth.words().first().copied().unwrap_or(0);
+        v1.extend_from_slice(&truth_word.to_le_bytes());
         v1.push(ckpt.kind.to_byte());
         v1.extend_from_slice(&ckpt.recoveries.to_le_bytes());
         v1.extend_from_slice(&(snapshot.len() as u64).to_le_bytes());
@@ -268,16 +304,46 @@ mod tests {
         let back = CohortCheckpoint::from_bytes(&v1).unwrap();
         assert_eq!(back.spec.tenant, 0, "v1 lands on the default lane");
         assert_eq!(back.spec.id, ckpt.spec.id);
+        assert_eq!(back.spec.truth, ckpt.spec.truth);
         assert_eq!(back.snapshot, ckpt.snapshot);
         for (a, b) in ckpt.spec.risks.iter().zip(&back.spec.risks) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 
+    /// Hand-encode the v2 layout (tenant present, truth still one word)
+    /// and check the decoder widens it into the same `BigState`.
+    #[test]
+    fn v2_checkpoints_decode_their_single_truth_word() {
+        let ckpt = sample();
+        let snapshot = ckpt.snapshot.to_bytes();
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(MAGIC);
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&ckpt.spec.id.to_le_bytes());
+        v2.extend_from_slice(&ckpt.spec.seed.to_le_bytes());
+        v2.extend_from_slice(&ckpt.spec.tenant.to_le_bytes());
+        v2.extend_from_slice(&(ckpt.spec.risks.len() as u64).to_le_bytes());
+        for r in &ckpt.spec.risks {
+            v2.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        let truth_word = ckpt.spec.truth.words().first().copied().unwrap_or(0);
+        v2.extend_from_slice(&truth_word.to_le_bytes());
+        v2.push(ckpt.kind.to_byte());
+        v2.extend_from_slice(&ckpt.recoveries.to_le_bytes());
+        v2.extend_from_slice(&(snapshot.len() as u64).to_le_bytes());
+        v2.extend_from_slice(&snapshot);
+
+        let back = CohortCheckpoint::from_bytes(&v2).unwrap();
+        assert_eq!(back.spec, ckpt.spec);
+        assert_eq!(back.snapshot, ckpt.snapshot);
+    }
+
     #[test]
     fn kind_byte_is_wire_compatible_with_the_old_dense_flag() {
         // Sharded/Dense encode to the exact bytes the old `bool` wrote;
-        // Sparse claims the next value; anything else is typed corruption.
+        // Sparse and the approximate backends claim the next values;
+        // anything else is typed corruption.
         for (kind, byte) in [
             (CohortKind::Sharded, 0u8),
             (CohortKind::Dense, 1),
@@ -289,9 +355,77 @@ mod tests {
             assert_eq!(bytes[kind_offset(&ckpt)], byte);
             assert_eq!(CohortCheckpoint::from_bytes(&bytes).unwrap().kind, kind);
         }
+        for (kind, byte) in [(CohortKind::Bp, 3u8), (CohortKind::Particle, 4)] {
+            let mut ckpt = approx_sample(kind);
+            ckpt.kind = kind;
+            let bytes = ckpt.to_bytes();
+            assert_eq!(bytes[kind_offset(&ckpt)], byte);
+            assert_eq!(CohortCheckpoint::from_bytes(&bytes).unwrap().kind, kind);
+        }
         let ckpt = sample();
         let mut bad = ckpt.to_bytes();
-        bad[kind_offset(&ckpt)] = 3;
+        bad[kind_offset(&ckpt)] = 5;
+        assert!(matches!(
+            CohortCheckpoint::from_bytes(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    /// A checkpoint holding an approximate-session snapshot of `kind`.
+    fn approx_sample(kind: CohortKind) -> CohortCheckpoint {
+        use sbgt::{ApproxKind, ApproxSnapshot, ParticleBlock};
+        let approx_kind = match kind {
+            CohortKind::Bp => ApproxKind::Bp,
+            CohortKind::Particle => ApproxKind::Particle,
+            other => panic!("not an approx kind: {other:?}"),
+        };
+        let particles = (approx_kind == ApproxKind::Particle).then(|| ParticleBlock {
+            words_per_particle: 2,
+            words: vec![0b1, 0b10, 0b11, 0],
+            log_weights: vec![-0.5, -1.5],
+            rng: [1, 2, 3, 4],
+        });
+        CohortCheckpoint {
+            spec: CohortSpec {
+                id: 9,
+                seed: 77,
+                tenant: 1,
+                risks: vec![0.05; 70],
+                truth: BigState::from_subjects([3, 69]),
+            },
+            kind,
+            recoveries: 0,
+            snapshot: SessionSnapshot {
+                n_subjects: 70,
+                shards: vec![],
+                total: 1.0,
+                history: vec![],
+                stages: 1,
+                marginals: vec![],
+                pending_selection: None,
+                sparse: None,
+                approx: Some(ApproxSnapshot {
+                    kind: approx_kind,
+                    history: vec![(vec![0, 3, 69], true)],
+                    particles,
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn approx_checkpoints_round_trip_multi_word_truth() {
+        for kind in [CohortKind::Bp, CohortKind::Particle] {
+            let ckpt = approx_sample(kind);
+            assert!(ckpt.spec.truth.words().len() > 1, "truth spans words");
+            let back = CohortCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+            assert_eq!(back, ckpt);
+        }
+        // A corrupt truth word count is a typed error, not a huge alloc.
+        let ckpt = approx_sample(CohortKind::Bp);
+        let mut bad = ckpt.to_bytes();
+        let count_at = 8 + 4 + 8 + 8 + 4 + 8 + ckpt.spec.risks.len() * 8;
+        bad[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             CohortCheckpoint::from_bytes(&bad),
             Err(SnapshotError::Corrupt(_))

@@ -20,13 +20,14 @@ use sbgt::{
     ExecMode, PlanCache, PlanKey, PlanLineage, RiskQuantizer, RoundStep, SbgtConfig, SbgtSession,
     SessionOutcome, SessionSnapshot, ShardedSession, SparseSession,
 };
+use sbgt_approx::{BpConfig, BpSession, ParticleConfig, ParticleSession};
 use sbgt_bayes::Prior;
 use sbgt_engine::Engine;
-use sbgt_lattice::State;
+use sbgt_lattice::{BigState, State};
 use sbgt_response::{BinaryDilutionModel, BinaryOutcomeModel};
 
 use crate::checkpoint::CohortKind;
-use crate::config::SessionPolicy;
+use crate::config::{ApproxBackend, SessionPolicy};
 
 /// One submitted specimen: its prior risk and (for the virtual lab) its
 /// ground-truth infection status.
@@ -53,7 +54,9 @@ pub struct CohortSpec {
     /// Prior risk per subject, in submission order.
     pub risks: Vec<f64>,
     /// Ground-truth infected set (subject indices within the cohort).
-    pub truth: State,
+    /// A [`BigState`] so approximate cohorts can exceed the exact
+    /// backends' one-word subject ceiling.
+    pub truth: BigState,
 }
 
 impl CohortSpec {
@@ -64,7 +67,7 @@ impl CohortSpec {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(id);
         let risks = specimens.iter().map(|s| s.risk).collect();
-        let truth = State::from_subjects(
+        let truth = BigState::from_subjects(
             specimens
                 .iter()
                 .enumerate()
@@ -102,11 +105,46 @@ pub fn lab_outcome(
     pool: State,
     model: &BinaryDilutionModel,
 ) -> bool {
+    lab_draw(
+        spec,
+        test_index,
+        spec.truth.positives_in(&BigState::from_state(pool)),
+        pool.rank(),
+        model,
+    )
+}
+
+/// [`lab_outcome`] for pools beyond the one-word ceiling (approximate
+/// cohorts). One-word pools produce bit-identical outcomes through either
+/// entry point: both reduce the query to `(positives, rank)` before the
+/// draw.
+pub fn lab_outcome_big(
+    spec: &CohortSpec,
+    test_index: usize,
+    pool: &BigState,
+    model: &BinaryDilutionModel,
+) -> bool {
+    lab_draw(
+        spec,
+        test_index,
+        spec.truth.positives_in(pool),
+        pool.rank(),
+        model,
+    )
+}
+
+fn lab_draw(
+    spec: &CohortSpec,
+    test_index: usize,
+    positives: u32,
+    rank: u32,
+    model: &BinaryDilutionModel,
+) -> bool {
     let mut rng = StdRng::seed_from_u64(
         spec.seed ^ (test_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
     let u: f64 = rng.random();
-    u < model.positive_prob(spec.truth.positives_in(pool), pool.rank())
+    u < model.positive_prob(positives, rank)
 }
 
 /// Chunk specimens into cohorts in arrival order — the same rule the
@@ -125,13 +163,29 @@ pub fn batch_specimens(
         .collect()
 }
 
-/// The session behind a cohort, picked by the [`SessionPolicy`]: dense
-/// in-memory below the size threshold, pruned-sparse at or above the
-/// sparse threshold when the policy enables it, engine-sharded otherwise.
+/// The particle tuning a policy implies for one cohort: the cloud size
+/// from the policy, the stream seed from the cohort's own seed — so the
+/// sampled posterior is a deterministic function of `(spec, policy)` and
+/// two cohorts never share a sample path.
+fn particle_config(policy: &SessionPolicy, spec: &CohortSpec) -> ParticleConfig {
+    ParticleConfig {
+        particles: policy.approx_particles,
+        seed: spec.seed,
+        ..ParticleConfig::default()
+    }
+}
+
+/// The session behind a cohort, picked by the [`SessionPolicy`]:
+/// approximate (BP or particle) at or above the approx threshold — the
+/// only kinds with no `2^N` footprint — dense in-memory below the dense
+/// threshold, pruned-sparse at or above the sparse threshold when the
+/// policy enables it, engine-sharded otherwise.
 enum SessionKind {
     Dense(SbgtSession<BinaryDilutionModel>),
     Sharded(ShardedSession<BinaryDilutionModel>),
     Sparse(SparseSession<BinaryDilutionModel>),
+    Bp(BpSession<BinaryDilutionModel>),
+    Particle(ParticleSession<BinaryDilutionModel>),
 }
 
 impl SessionKind {
@@ -140,6 +194,8 @@ impl SessionKind {
             SessionKind::Dense(_) => CohortKind::Dense,
             SessionKind::Sharded(_) => CohortKind::Sharded,
             SessionKind::Sparse(_) => CohortKind::Sparse,
+            SessionKind::Bp(_) => CohortKind::Bp,
+            SessionKind::Particle(_) => CohortKind::Particle,
         }
     }
 }
@@ -167,9 +223,11 @@ pub struct CohortActor {
 }
 
 impl CohortActor {
-    /// Open a cohort per the placement policy: dense session when
-    /// `n < dense_threshold`; pruned-sparse when the policy's epsilon is
-    /// positive and `n >= sparse_threshold`; sharded otherwise.
+    /// Open a cohort per the placement policy: approximate backend when
+    /// the approx threshold is enabled and `n >= approx_threshold` (checked
+    /// first — no exact structure is ever built for those cohorts); dense
+    /// session when `n < dense_threshold`; pruned-sparse when the policy's
+    /// epsilon is positive and `n >= sparse_threshold`; sharded otherwise.
     pub fn new(
         engine: &Engine,
         spec: CohortSpec,
@@ -181,16 +239,34 @@ impl CohortActor {
         // arithmetic — and the plan key derived from the same risks —
         // agree on the exact prior bits. Identity when buckets == 0.
         let risks = RiskQuantizer::new(policy.plan_risk_buckets).snap_all(&spec.risks);
-        let prior = Prior::from_risks(&risks);
         let n = spec.n_subjects();
-        let kind = if n < policy.dense_threshold {
+        let kind = if policy.approx_threshold > 0 && n >= policy.approx_threshold {
+            match policy.approx_backend {
+                ApproxBackend::Bp => SessionKind::Bp(
+                    BpSession::new(&risks, model, session_config, BpConfig::default())
+                        .expect("risks and config validated by ServiceConfig"),
+                ),
+                ApproxBackend::Particle => SessionKind::Particle(
+                    ParticleSession::new(
+                        &risks,
+                        model,
+                        session_config,
+                        particle_config(&policy, &spec),
+                    )
+                    .expect("risks and config validated by ServiceConfig"),
+                ),
+            }
+        } else if n < policy.dense_threshold {
+            let prior = Prior::from_risks(&risks);
             SessionKind::Dense(SbgtSession::new(prior, model, session_config))
         } else if policy.sparse_epsilon > 0.0 && n >= policy.sparse_threshold {
+            let prior = Prior::from_risks(&risks);
             SessionKind::Sparse(
                 SparseSession::new(prior, model, session_config, policy.sparse_epsilon)
                     .expect("policy epsilon validated by ServiceConfig"),
             )
         } else {
+            let prior = Prior::from_risks(&risks);
             SessionKind::Sharded(ShardedSession::new(
                 engine,
                 prior,
@@ -291,6 +367,14 @@ impl CohortActor {
             SessionKind::Sparse(_) => PlanLineage::Sparse {
                 epsilon_bits: self.policy.sparse_epsilon.to_bits(),
             },
+            SessionKind::Bp(s) => PlanLineage::Bp {
+                max_iters: s.bp_config().max_iters,
+                damping_bits: s.bp_config().damping.to_bits(),
+            },
+            SessionKind::Particle(s) => PlanLineage::Particle {
+                particles: s.particle_config().particles as u32,
+                ess_bits: s.particle_config().ess_frac.to_bits(),
+            },
         };
         let key = PlanKey::new(
             &risks,
@@ -306,6 +390,12 @@ impl CohortActor {
             SessionKind::Dense(s) => s.attach_plan(handle),
             SessionKind::Sharded(s) => s.attach_plan(handle),
             SessionKind::Sparse(s) => s.attach_plan(handle),
+            // Approximate sessions select from live marginals, not a
+            // memoized decision tree. The lineage-distinct key is still
+            // derived (and the cache entry claimed) so an exact cohort can
+            // never replay an approximate trajectory, or vice versa, if a
+            // future backend starts recording plans under these tags.
+            SessionKind::Bp(_) | SessionKind::Particle(_) => drop(handle),
         }
     }
 
@@ -314,6 +404,8 @@ impl CohortActor {
             SessionKind::Dense(s) => s.history().len(),
             SessionKind::Sharded(s) => s.history().len(),
             SessionKind::Sparse(s) => s.history().len(),
+            SessionKind::Bp(s) => s.tests_performed(),
+            SessionKind::Particle(s) => s.tests_performed(),
         }
     }
 
@@ -324,17 +416,42 @@ impl CohortActor {
         let spec = &self.spec;
         let model = self.model;
         let mut idx = self.tests_done;
-        let lab = |pool: State| {
-            let outcome = lab_outcome(spec, idx, pool, &model);
-            idx += 1;
-            outcome
-        };
+        // Each arm builds its own lab closure (the exact sessions query by
+        // one-word `State`, the approximate ones by `BigState`) over the
+        // same pure outcome function and shared test cursor.
         let step = match &mut self.kind {
-            SessionKind::Dense(s) => s.run_round(lab),
-            SessionKind::Sharded(s) => s.run_round(engine, lab),
+            SessionKind::Dense(s) => s.run_round(|pool: State| {
+                let outcome = lab_outcome(spec, idx, pool, &model);
+                idx += 1;
+                outcome
+            }),
+            SessionKind::Sharded(s) => s.run_round(engine, |pool: State| {
+                let outcome = lab_outcome(spec, idx, pool, &model);
+                idx += 1;
+                outcome
+            }),
             // The sparse update runs as a fault-injectable engine stage,
             // so chaos campaigns cover sparse cohorts like sharded ones.
-            SessionKind::Sparse(s) => s.run_round_on(engine, lab),
+            SessionKind::Sparse(s) => s.run_round_on(engine, |pool: State| {
+                let outcome = lab_outcome(spec, idx, pool, &model);
+                idx += 1;
+                outcome
+            }),
+            // The BP relaxation likewise runs as an engine stage; a retry
+            // recomputes the identical fixed point.
+            SessionKind::Bp(s) => s.run_round_on(engine, |pool: &BigState| {
+                let outcome = lab_outcome_big(spec, idx, pool, &model);
+                idx += 1;
+                outcome
+            }),
+            // The particle update mutates the RNG stream, which does not
+            // fit the engine's pure-retry contract; recovery for particle
+            // cohorts rides entirely on snapshot rollback.
+            SessionKind::Particle(s) => s.run_round(|pool: &BigState| {
+                let outcome = lab_outcome_big(spec, idx, pool, &model);
+                idx += 1;
+                outcome
+            }),
         };
         self.tests_done = self.history_len();
         step
@@ -411,6 +528,16 @@ impl CohortActor {
                     s.attach_obs(std::sync::Arc::clone(engine.obs()), self.spec.id);
                 }
             }
+            SessionKind::Bp(s) => {
+                if !s.has_obs() {
+                    s.attach_obs(std::sync::Arc::clone(engine.obs()), self.spec.id);
+                }
+            }
+            SessionKind::Particle(s) => {
+                if !s.has_obs() {
+                    s.attach_obs(std::sync::Arc::clone(engine.obs()), self.spec.id);
+                }
+            }
         }
     }
 
@@ -420,6 +547,8 @@ impl CohortActor {
             SessionKind::Dense(s) => s.snapshot(),
             SessionKind::Sharded(s) => s.snapshot(),
             SessionKind::Sparse(s) => s.snapshot(),
+            SessionKind::Bp(s) => s.snapshot(),
+            SessionKind::Particle(s) => s.snapshot(),
         }
     }
 
@@ -439,6 +568,28 @@ impl CohortActor {
                     self.model,
                     self.session_config,
                     self.policy.sparse_epsilon,
+                )
+                .expect("own snapshot restores"),
+            ),
+            // Approximate restores need the (quantized) risks back — they
+            // are the session's prior, not part of the snapshot.
+            SessionKind::Bp(_) => SessionKind::Bp(
+                BpSession::restore(
+                    snapshot,
+                    &RiskQuantizer::new(self.policy.plan_risk_buckets).snap_all(&self.spec.risks),
+                    self.model,
+                    self.session_config,
+                    BpConfig::default(),
+                )
+                .expect("own snapshot restores"),
+            ),
+            SessionKind::Particle(_) => SessionKind::Particle(
+                ParticleSession::restore(
+                    snapshot,
+                    &RiskQuantizer::new(self.policy.plan_risk_buckets).snap_all(&self.spec.risks),
+                    self.model,
+                    self.session_config,
+                    particle_config(&self.policy, &self.spec),
                 )
                 .expect("own snapshot restores"),
             ),
@@ -488,6 +639,20 @@ impl CohortActor {
                 model,
                 session_config,
                 policy.sparse_epsilon,
+            )?),
+            CohortKind::Bp => SessionKind::Bp(BpSession::restore(
+                &checkpoint.snapshot,
+                &RiskQuantizer::new(policy.plan_risk_buckets).snap_all(&checkpoint.spec.risks),
+                model,
+                session_config,
+                BpConfig::default(),
+            )?),
+            CohortKind::Particle => SessionKind::Particle(ParticleSession::restore(
+                &checkpoint.snapshot,
+                &RiskQuantizer::new(policy.plan_risk_buckets).snap_all(&checkpoint.spec.risks),
+                model,
+                session_config,
+                particle_config(&policy, &checkpoint.spec),
             )?),
         };
         let mut actor = CohortActor {
@@ -552,7 +717,7 @@ mod tests {
             seed: 42,
             tenant: 0,
             risks: vec![0.05; 8],
-            truth: State::from_subjects([0]),
+            truth: BigState::from_subjects([0]),
         };
         let model = BinaryDilutionModel::pcr_like();
         // One positive diluted across the full cohort: the positive
@@ -596,6 +761,9 @@ mod tests {
             parts,
             sparse_epsilon: 0.0,
             sparse_threshold: 0,
+            approx_threshold: 0,
+            approx_backend: ApproxBackend::Bp,
+            approx_particles: 512,
             plan_risk_buckets: 0,
         }
     }
@@ -637,7 +805,7 @@ mod tests {
         ] {
             let outcome = run_cohort_serial(&e, &spec, model, cfg, p);
             assert!(outcome.classification.is_terminal());
-            let positives = State::from_subjects(
+            let positives = BigState::from_subjects(
                 outcome
                     .classification
                     .statuses
@@ -647,6 +815,87 @@ mod tests {
                     .map(|(i, _)| i),
             );
             assert_eq!(positives, spec.truth, "{label}");
+        }
+    }
+
+    #[test]
+    fn approx_placement_takes_precedence() {
+        let e = engine();
+        let spec = CohortSpec::from_specimens(0, 5, &specimens(8, 3));
+        let model = BinaryDilutionModel::perfect();
+        let cfg = SbgtConfig::default();
+        // The approx threshold wins over dense/sparse/sharded rules.
+        let bp_policy = SessionPolicy {
+            approx_threshold: 4,
+            sparse_epsilon: 1e-9,
+            ..policy(100, 3)
+        };
+        assert_eq!(
+            CohortActor::new(&e, spec.clone(), model, cfg, bp_policy).kind(),
+            CohortKind::Bp
+        );
+        let particle_policy = SessionPolicy {
+            approx_backend: ApproxBackend::Particle,
+            ..bp_policy
+        };
+        assert_eq!(
+            CohortActor::new(&e, spec.clone(), model, cfg, particle_policy).kind(),
+            CohortKind::Particle
+        );
+        // Below the threshold the exact rules apply untouched.
+        let undersized = SessionPolicy {
+            approx_threshold: spec.n_subjects() + 1,
+            ..policy(100, 3)
+        };
+        assert_eq!(
+            CohortActor::new(&e, spec, model, cfg, undersized).kind(),
+            CohortKind::Dense
+        );
+    }
+
+    /// An approximate cohort past the one-word truth ceiling classifies
+    /// end-to-end and its checkpoint resumes bit-for-bit — the service-side
+    /// half of the 2^N-wall story.
+    #[test]
+    fn approx_checkpoint_restore_resumes_bit_for_bit() {
+        let e = engine();
+        // 70 subjects: truth spans two words; an exact session cannot even
+        // represent this cohort.
+        let sp = specimens(70, 21);
+        assert!(sp.iter().any(|s| s.infected), "seed must infect someone");
+        let spec = CohortSpec::from_specimens(3, 13, &sp);
+        let model = BinaryDilutionModel::new(0.99, 0.995, sbgt_response::Dilution::None);
+        let cfg = SbgtConfig::default();
+        for backend in [ApproxBackend::Bp, ApproxBackend::Particle] {
+            let p = SessionPolicy {
+                approx_threshold: 17,
+                approx_backend: backend,
+                ..policy(0, 4)
+            };
+            let expected = run_cohort_serial(&e, &spec, model, cfg, p);
+            assert!(
+                expected.classification.is_terminal(),
+                "{backend:?} must classify"
+            );
+
+            let mut actor = CohortActor::new(&e, spec.clone(), model, cfg, p);
+            for _ in 0..2 {
+                assert!(matches!(actor.run_round(&e), RoundStep::Progressed));
+            }
+            let bytes = actor.checkpoint().to_bytes();
+            drop(actor);
+            let checkpoint = crate::checkpoint::CohortCheckpoint::from_bytes(&bytes).unwrap();
+            assert_eq!(checkpoint.spec.truth, spec.truth);
+            let mut restored = CohortActor::restore(&checkpoint, model, cfg, p).unwrap();
+            let outcome = loop {
+                if let RoundStep::Finished(o) = restored.run_round(&e) {
+                    break o;
+                }
+            };
+            assert_eq!(outcome, expected, "{backend:?}");
+            for (a, b) in outcome.marginals.iter().zip(&expected.marginals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{backend:?}");
+            }
         }
     }
 

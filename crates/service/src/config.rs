@@ -19,9 +19,11 @@ pub struct ServiceConfig {
     /// [`crate::SurveillanceService::try_submit`] sheds when it is full.
     pub queue_capacity: usize,
     /// Cohort size: a batch closes when it holds this many specimens. The
-    /// `2^N` lattice bounds this hard (≤ 16 here; the sharded sessions keep
-    /// memory linear in `2^N / parts` but the service targets interactive
-    /// cohorts).
+    /// `2^N` lattice bounds this at 16 for the exact backends (the sharded
+    /// sessions keep memory linear in `2^N / parts` but the service targets
+    /// interactive cohorts); larger batches are accepted only when
+    /// [`Self::approx_threshold`] routes every oversized cohort to an
+    /// approximate backend, which scales in specimens and pools instead.
     pub batch_size: usize,
     /// A partially-filled batch closes this long after its first specimen
     /// arrives, so low-traffic cohorts are not starved.
@@ -43,6 +45,19 @@ pub struct ServiceConfig {
     /// [`Self::sparse_epsilon`] is positive). Cohorts between
     /// `dense_threshold` and this size stay sharded.
     pub sparse_threshold: usize,
+    /// Cohorts of at least this many subjects run an approximate posterior
+    /// backend ([`Self::approx_backend`]) instead of any exact `2^N`
+    /// session. `0` (the default) disables approximate placement; when
+    /// [`Self::batch_size`] exceeds 16 this must be set (and at most 17)
+    /// so every cohort past the exact wall lands on the approximate path.
+    /// Takes precedence over the dense/sparse/sharded thresholds.
+    pub approx_threshold: usize,
+    /// Which approximate backend oversized cohorts run.
+    pub approx_backend: ApproxBackend,
+    /// Particle count for [`ApproxBackend::Particle`] cohorts (ignored by
+    /// the BP backend). Must be positive when approximate placement is
+    /// enabled with the particle backend.
+    pub approx_particles: usize,
     /// Per-tree node budget of the process-wide plan cache: memoized BHA
     /// decision trees shared by every cohort whose quantized configuration
     /// maps to the same `PlanKey`. `0` (the default) disables the cache;
@@ -85,6 +100,9 @@ impl Default for ServiceConfig {
             parts: 4,
             sparse_epsilon: 0.0,
             sparse_threshold: 12,
+            approx_threshold: 0,
+            approx_backend: ApproxBackend::Bp,
+            approx_particles: 2048,
             plan_cache_nodes: 0,
             plan_risk_buckets: 0,
             tenants: Vec::new(),
@@ -111,11 +129,36 @@ impl ServiceConfig {
                 "ingress queue capacity must be at least 1".into(),
             ));
         }
-        if self.batch_size == 0 || self.batch_size > 16 {
+        if self.batch_size == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "batch size must be at least 1".into(),
+            ));
+        }
+        if self.batch_size > 16 && self.approx_threshold == 0 {
             return Err(ServiceError::InvalidConfig(format!(
-                "batch size {} outside 1..=16 (the 2^N lattice bounds cohort size)",
+                "batch size {} outside 1..=16 (the 2^N lattice bounds exact \
+                 cohort size); set approx_threshold to route oversized \
+                 cohorts to an approximate backend",
                 self.batch_size
             )));
+        }
+        if self.batch_size > 16 && self.approx_threshold > 17 {
+            return Err(ServiceError::InvalidConfig(format!(
+                "approx_threshold {} leaves cohorts of 17..{} subjects with \
+                 no session able to hold them (exact backends stop at 16); \
+                 it must be at most 17 when batch size exceeds 16",
+                self.approx_threshold, self.approx_threshold
+            )));
+        }
+        if self.approx_threshold > 0
+            && self.approx_backend == ApproxBackend::Particle
+            && self.approx_particles == 0
+        {
+            return Err(ServiceError::InvalidConfig(
+                "particle backend enabled with zero particles; a weightless \
+                 cloud cannot represent any posterior"
+                    .into(),
+            ));
         }
         if self.max_live_cohorts == 0 {
             return Err(ServiceError::InvalidConfig(
@@ -204,9 +247,24 @@ impl ServiceConfig {
             parts: self.parts,
             sparse_epsilon: self.sparse_epsilon,
             sparse_threshold: self.sparse_threshold,
+            approx_threshold: self.approx_threshold,
+            approx_backend: self.approx_backend,
+            approx_particles: self.approx_particles,
             plan_risk_buckets: self.plan_risk_buckets,
         }
     }
+}
+
+/// Which approximate posterior backend oversized cohorts run. Both scale
+/// in specimens, pools, and (for SMC) particles — never `2^N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApproxBackend {
+    /// Loopy belief propagation on the specimen↔pool factor graph:
+    /// deterministic, fast, and exact on cycle-free observation sets.
+    Bp,
+    /// Sequential Monte Carlo particle posterior: seeded, snapshotable,
+    /// bit-for-bit reproducible sampling that keeps subject correlations.
+    Particle,
 }
 
 /// One lab tenant's QoS lane: its share of the engine under contention
@@ -248,6 +306,13 @@ pub struct SessionPolicy {
     pub sparse_epsilon: f64,
     /// Minimum cohort size for the sparse session.
     pub sparse_threshold: usize,
+    /// Minimum cohort size for an approximate backend (`0` disables;
+    /// takes precedence over every exact placement rule).
+    pub approx_threshold: usize,
+    /// Which approximate backend oversized cohorts run.
+    pub approx_backend: ApproxBackend,
+    /// Particle count for particle-backend cohorts.
+    pub approx_particles: usize,
     /// Risk-quantization resolution for plan-cache keys (`0` = exact
     /// risks). Applied to cohort risks before the prior is built, so the
     /// quantized risks are what the session — and its `PlanKey` — see.
@@ -292,6 +357,23 @@ mod tests {
                 "batch-cap",
                 ServiceConfig {
                     batch_size: 17,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch-cap-approx-gap",
+                ServiceConfig {
+                    batch_size: 64,
+                    approx_threshold: 18,
+                    ..base.clone()
+                },
+            ),
+            (
+                "particles-zero",
+                ServiceConfig {
+                    approx_threshold: 12,
+                    approx_backend: ApproxBackend::Particle,
+                    approx_particles: 0,
                     ..base.clone()
                 },
             ),
@@ -399,6 +481,9 @@ mod tests {
             parts: 5,
             sparse_epsilon: 1e-6,
             sparse_threshold: 7,
+            approx_threshold: 17,
+            approx_backend: ApproxBackend::Particle,
+            approx_particles: 1024,
             plan_cache_nodes: 64,
             plan_risk_buckets: 16,
             ..ServiceConfig::default()
@@ -411,8 +496,31 @@ mod tests {
                 parts: 5,
                 sparse_epsilon: 1e-6,
                 sparse_threshold: 7,
+                approx_threshold: 17,
+                approx_backend: ApproxBackend::Particle,
+                approx_particles: 1024,
                 plan_risk_buckets: 16,
             }
         );
+    }
+
+    #[test]
+    fn oversized_batches_need_an_approximate_backstop() {
+        // A 256-specimen batch is exactly the regime the approximate
+        // backends exist for — valid once approx_threshold guarantees no
+        // cohort past the 2^N wall lands on an exact session.
+        let cfg = ServiceConfig {
+            batch_size: 256,
+            approx_threshold: 17,
+            ..ServiceConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        // Routing every cohort approx (threshold 1) is also coherent.
+        let all_approx = ServiceConfig {
+            batch_size: 256,
+            approx_threshold: 1,
+            ..ServiceConfig::default()
+        };
+        assert!(all_approx.validate().is_ok());
     }
 }

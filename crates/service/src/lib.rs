@@ -57,9 +57,10 @@ pub mod wfq;
 
 pub use checkpoint::{CohortCheckpoint, CohortKind};
 pub use cohort::{
-    batch_specimens, lab_outcome, run_cohort_serial, CohortActor, CohortSpec, Specimen,
+    batch_specimens, lab_outcome, lab_outcome_big, run_cohort_serial, CohortActor, CohortSpec,
+    Specimen,
 };
-pub use config::{ServiceConfig, SessionPolicy, TenantSpec};
+pub use config::{ApproxBackend, ServiceConfig, SessionPolicy, TenantSpec};
 pub use error::{ServiceError, ShedReason};
 pub use service::{CohortReport, ServiceCheckpoint, SurveillanceService};
 pub use wfq::WfqScheduler;

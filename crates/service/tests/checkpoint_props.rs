@@ -1,0 +1,201 @@
+//! Property tests: `SBGTCKPT` checkpoints carrying the approx cohort kinds
+//! (BP, particle) round-trip bit-for-bit over multi-word truths and fail
+//! closed under tampering — truncation, kind-byte rewrites, and arbitrary
+//! byte flips are typed errors or restore-time rejections, never panics.
+
+use proptest::prelude::*;
+
+use sbgt::{ApproxKind, ApproxSnapshot, ParticleBlock, SbgtConfig, SessionSnapshot};
+use sbgt_lattice::BigState;
+use sbgt_response::BinaryDilutionModel;
+use sbgt_service::{
+    ApproxBackend, CohortActor, CohortCheckpoint, CohortKind, CohortSpec, SessionPolicy,
+};
+
+fn risks_from_seed(seed: u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 + 1)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            0.01 + (h >> 11) as f64 / (1u64 << 53) as f64 * 0.15
+        })
+        .collect()
+}
+
+/// A checkpoint for an approx cohort big enough that its truth spans
+/// multiple `u64` words — the regime the v3 header exists for.
+fn approx_checkpoint(kind: CohortKind, seed: u64, n: usize) -> CohortCheckpoint {
+    assert!((66..=128).contains(&n), "two-word truth regime");
+    let history: Vec<(Vec<u32>, bool)> = vec![
+        ((0..n as u32 / 2).collect(), false),
+        ((n as u32 / 2..n as u32).collect(), true),
+    ];
+    let particles = match kind {
+        CohortKind::Particle => {
+            let wpp = n.div_ceil(64);
+            Some(ParticleBlock {
+                words_per_particle: wpp,
+                words: (0..3 * wpp as u64)
+                    .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                    .collect(),
+                log_weights: vec![-0.5, -1.25, 0.0],
+                rng: [seed | 1, 2, 3, 4],
+            })
+        }
+        _ => None,
+    };
+    CohortCheckpoint {
+        spec: CohortSpec {
+            id: 7,
+            seed,
+            tenant: 2,
+            risks: risks_from_seed(seed, n),
+            truth: BigState::from_subjects([1, 64, n - 1]),
+        },
+        kind,
+        recoveries: 1,
+        snapshot: SessionSnapshot {
+            n_subjects: n,
+            shards: vec![],
+            total: 1.0,
+            history: vec![],
+            stages: 2,
+            marginals: vec![],
+            pending_selection: None,
+            sparse: None,
+            approx: Some(ApproxSnapshot {
+                kind: match kind {
+                    CohortKind::Particle => ApproxKind::Particle,
+                    _ => ApproxKind::Bp,
+                },
+                history,
+                particles,
+            }),
+        },
+    }
+}
+
+/// Byte offset of the cohort kind in the v3 wire layout: magic, version,
+/// id, seed, tenant, risk count + risks, truth word count + words.
+fn kind_offset(ckpt: &CohortCheckpoint) -> usize {
+    8 + 4 + 8 + 8 + 4 + 8 + ckpt.spec.risks.len() * 8 + 4 + ckpt.spec.truth.words().len() * 8
+}
+
+fn policy(backend: ApproxBackend) -> SessionPolicy {
+    SessionPolicy {
+        dense_threshold: 12,
+        parts: 4,
+        sparse_epsilon: 0.0,
+        sparse_threshold: 0,
+        approx_threshold: 17,
+        approx_backend: backend,
+        approx_particles: 3,
+        plan_risk_buckets: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Approx-kind checkpoints with two-word truths round-trip bit-for-bit
+    /// and restore to an actor of the same kind; truncation anywhere is a
+    /// typed error.
+    #[test]
+    fn approx_checkpoints_round_trip_and_reject_truncation(
+        seed in proptest::arbitrary::any::<u64>(),
+        n in 66usize..=120,
+        cut_seed in proptest::arbitrary::any::<usize>(),
+    ) {
+        for (kind, backend) in [
+            (CohortKind::Bp, ApproxBackend::Bp),
+            (CohortKind::Particle, ApproxBackend::Particle),
+        ] {
+            let ckpt = approx_checkpoint(kind, seed, n);
+            let bytes = ckpt.to_bytes();
+            prop_assert_eq!(&CohortCheckpoint::from_bytes(&bytes).unwrap(), &ckpt);
+            let cut = cut_seed % bytes.len();
+            prop_assert!(CohortCheckpoint::from_bytes(&bytes[..cut]).is_err());
+            let actor = CohortActor::restore(
+                &ckpt,
+                BinaryDilutionModel::pcr_like(),
+                SbgtConfig::default(),
+                policy(backend),
+            ).unwrap();
+            prop_assert_eq!(actor.checkpoint().kind, kind);
+        }
+    }
+
+    /// Rewriting the cohort kind byte fails closed: bytes past the known
+    /// range are a decode error, and every *valid-but-wrong* kind is caught
+    /// at restore time because the embedded snapshot does not match it.
+    #[test]
+    fn kind_byte_rewrites_are_rejected(
+        seed in proptest::arbitrary::any::<u64>(),
+        n in 66usize..=120,
+        junk in 5u8..=255,
+    ) {
+        for kind in [CohortKind::Bp, CohortKind::Particle] {
+            let ckpt = approx_checkpoint(kind, seed, n);
+            let bytes = ckpt.to_bytes();
+            let at = kind_offset(&ckpt);
+            prop_assert_eq!(bytes[at], kind.to_byte(), "kind offset drifted");
+
+            let mut unknown = bytes.clone();
+            unknown[at] = junk;
+            let err = CohortCheckpoint::from_bytes(&unknown).unwrap_err();
+            prop_assert!(err.to_string().contains("unknown cohort kind"));
+
+            for wrong in [0u8, 1, 2, 3, 4] {
+                if wrong == kind.to_byte() {
+                    continue;
+                }
+                let mut flipped = bytes.clone();
+                flipped[at] = wrong;
+                // The checkpoint header decodes (the kind byte is valid),
+                // but no session of the rewritten kind accepts the payload.
+                let Ok(decoded) = CohortCheckpoint::from_bytes(&flipped) else {
+                    continue;
+                };
+                for backend in [ApproxBackend::Bp, ApproxBackend::Particle] {
+                    prop_assert!(CohortActor::restore(
+                        &decoded,
+                        BinaryDilutionModel::pcr_like(),
+                        SbgtConfig::default(),
+                        policy(backend),
+                    ).is_err(), "kind {wrong} restored an approx {:?} payload", kind);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary single-byte flips never panic: decode either rejects with
+    /// a typed error or yields a checkpoint the restore layer can vet.
+    #[test]
+    fn flipped_bytes_never_panic_the_checkpoint_codec(
+        seed in proptest::arbitrary::any::<u64>(),
+        n in 66usize..=100,
+        at_seed in proptest::arbitrary::any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        for (kind, backend) in [
+            (CohortKind::Bp, ApproxBackend::Bp),
+            (CohortKind::Particle, ApproxBackend::Particle),
+        ] {
+            let ckpt = approx_checkpoint(kind, seed, n);
+            let mut bytes = ckpt.to_bytes();
+            let at = at_seed % bytes.len();
+            bytes[at] ^= xor;
+            let Ok(decoded) = CohortCheckpoint::from_bytes(&bytes) else {
+                continue;
+            };
+            let _ = CohortActor::restore(
+                &decoded,
+                BinaryDilutionModel::pcr_like(),
+                SbgtConfig::default(),
+                policy(backend),
+            );
+        }
+    }
+}

@@ -62,6 +62,36 @@ impl TrafficConfig {
         }
     }
 
+    /// A large-cohort stress profile for the approximate backends:
+    /// `cohorts` batches of `n` specimens each (typically 64, 128, or 256
+    /// — far past the exact backends' `2^16` lattice wall) at a flat,
+    /// configurable `prevalence`. The arrival rate is high relative to
+    /// any sane batch deadline, so a service consuming this trace closes
+    /// its batches by **size** and actually forms `n`-subject cohorts.
+    ///
+    /// Panics on `n <= 16` (that regime belongs to the exact profiles) or
+    /// a prevalence outside `(0, 1)`.
+    pub fn large_cohort(n: usize, cohorts: usize, prevalence: f64, seed: u64) -> Self {
+        assert!(
+            n > 16,
+            "large-cohort profile starts past the exact 2^N wall (n > 16), got {n}"
+        );
+        assert!(
+            prevalence > 0.0 && prevalence < 1.0,
+            "prevalence {prevalence} outside (0, 1)"
+        );
+        TrafficConfig {
+            rate_per_sec: 10_000.0,
+            specimens: n * cohorts,
+            classes: vec![TrafficClass {
+                weight: 1.0,
+                risk: prevalence,
+                tenant: 0,
+            }],
+            seed,
+        }
+    }
+
     /// A two-lab QoS scenario: both tenants submit the same screening-like
     /// mix, tenant 0 at `share` of the arrival mass and tenant 1 at the
     /// rest. Used by the WFQ fairness experiments, where the service gives
@@ -194,6 +224,31 @@ mod tests {
     fn zero_rate_rejected() {
         let cfg = TrafficConfig::mixed(0.0, 10, 1);
         generate_arrivals(&cfg);
+    }
+
+    #[test]
+    fn large_cohort_profile_covers_the_approx_sizes() {
+        for n in [64, 128, 256] {
+            let cfg = TrafficConfig::large_cohort(n, 4, 0.03, 17);
+            let arrivals = generate_arrivals(&cfg);
+            assert_eq!(arrivals.len(), n * 4, "4 full cohorts of {n}");
+            assert!(arrivals.iter().all(|a| a.risk == 0.03 && a.tenant == 0));
+            // Arrivals land densely enough that size-based batching wins
+            // over any deadline in the tens of milliseconds.
+            let span = arrivals.last().unwrap().at.as_secs_f64();
+            assert!(span < n as f64, "trace spans {span}s for n={n}");
+        }
+        let cfg = TrafficConfig::large_cohort(256, 8, 0.1, 5);
+        let arrivals = generate_arrivals(&cfg);
+        let prevalence =
+            arrivals.iter().filter(|a| a.infected).count() as f64 / arrivals.len() as f64;
+        assert!((prevalence - 0.1).abs() < 0.03, "prevalence {prevalence}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exact 2^N wall")]
+    fn large_cohort_rejects_exact_sized_cohorts() {
+        TrafficConfig::large_cohort(16, 1, 0.05, 1);
     }
 
     #[test]
