@@ -4,9 +4,9 @@
 
 CARGO := CARGO_NET_OFFLINE=true cargo
 
-.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke plancache-smoke soak-smoke approx-smoke
+.PHONY: verify fmt fmt-check clippy build test chaos service-smoke obs-smoke bench bench-smoke kernels-smoke plancache-smoke soak-smoke approx-smoke fleet-obs-smoke
 
-verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke plancache-smoke soak-smoke approx-smoke
+verify: fmt-check clippy build test chaos service-smoke obs-smoke bench-smoke kernels-smoke plancache-smoke soak-smoke approx-smoke fleet-obs-smoke
 	@echo "verify: OK"
 
 fmt:
@@ -66,13 +66,25 @@ plancache-smoke:
 	SBGT_BENCH_SMOKE=1 $(CARGO) bench -p sbgt-bench --bench plancache -- --test
 
 # Shard-fabric smoke: a short seeded soak through the real wire path —
-# 2 shard processes behind the binary protocol, client-side cohort
+# 3 shard processes behind the binary protocol, client-side cohort
 # formation on the consistent-hash ring, one mid-run drain whose live
 # cohorts relocate by checkpoint handoff. The binary itself asserts the
-# specimen ledger balances (zero lost, including across the drain) and
-# bounds the shed rate, exiting nonzero otherwise.
+# specimen ledger balances (zero lost, including across the drain), that
+# the fleet scrape stitches one validated Chrome trace across all three
+# processes (artifacts under target/obs/), and bounds the shed rate,
+# exiting nonzero otherwise.
 soak-smoke:
 	$(CARGO) run --release -p sbgt-bench --bin soak -- --smoke
+
+# Fleet-observability smoke: the in-process loopback version of the same
+# bar — trace contexts ride the wire trailers, a relocated cohort leaves
+# spans on two trace processes under one deterministic trace id, the
+# FleetScraper's histogram merge equals the sum of the shard scrapes, and
+# the engine-side export/overhead contracts (SBGT_TRACE env gating,
+# tracing-off wire equivalence) hold.
+fleet-obs-smoke:
+	$(CARGO) test -p sbgt-net --test fleet_obs -q
+	$(CARGO) test -p sbgt-engine --test obs_export -q
 
 # SIMD/sparse kernel smoke: run the per-round kernels bench once in smoke
 # mode, then replay the SIMD-vs-scalar and sparse-equivalence suites with

@@ -114,12 +114,68 @@ pub(crate) fn validate_risks(risks: &[f64]) -> Result<(), ConfigError> {
     Ok(())
 }
 
+/// Convergence record of one relaxation: sweep count and the residual
+/// (largest message change) after each sweep, in sweep order. Produced by
+/// [`relax_marginals_traced`] purely as a side log — recording it never
+/// perturbs the float schedule, so traced and untraced relaxations land
+/// on bit-identical marginals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BpTrace {
+    /// Sweeps executed (≤ `cfg.max_iters`).
+    pub sweeps: u32,
+    /// Residual after each sweep; `residuals.len() == sweeps as usize`.
+    pub residuals: Vec<f64>,
+}
+
+impl BpTrace {
+    /// Whether the relaxation stopped by reaching `cfg.tol` (as opposed
+    /// to exhausting the sweep cap, or having nothing to relax).
+    pub fn converged(&self, cfg: &BpConfig) -> bool {
+        self.residuals.last().is_some_and(|&r| r < cfg.tol)
+    }
+
+    /// The residual of the last executed sweep (0.0 when zero sweeps
+    /// ran — possible only with a zero sweep cap, which validation
+    /// rejects).
+    pub fn final_residual(&self) -> f64 {
+        self.residuals.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Quantize a residual to integer nano-units (`residual × 1e9`, rounded)
+/// for histogram buckets and mark payloads. Non-positive and NaN inputs
+/// map to 0; overflow saturates.
+pub fn residual_nanos(residual: f64) -> u64 {
+    if residual.is_nan() || residual <= 0.0 {
+        return 0;
+    }
+    let nanos = (residual * 1e9).round();
+    if nanos >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        nanos as u64
+    }
+}
+
 /// Run the damped LLR relaxation from a cold start and return the
 /// per-specimen marginals. Pure: same `(prior_logit, factors, cfg)` →
 /// bit-identical output, which is what the snapshot contract and the
 /// engine-stage retry path both lean on.
 pub fn relax_marginals(prior_logit: &[f64], factors: &[Factor], cfg: &BpConfig) -> Vec<f64> {
+    relax_marginals_traced(prior_logit, factors, cfg).0
+}
+
+/// [`relax_marginals`] plus its convergence trace. This is the actual
+/// relaxation; the untraced entry point discards the trace. The float
+/// schedule is byte-identical either way — the trace only *reads* each
+/// sweep's residual, which the loop already computes for its stop test.
+pub fn relax_marginals_traced(
+    prior_logit: &[f64],
+    factors: &[Factor],
+    cfg: &BpConfig,
+) -> (Vec<f64>, BpTrace) {
     let n = prior_logit.len();
+    let mut trace = BpTrace::default();
     // llr[a][j]: message from factor a to its j-th member; llr_sum[i] keeps
     // the running total per variable so a cavity read is O(1).
     let mut llr: Vec<Vec<f64>> = factors.iter().map(|f| vec![0.0; f.size()]).collect();
@@ -167,13 +223,16 @@ pub fn relax_marginals(prior_logit: &[f64], factors: &[Factor], cfg: &BpConfig) 
                 llr[a][j] = damped;
             }
         }
+        trace.sweeps += 1;
+        trace.residuals.push(residual);
         if residual < cfg.tol {
             break;
         }
     }
-    (0..n)
+    let marginals = (0..n)
         .map(|i| sigmoid(prior_logit[i] + llr_sum[i]))
-        .collect()
+        .collect();
+    (marginals, trace)
 }
 
 /// Convolve a count distribution with one Bernoulli(`p`) bit.
@@ -434,31 +493,48 @@ impl<M: BinaryOutcomeModel> BpSession<M> {
     }
 
     /// Refresh the marginal cache, optionally running the relaxation as an
-    /// engine stage.
+    /// engine stage. Convergence telemetry (sweep count, residual march)
+    /// is read from the pure relaxation's side trace *after* it returns,
+    /// so recording can never perturb the posterior.
     fn refresh_marginals(&mut self, engine: Option<&Engine>) {
         if self.cached.is_some() {
             return;
         }
-        let Some(engine) = engine else {
-            self.cached = Some(relax_marginals(&self.prior_logit, &self.factors, &self.bp));
-            return;
+        let (marginals, trace) = match engine {
+            None => relax_marginals_traced(&self.prior_logit, &self.factors, &self.bp),
+            Some(engine) => {
+                let prior = Arc::new(self.prior_logit.clone());
+                let factors = Arc::clone(&self.factors);
+                let bp = self.bp;
+                let task = move || -> Result<(Vec<f64>, BpTrace), BayesError> {
+                    Ok(relax_marginals_traced(&prior, &factors, &bp))
+                };
+                let results = engine
+                    .run_stage("fused-round:bp", vec![task])
+                    .unwrap_or_else(|e| panic!("BP relaxation stage failed: {e}"));
+                let out = results
+                    .into_iter()
+                    .next()
+                    .expect("one BP task")
+                    .expect("pure relaxation cannot fail");
+                engine.metrics().annotate_last_job(StageVariant::Approx {
+                    factors: self.factors.len(),
+                });
+                engine.metrics().record_bp_relaxation(
+                    u64::from(out.1.sweeps),
+                    residual_nanos(out.1.final_residual()),
+                );
+                out
+            }
         };
-        let prior = Arc::new(self.prior_logit.clone());
-        let factors = Arc::clone(&self.factors);
-        let bp = self.bp;
-        let task =
-            move || -> Result<Vec<f64>, BayesError> { Ok(relax_marginals(&prior, &factors, &bp)) };
-        let results = engine
-            .run_stage("fused-round:bp", vec![task])
-            .unwrap_or_else(|e| panic!("BP relaxation stage failed: {e}"));
-        let marginals = results
-            .into_iter()
-            .next()
-            .expect("one BP task")
-            .expect("pure relaxation cannot fail");
-        engine.metrics().annotate_last_job(StageVariant::Approx {
-            factors: self.factors.len(),
-        });
+        if let Some((rec, cohort)) = self.obs_at(TraceLevel::Full) {
+            let name = rec.intern("bp:sweep");
+            for (sweep, &residual) in trace.residuals.iter().enumerate() {
+                let mut meta = SpanMeta::for_cohort(cohort);
+                meta.task = sweep as u32;
+                rec.mark_value(name, residual_nanos(residual), meta);
+            }
+        }
         self.cached = Some(marginals);
     }
 
@@ -814,6 +890,67 @@ mod tests {
             s.observe(&BigState::empty(), true),
             Err(BayesError::EmptyPool)
         ));
+    }
+
+    #[test]
+    fn traced_relaxation_is_bit_identical_to_untraced() {
+        let mut s = session(9);
+        let truth = BigState::from_subjects([1, 6]);
+        for _ in 0..2 {
+            s.run_round(|p| truth.intersects(p));
+        }
+        let cfg = BpConfig::default();
+        let plain = relax_marginals(&s.prior_logit, &s.factors, &cfg);
+        let (traced, trace) = relax_marginals_traced(&s.prior_logit, &s.factors, &cfg);
+        assert_eq!(plain.len(), traced.len());
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "trace recording changed the floats"
+            );
+        }
+        assert_eq!(trace.residuals.len(), trace.sweeps as usize);
+        assert!(trace.sweeps >= 1);
+        assert!(trace.converged(&cfg), "default tolerances converge here");
+        assert!(trace.final_residual() < cfg.tol);
+        // Residuals are the stop-test values: every one before the last is
+        // at or above tolerance.
+        for &r in &trace.residuals[..trace.residuals.len() - 1] {
+            assert!(r >= cfg.tol);
+        }
+    }
+
+    #[test]
+    fn residual_quantization_clamps_and_saturates() {
+        assert_eq!(residual_nanos(0.0), 0);
+        assert_eq!(residual_nanos(-1.0), 0);
+        assert_eq!(residual_nanos(f64::NAN), 0);
+        assert_eq!(residual_nanos(1e-9), 1);
+        assert_eq!(residual_nanos(0.5), 500_000_000);
+        assert_eq!(residual_nanos(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn engine_staged_relaxations_feed_bp_stats() {
+        use sbgt_engine::EngineConfig;
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let truth = BigState::from_subjects([2, 7]);
+        let mut s = session(10);
+        let outcome = loop {
+            if let RoundStep::Finished(o) = s.run_round_on(&engine, |p| truth.intersects(p)) {
+                break o;
+            }
+        };
+        assert!(outcome.classification.is_terminal());
+        let stats = engine.metrics().bp_stats();
+        assert!(stats.relaxations > 0, "every staged relaxation is counted");
+        assert_eq!(stats.sweeps.count(), stats.relaxations);
+        assert_eq!(stats.residual_nanos.count(), stats.relaxations);
+        assert!(
+            stats.sweeps.max() >= Some(1),
+            "at least one sweep per relaxation"
+        );
     }
 
     #[test]

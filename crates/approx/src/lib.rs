@@ -44,7 +44,7 @@ pub mod particle;
 pub mod rng;
 pub mod select;
 
-pub use bp::{BpConfig, BpSession};
+pub use bp::{relax_marginals_traced, residual_nanos, BpConfig, BpSession, BpTrace};
 pub use factor::{Factor, MIN_LIKELIHOOD};
 pub use particle::{ParticleConfig, ParticleSession};
 pub use rng::SessionRng;

@@ -16,18 +16,29 @@
 //!   ephemeral port, prints `ADDR <addr>` on stdout for the parent, and
 //!   serves until the orchestrator's shutdown verb.
 //!
-//! `--smoke` shrinks the run to the `make soak-smoke` gate: 2 shards, a
+//! Shard children run with `SBGT_TRACE=spans`, and the orchestrator
+//! scrapes every process through [`sbgt_net::FleetScraper`] (once right
+//! after the drain, once at the end), writing one merged Chrome trace
+//! and one fleet Prometheus page to `target/obs/`. The run then asserts
+//! the E16 observability bar: the trace validates with spans from every
+//! shard process, at least one relocated cohort is stitched across two
+//! processes under its deterministic per-cohort trace id, and the
+//! fleet-merged round-latency histogram equals the sum of the individual
+//! shard scrapes.
+//!
+//! `--smoke` shrinks the run to the `make soak-smoke` gate: 3 shards, a
 //! few thousand specimens, one drain/handoff, zero lost specimens, and a
 //! shed-rate bound — seconds, not minutes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant, SystemTime};
 
-use sbgt_engine::{obs::parse_prometheus, EngineConfig, SharedEngine};
-use sbgt_net::{FabricConfig, FabricRouter, ShardServer};
+use sbgt_engine::obs::{parse_prometheus, validate_chrome_trace, NO_COHORT};
+use sbgt_engine::{trace_id_for_cohort, EngineConfig, SharedEngine};
+use sbgt_net::{FabricConfig, FabricRouter, FleetScraper, ShardServer};
 use sbgt_service::{ServiceConfig, Specimen, TenantSpec};
 use sbgt_sim::traffic::{generate_arrivals, TrafficConfig};
 
@@ -107,7 +118,7 @@ impl Opts {
     fn from_args(args: &[String]) -> Opts {
         let smoke = has(args, "--smoke");
         Opts {
-            shards: parse(args, "--shards", if smoke { 2 } else { 4 }),
+            shards: parse(args, "--shards", if smoke { 3 } else { 4 }),
             specimens: parse(args, "--specimens", if smoke { 3_000 } else { 1_000_000 }),
             // Full mode paces arrivals ~20% above this host's measured
             // fabric capacity at the default cohort size, so overload,
@@ -172,6 +183,10 @@ fn run_orchestrator(args: &[String]) -> io::Result<()> {
     let arrivals = generate_arrivals(&traffic);
 
     let window = Duration::from_millis(if opts.smoke { 250 } else { 1000 });
+    // Fleet telemetry accumulator: polled right after the drain and once
+    // at the end, so accumulation stays bounded by the shards' span-ring
+    // capacity even on the 1M-specimen full run.
+    let mut scraper = FleetScraper::new();
     let start = Instant::now();
     let mut windows: Vec<WindowSample> = Vec::new();
     let mut classified: u64 = 0;
@@ -205,7 +220,13 @@ fn run_orchestrator(args: &[String]) -> io::Result<()> {
                 drain_after += drain_retry;
                 continue;
             }
-            drain_record = Some(do_drain(&mut router, victim, start, &mut classified)?);
+            drain_record = Some(do_drain(
+                &mut router,
+                &mut scraper,
+                victim,
+                start,
+                &mut classified,
+            )?);
         }
         if Instant::now() >= next_sample {
             classified += harvest(&mut router)?;
@@ -223,7 +244,7 @@ fn run_orchestrator(args: &[String]) -> io::Result<()> {
     // a sub-capacity --rate), drain it now, before the fabric empties.
     let drain_summary = match drain_record {
         Some(r) => r,
-        None => do_drain(&mut router, victim, start, &mut classified)?,
+        None => do_drain(&mut router, &mut scraper, victim, start, &mut classified)?,
     };
     router.flush_all()?;
 
@@ -284,6 +305,11 @@ fn run_orchestrator(args: &[String]) -> io::Result<()> {
         )?;
     }
 
+    // Final fleet scrape (adoption marks, post-drain rounds) and the E16
+    // observability bar, while every shard process is still answering.
+    scraper.poll(&mut router)?;
+    check_fleet_obs(&scraper, &shard_ids)?;
+
     router.shutdown_all()?;
     for (id, mut child) in children {
         let status = child.wait()?;
@@ -342,6 +368,11 @@ fn spawn_shards(opts: &Opts) -> io::Result<Vec<(u32, Child)>> {
                     "--batch",
                     &opts.batch.to_string(),
                 ])
+                // Span-level tracing in every shard process: the fleet
+                // scrape stitches these into one cross-process trace.
+                // Trace ids are pure functions of cohort ids, so this
+                // changes nothing about what the shards compute.
+                .env("SBGT_TRACE", "spans")
                 .stdout(Stdio::piped())
                 .spawn()?;
             Ok((id, child))
@@ -361,14 +392,24 @@ fn read_addr(child: &mut Child) -> io::Result<SocketAddr> {
 
 /// Drain `victim` out of the fabric, folding its already-finished reports
 /// into the classified tally. Returns `(t_s, relocated, recovered)`.
+///
+/// Scrapes the fleet right after the handoff: the victim's span rings
+/// persist on its (retired but still answering) server, and the
+/// survivors' adoption marks are still in their rings — on the full run
+/// those marks would wrap out long before the end-of-run scrape. The
+/// scrape must not run *before* `drain_shard`: the extra round trips
+/// would give the victim time to finish the very backlog the caller just
+/// confirmed, making the handoff vacuous.
 fn do_drain(
     router: &mut FabricRouter,
+    scraper: &mut FleetScraper,
     victim: u32,
     start: Instant,
     classified: &mut u64,
 ) -> io::Result<(f64, u64, usize)> {
     let before = router.counters().relocated_cohorts;
     let recovered = router.drain_shard(victim)?;
+    scraper.poll(router)?;
     *classified += recovered.iter().map(|r| r.subjects as u64).sum::<u64>();
     let moved = router.counters().relocated_cohorts - before;
     let t_s = start.elapsed().as_secs_f64();
@@ -378,6 +419,86 @@ fn do_drain(
         recovered.len()
     );
     Ok((t_s, moved, recovered.len()))
+}
+
+/// Merge the accumulated shard exports into the two fleet artifacts —
+/// one Chrome trace, one Prometheus page, both under `target/obs/` — and
+/// hold them to the soak's observability invariants: the merged trace
+/// validates with spans from **every** shard process, at least one
+/// relocated cohort left spans on two processes stitched under its
+/// deterministic per-cohort trace id, and the fleet-merged round-latency
+/// histogram equals the sum of the individual shard scrapes.
+fn check_fleet_obs(scraper: &FleetScraper, shard_ids: &[u32]) -> io::Result<()> {
+    let trace = scraper.render_chrome_trace();
+    let summary = validate_chrome_trace(&trace).map_err(io::Error::other)?;
+    check(
+        summary.processes == shard_ids.len(),
+        &format!(
+            "fleet trace names {} processes, expected {}",
+            summary.processes,
+            shard_ids.len()
+        ),
+    )?;
+
+    // Which shards recorded spans for which cohorts? The drained victim's
+    // live cohorts must show up on it *and* on whichever shard adopted
+    // their checkpoints.
+    let mut seen: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
+    for &shard in shard_ids {
+        for event in scraper.shard_events(shard) {
+            if event.meta.cohort != NO_COHORT {
+                seen.entry(event.meta.cohort).or_default().insert(shard);
+            }
+        }
+    }
+    let stitched: Vec<u64> = seen
+        .iter()
+        .filter(|(_, shards)| shards.len() >= 2)
+        .map(|(&cohort, _)| cohort)
+        .collect();
+    check(
+        !stitched.is_empty(),
+        "no cohort left spans on two processes — the relocation went untraced",
+    )?;
+    let wanted = format!("{:016x}", trace_id_for_cohort(stitched[0]));
+    check(
+        trace.contains(&wanted),
+        &format!("merged trace is missing stitched trace id {wanted}"),
+    )?;
+
+    let page = scraper.render_prometheus();
+    parse_prometheus(&page).map_err(io::Error::other)?;
+    let per_shard: u64 = shard_ids
+        .iter()
+        .filter_map(|&s| scraper.shard_hist(s, "sbgt_service_round_latency_us"))
+        .map(|h| h.count())
+        .sum();
+    let merged = scraper
+        .merged_hists()
+        .into_iter()
+        .find(|h| h.name == "sbgt_service_round_latency_us" && h.labels.is_empty())
+        .map_or(0, |h| h.hist.count());
+    check(per_shard > 0, "no shard exported round-latency samples")?;
+    check(
+        merged == per_shard,
+        &format!(
+            "fleet histogram merge diverged: merged count {merged} != \
+             sum of shard scrapes {per_shard}"
+        ),
+    )?;
+
+    std::fs::create_dir_all("target/obs")?;
+    std::fs::write("target/obs/fleet_trace.json", &trace)?;
+    std::fs::write("target/obs/fleet_scrape.prom", &page)?;
+    eprintln!(
+        "soak: fleet obs OK — {} spans from {} processes, {} cohort(s) \
+         stitched across shards; wrote target/obs/fleet_trace.json and \
+         target/obs/fleet_scrape.prom",
+        scraper.total_events(),
+        summary.processes,
+        stitched.len()
+    );
+    Ok(())
 }
 
 /// Live (opened, not yet classified) cohorts on one shard, over the wire.

@@ -118,10 +118,13 @@ pub use config::EngineConfig;
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use metrics::{
-    FaultStats, JobMetrics, MetricsRegistry, ServiceStats, StageAgg, StageVariant, TaskMetrics,
-    TenantStats,
+    BpStats, FaultStats, JobMetrics, MetricsRegistry, ServiceStats, StageAgg, StageVariant,
+    TaskMetrics, TenantStats, BURN_BUDGET, BURN_WINDOW_ROUNDS,
 };
-pub use obs::{LogHistogram, ObsConfig, SpanKind, SpanMeta, SpanRecorder, TraceLevel};
+pub use obs::{
+    trace_id_for_cohort, LogHistogram, ObsConfig, SpanKind, SpanMeta, SpanRecorder, TraceContext,
+    TraceLevel,
+};
 pub use partitioner::{partition_ranges, HashPartitioner, Partitioner, RangePartitioner};
 pub use pool::ThreadPool;
 pub use retry::RetryPolicy;
@@ -209,6 +212,13 @@ impl Engine {
     /// including the `obs:` summary segment when tracing was on.
     pub fn render_timeline(&self) -> String {
         timeline::render_timeline_with_obs(&self.metrics, &self.obs)
+    }
+
+    /// Render the Prometheus exposition page for this engine, including
+    /// the `sbgt_obs_*` recorder-health families sourced from the span
+    /// recorder (dropped events, ring wraps, lane counts).
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.render_prometheus_with_obs(Some(&self.obs))
     }
 
     /// The underlying executor pool.

@@ -230,6 +230,55 @@ pub struct ServiceStats {
     tenants: BTreeMap<u32, TenantStats>,
 }
 
+/// Rounds per SLO error-budget window. Two windows (current + previous)
+/// are consulted, so the burn rate looks back over at most
+/// `2 * BURN_WINDOW_ROUNDS` rounds and old breaches age out instead of
+/// poisoning the rate forever.
+pub const BURN_WINDOW_ROUNDS: u64 = 256;
+
+/// Error budget: the fraction of rounds allowed over the SLO target
+/// before the budget is spent. With a p99-style SLO, 1% of rounds may
+/// breach; `burn rate = observed breach fraction / budget`, so 1.0 means
+/// "spending exactly on budget" and >1.0 means the budget runs out early.
+pub const BURN_BUDGET: f64 = 0.01;
+
+/// Rolling two-window breach counter behind [`TenantStats::burn_rate`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct BurnWindow {
+    cur_rounds: u64,
+    cur_over: u64,
+    prev_rounds: u64,
+    prev_over: u64,
+}
+
+impl BurnWindow {
+    fn record(&mut self, over: bool) {
+        if self.cur_rounds >= BURN_WINDOW_ROUNDS {
+            self.prev_rounds = self.cur_rounds;
+            self.prev_over = self.cur_over;
+            self.cur_rounds = 0;
+            self.cur_over = 0;
+        }
+        self.cur_rounds += 1;
+        self.cur_over += u64::from(over);
+    }
+
+    fn observed(&self) -> (u64, u64) {
+        (
+            self.cur_over + self.prev_over,
+            self.cur_rounds + self.prev_rounds,
+        )
+    }
+
+    fn burn_rate(&self) -> Option<f64> {
+        let (over, rounds) = self.observed();
+        if rounds == 0 {
+            return None;
+        }
+        Some(over as f64 / rounds as f64 / BURN_BUDGET)
+    }
+}
+
 /// One tenant's service lane: how many engine rounds its cohorts consumed
 /// and the streaming latency histogram behind its SLO check.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -239,6 +288,23 @@ pub struct TenantStats {
     /// Per-round wall-clock latency, microseconds (same log-bucket layout
     /// as the global round histogram).
     pub latency: LogHistogram,
+    /// Rolling error-budget windows; only fed when the tenant has an SLO.
+    burn: BurnWindow,
+}
+
+impl TenantStats {
+    /// SLO error-budget burn rate over the rolling window: the observed
+    /// over-SLO round fraction divided by the [`BURN_BUDGET`] (1%). 1.0 is
+    /// exactly on budget, >1.0 burns the budget early. `None` until a
+    /// round has been recorded against an SLO.
+    pub fn burn_rate(&self) -> Option<f64> {
+        self.burn.burn_rate()
+    }
+
+    /// `(over-SLO rounds, total rounds)` inside the rolling burn window.
+    pub fn burn_window(&self) -> (u64, u64) {
+        self.burn.observed()
+    }
 }
 
 impl ServiceStats {
@@ -249,11 +315,22 @@ impl ServiceStats {
     }
 
     /// Record one completed round against a tenant's lane (in addition to
-    /// [`Self::record_round`], which aggregates across tenants).
-    pub fn record_tenant_round(&mut self, tenant: u32, latency: Duration) {
+    /// [`Self::record_round`], which aggregates across tenants). When the
+    /// tenant has a latency SLO, the round also feeds its rolling
+    /// error-budget window (see [`TenantStats::burn_rate`]).
+    pub fn record_tenant_round(&mut self, tenant: u32, latency: Duration, slo: Option<Duration>) {
         let lane = self.tenants.entry(tenant).or_default();
         lane.rounds += 1;
         lane.latency.record(latency.as_micros() as u64);
+        if let Some(slo) = slo {
+            lane.burn.record(latency > slo);
+        }
+    }
+
+    /// One tenant's SLO burn rate; `None` for unknown tenants or tenants
+    /// without an SLO-fed window.
+    pub fn tenant_burn_rate(&self, tenant: u32) -> Option<f64> {
+        self.tenants.get(&tenant)?.burn_rate()
     }
 
     /// Per-tenant lanes, keyed by tenant id (empty until a tenant-tagged
@@ -298,6 +375,29 @@ impl ServiceStats {
     /// service section in the timeline).
     pub fn is_quiet(&self) -> bool {
         *self == ServiceStats::default()
+    }
+}
+
+/// Convergence counters of the loopy-BP approximate backend: how many
+/// relaxations ran, how many sweeps each needed, and the final
+/// max-residual each settled at (recorded in nano-units so the log-bucket
+/// histogram has integer resolution). Quiet for exact-posterior engines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BpStats {
+    /// Relaxations run (one per marginal refresh).
+    pub relaxations: u64,
+    /// Sweeps per relaxation before the residual converged (or the sweep
+    /// cap was hit).
+    pub sweeps: LogHistogram,
+    /// Final max-residual per relaxation, in nano-units
+    /// (`residual * 1e9` rounded down).
+    pub residual_nanos: LogHistogram,
+}
+
+impl BpStats {
+    /// Whether no relaxation has been recorded.
+    pub fn is_quiet(&self) -> bool {
+        self.relaxations == 0
     }
 }
 
@@ -354,6 +454,7 @@ pub struct MetricsRegistry {
     faults: Mutex<FaultStats>,
     broadcasts: std::sync::atomic::AtomicU64,
     service: Mutex<ServiceStats>,
+    bp: Mutex<BpStats>,
 }
 
 impl Default for MetricsRegistry {
@@ -378,6 +479,7 @@ impl MetricsRegistry {
             faults: Mutex::new(FaultStats::default()),
             broadcasts: std::sync::atomic::AtomicU64::new(0),
             service: Mutex::new(ServiceStats::default()),
+            bp: Mutex::new(BpStats::default()),
         }
     }
 
@@ -512,6 +614,25 @@ impl MetricsRegistry {
         self.service.lock().tenant_latency_percentile(tenant, p)
     }
 
+    /// One tenant's SLO burn rate, read under the lock without cloning
+    /// the whole stats block (the shed path reads it when alerting).
+    pub fn tenant_burn_rate(&self, tenant: u32) -> Option<f64> {
+        self.service.lock().tenant_burn_rate(tenant)
+    }
+
+    /// Record one loopy-BP relaxation's convergence figures.
+    pub fn record_bp_relaxation(&self, sweeps: u64, residual_nanos: u64) {
+        let mut bp = self.bp.lock();
+        bp.relaxations += 1;
+        bp.sweeps.record(sweeps);
+        bp.residual_nanos.record(residual_nanos);
+    }
+
+    /// Snapshot of the BP convergence counters.
+    pub fn bp_stats(&self) -> BpStats {
+        self.bp.lock().clone()
+    }
+
     /// Drop all recorded jobs and aggregates (between benchmark phases).
     pub fn clear(&self) {
         self.jobs.lock().clear();
@@ -520,6 +641,7 @@ impl MetricsRegistry {
         self.broadcasts
             .store(0, std::sync::atomic::Ordering::Relaxed);
         *self.service.lock() = ServiceStats::default();
+        *self.bp.lock() = BpStats::default();
     }
 }
 
@@ -737,6 +859,74 @@ mod tests {
         assert_eq!(snap.rounds, 1);
         reg.clear();
         assert!(reg.service_stats().is_quiet());
+    }
+
+    #[test]
+    fn burn_rate_tracks_the_rolling_budget() {
+        let mut s = ServiceStats::default();
+        let slo = Some(Duration::from_millis(10));
+        // No SLO supplied: lane exists, no burn window.
+        s.record_tenant_round(7, Duration::from_millis(50), None);
+        assert_eq!(s.tenant_burn_rate(7), None);
+        // 100 rounds, 1 breach: breach fraction 1% == budget -> burn 1.0.
+        for i in 0..100u64 {
+            let latency = if i == 0 { 50 } else { 5 };
+            s.record_tenant_round(0, Duration::from_millis(latency), slo);
+        }
+        let burn = s.tenant_burn_rate(0).unwrap();
+        assert!((burn - 1.0).abs() < 1e-9, "burn {burn}");
+        assert_eq!(s.tenants()[&0].burn_window(), (1, 100));
+        // All-breaching traffic saturates at 1/budget.
+        for _ in 0..100 {
+            s.record_tenant_round(1, Duration::from_millis(50), slo);
+        }
+        assert!((s.tenant_burn_rate(1).unwrap() - 100.0).abs() < 1e-9);
+        // Unknown tenant: no answer.
+        assert_eq!(s.tenant_burn_rate(99), None);
+    }
+
+    #[test]
+    fn burn_window_rotation_ages_out_old_breaches() {
+        let mut s = ServiceStats::default();
+        let slo = Some(Duration::from_millis(10));
+        // Fill one full window with breaches...
+        for _ in 0..BURN_WINDOW_ROUNDS {
+            s.record_tenant_round(0, Duration::from_millis(50), slo);
+        }
+        assert!((s.tenant_burn_rate(0).unwrap() - 100.0).abs() < 1e-9);
+        // ...then two full windows of healthy rounds: the breach window has
+        // rotated out entirely and the rate returns to 0.
+        for _ in 0..2 * BURN_WINDOW_ROUNDS {
+            s.record_tenant_round(0, Duration::from_millis(1), slo);
+        }
+        assert_eq!(s.tenant_burn_rate(0), Some(0.0));
+        let (over, rounds) = s.tenants()[&0].burn_window();
+        assert_eq!(over, 0);
+        assert!(rounds <= 2 * BURN_WINDOW_ROUNDS);
+    }
+
+    #[test]
+    fn exactly_on_slo_is_not_a_breach() {
+        let mut s = ServiceStats::default();
+        let slo = Some(Duration::from_millis(10));
+        s.record_tenant_round(0, Duration::from_millis(10), slo);
+        assert_eq!(s.tenant_burn_rate(0), Some(0.0));
+    }
+
+    #[test]
+    fn bp_stats_accumulate_and_clear() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.bp_stats().is_quiet());
+        reg.record_bp_relaxation(12, 500);
+        reg.record_bp_relaxation(3, 1_000_000);
+        let bp = reg.bp_stats();
+        assert_eq!(bp.relaxations, 2);
+        assert_eq!(bp.sweeps.count(), 2);
+        assert_eq!(bp.sweeps.max(), Some(12));
+        assert_eq!(bp.residual_nanos.min(), Some(500));
+        assert!(!bp.is_quiet());
+        reg.clear();
+        assert!(reg.bp_stats().is_quiet());
     }
 
     #[test]

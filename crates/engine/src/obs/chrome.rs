@@ -20,11 +20,58 @@
 use std::cmp::Reverse;
 use std::fmt::Write as _;
 
-use super::span::{SpanEvent, SpanKind, SpanRecorder, NO_COHORT, NO_SEQ, NO_TASK};
+use super::span::{
+    trace_id_for_cohort, LaneSnapshot, SpanEvent, SpanKind, SpanRecorder, NO_COHORT, NO_SEQ,
+    NO_TASK,
+};
+
+/// One process's contribution to a (possibly merged) Chrome trace: a pid,
+/// a display label, the interned-name table, and the lane snapshots. A
+/// single-process export is one of these; the fleet scraper builds one per
+/// shard from its `ObsFrame`s and renders them into a single document.
+#[derive(Debug, Clone)]
+pub struct ProcessTrace {
+    /// Trace-event `pid` — must be unique within one rendered document.
+    pub pid: u32,
+    /// Display label (`process_name` metadata), e.g. `shard-2`.
+    pub label: String,
+    /// Name table indexed by [`SpanEvent::name`]; out-of-range ids render
+    /// as `name#<id>` just like [`SpanRecorder::name_of`].
+    pub names: Vec<String>,
+    /// Lane snapshots; lane index becomes the trace-event `tid`.
+    pub lanes: Vec<LaneSnapshot>,
+}
+
+impl ProcessTrace {
+    /// Snapshot one recorder as a process (the single-process case).
+    pub fn from_recorder(pid: u32, label: impl Into<String>, recorder: &SpanRecorder) -> Self {
+        ProcessTrace {
+            pid,
+            label: label.into(),
+            names: recorder.name_table(),
+            lanes: recorder.snapshot().lanes,
+        }
+    }
+
+    fn name_of(&self, id: u32) -> String {
+        self.names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("name#{id}"))
+    }
+}
 
 /// Render the recorder's current contents as Chrome trace-event JSON.
 pub fn render_chrome_trace(recorder: &SpanRecorder) -> String {
-    let snap = recorder.snapshot();
+    render_chrome_trace_processes(&[ProcessTrace::from_recorder(1, "sbgt", recorder)])
+}
+
+/// Render one trace document spanning any number of processes. Events
+/// carry `pid`/`tid` from their process and lane; spans and marks tied to
+/// a cohort also carry the deterministic per-cohort trace id in their
+/// args, which is what stitches one cohort's work into a single tree even
+/// when its rounds ran on different shards.
+pub fn render_chrome_trace_processes(processes: &[ProcessTrace]) -> String {
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
@@ -37,62 +84,75 @@ pub fn render_chrome_trace(recorder: &SpanRecorder) -> String {
         out.push_str(&s);
     };
 
-    for (tid, lane) in snap.lanes.iter().enumerate() {
+    for proc in processes {
+        let pid = proc.pid;
         emit(
             format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
                  \"args\":{{\"name\":{}}}}}",
-                json_string(&lane.name)
+                json_string(&proc.label)
             ),
             &mut out,
             &mut first,
         );
+        for (tid, lane) in proc.lanes.iter().enumerate() {
+            emit(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":{}}}}}",
+                    json_string(&lane.name)
+                ),
+                &mut out,
+                &mut first,
+            );
 
-        let mut spans: Vec<&SpanEvent> = lane.events.iter().filter(|e| e.kind.is_span()).collect();
-        spans.sort_by_key(|e| (e.start_ns, Reverse(e.end_ns)));
-        // Emit B/E pairs with an explicit stack so the output is properly
-        // nested per lane even if sibling spans touch.
-        let mut stack: Vec<(u32, u64)> = Vec::new();
-        for span in &spans {
-            while let Some(&(name, end_ns)) = stack.last() {
-                if end_ns <= span.start_ns {
-                    emit(end_event(recorder, name, end_ns, tid), &mut out, &mut first);
-                    stack.pop();
-                } else {
-                    break;
+            let mut spans: Vec<&SpanEvent> =
+                lane.events.iter().filter(|e| e.kind.is_span()).collect();
+            spans.sort_by_key(|e| (e.start_ns, Reverse(e.end_ns)));
+            // Emit B/E pairs with an explicit stack so the output is
+            // properly nested per lane even if sibling spans touch.
+            let mut stack: Vec<(u32, u64)> = Vec::new();
+            for span in &spans {
+                while let Some(&(name, end_ns)) = stack.last() {
+                    if end_ns <= span.start_ns {
+                        emit(end_event(proc, name, end_ns, tid), &mut out, &mut first);
+                        stack.pop();
+                    } else {
+                        break;
+                    }
                 }
+                // A child must not outlive its enclosing span; clamp
+                // defensively so the file always validates.
+                let end_ns = match stack.last() {
+                    Some(&(_, parent_end)) => span.end_ns.min(parent_end),
+                    None => span.end_ns,
+                };
+                emit(begin_event(proc, span, tid), &mut out, &mut first);
+                stack.push((span.name, end_ns));
             }
-            // A child must not outlive its enclosing span; clamp
-            // defensively so the file always validates.
-            let end_ns = match stack.last() {
-                Some(&(_, parent_end)) => span.end_ns.min(parent_end),
-                None => span.end_ns,
-            };
-            emit(begin_event(recorder, span, tid), &mut out, &mut first);
-            stack.push((span.name, end_ns));
-        }
-        while let Some((name, end_ns)) = stack.pop() {
-            emit(end_event(recorder, name, end_ns, tid), &mut out, &mut first);
-        }
+            while let Some((name, end_ns)) = stack.pop() {
+                emit(end_event(proc, name, end_ns, tid), &mut out, &mut first);
+            }
 
-        for ev in lane.events.iter().filter(|e| !e.kind.is_span()) {
-            let line = match ev.kind {
-                SpanKind::Counter => format!(
-                    "{{\"name\":{},\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
-                     \"args\":{{\"value\":{}}}}}",
-                    json_string(&recorder.name_of(ev.name)),
-                    ts(ev.start_ns),
-                    ev.value
-                ),
-                _ => format!(
-                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\
-                     \"ts\":{}{}}}",
-                    json_string(&recorder.name_of(ev.name)),
-                    ts(ev.start_ns),
-                    args_object(ev)
-                ),
-            };
-            emit(line, &mut out, &mut first);
+            for ev in lane.events.iter().filter(|e| !e.kind.is_span()) {
+                let line = match ev.kind {
+                    SpanKind::Counter => format!(
+                        "{{\"name\":{},\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\
+                         \"args\":{{\"value\":{}}}}}",
+                        json_string(&proc.name_of(ev.name)),
+                        ts(ev.start_ns),
+                        ev.value
+                    ),
+                    _ => format!(
+                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                         \"ts\":{}{}}}",
+                        json_string(&proc.name_of(ev.name)),
+                        ts(ev.start_ns),
+                        args_object(ev)
+                    ),
+                };
+                emit(line, &mut out, &mut first);
+            }
         }
     }
     out.push_str("\n]}");
@@ -104,19 +164,21 @@ fn ts(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
-fn begin_event(recorder: &SpanRecorder, span: &SpanEvent, tid: usize) -> String {
+fn begin_event(proc: &ProcessTrace, span: &SpanEvent, tid: usize) -> String {
     format!(
-        "{{\"name\":{},\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{}{}}}",
-        json_string(&recorder.name_of(span.name)),
+        "{{\"name\":{},\"ph\":\"B\",\"pid\":{},\"tid\":{tid},\"ts\":{}{}}}",
+        json_string(&proc.name_of(span.name)),
+        proc.pid,
         ts(span.start_ns),
         args_object(span)
     )
 }
 
-fn end_event(recorder: &SpanRecorder, name: u32, end_ns: u64, tid: usize) -> String {
+fn end_event(proc: &ProcessTrace, name: u32, end_ns: u64, tid: usize) -> String {
     format!(
-        "{{\"name\":{},\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
-        json_string(&recorder.name_of(name)),
+        "{{\"name\":{},\"ph\":\"E\",\"pid\":{},\"tid\":{tid},\"ts\":{}}}",
+        json_string(&proc.name_of(name)),
+        proc.pid,
         ts(end_ns)
     )
 }
@@ -131,6 +193,12 @@ fn args_object(ev: &SpanEvent) -> String {
     }
     if m.cohort != NO_COHORT {
         fields.push(format!("\"cohort\":{}", m.cohort));
+        // The cross-process stitch key: every event of one cohort carries
+        // the same deterministic trace id, whichever shard recorded it.
+        fields.push(format!(
+            "\"trace\":\"{:016x}\"",
+            trace_id_for_cohort(m.cohort)
+        ));
     }
     if m.seq != NO_SEQ {
         fields.push(format!("\"seq\":{}", m.seq));
@@ -390,15 +458,18 @@ pub struct ChromeSummary {
     pub counters: usize,
     /// Instant (`i`) marks.
     pub marks: usize,
-    /// Distinct lanes named by metadata events.
+    /// Distinct lanes named by `thread_name` metadata events.
     pub lanes: usize,
+    /// Distinct processes named by `process_name` metadata events (0 for
+    /// pre-multi-process traces that never emitted one).
+    pub processes: usize,
     /// Deepest `B` nesting observed on any lane.
     pub max_depth: usize,
 }
 
 /// Parse a rendered trace document and check the trace-event invariants:
-/// the JSON shape, per-lane `B`/`E` balance with matching names,
-/// monotonic non-negative timestamps per lane, and counter/instant
+/// the JSON shape, per-(pid, tid)-lane `B`/`E` balance with matching
+/// names, monotonic non-negative timestamps per lane, and counter/instant
 /// well-formedness. Returns counts on success.
 pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
     let doc = parse_json(text)?;
@@ -411,15 +482,17 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
         counters: 0,
         marks: 0,
         lanes: 0,
+        processes: 0,
         max_depth: 0,
     };
-    // Per-tid open-span stack and last-seen timestamp.
+    // Per-(pid, tid) open-span stack and last-seen timestamp.
     let mut stacks: HashMapLite = Vec::new();
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev.get("pid").and_then(|v| v.as_num()).unwrap_or(0.0) as i64;
         let tid = ev.get("tid").and_then(|v| v.as_num()).unwrap_or(0.0) as i64;
         let name = ev
             .get("name")
@@ -427,7 +500,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
             .ok_or_else(|| format!("event {i}: missing name"))?
             .to_string();
         if ph == "M" {
-            summary.lanes += 1;
+            match name.as_str() {
+                "thread_name" => summary.lanes += 1,
+                "process_name" => summary.processes += 1,
+                _ => {}
+            }
             continue;
         }
         let ts = ev
@@ -437,13 +514,13 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
         if ts < 0.0 {
             return Err(format!("event {i}: negative ts"));
         }
-        let entry = lane_entry(&mut stacks, tid);
+        let entry = lane_entry(&mut stacks, (pid, tid));
         // Duration events must be time-ordered per lane; counters and
         // marks are sorted by the viewer and may interleave freely.
         if matches!(ph, "B" | "E") {
             if ts + 1e-9 < entry.1 {
                 return Err(format!(
-                    "event {i}: ts {ts} goes backwards on tid {tid} (last {})",
+                    "event {i}: ts {ts} goes backwards on pid {pid} tid {tid} (last {})",
                     entry.1
                 ));
             }
@@ -474,23 +551,23 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
             other => return Err(format!("event {i}: unsupported ph '{other}'")),
         }
     }
-    for (tid, (stack, _)) in &stacks {
+    for ((pid, tid), (stack, _)) in &stacks {
         if let Some(open) = stack.last() {
-            return Err(format!("tid {tid}: span '{open}' never closed"));
+            return Err(format!("pid {pid} tid {tid}: span '{open}' never closed"));
         }
     }
     Ok(summary)
 }
 
-/// `(tid, (open-span stack, last ts))` pairs; traces have a handful of
-/// lanes, so a vec beats a map.
-type HashMapLite = Vec<(i64, (Vec<String>, f64))>;
+/// `((pid, tid), (open-span stack, last ts))` pairs; traces have a
+/// handful of lanes, so a vec beats a map.
+type HashMapLite = Vec<((i64, i64), (Vec<String>, f64))>;
 
-fn lane_entry(stacks: &mut HashMapLite, tid: i64) -> &mut (Vec<String>, f64) {
-    if let Some(idx) = stacks.iter().position(|(t, _)| *t == tid) {
+fn lane_entry(stacks: &mut HashMapLite, lane: (i64, i64)) -> &mut (Vec<String>, f64) {
+    if let Some(idx) = stacks.iter().position(|(l, _)| *l == lane) {
         return &mut stacks[idx].1;
     }
-    stacks.push((tid, (Vec::new(), 0.0)));
+    stacks.push((lane, (Vec::new(), 0.0)));
     &mut stacks.last_mut().unwrap().1
 }
 
@@ -548,6 +625,36 @@ mod tests {
         assert_eq!(summary.marks, 1);
         assert_eq!(summary.lanes, 1);
         assert_eq!(summary.max_depth, 2, "inner must nest under outer");
+    }
+
+    #[test]
+    fn merged_processes_share_per_cohort_trace_ids() {
+        // Two recorders standing in for two shard processes, both running
+        // the same cohort. The merged document must validate, show both
+        // processes, and carry the identical trace id in both pids' args.
+        let make = |pid: u32| {
+            let rec = SpanRecorder::new(ObsConfig::full());
+            let round = rec.intern("service:round");
+            rec.record_span(SpanKind::Round, round, 100, 300, SpanMeta::for_cohort(77));
+            ProcessTrace::from_recorder(pid, format!("shard-{pid}"), &rec)
+        };
+        let text = render_chrome_trace_processes(&[make(1), make(2)]);
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.processes, 2);
+        assert_eq!(summary.lanes, 2);
+        assert_eq!(summary.spans, 2);
+        let want = format!("\"trace\":\"{:016x}\"", trace_id_for_cohort(77));
+        assert_eq!(text.matches(&want).count(), 2, "{text}");
+        // Same tid on different pids must not collide in the validator:
+        // both lanes are tid 0 yet both spans closed cleanly above.
+        let doc = parse_json(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids: std::collections::HashSet<i64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .map(|e| e.get("pid").unwrap().as_num().unwrap() as i64)
+            .collect();
+        assert_eq!(pids.len(), 2);
     }
 
     #[test]

@@ -153,6 +153,44 @@ impl LogHistogram {
         Some(self.max)
     }
 
+    /// The raw per-bucket counters, indexed by bucket. The inverse of
+    /// [`Self::from_raw_parts`]; together they let a histogram cross a
+    /// process boundary bit-for-bit (the `ObsFrame` wire codec).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts[..]
+    }
+
+    /// Rebuild a histogram from its raw parts, validating the invariants
+    /// [`Self::record`] maintains. Returns `None` (fail-closed) when
+    /// `counts` is not exactly [`BUCKET_COUNT`] long, the bucket counters
+    /// do not sum to a consistent total, or the min/max/sum scalars are
+    /// impossible for that total.
+    pub fn from_raw_parts(counts: &[u64], sum: u64, min: u64, max: u64) -> Option<LogHistogram> {
+        if counts.len() != BUCKET_COUNT {
+            return None;
+        }
+        let mut total = 0u64;
+        for &c in counts {
+            total = total.checked_add(c)?;
+        }
+        if total == 0 {
+            if sum != 0 || min != u64::MAX || max != 0 {
+                return None;
+            }
+        } else if min > max {
+            return None;
+        }
+        let mut boxed = Box::new([0u64; BUCKET_COUNT]);
+        boxed.copy_from_slice(counts);
+        Some(LogHistogram {
+            counts: boxed,
+            count: total,
+            sum,
+            min,
+            max,
+        })
+    }
+
     /// Non-empty buckets as `(exclusive upper bound, cumulative count)` in
     /// ascending order — the shape a Prometheus `le` series needs.
     pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
@@ -342,6 +380,39 @@ mod tests {
             h.record(i);
         }
         assert_eq!(h.counts.len(), BUCKET_COUNT);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_for_bit() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 3, 70, 900, 12_345, u64::MAX] {
+            h.record(v);
+        }
+        let back = LogHistogram::from_raw_parts(h.bucket_counts(), h.sum(), h.min, h.max).unwrap();
+        assert_eq!(back, h);
+        // Empty round-trips too.
+        let e = LogHistogram::new();
+        let back = LogHistogram::from_raw_parts(e.bucket_counts(), 0, u64::MAX, 0).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_inputs() {
+        // Wrong length.
+        assert!(LogHistogram::from_raw_parts(&[0; 10], 0, u64::MAX, 0).is_none());
+        // Empty buckets but non-empty scalars.
+        let zeros = [0u64; BUCKET_COUNT];
+        assert!(LogHistogram::from_raw_parts(&zeros, 5, u64::MAX, 0).is_none());
+        assert!(LogHistogram::from_raw_parts(&zeros, 0, 3, 9).is_none());
+        // Non-empty buckets with min > max.
+        let mut one = [0u64; BUCKET_COUNT];
+        one[0] = 1;
+        assert!(LogHistogram::from_raw_parts(&one, 0, 9, 3).is_none());
+        // Counter overflow is rejected, not wrapped.
+        let mut huge = [0u64; BUCKET_COUNT];
+        huge[0] = u64::MAX;
+        huge[1] = 1;
+        assert!(LogHistogram::from_raw_parts(&huge, 0, 0, 1).is_none());
     }
 
     #[test]

@@ -27,12 +27,13 @@ pub mod prom;
 pub mod span;
 
 pub use chrome::{
-    parse_json, render_chrome_trace, validate_chrome_trace, ChromeSummary, JsonValue,
+    parse_json, render_chrome_trace, render_chrome_trace_processes, validate_chrome_trace,
+    ChromeSummary, JsonValue, ProcessTrace,
 };
 pub use config::{ObsConfig, TraceLevel, DEFAULT_LANE_CAPACITY};
 pub use hist::LogHistogram;
-pub use prom::{parse_prometheus, PromSample};
+pub use prom::{escape_label_value, parse_prometheus, render_prom_samples, PromSample};
 pub use span::{
-    LaneSnapshot, ObsSnapshot, SpanEvent, SpanGuard, SpanKind, SpanMeta, SpanRecorder, NO_COHORT,
-    NO_SEQ, NO_TASK,
+    trace_id_for_cohort, LaneSnapshot, ObsSnapshot, SpanEvent, SpanGuard, SpanKind, SpanMeta,
+    SpanRecorder, TraceContext, NO_COHORT, NO_SEQ, NO_TASK,
 };

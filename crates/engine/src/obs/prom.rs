@@ -16,11 +16,21 @@
 
 use std::fmt::Write as _;
 
+use super::span::SpanRecorder;
 use crate::metrics::MetricsRegistry;
 
 impl MetricsRegistry {
     /// Render the registry as Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_with_obs(None)
+    }
+
+    /// Like [`Self::render_prometheus`], additionally exposing the span
+    /// recorder's ring health when one is supplied: retained events, lane
+    /// count, and — the part that is otherwise silently invisible —
+    /// ring-wrap drop counters, total and per lane. Lane labels are thread
+    /// names, so they go through the exposition escaper.
+    pub fn render_prometheus_with_obs(&self, recorder: Option<&SpanRecorder>) -> String {
         let mut out = String::new();
 
         let aggs = self.stage_aggregates();
@@ -301,10 +311,182 @@ impl MetricsRegistry {
                     lane.latency.count()
                 );
             }
+            // SLO error-budget burn: only tenants with an SLO-fed burn
+            // window render, so SLO-less deployments scrape
+            // byte-identical to before.
+            if tenants.values().any(|lane| lane.burn_rate().is_some()) {
+                family(
+                    &mut out,
+                    "sbgt_tenant_slo_burn_rate",
+                    "gauge",
+                    "SLO error-budget burn rate over the rolling window \
+                     (1.0 = exactly on budget, >1.0 burns early).",
+                );
+                for (tenant, lane) in tenants {
+                    if let Some(burn) = lane.burn_rate() {
+                        let _ = writeln!(
+                            out,
+                            "sbgt_tenant_slo_burn_rate{{tenant=\"{tenant}\"}} {}",
+                            format_f64(burn)
+                        );
+                    }
+                }
+            }
+        }
+
+        // BP convergence: only rendered once a relaxation ran, so scrapes
+        // of exact-posterior deployments stay byte-identical to before.
+        let bp = self.bp_stats();
+        if bp.relaxations > 0 {
+            family(
+                &mut out,
+                "sbgt_bp_relaxations_total",
+                "counter",
+                "Loopy-BP relaxations run (one per marginal refresh).",
+            );
+            sample_f64(
+                &mut out,
+                "sbgt_bp_relaxations_total",
+                None,
+                bp.relaxations as f64,
+            );
+            histogram_family(
+                &mut out,
+                "sbgt_bp_sweeps",
+                "Sweeps per BP relaxation before the residual converged.",
+                None,
+                &bp.sweeps,
+                1.0,
+            );
+            histogram_family(
+                &mut out,
+                "sbgt_bp_residual_nanos",
+                "Final max-residual per BP relaxation, in nano-units.",
+                None,
+                &bp.residual_nanos,
+                1.0,
+            );
+        }
+
+        if let Some(rec) = recorder {
+            let snap = rec.snapshot();
+            family(
+                &mut out,
+                "sbgt_obs_events",
+                "gauge",
+                "Span-ring events currently retained across all lanes.",
+            );
+            sample_f64(
+                &mut out,
+                "sbgt_obs_events",
+                None,
+                snap.total_events() as f64,
+            );
+            family(
+                &mut out,
+                "sbgt_obs_lanes",
+                "gauge",
+                "Registered span-ring lanes (one per recording thread).",
+            );
+            sample_f64(&mut out, "sbgt_obs_lanes", None, snap.lanes.len() as f64);
+            family(
+                &mut out,
+                "sbgt_obs_dropped_events_total",
+                "counter",
+                "Events overwritten by span-ring wrap-around, all lanes.",
+            );
+            sample_f64(
+                &mut out,
+                "sbgt_obs_dropped_events_total",
+                None,
+                snap.total_dropped() as f64,
+            );
+            if !snap.lanes.is_empty() {
+                family(
+                    &mut out,
+                    "sbgt_obs_lane_dropped_total",
+                    "counter",
+                    "Events overwritten by ring wrap-around, by lane (thread) name.",
+                );
+                for lane in &snap.lanes {
+                    sample_f64(
+                        &mut out,
+                        "sbgt_obs_lane_dropped_total",
+                        Some(("lane", &lane.name)),
+                        lane.dropped as f64,
+                    );
+                }
+            }
         }
 
         out
     }
+}
+
+/// Render a full histogram family (`_bucket`/`_sum`/`_count` plus HELP and
+/// TYPE lines) with an optional fixed label on every series. Bucket bounds
+/// are divided by `scale` (1e6 turns microseconds into seconds).
+pub(crate) fn histogram_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: Option<(&str, &str)>,
+    hist: &super::hist::LogHistogram,
+    scale: f64,
+) {
+    family(out, name, "histogram", help);
+    let lead = match label {
+        Some((k, v)) => format!("{k}=\"{}\",", escape_label_value(v)),
+        None => String::new(),
+    };
+    for (upper, cumulative) in hist.cumulative_buckets() {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{lead}le=\"{}\"}} {cumulative}",
+            format_f64(upper as f64 / scale)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{{lead}le=\"+Inf\"}} {}", hist.count());
+    let tail = match label {
+        Some((k, v)) => format!("{{{k}=\"{}\"}}", escape_label_value(v)),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "{name}_sum{tail} {}",
+        format_f64(hist.sum() as f64 / scale)
+    );
+    let _ = writeln!(out, "{name}_count{tail} {}", hist.count());
+}
+
+/// Render parsed samples back to exposition sample lines (no HELP/TYPE),
+/// escaping every label value. With [`parse_prometheus`] this is the
+/// re-labeling primitive the fleet scraper uses to prefix shard labels.
+pub fn render_prom_samples(samples: &[PromSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        out.push_str(&s.name);
+        if !s.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+            }
+            out.push('}');
+        }
+        if s.value == f64::INFINITY {
+            out.push_str(" +Inf\n");
+        } else if s.value == f64::NEG_INFINITY {
+            out.push_str(" -Inf\n");
+        } else if s.value.is_nan() {
+            out.push_str(" NaN\n");
+        } else {
+            let _ = writeln!(out, " {}", format_f64(s.value));
+        }
+    }
+    out
 }
 
 fn family(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -313,7 +495,11 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str) {
 }
 
 fn sample_u64(out: &mut String, name: &str, stage: &str, value: u64) {
-    let _ = writeln!(out, "{name}{{stage=\"{}\"}} {value}", escape_label(stage));
+    let _ = writeln!(
+        out,
+        "{name}{{stage=\"{}\"}} {value}",
+        escape_label_value(stage)
+    );
 }
 
 fn sample_f64(out: &mut String, name: &str, label: Option<(&str, &str)>, value: f64) {
@@ -322,7 +508,7 @@ fn sample_f64(out: &mut String, name: &str, label: Option<(&str, &str)>, value: 
             let _ = writeln!(
                 out,
                 "{name}{{{k}=\"{}\"}} {}",
-                escape_label(v),
+                escape_label_value(v),
                 format_f64(value)
             );
         }
@@ -332,8 +518,11 @@ fn sample_f64(out: &mut String, name: &str, label: Option<(&str, &str)>, value: 
     }
 }
 
-/// Label-value escaping per the exposition format.
-fn escape_label(v: &str) -> String {
+/// Label-value escaping per the exposition format: `\`, `"`, and newline
+/// become `\\`, `\"`, and `\n`. [`parse_prometheus`] reverses exactly
+/// these, so any label value — tenant names, thread names — survives a
+/// render→parse cycle (property-tested below).
+pub fn escape_label_value(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
         match c {
@@ -661,6 +850,40 @@ z_bucket{le=\"+Inf\"} 7\n";
     }
 
     #[test]
+    fn slo_burn_gauge_renders_only_for_slo_fed_tenants() {
+        let reg = MetricsRegistry::new();
+        reg.update_service(|s| {
+            // Tenant 0: SLO 10ms, 1 of 4 rounds over -> burn 25x.
+            let slo = Some(Duration::from_millis(10));
+            s.record_tenant_round(0, Duration::from_millis(2), slo);
+            s.record_tenant_round(0, Duration::from_millis(2), slo);
+            s.record_tenant_round(0, Duration::from_millis(2), slo);
+            s.record_tenant_round(0, Duration::from_millis(50), slo);
+            // Tenant 1: no SLO -> no burn window, no gauge sample.
+            s.record_tenant_round(1, Duration::from_millis(2), None);
+        });
+        let text = reg.render_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        let burns: Vec<&PromSample> = samples
+            .iter()
+            .filter(|s| s.name == "sbgt_tenant_slo_burn_rate")
+            .collect();
+        assert_eq!(burns.len(), 1);
+        assert_eq!(burns[0].label("tenant"), Some("0"));
+        assert!((burns[0].value - 25.0).abs() < 1e-9, "{}", burns[0].value);
+
+        // No SLO-fed tenant anywhere: the family is absent entirely, so
+        // SLO-less deployments scrape byte-identical to before.
+        let reg = MetricsRegistry::new();
+        reg.update_service(|s| {
+            s.record_tenant_round(0, Duration::from_millis(2), None);
+        });
+        assert!(!reg
+            .render_prometheus()
+            .contains("sbgt_tenant_slo_burn_rate"));
+    }
+
+    #[test]
     fn empty_registry_renders_a_valid_scrape() {
         let reg = MetricsRegistry::new();
         let text = reg.render_prometheus();
@@ -674,5 +897,145 @@ z_bucket{le=\"+Inf\"} 7\n";
             .unwrap();
         assert_eq!(inf.label("le"), Some("+Inf"));
         assert_eq!(inf.value, 0.0);
+    }
+
+    #[test]
+    fn obs_drop_counters_reach_the_scrape() {
+        use crate::obs::config::ObsConfig;
+        use crate::obs::span::{SpanKind, SpanMeta, SpanRecorder};
+        let reg = MetricsRegistry::new();
+        let rec = SpanRecorder::new(ObsConfig::full().with_lane_capacity(16));
+        let name = rec.intern("e");
+        for i in 0..40u64 {
+            rec.record_span(SpanKind::Phase, name, i, i + 1, SpanMeta::default());
+        }
+        let text = reg.render_prometheus_with_obs(Some(&rec));
+        let samples = parse_prometheus(&text).unwrap();
+        let get = |name: &str| samples.iter().find(|s| s.name == name).unwrap().value;
+        assert_eq!(get("sbgt_obs_events"), 16.0);
+        assert_eq!(get("sbgt_obs_lanes"), 1.0);
+        assert_eq!(get("sbgt_obs_dropped_events_total"), 24.0);
+        let lane = samples
+            .iter()
+            .find(|s| s.name == "sbgt_obs_lane_dropped_total")
+            .unwrap();
+        assert!(lane.label("lane").is_some());
+        assert_eq!(lane.value, 24.0);
+        // Without a recorder the obs families are absent entirely.
+        assert!(!reg.render_prometheus().contains("sbgt_obs_"));
+    }
+
+    #[test]
+    fn hostile_lane_names_survive_the_scrape_round_trip() {
+        use crate::obs::config::ObsConfig;
+        use crate::obs::span::{SpanKind, SpanMeta, SpanRecorder};
+        let nasty = "lane\\with\"quotes\nand newline";
+        let reg = MetricsRegistry::new();
+        let rec = SpanRecorder::new(ObsConfig::full().with_lane_capacity(16));
+        let name = rec.intern("e");
+        let done = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let rec2 = std::sync::Arc::new(rec);
+        {
+            let rec = std::sync::Arc::clone(&rec2);
+            let done = std::sync::Arc::clone(&done);
+            std::thread::Builder::new()
+                .name(nasty.to_string())
+                .spawn(move || {
+                    rec.record_span(SpanKind::Phase, name, 0, 1, SpanMeta::default());
+                    done.wait();
+                })
+                .unwrap();
+        }
+        done.wait();
+        let text = reg.render_prometheus_with_obs(Some(&rec2));
+        let samples = parse_prometheus(&text).unwrap();
+        let lane = samples
+            .iter()
+            .find(|s| s.name == "sbgt_obs_lane_dropped_total")
+            .unwrap();
+        assert_eq!(lane.label("lane"), Some(nasty));
+    }
+
+    #[test]
+    fn sample_rerender_round_trips() {
+        let samples = vec![
+            PromSample {
+                name: "a_total".into(),
+                labels: vec![("k".into(), "plain".into())],
+                value: 42.0,
+            },
+            PromSample {
+                name: "b_bucket".into(),
+                labels: vec![("shard".into(), "3".into()), ("le".into(), "+Inf".into())],
+                value: f64::INFINITY,
+            },
+            PromSample {
+                name: "c".into(),
+                labels: vec![],
+                value: 0.001953125,
+            },
+        ];
+        let text = render_prom_samples(&samples);
+        let back = parse_prometheus(&text).unwrap();
+        assert_eq!(back, samples);
+    }
+
+    mod escaping_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn label_value() -> impl Strategy<Value = String> {
+            // Bias toward the three escaped characters plus printable noise.
+            prop::collection::vec(
+                prop_oneof![
+                    Just('\\'),
+                    Just('"'),
+                    Just('\n'),
+                    Just(','),
+                    Just('}'),
+                    Just('{'),
+                    Just('='),
+                    (0x20u32..0x7f).prop_map(|c| char::from_u32(c).unwrap()),
+                    (0xa0u32..0x2ff).prop_map(|c| char::from_u32(c).unwrap()),
+                ],
+                0..24,
+            )
+            .prop_map(|chars| chars.into_iter().collect())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn label_values_survive_render_parse(values in prop::collection::vec(label_value(), 1..4)) {
+                let samples: Vec<PromSample> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| PromSample {
+                        name: format!("m{i}_total"),
+                        labels: vec![("lane".into(), v.clone()), ("idx".into(), i.to_string())],
+                        value: i as f64,
+                    })
+                    .collect();
+                let text = render_prom_samples(&samples);
+                let back = parse_prometheus(&text).unwrap();
+                prop_assert_eq!(back, samples);
+            }
+
+            #[test]
+            fn escaper_is_injective_on_the_escaped_chars(v in label_value()) {
+                let escaped = escape_label_value(&v);
+                // Escaped text never contains a raw quote or newline, so it
+                // can always be embedded between quotes on one line.
+                prop_assert!(!escaped.contains('\n'));
+                let mut prev_backslash = false;
+                for c in escaped.chars() {
+                    if c == '"' {
+                        prop_assert!(prev_backslash, "unescaped quote in {escaped:?}");
+                    }
+                    prev_backslash = c == '\\' && !prev_backslash;
+                }
+            }
+        }
     }
 }

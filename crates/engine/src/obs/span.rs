@@ -46,6 +46,62 @@ pub const NO_COHORT: u64 = u64::MAX;
 /// `seq` value of events not tied to an engine stage sequence number.
 pub const NO_SEQ: u64 = u64::MAX;
 
+/// Salt folded into cohort ids before hashing so a trace id never equals
+/// a raw cohort id (which would invite accidental joins on the wrong key).
+const TRACE_SALT: u64 = 0x5B67_0B5E_7ACE_1D03;
+
+/// splitmix64 finalizer — the standard 64-bit bijective mixer. Used for
+/// trace-id derivation only; it never touches any RNG stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic trace id for a cohort. Every process derives the same id
+/// from the same cohort with no RNG and no clock, so traces recorded on
+/// different shards stitch together without any id-exchange protocol —
+/// and chaos/replay draws can never shift because of tracing.
+pub fn trace_id_for_cohort(cohort: u64) -> u64 {
+    let id = splitmix64(cohort ^ TRACE_SALT);
+    // Zero is reserved as "no trace"; remap the one colliding input.
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Cross-process trace identity carried in `sbgt-net` frames: which trace
+/// a request belongs to and which client-side span emitted it. Ids are
+/// pure functions of the cohort (see [`trace_id_for_cohort`]), so the
+/// context is reconstructible, comparable, and replay-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace the request belongs to; `trace_id_for_cohort(cohort)` for
+    /// cohort-scoped requests.
+    pub trace_id: u64,
+    /// Span id of the emitting client-side span, 0 when the client did
+    /// not record one.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Context for a cohort-scoped request with no explicit parent span.
+    pub fn for_cohort(cohort: u64) -> Self {
+        TraceContext {
+            trace_id: trace_id_for_cohort(cohort),
+            parent_span: 0,
+        }
+    }
+
+    /// Deterministic child span id `seq` steps under this context.
+    pub fn child_span(&self, seq: u64) -> u64 {
+        splitmix64(self.trace_id ^ seq.wrapping_add(1))
+    }
+}
+
 /// What a recorded event represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
@@ -288,6 +344,9 @@ pub struct LaneSnapshot {
 pub struct ObsSnapshot {
     /// Recording level at snapshot time.
     pub level: TraceLevel,
+    /// Process tag of the recorder (see [`SpanRecorder::set_process_tag`]);
+    /// 0 when never set.
+    pub process_tag: u64,
     /// One entry per registered thread, in registration order.
     pub lanes: Vec<LaneSnapshot>,
 }
@@ -335,6 +394,7 @@ pub struct SpanRecorder {
     level: AtomicU8,
     lane_capacity: usize,
     epoch: Instant,
+    process_tag: AtomicU64,
     lanes: Mutex<Vec<Arc<WorkerLane>>>,
     names: Mutex<NameTable>,
 }
@@ -347,9 +407,23 @@ impl SpanRecorder {
             level: AtomicU8::new(encode_level(config.level)),
             lane_capacity: config.lane_capacity.max(16),
             epoch: Instant::now(),
+            process_tag: AtomicU64::new(0),
             lanes: Mutex::new(Vec::new()),
             names: Mutex::new(NameTable::default()),
         }
+    }
+
+    /// Tag this recorder with a process identity (typically the OS pid, or
+    /// a shard id in tests). The tag rides along in [`ObsSnapshot`] and
+    /// `ObsFrame` exports so merged fleet traces can attribute lanes to
+    /// their origin process. 0 means "never set".
+    pub fn set_process_tag(&self, tag: u64) {
+        self.process_tag.store(tag, Ordering::Relaxed);
+    }
+
+    /// The process tag, 0 when never set.
+    pub fn process_tag(&self) -> u64 {
+        self.process_tag.load(Ordering::Relaxed)
     }
 
     /// Current recording level.
@@ -403,6 +477,13 @@ impl SpanRecorder {
             .unwrap_or_else(|| format!("name#{id}"))
     }
 
+    /// Copy of the whole name table, indexed by interned id. Used by
+    /// exports that ship events across a process boundary, where
+    /// [`Self::name_of`] is not available at render time.
+    pub fn name_table(&self) -> Vec<String> {
+        self.names.lock().names.clone()
+    }
+
     /// The calling thread's lane, registering one on first use.
     fn lane(&self) -> Arc<WorkerLane> {
         LANE_CACHE.with(|cache| {
@@ -450,13 +531,20 @@ impl SpanRecorder {
 
     /// Record an instantaneous marker.
     pub fn mark(&self, name: u32, meta: SpanMeta) {
+        self.mark_value(name, 0, meta);
+    }
+
+    /// Record an instantaneous marker carrying a payload value (a trace
+    /// id, a burn rate in milli-units, a residual in nanos — anything that
+    /// fits a `u64`).
+    pub fn mark_value(&self, name: u32, value: u64, meta: SpanMeta) {
         let now = self.now_ns();
         self.lane().push(&SpanEvent {
             name,
             kind: SpanKind::Mark,
             start_ns: now,
             end_ns: now,
-            value: 0,
+            value,
             meta,
         });
     }
@@ -501,6 +589,7 @@ impl SpanRecorder {
         let lanes = self.lanes.lock().clone();
         ObsSnapshot {
             level: self.level(),
+            process_tag: self.process_tag(),
             lanes: lanes
                 .iter()
                 .map(|lane| {
@@ -738,6 +827,61 @@ mod tests {
         for i in 0..3 {
             assert!(names.contains(&format!("obs-worker-{i}").as_str()));
         }
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_nonzero_and_distinct() {
+        // Pure derivation: same cohort -> same id, in any process, forever.
+        let a = trace_id_for_cohort(0);
+        let b = trace_id_for_cohort(1);
+        let c = trace_id_for_cohort(u64::MAX);
+        assert_eq!(a, trace_id_for_cohort(0));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        for id in [a, b, c] {
+            assert_ne!(id, 0, "0 is reserved for 'no trace'");
+        }
+        let ctx = TraceContext::for_cohort(42);
+        assert_eq!(ctx.trace_id, trace_id_for_cohort(42));
+        assert_eq!(ctx.parent_span, 0);
+        assert_ne!(ctx.child_span(0), ctx.child_span(1));
+        assert_eq!(
+            ctx.child_span(3),
+            TraceContext::for_cohort(42).child_span(3)
+        );
+    }
+
+    #[test]
+    fn process_tag_rides_in_snapshots() {
+        let rec = full_recorder();
+        assert_eq!(rec.process_tag(), 0);
+        assert_eq!(rec.snapshot().process_tag, 0);
+        rec.set_process_tag(7001);
+        assert_eq!(rec.process_tag(), 7001);
+        assert_eq!(rec.snapshot().process_tag, 7001);
+    }
+
+    #[test]
+    fn mark_value_carries_its_payload() {
+        let rec = full_recorder();
+        let name = rec.intern("net:trace-inherit");
+        rec.mark_value(name, 0xDEAD_BEEF, SpanMeta::for_cohort(9));
+        let snap = rec.snapshot();
+        let ev = snap.lanes[0].events[0];
+        assert_eq!(ev.kind, SpanKind::Mark);
+        assert_eq!(ev.value, 0xDEAD_BEEF);
+        assert_eq!(ev.meta.cohort, 9);
+    }
+
+    #[test]
+    fn name_table_matches_interned_ids() {
+        let rec = full_recorder();
+        let a = rec.intern("alpha");
+        let b = rec.intern("beta");
+        let table = rec.name_table();
+        assert_eq!(table[a as usize], "alpha");
+        assert_eq!(table[b as usize], "beta");
+        assert_eq!(table.len(), 2);
     }
 
     #[test]

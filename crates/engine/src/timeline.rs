@@ -90,6 +90,18 @@ pub fn render_service_summary(stats: &crate::metrics::ServiceStats) -> String {
             stats.plan_hits, stats.plan_misses, stats.plan_extends, stats.plan_evictions,
         );
     }
+    // SLO burn-rate section: one line per tenant with an SLO-fed burn
+    // window. Tenants without SLOs (and pre-SLO deployments) add nothing,
+    // so the pinned two/three-line form above is preserved.
+    for (tenant, lane) in stats.tenants() {
+        if let Some(burn) = lane.burn_rate() {
+            let (over, rounds) = lane.burn_window();
+            let _ = writeln!(
+                out,
+                "slo: tenant {tenant} burn {burn:.2}x ({over}/{rounds} round(s) over target)",
+            );
+        }
+    }
     out
 }
 
@@ -322,6 +334,31 @@ mod tests {
             "obs: level spans, 1 event(s) across 1 lane(s), 0 overwritten"
         );
         assert_eq!(rec.level(), TraceLevel::Spans);
+    }
+
+    /// Golden `slo:` section: a tenant with an SLO-fed burn window appends
+    /// exactly one line; SLO-less tenants append nothing.
+    #[test]
+    fn slo_section_golden() {
+        use crate::metrics::ServiceStats;
+        let mut stats = ServiceStats::default();
+        for ms in [1u64, 2, 3, 4] {
+            stats.record_round(Duration::from_millis(ms));
+        }
+        // Tenant 3: SLO 10ms, 2 of 4 rounds over target -> burn 50x.
+        let slo = Some(Duration::from_millis(10));
+        stats.record_tenant_round(3, Duration::from_millis(50), slo);
+        stats.record_tenant_round(3, Duration::from_millis(1), slo);
+        stats.record_tenant_round(3, Duration::from_millis(50), slo);
+        stats.record_tenant_round(3, Duration::from_millis(1), slo);
+        // Tenant 5 has no SLO: no slo line.
+        stats.record_tenant_round(5, Duration::from_millis(1), None);
+        let text = render_service_summary(&stats);
+        let slo_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("slo:")).collect();
+        assert_eq!(
+            slo_lines,
+            ["slo: tenant 3 burn 50.00x (2/4 round(s) over target)"]
+        );
     }
 
     #[test]

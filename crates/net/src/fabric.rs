@@ -20,10 +20,15 @@ use std::io;
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use sbgt_engine::obs::{
+    render_chrome_trace_processes, render_prom_samples, LaneSnapshot, ProcessTrace, PromSample,
+    SpanEvent,
+};
+use sbgt_engine::{LogHistogram, TraceContext};
 use sbgt_service::{CohortCheckpoint, CohortReport, CohortSpec, ShedReason, Specimen};
 
 use crate::client::ShardClient;
-use crate::frame::{Request, Response};
+use crate::frame::{ObsFrame, ObsHist, Request, Response};
 use crate::ring::{HashRing, RingError};
 
 /// Router construction parameters.
@@ -156,8 +161,13 @@ impl FabricRouter {
     }
 
     /// Place one fully-formed cohort on the shard the ring assigns it.
+    /// The request carries the cohort's deterministic [`TraceContext`]
+    /// (a pure function of the cohort id — no clock, no RNG), so the
+    /// wire bytes are identical whether or not tracing is enabled and
+    /// the shard can stitch its spans under the router's trace.
     pub fn place(&mut self, spec: CohortSpec) -> io::Result<()> {
         let subjects = spec.n_subjects() as u64;
+        let trace = Some(TraceContext::for_cohort(spec.id));
         let shard = self
             .ring
             .shard_for(spec.id)
@@ -166,7 +176,7 @@ impl FabricRouter {
             .clients
             .get_mut(&shard)
             .ok_or_else(|| io::Error::other(format!("no client for shard {shard}")))?;
-        match client.call(&Request::PlaceCohort { spec })? {
+        match client.call(&Request::PlaceCohort { spec, trace })? {
             Response::Accepted { accepted: 1, .. } => {
                 self.counters.placed_cohorts += 1;
                 self.counters.accepted_specimens += subjects;
@@ -237,7 +247,7 @@ impl FabricRouter {
         // Re-place every frozen cohort where the shrunken ring points. The
         // blobs travel untouched — the byte-exactness of the handoff is
         // exactly the checkpoint codec's round-trip guarantee.
-        let mut by_target: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
+        let mut by_target: BTreeMap<u32, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
         for blob in checkpoints {
             let id = CohortCheckpoint::from_bytes(&blob)
                 .map_err(|e| io::Error::other(format!("drained checkpoint rejected: {e}")))?
@@ -247,15 +257,23 @@ impl FabricRouter {
                 .ring
                 .shard_for(id)
                 .map_err(|e| io::Error::other(e.to_string()))?;
-            by_target.entry(target).or_default().push(blob);
+            by_target.entry(target).or_default().push((id, blob));
         }
-        for (target, blobs) in by_target {
-            let n = blobs.len() as u32;
+        for (target, entries) in by_target {
+            let n = entries.len() as u32;
+            // The migration runs under the first relocated cohort's
+            // deterministic trace, so the receiving shard's handoff spans
+            // stitch into the same fleet tree.
+            let trace = entries.first().map(|&(id, _)| TraceContext::for_cohort(id));
+            let blobs: Vec<Vec<u8>> = entries.into_iter().map(|(_, blob)| blob).collect();
             let client = self
                 .clients
                 .get_mut(&target)
                 .ok_or_else(|| io::Error::other(format!("no client for shard {target}")))?;
-            match client.call(&Request::Handoff { checkpoints: blobs })? {
+            match client.call(&Request::Handoff {
+                checkpoints: blobs,
+                trace,
+            })? {
                 Response::Accepted { accepted, shed: 0, .. } if accepted == n => {
                     self.counters.relocated_cohorts += u64::from(n);
                 }
@@ -269,6 +287,30 @@ impl FabricRouter {
             }
         }
         Ok(reports)
+    }
+
+    /// Every connected shard id, live and retired (drained shards keep
+    /// their telemetry until shutdown, so a fleet scrape includes them).
+    pub fn all_shards(&self) -> Vec<u32> {
+        self.clients
+            .keys()
+            .chain(self.retired.keys())
+            .copied()
+            .collect()
+    }
+
+    /// Fetch one shard's binary telemetry export.
+    pub fn obs_export(&mut self, shard: u32) -> io::Result<ObsFrame> {
+        let client = self
+            .clients
+            .get_mut(&shard)
+            .or_else(|| self.retired.get_mut(&shard))
+            .ok_or_else(|| io::Error::other(format!("no client for shard {shard}")))?;
+        match client.call(&Request::ObsExport)? {
+            Response::ObsFrame { frame } => Ok(frame),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// Stop every shard server (live and retired) and consume the router.
@@ -285,4 +327,263 @@ impl FabricRouter {
 
 fn unexpected(response: &Response) -> io::Error {
     io::Error::other(format!("unexpected response kind: {response:?}"))
+}
+
+/// One shard's accumulated telemetry inside a [`FleetScraper`].
+struct ShardObs {
+    process_tag: u64,
+    /// Latest scalar samples (counters/gauges are cumulative, so the
+    /// newest scrape supersedes older ones).
+    samples: Vec<PromSample>,
+    /// Latest native histograms (cumulative for the same reason).
+    hists: Vec<ObsHist>,
+    /// Latest name table (grows monotonically on the shard).
+    names: Vec<String>,
+    /// Accumulated span lanes, deduplicated across polls.
+    lanes: Vec<AccumLane>,
+}
+
+/// One recorder lane accumulated across polls. The shard's ring reports
+/// `dropped` (events lost to wrap) and the retained tail; `dropped +
+/// retained` is an absolute position in the lane's event stream, so a
+/// cursor on that position identifies exactly which tail entries are new
+/// since the previous poll — polling twice never duplicates an event.
+struct AccumLane {
+    name: String,
+    /// Events that wrapped out of the ring before any poll saw them.
+    dropped: u64,
+    events: Vec<SpanEvent>,
+    /// Absolute stream position already ingested.
+    cursor: u64,
+}
+
+/// Fleet-wide telemetry aggregator: polls every shard's
+/// [`Request::ObsExport`], merges histograms bucket-by-bucket
+/// ([`LogHistogram::merge`] — exactly the union of the shard streams),
+/// re-labels scalar samples by shard, and renders one Prometheus page and
+/// one merged Chrome trace for the whole fleet.
+#[derive(Default)]
+pub struct FleetScraper {
+    shards: BTreeMap<u32, ShardObs>,
+}
+
+impl FleetScraper {
+    /// Empty scraper; feed it with [`FleetScraper::poll`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scrape every shard the router knows (live and retired) once.
+    pub fn poll(&mut self, router: &mut FabricRouter) -> io::Result<()> {
+        for shard in router.all_shards() {
+            let frame = router.obs_export(shard)?;
+            self.ingest(shard, frame);
+        }
+        Ok(())
+    }
+
+    /// Fold one shard's export into the accumulated state (public so a
+    /// test or an out-of-band transport can feed frames directly).
+    pub fn ingest(&mut self, shard: u32, frame: ObsFrame) {
+        let entry = self.shards.entry(shard).or_insert_with(|| ShardObs {
+            process_tag: 0,
+            samples: Vec::new(),
+            hists: Vec::new(),
+            names: Vec::new(),
+            lanes: Vec::new(),
+        });
+        entry.process_tag = frame.process_tag;
+        entry.samples = frame.samples;
+        entry.hists = frame.hists;
+        entry.names = frame.names;
+        for (i, lane) in frame.lanes.into_iter().enumerate() {
+            if entry.lanes.len() <= i {
+                entry.lanes.push(AccumLane {
+                    name: lane.name.clone(),
+                    dropped: 0,
+                    events: Vec::new(),
+                    cursor: 0,
+                });
+            }
+            let acc = &mut entry.lanes[i];
+            acc.name = lane.name;
+            let high = lane.dropped + lane.events.len() as u64;
+            if high > acc.cursor {
+                let fresh = (high - acc.cursor).min(lane.events.len() as u64) as usize;
+                acc.events
+                    .extend_from_slice(&lane.events[lane.events.len() - fresh..]);
+                acc.dropped += (high - acc.cursor) - fresh as u64;
+                acc.cursor = high;
+            }
+        }
+    }
+
+    /// Shards scraped so far.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Accumulated (deduplicated) events across all shards and lanes.
+    pub fn total_events(&self) -> usize {
+        self.shards
+            .values()
+            .flat_map(|obs| obs.lanes.iter())
+            .map(|lane| lane.events.len())
+            .sum()
+    }
+
+    /// One shard's accumulated events, flattened across its lanes.
+    pub fn shard_events(&self, shard: u32) -> Vec<SpanEvent> {
+        self.shards
+            .get(&shard)
+            .map(|obs| {
+                obs.lanes
+                    .iter()
+                    .flat_map(|lane| lane.events.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// One shard's latest interned name table.
+    pub fn shard_names(&self, shard: u32) -> Vec<String> {
+        self.shards
+            .get(&shard)
+            .map(|obs| obs.names.clone())
+            .unwrap_or_default()
+    }
+
+    /// `(shard id, process tag)` pairs of everything scraped.
+    pub fn process_tags(&self) -> Vec<(u32, u64)> {
+        self.shards
+            .iter()
+            .map(|(&shard, obs)| (shard, obs.process_tag))
+            .collect()
+    }
+
+    /// One shard's latest native histogram for `name` (labels ignored
+    /// when `labels` is `None`; otherwise exact match).
+    pub fn shard_hist(&self, shard: u32, name: &str) -> Option<&LogHistogram> {
+        self.shards.get(&shard)?.hists.iter().find_map(|h| {
+            if h.name == name && h.labels.is_empty() {
+                Some(&h.hist)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Every distinct histogram series merged across shards, sorted by
+    /// `(name, labels)`. The merge is [`LogHistogram::merge`], so each
+    /// returned histogram equals one recorder fed all shards' samples.
+    pub fn merged_hists(&self) -> Vec<ObsHist> {
+        let mut merged: BTreeMap<(String, Vec<(String, String)>), LogHistogram> = BTreeMap::new();
+        for obs in self.shards.values() {
+            for h in &obs.hists {
+                merged
+                    .entry((h.name.clone(), h.labels.clone()))
+                    .and_modify(|m| m.merge(&h.hist))
+                    .or_insert_with(|| h.hist.clone());
+            }
+        }
+        merged
+            .into_iter()
+            .map(|((name, labels), hist)| ObsHist { name, labels, hist })
+            .collect()
+    }
+
+    /// Render the fleet Prometheus page: every shard's scalar samples
+    /// re-labeled with `shard="<id>"`, per-shard `_count`/`_sum` series
+    /// for each native histogram, and fleet-merged `sbgt_fleet_*`
+    /// histogram families (bucket/sum/count) whose buckets are the exact
+    /// sum of the per-shard scrapes.
+    pub fn render_prometheus(&self) -> String {
+        let mut samples = Vec::new();
+        for (&shard, obs) in &self.shards {
+            let shard_label = ("shard".to_string(), shard.to_string());
+            for s in &obs.samples {
+                let mut labels = s.labels.clone();
+                labels.push(shard_label.clone());
+                samples.push(PromSample {
+                    name: s.name.clone(),
+                    labels,
+                    value: s.value,
+                });
+            }
+            for h in &obs.hists {
+                let mut labels = h.labels.clone();
+                labels.push(shard_label.clone());
+                samples.push(PromSample {
+                    name: format!("{}_count", h.name),
+                    labels: labels.clone(),
+                    value: h.hist.count() as f64,
+                });
+                samples.push(PromSample {
+                    name: format!("{}_sum", h.name),
+                    labels,
+                    value: h.hist.sum() as f64,
+                });
+            }
+        }
+        for h in self.merged_hists() {
+            let fleet = format!(
+                "sbgt_fleet_{}",
+                h.name.strip_prefix("sbgt_").unwrap_or(&h.name)
+            );
+            for (bound, cumulative) in h.hist.cumulative_buckets() {
+                let mut labels = h.labels.clone();
+                labels.push(("le".to_string(), bound.to_string()));
+                samples.push(PromSample {
+                    name: format!("{fleet}_bucket"),
+                    labels,
+                    value: cumulative as f64,
+                });
+            }
+            let mut labels = h.labels.clone();
+            labels.push(("le".to_string(), "+Inf".to_string()));
+            samples.push(PromSample {
+                name: format!("{fleet}_bucket"),
+                labels,
+                value: h.hist.count() as f64,
+            });
+            samples.push(PromSample {
+                name: format!("{fleet}_count"),
+                labels: h.labels.clone(),
+                value: h.hist.count() as f64,
+            });
+            samples.push(PromSample {
+                name: format!("{fleet}_sum"),
+                labels: h.labels.clone(),
+                value: h.hist.sum() as f64,
+            });
+        }
+        render_prom_samples(&samples)
+    }
+
+    /// Render one Chrome trace covering every scraped shard: shard `N`
+    /// becomes trace process `N + 1` (trace pids must be non-zero and the
+    /// OS pids of a same-host loopback fleet may collide), and per-cohort
+    /// trace ids — deterministic functions of the cohort id — stitch
+    /// spans recorded on different processes under one tree.
+    pub fn render_chrome_trace(&self) -> String {
+        let processes: Vec<ProcessTrace> = self
+            .shards
+            .iter()
+            .map(|(&shard, obs)| ProcessTrace {
+                pid: shard + 1,
+                label: format!("shard-{shard}"),
+                names: obs.names.clone(),
+                lanes: obs
+                    .lanes
+                    .iter()
+                    .map(|lane| LaneSnapshot {
+                        name: lane.name.clone(),
+                        events: lane.events.clone(),
+                        dropped: lane.dropped,
+                    })
+                    .collect(),
+            })
+            .collect();
+        render_chrome_trace_processes(&processes)
+    }
 }

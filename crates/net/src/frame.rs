@@ -5,7 +5,7 @@
 //! ```text
 //! ┌─────────┬─────────┬────────┬──────────────┬───────────────┐
 //! │ "SB"    │ version │ kind   │ payload len  │ payload       │
-//! │ 2 bytes │ u8 = 1  │ u8     │ u32 LE       │ `len` bytes   │
+//! │ 2 bytes │ u8 = 3  │ u8     │ u32 LE       │ `len` bytes   │
 //! └─────────┴─────────┴────────┴──────────────┴───────────────┘
 //! ```
 //!
@@ -25,14 +25,20 @@
 
 use sbgt::SessionOutcome;
 use sbgt_bayes::{CohortClassification, SubjectStatus};
+use sbgt_engine::obs::hist::BUCKET_COUNT;
+use sbgt_engine::obs::{LogHistogram, PromSample, SpanEvent, SpanKind, SpanMeta, TraceContext};
 use sbgt_lattice::BigState;
 use sbgt_service::{CohortReport, CohortSpec, ShedReason, Specimen};
 
-/// Wire protocol version carried in every frame header. v2 widened the
-/// cohort ground truth from one u64 to a length-prefixed word list so
-/// approximate cohorts (more than 64 subjects) ship between shards; v1
-/// peers are rejected with [`DecodeError::BadVersion`] at the header.
-pub const WIRE_VERSION: u8 = 2;
+/// Wire protocol version carried in every frame header. v3 appended a
+/// fail-closed trailer block to the work-carrying requests (Submit,
+/// PlaceCohort, Handoff) so a router can propagate a [`TraceContext`]
+/// with the work, and added the [`Request::ObsExport`] /
+/// [`Response::ObsFrame`] telemetry verbs. v2 widened the cohort ground
+/// truth from one u64 to a length-prefixed word list so approximate
+/// cohorts (more than 64 subjects) ship between shards. Older peers are
+/// rejected with [`DecodeError::BadVersion`] at the header.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Frame magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"SB";
@@ -108,12 +114,18 @@ pub enum Request {
         tenant: u32,
         /// The specimens, in submission order.
         specimens: Vec<Specimen>,
+        /// Trace context the sender's spans for this work run under, if
+        /// any; the shard stamps its server-side spans with it so a
+        /// merged fleet trace stitches both processes into one tree.
+        trace: Option<TraceContext>,
     },
     /// Open a fully-formed cohort (id, seed, and tenant pre-assigned by
     /// the router) on this shard.
     PlaceCohort {
         /// The cohort's static identity.
         spec: CohortSpec,
+        /// Trace context of the placement (see [`Request::Submit`]).
+        trace: Option<TraceContext>,
     },
     /// Collect (and clear) the reports completed since the last poll.
     PollReports,
@@ -127,9 +139,16 @@ pub enum Request {
     Handoff {
         /// One serialized [`sbgt_service::CohortCheckpoint`] per cohort.
         checkpoints: Vec<Vec<u8>>,
+        /// Trace context of the migration (see [`Request::Submit`]).
+        trace: Option<TraceContext>,
     },
     /// Stop the shard server once the response is flushed.
     Shutdown,
+    /// Export the shard's telemetry as one compact binary
+    /// [`Response::ObsFrame`]: Prometheus samples, latency histograms in
+    /// native bucket form (mergeable without re-parsing text), and the
+    /// span-ring snapshot. The fleet scraper polls this.
+    ObsExport,
 }
 
 /// A shard-to-client response.
@@ -171,6 +190,55 @@ pub enum Response {
         /// Human-readable cause.
         message: String,
     },
+    /// Answer to [`Request::ObsExport`]: the shard's telemetry in native
+    /// binary form.
+    ObsFrame {
+        /// The export.
+        frame: ObsFrame,
+    },
+}
+
+/// One shard's telemetry export: everything a fleet aggregator needs to
+/// merge per-shard metrics and traces without text round-trips.
+/// Histograms travel as native buckets, so the fleet merge is
+/// [`LogHistogram::merge`] — exactly the union of the shard streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsFrame {
+    /// The shard recorder's process tag
+    /// ([`sbgt_engine::SpanRecorder::process_tag`]); 0 when never set.
+    pub process_tag: u64,
+    /// Scalar samples of the shard's Prometheus page (counters/gauges;
+    /// histogram series are carried natively in [`Self::hists`]).
+    pub samples: Vec<PromSample>,
+    /// Named latency/size histograms in native bucket form.
+    pub hists: Vec<ObsHist>,
+    /// The recorder's interned span-name table; event `name` ids in
+    /// [`Self::lanes`] index into it.
+    pub names: Vec<String>,
+    /// Span-ring snapshot, one entry per recorder lane (thread).
+    pub lanes: Vec<ObsLane>,
+}
+
+/// One named histogram of an [`ObsFrame`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsHist {
+    /// Metric name (Prometheus family, without the `_bucket` suffix).
+    pub name: String,
+    /// Labels identifying the series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The buckets.
+    pub hist: LogHistogram,
+}
+
+/// One recorder lane (thread) of an [`ObsFrame`]'s span snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsLane {
+    /// Thread name captured at lane registration.
+    pub name: String,
+    /// Events lost to ring wrap-around before the snapshot.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<SpanEvent>,
 }
 
 const KIND_PING: u8 = 0x01;
@@ -181,6 +249,7 @@ const KIND_STATS: u8 = 0x05;
 const KIND_DRAIN: u8 = 0x06;
 const KIND_HANDOFF: u8 = 0x07;
 const KIND_SHUTDOWN: u8 = 0x08;
+const KIND_OBS_EXPORT: u8 = 0x09;
 
 const KIND_PONG: u8 = 0x81;
 const KIND_ACCEPTED: u8 = 0x82;
@@ -188,9 +257,14 @@ const KIND_REPORTS: u8 = 0x83;
 const KIND_STATS_RESP: u8 = 0x84;
 const KIND_DRAINED: u8 = 0x85;
 const KIND_ERROR: u8 = 0x86;
+const KIND_OBS_FRAME: u8 = 0x87;
 
 /// No-shed-reason sentinel on the wire (reasons encode as `0..=2`).
 const NO_REASON: u8 = 0xFF;
+
+/// Trailer tag carrying a [`TraceContext`] (16 bytes: trace id +
+/// parent span id).
+const TRAILER_TRACE: u8 = 0x01;
 
 // ---------------------------------------------------------------------------
 // Payload writer/reader
@@ -406,6 +480,280 @@ fn read_blobs(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, DecodeError> {
 }
 
 // ---------------------------------------------------------------------------
+// Trailers (v3): optional tagged blocks appended after a request's base
+// payload. Decoding is fail-closed: an unknown tag is Corrupt, not
+// silently skipped — a peer that attaches a trailer this version does not
+// understand must not have that trailer dropped on the floor.
+// ---------------------------------------------------------------------------
+
+fn put_trailers(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    match trace {
+        None => out.push(0),
+        Some(ctx) => {
+            out.push(1);
+            out.push(TRAILER_TRACE);
+            put_u32(out, 16);
+            put_u64(out, ctx.trace_id);
+            put_u64(out, ctx.parent_span);
+        }
+    }
+}
+
+fn read_trailers(r: &mut Reader<'_>) -> Result<Option<TraceContext>, DecodeError> {
+    let n = r.u8()?;
+    let mut trace = None;
+    for _ in 0..n {
+        let tag = r.u8()?;
+        let len = r.u32()? as usize;
+        match tag {
+            TRAILER_TRACE => {
+                if len != 16 {
+                    return Err(DecodeError::Corrupt("trace trailer has wrong length"));
+                }
+                if trace.is_some() {
+                    return Err(DecodeError::Corrupt("duplicate trace trailer"));
+                }
+                trace = Some(TraceContext {
+                    trace_id: r.u64()?,
+                    parent_span: r.u64()?,
+                });
+            }
+            _ => return Err(DecodeError::Corrupt("unknown trailer tag")),
+        }
+    }
+    Ok(trace)
+}
+
+// ---------------------------------------------------------------------------
+// ObsFrame codec
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn read_str(r: &mut Reader<'_>) -> Result<String, DecodeError> {
+    String::from_utf8(r.bytes()?).map_err(|_| DecodeError::Corrupt("string is not UTF-8"))
+}
+
+fn put_labels(out: &mut Vec<u8>, labels: &[(String, String)]) {
+    put_u32(out, labels.len() as u32);
+    for (k, v) in labels {
+        put_str(out, k);
+        put_str(out, v);
+    }
+}
+
+fn read_labels(r: &mut Reader<'_>) -> Result<Vec<(String, String)>, DecodeError> {
+    let n = r.count(8)?;
+    (0..n).map(|_| Ok((read_str(r)?, read_str(r)?))).collect()
+}
+
+/// Histograms travel sparse: only non-empty buckets, as `(index, count)`
+/// pairs, plus the scalar sum/min/max. The decoder rebuilds the dense
+/// bucket array and funnels it through [`LogHistogram::from_raw_parts`],
+/// so a tampered frame (bad index, inconsistent scalars, overflowing
+/// counts) is a typed [`DecodeError::Corrupt`], never an inconsistent
+/// histogram in memory.
+fn put_hist(out: &mut Vec<u8>, hist: &LogHistogram) {
+    let counts = hist.bucket_counts();
+    let filled = counts.iter().filter(|&&c| c > 0).count();
+    put_u32(out, filled as u32);
+    for (idx, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            put_u32(out, idx as u32);
+            put_u64(out, count);
+        }
+    }
+    put_u64(out, hist.sum());
+    put_u64(out, hist.min().unwrap_or(u64::MAX));
+    put_u64(out, hist.max().unwrap_or(0));
+}
+
+fn read_hist(r: &mut Reader<'_>) -> Result<LogHistogram, DecodeError> {
+    let n = r.count(12)?;
+    let mut counts = vec![0u64; BUCKET_COUNT];
+    for _ in 0..n {
+        let idx = r.u32()? as usize;
+        let count = r.u64()?;
+        if idx >= BUCKET_COUNT {
+            return Err(DecodeError::Corrupt("histogram bucket index out of range"));
+        }
+        if counts[idx] != 0 {
+            return Err(DecodeError::Corrupt("duplicate histogram bucket"));
+        }
+        counts[idx] = count;
+    }
+    let sum = r.u64()?;
+    let min = r.u64()?;
+    let max = r.u64()?;
+    LogHistogram::from_raw_parts(&counts, sum, min, max)
+        .ok_or(DecodeError::Corrupt("inconsistent histogram"))
+}
+
+fn span_kind_byte(kind: SpanKind) -> u8 {
+    match kind {
+        SpanKind::Stage => 0,
+        SpanKind::Task => 1,
+        SpanKind::Round => 2,
+        SpanKind::Phase => 3,
+        SpanKind::Service => 4,
+        SpanKind::Mark => 5,
+        SpanKind::Counter => 6,
+    }
+}
+
+fn span_kind_from_byte(b: u8) -> Result<SpanKind, DecodeError> {
+    Ok(match b {
+        0 => SpanKind::Stage,
+        1 => SpanKind::Task,
+        2 => SpanKind::Round,
+        3 => SpanKind::Phase,
+        4 => SpanKind::Service,
+        5 => SpanKind::Mark,
+        6 => SpanKind::Counter,
+        _ => return Err(DecodeError::Corrupt("invalid span kind byte")),
+    })
+}
+
+const EVENT_FLAG_SPECULATIVE: u8 = 1;
+const EVENT_FLAG_FAILED: u8 = 2;
+
+/// Fixed encoded size of one span event (the `min_item` for counts).
+const EVENT_WIRE_LEN: usize = 4 + 1 + 1 + 4 + 2 + 8 + 8 + 8 + 8 + 8;
+
+fn put_event(out: &mut Vec<u8>, e: &SpanEvent) {
+    put_u32(out, e.name);
+    out.push(span_kind_byte(e.kind));
+    let mut flags = 0u8;
+    if e.meta.speculative {
+        flags |= EVENT_FLAG_SPECULATIVE;
+    }
+    if e.meta.failed {
+        flags |= EVENT_FLAG_FAILED;
+    }
+    out.push(flags);
+    put_u32(out, e.meta.task);
+    out.extend_from_slice(&e.meta.attempt.to_le_bytes());
+    put_u64(out, e.meta.cohort);
+    put_u64(out, e.meta.seq);
+    put_u64(out, e.start_ns);
+    put_u64(out, e.end_ns);
+    put_u64(out, e.value);
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<SpanEvent, DecodeError> {
+    let name = r.u32()?;
+    let kind = span_kind_from_byte(r.u8()?)?;
+    let flags = r.u8()?;
+    if flags & !(EVENT_FLAG_SPECULATIVE | EVENT_FLAG_FAILED) != 0 {
+        return Err(DecodeError::Corrupt("invalid span flag bits"));
+    }
+    let task = r.u32()?;
+    let attempt = u16::from_le_bytes(r.take(2)?.try_into().unwrap());
+    let cohort = r.u64()?;
+    let seq = r.u64()?;
+    let start_ns = r.u64()?;
+    let end_ns = r.u64()?;
+    let value = r.u64()?;
+    Ok(SpanEvent {
+        name,
+        kind,
+        start_ns,
+        end_ns,
+        value,
+        meta: SpanMeta {
+            task,
+            attempt,
+            speculative: flags & EVENT_FLAG_SPECULATIVE != 0,
+            failed: flags & EVENT_FLAG_FAILED != 0,
+            cohort,
+            seq,
+        },
+    })
+}
+
+fn put_obs_frame(out: &mut Vec<u8>, f: &ObsFrame) {
+    put_u64(out, f.process_tag);
+    put_u32(out, f.samples.len() as u32);
+    for s in &f.samples {
+        put_str(out, &s.name);
+        put_labels(out, &s.labels);
+        put_f64_bits(out, s.value);
+    }
+    put_u32(out, f.hists.len() as u32);
+    for h in &f.hists {
+        put_str(out, &h.name);
+        put_labels(out, &h.labels);
+        put_hist(out, &h.hist);
+    }
+    put_u32(out, f.names.len() as u32);
+    for name in &f.names {
+        put_str(out, name);
+    }
+    put_u32(out, f.lanes.len() as u32);
+    for lane in &f.lanes {
+        put_str(out, &lane.name);
+        put_u64(out, lane.dropped);
+        put_u32(out, lane.events.len() as u32);
+        for e in &lane.events {
+            put_event(out, e);
+        }
+    }
+}
+
+fn read_obs_frame(r: &mut Reader<'_>) -> Result<ObsFrame, DecodeError> {
+    let process_tag = r.u64()?;
+    let n_samples = r.count(16)?;
+    let samples = (0..n_samples)
+        .map(|_| {
+            Ok(PromSample {
+                name: read_str(r)?,
+                labels: read_labels(r)?,
+                value: r.f64_bits()?,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let n_hists = r.count(36)?;
+    let hists = (0..n_hists)
+        .map(|_| {
+            Ok(ObsHist {
+                name: read_str(r)?,
+                labels: read_labels(r)?,
+                hist: read_hist(r)?,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let n_names = r.count(4)?;
+    let names = (0..n_names)
+        .map(|_| read_str(r))
+        .collect::<Result<_, _>>()?;
+    let n_lanes = r.count(16)?;
+    let lanes = (0..n_lanes)
+        .map(|_| {
+            let name = read_str(r)?;
+            let dropped = r.u64()?;
+            let n_events = r.count(EVENT_WIRE_LEN)?;
+            let events = (0..n_events)
+                .map(|_| read_event(r))
+                .collect::<Result<_, _>>()?;
+            Ok(ObsLane {
+                name,
+                dropped,
+                events,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(ObsFrame {
+        process_tag,
+        samples,
+        hists,
+        names,
+        lanes,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Frame encode/decode
 // ---------------------------------------------------------------------------
 
@@ -460,17 +808,29 @@ impl Request {
             | Request::PollReports
             | Request::Stats
             | Request::Drain
-            | Request::Shutdown => {}
-            Request::Submit { tenant, specimens } => {
+            | Request::Shutdown
+            | Request::ObsExport => {}
+            Request::Submit {
+                tenant,
+                specimens,
+                trace,
+            } => {
                 put_u32(&mut payload, *tenant);
                 put_u32(&mut payload, specimens.len() as u32);
                 for s in specimens {
                     put_f64_bits(&mut payload, s.risk);
                     payload.push(u8::from(s.infected));
                 }
+                put_trailers(&mut payload, trace);
             }
-            Request::PlaceCohort { spec } => put_spec(&mut payload, spec),
-            Request::Handoff { checkpoints } => put_blobs(&mut payload, checkpoints),
+            Request::PlaceCohort { spec, trace } => {
+                put_spec(&mut payload, spec);
+                put_trailers(&mut payload, trace);
+            }
+            Request::Handoff { checkpoints, trace } => {
+                put_blobs(&mut payload, checkpoints);
+                put_trailers(&mut payload, trace);
+            }
         }
         frame(kind, payload)
     }
@@ -485,6 +845,7 @@ impl Request {
             Request::Drain => KIND_DRAIN,
             Request::Handoff { .. } => KIND_HANDOFF,
             Request::Shutdown => KIND_SHUTDOWN,
+            Request::ObsExport => KIND_OBS_EXPORT,
         }
     }
 
@@ -509,18 +870,28 @@ impl Request {
                         Ok(Specimen { risk, infected })
                     })
                     .collect::<Result<_, _>>()?;
-                Request::Submit { tenant, specimens }
+                let trace = read_trailers(&mut r)?;
+                Request::Submit {
+                    tenant,
+                    specimens,
+                    trace,
+                }
             }
-            KIND_PLACE => Request::PlaceCohort {
-                spec: read_spec(&mut r)?,
-            },
+            KIND_PLACE => {
+                let spec = read_spec(&mut r)?;
+                let trace = read_trailers(&mut r)?;
+                Request::PlaceCohort { spec, trace }
+            }
             KIND_POLL => Request::PollReports,
             KIND_STATS => Request::Stats,
             KIND_DRAIN => Request::Drain,
-            KIND_HANDOFF => Request::Handoff {
-                checkpoints: read_blobs(&mut r)?,
-            },
+            KIND_HANDOFF => {
+                let checkpoints = read_blobs(&mut r)?;
+                let trace = read_trailers(&mut r)?;
+                Request::Handoff { checkpoints, trace }
+            }
             KIND_SHUTDOWN => Request::Shutdown,
+            KIND_OBS_EXPORT => Request::ObsExport,
             other => return Err(DecodeError::UnknownKind(other)),
         };
         r.finish()?;
@@ -553,6 +924,7 @@ impl Response {
                 put_blobs(&mut payload, checkpoints);
             }
             Response::Error { message } => put_bytes(&mut payload, message.as_bytes()),
+            Response::ObsFrame { frame } => put_obs_frame(&mut payload, frame),
         }
         frame(kind, payload)
     }
@@ -565,6 +937,7 @@ impl Response {
             Response::Stats { .. } => KIND_STATS_RESP,
             Response::Drained { .. } => KIND_DRAINED,
             Response::Error { .. } => KIND_ERROR,
+            Response::ObsFrame { .. } => KIND_OBS_FRAME,
         }
     }
 
@@ -605,6 +978,9 @@ impl Response {
             KIND_ERROR => Response::Error {
                 message: String::from_utf8(r.bytes()?)
                     .map_err(|_| DecodeError::Corrupt("error body is not UTF-8"))?,
+            },
+            KIND_OBS_FRAME => Response::ObsFrame {
+                frame: read_obs_frame(&mut r)?,
             },
             other => return Err(DecodeError::UnknownKind(other)),
         };
@@ -664,15 +1040,43 @@ mod tests {
                     risk: 0.05,
                     infected: true,
                 }],
+                trace: None,
             },
-            Request::PlaceCohort { spec },
+            Request::Submit {
+                tenant: 2,
+                specimens: vec![Specimen {
+                    risk: 0.05,
+                    infected: true,
+                }],
+                trace: Some(TraceContext::for_cohort(42)),
+            },
+            Request::PlaceCohort {
+                spec: spec.clone(),
+                trace: None,
+            },
+            Request::PlaceCohort {
+                spec,
+                trace: Some(TraceContext {
+                    trace_id: u64::MAX,
+                    parent_span: 1,
+                }),
+            },
             Request::PollReports,
             Request::Stats,
             Request::Drain,
             Request::Handoff {
                 checkpoints: vec![vec![1, 2, 3], vec![]],
+                trace: None,
+            },
+            Request::Handoff {
+                checkpoints: vec![vec![1, 2, 3], vec![]],
+                trace: Some(TraceContext {
+                    trace_id: TraceContext::for_cohort(7).trace_id,
+                    parent_span: TraceContext::for_cohort(7).child_span(3),
+                }),
             },
             Request::Shutdown,
+            Request::ObsExport,
         ];
         for request in requests {
             let bytes = request.encode();
@@ -750,6 +1154,7 @@ mod tests {
                 risk: 0.1,
                 infected: false,
             }],
+            trace: Some(TraceContext::for_cohort(9)),
         }
         .encode();
         // Every strict prefix is Torn — never a panic, never a success.
@@ -793,6 +1198,11 @@ mod tests {
         );
         assert_eq!(
             Request::decode(b"SB\x02\x7e\x00\x00\x00\x00"),
+            Err(DecodeError::BadVersion(0x02)),
+            "v2 (no trailers, no telemetry verbs) is rejected at the header"
+        );
+        assert_eq!(
+            Request::decode(b"SB\x03\x7e\x00\x00\x00\x00"),
             Err(DecodeError::UnknownKind(0x7e))
         );
     }
@@ -827,5 +1237,280 @@ mod tests {
             Response::decode(&bytes),
             Err(DecodeError::Corrupt("invalid shed reason byte"))
         );
+    }
+
+    fn sample_obs_frame() -> ObsFrame {
+        let mut hist = LogHistogram::new();
+        for v in [3u64, 70, 900, 900, 12_345, u64::MAX] {
+            hist.record(v);
+        }
+        ObsFrame {
+            process_tag: 0xFEED_BEEF,
+            samples: vec![
+                PromSample {
+                    name: "sbgt_service_rounds_total".to_string(),
+                    labels: vec![("tenant".to_string(), "7".to_string())],
+                    value: 5.0,
+                },
+                PromSample {
+                    name: "sbgt_tenant_slo_burn_rate".to_string(),
+                    labels: vec![
+                        ("tenant".to_string(), "3".to_string()),
+                        ("shard".to_string(), "a\\b\"c\nd".to_string()),
+                    ],
+                    value: f64::INFINITY,
+                },
+            ],
+            hists: vec![
+                ObsHist {
+                    name: "sbgt_service_round_latency_us".to_string(),
+                    labels: vec![("tenant".to_string(), "7".to_string())],
+                    hist,
+                },
+                ObsHist {
+                    name: "sbgt_bp_sweeps".to_string(),
+                    labels: vec![],
+                    hist: LogHistogram::new(),
+                },
+            ],
+            names: vec!["round".to_string(), "bp:sweep".to_string()],
+            lanes: vec![
+                ObsLane {
+                    name: "worker-0".to_string(),
+                    dropped: 3,
+                    events: vec![SpanEvent {
+                        name: 1,
+                        kind: SpanKind::Mark,
+                        start_ns: 10,
+                        end_ns: 10,
+                        value: 42,
+                        meta: SpanMeta {
+                            task: 2,
+                            attempt: 1,
+                            speculative: true,
+                            failed: false,
+                            cohort: 5,
+                            seq: 9,
+                        },
+                    }],
+                },
+                ObsLane {
+                    name: "worker-1".to_string(),
+                    dropped: 0,
+                    events: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn obs_frames_round_trip() {
+        let response = Response::ObsFrame {
+            frame: sample_obs_frame(),
+        };
+        let bytes = response.encode();
+        let (decoded, used) = Response::decode(&bytes).unwrap();
+        assert_eq!(decoded, response);
+        assert_eq!(used, bytes.len());
+        // The carried histogram is bit-for-bit the original: merging the
+        // decoded copy into an empty histogram reproduces it exactly.
+        let Response::ObsFrame { frame } = decoded else {
+            unreachable!()
+        };
+        let mut merged = LogHistogram::new();
+        merged.merge(&frame.hists[0].hist);
+        assert_eq!(merged, frame.hists[0].hist);
+    }
+
+    #[test]
+    fn obs_frame_prefixes_are_torn_never_panics() {
+        let bytes = Response::ObsFrame {
+            frame: sample_obs_frame(),
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            match Response::decode(&bytes[..cut]) {
+                Err(DecodeError::Torn { have, need }) => {
+                    assert_eq!(have, cut);
+                    assert!(need > cut);
+                }
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailer_decoding_is_fail_closed() {
+        let base = |payload: &mut Vec<u8>| {
+            put_u32(payload, 2); // tenant
+            put_u32(payload, 0); // no specimens
+        };
+        // Unknown trailer tag: rejected, not skipped.
+        let mut payload = Vec::new();
+        base(&mut payload);
+        payload.push(1);
+        payload.push(0x7F);
+        put_u32(&mut payload, 0);
+        assert_eq!(
+            Request::decode(&frame(KIND_SUBMIT, payload)),
+            Err(DecodeError::Corrupt("unknown trailer tag"))
+        );
+        // Trace trailer with the wrong length.
+        let mut payload = Vec::new();
+        base(&mut payload);
+        payload.push(1);
+        payload.push(TRAILER_TRACE);
+        put_u32(&mut payload, 8);
+        put_u64(&mut payload, 1);
+        assert_eq!(
+            Request::decode(&frame(KIND_SUBMIT, payload)),
+            Err(DecodeError::Corrupt("trace trailer has wrong length"))
+        );
+        // Duplicate trace trailer.
+        let mut payload = Vec::new();
+        base(&mut payload);
+        payload.push(2);
+        for _ in 0..2 {
+            payload.push(TRAILER_TRACE);
+            put_u32(&mut payload, 16);
+            put_u64(&mut payload, 1);
+            put_u64(&mut payload, 2);
+        }
+        assert_eq!(
+            Request::decode(&frame(KIND_SUBMIT, payload)),
+            Err(DecodeError::Corrupt("duplicate trace trailer"))
+        );
+        // Missing trailer block entirely (a v2-shaped Submit payload):
+        // typed Corrupt, not a misparse.
+        let mut payload = Vec::new();
+        base(&mut payload);
+        assert!(matches!(
+            Request::decode(&frame(KIND_SUBMIT, payload)),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_obs_frames_are_typed() {
+        // Histogram bucket index out of range.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // process_tag
+        put_u32(&mut payload, 0); // samples
+        put_u32(&mut payload, 1); // one hist
+        put_str(&mut payload, "h");
+        put_u32(&mut payload, 0); // labels
+        put_u32(&mut payload, 1); // one bucket pair
+        put_u32(&mut payload, BUCKET_COUNT as u32); // index past the end
+        put_u64(&mut payload, 1);
+        put_u64(&mut payload, 1); // sum
+        put_u64(&mut payload, 1); // min
+        put_u64(&mut payload, 1); // max
+        put_u32(&mut payload, 0); // names
+        put_u32(&mut payload, 0); // lanes
+        assert_eq!(
+            Response::decode(&frame(KIND_OBS_FRAME, payload)),
+            Err(DecodeError::Corrupt("histogram bucket index out of range"))
+        );
+        // Scalars inconsistent with the buckets (empty buckets, sum 5):
+        // LogHistogram::from_raw_parts fails closed.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 1);
+        put_str(&mut payload, "h");
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0); // no bucket pairs
+        put_u64(&mut payload, 5); // but sum claims samples
+        put_u64(&mut payload, u64::MAX);
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        assert_eq!(
+            Response::decode(&frame(KIND_OBS_FRAME, payload)),
+            Err(DecodeError::Corrupt("inconsistent histogram"))
+        );
+        // Span event with an invalid kind byte.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 1); // one lane
+        put_str(&mut payload, "lane");
+        put_u64(&mut payload, 0); // dropped
+        put_u32(&mut payload, 1); // one event
+        put_u32(&mut payload, 0); // name id
+        payload.push(7); // kind byte past Counter
+        payload.extend_from_slice(&[0; EVENT_WIRE_LEN - 5]);
+        assert_eq!(
+            Response::decode(&frame(KIND_OBS_FRAME, payload)),
+            Err(DecodeError::Corrupt("invalid span kind byte"))
+        );
+        // Non-UTF-8 metric name.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 1); // one sample
+        put_bytes(&mut payload, &[0xFF, 0xFE]);
+        put_u32(&mut payload, 0);
+        put_f64_bits(&mut payload, 1.0);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        assert_eq!(
+            Response::decode(&frame(KIND_OBS_FRAME, payload)),
+            Err(DecodeError::Corrupt("string is not UTF-8"))
+        );
+    }
+
+    mod adversarial_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Flipping any byte of an encoded ObsFrame never panics: the
+            /// decoder answers Ok (the flip hit a don't-care bit) or a
+            /// typed DecodeError.
+            fn obs_frame_byte_flips_never_panic(pos in any::<u64>(), xor in 1u8..=255) {
+                let mut bytes = Response::ObsFrame { frame: sample_obs_frame() }.encode();
+                let i = (pos as usize) % bytes.len();
+                bytes[i] ^= xor;
+                let _ = Response::decode(&bytes);
+            }
+
+            /// Truncating an encoded ObsFrame anywhere inside the payload
+            /// (keeping the header intact) is always a typed error.
+            fn obs_frame_payload_truncation_is_typed(frac in 0.0f64..1.0) {
+                let bytes = Response::ObsFrame { frame: sample_obs_frame() }.encode();
+                let cut = HEADER_LEN + ((bytes.len() - HEADER_LEN - 1) as f64 * frac) as usize;
+                let mut torn = bytes[..cut].to_vec();
+                // Re-declare the shorter payload so the header is
+                // self-consistent and the damage is inside the body.
+                torn[4..8].copy_from_slice(&((cut - HEADER_LEN) as u32).to_le_bytes());
+                match Response::decode(&torn) {
+                    Ok(_) => prop_assert!(false, "truncated body decoded"),
+                    Err(e) => prop_assert!(matches!(e, DecodeError::Corrupt(_))),
+                }
+            }
+
+            /// Trace trailers round-trip for arbitrary contexts on every
+            /// work-carrying verb.
+            fn trace_trailers_round_trip(
+                trace_id in any::<u64>(),
+                parent in any::<u64>(),
+                present in any::<bool>(),
+            ) {
+                let trace = present.then_some(TraceContext { trace_id, parent_span: parent });
+                let requests = [
+                    Request::Submit { tenant: 1, specimens: vec![], trace },
+                    Request::Handoff { checkpoints: vec![vec![1]], trace },
+                ];
+                for request in requests {
+                    let (decoded, _) = Request::decode(&request.encode()).unwrap();
+                    prop_assert_eq!(decoded, request);
+                }
+            }
+        }
     }
 }

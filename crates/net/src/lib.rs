@@ -22,6 +22,15 @@
 //!   `SBGTCKPT` blobs that resume byte-exactly on whichever shard the
 //!   shrunken ring assigns them.
 //!
+//! On top of the fabric sits **fleet observability**: work-carrying
+//! requests propagate a deterministic [`sbgt_engine::TraceContext`]
+//! (derived from the cohort id, so the wire bytes are identical with
+//! tracing on or off), shards answer [`frame::Request::ObsExport`] with a
+//! compact binary [`frame::ObsFrame`] (Prometheus samples + native
+//! histogram buckets + span-ring snapshot), and a
+//! [`fabric::FleetScraper`] merges the exports into one fleet Prometheus
+//! page and one Chrome trace whose per-cohort trees span processes.
+//!
 //! The paper's determinism contract survives the network: scheduling,
 //! sharding, and migration decide *where and when* a cohort's rounds run,
 //! never *what* they compute.
@@ -34,8 +43,10 @@ pub mod ring;
 pub mod server;
 
 pub use client::ShardClient;
-pub use fabric::{FabricConfig, FabricCounters, FabricRouter};
-pub use frame::{DecodeError, Request, Response, MAX_PAYLOAD, WIRE_VERSION};
+pub use fabric::{FabricConfig, FabricCounters, FabricRouter, FleetScraper};
+pub use frame::{
+    DecodeError, ObsFrame, ObsHist, ObsLane, Request, Response, MAX_PAYLOAD, WIRE_VERSION,
+};
 pub use reactor::{Event, Interest, Reactor};
 pub use ring::{HashRing, RingError, DEFAULT_VNODES};
 pub use server::ShardServer;

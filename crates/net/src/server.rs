@@ -20,12 +20,13 @@ use std::os::fd::AsRawFd;
 use std::thread;
 use std::time::Duration;
 
-use sbgt_engine::SharedEngine;
+use sbgt_engine::obs::parse_prometheus;
+use sbgt_engine::{SharedEngine, SpanKind, SpanMeta, TraceContext, TraceLevel};
 use sbgt_service::{
     CohortCheckpoint, ServiceConfig, ServiceError, ShedReason, SurveillanceService,
 };
 
-use crate::frame::{DecodeError, Request, Response};
+use crate::frame::{DecodeError, ObsFrame, ObsHist, ObsLane, Request, Response};
 use crate::reactor::{Interest, Reactor};
 
 const LISTENER_TOKEN: u64 = 0;
@@ -60,6 +61,9 @@ impl ShardServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // Tag the recorder with the OS pid so spans exported over the wire
+        // identify which process produced them in a merged fleet trace.
+        engine.obs().set_process_tag(u64::from(std::process::id()));
         let service = SurveillanceService::start(engine.clone(), config)
             .map_err(|e| io::Error::other(e.to_string()))?;
         let thread = thread::Builder::new()
@@ -120,9 +124,24 @@ fn handle(state: &mut ServerState, request: Request) -> (Response, bool) {
     let mut shutdown = false;
     let response = match request {
         Request::Ping => Response::Pong,
-        Request::Submit { tenant, specimens } => match &state.service {
+        Request::Submit {
+            tenant,
+            specimens,
+            trace,
+        } => match &state.service {
             None => drained_error(),
             Some(service) => {
+                let obs = state.engine.obs();
+                let _span = obs.span(
+                    TraceLevel::Spans,
+                    SpanKind::Service,
+                    "net:submit",
+                    SpanMeta {
+                        task: tenant,
+                        ..SpanMeta::default()
+                    },
+                );
+                stamp_inbound_trace(state, trace, SpanMeta::default());
                 let mut accepted = 0u32;
                 let mut shed = 0u32;
                 let mut reason = None;
@@ -150,23 +169,33 @@ fn handle(state: &mut ServerState, request: Request) -> (Response, bool) {
                 }
             }
         },
-        Request::PlaceCohort { spec } => match &state.service {
+        Request::PlaceCohort { spec, trace } => match &state.service {
             None => drained_error(),
-            Some(service) => match service.place_cohort(spec) {
-                Ok(()) => Response::Accepted {
-                    accepted: 1,
-                    shed: 0,
-                    reason: None,
-                },
-                Err(ServiceError::Shed(reason)) => Response::Accepted {
-                    accepted: 0,
-                    shed: 1,
-                    reason: Some(reason),
-                },
-                Err(other) => Response::Error {
-                    message: other.to_string(),
-                },
-            },
+            Some(service) => {
+                let obs = state.engine.obs();
+                let _span = obs.span(
+                    TraceLevel::Spans,
+                    SpanKind::Service,
+                    "net:place",
+                    SpanMeta::for_cohort(spec.id),
+                );
+                stamp_inbound_trace(state, trace, SpanMeta::for_cohort(spec.id));
+                match service.place_cohort(spec) {
+                    Ok(()) => Response::Accepted {
+                        accepted: 1,
+                        shed: 0,
+                        reason: None,
+                    },
+                    Err(ServiceError::Shed(reason)) => Response::Accepted {
+                        accepted: 0,
+                        shed: 1,
+                        reason: Some(reason),
+                    },
+                    Err(other) => Response::Error {
+                        message: other.to_string(),
+                    },
+                }
+            }
         },
         Request::PollReports => match &state.service {
             None => Response::Reports {
@@ -177,7 +206,7 @@ fn handle(state: &mut ServerState, request: Request) -> (Response, bool) {
             },
         },
         Request::Stats => Response::Stats {
-            prometheus: state.engine.metrics().render_prometheus(),
+            prometheus: state.engine.render_prometheus(),
         },
         Request::Drain => match state.service.take() {
             None => drained_error(),
@@ -194,9 +223,17 @@ fn handle(state: &mut ServerState, request: Request) -> (Response, bool) {
                 }
             }
         },
-        Request::Handoff { checkpoints } => match &state.service {
+        Request::Handoff { checkpoints, trace } => match &state.service {
             None => drained_error(),
             Some(service) => {
+                let obs = state.engine.obs();
+                let _span = obs.span(
+                    TraceLevel::Spans,
+                    SpanKind::Service,
+                    "net:handoff",
+                    SpanMeta::default(),
+                );
+                stamp_inbound_trace(state, trace, SpanMeta::default());
                 let mut accepted = 0u32;
                 let mut shed = 0u32;
                 let mut reason: Option<ShedReason> = None;
@@ -213,7 +250,18 @@ fn handle(state: &mut ServerState, request: Request) -> (Response, bool) {
                         }
                     };
                     match service.adopt_cohort(&ckpt) {
-                        Ok(()) => accepted += 1,
+                        Ok(()) => {
+                            accepted += 1;
+                            // One mark per adopted cohort: the relocated
+                            // cohort's first span on its new process, under
+                            // the same deterministic per-cohort trace id.
+                            if obs.enabled_at(TraceLevel::Spans) {
+                                obs.mark(
+                                    obs.intern("net:adopt"),
+                                    SpanMeta::for_cohort(ckpt.spec.id),
+                                );
+                            }
+                        }
                         Err(ServiceError::Shed(r)) => {
                             shed += 1;
                             reason.get_or_insert(r);
@@ -239,8 +287,97 @@ fn handle(state: &mut ServerState, request: Request) -> (Response, bool) {
             shutdown = true;
             Response::Pong
         }
+        Request::ObsExport => obs_export(state),
     };
     (response, shutdown)
+}
+
+/// Stamp an inbound trace context onto this process's span stream (at
+/// `Full` verbosity) so a merged fleet trace can check that the sender
+/// and the shard agree on the work's trace id.
+fn stamp_inbound_trace(state: &ServerState, trace: Option<TraceContext>, meta: SpanMeta) {
+    if let Some(ctx) = trace {
+        let obs = state.engine.obs();
+        if obs.enabled_at(TraceLevel::Full) {
+            obs.mark_value(obs.intern("net:trace-inherit"), ctx.trace_id, meta);
+        }
+    }
+}
+
+/// Build the shard's [`Response::ObsFrame`]: the Prometheus page parsed
+/// into samples (minus histogram families, which travel natively so the
+/// fleet merge is [`sbgt_engine::LogHistogram::merge`] instead of a text
+/// round-trip), plus the span-ring snapshot and name table.
+fn obs_export(state: &ServerState) -> Response {
+    let engine = &state.engine;
+    let mut hists = Vec::new();
+    let service = engine.metrics().service_stats();
+    if !service.is_quiet() {
+        hists.push(ObsHist {
+            name: "sbgt_service_round_latency_us".to_string(),
+            labels: Vec::new(),
+            hist: service.round_latency_histogram().clone(),
+        });
+        for (&tenant, lane) in service.tenants() {
+            hists.push(ObsHist {
+                name: "sbgt_tenant_round_latency_us".to_string(),
+                labels: vec![("tenant".to_string(), tenant.to_string())],
+                hist: lane.latency.clone(),
+            });
+        }
+    }
+    let bp = engine.metrics().bp_stats();
+    if !bp.is_quiet() {
+        hists.push(ObsHist {
+            name: "sbgt_bp_sweeps".to_string(),
+            labels: Vec::new(),
+            hist: bp.sweeps.clone(),
+        });
+        hists.push(ObsHist {
+            name: "sbgt_bp_residual_nanos".to_string(),
+            labels: Vec::new(),
+            hist: bp.residual_nanos.clone(),
+        });
+    }
+    let samples = match parse_prometheus(&engine.render_prometheus()) {
+        Ok(samples) => samples,
+        Err(message) => {
+            return Response::Error {
+                message: format!("prometheus self-scrape failed: {message}"),
+            }
+        }
+    };
+    // Drop the text renderings of natively-carried histogram families.
+    let native: Vec<&str> = hists.iter().map(|h| h.name.as_str()).collect();
+    let samples = samples
+        .into_iter()
+        .filter(|s| {
+            !native.iter().any(|family| {
+                s.name
+                    .strip_prefix(family)
+                    .is_some_and(|rest| matches!(rest, "_bucket" | "_sum" | "_count"))
+            })
+        })
+        .collect();
+    let obs = engine.obs();
+    let snapshot = obs.snapshot();
+    Response::ObsFrame {
+        frame: ObsFrame {
+            process_tag: obs.process_tag(),
+            samples,
+            hists,
+            names: obs.name_table(),
+            lanes: snapshot
+                .lanes
+                .into_iter()
+                .map(|lane| ObsLane {
+                    name: lane.name,
+                    dropped: lane.dropped,
+                    events: lane.events,
+                })
+                .collect(),
+        },
+    }
 }
 
 fn drained_error() -> Response {

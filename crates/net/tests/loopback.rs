@@ -86,6 +86,7 @@ fn wire_submission_matches_in_process_run_bit_for_bit() {
             .call(&Request::Submit {
                 tenant: 0,
                 specimens: chunk.to_vec(),
+                trace: None,
             })
             .unwrap()
         {
@@ -156,15 +157,22 @@ fn malformed_frames_get_typed_errors_and_never_kill_the_server() {
         other => panic!("unexpected response: {other:?}"),
     }
 
+    // Stale protocol version (v2, pre trace-trailers).
+    let mut client = ShardClient::connect(addr).unwrap();
+    match client.call_raw(b"SB\x02\x01\x00\x00\x00\x00").unwrap() {
+        Response::Error { message } => assert!(message.contains("version"), "{message}"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
     // Unknown frame kind.
     let mut client = ShardClient::connect(addr).unwrap();
-    match client.call_raw(b"SB\x02\x7e\x00\x00\x00\x00").unwrap() {
+    match client.call_raw(b"SB\x03\x7e\x00\x00\x00\x00").unwrap() {
         Response::Error { message } => assert!(message.contains("unknown"), "{message}"),
         other => panic!("unexpected response: {other:?}"),
     }
 
     // Oversized length prefix: rejected before any allocation.
-    let mut header = Vec::from(*b"SB\x02\x01");
+    let mut header = Vec::from(*b"SB\x03\x01");
     header.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
     let mut client = ShardClient::connect(addr).unwrap();
     match client.call_raw(&header).unwrap() {
@@ -174,7 +182,7 @@ fn malformed_frames_get_typed_errors_and_never_kill_the_server() {
 
     // Corrupt payload: a Submit frame promising more specimens than it
     // carries.
-    let mut corrupt = Vec::from(*b"SB\x02\x02");
+    let mut corrupt = Vec::from(*b"SB\x03\x02");
     corrupt.extend_from_slice(&8u32.to_le_bytes());
     corrupt.extend_from_slice(&0u32.to_le_bytes());
     corrupt.extend_from_slice(&1000u32.to_le_bytes());
@@ -224,8 +232,15 @@ fn decode_error_variants_match_the_wire_cases() {
         ),
         "v1 frames are rejected at the header since the truth widened"
     );
+    assert!(
+        matches!(
+            Request::decode(b"SB\x02\x7e\x00\x00\x00\x00"),
+            Err(DecodeError::BadVersion(2)),
+        ),
+        "v2 frames are rejected at the header since trailers were added"
+    );
     assert!(matches!(
-        Request::decode(b"SB\x02\x7e\x00\x00\x00\x00"),
+        Request::decode(b"SB\x03\x7e\x00\x00\x00\x00"),
         Err(DecodeError::UnknownKind(0x7e))
     ));
     let ping = Request::Ping.encode();
@@ -333,7 +348,10 @@ fn drained_checkpoints_round_trip_byte_exactly() {
     let sp = specimens(40, 51);
     for (i, chunk) in sp.chunks(10).enumerate() {
         let spec = CohortSpec::from_specimens(i as u64, config.base_seed, chunk);
-        match client.call(&Request::PlaceCohort { spec }).unwrap() {
+        match client
+            .call(&Request::PlaceCohort { spec, trace: None })
+            .unwrap()
+        {
             Response::Accepted { accepted: 1, .. } => {}
             other => panic!("unexpected response: {other:?}"),
         }
@@ -359,6 +377,7 @@ fn drained_checkpoints_round_trip_byte_exactly() {
         .call(&Request::Submit {
             tenant: 0,
             specimens: vec![sp[0]],
+            trace: None,
         })
         .unwrap()
     {

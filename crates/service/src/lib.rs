@@ -53,6 +53,7 @@ pub mod cohort;
 pub mod config;
 pub mod error;
 pub mod service;
+pub mod slo;
 pub mod wfq;
 
 pub use checkpoint::{CohortCheckpoint, CohortKind};
@@ -63,6 +64,7 @@ pub use cohort::{
 pub use config::{ApproxBackend, ServiceConfig, SessionPolicy, TenantSpec};
 pub use error::{ServiceError, ShedReason};
 pub use service::{CohortReport, ServiceCheckpoint, SurveillanceService};
+pub use slo::{BurnRateAlert, BURN_ALERT_MARK};
 pub use wfq::WfqScheduler;
 
 // Plan-cache types a service embedder needs to own a shared cache.

@@ -41,6 +41,7 @@ use crate::checkpoint::CohortCheckpoint;
 use crate::cohort::{CohortActor, CohortSpec, Specimen};
 use crate::config::ServiceConfig;
 use crate::error::{ServiceError, ShedReason};
+use crate::slo::{BurnRateAlert, BURN_ALERT_MARK};
 use crate::wfq::WfqScheduler;
 
 /// Final classification of one cohort, as emitted by the service.
@@ -274,6 +275,19 @@ impl SurveillanceService {
                 .metrics()
                 .tenant_latency_percentile(tenant, 0.99);
             if p99.is_some_and(|p| p > slo) {
+                // The budget-exhaustion event leads the admission-control
+                // response in the trace: record the typed alert before the
+                // shed so burn-rate spikes explain the SloExceeded wave.
+                if let Some(alert) = BurnRateAlert::evaluate(self.engine.metrics(), tenant) {
+                    let rec = self.engine.obs();
+                    if rec.enabled_at(TraceLevel::Full) {
+                        let meta = SpanMeta {
+                            task: alert.tenant,
+                            ..SpanMeta::default()
+                        };
+                        rec.mark_value(rec.intern(BURN_ALERT_MARK), alert.burn_milli, meta);
+                    }
+                }
                 return Err(self.shed(ShedReason::SloExceeded));
             }
         }
@@ -739,6 +753,7 @@ fn worker_loop(
             continue;
         }
         let tenant = actor.spec().tenant;
+        let slo = config.tenant_slo(tenant);
         let rec = engine.obs();
         let obs_start = rec
             .enabled_at(TraceLevel::Spans)
@@ -756,7 +771,7 @@ fn worker_loop(
         }
         engine.metrics().update_service(|s| {
             s.record_round(elapsed);
-            s.record_tenant_round(tenant, elapsed);
+            s.record_tenant_round(tenant, elapsed, slo);
             s.recovered_rounds += run.recovered;
         });
         match run.step {

@@ -143,6 +143,29 @@ impl<T> WfqScheduler<T> {
         self.state.lock().expect("wfq lock").queued
     }
 
+    /// Per-tenant backlog depths, for lane-level observability: one
+    /// `(tenant, queued_rounds)` pair per declared-or-seen lane, in
+    /// tenant-id order. Idle lanes report 0 rather than vanishing, so a
+    /// scrape can tell "declared but quiet" from "never seen".
+    pub fn lane_depths(&self) -> Vec<(u32, usize)> {
+        let state = self.state.lock().expect("wfq lock");
+        state
+            .lanes
+            .iter()
+            .map(|(&tenant, lane)| (tenant, lane.items.len()))
+            .collect()
+    }
+
+    /// One tenant's queued backlog (0 for unknown or idle lanes).
+    pub fn lane_depth(&self, tenant: u32) -> usize {
+        let state = self.state.lock().expect("wfq lock");
+        state
+            .lanes
+            .get(&tenant)
+            .map(|lane| lane.items.len())
+            .unwrap_or(0)
+    }
+
     /// Whether no entries are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -242,6 +265,26 @@ mod tests {
             }
             sched.push(t, t);
         }
+    }
+
+    #[test]
+    fn lane_depths_track_backlogs_without_dropping_idle_lanes() {
+        let sched = WfqScheduler::new([(1, 2), (5, 1)]);
+        assert_eq!(sched.lane_depths(), vec![(1, 0), (5, 0)]);
+        sched.push(1, 10);
+        sched.push(1, 11);
+        sched.push(9, 90); // undeclared lane materializes on first push
+        assert_eq!(sched.lane_depths(), vec![(1, 2), (5, 0), (9, 1)]);
+        assert_eq!(sched.lane_depth(1), 2);
+        assert_eq!(sched.lane_depth(5), 0);
+        assert_eq!(sched.lane_depth(404), 0, "unknown lanes read as empty");
+        sched.pop().unwrap();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(
+            sched.lane_depths().iter().map(|(_, d)| d).sum::<usize>(),
+            2,
+            "depths agree with the global count"
+        );
     }
 
     #[test]
